@@ -1,0 +1,203 @@
+(* Benchmark harness.
+
+   Default run (what `dune exec bench/main.exe` produces):
+   1. regenerates every figure and table of the paper — the experiment
+      index of DESIGN.md §4 — printing the reproduced rows/series and the
+      paper-vs-measured checks;
+   2. runs a Bechamel micro-benchmark suite with one Test.make per
+      experiment id, measuring that experiment's computational kernel.
+
+   `--figures-only` / `--perf-only` restrict to one half;
+   `--out DIR` additionally writes the figure data as CSVs. *)
+
+let default = Fluid.Params.default
+
+let big =
+  Fluid.Params.with_buffer default (2. *. Fluid.Criterion.required_buffer default)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures out =
+  let t0 = Sys.time () in
+  List.iter
+    (fun (id, text) ->
+      Printf.printf "################ %s ################\n%s\n" id text)
+    (Dcecc_core.Figures.all ?out ());
+  Printf.printf "[figure regeneration took %.1f s]\n\n" (Sys.time () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel performance suite (one Test.make per experiment)   *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  let open Bechamel in
+  (* Small deterministic kernels representative of each experiment's
+     dominant computation. *)
+  let fig3 () =
+    (* taxonomy: classify the equilibrium of both regions *)
+    ignore (Phaseplane.Singular.classify (Fluid.Linearized.jacobian default Fluid.Linearized.Increase));
+    ignore (Phaseplane.Singular.classify (Fluid.Linearized.jacobian default Fluid.Linearized.Decrease))
+  in
+  let spiral_c = Fluid.Spiral.of_region default Fluid.Linearized.Increase in
+  let fig4 () =
+    ignore (Fluid.Spiral.extremum spiral_c ~x0:(-2.5e6) ~y0:5e8)
+  in
+  let node_c =
+    Fluid.Node.of_region Dcecc_core.Figures.case4_params Fluid.Linearized.Decrease
+  in
+  let fig5 () = ignore (Fluid.Node.extremum node_c ~x0:1e6 ~y0:2e8) in
+  let fig6 () = ignore (Fluid.Flowmap.first_overshoot default) in
+  let lc_sys, _ = Dcecc_core.Figures.genuine_limit_cycle_system () in
+  let lc_sec =
+    Phaseplane.Poincare.line_section ~dir:Numerics.Ode.Up
+      ~normal:(Numerics.Vec2.make 1. 0.1) ()
+  in
+  let fig7 () = ignore (Phaseplane.Poincare.return_map lc_sys lc_sec 2.0) in
+  let fig8 () =
+    ignore (Fluid.Flowmap.first_overshoot Dcecc_core.Figures.case2_params)
+  in
+  let fig9 () =
+    ignore
+      (Fluid.Flowmap.trace Dcecc_core.Figures.case3_params
+         (Fluid.Model.start_point Dcecc_core.Figures.case3_params))
+  in
+  let fig10 () =
+    ignore
+      (Fluid.Flowmap.trace Dcecc_core.Figures.case4_params
+         (Fluid.Model.start_point Dcecc_core.Figures.case4_params))
+  in
+  let t1 () = ignore (Fluid.Criterion.required_buffer default) in
+  let v1 () =
+    (* one millisecond of packet simulation at the validation parameters *)
+    let p = Dcecc_core.Compare.validation_params in
+    let cfg =
+      {
+        (Simnet.Runner.default_config ~t_end:1e-3 ~sample_dt:1e-4 p) with
+        Simnet.Runner.enable_pause = false;
+      }
+    in
+    ignore (Simnet.Runner.run cfg)
+  in
+  let v2 () =
+    ignore (Control.Linear_baseline.analyze (Fluid.Params.loop_params default))
+  in
+  let a1 () = ignore (Fluid.Transient.measure ~horizon:1e-3 big) in
+  let a2 () = ignore (Fluid.Delayed.simulate ~t_end:2e-3 ~tau:2e-6 big) in
+  let a3 () =
+    let sys = Fluid.Linearized.system default in
+    ignore
+      (Phaseplane.Trajectory.integrate
+         ~solver:(Phaseplane.Trajectory.Fixed (Numerics.Ode.Rk4, 1e-6))
+         ~t_max:5e-4 sys
+         (Fluid.Model.start_point default))
+  in
+  let p1 () =
+    let p = Fluid.Params.with_buffer default 15e6 in
+    ignore (Simnet.Fera.run (Simnet.Fera.default_config ~t_end:2e-3 p))
+  in
+  let p2 () =
+    ignore
+      (Fluid.Aimd_fairness.iterate
+         (Fluid.Aimd_fairness.Aimd { increase = 1e8; decrease = 0.2 })
+         ~capacity:10e9 ~n:500
+         { Fluid.Aimd_fairness.r1 = 9e9; r2 = 1e9 })
+  in
+  let m1 () =
+    let p = Fluid.Params.with_buffer default 15e6 in
+    ignore
+      (Simnet.Multihop.run (Simnet.Multihop.default_config ~t_end:2e-3 p))
+  in
+  let b1 () =
+    ignore (Fluid.Safe_region.classify default ~q:1e6 ~r:2e8)
+  in
+  let w1 () =
+    let wl = Simnet.Workload.poisson ~id:0 ~mean_rate:2e9 ~seed:7 in
+    let e = Simnet.Engine.create () in
+    let count = ref 0 in
+    Simnet.Workload.start wl e ~sink:(fun _e _p -> incr count);
+    Simnet.Engine.run ~until:1e-3 e
+  in
+  (* substrate micro-kernels for the ablation notes *)
+  let ode_step () =
+    let f _t y = [| y.(1); -.y.(0) |] in
+    ignore (Numerics.Ode.step Numerics.Ode.Rk4 f 0. [| 1.; 0. |] 0.01)
+  in
+  let nonlinear_excursion () =
+    ignore (Fluid.Stability.first_excursion ~t_max:1e-3 big)
+  in
+  Test.make_grouped ~name:"dcecc"
+    [
+      Test.make ~name:"fig3_taxonomy" (Staged.stage fig3);
+      Test.make ~name:"fig4_spiral" (Staged.stage fig4);
+      Test.make ~name:"fig5_node" (Staged.stage fig5);
+      Test.make ~name:"fig6_case1" (Staged.stage fig6);
+      Test.make ~name:"fig7_limit_cycle" (Staged.stage fig7);
+      Test.make ~name:"fig8_case2" (Staged.stage fig8);
+      Test.make ~name:"fig9_case3" (Staged.stage fig9);
+      Test.make ~name:"fig10_case4" (Staged.stage fig10);
+      Test.make ~name:"t1_criterion" (Staged.stage t1);
+      Test.make ~name:"v1_fluid_vs_packet" (Staged.stage v1);
+      Test.make ~name:"v2_linear_vs_strong" (Staged.stage v2);
+      Test.make ~name:"a1_transient_sampling" (Staged.stage a1);
+      Test.make ~name:"a2_delay_margin" (Staged.stage a2);
+      Test.make ~name:"a3_solver_ablation" (Staged.stage a3);
+      Test.make ~name:"p1_paradigms" (Staged.stage p1);
+      Test.make ~name:"p2_aimd_fairness" (Staged.stage p2);
+      Test.make ~name:"w1_cross_traffic" (Staged.stage w1);
+      Test.make ~name:"b1_safe_region" (Staged.stage b1);
+      Test.make ~name:"m1_multihop" (Staged.stage m1);
+      Test.make ~name:"kernel_rk4_step" (Staged.stage ode_step);
+      Test.make ~name:"kernel_nonlinear_excursion"
+        (Staged.stage nonlinear_excursion);
+    ]
+
+let run_perf () =
+  let open Bechamel in
+  Printf.printf "################ performance (Bechamel) ################\n";
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.2) ~kde:None ~stabilize:false
+      ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (kernels ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        let est =
+          match Analyze.OLS.estimates v with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let fmt_time ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+    else Printf.sprintf "%.1f ns" ns
+  in
+  Report.Table.print
+    ~headers:[ "experiment kernel"; "time per run" ]
+    ~rows:(List.map (fun (n, e) -> [ n; fmt_time e ]) rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let out =
+    let rec find = function
+      | "--out" :: dir :: _ -> Some dir
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if not (has "--perf-only") then run_figures out;
+  if not (has "--figures-only") then run_perf ()

@@ -1,0 +1,1 @@
+bin/bcn_analyze.ml: Arg Cmd Cmdliner Dcecc_core Fluid Format Term

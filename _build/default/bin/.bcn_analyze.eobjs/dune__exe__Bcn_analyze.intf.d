@@ -1,0 +1,1 @@
+bin/bcn_analyze.mli:

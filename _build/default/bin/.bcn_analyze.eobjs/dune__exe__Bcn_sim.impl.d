@@ -1,0 +1,1 @@
+bin/bcn_sim.ml: Arg Cmd Cmdliner Fluid Format Report Simnet Term

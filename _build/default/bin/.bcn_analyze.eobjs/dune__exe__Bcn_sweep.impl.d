@@ -1,0 +1,1 @@
+bin/bcn_sweep.ml: Arg Cmd Cmdliner Fluid Format List Printf Report Term

@@ -1,0 +1,1 @@
+bin/figures.ml: Arg Cmd Cmdliner Dcecc_core List Printf Term

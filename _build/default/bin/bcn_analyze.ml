@@ -1,0 +1,59 @@
+(* bcn_analyze — phase-plane stability report for a BCN parameter set.
+
+   Example:
+     bcn_analyze --flows 50 --capacity 10e9 --q0 2.5e6 --buffer 5e6 \
+                 --gi 4 --gd 0.0078125 --ru 8e6 --probe-limit-cycle *)
+
+open Cmdliner
+
+let params_term =
+  let open Term in
+  let flows =
+    Arg.(value & opt int 50 & info [ "n"; "flows" ] ~docv:"N" ~doc:"Number of homogeneous flows.")
+  in
+  let capacity =
+    Arg.(value & opt float 10e9 & info [ "c"; "capacity" ] ~docv:"BITS/S" ~doc:"Bottleneck capacity.")
+  in
+  let q0 =
+    Arg.(value & opt float 2.5e6 & info [ "q0" ] ~docv:"BITS" ~doc:"Reference queue length.")
+  in
+  let buffer =
+    Arg.(value & opt float 5e6 & info [ "b"; "buffer" ] ~docv:"BITS" ~doc:"Buffer size B.")
+  in
+  let gi = Arg.(value & opt float 4. & info [ "gi" ] ~doc:"Additive-increase gain Gi.") in
+  let gd =
+    Arg.(value & opt float (1. /. 128.) & info [ "gd" ] ~doc:"Multiplicative-decrease gain Gd.")
+  in
+  let ru = Arg.(value & opt float 8e6 & info [ "ru" ] ~docv:"BITS/S" ~doc:"Rate increase unit Ru.") in
+  let w = Arg.(value & opt float 2. & info [ "w" ] ~doc:"Weight of the queue-variation term.") in
+  let pm = Arg.(value & opt float 0.01 & info [ "pm" ] ~doc:"Sampling probability.") in
+  let mu = Arg.(value & opt float 0. & info [ "mu" ] ~docv:"BITS/S" ~doc:"Initial per-source rate.") in
+  let make n c q0 b gi gd ru w pm mu =
+    Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer:b ~gi ~gd ~ru ~w ~pm ~mu ()
+  in
+  const make $ flows $ capacity $ q0 $ buffer $ gi $ gd $ ru $ w $ pm $ mu
+
+let analyze params probe =
+  match params with
+  | p ->
+      let report = Dcecc_core.Analysis.run ~probe_limit_cycle:probe p in
+      Format.printf "%a@." Dcecc_core.Analysis.pp report;
+      if report.Dcecc_core.Analysis.stability.Fluid.Stability.strongly_stable
+      then 0
+      else 1
+
+let cmd =
+  let probe =
+    Arg.(value & flag & info [ "probe-limit-cycle" ]
+           ~doc:"Iterate the Poincare return map to look for limit cycles.")
+  in
+  let doc =
+    "Phase-plane strong-stability analysis of a BCN congestion control \
+     system (Ren & Jiang, ICDCS 2010). Exit status 1 when the system is \
+     not strongly stable."
+  in
+  Cmd.v
+    (Cmd.info "bcn_analyze" ~doc)
+    Term.(const analyze $ params_term $ probe)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,85 @@
+(* bcn_sweep — sweep one BCN parameter and emit a CSV of stability and
+   transient metrics per value.
+
+   Example:
+     bcn_sweep --param gi --from 0.5 --to 8 --steps 12 --csv gi_sweep.csv *)
+
+open Cmdliner
+
+let apply base param v =
+  match param with
+  | "gi" -> Fluid.Params.with_gains ~gi:v base
+  | "gd" -> Fluid.Params.with_gains ~gd:v base
+  | "ru" -> Fluid.Params.with_gains ~ru:v base
+  | "q0" -> Fluid.Params.with_q0 base v
+  | "buffer" -> Fluid.Params.with_buffer base v
+  | "n" | "flows" -> Fluid.Params.with_flows base (int_of_float v)
+  | "w" -> Fluid.Params.with_sampling ~w:v base
+  | "pm" -> Fluid.Params.with_sampling ~pm:v base
+  | other -> invalid_arg ("unknown parameter: " ^ other)
+
+let run param lo hi steps log_scale buffer csv =
+  if steps < 2 then invalid_arg "need at least 2 steps";
+  let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
+  let value i =
+    let f = float_of_int i /. float_of_int (steps - 1) in
+    if log_scale then lo *. ((hi /. lo) ** f) else lo +. ((hi -. lo) *. f)
+  in
+  let header =
+    [
+      param; "case"; "required_B"; "criterion_ok"; "numeric_max_q";
+      "numeric_min_q"; "strongly_stable"; "oscillations"; "decay_per_cycle";
+    ]
+  in
+  let rows =
+    List.init steps (fun i ->
+        let v = value i in
+        let p = apply base param v in
+        let verdict = Fluid.Stability.analyze p in
+        let t = Fluid.Transient.measure p in
+        [
+          Printf.sprintf "%g" v;
+          Format.asprintf "%a" Fluid.Cases.pp_case verdict.Fluid.Stability.case;
+          Printf.sprintf "%g" (Fluid.Criterion.required_buffer p);
+          string_of_bool (Fluid.Criterion.satisfied p);
+          Printf.sprintf "%g"
+            (verdict.Fluid.Stability.numeric_max +. p.Fluid.Params.q0);
+          Printf.sprintf "%g"
+            (verdict.Fluid.Stability.numeric_min +. p.Fluid.Params.q0);
+          string_of_bool verdict.Fluid.Stability.strongly_stable;
+          string_of_int t.Fluid.Transient.oscillations;
+          (match t.Fluid.Transient.decay_per_cycle with
+          | Some d -> Printf.sprintf "%.6f" d
+          | None -> "");
+        ])
+  in
+  Report.Table.print ~headers:header ~rows;
+  (match csv with
+  | Some path ->
+      Report.Csv.write ~path ~header ~rows;
+      Printf.printf "\nwrote %s\n" path
+  | None -> ());
+  0
+
+let cmd =
+  let open Term in
+  let param =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "param" ] ~docv:"NAME"
+          ~doc:"Parameter to sweep: gi | gd | ru | q0 | buffer | n | w | pm.")
+  in
+  let lo = Arg.(required & opt (some float) None & info [ "from" ] ~doc:"Start value.") in
+  let hi = Arg.(required & opt (some float) None & info [ "to" ] ~doc:"End value.") in
+  let steps = Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep points.") in
+  let log_scale = Arg.(value & flag & info [ "log" ] ~doc:"Geometric spacing.") in
+  let buffer =
+    Arg.(value & opt float 15e6 & info [ "buffer" ] ~doc:"Buffer for the base config, bits.")
+  in
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV.") in
+  let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
+  Cmd.v (Cmd.info "bcn_sweep" ~doc)
+    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,41 @@
+(* figures — regenerate every paper figure/table; prints the text
+   reproductions and writes the data series as CSVs.
+
+   Usage: figures [--out DIR] [ID ...]   (no IDs = all) *)
+
+open Cmdliner
+
+let run out ids =
+  let all = Dcecc_core.Figures.all ~out () in
+  let selected =
+    match ids with
+    | [] -> all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id all with
+            | Some text -> Some (id, text)
+            | None ->
+                Printf.eprintf "unknown figure id: %s\n" id;
+                None)
+          ids
+  in
+  List.iter
+    (fun (id, text) ->
+      Printf.printf "############ %s ############\n%s\n" id text)
+    selected;
+  Printf.printf "CSV data written to %s\n" out;
+  if List.length selected = List.length ids || ids = [] then 0 else 1
+
+let cmd =
+  let out =
+    Arg.(value & opt string "out" & info [ "out" ] ~docv:"DIR" ~doc:"CSV output directory.")
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let doc =
+    "Regenerate the figures and tables of 'Phase Plane Analysis of \
+     Congestion Control in Data Center Ethernet Networks' (ICDCS 2010)."
+  in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ out $ ids)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/buffer_sizing.ml: Control Fluid Format List Printf Report

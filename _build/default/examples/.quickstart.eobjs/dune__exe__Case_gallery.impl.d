@@ -1,0 +1,1 @@
+examples/case_gallery.ml: Array Float Fluid Format Numerics Ode Phaseplane Poly Printf Report Vec2

@@ -1,0 +1,1 @@
+examples/fluid_vs_packet.ml: Dcecc_core Fluid Format Numerics Report Series Simnet Stats

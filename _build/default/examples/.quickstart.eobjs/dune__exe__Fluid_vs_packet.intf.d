@@ -1,0 +1,1 @@
+examples/fluid_vs_packet.mli:

@@ -1,0 +1,1 @@
+examples/incast_fanin.ml: Fluid Format Numerics Printf Report Series Simnet

@@ -1,0 +1,1 @@
+examples/limit_cycle_hunt.ml: Dcecc_core Fluid Format List Numerics Ode Phaseplane Printf Report Vec2

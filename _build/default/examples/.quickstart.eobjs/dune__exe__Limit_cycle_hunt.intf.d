@@ -1,0 +1,1 @@
+examples/limit_cycle_hunt.mli:

@@ -1,0 +1,1 @@
+examples/pause_rollback.ml: Fluid Format Numerics Printf Report Series Simnet

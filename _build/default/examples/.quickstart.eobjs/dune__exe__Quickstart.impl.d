@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dcecc_core Fluid Format Printf Report

@@ -1,0 +1,88 @@
+(* Buffer sizing for lossless Ethernet: the paper's Remarks after
+   Theorem 1 as an engineering workflow. The bandwidth-delay-product rule
+   is unsustainable when packets cannot be dropped; this example computes
+   the Theorem-1 buffer across link speeds and flow counts and shows the
+   trade-off against the warm-up time T0.
+
+   Run with:  dune exec examples/buffer_sizing.exe *)
+
+let mk ~n ~c =
+  (* scale q0 with capacity like the worked example (q0 = C * 0.25 ms) *)
+  Fluid.Params.make ~n_flows:n ~capacity:c ~q0:(2.5e-4 *. c)
+    ~buffer:(5e-4 *. c) ~gi:4. ~gd:(1. /. 128.) ~ru:8e6 ()
+
+let () =
+  Format.printf
+    "Required buffer (Theorem 1) vs the BDP rule (0.5 ms of capacity)@.@.";
+  let rows = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun n ->
+          let p = mk ~n ~c in
+          let req = Fluid.Criterion.required_buffer p in
+          let bdp = Fluid.Params.bdp_buffer p ~rtt:5e-4 in
+          rows :=
+            [
+              Report.Table.si c;
+              string_of_int n;
+              Report.Table.si req;
+              Report.Table.si bdp;
+              Printf.sprintf "%.2fx" (req /. bdp);
+              Printf.sprintf "%.2g s" (Fluid.Criterion.startup_time p);
+            ]
+            :: !rows)
+        [ 10; 50; 200 ])
+    [ 1e9; 10e9; 40e9; 100e9 ];
+  Report.Table.print
+    ~headers:[ "capacity"; "flows"; "required B"; "BDP"; "ratio"; "warm-up T0" ]
+    ~rows:(List.rev !rows);
+
+  (* The q0 trade-off of the Remarks: a small reference queue favours
+     strong stability but prolongs the start-up. *)
+  Format.printf "@.q0 trade-off at 10G / 50 flows (B fixed at 20 Mbit):@.@.";
+  let base = Fluid.Params.with_buffer Fluid.Params.default 20e6 in
+  let rows =
+    List.map
+      (fun q0 ->
+        let p = Fluid.Params.with_q0 base q0 in
+        let v = Fluid.Stability.analyze p in
+        [
+          Report.Table.si q0;
+          Report.Table.si (Fluid.Criterion.required_buffer p);
+          (if v.Fluid.Stability.strongly_stable then "yes" else "NO");
+          Printf.sprintf "%.2g s" (Fluid.Criterion.startup_time p);
+        ])
+      [ 0.25e6; 0.5e6; 1e6; 2.5e6; 5e6 ]
+  in
+  Report.Table.print
+    ~headers:[ "q0"; "required B"; "strongly stable"; "T0" ]
+    ~rows;
+
+  (* Gain retuning: shrink the required buffer at the cost of sluggish
+     convergence (longer settling). *)
+  Format.printf "@.gain retuning at B = 5 Mbit (the BDP buffer):@.@.";
+  let p = Fluid.Params.default in
+  let rows =
+    List.map
+      (fun (label, p') ->
+        let v = Fluid.Stability.analyze p' in
+        let settle =
+          Control.Lti2.settling_time_2pct
+            (Fluid.Linearized.second_order p' Fluid.Linearized.Decrease)
+        in
+        [
+          label;
+          Report.Table.si (Fluid.Criterion.required_buffer p');
+          (if v.Fluid.Stability.strongly_stable then "yes" else "NO");
+          Printf.sprintf "%.2g s" settle;
+        ])
+      [
+        ("draft gains (Gi=4, Gd=1/128)", p);
+        ("Gi = 0.19 (criterion-max)", Fluid.Params.with_gains ~gi:(0.97 *. Fluid.Criterion.gi_max p) p);
+        ("Gd = 1/6 (criterion-min)", Fluid.Params.with_gains ~gd:(1.03 *. Fluid.Criterion.gd_min p) p);
+      ]
+  in
+  Report.Table.print
+    ~headers:[ "configuration"; "required B"; "strongly stable"; "settling (2%)" ]
+    ~rows

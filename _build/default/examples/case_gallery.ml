@@ -1,0 +1,102 @@
+(* A gallery of the paper's five analysis cases (SIV.C): for each case,
+   the parameter set, subsystem spectra, the overshoot/undershoot
+   quantities (paper formulas where defined), and the strong-stability
+   verdict.
+
+   Run with:  dune exec examples/case_gallery.exe *)
+
+open Numerics
+
+let describe_case name p =
+  Format.printf "=== %s ===@." name;
+  Format.printf "  w = %g, pm = %g, Gi = %g, Gd = %g -> %a@." p.Fluid.Params.w
+    p.Fluid.Params.pm p.Fluid.Params.gi p.Fluid.Params.gd Fluid.Cases.pp_case
+    (Fluid.Cases.classify p);
+  Format.printf "  increase: %s@."
+    (Phaseplane.Singular.eigen_summary
+       (Fluid.Linearized.jacobian p Fluid.Linearized.Increase));
+  Format.printf "  decrease: %s@."
+    (Phaseplane.Singular.eigen_summary
+       (Fluid.Linearized.jacobian p Fluid.Linearized.Decrease));
+  let v = Fluid.Stability.analyze p in
+  let fmt_opt = function
+    | Some x -> Report.Table.si x
+    | None -> "none"
+  in
+  Format.printf "  overshoot: linearized %s / nonlinear %s; undershoot: %s / %s@."
+    (fmt_opt v.Fluid.Stability.analytic_max)
+    (Report.Table.si v.Fluid.Stability.numeric_max)
+    (fmt_opt v.Fluid.Stability.analytic_min)
+    (Report.Table.si v.Fluid.Stability.numeric_min);
+  (* the paper's printed expressions, where the case defines them *)
+  (match Fluid.Cases.classify p with
+  | Fluid.Cases.Case1 ->
+      let f = Fluid.Paper_formulas.case1 p in
+      Format.printf "  paper eqn (36) max1 = %s, eqn (37) min1 = %s@."
+        (Report.Table.si f.Fluid.Paper_formulas.max1)
+        (Report.Table.si f.Fluid.Paper_formulas.min1)
+  | Fluid.Cases.Case2 ->
+      Format.printf "  paper eqn (38) max2 = %s@."
+        (Report.Table.si (Fluid.Paper_formulas.max2 p))
+  | Fluid.Cases.Case3 | Fluid.Cases.Case4 | Fluid.Cases.Case5 ->
+      Format.printf "  no overshoot expression needed (Proposition 4)@.");
+  Format.printf "  strongly stable: %b (Theorem 1 satisfied: %b)@.@."
+    v.Fluid.Stability.strongly_stable
+    (Fluid.Criterion.satisfied p)
+
+let () =
+  let base =
+    Fluid.Params.with_buffer Fluid.Params.default
+      (2. *. Fluid.Criterion.required_buffer Fluid.Params.default)
+  in
+  describe_case "Case 1: spiral / spiral (draft parameters)" base;
+  describe_case "Case 2: node / spiral (w = 8000)"
+    (Fluid.Params.with_sampling ~w:8000. base);
+  describe_case "Case 3: spiral / node (w = 3000, Gd = 1)"
+    (Fluid.Params.with_gains ~gd:1. (Fluid.Params.with_sampling ~w:3000. base));
+  describe_case "Case 4: node / node (w = 30000)"
+    (Fluid.Params.with_sampling ~w:30000. base);
+  (* Case 5: land the increase subsystem exactly on the boundary
+     a = 4 pm^2 C^2 / w^2. At the draft w = 2 the boundary needs an absurd
+     gain, so use the w = 8000 switching line (as in Fig. 8) and solve for
+     the Gi that puts a exactly on the threshold. *)
+  let base5 = Fluid.Params.with_sampling ~w:8000. base in
+  let gi_boundary =
+    Fluid.Params.a_threshold base5
+    /. (base5.Fluid.Params.ru *. float_of_int base5.Fluid.Params.n_flows)
+  in
+  let p5 = Fluid.Params.with_gains ~gi:gi_boundary base5 in
+  describe_case
+    (Printf.sprintf "Case 5: critical boundary (w = 8000, Gi = %g)" gi_boundary)
+    p5;
+  (* ERRATUM (see EXPERIMENTS.md): the paper claims the switching line
+     x + k y = 0 is itself a trajectory "due to lambda_{1,2} = -1/k".
+     Substituting lambda = -1/k into eqn (35) gives 1/k^2, never zero; at
+     the boundary the repeated eigenvalue is -k*n/2 = -2/k, so the
+     invariant line of the increase subsystem is y = -(2/k)x — twice as
+     steep as the switching line (and it lies in the decrease region).
+     Demonstrate both facts numerically. *)
+  let k = Fluid.Params.k p5 in
+  let cp = Fluid.Linearized.char_poly p5 Fluid.Linearized.Increase in
+  Format.printf
+    "Case-5 erratum check: char(-1/k) = %.4g (= 1/k^2 = %.4g, never a \
+     root); char(-2/k) = %.2e (the actual repeated eigenvalue)@."
+    (Poly.eval cp (-1. /. k))
+    (1. /. (k *. k))
+    (Poly.eval cp (-2. /. k));
+  let sys = Fluid.Linearized.region_system p5 Fluid.Linearized.Increase in
+  let x0 = -1e4 in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:2e-4 sys
+      (Vec2.make x0 (-.2. /. k *. x0))
+  in
+  let max_rel_dev =
+    Array.fold_left
+      (fun acc (y : float array) ->
+        let scale = Float.max 1e-6 (Float.abs y.(0)) *. 2. /. k in
+        Float.max acc (Float.abs (y.(1) +. (2. /. k *. y.(0))) /. scale))
+      0. tr.Phaseplane.Trajectory.sol.Ode.ys
+  in
+  Format.printf
+    "the eigenline y = -(2/k)x IS invariant: max relative deviation %.2e@."
+    max_rel_dev

@@ -1,0 +1,69 @@
+(* Does the fluid-flow approximation (paper eqns (4)/(7)) describe the
+   packet-level system? This example runs both on the same Case-1
+   parameter set and overlays the queue traces, then shows what happens
+   at the draft 10G parameters, whose dynamics are faster than the
+   sampling — the regime where the fluid model is only qualitative.
+
+   Run with:  dune exec examples/fluid_vs_packet.exe *)
+
+open Numerics
+
+let () =
+  (* validated regime: sampling much faster than the oscillation *)
+  let p = Dcecc_core.Compare.validation_params in
+  Format.printf "validation parameter set:@.%a@.@." Fluid.Params.pp p;
+  let r = Dcecc_core.Compare.fluid_vs_packet p in
+  Format.printf
+    "queue RMSE = %s bit (%.1f%% of q0), correlation = %.3f@.\
+     tail means: packet %s, fluid %s (q0 = %s); drops = %d; utilization %.3f@.@."
+    (Report.Table.si r.Dcecc_core.Compare.rmse)
+    (100. *. r.Dcecc_core.Compare.rmse_rel_q0)
+    r.Dcecc_core.Compare.corr
+    (Report.Table.si r.Dcecc_core.Compare.packet_mean_tail)
+    (Report.Table.si r.Dcecc_core.Compare.fluid_mean_tail)
+    (Report.Table.si p.Fluid.Params.q0)
+    r.Dcecc_core.Compare.packet_drops r.Dcecc_core.Compare.utilization;
+  print_string
+    (Report.Ascii_plot.render ~width:70 ~height:16
+       ~title:"queue occupancy: packet simulator (p) vs fluid model (f)"
+       [
+         Report.Ascii_plot.of_series ~glyph:'p' "packet"
+           (Series.resample r.Dcecc_core.Compare.packet_queue 300);
+         Report.Ascii_plot.of_series ~glyph:'f' "fluid"
+           (Series.resample r.Dcecc_core.Compare.fluid_queue 300);
+       ]);
+
+  (* the draft 10G parameters: per-flow BCN messages arrive more slowly
+     than the system oscillates, so the packet queue swings much harder
+     than the fluid prediction — qualitative agreement only *)
+  Format.printf
+    "@.draft 10G parameters (sampling slower than the dynamics):@.";
+  let p10 = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.02 p10) with
+      Simnet.Runner.mode = Simnet.Source.Literal;
+      initial_rate = 0.5 *. Fluid.Params.equilibrium_rate p10;
+    }
+  in
+  let sim = Simnet.Runner.run cfg in
+  let fl =
+    Fluid.Model.simulate_physical ~h:1e-6
+      ~r_init:(0.5 *. Fluid.Params.equilibrium_rate p10)
+      ~t_end:0.02 p10
+  in
+  let tail s = Series.tail_from s 0.01 in
+  Format.printf
+    "packet: tail mean %s, std %s | fluid: tail mean %s, std %s@."
+    (Report.Table.si (Stats.mean (tail sim.Simnet.Runner.queue).Series.vs))
+    (Report.Table.si (Stats.stddev (tail sim.Simnet.Runner.queue).Series.vs))
+    (Report.Table.si (Stats.mean (tail fl.Fluid.Model.q).Series.vs))
+    (Report.Table.si (Stats.stddev (tail fl.Fluid.Model.q).Series.vs));
+  print_string
+    (Report.Ascii_plot.render ~width:70 ~height:14
+       [
+         Report.Ascii_plot.of_series ~glyph:'p' "packet (literal BCN)"
+           (Series.resample sim.Simnet.Runner.queue 300);
+         Report.Ascii_plot.of_series ~glyph:'f' "fluid"
+           (Series.resample fl.Fluid.Model.q 300);
+       ])

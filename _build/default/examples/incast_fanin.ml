@@ -1,0 +1,64 @@
+(* Incast fan-in: the parallel-read traffic pattern of cluster file
+   systems (Lustre/Panasas) that motivates the paper's homogeneity
+   assumption. N servers answer a client simultaneously at full blast;
+   the fan-in port congests instantly. Without congestion management the
+   buffer overflows and frames are lost — fatal for storage traffic.
+   BCN throttles the senders; PAUSE merely freezes them.
+
+   Run with:  dune exec examples/incast_fanin.exe *)
+
+open Numerics
+
+let run_incast ~label ~enable_bcn ~enable_pause ~buffer =
+  let p =
+    Fluid.Params.make ~n_flows:32 ~capacity:10e9 ~q0:2.5e6 ~buffer ~gi:4.
+      ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.01 p) with
+      (* every server starts at twice its fair share: aggregated 2x the
+         fan-in capacity *)
+      Simnet.Runner.initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
+      mode = Simnet.Source.Literal;
+      enable_bcn;
+      enable_pause;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  let qmax = snd (Series.argmax r.Simnet.Runner.queue) in
+  [
+    label;
+    string_of_int r.Simnet.Runner.drops;
+    Report.Table.si r.Simnet.Runner.dropped_bits;
+    Report.Table.si qmax;
+    string_of_int r.Simnet.Runner.pause_on_events;
+    Printf.sprintf "%.3f" r.Simnet.Runner.utilization;
+    Printf.sprintf "%.3f" (Simnet.Runner.fairness r.Simnet.Runner.final_rates);
+  ]
+
+let () =
+  Format.printf
+    "32-to-1 incast at 2x overload on a 10G fan-in port (10 ms run)@.@.";
+  let rows =
+    [
+      run_incast ~label:"no control, BDP buffer" ~enable_bcn:false
+        ~enable_pause:false ~buffer:5e6;
+      run_incast ~label:"PAUSE only, BDP buffer" ~enable_bcn:false
+        ~enable_pause:true ~buffer:5e6;
+      run_incast ~label:"BCN, BDP buffer" ~enable_bcn:true ~enable_pause:false
+        ~buffer:5e6;
+      run_incast ~label:"BCN + PAUSE, BDP buffer" ~enable_bcn:true
+        ~enable_pause:true ~buffer:5e6;
+      run_incast ~label:"BCN + PAUSE, Theorem-1 buffer" ~enable_bcn:true
+        ~enable_pause:true ~buffer:15e6;
+    ]
+  in
+  Report.Table.print
+    ~headers:
+      [ "configuration"; "drops"; "lost"; "max queue"; "PAUSEs"; "util"; "fairness" ]
+    ~rows;
+  Format.printf
+    "@.PAUSE alone avoids drops by freezing every server; BCN shapes the@.\
+     rates instead, and with the Theorem-1 buffer nothing is lost while@.\
+     the link stays busy.@."

@@ -1,0 +1,53 @@
+(* Quickstart: is my BCN deployment strongly stable, and if not, what
+   buffer does it need?
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* The draft-recommended gains on a 10 Gbit/s link with 50 flows and a
+     bandwidth-delay-product buffer — the paper's worked example. *)
+  let p = Fluid.Params.default in
+  Format.printf "Checking the draft parameters:@.%a@.@." Fluid.Params.pp p;
+
+  (* One call produces the full phase-plane report. *)
+  let report = Dcecc_core.Analysis.run p in
+  Format.printf "%a@.@." Dcecc_core.Analysis.pp report;
+
+  (* The verdict is negative: the queue overshoots the 5 Mbit buffer.
+     Theorem 1 tells us the buffer we actually need. *)
+  let needed = Fluid.Criterion.required_buffer p in
+  Format.printf "Theorem 1 requires B > %s bit; resizing and re-checking...@.@."
+    (Report.Table.si needed);
+
+  let fixed = Fluid.Params.with_buffer p (1.1 *. needed) in
+  let report' = Dcecc_core.Analysis.run fixed in
+  Format.printf "strongly stable after resizing: %b@."
+    report'.Dcecc_core.Analysis.stability.Fluid.Stability.strongly_stable;
+
+  (* Or let the design engine pick gains + reference for the BDP buffer. *)
+  (match Fluid.Design.recommend ~n_flows:50 ~capacity:10e9 ~buffer:5e6 () with
+  | Some c ->
+      Format.printf
+        "design engine: Gi = %g, Gd = %g, q0 = %s bit -> required %s bit, \
+         settling %s@."
+        c.Fluid.Design.params.Fluid.Params.gi
+        c.Fluid.Design.params.Fluid.Params.gd
+        (Report.Table.si c.Fluid.Design.params.Fluid.Params.q0)
+        (Report.Table.si c.Fluid.Design.required_buffer)
+        (match c.Fluid.Design.settling with
+        | Some t -> Printf.sprintf "%.2g s" t
+        | None -> "n/a")
+  | None -> Format.printf "design engine: no feasible configuration@.");
+
+  (* Alternatively, keep the BDP buffer and retune the gains. *)
+  let gi_ok = Fluid.Criterion.gi_max p in
+  let retuned = Fluid.Params.with_gains ~gi:(0.9 *. gi_ok) p in
+  let report'' = Dcecc_core.Analysis.run retuned in
+  Format.printf
+    "or keep B = %s bit with Gi <= %.3f: strongly stable = %b (max q = %s bit)@."
+    (Report.Table.si p.Fluid.Params.buffer)
+    gi_ok
+    report''.Dcecc_core.Analysis.stability.Fluid.Stability.strongly_stable
+    (Report.Table.si
+       (report''.Dcecc_core.Analysis.stability.Fluid.Stability.numeric_max
+        +. p.Fluid.Params.q0))

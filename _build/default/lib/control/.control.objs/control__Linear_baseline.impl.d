@@ -1,0 +1,1 @@
+lib/control/linear_baseline.ml: Format Lti2 Numerics Nyquist Poly Routh Tf

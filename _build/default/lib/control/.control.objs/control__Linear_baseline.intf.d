@@ -1,0 +1,1 @@
+lib/control/linear_baseline.mli: Format Lti2 Numerics Routh Tf

@@ -1,0 +1,1 @@
+lib/control/lti2.ml: Float Format Mat2 Numerics Option Poly

@@ -1,0 +1,1 @@
+lib/control/lti2.mli: Format Numerics

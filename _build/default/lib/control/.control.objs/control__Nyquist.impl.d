@@ -1,0 +1,1 @@
+lib/control/nyquist.ml: Array Float List Numerics Poly Tf

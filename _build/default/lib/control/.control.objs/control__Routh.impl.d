@@ -1,0 +1,1 @@
+lib/control/routh.ml: Array Format Numerics

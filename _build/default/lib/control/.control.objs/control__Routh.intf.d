@@ -1,0 +1,1 @@
+lib/control/routh.mli: Format Numerics

@@ -1,0 +1,1 @@
+lib/control/tf.ml: Array Format Numerics Poly Routh

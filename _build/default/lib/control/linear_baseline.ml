@@ -1,0 +1,59 @@
+open Numerics
+
+type loop_params = { a : float; b : float; k : float; c : float }
+type subsystem = Increase | Decrease
+
+let validate p =
+  if p.a <= 0. || p.b <= 0. || p.k <= 0. || p.c <= 0. then
+    invalid_arg "Linear_baseline: parameters must be positive"
+
+let stiffness p = function Increase -> p.a | Decrease -> p.b *. p.c
+
+let char_poly p sub =
+  let n = stiffness p sub in
+  Poly.make [| n; p.k *. n; 1. |]
+
+let open_loop p sub =
+  let n = stiffness p sub in
+  Tf.make [| n; n *. p.k |] [| 0.; 0.; 1. |]
+
+let second_order p sub =
+  let n = stiffness p sub in
+  Lti2.make ~m:(p.k *. n) ~n
+
+let routh_verdict p sub = Routh.analyze (char_poly p sub)
+let nyquist_stable p sub = Nyquist.closed_loop_stable (open_loop p sub)
+
+type report = {
+  increase : Routh.verdict;
+  decrease : Routh.verdict;
+  increase_nyquist : bool;
+  decrease_nyquist : bool;
+  claims_stable : bool;
+}
+
+let analyze p =
+  validate p;
+  let increase = routh_verdict p Increase in
+  let decrease = routh_verdict p Decrease in
+  let increase_nyquist = nyquist_stable p Increase in
+  let decrease_nyquist = nyquist_stable p Decrease in
+  let is_stable = function Routh.Stable -> true | Routh.Unstable _ | Routh.Marginal -> false in
+  {
+    increase;
+    decrease;
+    increase_nyquist;
+    decrease_nyquist;
+    claims_stable = is_stable increase && is_stable decrease;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>increase subsystem: %a (Nyquist: %s)@,\
+     decrease subsystem: %a (Nyquist: %s)@,\
+     baseline verdict: %s@]"
+    Routh.pp_verdict r.increase
+    (if r.increase_nyquist then "stable" else "unstable")
+    Routh.pp_verdict r.decrease
+    (if r.decrease_nyquist then "stable" else "unstable")
+    (if r.claims_stable then "STABLE (linear theory)" else "UNSTABLE")

@@ -1,0 +1,54 @@
+(** The linear stability analysis of the BCN loop in the style of the
+    paper's ref. [4] (Lu et al., Allerton 2006) — the baseline the paper
+    argues against.
+
+    The loop is split into two isolated LTI subsystems (rate increase /
+    rate decrease), each with characteristic equation
+    [l² + k·n·l + n = 0] where [n = a] for the increase subsystem and
+    [n = b·C] for the decrease subsystem (paper eqns (10)/(35), with the
+    [n1 = a·N] typo of (35) corrected to [n1 = a]; [a = Ru·Gi·N] already
+    contains the flow count). Each subsystem is checked with
+    Routh–Hurwitz and with the Nyquist criterion on the open loop
+    [L(s) = n·(k·s + 1) / s²]. Proposition 1 of the paper: for physically
+    meaningful (positive) parameters both subsystems are always stable —
+    so this baseline can never predict the overflow, underflow or limit
+    cycles that the phase-plane analysis exposes. *)
+
+type loop_params = {
+  a : float;  (** [Ru·Gi·N] — increase-gain aggregate *)
+  b : float;  (** [Gd] — decrease gain *)
+  k : float;  (** [w / (pm·C)] — switching-line slope parameter *)
+  c : float;  (** [C] — bottleneck capacity *)
+}
+
+type subsystem = Increase | Decrease
+
+val stiffness : loop_params -> subsystem -> float
+(** [n]: [a] for {!Increase}, [b·C] for {!Decrease}. *)
+
+val char_poly : loop_params -> subsystem -> Numerics.Poly.t
+(** [l² + k·n·l + n]. *)
+
+val open_loop : loop_params -> subsystem -> Tf.t
+(** [L(s) = n·(k·s + 1)/s²]; its unity-feedback closed loop has the
+    characteristic polynomial above. *)
+
+val second_order : loop_params -> subsystem -> Lti2.t
+(** The subsystem in standard second-order form. *)
+
+val routh_verdict : loop_params -> subsystem -> Routh.verdict
+val nyquist_stable : loop_params -> subsystem -> bool
+
+type report = {
+  increase : Routh.verdict;
+  decrease : Routh.verdict;
+  increase_nyquist : bool;
+  decrease_nyquist : bool;
+  claims_stable : bool;
+      (** the baseline's overall verdict: both subsystems stable *)
+}
+
+val analyze : loop_params -> report
+(** Raises [Invalid_argument] if any parameter is non-positive. *)
+
+val pp_report : Format.formatter -> report -> unit

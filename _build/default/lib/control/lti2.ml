@@ -1,0 +1,82 @@
+open Numerics
+
+type damping = Underdamped | Critically_damped | Overdamped
+
+type t = { m : float; n : float }
+
+let make ~m ~n =
+  if m <= 0. || n <= 0. then invalid_arg "Lti2.make: need m > 0 and n > 0";
+  { m; n }
+
+let natural_frequency s = sqrt s.n
+let damping_ratio s = s.m /. (2. *. sqrt s.n)
+let discriminant s = (s.m *. s.m) -. (4. *. s.n)
+
+let classify ?(eps = 1e-12) s =
+  let d = discriminant s in
+  let scale = Float.max 1. (Float.abs (4. *. s.n)) in
+  if Float.abs d <= eps *. scale then Critically_damped
+  else if d < 0. then Underdamped
+  else Overdamped
+
+let eigenvalues s =
+  match Poly.roots_quadratic [| s.n; s.m; 1. |] with
+  | Poly.Real l1, Poly.Real l2 -> Mat2.Real_pair (l1, l2)
+  | Poly.Complex { re; im }, _ | _, Poly.Complex { re; im } ->
+      Mat2.Complex_pair { re; im = Float.abs im }
+
+let companion s = Mat2.make 0. 1. (-.s.n) (-.s.m)
+
+let damped_frequency s =
+  match classify s with
+  | Underdamped ->
+      let z = damping_ratio s in
+      Some (natural_frequency s *. sqrt (1. -. (z *. z)))
+  | Critically_damped | Overdamped -> None
+
+let step_overshoot s =
+  match classify s with
+  | Underdamped ->
+      let z = damping_ratio s in
+      Some (exp (-.Float.pi *. z /. sqrt (1. -. (z *. z))))
+  | Critically_damped | Overdamped -> None
+
+let peak_time s = Option.map (fun wd -> Float.pi /. wd) (damped_frequency s)
+
+let settling_time_2pct s = 4. /. (damping_ratio s *. natural_frequency s)
+
+let solution s ~x0 ~v0 t =
+  match eigenvalues s with
+  | Mat2.Complex_pair { re = alpha; im = beta } ->
+      (* x = e^{alpha t}(c1 cos beta t + c2 sin beta t) *)
+      let c1 = x0 in
+      let c2 = (v0 -. (alpha *. x0)) /. beta in
+      let e = exp (alpha *. t) in
+      let cb = cos (beta *. t) and sb = sin (beta *. t) in
+      let x = e *. ((c1 *. cb) +. (c2 *. sb)) in
+      let x' =
+        e
+        *. ((alpha *. ((c1 *. cb) +. (c2 *. sb)))
+            +. (beta *. ((c2 *. cb) -. (c1 *. sb))))
+      in
+      (x, x')
+  | Mat2.Real_pair (l1, l2) ->
+      if Float.abs (l1 -. l2) <= 1e-12 *. Float.max 1. (Float.abs l1) then begin
+        (* repeated root: x = (a3 + a4 t) e^{l t} *)
+        let l = l1 in
+        let a3 = x0 in
+        let a4 = v0 -. (l *. x0) in
+        let e = exp (l *. t) in
+        ((a3 +. (a4 *. t)) *. e, (((a3 *. l) +. a4 +. (a4 *. l *. t)) *. e))
+      end
+      else begin
+        let a1 = ((l2 *. x0) -. v0) /. (l2 -. l1) in
+        let a2 = ((l1 *. x0) -. v0) /. (l1 -. l2) in
+        let e1 = exp (l1 *. t) and e2 = exp (l2 *. t) in
+        ((a1 *. e1) +. (a2 *. e2), (a1 *. l1 *. e1) +. (a2 *. l2 *. e2))
+      end
+
+let pp_damping ppf = function
+  | Underdamped -> Format.pp_print_string ppf "underdamped"
+  | Critically_damped -> Format.pp_print_string ppf "critically damped"
+  | Overdamped -> Format.pp_print_string ppf "overdamped"

@@ -1,0 +1,51 @@
+(** Second-order LTI systems in standard form.
+
+    Each BCN subsystem linearizes to [x'' + m·x' + n·x = 0] (paper eqn
+    (10)), i.e. natural frequency [wn = sqrt n] and damping ratio
+    [zeta = m / (2·sqrt n)]. The paper's case split on the discriminant
+    [m² − 4n] is exactly the damping classification below. *)
+
+type damping =
+  | Underdamped  (** [zeta < 1]: complex pair — spiral (paper Case 1) *)
+  | Critically_damped  (** [zeta = 1] — paper Case 5 boundary *)
+  | Overdamped  (** [zeta > 1]: two real roots — node (paper Cases 2–4) *)
+
+type t = private {
+  m : float;  (** damping coefficient, must be > 0 *)
+  n : float;  (** stiffness, must be > 0 *)
+}
+
+val make : m:float -> n:float -> t
+(** Raises [Invalid_argument] unless [m > 0] and [n > 0]. *)
+
+val natural_frequency : t -> float
+val damping_ratio : t -> float
+val discriminant : t -> float
+val classify : ?eps:float -> t -> damping
+
+val eigenvalues : t -> Numerics.Mat2.eigenvalues
+(** Roots of [l² + m·l + n = 0]. *)
+
+val companion : t -> Numerics.Mat2.t
+(** Companion matrix of the system in [(x, x')] coordinates. *)
+
+val damped_frequency : t -> float option
+(** [wd = wn·sqrt(1−zeta²)] when underdamped. *)
+
+val step_overshoot : t -> float option
+(** Fractional overshoot of the unit step response,
+    [exp(−pi·zeta/sqrt(1−zeta²))], when underdamped (else 0 overshoot,
+    reported as [None]). *)
+
+val peak_time : t -> float option
+(** [pi / wd] when underdamped. *)
+
+val settling_time_2pct : t -> float
+(** [4 / (zeta·wn)] — the standard 2%% settling-time estimate. *)
+
+val solution :
+  t -> x0:float -> v0:float -> float -> float * float
+(** Exact homogeneous solution [(x t, x' t)] from initial conditions,
+    valid in all three damping regimes. *)
+
+val pp_damping : Format.formatter -> damping -> unit

@@ -1,0 +1,119 @@
+open Numerics
+
+type curve = { ws : float array; res : float array; ims : float array }
+
+let log_grid w_min w_max n =
+  let l0 = log w_min and l1 = log w_max in
+  Array.init n (fun i ->
+      exp (l0 +. ((l1 -. l0) *. float_of_int i /. float_of_int (n - 1))))
+
+let locus ?(w_min = 1e-4) ?(w_max = 1e6) ?(n = 4000) h =
+  if w_min <= 0. || w_max <= w_min then invalid_arg "Nyquist.locus: bad range";
+  let ws = log_grid w_min w_max n in
+  let res = Array.make n 0. and ims = Array.make n 0. in
+  Array.iteri
+    (fun i w ->
+      let re, im = Tf.response h w in
+      res.(i) <- re;
+      ims.(i) <- im)
+    ws;
+  { ws; res; ims }
+
+(* Multiplicity of the pole at the origin = index of the lowest-order
+   non-zero denominator coefficient. *)
+let origin_pole_multiplicity h =
+  let den = Tf.den h in
+  let rec go i =
+    if i >= Array.length den then 0 else if den.(i) <> 0. then i else go (i + 1)
+  in
+  go 0
+
+let rhp_pole_count h =
+  Tf.poles h
+  |> List.filter (function
+       | Poly.Real r -> r > 1e-9
+       | Poly.Complex { re; _ } -> re > 1e-9)
+  |> List.length
+
+(* Unwrapped winding angle of L(j·w) + 1 along the full Nyquist contour:
+   w from −w_max to −w_min (conjugate symmetry), a clockwise arc of m·π for
+   the indentation around an origin pole of multiplicity m, then w from
+   w_min to w_max. The closure at infinity contributes nothing for (strictly)
+   proper L. *)
+let winding ?(w_min = 1e-4) ?(w_max = 1e6) ?(n = 4000) h =
+  let c = locus ~w_min ~w_max ~n h in
+  let len = Array.length c.ws in
+  let angle re im = atan2 im (re +. 1.) in
+  let unwrap prev a =
+    let two_pi = 2. *. Float.pi in
+    let d = Float.rem (a -. Float.rem prev two_pi) two_pi in
+    let d =
+      if d > Float.pi then d -. two_pi
+      else if d < -.Float.pi then d +. two_pi
+      else d
+    in
+    prev +. d
+  in
+  (* negative frequencies: w from −w_max up to −w_min, i.e. traverse the
+     conjugate locus from index n−1 down to 0 *)
+  let theta = ref (angle c.res.(len - 1) (-.c.ims.(len - 1))) in
+  let start = !theta in
+  for i = len - 2 downto 0 do
+    theta := unwrap !theta (angle c.res.(i) (-.c.ims.(i)))
+  done;
+  (* indentation around the origin poles: clockwise sweep of m·π *)
+  let m = origin_pole_multiplicity h in
+  theta := !theta -. (float_of_int m *. Float.pi);
+  (* re-anchor the next segment's first point to the current unwrapped
+     value: w from w_min to w_max *)
+  let first_pos = angle c.res.(0) c.ims.(0) in
+  theta := unwrap !theta first_pos;
+  for i = 1 to len - 1 do
+    theta := unwrap !theta (angle c.res.(i) c.ims.(i))
+  done;
+  (!theta -. start) /. (2. *. Float.pi)
+
+let encirclements ?w_min ?w_max ?n h =
+  let w = winding ?w_min ?w_max ?n h in
+  (* clockwise encirclements = −(counter-clockwise winding number) *)
+  -.w |> Float.round |> int_of_float
+
+let closed_loop_stable ?w_min ?w_max ?n h =
+  encirclements ?w_min ?w_max ?n h + rhp_pole_count h = 0
+
+let gain_margin h =
+  let c = locus h in
+  let n = Array.length c.ws in
+  let found = ref None in
+  (* phase-crossover: Im crosses 0 with Re < −eps (ignore near the origin
+     of the L-plane) *)
+  for i = 0 to n - 2 do
+    if !found = None then begin
+      let im0 = c.ims.(i) and im1 = c.ims.(i + 1) in
+      if im0 *. im1 <= 0. && im0 <> im1 && c.res.(i) < -1e-9 then begin
+        let s = im0 /. (im0 -. im1) in
+        let re = c.res.(i) +. (s *. (c.res.(i + 1) -. c.res.(i))) in
+        if re < 0. then found := Some (1. /. Float.abs re)
+      end
+    end
+  done;
+  !found
+
+let phase_margin h =
+  let c = locus h in
+  let n = Array.length c.ws in
+  let mag i = sqrt ((c.res.(i) *. c.res.(i)) +. (c.ims.(i) *. c.ims.(i))) in
+  let found = ref None in
+  for i = 0 to n - 2 do
+    if !found = None then begin
+      let m0 = mag i -. 1. and m1 = mag (i + 1) -. 1. in
+      if m0 *. m1 <= 0. && m0 <> m1 then begin
+        let s = m0 /. (m0 -. m1) in
+        let re = c.res.(i) +. (s *. (c.res.(i + 1) -. c.res.(i))) in
+        let im = c.ims.(i) +. (s *. (c.ims.(i + 1) -. c.ims.(i))) in
+        let phase_deg = atan2 im re *. 180. /. Float.pi in
+        found := Some (180. +. phase_deg)
+      end
+    end
+  done;
+  !found

@@ -1,0 +1,33 @@
+(** Nyquist analysis of an open-loop transfer function.
+
+    The baseline analysis of the paper's ref. [4] derives subsystem
+    stability conditions with the Nyquist criterion; we implement the
+    criterion operationally: sample [L(j·w)], accumulate the winding angle
+    of [L(j·w) + 1] over the full imaginary axis (using conjugate symmetry
+    for negative frequencies), and compare encirclements of [-1] against
+    the number of open-loop right-half-plane poles. *)
+
+type curve = { ws : float array; res : float array; ims : float array }
+(** Sampled Nyquist locus for [w > 0]. *)
+
+val locus : ?w_min:float -> ?w_max:float -> ?n:int -> Tf.t -> curve
+(** Logarithmically spaced samples of [L(j·w)], defaults
+    [w_min=1e-4], [w_max=1e6], [n=4000]. *)
+
+val encirclements : ?w_min:float -> ?w_max:float -> ?n:int -> Tf.t -> int
+(** Net clockwise encirclements [N] of the point [-1] by the full locus
+    (positive = clockwise). Open-loop imaginary-axis poles (e.g. the
+    double integrator in the BCN loop) are handled by the usual
+    small-semicircle indentation, approximated by starting at [w_min]. *)
+
+val closed_loop_stable : ?w_min:float -> ?w_max:float -> ?n:int -> Tf.t -> bool
+(** Nyquist criterion: [Z = N + P = 0] where [P] is the number of
+    open-loop RHP poles and [N] the clockwise encirclements of [-1]. *)
+
+val gain_margin : Tf.t -> float option
+(** Gain margin [1/|L(j·w_pc)|] at the phase-crossover frequency
+    (phase = −180°), if one exists in the scanned range. *)
+
+val phase_margin : Tf.t -> float option
+(** Phase margin in degrees at the gain-crossover frequency
+    ([|L| = 1]), if one exists in the scanned range. *)

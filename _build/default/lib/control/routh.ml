@@ -1,0 +1,59 @@
+type verdict = Stable | Unstable of int | Marginal
+
+let table p =
+  let n = Numerics.Poly.degree p in
+  if n < 1 then invalid_arg "Routh.table: degree < 1";
+  if p.(n) = 0. then invalid_arg "Routh.table: zero leading coefficient";
+  let width = (n / 2) + 1 in
+  let rows = n + 1 in
+  let t = Array.make_matrix rows width 0. in
+  (* first two rows from the coefficients, highest degree first *)
+  for j = 0 to width - 1 do
+    let idx = n - (2 * j) in
+    if idx >= 0 then t.(0).(j) <- p.(idx);
+    let idx' = n - 1 - (2 * j) in
+    if idx' >= 0 then t.(1).(j) <- p.(idx')
+  done;
+  for i = 2 to rows - 1 do
+    let pivot =
+      (* epsilon substitution when a first-column zero appears but the row
+         is not entirely zero *)
+      if t.(i - 1).(0) = 0. then 1e-12 else t.(i - 1).(0)
+    in
+    for j = 0 to width - 2 do
+      t.(i).(j) <-
+        ((pivot *. t.(i - 2).(j + 1)) -. (t.(i - 2).(0) *. t.(i - 1).(j + 1)))
+        /. pivot
+    done
+  done;
+  t
+
+let analyze p =
+  let n = Numerics.Poly.degree p in
+  if n = 1 then begin
+    (* s + c0/c1 = 0 *)
+    let r = -.p.(0) /. p.(1) in
+    if r < 0. then Stable else if r > 0. then Unstable 1 else Marginal
+  end
+  else begin
+    let t = table p in
+    let col = Array.map (fun row -> row.(0)) t in
+    if Array.exists (fun v -> v = 0.) col then Marginal
+    else begin
+      let sign_changes = ref 0 in
+      for i = 0 to Array.length col - 2 do
+        if col.(i) *. col.(i + 1) < 0. then incr sign_changes
+      done;
+      if !sign_changes = 0 then Stable else Unstable !sign_changes
+    end
+  end
+
+let is_stable p = match analyze p with Stable -> true | Unstable _ | Marginal -> false
+
+let second_order c0 c1 = c0 > 0. && c1 > 0.
+let third_order c0 c1 c2 = c0 > 0. && c1 > 0. && c2 > 0. && c1 *. c2 > c0
+
+let pp_verdict ppf = function
+  | Stable -> Format.pp_print_string ppf "stable"
+  | Unstable k -> Format.fprintf ppf "unstable (%d RHP roots)" k
+  | Marginal -> Format.pp_print_string ppf "marginal"

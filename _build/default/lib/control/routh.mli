@@ -1,0 +1,33 @@
+(** Routh–Hurwitz stability criterion.
+
+    The paper's Proposition 1 applies this criterion to the characteristic
+    equations (10)/(35) of the two BCN subsystems; this module implements
+    the full Routh table for polynomials of any degree, plus the low-order
+    closed forms used in the proofs. *)
+
+type verdict =
+  | Stable  (** all roots in the open left half-plane *)
+  | Unstable of int  (** number of right-half-plane roots (sign changes) *)
+  | Marginal  (** a zero appeared in the first column (imaginary-axis roots
+                  or the epsilon method was needed) *)
+
+(** [table p] — the Routh array for polynomial [p] (coefficients in
+    ascending-degree order, as in {!Numerics.Poly}). Rows are ordered from
+    the [s^n] row down to [s^0]. Raises [Invalid_argument] for degree < 1
+    or a zero leading coefficient. *)
+val table : Numerics.Poly.t -> float array array
+
+(** [analyze p] — verdict from the first column of the Routh table. *)
+val analyze : Numerics.Poly.t -> verdict
+
+val is_stable : Numerics.Poly.t -> bool
+
+(** [second_order c0 c1] — stability of [s² + c1·s + c0]: both coefficients
+    strictly positive. This is the check behind Proposition 1. *)
+val second_order : float -> float -> bool
+
+(** [third_order c0 c1 c2] — stability of [s³ + c2·s² + c1·s + c0]:
+    all positive and [c1·c2 > c0]. *)
+val third_order : float -> float -> float -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,46 @@
+open Numerics
+
+type t = { num : Poly.t; den : Poly.t }
+
+let make num den =
+  let num = Poly.make num and den = Poly.make den in
+  if Poly.degree den = 0 && den.(0) = 0. then
+    invalid_arg "Tf.make: zero denominator";
+  { num; den }
+
+let num h = h.num
+let den h = h.den
+let gain g = make [| g |] [| 1. |]
+let integrator = make [| 1. |] [| 0.; 1. |]
+let mul a b = make (Poly.mul a.num b.num) (Poly.mul a.den b.den)
+
+let add a b =
+  make
+    (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
+    (Poly.mul a.den b.den)
+
+let scale s h = make (Poly.scale s h.num) h.den
+let feedback l = make l.num (Poly.add l.den l.num)
+let poles h = Poly.roots h.den
+let zeros h = if Poly.degree h.num >= 1 then Poly.roots h.num else []
+
+let response h w =
+  let s = (0., w) in
+  let nr, ni = Poly.eval_complex h.num s in
+  let dr, di = Poly.eval_complex h.den s in
+  let d2 = (dr *. dr) +. (di *. di) in
+  (((nr *. dr) +. (ni *. di)) /. d2, ((ni *. dr) -. (nr *. di)) /. d2)
+
+let magnitude h w =
+  let re, im = response h w in
+  sqrt ((re *. re) +. (im *. im))
+
+let phase h w =
+  let re, im = response h w in
+  atan2 im re
+
+let is_stable h = Routh.is_stable h.den
+
+let char_poly_closed_loop l = Poly.add l.den l.num
+
+let pp ppf h = Format.fprintf ppf "(%a) / (%a)" Poly.pp h.num Poly.pp h.den

@@ -1,0 +1,46 @@
+(** Rational transfer functions [H(s) = num(s) / den(s)].
+
+    Supports the frequency-domain view of the BCN loop used by the
+    linear-analysis baseline (ref. [4] of the paper): the open-loop
+    transfer of each subsystem is [L(s) = g·(k·s + 1)/s²]. *)
+
+type t = private { num : Numerics.Poly.t; den : Numerics.Poly.t }
+
+(** [make num den] — raises [Invalid_argument] if [den] is the zero
+    polynomial. *)
+val make : Numerics.Poly.t -> Numerics.Poly.t -> t
+
+val num : t -> Numerics.Poly.t
+val den : t -> Numerics.Poly.t
+
+val gain : float -> t
+(** Constant transfer function. *)
+
+val integrator : t
+(** [1/s]. *)
+
+val mul : t -> t -> t
+val add : t -> t -> t
+val scale : float -> t -> t
+
+val feedback : t -> t
+(** Unity negative feedback: [L/(1+L)]. *)
+
+val poles : t -> Numerics.Poly.root list
+val zeros : t -> Numerics.Poly.root list
+
+val response : t -> float -> float * float
+(** [response h w] — the complex value [H(j·w)] as [(re, im)]. *)
+
+val magnitude : t -> float -> float
+val phase : t -> float -> float
+(** Phase in radians, from [atan2]. *)
+
+val is_stable : t -> bool
+(** All poles strictly in the left half-plane (Routh on the denominator). *)
+
+val char_poly_closed_loop : t -> Numerics.Poly.t
+(** [num + den] — the closed-loop characteristic polynomial under unity
+    negative feedback. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Control Float Fluid Format Numerics Ode Phaseplane Printf Report Vec2

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Array Control Float Fluid List Numerics Series Simnet Stats

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Analysis Array Buffer Compare Filename Float Fluid List Mat2 Numerics Ode Phaseplane Printf Random Report Series Simnet Stats Stdlib Sys Vec2

@@ -1,0 +1,151 @@
+open Numerics
+
+type limit_cycle_probe =
+  | Not_probed
+  | Probe of Phaseplane.Limit_cycle.verdict
+
+type t = {
+  params : Fluid.Params.t;
+  case : Fluid.Cases.case;
+  increase_kind : Phaseplane.Singular.kind;
+  decrease_kind : Phaseplane.Singular.kind;
+  increase_eigen : string;
+  decrease_eigen : string;
+  baseline : Control.Linear_baseline.report;
+  stability : Fluid.Stability.verdict;
+  criterion_ok : bool;
+  required_buffer : float;
+  recommended_buffer : float;
+  warmup : float option;
+  limit_cycle : limit_cycle_probe;
+}
+
+let switching_section p =
+  let k = Fluid.Params.k p in
+  (* guard n·p with n = (1, k): crossing Up enters x + k·y > 0, the
+     rate-decrease region *)
+  Phaseplane.Poincare.line_section ~dir:Ode.Up ~normal:(Vec2.make 1. k) ()
+
+let probe_limit_cycle ?(max_iters = 200) p =
+  let sys = Fluid.Model.normalized_system p in
+  let sec = switching_section p in
+  let horizon =
+    40.
+    *. Float.max
+         (2. *. Float.pi
+          /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Increase))
+         (2. *. Float.pi
+          /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Decrease))
+  in
+  (* seed: the first crossing of the canonical trajectory into the
+     decrease region *)
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:horizon sys
+      (Fluid.Model.start_point p)
+  in
+  match tr.Phaseplane.Trajectory.switch_crossings with
+  | [] -> Phaseplane.Limit_cycle.Inconclusive "no switching-line crossing"
+  | { Phaseplane.Trajectory.cp; _ } :: _ ->
+      let s0 = sec.Phaseplane.Poincare.coord_of cp in
+      Phaseplane.Limit_cycle.detect ~t_max:horizon ~max_iters sys sec ~s0
+
+(* alias kept visible inside [run], where the optional argument shadows
+   the function name *)
+let lc_probe = probe_limit_cycle
+
+let run ?(probe_limit_cycle = false) ?t_max p =
+  let case = Fluid.Cases.classify p in
+  let jac = Fluid.Linearized.jacobian in
+  let increase_kind =
+    Phaseplane.Singular.classify (jac p Fluid.Linearized.Increase)
+  in
+  let decrease_kind =
+    Phaseplane.Singular.classify (jac p Fluid.Linearized.Decrease)
+  in
+  let increase_eigen =
+    Phaseplane.Singular.eigen_summary (jac p Fluid.Linearized.Increase)
+  in
+  let decrease_eigen =
+    Phaseplane.Singular.eigen_summary (jac p Fluid.Linearized.Decrease)
+  in
+  let baseline = Control.Linear_baseline.analyze (Fluid.Params.loop_params p) in
+  let stability = Fluid.Stability.analyze ?t_max p in
+  let limit_cycle =
+    if probe_limit_cycle then Probe (lc_probe p) else Not_probed
+  in
+  {
+    params = p;
+    case;
+    increase_kind;
+    decrease_kind;
+    increase_eigen;
+    decrease_eigen;
+    baseline;
+    stability;
+    criterion_ok = Fluid.Criterion.satisfied p;
+    required_buffer = Fluid.Criterion.required_buffer p;
+    recommended_buffer = Fluid.Criterion.buffer_for p;
+    warmup =
+      (let n_mu = float_of_int p.Fluid.Params.n_flows *. p.Fluid.Params.mu in
+       if n_mu >= p.Fluid.Params.capacity then None
+       else Some (Fluid.Model.warmup_duration p));
+    limit_cycle;
+  }
+
+let pp ppf r =
+  let p = r.params in
+  Format.fprintf ppf
+    "@[<v>=== BCN phase-plane stability report ===@,\
+     %a@,@,\
+     classification: %a@,\
+     %s@,\
+     increase region: %s@,\
+     decrease region: %s@,@,\
+     --- linear baseline (ref. [4] / Proposition 1) ---@,%a@,@,\
+     --- strong stability (Definition 1) ---@,%a@,@,\
+     --- Theorem 1 ---@,\
+     required buffer (1+sqrt(a/bC))q0 = %sbit; actual B = %sbit@,\
+     criterion satisfied: %b@,\
+     recommended buffer (10%% headroom) = %sbit@,\
+     %a\
+     %a@]"
+    Fluid.Params.pp p Fluid.Cases.pp_case r.case
+    (Fluid.Cases.describe r.case)
+    r.increase_eigen r.decrease_eigen Control.Linear_baseline.pp_report
+    r.baseline Fluid.Stability.pp_verdict r.stability
+    (Report.Table.si r.required_buffer)
+    (Report.Table.si p.Fluid.Params.buffer)
+    r.criterion_ok
+    (Report.Table.si r.recommended_buffer)
+    (fun ppf -> function
+      | Some t0 -> Format.fprintf ppf "warm-up T0 = %g s@," t0
+      | None -> ())
+    r.warmup
+    (fun ppf -> function
+      | Not_probed -> ()
+      | Probe v ->
+          Format.fprintf ppf "limit-cycle probe: %s@,"
+            (match v with
+            | Phaseplane.Limit_cycle.Converges_to_origin ->
+                "converges to the equilibrium (no cycle)"
+            | Phaseplane.Limit_cycle.Cycle { s_star; period; multiplier; _ } ->
+                Printf.sprintf
+                  "LIMIT CYCLE at section coordinate %g (period %g s%s)"
+                  s_star period
+                  (match multiplier with
+                  | Some m -> Printf.sprintf ", multiplier %.4f" m
+                  | None -> "")
+            | Phaseplane.Limit_cycle.Diverges -> "diverges"
+            | Phaseplane.Limit_cycle.Contracting { ratio; s_last } ->
+                Printf.sprintf
+                  "slow convergence, no cycle (contraction %.6f per return, \
+                   amplitude still %g)"
+                  ratio s_last
+            | Phaseplane.Limit_cycle.Expanding { ratio; s_last } ->
+                Printf.sprintf
+                  "amplitudes growing (%.6f per return, at %g) - unstable"
+                  ratio s_last
+            | Phaseplane.Limit_cycle.Inconclusive msg -> "inconclusive: " ^ msg))
+    r.limit_cycle
+
+let to_string r = Format.asprintf "%a" pp r

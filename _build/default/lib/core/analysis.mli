@@ -1,0 +1,46 @@
+(** The paper's contribution as a single engine: give it a BCN parameter
+    set and it produces the complete phase-plane stability report —
+    case classification, subsystem spectra, the linear-theory baseline
+    verdict (ref. [4] style), the strong-stability verdicts (semi-analytic
+    Propositions 2–4 and nonlinear-numeric), the Theorem-1 criterion with
+    buffer engineering, and an optional limit-cycle probe. *)
+
+type limit_cycle_probe =
+  | Not_probed
+  | Probe of Phaseplane.Limit_cycle.verdict
+
+type t = {
+  params : Fluid.Params.t;
+  case : Fluid.Cases.case;
+  increase_kind : Phaseplane.Singular.kind;
+  decrease_kind : Phaseplane.Singular.kind;
+  increase_eigen : string;  (** human-readable eigenvalue summary *)
+  decrease_eigen : string;
+  baseline : Control.Linear_baseline.report;
+      (** the paper's Proposition-1 baseline: always "stable" *)
+  stability : Fluid.Stability.verdict;
+  criterion_ok : bool;  (** Theorem 1 *)
+  required_buffer : float;
+  recommended_buffer : float;  (** Theorem 1 with 10%% headroom *)
+  warmup : float option;  (** T0, when the sources start below capacity *)
+  limit_cycle : limit_cycle_probe;
+}
+
+val run : ?probe_limit_cycle:bool -> ?t_max:float -> Fluid.Params.t -> t
+(** [probe_limit_cycle] (default false) iterates the Poincaré return map
+    of the nonlinear system on the switching line, which costs a few
+    hundred trajectory integrations. *)
+
+val probe_limit_cycle : ?max_iters:int -> Fluid.Params.t ->
+  Phaseplane.Limit_cycle.verdict
+(** The Poincaré probe on its own: section = the switching line
+    [x + k·y = 0], crossings into the rate-decrease region; the seed is
+    the first crossing of the canonical trajectory from [(−q0, 0)]. *)
+
+val switching_section : Fluid.Params.t -> Phaseplane.Poincare.section
+(** The section used by the probe (exposed for experiments). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line report. *)
+
+val to_string : t -> string

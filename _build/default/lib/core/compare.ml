@@ -1,0 +1,96 @@
+open Numerics
+
+type fluid_vs_packet = {
+  packet_queue : Series.t;
+  fluid_queue : Series.t;
+  rmse : float;
+  rmse_rel_q0 : float;
+  corr : float;
+  packet_mean_tail : float;
+  fluid_mean_tail : float;
+  packet_drops : int;
+  utilization : float;
+}
+
+let validation_params =
+  Fluid.Params.make ~n_flows:10 ~capacity:1e9 ~q0:2e6 ~buffer:1.5e7 ~gi:1.0
+    ~gd:(1. /. 64.) ~ru:1e5 ~w:2. ~pm:0.2 ~mu:5e6 ()
+
+let fluid_vs_packet ?t_end ?(h_fluid = 1e-5) p =
+  let slower_period =
+    Float.max
+      (2. *. Float.pi /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Increase))
+      (2. *. Float.pi /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Decrease))
+  in
+  let t_end =
+    match t_end with Some t -> t | None -> 40. *. slower_period
+  in
+  let mu = Float.max p.Fluid.Params.mu (0.05 *. Fluid.Params.equilibrium_rate p) in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end ~sample_dt:(t_end /. 2000.) p) with
+      Simnet.Runner.broadcast_feedback = true;
+      sampling = Simnet.Switch.Timer (Simnet.Switch.fluid_sampling_period p);
+      mode = Simnet.Source.Zoh_fluid;
+      initial_rate = mu;
+      enable_pause = false;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  let ph = Fluid.Model.simulate_physical ~h:h_fluid ~r_init:mu ~t_end p in
+  let qs = Series.resample r.Simnet.Runner.queue 1000 in
+  let qf = Array.map (fun t -> Series.at ph.Fluid.Model.q t) qs.Series.ts in
+  let tail s = Series.time_average (Series.tail_from s (t_end /. 2.)) in
+  {
+    packet_queue = r.Simnet.Runner.queue;
+    fluid_queue = ph.Fluid.Model.q;
+    rmse = Stats.rmse qs.Series.vs qf;
+    rmse_rel_q0 = Stats.rmse qs.Series.vs qf /. p.Fluid.Params.q0;
+    corr = Stats.corr qs.Series.vs qf;
+    packet_mean_tail = tail r.Simnet.Runner.queue;
+    fluid_mean_tail = tail ph.Fluid.Model.q;
+    packet_drops = r.Simnet.Runner.drops;
+    utilization = r.Simnet.Runner.utilization;
+  }
+
+type linear_vs_strong_row = {
+  label : string;
+  params : Fluid.Params.t;
+  linear_stable : bool;
+  theorem1 : bool;
+  numeric_strongly_stable : bool;
+  numeric_max_q : float;
+}
+
+let linear_vs_strong sets =
+  List.map
+    (fun (label, p) ->
+      let baseline =
+        Control.Linear_baseline.analyze (Fluid.Params.loop_params p)
+      in
+      let v = Fluid.Stability.analyze p in
+      {
+        label;
+        params = p;
+        linear_stable = baseline.Control.Linear_baseline.claims_stable;
+        theorem1 = Fluid.Criterion.satisfied p;
+        numeric_strongly_stable = v.Fluid.Stability.strongly_stable;
+        numeric_max_q = v.Fluid.Stability.numeric_max +. p.Fluid.Params.q0;
+      })
+    sets
+
+let default_sweep =
+  let base = Fluid.Params.default in
+  let req = Fluid.Criterion.required_buffer base in
+  [
+    ("B = 0.5x required", Fluid.Params.with_buffer base (0.5 *. req));
+    ("B = BDP (paper)", base);
+    ("B = 1.0x required", Fluid.Params.with_buffer base (1.0001 *. req));
+    ("B = 1.5x required", Fluid.Params.with_buffer base (1.5 *. req));
+    ("B = 2.0x required", Fluid.Params.with_buffer base (2.0 *. req));
+    ( "Gi/4 (gentler increase)",
+      Fluid.Params.with_gains ~gi:1. (Fluid.Params.with_buffer base 10e6) );
+    ( "Gd x4 (stronger decrease)",
+      Fluid.Params.with_gains ~gd:(1. /. 32.) (Fluid.Params.with_buffer base 10e6)
+    );
+  ]

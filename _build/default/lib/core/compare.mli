@@ -1,0 +1,47 @@
+(** Cross-validation experiments: fluid model vs packet-level simulation
+    (V1) and linear-theory verdicts vs strong stability (V2). *)
+
+type fluid_vs_packet = {
+  packet_queue : Numerics.Series.t;
+  fluid_queue : Numerics.Series.t;
+  rmse : float;  (** over the common horizon, bits *)
+  rmse_rel_q0 : float;  (** rmse / q0 *)
+  corr : float;
+  packet_mean_tail : float;  (** mean queue over the second half, bits *)
+  fluid_mean_tail : float;
+  packet_drops : int;
+  utilization : float;
+}
+
+val fluid_vs_packet :
+  ?t_end:float -> ?h_fluid:float -> Fluid.Params.t -> fluid_vs_packet
+(** Runs the packet simulator in its fluid-faithful configuration
+    (timer sampling at the eqn-(5) period, broadcast feedback, zero-order
+    -hold reaction points, PAUSE disabled) and the clamped physical fluid
+    model from the same initial state, then compares the queue traces.
+    Default [t_end]: 40 periods of the slower subsystem;
+    [h_fluid = 1e-5] s. *)
+
+val validation_params : Fluid.Params.t
+(** A Case-1 parameter set sized so the fluid approximation's premises
+    hold at packet granularity (q0 = 167 frames, sampling interval well
+    below the oscillation periods) — used by experiment V1 and the
+    integration tests. *)
+
+type linear_vs_strong_row = {
+  label : string;
+  params : Fluid.Params.t;
+  linear_stable : bool;  (** the ref-[4] baseline's verdict *)
+  theorem1 : bool;
+  numeric_strongly_stable : bool;
+  numeric_max_q : float;  (** peak queue, bits *)
+}
+
+val linear_vs_strong : (string * Fluid.Params.t) list -> linear_vs_strong_row list
+(** Evaluate the three verdicts on each parameter set. The paper's point:
+    the first column is constantly "stable" while the others expose
+    overflow. *)
+
+val default_sweep : (string * Fluid.Params.t) list
+(** The worked example with buffers from 0.5x to 2x the Theorem-1
+    requirement, plus gain variations. *)

@@ -1,0 +1,1343 @@
+open Numerics
+
+(* ------------------------------------------------------------------ *)
+(* Output helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_dir dir =
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  mk dir
+
+let csv_path out name =
+  match out with
+  | None -> None
+  | Some dir ->
+      ensure_dir dir;
+      Some (Filename.concat dir name)
+
+let write_traj_csv out name (points : (float * Vec2.t) array) =
+  match csv_path out name with
+  | None -> ()
+  | Some path ->
+      let ts = Array.map fst points in
+      let xs = Array.map (fun (_, p) -> p.Vec2.x) points in
+      let ys = Array.map (fun (_, p) -> p.Vec2.y) points in
+      Report.Csv.write_columns ~path ~header:[ "t"; "x"; "y" ]
+        ~cols:[ ts; xs; ys ]
+
+let phase_curves curves = Report.Ascii_plot.render ~width:68 ~height:22 curves
+
+let buf_add = Buffer.add_string
+
+(* ------------------------------------------------------------------ *)
+(* Shared parameter sets                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default = Fluid.Params.default
+
+(* Node regimes need a steep switching line; reached here by raising the
+   weight w (k = w/(pm·C) grows with w). See EXPERIMENTS.md. *)
+let case2_params = Fluid.Params.with_sampling ~w:8000. default
+
+let case3_params =
+  Fluid.Params.with_gains ~gd:1. (Fluid.Params.with_sampling ~w:3000. default)
+
+let case4_params = Fluid.Params.with_sampling ~w:30000. default
+
+let big_buffer p = Fluid.Params.with_buffer p (2. *. Fluid.Criterion.required_buffer p)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 — taxonomy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let genuine_limit_cycle_system () =
+  (* Variable-structure system with an unstable focus in the increase
+     region and a BCN-style nonlinear damping in the decrease region:
+     amplitude-independent growth vs amplitude-strengthening contraction
+     intersect in an isolated, orbitally stable limit cycle. *)
+  let k = 0.1 in
+  let cap = 10. in
+  let b = 2. in
+  let n1 = 25. and m1 = 4. in
+  let sigma (p : Vec2.t) = -.(p.Vec2.x +. (k *. p.Vec2.y)) in
+  let sys =
+    Phaseplane.System.Switched
+      {
+        sigma;
+        pos =
+          (fun p -> Vec2.make p.Vec2.y ((-.n1 *. p.Vec2.x) +. (m1 *. p.Vec2.y)));
+        neg =
+          (fun p ->
+            Vec2.make p.Vec2.y
+              (-.b
+               *. (p.Vec2.y +. cap)
+               *. (p.Vec2.x +. (k *. p.Vec2.y))));
+      }
+  in
+  (sys, 2.0)
+
+let fig3_taxonomy ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "Fig. 3 -- taxonomy of phase trajectories (one concrete system per \
+     class)\n\n";
+  let rows = ref [] in
+  let add label verdict = rows := [ label; verdict ] :: !rows in
+  (* l1: diverging spiral (unstable focus) *)
+  let j_unstable_focus = Mat2.make 0. 1. (-25.) 2. in
+  add "(1) diverging spiral"
+    (Phaseplane.Singular.eigen_summary j_unstable_focus);
+  (* l2: diverging node *)
+  let j_unstable_node = Mat2.make 0. 1. (-25.) 11. in
+  add "(2) diverging node" (Phaseplane.Singular.eigen_summary j_unstable_node);
+  (* l3: overflow — the draft parameters with the BDP buffer *)
+  let v3 = Fluid.Stability.analyze default in
+  add "(3) buffer overflow (BDP buffer)"
+    (Printf.sprintf "max q = %s > B = %s -> drops"
+       (Report.Table.si (v3.Fluid.Stability.numeric_max +. default.Fluid.Params.q0))
+       (Report.Table.si default.Fluid.Params.buffer));
+  (* l4: underflow. From the canonical start (-q0, 0) the Theorem-1 proof
+     guarantees min1 x > -q0 (checked by the property tests), so the
+     paper's curve (4) needs a different launch: a queue far above the
+     reference whose correction transient swings below empty. Shown in
+     generic units (q0 = 2.5, focus with beta ~ 4.9) from (2.4, -25). *)
+  let generic_focus = Phaseplane.System.linear (Mat2.make 0. 1. (-25.) (-2.)) in
+  let tr4 =
+    Phaseplane.Trajectory.integrate ~t_max:5. generic_focus (Vec2.make 2.4 (-25.))
+  in
+  add "(4) queue underflow (start far above q0)"
+    (Printf.sprintf
+       "min x = %.2f < -q0 = -2.5 -> empty queue (note: impossible from \
+        (-q0,0): the proof gives min1 > -q0)"
+       (Phaseplane.Trajectory.x_min tr4));
+  (* l5+l7: limit cycle in a variable-structure system *)
+  let lc_sys, s0 = genuine_limit_cycle_system () in
+  let sec =
+    Phaseplane.Poincare.line_section ~dir:Ode.Up ~normal:(Vec2.make 1. 0.1) ()
+  in
+  let lc = Phaseplane.Limit_cycle.detect ~max_iters:400 lc_sys sec ~s0 in
+  add "(5)+(7) limit cycle"
+    (match lc with
+    | Phaseplane.Limit_cycle.Cycle { s_star; period; multiplier; _ } ->
+        Printf.sprintf "cycle at s* = %.4f, period %.4f%s" s_star period
+          (match multiplier with
+          | Some m -> Printf.sprintf ", multiplier %.3f" m
+          | None -> "")
+    | Phaseplane.Limit_cycle.Converges_to_origin -> "no cycle (converges)"
+    | Phaseplane.Limit_cycle.Diverges -> "diverges"
+    | Phaseplane.Limit_cycle.Contracting _ -> "contracting"
+    | Phaseplane.Limit_cycle.Expanding _ -> "expanding"
+    | Phaseplane.Limit_cycle.Inconclusive m -> "inconclusive: " ^ m);
+  (* l6/l8/l9: strongly stable — Theorem-1-sized buffer *)
+  let p6 = big_buffer default in
+  let v6 = Fluid.Stability.analyze p6 in
+  add "(6)(8)(9) strongly stable (B = 2x required)"
+    (Printf.sprintf "max q = %s < B = %s; strongly stable = %b"
+       (Report.Table.si (v6.Fluid.Stability.numeric_max +. p6.Fluid.Params.q0))
+       (Report.Table.si p6.Fluid.Params.buffer)
+       v6.Fluid.Stability.strongly_stable);
+  buf_add buf
+    (Report.Table.render ~headers:[ "trajectory class"; "library verdict" ]
+       ~rows:(List.rev !rows));
+  (* sample the strongly stable trajectory for the phase sketch *)
+  let sys = Fluid.Model.normalized_system p6 in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:0.004 sys (Fluid.Model.start_point p6)
+  in
+  write_traj_csv out "fig3_stable_trajectory.csv" (Phaseplane.Trajectory.points tr);
+  let pts =
+    Array.to_list (Phaseplane.Trajectory.points tr)
+    |> List.map (fun (_, p) -> (p.Vec2.x /. 1e6, p.Vec2.y /. 1e9))
+  in
+  buf_add buf "\nPhase sketch of the strongly stable trajectory (class 6):\n";
+  buf_add buf
+    (phase_curves
+       [ Report.Ascii_plot.curve "x (Mbit) vs y (Gbit/s)" pts ]);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4 — spiral                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_spiral ?out () =
+  let buf = Buffer.create 4096 in
+  let p = default in
+  let c = Fluid.Spiral.of_region p Fluid.Linearized.Increase in
+  buf_add buf
+    (Printf.sprintf
+       "Fig. 4 -- logarithmic-spiral trajectories (m^2 - 4n < 0)\n\
+        increase-region linearization of the draft parameters: alpha = %g, \
+        beta = %g\n\n"
+       c.Fluid.Spiral.alpha c.Fluid.Spiral.beta);
+  let q0 = p.Fluid.Params.q0 in
+  let inits = [ (-.q0, 5e8); (0.6 *. q0, -4e8) ] in
+  let period = Fluid.Spiral.period c in
+  let rows = ref [] in
+  let curves =
+    List.mapi
+      (fun i (x0, y0) ->
+        let n_pts = 600 in
+        let pts =
+          List.init n_pts (fun j ->
+              let t = 1.5 *. period *. float_of_int j /. float_of_int (n_pts - 1) in
+              let x, y = Fluid.Spiral.solution c ~x0 ~y0 t in
+              (t, x, y))
+        in
+        (match csv_path out (Printf.sprintf "fig4_spiral_%d.csv" (i + 1)) with
+        | Some path ->
+            Report.Csv.write_floats ~path ~header:[ "t"; "x"; "y" ]
+              (List.map (fun (t, x, y) -> [ t; x; y ]) pts)
+        | None -> ());
+        (* closed-form extremum vs the sampled extremum *)
+        let analytic = Fluid.Spiral.extremum c ~x0 ~y0 in
+        let paper = Fluid.Spiral.extremum_paper c ~x0 ~y0 in
+        let sampled =
+          List.fold_left
+            (fun acc (_, x, _) ->
+              if y0 >= 0. then Float.max acc x else Float.min acc x)
+            (if y0 >= 0. then neg_infinity else infinity)
+            pts
+        in
+        rows :=
+          [
+            Printf.sprintf "(%s, %s)" (Report.Table.si x0) (Report.Table.si y0);
+            (if y0 >= 0. then "max_s" else "min_s");
+            Report.Table.si analytic;
+            Report.Table.si paper;
+            Report.Table.si sampled;
+          ]
+          :: !rows;
+        Report.Ascii_plot.curve
+          (Printf.sprintf "from (%s, %s)" (Report.Table.si x0)
+             (Report.Table.si y0))
+          (List.map (fun (_, x, y) -> (x /. 1e6, y /. 1e9)) pts))
+      inits
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:
+         [ "initial point"; "extremum"; "closed form"; "paper (19)/(20)"; "sampled" ]
+       ~rows:(List.rev !rows));
+  buf_add buf "\nPhase plane (x in Mbit, y in Gbit/s):\n";
+  buf_add buf (phase_curves curves);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 — node                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_node ?out () =
+  let buf = Buffer.create 4096 in
+  let p = case4_params in
+  let c = Fluid.Node.of_region p Fluid.Linearized.Decrease in
+  buf_add buf
+    (Printf.sprintf
+       "Fig. 5 -- node trajectories (m^2 - 4n > 0)\n\
+        decrease-region linearization at w = %g: l1 = %g, l2 = %g\n\n"
+       p.Fluid.Params.w (Fluid.Node.fast_slope c) (Fluid.Node.slow_slope c));
+  let q0 = p.Fluid.Params.q0 in
+  let inits =
+    [ (-.q0, 4e8); (-0.5 *. q0, -3e8); (0.8 *. q0, 2e8); (0.4 *. q0, -4e8) ]
+  in
+  let horizon = 4. /. Float.abs (Fluid.Node.slow_slope c) in
+  let rows = ref [] in
+  let curves =
+    List.mapi
+      (fun i (x0, y0) ->
+        let n_pts = 500 in
+        let pts =
+          List.init n_pts (fun j ->
+              let t = horizon *. float_of_int j /. float_of_int (n_pts - 1) in
+              let x, y = Fluid.Node.solution c ~x0 ~y0 t in
+              (t, x, y))
+        in
+        (match csv_path out (Printf.sprintf "fig5_node_%d.csv" (i + 1)) with
+        | Some path ->
+            Report.Csv.write_floats ~path ~header:[ "t"; "x"; "y" ]
+              (List.map (fun (t, x, y) -> [ t; x; y ]) pts)
+        | None -> ());
+        let analytic = Fluid.Node.extremum c ~x0 ~y0 in
+        let paper = Fluid.Node.extremum_paper c ~x0 ~y0 in
+        let sampled =
+          List.fold_left
+            (fun acc (_, x, _) ->
+              if y0 >= 0. then Float.max acc x else Float.min acc x)
+            (if y0 >= 0. then neg_infinity else infinity)
+            pts
+        in
+        rows :=
+          [
+            Printf.sprintf "(%s, %s)" (Report.Table.si x0) (Report.Table.si y0);
+            (match analytic with
+            | Some v -> Report.Table.si v
+            | None -> "monotone (none)");
+            Report.Table.si paper;
+            Report.Table.si sampled;
+          ]
+          :: !rows;
+        Report.Ascii_plot.curve
+          (Printf.sprintf "from (%s, %s)" (Report.Table.si x0)
+             (Report.Table.si y0))
+          (List.map (fun (_, x, y) -> (x /. 1e6, y /. 1e9)) pts))
+      inits
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "initial point"; "extremum mump (exact)"; "paper (28)"; "sampled" ]
+       ~rows:(List.rev !rows));
+  buf_add buf "\nPhase plane (x in Mbit, y in Gbit/s); eigenlines y = l1 x, y = l2 x:\n";
+  let eig_line slope =
+    List.init 40 (fun i ->
+        let x = (-.q0 +. (2. *. q0 *. float_of_int i /. 39.)) /. 1e6 in
+        (x, slope *. x *. 1e6 /. 1e9))
+  in
+  let curves =
+    curves
+    @ [
+        Report.Ascii_plot.curve ~glyph:'1' "y = l1 x"
+          (eig_line (Fluid.Node.fast_slope c));
+        Report.Ascii_plot.curve ~glyph:'2' "y = l2 x"
+          (eig_line (Fluid.Node.slow_slope c));
+      ]
+  in
+  buf_add buf (phase_curves curves);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Case figures 6 / 8 / 9 / 10 share a renderer                        *)
+(* ------------------------------------------------------------------ *)
+
+let render_case_figure ?out ~id ~title p =
+  let buf = Buffer.create 8192 in
+  let v = Fluid.Stability.analyze p in
+  buf_add buf
+    (Printf.sprintf "%s\nparameters: w = %g, Gd = %g -> %s\n\n" title
+       p.Fluid.Params.w p.Fluid.Params.gd
+       (Fluid.Cases.describe (Fluid.Cases.classify p)));
+  (* nonlinear trajectory *)
+  let horizon = 12. *. Float.max
+      (2. *. Float.pi /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Increase))
+      (2. *. Float.pi /. sqrt (Fluid.Linearized.stiffness p Fluid.Linearized.Decrease))
+  in
+  let sys = Fluid.Model.normalized_system p in
+  let tr = Phaseplane.Trajectory.integrate ~t_max:horizon sys (Fluid.Model.start_point p) in
+  write_traj_csv out (id ^ "_nonlinear.csv") (Phaseplane.Trajectory.points tr);
+  (* piecewise-linear (the paper's analysis object) *)
+  let segs = Fluid.Flowmap.trace p (Fluid.Model.start_point p) in
+  let lin_pts = Fluid.Flowmap.sample p segs ~dt:(horizon /. 2000.) in
+  (match csv_path out (id ^ "_linearized.csv") with
+  | Some path ->
+      Report.Csv.write_floats ~path ~header:[ "t"; "x"; "y" ]
+        (List.map (fun (t, (pt : Vec2.t)) -> [ t; pt.Vec2.x; pt.Vec2.y ]) lin_pts)
+  | None -> ());
+  let fmt_opt = function Some x -> Report.Table.si x | None -> "none" in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "quantity"; "linearized (closed form)"; "nonlinear (numeric)"; "Theorem-1 bound" ]
+       ~rows:
+         [
+           [
+             "first overshoot max1 x";
+             fmt_opt v.Fluid.Stability.analytic_max;
+             Report.Table.si v.Fluid.Stability.numeric_max;
+             Report.Table.si (Fluid.Criterion.overshoot_bound p);
+           ];
+           [
+             "first undershoot min1 x";
+             fmt_opt v.Fluid.Stability.analytic_min;
+             Report.Table.si v.Fluid.Stability.numeric_min;
+             Report.Table.si (-.p.Fluid.Params.q0);
+           ];
+           [
+             "strongly stable";
+             (match v.Fluid.Stability.analytic_strongly_stable with
+             | Some b -> string_of_bool b
+             | None -> "n/a");
+             string_of_bool v.Fluid.Stability.strongly_stable;
+             string_of_bool (Fluid.Criterion.satisfied p);
+           ];
+         ]);
+  (* phase plane *)
+  let pts_nl =
+    Array.to_list (Phaseplane.Trajectory.points tr)
+    |> List.map (fun (_, pt) -> (pt.Vec2.x /. 1e6, pt.Vec2.y /. 1e9))
+  in
+  let pts_lin =
+    List.map (fun (_, (pt : Vec2.t)) -> (pt.Vec2.x /. 1e6, pt.Vec2.y /. 1e9)) lin_pts
+  in
+  let k = Fluid.Params.k p in
+  (* parameterize the switching line by y: with k = w/(pm·C) tiny, the
+     line x = −k·y is nearly vertical in (x, y) and would blow up the
+     plot range if parameterized by x *)
+  let y_lo, y_hi =
+    List.fold_left
+      (fun (lo, hi) (_, y) -> (Float.min lo (y *. 1e9), Float.max hi (y *. 1e9)))
+      (infinity, neg_infinity) pts_nl
+  in
+  let switch_line =
+    List.init 40 (fun i ->
+        let y = y_lo +. ((y_hi -. y_lo) *. float_of_int i /. 39.) in
+        (-.k *. y /. 1e6, y /. 1e9))
+  in
+  buf_add buf "\n(a) phase plane (x in Mbit, y in Gbit/s):\n";
+  buf_add buf
+    (phase_curves
+       [
+         Report.Ascii_plot.curve ~glyph:'*' "nonlinear" pts_nl;
+         Report.Ascii_plot.curve ~glyph:'o' "linearized" pts_lin;
+         Report.Ascii_plot.curve ~glyph:'.' "switching line x + ky = 0" switch_line;
+       ]);
+  (* time series *)
+  let xs = Phaseplane.Trajectory.x_series tr in
+  let ys = Phaseplane.Trajectory.y_series tr in
+  buf_add buf "\n(b) x(t) = q - q0 (Mbit):\n";
+  buf_add buf
+    (Report.Ascii_plot.render ~width:68 ~height:12
+       [ Report.Ascii_plot.of_series "x(t)" (Series.map (fun v -> v /. 1e6) xs) ]);
+  buf_add buf "\n(c) y(t) = N r - C (Gbit/s):\n";
+  buf_add buf
+    (Report.Ascii_plot.render ~width:68 ~height:12
+       [ Report.Ascii_plot.of_series "y(t)" (Series.map (fun v -> v /. 1e9) ys) ]);
+  Buffer.contents buf
+
+let fig6_case1 ?out () =
+  render_case_figure ?out ~id:"fig6"
+    ~title:"Fig. 6 -- Case 1 trajectory and dynamics (draft parameters)"
+    (big_buffer default)
+
+let fig8_case2 ?out () =
+  render_case_figure ?out ~id:"fig8"
+    ~title:"Fig. 8 -- Case 2: node in I-region, spiral in D-region"
+    (big_buffer case2_params)
+
+let fig9_case3 ?out () =
+  render_case_figure ?out ~id:"fig9"
+    ~title:"Fig. 9 -- Case 3: spiral in I-region, node in D-region (no overshoot)"
+    (big_buffer case3_params)
+
+let fig10_case4 ?out () =
+  render_case_figure ?out ~id:"fig10"
+    ~title:"Fig. 10 -- Case 4: node in both regions (monotone approach)"
+    (big_buffer case4_params)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7 — limit cycle                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_limit_cycle ?out () =
+  let buf = Buffer.create 8192 in
+  buf_add buf "Fig. 7 -- limit-cycle motion\n\n";
+  (* (a) quasi-periodic amplitude sequence of BCN at draft parameters *)
+  let p = big_buffer default in
+  let sys = Fluid.Model.normalized_system p in
+  let sec = Analysis.switching_section p in
+  let horizon = 0.05 in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:0.005 sys (Fluid.Model.start_point p)
+  in
+  (match tr.Phaseplane.Trajectory.switch_crossings with
+  | [] -> buf_add buf "(a) no switching crossing found\n"
+  | { Phaseplane.Trajectory.cp; _ } :: _ ->
+      let s0 = sec.Phaseplane.Poincare.coord_of cp in
+      let hist =
+        Phaseplane.Limit_cycle.amplitude_history ~t_max:horizon sys sec ~n:40 ~s0
+      in
+      let ratios =
+        match hist with
+        | [] | [ _ ] -> []
+        | first :: _ ->
+            List.filteri (fun i _ -> i > 0) hist
+            |> List.map2
+                 (fun a b -> b /. a)
+                 (List.filteri (fun i _ -> i < List.length hist - 1) hist)
+            |> fun l ->
+            ignore first;
+            l
+      in
+      let mean_ratio =
+        if ratios = [] then nan
+        else List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios)
+      in
+      buf_add buf
+        (Printf.sprintf
+           "(a) BCN (draft parameters): return-map amplitudes are \
+            quasi-constant\n    mean contraction per return = %.6f (1.0 = \
+            perfect cycle)\n"
+           mean_ratio);
+      (match csv_path out "fig7_bcn_amplitudes.csv" with
+      | Some path ->
+          Report.Csv.write_floats ~path ~header:[ "k"; "amplitude" ]
+            (List.mapi (fun i s -> [ float_of_int i; s ]) hist)
+      | None -> ());
+      let amp_series =
+        Series.make
+          (Array.of_list (List.mapi (fun i _ -> float_of_int i) hist))
+          (Array.of_list hist)
+      in
+      buf_add buf "    amplitude vs return index:\n";
+      buf_add buf
+        (Report.Ascii_plot.render ~width:60 ~height:10
+           [ Report.Ascii_plot.of_series "s_k" amp_series ]));
+  (* (b) a genuine limit cycle in a variable-structure system *)
+  let lc_sys, s0 = genuine_limit_cycle_system () in
+  let lc_sec =
+    Phaseplane.Poincare.line_section ~dir:Ode.Up ~normal:(Vec2.make 1. 0.1) ()
+  in
+  (match Phaseplane.Limit_cycle.detect ~max_iters:400 lc_sys lc_sec ~s0 with
+  | Phaseplane.Limit_cycle.Cycle { s_star; period; multiplier; stable } ->
+      buf_add buf
+        (Printf.sprintf
+           "\n(b) genuine limit cycle (unstable focus in I-region): s* = %.4f, \
+            period = %.4f, multiplier = %s, orbitally stable = %s\n"
+           s_star period
+           (match multiplier with Some m -> Printf.sprintf "%.4f" m | None -> "?")
+           (match stable with Some b -> string_of_bool b | None -> "?"));
+      (* sample the closed orbit *)
+      let start = lc_sec.Phaseplane.Poincare.point_of s_star in
+      let orbit =
+        Phaseplane.Trajectory.integrate ~t_max:(1.05 *. period) lc_sys start
+      in
+      write_traj_csv out "fig7_cycle_orbit.csv" (Phaseplane.Trajectory.points orbit);
+      let pts =
+        Array.to_list (Phaseplane.Trajectory.points orbit)
+        |> List.map (fun (_, pt) -> (pt.Vec2.x, pt.Vec2.y))
+      in
+      buf_add buf "    the closed orbit:\n";
+      buf_add buf (phase_curves [ Report.Ascii_plot.curve "limit cycle" pts ])
+  | v ->
+      buf_add buf
+        (Printf.sprintf "\n(b) limit-cycle detection returned: %s\n"
+           (match v with
+           | Phaseplane.Limit_cycle.Converges_to_origin -> "converges"
+           | Phaseplane.Limit_cycle.Diverges -> "diverges"
+           | Phaseplane.Limit_cycle.Contracting { ratio; _ } ->
+               Printf.sprintf "contracting (%.4f)" ratio
+           | Phaseplane.Limit_cycle.Expanding { ratio; _ } ->
+               Printf.sprintf "expanding (%.4f)" ratio
+           | Phaseplane.Limit_cycle.Inconclusive m -> m
+           | Phaseplane.Limit_cycle.Cycle _ -> assert false)));
+  (* (c) sustained oscillation of the literal packet-level BCN *)
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.02 p) with
+      Simnet.Runner.mode = Simnet.Source.Literal;
+      initial_rate = 0.5 *. Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  let tail = Series.tail_from r.Simnet.Runner.queue 0.01 in
+  (match csv_path out "fig7_packet_queue.csv" with
+  | Some path -> Report.Csv.write_series ~path ~name:"queue_bits" r.Simnet.Runner.queue
+  | None -> ());
+  buf_add buf
+    (Printf.sprintf
+       "\n(c) literal per-message BCN (packet level): queue oscillates \
+        without settling\n    tail mean = %s bit, tail std = %s bit (q0 = %s \
+        bit)\n    queue sparkline: %s\n"
+       (Report.Table.si (Stats.mean tail.Series.vs))
+       (Report.Table.si (Stats.stddev tail.Series.vs))
+       (Report.Table.si p.Fluid.Params.q0)
+       (Report.Ascii_plot.sparkline r.Simnet.Runner.queue));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* T1 — Theorem-1 worked example + sweeps                              *)
+(* ------------------------------------------------------------------ *)
+
+let t1_criterion ?out () =
+  let buf = Buffer.create 4096 in
+  let p = default in
+  buf_add buf "Theorem 1 -- worked example and parameter sweeps\n\n";
+  let req = Fluid.Criterion.required_buffer p in
+  buf_add buf
+    (Printf.sprintf
+       "draft example (N=50, C=10G, q0=2.5M, Gi=4, Gd=1/128, Ru=8M):\n\
+       \  required buffer = %s bit   (paper: 13.75 Mbit)\n\
+       \  BDP (0.5 ms)    = %s bit   (paper: 5 Mbit)\n\
+       \  ratio           = %.2fx    (paper: ~2.75x)\n\
+       \  warm-up T0      = %g s\n\n"
+       (Report.Table.si req)
+       (Report.Table.si (Fluid.Params.bdp_buffer p ~rtt:5e-4))
+       (Fluid.Criterion.vs_bdp p ~rtt:5e-4)
+       (Fluid.Model.warmup_duration p));
+  let sweep label values param_of =
+    let rows =
+      List.map
+        (fun v ->
+          let pv = param_of v in
+          let vv = Fluid.Stability.analyze pv in
+          [
+            Printf.sprintf "%g" v;
+            Report.Table.si (Fluid.Criterion.required_buffer pv);
+            Report.Table.si (Fluid.Criterion.overshoot_bound pv);
+            Report.Table.si (vv.Fluid.Stability.numeric_max +. pv.Fluid.Params.q0);
+            Printf.sprintf "%g" (Fluid.Criterion.startup_time pv);
+          ])
+        values
+    in
+    buf_add buf (Printf.sprintf "sweep over %s:\n" label);
+    buf_add buf
+      (Report.Table.render
+         ~headers:[ label; "required B"; "bound on max x"; "measured max q"; "T0 (s)" ]
+         ~rows);
+    buf_add buf "\n";
+    rows
+  in
+  let gi_rows = sweep "Gi" [ 0.5; 1.; 2.; 4.; 8. ] (fun gi -> Fluid.Params.with_gains ~gi p) in
+  let gd_rows =
+    sweep "Gd" [ 1. /. 512.; 1. /. 256.; 1. /. 128.; 1. /. 64.; 1. /. 32. ]
+      (fun gd -> Fluid.Params.with_gains ~gd p)
+  in
+  let q0_rows =
+    sweep "q0 (bit)" [ 0.5e6; 1e6; 2.5e6; 5e6 ]
+      (fun q0 -> Fluid.Params.with_q0 (Fluid.Params.with_buffer p 40e6) q0)
+  in
+  let n_rows =
+    sweep "N" [ 10.; 25.; 50.; 100.; 200. ]
+      (fun n -> Fluid.Params.with_flows p (int_of_float n))
+  in
+  ignore (gi_rows, gd_rows, q0_rows, n_rows);
+  (match csv_path out "t1_sweeps.csv" with
+  | Some path ->
+      let all_rows =
+        List.concat
+          [
+            List.map (fun r -> "Gi" :: r) gi_rows;
+            List.map (fun r -> "Gd" :: r) gd_rows;
+            List.map (fun r -> "q0" :: r) q0_rows;
+            List.map (fun r -> "N" :: r) n_rows;
+          ]
+      in
+      Report.Csv.write ~path
+        ~header:[ "sweep"; "value"; "required_B"; "bound_max_x"; "measured_max_q"; "T0" ]
+        ~rows:all_rows
+  | None -> ());
+  buf_add buf
+    (Printf.sprintf
+       "parameter engineering at B = %s bit (draft BDP buffer):\n\
+       \  largest stable Gi  = %.4g\n\
+       \  smallest stable Gd = %.6g (= 1/%.0f)\n\
+       \  largest stable q0  = %s bit\n\
+       \  largest stable N   = %d flows\n"
+       (Report.Table.si p.Fluid.Params.buffer)
+       (Fluid.Criterion.gi_max p) (Fluid.Criterion.gd_min p)
+       (1. /. Fluid.Criterion.gd_min p)
+       (Report.Table.si (Fluid.Criterion.q0_max p))
+       (Fluid.Criterion.n_flows_max p));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* V1 — fluid vs packet                                                *)
+(* ------------------------------------------------------------------ *)
+
+let v1_fluid_vs_packet ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf "V1 -- fluid-model validation against the packet simulator\n\n";
+  let p = Compare.validation_params in
+  let r = Compare.fluid_vs_packet p in
+  (match csv_path out "v1_queues.csv" with
+  | Some path ->
+      let qs = Series.resample r.Compare.packet_queue 1000 in
+      let qf = Array.map (fun t -> Series.at r.Compare.fluid_queue t) qs.Series.ts in
+      Report.Csv.write_columns ~path ~header:[ "t"; "q_packet"; "q_fluid" ]
+        ~cols:[ qs.Series.ts; qs.Series.vs; qf ]
+  | None -> ());
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "metric"; "value" ]
+       ~rows:
+         [
+           [ "queue RMSE (bit)"; Report.Table.si r.Compare.rmse ];
+           [ "queue RMSE / q0"; Printf.sprintf "%.3f" r.Compare.rmse_rel_q0 ];
+           [ "correlation"; Printf.sprintf "%.3f" r.Compare.corr ];
+           [ "packet tail mean (bit)"; Report.Table.si r.Compare.packet_mean_tail ];
+           [ "fluid tail mean (bit)"; Report.Table.si r.Compare.fluid_mean_tail ];
+           [ "packet drops"; string_of_int r.Compare.packet_drops ];
+           [ "utilization"; Printf.sprintf "%.3f" r.Compare.utilization ];
+         ]);
+  buf_add buf "\nqueue traces (bit):\n";
+  buf_add buf
+    (Report.Ascii_plot.render ~width:68 ~height:14
+       [
+         Report.Ascii_plot.of_series ~glyph:'p' "packet"
+           (Series.resample r.Compare.packet_queue 300);
+         Report.Ascii_plot.of_series ~glyph:'f' "fluid"
+           (Series.resample r.Compare.fluid_queue 300);
+       ]);
+  (* sampling ablation: deterministic vs Bernoulli vs timer *)
+  buf_add buf "\nsampling ablation (same parameters):\n";
+  let run_with label sampling =
+    let cfg =
+      {
+        (Simnet.Runner.default_config ~t_end:0.3 ~sample_dt:3e-4 p) with
+        Simnet.Runner.broadcast_feedback = true;
+        sampling;
+        initial_rate = p.Fluid.Params.mu;
+        enable_pause = false;
+      }
+    in
+    let res = Simnet.Runner.run cfg in
+    let tail = Series.tail_from res.Simnet.Runner.queue 0.15 in
+    [
+      label;
+      Report.Table.si (Stats.mean tail.Series.vs);
+      Report.Table.si (Stats.stddev tail.Series.vs);
+      Printf.sprintf "%.3f" res.Simnet.Runner.utilization;
+      string_of_int res.Simnet.Runner.drops;
+    ]
+  in
+  let rows =
+    [
+      run_with "deterministic 1/pm" Simnet.Switch.Deterministic;
+      run_with "Bernoulli(pm)"
+        (Simnet.Switch.Bernoulli (Random.State.make [| 42 |]));
+      run_with "timer (eqn 5)"
+        (Simnet.Switch.Timer (Simnet.Switch.fluid_sampling_period p));
+    ]
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "sampling"; "tail mean q"; "tail std q"; "utilization"; "drops" ]
+       ~rows);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* V2 — linear verdict vs strong stability                             *)
+(* ------------------------------------------------------------------ *)
+
+let v2_linear_vs_strong ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "V2 -- linear-theory verdict (ref. [4]) vs Theorem 1 vs measured strong \
+     stability\n\n";
+  let rows = Compare.linear_vs_strong Compare.default_sweep in
+  let table_rows =
+    List.map
+      (fun (row : Compare.linear_vs_strong_row) ->
+        [
+          row.Compare.label;
+          (if row.Compare.linear_stable then "stable" else "unstable");
+          (if row.Compare.theorem1 then "yes" else "no");
+          (if row.Compare.numeric_strongly_stable then "yes" else "NO (violates)");
+          Report.Table.si row.Compare.numeric_max_q;
+          Report.Table.si row.Compare.params.Fluid.Params.buffer;
+        ])
+      rows
+  in
+  (match csv_path out "v2_verdicts.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:[ "config"; "linear"; "theorem1"; "strong"; "max_q"; "B" ]
+        ~rows:table_rows
+  | None -> ());
+  buf_add buf
+    (Report.Table.render
+       ~headers:
+         [ "configuration"; "linear theory"; "Theorem 1"; "strongly stable"; "max q"; "B" ]
+       ~rows:table_rows);
+  buf_add buf
+    "\nEvery configuration is \"stable\" to linear theory (Proposition 1); \
+     only the phase-plane criterion separates the overflowing ones.\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A1 — transient ablation over the sampling parameters w and pm       *)
+(* ------------------------------------------------------------------ *)
+
+let a1_transient_sampling ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "A1 -- transient performance vs the sampling parameters (paper Remarks: \
+     w and pm do not move the Theorem-1 bound; they only shape the \
+     transient)\n\n";
+  let p = big_buffer default in
+  let render_sweep label param_of values =
+    let rows =
+      Fluid.Transient.sweep param_of values
+      |> List.map (fun (v, m) ->
+             [
+               Printf.sprintf "%g" v;
+               Report.Table.si m.Fluid.Transient.overshoot;
+               Report.Table.si m.Fluid.Transient.undershoot;
+               string_of_int m.Fluid.Transient.oscillations;
+               (match m.Fluid.Transient.settling_time with
+               | Some t -> Printf.sprintf "%.4g s" t
+               | None -> "none");
+               (match m.Fluid.Transient.decay_per_cycle with
+               | Some d -> Printf.sprintf "%.5f" d
+               | None -> "n/a");
+               Report.Table.si (Fluid.Criterion.required_buffer (param_of v));
+             ])
+    in
+    buf_add buf (Printf.sprintf "sweep over %s:\n" label);
+    buf_add buf
+      (Report.Table.render
+         ~headers:
+           [
+             label; "overshoot"; "undershoot"; "oscillations"; "settling";
+             "decay/cycle"; "Theorem-1 B";
+           ]
+         ~rows);
+    buf_add buf "\n";
+    rows
+  in
+  let w_rows =
+    render_sweep "w" (fun w -> Fluid.Params.with_sampling ~w p)
+      [ 0.5; 1.; 2.; 8.; 32. ]
+  in
+  let pm_rows =
+    render_sweep "pm" (fun pm -> Fluid.Params.with_sampling ~pm p)
+      [ 0.002; 0.005; 0.01; 0.05; 0.2 ]
+  in
+  (match csv_path out "a1_transient.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:
+          [
+            "sweep"; "value"; "overshoot"; "undershoot"; "oscillations";
+            "settling"; "decay"; "required_B";
+          ]
+        ~rows:
+          (List.map (fun r -> "w" :: r) w_rows
+          @ List.map (fun r -> "pm" :: r) pm_rows)
+  | None -> ());
+  buf_add buf
+    "The Theorem-1 buffer column is constant within each sweep, while the \
+     transient metrics move - the Remarks' claim, measured.\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A2 — feedback-delay margin                                          *)
+(* ------------------------------------------------------------------ *)
+
+let a2_delay_margin ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "A2 -- feedback delay erodes the stability margin (the paper assumes \
+     negligible propagation delay; this bounds where that holds)\n\n";
+  let p = big_buffer default in
+  let taus = [ 0.; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4 ] in
+  let rows =
+    List.map
+      (fun tau ->
+        let r = Fluid.Delayed.simulate ~tau p in
+        let max_abs_x =
+          Stats.max (Array.map Float.abs r.Fluid.Delayed.x.Series.vs)
+        in
+        [
+          Printf.sprintf "%g" tau;
+          (match r.Fluid.Delayed.growth_per_cycle with
+          | Some g -> Printf.sprintf "%.4f" g
+          | None -> "n/a");
+          Report.Table.si max_abs_x;
+          (if Fluid.Delayed.is_stable ~tau p then "yes" else "NO");
+        ])
+      taus
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "delay tau (s)"; "growth/cycle"; "max |x|"; "contracting" ]
+       ~rows);
+  (match csv_path out "a2_delay.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:[ "tau"; "growth"; "max_abs_x"; "stable" ]
+        ~rows
+  | None -> ());
+  (match Fluid.Delayed.critical_delay p with
+  | Some tau ->
+      buf_add buf
+        (Printf.sprintf
+           "\ncritical delay at the draft gains: %.3g s (our simulator's \
+            control delay of 1e-6 s sits below it)\n"
+           tau)
+  | None -> buf_add buf "\nstable for all probed delays\n");
+  (* gentler gains widen the margin *)
+  let gentle = Fluid.Params.with_gains ~gi:0.5 (big_buffer default) in
+  (match Fluid.Delayed.critical_delay gentle with
+  | Some tau ->
+      buf_add buf (Printf.sprintf "with Gi = 0.5 the margin grows to %.3g s\n" tau)
+  | None -> buf_add buf "with Gi = 0.5 the loop is stable for a full period\n");
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A3 — solver ablation on the switched system                         *)
+(* ------------------------------------------------------------------ *)
+
+let a3_solver_ablation ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "A3 -- integrating the switched system: event-localized adaptive vs \
+     fixed-step methods (reference: the semi-analytic flow map on the \
+     piecewise-linear system)\n\n";
+  let p = default in
+  let sys = Fluid.Linearized.system p in
+  let exact =
+    match Fluid.Flowmap.first_overshoot p with Some v -> v | None -> nan
+  in
+  let measure label solver =
+    let t0 = Sys.time () in
+    let tr =
+      Phaseplane.Trajectory.integrate ~solver ~t_max:0.002 sys
+        (Fluid.Model.start_point p)
+    in
+    let dt = Sys.time () -. t0 in
+    let got = Phaseplane.Trajectory.x_max tr in
+    [
+      label;
+      Report.Table.si got;
+      Printf.sprintf "%.2e" (Float.abs (got -. exact) /. exact);
+      string_of_int tr.Phaseplane.Trajectory.sol.Ode.n_steps;
+      Printf.sprintf "%.1f ms" (1e3 *. dt);
+    ]
+  in
+  let rows =
+    [
+      measure "adaptive DoPri5 (events)" (Phaseplane.Trajectory.Adaptive (1e-9, 1e-12));
+      measure "RK4 h=1e-6" (Phaseplane.Trajectory.Fixed (Ode.Rk4, 1e-6));
+      measure "RK4 h=1e-5" (Phaseplane.Trajectory.Fixed (Ode.Rk4, 1e-5));
+      measure "Heun h=1e-6" (Phaseplane.Trajectory.Fixed (Ode.Heun, 1e-6));
+      measure "Euler h=1e-6" (Phaseplane.Trajectory.Fixed (Ode.Euler, 1e-6));
+      measure "Euler h=2e-5" (Phaseplane.Trajectory.Fixed (Ode.Euler, 2e-5));
+    ]
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "integrator"; "max x"; "rel. error"; "steps"; "wall time" ]
+       ~rows);
+  buf_add buf
+    (Printf.sprintf "\nreference max1 x (closed-form flow map) = %s\n"
+       (Report.Table.si exact));
+  (match csv_path out "a3_solvers.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:[ "integrator"; "max_x"; "rel_error"; "steps"; "wall_ms" ]
+        ~rows
+  | None -> ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* P1 — control-paradigm comparison: BCN vs QCN vs FERA                *)
+(* ------------------------------------------------------------------ *)
+
+let p1_paradigms ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "P1 -- the 802.1Qau proposal families side by side (paper SII.A): BCN \
+     feedback AIMD, QCN negative-only quantized feedback, FERA explicit \
+     rates; same bottleneck, 20 ms, start at 30% fair share\n\n";
+  let p = Fluid.Params.with_buffer default 15e6 in
+  let t_end = 0.02 in
+  let start = 0.3 *. Fluid.Params.equilibrium_rate p in
+  let tail_stats q =
+    let tail = Series.tail_from q (t_end /. 2.) in
+    (Stats.mean tail.Series.vs, Stats.stddev tail.Series.vs)
+  in
+  let bcn =
+    Simnet.Runner.run
+      {
+        (Simnet.Runner.default_config ~t_end p) with
+        Simnet.Runner.mode = Simnet.Source.Literal;
+        initial_rate = start;
+        enable_pause = false;
+      }
+  in
+  let qcn =
+    Simnet.Qcn.run
+      { (Simnet.Qcn.default_config ~t_end p) with Simnet.Qcn.initial_rate = start }
+  in
+  let fera =
+    Simnet.Fera.run
+      { (Simnet.Fera.default_config ~t_end p) with Simnet.Fera.initial_rate = start }
+  in
+  let e2cm =
+    Simnet.E2cm.run
+      { (Simnet.E2cm.default_config ~t_end p) with Simnet.E2cm.initial_rate = start }
+  in
+  let row label drops util (mean, std) fairness_v extra =
+    [
+      label;
+      string_of_int drops;
+      Printf.sprintf "%.3f" util;
+      Report.Table.si mean;
+      Report.Table.si std;
+      Printf.sprintf "%.3f" fairness_v;
+      extra;
+    ]
+  in
+  let rows =
+    [
+      row "BCN (literal AIMD)" bcn.Simnet.Runner.drops
+        bcn.Simnet.Runner.utilization
+        (tail_stats bcn.Simnet.Runner.queue)
+        (Simnet.Runner.fairness bcn.Simnet.Runner.final_rates)
+        (Printf.sprintf "%d BCN msgs"
+           (bcn.Simnet.Runner.bcn_positive + bcn.Simnet.Runner.bcn_negative));
+      row "QCN (quantized, negative-only)" qcn.Simnet.Qcn.drops
+        qcn.Simnet.Qcn.utilization
+        (tail_stats qcn.Simnet.Qcn.queue)
+        (Simnet.Runner.fairness qcn.Simnet.Qcn.final_rates)
+        (Printf.sprintf "%d CN msgs" qcn.Simnet.Qcn.cn_messages);
+      row "E2CM (BCN + fair-share cap)" e2cm.Simnet.E2cm.drops
+        e2cm.Simnet.E2cm.utilization
+        (tail_stats e2cm.Simnet.E2cm.queue)
+        (Simnet.Runner.fairness e2cm.Simnet.E2cm.final_rates)
+        (Printf.sprintf "%d msgs" e2cm.Simnet.E2cm.messages);
+      row "FERA (explicit rate)" fera.Simnet.Fera.drops
+        fera.Simnet.Fera.utilization
+        (tail_stats fera.Simnet.Fera.queue)
+        (Simnet.Runner.fairness fera.Simnet.Fera.final_rates)
+        (match fera.Simnet.Fera.convergence_time with
+        | Some t -> Printf.sprintf "converged %.2g s" t
+        | None -> "no convergence");
+    ]
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:
+         [
+           "paradigm"; "drops"; "util"; "queue tail mean"; "queue tail std";
+           "fairness"; "notes";
+         ]
+       ~rows);
+  (match csv_path out "p1_paradigms.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:
+          [ "paradigm"; "drops"; "util"; "tail_mean"; "tail_std"; "fairness"; "notes" ]
+        ~rows
+  | None -> ());
+  buf_add buf "\nqueue traces (sparklines):\n";
+  buf_add buf
+    (Printf.sprintf "  BCN : %s\n  QCN : %s\n  E2CM: %s\n  FERA: %s\n"
+       (Report.Ascii_plot.sparkline bcn.Simnet.Runner.queue)
+       (Report.Ascii_plot.sparkline qcn.Simnet.Qcn.queue)
+       (Report.Ascii_plot.sparkline e2cm.Simnet.E2cm.queue)
+       (Report.Ascii_plot.sparkline fera.Simnet.Fera.queue));
+  buf_add buf
+    "\nThe cold start separates the paradigms: BCN's positive feedback pulls \
+     the rates up within milliseconds (at the cost of AIMD oscillation and \
+     per-sample unfairness); QCN, having dropped positive messages, leaves \
+     recovery to its ~150 kB byte-counter cycles, which barely fire in 20 ms; \
+     FERA's explicit rates converge in two measurement intervals but require \
+     per-flow state in the switch.\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* W1 — BCN under uncontrolled cross traffic                           *)
+(* ------------------------------------------------------------------ *)
+
+let w1_cross_traffic ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "W1 -- BCN robustness to uncontrolled cross traffic: 25 controlled \
+     flows share the bottleneck with background load that ignores BCN \
+     (Poisson, bursty on/off, periodic incast)\n\n";
+  let p =
+    Fluid.Params.make ~n_flows:25 ~capacity:10e9 ~q0:2.5e6 ~buffer:15e6 ~gi:4.
+      ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  let t_end = 0.02 in
+  let run_with label mk_workloads =
+    let e = Simnet.Engine.create () in
+    let delivered = ref 0. in
+    let sources = Array.make p.Fluid.Params.n_flows None in
+    let sw_cfg =
+      { (Simnet.Switch.default_config p ~cpid:1) with Simnet.Switch.enable_pause = false }
+    in
+    let sw =
+      Simnet.Switch.create sw_cfg ~control_out:(fun e pkt ->
+          Simnet.Engine.schedule e ~delay:1e-6 (fun e ->
+              match pkt.Simnet.Packet.kind with
+              | Simnet.Packet.Bcn { flow; fb; cpid } ->
+                  if flow < Array.length sources then (
+                    match sources.(flow) with
+                    | Some src ->
+                        Simnet.Source.handle_bcn src ~now:(Simnet.Engine.now e)
+                          ~fb ~cpid
+                    | None -> ())
+              | Simnet.Packet.Pause _ | Simnet.Packet.Data _ -> ()))
+    in
+    Simnet.Switch.set_forward sw (fun _e pkt ->
+        delivered := !delivered +. float_of_int pkt.Simnet.Packet.bits);
+    for i = 0 to p.Fluid.Params.n_flows - 1 do
+      let src =
+        Simnet.Source.create ~id:i
+          ~initial_rate:(0.5 *. Fluid.Params.equilibrium_rate p)
+          ~mode:Simnet.Source.Literal ~max_rate:p.Fluid.Params.capacity
+          ~gi:p.Fluid.Params.gi ~gd:p.Fluid.Params.gd ~ru:p.Fluid.Params.ru
+          ~send:(fun e pkt -> Simnet.Switch.receive sw e pkt)
+          ()
+      in
+      sources.(i) <- Some src;
+      Simnet.Source.start src e
+    done;
+    let workloads = mk_workloads () in
+    List.iter
+      (fun w ->
+        Simnet.Workload.start w e ~sink:(fun e pkt ->
+            Simnet.Switch.receive sw e pkt))
+      workloads;
+    (* queue sampling *)
+    let qmax = ref 0. and qsum = ref 0. and qn = ref 0 in
+    let rec sampler e =
+      let q = Simnet.Switch.queue_bits sw in
+      qmax := Float.max !qmax q;
+      qsum := !qsum +. q;
+      incr qn;
+      if Simnet.Engine.now e +. 1e-5 <= t_end then
+        Simnet.Engine.schedule e ~delay:1e-5 sampler
+    in
+    Simnet.Engine.schedule e ~delay:0. sampler;
+    Simnet.Engine.run ~until:t_end e;
+    let cross = List.fold_left (fun acc w -> acc +. Simnet.Workload.bits_sent w) 0. workloads in
+    let offered =
+      List.fold_left (fun acc w -> acc +. Simnet.Workload.mean_offered_rate w) 0. workloads
+    in
+    [
+      label;
+      Report.Table.si offered;
+      string_of_int (Simnet.Fifo.drops (Simnet.Switch.fifo sw));
+      Report.Table.si !qmax;
+      Report.Table.si (!qsum /. float_of_int (Stdlib.max 1 !qn));
+      Printf.sprintf "%.3f" (!delivered /. (p.Fluid.Params.capacity *. t_end));
+      Report.Table.si (cross /. t_end);
+    ]
+  in
+  let flow_base = 100 in
+  let rows =
+    [
+      run_with "no cross traffic" (fun () -> []);
+      run_with "Poisson 2G" (fun () ->
+          [ Simnet.Workload.poisson ~id:flow_base ~mean_rate:2e9 ~seed:7 ]);
+      run_with "on/off 4G peak (50% duty)" (fun () ->
+          [
+            Simnet.Workload.on_off ~id:flow_base ~peak_rate:4e9 ~mean_on:1e-3
+              ~mean_off:1e-3 ~seed:11;
+          ]);
+      run_with "incast 8x50 frames / 2 ms" (fun () ->
+          [
+            Simnet.Workload.incast
+              ~ids:(List.init 8 (fun i -> flow_base + i))
+              ~burst_frames:50 ~period:2e-3 ~jitter:1e-5 ~seed:13 ();
+          ]);
+    ]
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:
+         [
+           "background"; "offered bg"; "drops"; "max q"; "mean q"; "util";
+           "bg delivered rate";
+         ]
+       ~rows);
+  (match csv_path out "w1_cross_traffic.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:
+          [ "background"; "offered"; "drops"; "max_q"; "mean_q"; "util"; "bg_rate" ]
+        ~rows
+  | None -> ());
+  buf_add buf
+    "\nThe controlled flows absorb what the background leaves: BCN throttles \
+     them when bursts arrive, so the queue peaks stay bounded by the \
+     Theorem-1 buffer.\n";
+  Buffer.contents buf
+
+
+(* ------------------------------------------------------------------ *)
+(* P2 — the Chiu–Jain fairness argument behind BCN's AIMD              *)
+(* ------------------------------------------------------------------ *)
+
+let p2_aimd_fairness ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "P2 -- why BCN uses AIMD (paper SII.B cites Chiu-Jain): two \
+     synchronized flows from an unfair start (9 : 1)\n\n";
+  let capacity = 10e9 in
+  let start = { Fluid.Aimd_fairness.r1 = 9e9; r2 = 1e9 } in
+  let run policy label =
+    let pts = Fluid.Aimd_fairness.iterate policy ~capacity ~n:2500 start in
+    let final = List.nth pts (List.length pts - 1) in
+    let converged =
+      Fluid.Aimd_fairness.converges_to_fairness ~n:5000 policy ~capacity start
+    in
+    ( [
+        label;
+        Printf.sprintf "%.4f" (Fluid.Aimd_fairness.fairness_index final);
+        Printf.sprintf "%.3f" (Fluid.Aimd_fairness.efficiency ~capacity final);
+        (if converged then "yes" else "NO");
+      ],
+      pts )
+  in
+  let aimd_row, aimd_pts =
+    run (Fluid.Aimd_fairness.Aimd { increase = 1e8; decrease = 0.2 })
+      "AIMD (Chiu-Jain)"
+  in
+  let aiad_row, aiad_pts =
+    run (Fluid.Aimd_fairness.Aiad { increase = 1e8; decrease = 2e9 })
+      "AIAD (strawman)"
+  in
+  let bcn_row, _ =
+    run (Fluid.Aimd_fairness.of_params default) "BCN gains (eqn 2, averaged)"
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:[ "policy"; "final fairness"; "final efficiency"; "converges" ]
+       ~rows:[ aimd_row; aiad_row; bcn_row ]);
+  (match csv_path out "p2_fairness.csv" with
+  | Some path ->
+      Report.Csv.write_floats ~path ~header:[ "k"; "aimd_r1"; "aimd_r2"; "aiad_r1"; "aiad_r2" ]
+        (List.mapi
+           (fun i (a, b) ->
+             [
+               float_of_int i;
+               a.Fluid.Aimd_fairness.r1;
+               a.Fluid.Aimd_fairness.r2;
+               b.Fluid.Aimd_fairness.r1;
+               b.Fluid.Aimd_fairness.r2;
+             ])
+           (List.combine aimd_pts aiad_pts))
+  | None -> ());
+  buf_add buf "\n(r1, r2) trajectories (Gbit/s); the diagonal is the fairness line:\n";
+  buf_add buf
+    (phase_curves
+       [
+         Report.Ascii_plot.curve ~glyph:'a' "AIMD"
+           (List.map
+              (fun (pt : Fluid.Aimd_fairness.point) ->
+                (pt.Fluid.Aimd_fairness.r1 /. 1e9, pt.Fluid.Aimd_fairness.r2 /. 1e9))
+              aimd_pts);
+         Report.Ascii_plot.curve ~glyph:'d' "AIAD"
+           (List.map
+              (fun (pt : Fluid.Aimd_fairness.point) ->
+                (pt.Fluid.Aimd_fairness.r1 /. 1e9, pt.Fluid.Aimd_fairness.r2 /. 1e9))
+              aiad_pts);
+         Report.Ascii_plot.curve ~glyph:'.' "fairness line"
+           (List.init 30 (fun i -> (float_of_int i /. 4., float_of_int i /. 4.)));
+       ]);
+  buf_add buf
+    "\nMultiplicative decrease pulls the operating point onto the fairness \
+     line; additive decrease only slides along its unfair diagonal - the \
+     paper's ref. [11] argument, executed.\n";
+  Buffer.contents buf
+
+
+(* ------------------------------------------------------------------ *)
+(* B1 — the strong-stability basin                                     *)
+(* ------------------------------------------------------------------ *)
+
+let b1_safe_region ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "B1 -- the strong-stability basin: from which initial states (q, r) \
+     does Definition 1 hold? (recovery after routing changes / PAUSE \
+     episodes starts from arbitrary states, not only the canonical \
+     warm-up point)\n\n";
+  let p = default in
+  let ra = Fluid.Safe_region.raster ~nq:24 ~nr:20 p in
+  buf_add buf (Printf.sprintf "BDP buffer (B = %s):\n" (Report.Table.si p.Fluid.Params.buffer));
+  buf_add buf (Fluid.Safe_region.render ra);
+  (match csv_path out "b1_basin_bdp.csv" with
+  | Some path -> Fluid.Safe_region.to_csv ~path ra
+  | None -> ());
+  let p2 = Fluid.Params.with_buffer p (1.1 *. Fluid.Criterion.required_buffer p) in
+  let ra2 = Fluid.Safe_region.raster ~nq:24 ~nr:20 p2 in
+  buf_add buf
+    (Printf.sprintf "\nTheorem-1 buffer (B = %s):\n" (Report.Table.si p2.Fluid.Params.buffer));
+  buf_add buf (Fluid.Safe_region.render ra2);
+  (match csv_path out "b1_basin_theorem1.csv" with
+  | Some path -> Fluid.Safe_region.to_csv ~path ra2
+  | None -> ());
+  buf_add buf
+    (Printf.sprintf
+       "\nsafe fraction: %.2f (BDP) vs %.2f (Theorem-1 buffer). The unsafe \
+        band under BDP sizing is exactly the low-queue region every \
+        warm-up passes through.\n"
+       ra.Fluid.Safe_region.safe_fraction ra2.Fluid.Safe_region.safe_fraction);
+  Buffer.contents buf
+
+
+(* ------------------------------------------------------------------ *)
+(* M1 — two congestion points in series                                *)
+(* ------------------------------------------------------------------ *)
+
+let m1_multihop ?out () =
+  let buf = Buffer.create 4096 in
+  buf_add buf
+    "M1 -- two congestion points in series (beyond the paper's single \
+     bottleneck): 10 long flows cross both CPs, 10 short flows only the \
+     tighter one (C_B = C/2)\n\n";
+  let p = Fluid.Params.with_sampling ~pm:0.05 (Fluid.Params.with_buffer default 15e6) in
+  let base = Simnet.Multihop.default_config ~t_end:0.03 p in
+  let row label (r : Simnet.Multihop.result) =
+    [
+      label;
+      Printf.sprintf "%.3f" r.Simnet.Multihop.beatdown;
+      Report.Table.si (Stats.mean r.Simnet.Multihop.long_rates);
+      Report.Table.si (Stats.mean r.Simnet.Multihop.short_rates);
+      Printf.sprintf "%.3f" r.Simnet.Multihop.utilization_b;
+      string_of_int (r.Simnet.Multihop.drops_a + r.Simnet.Multihop.drops_b);
+      Report.Table.si (Stats.max r.Simnet.Multihop.queue_b.Series.vs);
+    ]
+  in
+  let strict = Simnet.Multihop.run base in
+  let relaxed =
+    Simnet.Multihop.run { base with Simnet.Multihop.strict_tagging = false }
+  in
+  let rows =
+    [
+      row "strict CPID/RRT (draft rule)" strict;
+      row "positive feedback to untagged" relaxed;
+    ]
+  in
+  buf_add buf
+    (Report.Table.render
+       ~headers:
+         [
+           "association rule"; "long/short goodput"; "long mean"; "short mean";
+           "util B"; "drops"; "max q_B";
+         ]
+       ~rows);
+  (match csv_path out "m1_multihop.csv" with
+  | Some path ->
+      Report.Csv.write ~path
+        ~header:[ "rule"; "beatdown"; "long"; "short"; "utilB"; "drops"; "maxqB" ]
+        ~rows
+  | None -> ());
+  buf_add buf
+    "\nWithout the draft's CPID/RRT association the uncongested first hop \
+     keeps re-accelerating the long flows against the second hop's \
+     throttling and the goodput ratio inverts wildly; with it, long and \
+     short flows share the tight hop to within tens of percent.\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let all ?out () =
+  [
+    ("fig3_taxonomy", fig3_taxonomy ?out ());
+    ("fig4_spiral", fig4_spiral ?out ());
+    ("fig5_node", fig5_node ?out ());
+    ("fig6_case1", fig6_case1 ?out ());
+    ("fig7_limit_cycle", fig7_limit_cycle ?out ());
+    ("fig8_case2", fig8_case2 ?out ());
+    ("fig9_case3", fig9_case3 ?out ());
+    ("fig10_case4", fig10_case4 ?out ());
+    ("t1_criterion", t1_criterion ?out ());
+    ("v1_fluid_vs_packet", v1_fluid_vs_packet ?out ());
+    ("v2_linear_vs_strong", v2_linear_vs_strong ?out ());
+    ("a1_transient_sampling", a1_transient_sampling ?out ());
+    ("a2_delay_margin", a2_delay_margin ?out ());
+    ("a3_solver_ablation", a3_solver_ablation ?out ());
+    ("p1_paradigms", p1_paradigms ?out ());
+    ("p2_aimd_fairness", p2_aimd_fairness ?out ());
+    ("w1_cross_traffic", w1_cross_traffic ?out ());
+    ("b1_safe_region", b1_safe_region ?out ());
+    ("m1_multihop", m1_multihop ?out ());
+  ]

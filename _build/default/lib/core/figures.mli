@@ -1,0 +1,105 @@
+(** Regeneration of every figure of the paper plus the two validation
+    experiments (see DESIGN.md §4 for the experiment index).
+
+    Each generator returns the printable reproduction (tables and ASCII
+    plots) and, when [out] is given, writes the underlying data series as
+    CSV files into that directory. The parameter sets used by Figs. 8–10
+    differ from the draft-recommended ones because the node regimes
+    require a switching line steeper than [w = 2] provides at 10 Gbit/s —
+    each figure's header states the set it uses. *)
+
+val fig3_taxonomy : ?out:string -> unit -> string
+(** Fig. 3 — the phase-trajectory taxonomy ①–⑨: one concrete system per
+    qualitative class (diverging focus/node, overflow, underflow, limit
+    cycle, strongly stable spiral/node), each classified by the library's
+    own machinery. *)
+
+val fig4_spiral : ?out:string -> unit -> string
+(** Fig. 4 — logarithmic-spiral trajectories of an underdamped subsystem
+    from two initial points, with the closed-form extrema (19)/(20)
+    checked against numerically observed extrema. *)
+
+val fig5_node : ?out:string -> unit -> string
+(** Fig. 5 — node trajectories, eigenline asymptotes, extremum (28). *)
+
+val fig6_case1 : ?out:string -> unit -> string
+(** Fig. 6 — Case-1 switched trajectory from [(−q0, 0)]: phase portrait,
+    x(t), y(t); analytic vs numeric first overshoot/undershoot. *)
+
+val fig7_limit_cycle : ?out:string -> unit -> string
+(** Fig. 7 — limit-cycle motion: (a) quasi-periodic amplitude sequence of
+    the BCN return map at the draft parameters; (b) a genuine limit cycle
+    in a variable-structure system with an unstable focus inside the
+    increase region (detected by the Poincaré machinery, closed orbit
+    sampled); (c) the sustained queue oscillation of the literal
+    packet-level BCN. *)
+
+val fig8_case2 : ?out:string -> unit -> string
+(** Fig. 8 — Case 2 (node increase / spiral decrease). *)
+
+val fig9_case3 : ?out:string -> unit -> string
+(** Fig. 9 — Case 3 (spiral increase / node decrease): no overshoot. *)
+
+val fig10_case4 : ?out:string -> unit -> string
+(** Fig. 10 — Case 4 (node/node): monotone approach. *)
+
+val t1_criterion : ?out:string -> unit -> string
+(** Theorem-1 worked example and parameter sweeps (the "table" of the
+    Remarks): required buffer vs BDP, and scaling with Gi, Gd, q0, N. *)
+
+val v1_fluid_vs_packet : ?out:string -> unit -> string
+(** Experiment V1 — fluid-model validation against the packet simulator,
+    including the deterministic-vs-Bernoulli sampling ablation. *)
+
+val v2_linear_vs_strong : ?out:string -> unit -> string
+(** Experiment V2 — the ref-[4] linear verdict vs Theorem 1 vs measured
+    strong stability across the buffer/gain sweep. *)
+
+val a1_transient_sampling : ?out:string -> unit -> string
+(** Ablation A1 — transient metrics (overshoot, oscillation count,
+    settling, per-cycle decay) across the sampling parameters [w] and
+    [pm], against the constant Theorem-1 bound (the paper's Remarks). *)
+
+val a2_delay_margin : ?out:string -> unit -> string
+(** Ablation A2 — the delayed-feedback fluid model: oscillation growth vs
+    feedback delay, and the critical delay at the draft gains (the
+    paper's negligible-delay assumption, bounded). *)
+
+val a3_solver_ablation : ?out:string -> unit -> string
+(** Ablation A3 — event-localized adaptive integration vs fixed-step
+    methods on the switched system, with the closed-form flow map as
+    ground truth. *)
+
+val p1_paradigms : ?out:string -> unit -> string
+(** P1 — BCN vs QCN vs FERA on the same bottleneck (the four 802.1Qau
+    proposal families of paper SII.A, minus E2CM's combination). *)
+
+val p2_aimd_fairness : ?out:string -> unit -> string
+(** P2 — the Chiu–Jain argument behind BCN's choice of AIMD (paper §II.B,
+    ref. [11]): AIMD converges to the fairness line from a 9:1 start,
+    additive decrease does not; also with BCN's own averaged gains. *)
+
+val w1_cross_traffic : ?out:string -> unit -> string
+(** W1 — BCN's queue control under uncontrolled Poisson/on-off/incast
+    background traffic. *)
+
+val m1_multihop : ?out:string -> unit -> string
+(** M1 — two congestion points in series: the multi-bottleneck goodput
+    ratio with and without the draft's CPID/RRT association rule. *)
+
+val b1_safe_region : ?out:string -> unit -> string
+(** B1 — raster of the strong-stability basin over initial [(q, r)]
+    states, BDP buffer vs Theorem-1 buffer. *)
+
+val all : ?out:string -> unit -> (string * string) list
+(** Every generator above as [(experiment id, rendered text)]. *)
+
+(** {1 Parameter sets used by the figures (exposed for tests)} *)
+
+val case2_params : Fluid.Params.t
+val case3_params : Fluid.Params.t
+val case4_params : Fluid.Params.t
+
+val genuine_limit_cycle_system : unit -> Phaseplane.System.t * float
+(** The variable-structure system of {!fig7_limit_cycle}(b) and a seed
+    section coordinate whose return-map iteration settles on the cycle. *)

@@ -1,0 +1,1 @@
+lib/fluid/aimd_fairness.ml: Float List Params

@@ -1,0 +1,1 @@
+lib/fluid/cases.ml: Float Format Linearized Node Params

@@ -1,0 +1,1 @@
+lib/fluid/cases.mli: Format Linearized Params

@@ -1,0 +1,1 @@
+lib/fluid/criterion.ml: Float Params

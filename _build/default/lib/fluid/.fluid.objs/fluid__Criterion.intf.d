@@ -1,0 +1,1 @@
+lib/fluid/criterion.mli: Params

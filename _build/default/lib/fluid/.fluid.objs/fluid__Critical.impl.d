@@ -1,0 +1,1 @@
+lib/fluid/critical.ml: Crossing Float Option

@@ -1,0 +1,1 @@
+lib/fluid/critical.mli: Crossing

@@ -1,0 +1,1 @@
+lib/fluid/crossing.ml: Float Numerics

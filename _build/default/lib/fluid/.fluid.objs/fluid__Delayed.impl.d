@@ -1,0 +1,1 @@
+lib/fluid/delayed.ml: Array Float Linearized List Numerics Params Series Stats Stdlib

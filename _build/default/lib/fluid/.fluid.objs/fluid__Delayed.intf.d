@@ -1,0 +1,1 @@
+lib/fluid/delayed.mli: Numerics Params

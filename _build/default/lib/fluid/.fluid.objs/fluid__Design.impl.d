@@ -1,0 +1,1 @@
+lib/fluid/design.ml: Criterion List Params Transient

@@ -1,0 +1,1 @@
+lib/fluid/design.mli: Params

@@ -1,0 +1,1 @@
+lib/fluid/flowmap.ml: Cases Critical Crossing Float Linearized List Mat2 Model Node Numerics Params Spiral Stdlib Vec2

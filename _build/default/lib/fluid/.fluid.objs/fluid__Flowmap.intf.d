@@ -1,0 +1,1 @@
+lib/fluid/flowmap.mli: Linearized Numerics Params

@@ -1,0 +1,1 @@
+lib/fluid/linearized.ml: Control Mat2 Numerics Params Phaseplane Poly Vec2

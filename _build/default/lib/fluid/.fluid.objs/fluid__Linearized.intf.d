@@ -1,0 +1,1 @@
+lib/fluid/linearized.mli: Control Numerics Params Phaseplane

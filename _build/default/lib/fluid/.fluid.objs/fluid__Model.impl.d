@@ -1,0 +1,1 @@
+lib/fluid/model.ml: Array Float Numerics Ode Params Phaseplane Series Vec2

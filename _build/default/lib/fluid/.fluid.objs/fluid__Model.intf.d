@@ -1,0 +1,1 @@
+lib/fluid/model.mli: Numerics Params Phaseplane

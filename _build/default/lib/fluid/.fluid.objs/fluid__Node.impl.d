@@ -1,0 +1,1 @@
+lib/fluid/node.ml: Crossing Float Linearized Option

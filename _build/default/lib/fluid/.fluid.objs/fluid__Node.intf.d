@@ -1,0 +1,1 @@
+lib/fluid/node.mli: Crossing Linearized Params

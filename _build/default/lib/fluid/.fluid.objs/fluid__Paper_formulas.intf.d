@@ -1,0 +1,1 @@
+lib/fluid/paper_formulas.mli: Params

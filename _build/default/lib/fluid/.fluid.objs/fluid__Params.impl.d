@@ -1,0 +1,1 @@
+lib/fluid/params.ml: Control Format

@@ -1,0 +1,1 @@
+lib/fluid/params.mli: Control Format

@@ -1,0 +1,1 @@
+lib/fluid/safe_region.ml: Array Buffer Float Linearized List Model Params Printf Report String

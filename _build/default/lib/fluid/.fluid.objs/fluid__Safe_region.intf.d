@@ -1,0 +1,1 @@
+lib/fluid/safe_region.mli: Params

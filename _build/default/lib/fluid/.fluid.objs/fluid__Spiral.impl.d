@@ -1,0 +1,1 @@
+lib/fluid/spiral.ml: Crossing Float Linearized

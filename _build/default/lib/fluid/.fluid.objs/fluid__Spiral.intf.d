@@ -1,0 +1,1 @@
+lib/fluid/spiral.mli: Crossing Linearized Params

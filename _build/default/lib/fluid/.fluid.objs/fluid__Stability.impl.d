@@ -1,0 +1,1 @@
+lib/fluid/stability.ml: Cases Float Flowmap Format Linearized Mat2 Model Node Numerics Params Phaseplane Series Spiral

@@ -1,0 +1,1 @@
+lib/fluid/stability.mli: Cases Format Params Phaseplane

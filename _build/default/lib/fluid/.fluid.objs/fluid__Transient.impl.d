@@ -1,0 +1,1 @@
+lib/fluid/transient.ml: Array Float Format Linearized List Model Numerics Params Phaseplane Printf Series Vec2

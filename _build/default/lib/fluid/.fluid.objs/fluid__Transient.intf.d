@@ -1,0 +1,1 @@
+lib/fluid/transient.mli: Format Params

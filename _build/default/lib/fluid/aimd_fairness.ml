@@ -1,0 +1,50 @@
+type policy =
+  | Aimd of { increase : float; decrease : float }
+  | Aiad of { increase : float; decrease : float }
+
+type point = { r1 : float; r2 : float }
+
+let of_params ?(round = 1e-3) ?(excursion_frac = 0.1) p =
+  if round <= 0. then invalid_arg "Aimd_fairness.of_params: round <= 0";
+  let sigma = excursion_frac *. p.Params.q0 in
+  Aimd
+    {
+      increase = p.Params.gi *. p.Params.ru *. sigma *. round;
+      decrease = 1. -. exp (-.p.Params.gd *. sigma *. round);
+    }
+
+let step policy ~capacity pt =
+  let congested = pt.r1 +. pt.r2 > capacity in
+  let apply r =
+    match policy with
+    | Aimd { increase; decrease } ->
+        if congested then r *. (1. -. decrease) else r +. increase
+    | Aiad { increase; decrease } ->
+        if congested then Float.max 0. (r -. decrease) else r +. increase
+  in
+  { r1 = apply pt.r1; r2 = apply pt.r2 }
+
+let iterate policy ~capacity ~n pt =
+  let rec go acc p i =
+    if i >= n then List.rev acc
+    else begin
+      let p' = step policy ~capacity p in
+      go (p' :: acc) p' (i + 1)
+    end
+  in
+  go [] pt 0
+
+let fairness_index pt =
+  let s = pt.r1 +. pt.r2 in
+  let s2 = (pt.r1 *. pt.r1) +. (pt.r2 *. pt.r2) in
+  if s2 = 0. then 1. else s *. s /. (2. *. s2)
+
+let converges_to_fairness ?(n = 500) ?(tol = 0.01) policy ~capacity pt =
+  let rec go p i =
+    if fairness_index p >= 1. -. tol then true
+    else if i >= n then false
+    else go (step policy ~capacity p) (i + 1)
+  in
+  go pt 0
+
+let efficiency ~capacity pt = (pt.r1 +. pt.r2) /. capacity

@@ -1,0 +1,54 @@
+(** The Chiu–Jain fairness argument the paper leans on (§II.B cites
+    ref. [11] to justify AIMD: "proven to be stable, convergent and fair").
+
+    Two synchronized flows receiving the same binary feedback follow the
+    classic discrete dynamics on the [(r1, r2)] plane:
+
+    - congestion ([r1 + r2 > C·u]): multiplicative decrease
+      [r <- r·(1 − d)];
+    - otherwise: additive increase [r <- r + i].
+
+    Multiplicative decrease preserves the rate ratio's distance from the
+    fairness line while additive increase moves toward it, so the
+    trajectory zig-zags into the efficiency–fairness corner. This module
+    makes the argument executable (and its converse: additive decrease
+    does NOT converge to fairness), tying the paper's remark that a limit
+    cycle "would impose a negative impact on the fairness" to the
+    mechanism that produces fairness in the first place. *)
+
+type policy =
+  | Aimd of { increase : float; decrease : float }
+      (** additive increase [bit/s], multiplicative decrease fraction *)
+  | Aiad of { increase : float; decrease : float }
+      (** additive increase and additive decrease — the non-converging
+          strawman of Chiu–Jain *)
+
+type point = { r1 : float; r2 : float }
+
+val of_params : ?round:float -> ?excursion_frac:float -> Params.t -> policy
+(** BCN's fluid rate laws (eqn (7)) aggregated over a feedback round of
+    duration [round] (default 1 ms) at a representative sigma excursion of
+    [excursion_frac]·q0 (default 0.1): additive increase
+    [Gi·Ru·sigma·round], multiplicative-decrease fraction
+    [1 − exp(−Gd·sigma·round)]. The literal per-message eqn (2) cannot be
+    used directly here: with sigma in bits and Gd = 1/128 a single message
+    already saturates the decrease — the draft quantizes Fb before
+    applying it, which the fluid abstraction (and this mapping) absorbs
+    into the time aggregation. *)
+
+val step : policy -> capacity:float -> point -> point
+(** One synchronized feedback round; rates floor at 0. *)
+
+val iterate : policy -> capacity:float -> n:int -> point -> point list
+(** The first [n] iterates (excluding the start). *)
+
+val fairness_index : point -> float
+(** Jain's index for two flows: [(r1+r2)² / (2(r1²+r2²))]. *)
+
+val converges_to_fairness :
+  ?n:int -> ?tol:float -> policy -> capacity:float -> point -> bool
+(** Whether the index reaches [1 − tol] (default [tol = 0.01]) within [n]
+    (default 500) rounds. *)
+
+val efficiency : capacity:float -> point -> float
+(** [(r1 + r2) / C]. *)

@@ -1,0 +1,63 @@
+type shape = Spiral_shape | Node_shape | Critical_shape
+
+type case = Case1 | Case2 | Case3 | Case4 | Case5
+
+let shape_of ?(eps = 1e-9) p region =
+  let m = Linearized.damping p region and n = Linearized.stiffness p region in
+  let disc = (m *. m) -. (4. *. n) in
+  if Float.abs disc <= eps *. (4. *. n) then Critical_shape
+  else if disc < 0. then Spiral_shape
+  else Node_shape
+
+let classify ?eps p =
+  match (shape_of ?eps p Linearized.Increase, shape_of ?eps p Linearized.Decrease) with
+  | Critical_shape, _ | _, Critical_shape -> Case5
+  | Spiral_shape, Spiral_shape -> Case1
+  | Node_shape, Spiral_shape -> Case2
+  | Spiral_shape, Node_shape -> Case3
+  | Node_shape, Node_shape -> Case4
+
+let strongly_stable_unconditionally = function
+  | Case3 | Case4 | Case5 -> true
+  | Case1 | Case2 -> false
+
+let eigen_slope_bound p region =
+  match shape_of p region with
+  | Spiral_shape | Critical_shape -> true
+  | Node_shape ->
+      let c = Node.of_region p region in
+      let bound = -1. /. Params.k p in
+      Node.fast_slope c < bound && Node.slow_slope c < bound
+
+let describe = function
+  | Case1 ->
+      "Case 1: spiral in both regions (a < 4pm^2C^2/w^2, b < 4pm^2C/w^2); \
+       oscillatory convergence, limit cycles possible"
+  | Case2 ->
+      "Case 2: node in the increase region, spiral in the decrease region \
+       (a > 4pm^2C^2/w^2, b < 4pm^2C/w^2); single overshoot"
+  | Case3 ->
+      "Case 3: spiral in the increase region, node in the decrease region \
+       (a < 4pm^2C^2/w^2, b > 4pm^2C/w^2); no overshoot of q0"
+  | Case4 ->
+      "Case 4: node in both regions (a > 4pm^2C^2/w^2, b > 4pm^2C/w^2); \
+       monotone approach"
+  | Case5 ->
+      "Case 5: a boundary equality holds (repeated eigenvalue -2/k in one \
+       region; note: the paper misprints it as -1/k, see EXPERIMENTS.md)"
+
+let pp_case ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Case1 -> "Case 1 (spiral/spiral)"
+    | Case2 -> "Case 2 (node/spiral)"
+    | Case3 -> "Case 3 (spiral/node)"
+    | Case4 -> "Case 4 (node/node)"
+    | Case5 -> "Case 5 (critical boundary)")
+
+let pp_shape ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Spiral_shape -> "spiral"
+    | Node_shape -> "node"
+    | Critical_shape -> "critical")

@@ -1,0 +1,44 @@
+(** The paper's case taxonomy (§IV.C).
+
+    With [k = w/(pm·C)], the increase subsystem is a spiral iff
+    [a < 4·pm²·C²/w² = 4/k²] and the decrease subsystem is a spiral iff
+    [b < 4·pm²·C/w² = 4/(k²·C)]. The paper's six basic phase-trajectory
+    types collapse into five analysis cases. *)
+
+type shape =
+  | Spiral_shape  (** discriminant < 0: logarithmic spiral (Fig. 4) *)
+  | Node_shape  (** discriminant > 0: parabola-like node (Fig. 5) *)
+  | Critical_shape  (** repeated eigenvalue: boundary *)
+
+type case =
+  | Case1  (** spiral / spiral — oscillatory, limit cycles possible (Fig. 6/7) *)
+  | Case2  (** node in I-region, spiral in D-region (Fig. 8) *)
+  | Case3  (** spiral in I-region, node in D-region (Fig. 9) *)
+  | Case4  (** node / node (Fig. 10) *)
+  | Case5
+      (** a boundary equality holds (repeated eigenvalue in one region).
+          NOTE: the paper justifies this case by claiming the switching
+          line is itself a trajectory with [lambda = -1/k]; in fact
+          [-1/k] is never a root of eqn (35) — the repeated eigenvalue at
+          the boundary is [-2/k] (see EXPERIMENTS.md erratum 7). The
+          strong-stability conclusion still holds by continuity. *)
+
+val shape_of : ?eps:float -> Params.t -> Linearized.region -> shape
+(** [eps] (default 1e-9) is the relative tolerance on the discriminant for
+    declaring the critical boundary. *)
+
+val classify : ?eps:float -> Params.t -> case
+
+val strongly_stable_unconditionally : case -> bool
+(** True for Cases 3–5 (paper Propositions 4): no parameter constraint
+    beyond the case membership is needed. *)
+
+val eigen_slope_bound : Params.t -> Linearized.region -> bool
+(** The paper's observation below eqn (35): in a node region both
+    eigenvalues satisfy [l < −1/k], so node trajectories must cross the
+    switching line in the second quadrant. Returns true when the bound
+    holds (vacuously true for spiral regions). *)
+
+val describe : case -> string
+val pp_case : Format.formatter -> case -> unit
+val pp_shape : Format.formatter -> shape -> unit

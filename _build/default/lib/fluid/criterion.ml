@@ -1,0 +1,52 @@
+let ratio p = Params.a p /. (Params.b p *. p.Params.capacity)
+
+let overshoot_bound p = sqrt (ratio p) *. p.Params.q0
+
+let required_buffer p = (1. +. sqrt (ratio p)) *. p.Params.q0
+
+let satisfied p = required_buffer p < p.Params.buffer
+
+let margin p = p.Params.buffer -. required_buffer p
+
+let q0_max p = p.Params.buffer /. (1. +. sqrt (ratio p))
+
+let gi_max p =
+  (* (1 + sqrt(Ru·Gi·N/(Gd·C)))·q0 < B  ⇔  Gi < Gd·C·(B/q0 − 1)²/(Ru·N) *)
+  let slack = (p.Params.buffer /. p.Params.q0) -. 1. in
+  if slack <= 0. then
+    invalid_arg "Criterion.gi_max: q0 >= B, no gain can satisfy the criterion";
+  p.Params.gd *. p.Params.capacity *. slack *. slack
+  /. (p.Params.ru *. float_of_int p.Params.n_flows)
+
+let gd_min p =
+  let slack = (p.Params.buffer /. p.Params.q0) -. 1. in
+  if slack <= 0. then
+    invalid_arg "Criterion.gd_min: q0 >= B, no gain can satisfy the criterion";
+  p.Params.ru *. p.Params.gi *. float_of_int p.Params.n_flows
+  /. (p.Params.capacity *. slack *. slack)
+
+let n_flows_max p =
+  let slack = (p.Params.buffer /. p.Params.q0) -. 1. in
+  if slack <= 0. then 0
+  else begin
+    let bound =
+      p.Params.gd *. p.Params.capacity *. slack *. slack
+      /. (p.Params.ru *. p.Params.gi)
+    in
+    (* strict inequality: step just inside *)
+    let n = int_of_float (Float.floor bound) in
+    if float_of_int n >= bound then n - 1 else n
+  end
+
+let buffer_for ?(headroom = 1.1) p =
+  if headroom < 1. then invalid_arg "Criterion.buffer_for: headroom < 1";
+  headroom *. required_buffer p
+
+let startup_time p =
+  let n = float_of_int p.Params.n_flows in
+  (p.Params.capacity -. (n *. p.Params.mu))
+  /. (n *. p.Params.ru *. p.Params.gi *. p.Params.q0)
+
+let vs_bdp p ~rtt =
+  if rtt <= 0. then invalid_arg "Criterion.vs_bdp: rtt <= 0";
+  required_buffer p /. (p.Params.capacity *. rtt)

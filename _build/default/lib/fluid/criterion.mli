@@ -1,0 +1,53 @@
+(** Theorem 1 — the explicit strong-stability criterion — and the
+    parameter-engineering helpers derived from it (paper §IV.C Remarks).
+
+    Theorem 1: the BCN system is strongly stable if
+
+    {v (1 + sqrt (Ru·Gi·N / (Gd·C))) · q0 < B v}
+
+    The left-hand side is the {e required buffer}; it scales with
+    [sqrt (N/C)] and with [q0], and is independent of the sampling
+    parameters [w] and [pm] (they only shape the transient). *)
+
+val required_buffer : Params.t -> float
+(** [(1 + sqrt(a/(b·C)))·q0]. *)
+
+val satisfied : Params.t -> bool
+(** [required_buffer p < B]. *)
+
+val margin : Params.t -> float
+(** [B − required_buffer] (positive when the criterion holds). *)
+
+val overshoot_bound : Params.t -> float
+(** The transient bound [sqrt(a/(b·C))·q0] on [max x] used in the proof;
+    [max q(t)] is below [q0 + overshoot_bound]. *)
+
+val q0_max : Params.t -> float
+(** Largest reference queue passing the criterion for the current gains
+    and buffer: [B / (1 + sqrt(a/(b·C)))]. *)
+
+val gi_max : Params.t -> float
+(** Largest additive-increase gain passing the criterion, all else fixed.
+    Raises [Invalid_argument] if even [Gi → 0] cannot satisfy it
+    (i.e. [q0 >= B]). *)
+
+val gd_min : Params.t -> float
+(** Smallest multiplicative-decrease gain passing the criterion. *)
+
+val n_flows_max : Params.t -> int
+(** Largest homogeneous flow count passing the criterion (at least 0). *)
+
+val buffer_for : ?headroom:float -> Params.t -> float
+(** Buffer that satisfies the criterion with a multiplicative [headroom]
+    (default 1.1). *)
+
+val startup_time : Params.t -> float
+(** [T0 = (C − N·mu)/(N·Ru·Gi·q0)] — the warm-up duration that a small
+    [q0] prolongs (the Remarks' trade-off). *)
+
+val vs_bdp : Params.t -> rtt:float -> float
+(** Ratio of the required buffer to the bandwidth-delay product [C·rtt] —
+    the paper's headline "nearly three times the BDP" for the worked
+    example. (The paper quotes a 5 Mbit BDP for C = 10 Gb/s, i.e. an
+    effective delay of 0.5 ms; its "0.5 us" is an evident unit slip,
+    noted in DESIGN.md.) *)

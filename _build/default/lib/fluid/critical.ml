@@ -1,0 +1,49 @@
+type coeffs = { l : float }
+
+let coeffs ~m ~n =
+  if m <= 0. || n <= 0. then invalid_arg "Critical.coeffs: need m > 0, n > 0";
+  let disc = (m *. m) -. (4. *. n) in
+  if Float.abs disc > 1e-9 *. Float.max 1. (4. *. n) then
+    invalid_arg "Critical.coeffs: not critically damped (m^2 <> 4n)";
+  { l = -.m /. 2. }
+
+let of_eigen l =
+  if l >= 0. then invalid_arg "Critical.of_eigen: need l < 0";
+  { l }
+
+let constants c ~x0 ~y0 = (x0, y0 -. (c.l *. x0))
+
+let solution c ~x0 ~y0 t =
+  let a3, a4 = constants c ~x0 ~y0 in
+  let e = exp (c.l *. t) in
+  let x = (a3 +. (a4 *. t)) *. e in
+  let y = ((a3 *. c.l) +. a4 +. (a4 *. c.l *. t)) *. e in
+  (x, y)
+
+let on_eigenline c ~x0 ~y0 =
+  let scale = 1. +. Float.abs x0 +. Float.abs y0 in
+  Float.abs (y0 -. (c.l *. x0)) <= 1e-12 *. scale
+
+let extremum_time c ~x0 ~y0 =
+  let a3, a4 = constants c ~x0 ~y0 in
+  if a4 = 0. then None
+  else begin
+    let t = -.((a3 *. c.l) +. a4) /. (a4 *. c.l) in
+    if t > 1e-15 then Some t else None
+  end
+
+let extremum c ~x0 ~y0 =
+  Option.map (fun t -> fst (solution c ~x0 ~y0 t)) (extremum_time c ~x0 ~y0)
+
+let extremum_paper c ~x0 ~y0 =
+  let a3, a4 = constants c ~x0 ~y0 in
+  if a4 = 0. then None
+  else
+    Some (-.a4 /. c.l *. exp (-.((c.l *. a3) +. a4) /. (c.l *. a4)))
+
+let crossing_time c ~k ~dir ?(t_min = 0.) ?t_max ~x0 ~y0 () =
+  let horizon = 50. /. Float.abs c.l in
+  let t_max = match t_max with Some t -> t | None -> horizon in
+  let sol t = solution c ~x0 ~y0 t in
+  let dt = Float.min (0.01 /. Float.abs c.l) ((t_max -. t_min) /. 400.) in
+  Crossing.first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt

@@ -1,0 +1,51 @@
+(** Closed-form trajectories of a critically damped subsystem —
+    paper §IV.B Case 3, eqns (29)–(34).
+
+    The boundary case [m² = 4n]: a repeated real eigenvalue
+    [l = −m/2 < 0]; trajectories are node-like with a single invariant
+    straight line [y = l·x]. In the BCN system this occurs exactly on the
+    Case-5 parameter boundary [a = 4·pm²·C²/w²] or [b = 4·pm²·C/w²]. *)
+
+type coeffs = private { l : float }
+
+val coeffs : m:float -> n:float -> coeffs
+(** Raises [Invalid_argument] unless [m > 0], [n > 0] and [m² = 4n]
+    within a relative tolerance of 1e-9. *)
+
+val of_eigen : float -> coeffs
+(** Directly from the repeated eigenvalue ([l < 0] required). *)
+
+val constants : coeffs -> x0:float -> y0:float -> float * float
+(** [(A3, A4)] of the solution [x t = (A3 + A4·t)·exp(l·t)] (eqn (29)):
+    [A3 = x0], [A4 = y0 − l·x0]. *)
+
+val solution : coeffs -> x0:float -> y0:float -> float -> float * float
+(** [(x t, y t)] — eqn (29). *)
+
+val on_eigenline : coeffs -> x0:float -> y0:float -> bool
+(** Whether the start lies on the straight-line trajectory (31). *)
+
+val extremum_time : coeffs -> x0:float -> y0:float -> float option
+(** Positive root of [y t = 0]: [t* = −(A3·l + A4)/(A4·l)] when
+    [A4 <> 0]. *)
+
+val extremum : coeffs -> x0:float -> y0:float -> float option
+(** [x] at the extremum: [(−A4/l)·exp(−(l·A3 + A4)/A4)].
+    Note: the paper's eqn (34) prints the exponent as
+    [−(l·A3 + A4)/(l·A4)]; substituting [t*] into (29) gives
+    [l·t* = −(l·A3 + A4)/A4] — the extra [1/l] is a typo, which the
+    test suite confirms numerically (see DESIGN.md errata). *)
+
+val extremum_paper : coeffs -> x0:float -> y0:float -> float option
+(** The literal eqn (34), kept to document the typo. *)
+
+val crossing_time :
+  coeffs ->
+  k:float ->
+  dir:Crossing.direction ->
+  ?t_min:float ->
+  ?t_max:float ->
+  x0:float ->
+  y0:float ->
+  unit ->
+  float option

@@ -1,0 +1,45 @@
+(* Shared helper: first time a closed-form planar solution crosses the
+   switching line x + k·y = 0, found by scanning for a sign change of
+   g(t) = x(t) + k·y(t) and refining with Brent.
+
+   Used by the piecewise closed-form flow map (Spiral / Node / Critical):
+   each region's trajectory is known exactly, so locating the region exit
+   reduces to scalar root finding on g. *)
+
+type direction = Into_pos | Into_neg | Any
+(* Into_pos: g goes from < 0 to > 0 (entering the region where
+   x + k·y > 0, i.e. sigma < 0: the rate-DECREASE region).
+   Into_neg: the opposite crossing. *)
+
+let matches dir g_prev g_next =
+  match dir with
+  | Into_pos -> g_prev < 0. && g_next >= 0.
+  | Into_neg -> g_prev > 0. && g_next <= 0.
+  | Any -> g_prev *. g_next <= 0. && g_prev <> g_next
+
+(* [first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt] scans [t_min, t_max]
+   with step [dt]. [sol t] must return (x t, y t). *)
+let first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt =
+  if dt <= 0. then invalid_arg "Crossing.first_crossing: dt <= 0";
+  let g t =
+    let x, y = sol t in
+    x +. (k *. y)
+  in
+  let rec scan t g_prev =
+    if t >= t_max then None
+    else begin
+      let t' = Float.min (t +. dt) t_max in
+      let g_next = g t' in
+      if matches dir g_prev g_next then begin
+        let root =
+          if g_prev = 0. then t
+          else
+            try Numerics.Roots.brent ~tol:1e-14 g t t'
+            with Numerics.Roots.No_bracket _ -> t'
+        in
+        Some root
+      end
+      else scan t' g_next
+    end
+  in
+  scan t_min (g t_min)

@@ -1,0 +1,112 @@
+open Numerics
+
+type result = {
+  x : Series.t;
+  y : Series.t;
+  growth_per_cycle : float option;
+}
+
+let decrease_period p =
+  2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Decrease)
+
+(* Geometric-mean ratio of successive |x| extrema magnitudes (skipping the
+   first, which is the launch transient). *)
+let growth_of_extrema extrema =
+  let mags =
+    List.filter_map
+      (fun (_, v, _) ->
+        let m = Float.abs v in
+        if m > 0. then Some m else None)
+      extrema
+  in
+  match mags with
+  | _ :: (_ :: _ :: _ as tail) ->
+      let rec ratios acc = function
+        | a :: (b :: _ as rest) -> ratios (log (b /. a) :: acc) rest
+        | [ _ ] | [] -> acc
+      in
+      let rs = ratios [] tail in
+      if rs = [] then None
+      else
+        Some (exp (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)))
+  | _ -> None
+
+let simulate ?h ?t_end ?x0 ?y0 ~tau p =
+  if tau < 0. then invalid_arg "Delayed.simulate: negative tau";
+  let period = decrease_period p in
+  let h = match h with Some v -> v | None -> period /. 400. in
+  let t_end = match t_end with Some v -> v | None -> 20. *. period in
+  let x0 = match x0 with Some v -> v | None -> -.p.Params.q0 in
+  let y0 = match y0 with Some v -> v | None -> 0. in
+  let a = Params.a p and b = Params.b p and k = Params.k p in
+  let c = p.Params.capacity in
+  let steps = int_of_float (Float.ceil (t_end /. h)) in
+  let xs = Array.make (steps + 1) x0 in
+  let ys = Array.make (steps + 1) y0 in
+  (* linear interpolation into the recorded history; before t = 0 the
+     system sat at the initial state *)
+  let delayed filled t =
+    let td = t -. tau in
+    if td <= 0. then (x0, y0)
+    else begin
+      let fi = td /. h in
+      let i0 = Stdlib.min filled (int_of_float (Float.floor fi)) in
+      let i1 = Stdlib.min filled (i0 + 1) in
+      let frac = fi -. float_of_int i0 in
+      ( xs.(i0) +. (frac *. (xs.(i1) -. xs.(i0))),
+        ys.(i0) +. (frac *. (ys.(i1) -. ys.(i0))) )
+    end
+  in
+  (* one RK4 step; the delayed terms are frozen over the step at their
+     midpoint value, which is second-order accurate and keeps the stage
+     structure simple (h << tau regime) *)
+  let step i =
+    let t = float_of_int i *. h in
+    let xd, yd = delayed i (t +. (h /. 2.)) in
+    let g = xd +. (k *. yd) in
+    let f (x, y) =
+      ignore x;
+      let dy = if -.g >= 0. then -.a *. g else -.b *. (y +. c) *. g in
+      (y, dy)
+    in
+    let xv = xs.(i) and yv = ys.(i) in
+    let k1x, k1y = f (xv, yv) in
+    let k2x, k2y = f (xv +. (h /. 2. *. k1x), yv +. (h /. 2. *. k1y)) in
+    let k3x, k3y = f (xv +. (h /. 2. *. k2x), yv +. (h /. 2. *. k2y)) in
+    let k4x, k4y = f (xv +. (h *. k3x), yv +. (h *. k3y)) in
+    xs.(i + 1) <- xv +. (h /. 6. *. (k1x +. (2. *. k2x) +. (2. *. k3x) +. k4x));
+    ys.(i + 1) <- yv +. (h /. 6. *. (k1y +. (2. *. k2y) +. (2. *. k3y) +. k4y))
+  in
+  for i = 0 to steps - 1 do
+    step i
+  done;
+  let ts = Array.init (steps + 1) (fun i -> float_of_int i *. h) in
+  let x_series = Series.make ts xs in
+  let y_series = Series.make ts ys in
+  {
+    x = x_series;
+    y = y_series;
+    growth_per_cycle = growth_of_extrema (Series.local_extrema x_series);
+  }
+
+let is_stable ?h ?t_end ~tau p =
+  let r = simulate ?h ?t_end ~tau p in
+  match r.growth_per_cycle with
+  | Some g -> g < 1.
+  | None ->
+      (* no sustained oscillation: check the trajectory stayed bounded *)
+      Float.abs (Stats.max r.x.Series.vs) < 100. *. p.Params.q0
+
+let critical_delay ?tau_max ?(tol = 0.02) p =
+  let tau_max =
+    match tau_max with Some v -> v | None -> decrease_period p
+  in
+  if is_stable ~tau:tau_max p then None
+  else begin
+    let lo = ref 0. and hi = ref tau_max in
+    while !hi -. !lo > tol *. tau_max do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if is_stable ~tau:mid p then lo := mid else hi := mid
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end

@@ -1,0 +1,50 @@
+(** BCN fluid model with feedback delay — the extension the paper leaves
+    to future work (§III.A assumes negligible propagation delay).
+
+    The congestion point's measurement reaches the reaction point one
+    round-trip late, so the rate laws act on delayed state:
+
+    {v
+      x'(t) = y(t)
+      y'(t) = -a (x(t-tau) + k y(t-tau))                sigma_d > 0
+      y'(t) = -b (y(t) + C) (x(t-tau) + k y(t-tau))     sigma_d < 0
+    v}
+
+    where [sigma_d = -(x(t-tau) + k·y(t-tau))] and the multiplicative
+    factor [(y + C)] stays current (the decrease scales the rate the
+    source actually has). Integrated by fixed-step RK4 over a dense
+    history buffer with linear interpolation at the delayed instants
+    (method of steps). With [tau = 0] this coincides with
+    {!Model.normalized_system}; growing [tau] erodes the stability margin
+    until the oscillation no longer contracts. *)
+
+type result = {
+  x : Numerics.Series.t;
+  y : Numerics.Series.t;
+  growth_per_cycle : float option;
+      (** geometric mean ratio of successive |x| extrema after the first
+          switching; > 1 means the delayed loop is unstable. [None] when
+          fewer than three extrema were observed. *)
+}
+
+val simulate :
+  ?h:float ->
+  ?t_end:float ->
+  ?x0:float ->
+  ?y0:float ->
+  tau:float ->
+  Params.t ->
+  result
+(** Defaults: [x0 = -q0], [y0 = 0], [t_end] = 20 decrease-region periods,
+    [h] = period/400. Raises [Invalid_argument] on negative [tau]. *)
+
+val is_stable : ?h:float -> ?t_end:float -> tau:float -> Params.t -> bool
+(** [growth_per_cycle < 1] (contracting); treats [None] as stable when
+    the trajectory simply converged without oscillating. *)
+
+val critical_delay :
+  ?tau_max:float -> ?tol:float -> Params.t -> float option
+(** Smallest delay at which the oscillation stops contracting, found by
+    bisection on {!is_stable} over [[0, tau_max]] ([tau_max] defaults to
+    one decrease-region period). [None] when the loop is still stable at
+    [tau_max]. [tol] is the relative bisection tolerance (default 0.02). *)

@@ -1,0 +1,81 @@
+type candidate = {
+  params : Params.t;
+  required_buffer : float;
+  margin : float;
+  settling : float option;
+  decay : float option;
+  warmup : float;
+}
+
+type constraints = {
+  max_warmup : float;
+  headroom : float;
+}
+
+let default_constraints = { max_warmup = 1e-3; headroom = 1.1 }
+
+let evaluate p =
+  let t = Transient.measure p in
+  {
+    params = p;
+    required_buffer = Criterion.required_buffer p;
+    margin = Criterion.margin p;
+    settling = t.Transient.settling_time;
+    decay = t.Transient.decay_per_cycle;
+    warmup = Criterion.startup_time p;
+  }
+
+let default_gi = [ 0.25; 0.5; 1.; 2.; 4. ]
+let default_gd = [ 1. /. 256.; 1. /. 128.; 1. /. 64.; 1. /. 32.; 1. /. 16. ]
+
+(* candidates ranked: settled beats unsettled; then shorter settling;
+   then stronger decay *)
+let better a b =
+  match (a.settling, b.settling) with
+  | Some ta, Some tb -> ta < tb
+  | Some _, None -> true
+  | None, Some _ -> false
+  | None, None -> (
+      match (a.decay, b.decay) with
+      | Some da, Some db -> da < db
+      | Some _, None -> true
+      | None, Some _ | None, None -> false)
+
+let feasible_set ?(constraints = default_constraints) ?(gi_grid = default_gi)
+    ?(gd_grid = default_gd) ?q0_grid ~n_flows ~capacity ~buffer () =
+  if buffer <= 0. then invalid_arg "Design.feasible_set: buffer <= 0";
+  let q0_grid =
+    match q0_grid with
+    | Some g -> g
+    | None -> [ buffer /. 10.; buffer /. 6.; buffer /. 4. ]
+  in
+  let candidates =
+    List.concat_map
+      (fun gi ->
+        List.concat_map
+          (fun gd ->
+            List.filter_map
+              (fun q0 ->
+                let p =
+                  Params.make ~n_flows ~capacity ~q0 ~buffer ~gi ~gd ~ru:8e6 ()
+                in
+                if
+                  constraints.headroom *. Criterion.required_buffer p < buffer
+                  && Criterion.startup_time p <= constraints.max_warmup
+                then Some (evaluate p)
+                else None)
+              q0_grid)
+          gd_grid)
+      gi_grid
+  in
+  List.sort (fun a b -> if better a b then -1 else if better b a then 1 else 0)
+    candidates
+
+let recommend ?constraints ?gi_grid ?gd_grid ?q0_grid ~n_flows ~capacity
+    ~buffer () =
+  match
+    feasible_set ?constraints ?gi_grid ?gd_grid ?q0_grid ~n_flows ~capacity
+      ~buffer ()
+  with
+  | best :: _ -> Some best
+  | [] -> None

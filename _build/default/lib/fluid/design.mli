@@ -1,0 +1,57 @@
+(** Parameter design: the paper's conclusion promises "straightforward
+    guidelines for proper parameter settings"; this module turns
+    Theorem 1 plus the transient metrics into a small design engine.
+
+    Given the deployment facts (flow count, capacity, buffer), it searches
+    the gain/reference grid for configurations that satisfy the criterion
+    with headroom and ranks the feasible ones by transient quality
+    (settling time, then per-cycle decay). The Remarks' trade-off — a
+    small q0 favours stability but stretches the warm-up T0 — appears as
+    an explicit constraint. *)
+
+type candidate = {
+  params : Params.t;
+  required_buffer : float;
+  margin : float;  (** B − required *)
+  settling : float option;  (** from {!Transient.measure} *)
+  decay : float option;
+  warmup : float;  (** T0 *)
+}
+
+type constraints = {
+  max_warmup : float;  (** reject configurations with T0 above this *)
+  headroom : float;  (** required-buffer multiplier, e.g. 1.1 *)
+}
+
+val default_constraints : constraints
+(** [max_warmup = 1 ms], [headroom = 1.1]. *)
+
+val evaluate : Params.t -> candidate
+(** Metrics for one configuration. *)
+
+val recommend :
+  ?constraints:constraints ->
+  ?gi_grid:float list ->
+  ?gd_grid:float list ->
+  ?q0_grid:float list ->
+  n_flows:int ->
+  capacity:float ->
+  buffer:float ->
+  unit ->
+  candidate option
+(** Best feasible configuration over the grid (default grids: Gi in
+    {0.25, 0.5, 1, 2, 4}, Gd in {1/256 … 1/16}, q0 in {B/10, B/6, B/4}),
+    ranked by settling time (then decay). [None] when nothing on the grid
+    satisfies both the criterion-with-headroom and the warm-up bound. *)
+
+val feasible_set :
+  ?constraints:constraints ->
+  ?gi_grid:float list ->
+  ?gd_grid:float list ->
+  ?q0_grid:float list ->
+  n_flows:int ->
+  capacity:float ->
+  buffer:float ->
+  unit ->
+  candidate list
+(** All feasible grid points, best first. *)

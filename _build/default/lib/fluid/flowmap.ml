@@ -1,0 +1,172 @@
+open Numerics
+
+type segment = {
+  region : Linearized.region;
+  t_start : float;
+  p_start : Vec2.t;
+  duration : float option;
+  p_end : Vec2.t option;
+  extremum : (float * float) option;
+}
+
+(* First-class per-region closed-form flow. *)
+type flow = {
+  fsol : x0:float -> y0:float -> float -> float * float;
+  fcross :
+    dir:Crossing.direction -> x0:float -> y0:float -> unit -> float option;
+  fextr : x0:float -> y0:float -> (float * float) option;
+  slowest : float;  (** slowest time constant, for sampling horizons *)
+}
+
+let flow_of p region =
+  let k = Params.k p in
+  match Cases.shape_of p region with
+  | Cases.Spiral_shape ->
+      let c = Spiral.of_region p region in
+      {
+        fsol = (fun ~x0 ~y0 t -> Spiral.solution c ~x0 ~y0 t);
+        fcross =
+          (fun ~dir ~x0 ~y0 () -> Spiral.crossing_time c ~k ~dir ~x0 ~y0 ());
+        fextr =
+          (fun ~x0 ~y0 ->
+            let t = Spiral.t_star c ~x0 ~y0 in
+            Some (t, fst (Spiral.solution c ~x0 ~y0 t)));
+        slowest = 1. /. Float.abs (Spiral.of_region p region).Spiral.alpha;
+      }
+  | Cases.Node_shape ->
+      let c = Node.of_region p region in
+      {
+        fsol = (fun ~x0 ~y0 t -> Node.solution c ~x0 ~y0 t);
+        fcross =
+          (fun ~dir ~x0 ~y0 () -> Node.crossing_time c ~k ~dir ~x0 ~y0 ());
+        fextr =
+          (fun ~x0 ~y0 ->
+            match Node.extremum_time c ~x0 ~y0 with
+            | Some t -> Some (t, fst (Node.solution c ~x0 ~y0 t))
+            | None -> None);
+        slowest = 1. /. Float.abs (Node.slow_slope c);
+      }
+  | Cases.Critical_shape ->
+      let l =
+        match Linearized.eigenvalues p region with
+        | Mat2.Real_pair (l1, _) -> l1
+        | Mat2.Complex_pair { re; _ } -> re
+      in
+      let c = Critical.of_eigen l in
+      {
+        fsol = (fun ~x0 ~y0 t -> Critical.solution c ~x0 ~y0 t);
+        fcross =
+          (fun ~dir ~x0 ~y0 () -> Critical.crossing_time c ~k ~dir ~x0 ~y0 ());
+        fextr =
+          (fun ~x0 ~y0 ->
+            match Critical.extremum_time c ~x0 ~y0 with
+            | Some t -> Some (t, fst (Critical.solution c ~x0 ~y0 t))
+            | None -> None);
+        slowest = 1. /. Float.abs l;
+      }
+
+let solution p region ~x0 ~y0 t = (flow_of p region).fsol ~x0 ~y0 t
+
+let region_of_point p (v : Vec2.t) =
+  let s = Model.sigma p ~x:v.Vec2.x ~y:v.Vec2.y in
+  if s >= 0. then Linearized.Increase else Linearized.Decrease
+
+let exit_direction = function
+  (* leaving the increase region means g = x + k·y goes negative→positive *)
+  | Linearized.Increase -> Crossing.Into_pos
+  | Linearized.Decrease -> Crossing.Into_neg
+
+let other = function
+  | Linearized.Increase -> Linearized.Decrease
+  | Linearized.Decrease -> Linearized.Increase
+
+let trace ?(max_segments = 8) p p0 =
+  let rec go acc region t_abs (pt : Vec2.t) n =
+    if n >= max_segments then List.rev acc
+    else begin
+      let fl = flow_of p region in
+      let x0 = pt.Vec2.x and y0 = pt.Vec2.y in
+      let tc = fl.fcross ~dir:(exit_direction region) ~x0 ~y0 () in
+      let extremum =
+        match fl.fextr ~x0 ~y0 with
+        | Some (te, xe) -> (
+            match tc with
+            | Some t when te > t -> None
+            | Some _ | None -> Some (t_abs +. te, xe))
+        | None -> None
+      in
+      match tc with
+      | None ->
+          List.rev
+            ({
+               region;
+               t_start = t_abs;
+               p_start = pt;
+               duration = None;
+               p_end = None;
+               extremum;
+             }
+            :: acc)
+      | Some dt ->
+          let xe, ye = fl.fsol ~x0 ~y0 dt in
+          let p_end = Vec2.make xe ye in
+          let seg =
+            {
+              region;
+              t_start = t_abs;
+              p_start = pt;
+              duration = Some dt;
+              p_end = Some p_end;
+              extremum;
+            }
+          in
+          go (seg :: acc) (other region) (t_abs +. dt) p_end (n + 1)
+    end
+  in
+  go [] (region_of_point p p0) 0. p0 0
+
+let sample p segments ~dt =
+  if dt <= 0. then invalid_arg "Flowmap.sample: dt <= 0";
+  List.concat_map
+    (fun seg ->
+      let fl = flow_of p seg.region in
+      let horizon =
+        match seg.duration with Some d -> d | None -> 5. *. fl.slowest
+      in
+      let n = Stdlib.max 2 (int_of_float (Float.ceil (horizon /. dt))) in
+      List.init n (fun i ->
+          let trel = horizon *. float_of_int i /. float_of_int (n - 1) in
+          let x, y =
+            fl.fsol ~x0:seg.p_start.Vec2.x ~y0:seg.p_start.Vec2.y trel
+          in
+          (seg.t_start +. trel, Vec2.make x y)))
+    segments
+
+let segments_from_start p = trace ~max_segments:6 p (Model.start_point p)
+
+let first_overshoot p =
+  (* the first extremum inside a decrease-region segment *)
+  segments_from_start p
+  |> List.find_map (fun seg ->
+         match (seg.region, seg.extremum) with
+         | Linearized.Decrease, Some (_, x) -> Some x
+         | _, _ -> None)
+
+let first_undershoot p =
+  (* the first extremum inside an increase-region segment entered *after*
+     a decrease segment (the initial segment from (−q0,0) starts in the
+     increase region and its extremum is the starting point itself) *)
+  let segs = segments_from_start p in
+  let rec scan seen_decrease = function
+    | [] -> None
+    | seg :: rest -> (
+        match seg.region with
+        | Linearized.Decrease -> scan true rest
+        | Linearized.Increase ->
+            if seen_decrease then
+              match seg.extremum with
+              | Some (_, x) -> Some x
+              | None -> scan seen_decrease rest
+            else scan seen_decrease rest)
+  in
+  scan false segs

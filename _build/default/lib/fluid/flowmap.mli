@@ -1,0 +1,56 @@
+(** Piecewise closed-form flow of the linearized switched BCN system.
+
+    The paper's Case-1/Case-2 proofs chain the per-region closed forms
+    across switching-line crossings: integrate the current region's exact
+    solution until it hits [x + k·y = 0], switch regions, repeat. This
+    module implements that chain for any region shape (spiral, node,
+    critical), giving semi-analytic trajectories whose only numeric step
+    is scalar root finding on a closed-form function — no ODE solver.
+
+    Used to evaluate the paper's [max¹x]/[min¹x] (eqns (36)/(37)) and
+    [max²x] (eqn (38)) without transcribing the error-prone chained
+    formulas, and to cross-validate the numerical integrator. *)
+
+type segment = {
+  region : Linearized.region;
+  t_start : float;  (** absolute time at segment entry *)
+  p_start : Numerics.Vec2.t;
+  duration : float option;
+      (** time to the next switching-line crossing; [None] when the
+          segment approaches the equilibrium without another crossing *)
+  p_end : Numerics.Vec2.t option;  (** crossing point, when it exists *)
+  extremum : (float * float) option;
+      (** [(absolute time, x value)] of the [y = 0] crossing inside the
+          segment — the local extremum of [x] *)
+}
+
+val solution :
+  Params.t -> Linearized.region -> x0:float -> y0:float -> float ->
+  float * float
+(** Exact linearized solution of the given region from [(x0, y0)],
+    dispatched on the region's shape. *)
+
+val trace :
+  ?max_segments:int -> Params.t -> Numerics.Vec2.t -> segment list
+(** Chain segments from the initial point (default [max_segments = 8]).
+    The initial region is decided by the sign of [sigma]; on the line,
+    the increase region is entered (matching {!Phaseplane.System.eval}). *)
+
+val sample :
+  Params.t ->
+  segment list ->
+  dt:float ->
+  (float * Numerics.Vec2.t) list
+(** Sample the chained closed-form trajectory every [dt] (absolute time),
+    for plotting; segments without a crossing are sampled for five time
+    constants of their slowest mode. *)
+
+val first_overshoot : Params.t -> float option
+(** [max¹x]: the first local maximum of [x] after the trajectory from
+    [(−q0, 0)] enters the decrease region — the semi-analytic evaluation
+    of eqn (36) (Case 1) / eqn (38) (Case 2). [None] when the trajectory
+    never produces one (Cases 3–5: no overshoot of the reference). *)
+
+val first_undershoot : Params.t -> float option
+(** [min¹x]: the first local minimum after the trajectory re-enters the
+    increase region — eqn (37). *)

@@ -1,0 +1,34 @@
+open Numerics
+
+type region = Increase | Decrease
+
+let stiffness p = function
+  | Increase -> Params.a p
+  | Decrease -> Params.b p *. p.Params.capacity
+
+let damping p region = Params.k p *. stiffness p region
+
+let jacobian p region =
+  Mat2.make 0. 1. (-.stiffness p region) (-.damping p region)
+
+let char_poly p region =
+  Poly.make [| stiffness p region; damping p region; 1. |]
+
+let eigenvalues p region = Mat2.eigenvalues (jacobian p region)
+
+let second_order p region =
+  Control.Lti2.make ~m:(damping p region) ~n:(stiffness p region)
+
+let classify p region = Phaseplane.Singular.classify (jacobian p region)
+
+let discriminant p region =
+  let m = damping p region and n = stiffness p region in
+  (m *. m) -. (4. *. n)
+
+let system p =
+  let k = Params.k p in
+  let sw (v : Vec2.t) = -.(v.Vec2.x +. (k *. v.Vec2.y)) in
+  Phaseplane.System.switched_linear ~sigma:sw ~pos:(jacobian p Increase)
+    ~neg:(jacobian p Decrease)
+
+let region_system p region = Phaseplane.System.linear (jacobian p region)

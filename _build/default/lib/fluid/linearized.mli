@@ -1,0 +1,36 @@
+(** The linearized BCN subsystems (paper eqn (9)) and their spectra.
+
+    Expanding the switched system (8) to first order at the equilibrium
+    gives, per region, the LTI system [x' = y], [y' = −n·x − m·y] with
+    [m = k·n] and [n = a] (increase region) or [n = b·C] (decrease
+    region) — eqns (10)/(35). *)
+
+type region = Increase | Decrease
+
+val stiffness : Params.t -> region -> float
+(** The coefficient [n] of the characteristic equation
+    [l² + k·n·l + n = 0]. *)
+
+val damping : Params.t -> region -> float
+(** The coefficient [m = k·n]. *)
+
+val jacobian : Params.t -> region -> Numerics.Mat2.t
+(** Companion matrix [[0 1; −n −m]]. *)
+
+val char_poly : Params.t -> region -> Numerics.Poly.t
+val eigenvalues : Params.t -> region -> Numerics.Mat2.eigenvalues
+val second_order : Params.t -> region -> Control.Lti2.t
+val classify : Params.t -> region -> Phaseplane.Singular.kind
+
+val discriminant : Params.t -> region -> float
+(** [m² − 4n] — negative in a spiral region, positive in a node region. *)
+
+val system : Params.t -> Phaseplane.System.t
+(** The piecewise-linear system (9): both regions linearized, switching
+    on [sigma = −(x + k·y)]. This is the object the paper's case-by-case
+    closed forms describe; compare with {!Model.normalized_system}, which
+    keeps the [(y + C)] nonlinearity of the decrease law. *)
+
+val region_system : Params.t -> region -> Phaseplane.System.t
+(** The single-region LTI system extended to the whole plane (used for
+    Figs. 4–5, which show the unswitched trajectories). *)

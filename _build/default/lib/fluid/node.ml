@@ -1,0 +1,77 @@
+type coeffs = { l1 : float; l2 : float }
+
+let coeffs ~m ~n =
+  if m <= 0. || n <= 0. then invalid_arg "Node.coeffs: need m > 0, n > 0";
+  let disc = (m *. m) -. (4. *. n) in
+  if disc <= 0. then invalid_arg "Node.coeffs: not overdamped (m^2 <= 4n)";
+  let s = sqrt disc in
+  { l1 = (-.m -. s) /. 2.; l2 = (-.m +. s) /. 2. }
+
+let of_region p region =
+  coeffs ~m:(Linearized.damping p region) ~n:(Linearized.stiffness p region)
+
+let amplitudes c ~x0 ~y0 =
+  let { l1; l2 } = c in
+  let a1 = ((l2 *. x0) -. y0) /. (l2 -. l1) in
+  let a2 = ((l1 *. x0) -. y0) /. (l1 -. l2) in
+  (a1, a2)
+
+let solution c ~x0 ~y0 t =
+  let { l1; l2 } = c in
+  let a1, a2 = amplitudes c ~x0 ~y0 in
+  let e1 = exp (l1 *. t) and e2 = exp (l2 *. t) in
+  ((a1 *. e1) +. (a2 *. e2), (a1 *. l1 *. e1) +. (a2 *. l2 *. e2))
+
+let on_eigenline c ~x0 ~y0 =
+  let scale = 1. +. Float.abs x0 +. Float.abs y0 in
+  Float.abs (y0 -. (c.l1 *. x0)) <= 1e-12 *. scale
+  || Float.abs (y0 -. (c.l2 *. x0)) <= 1e-12 *. scale
+
+let invariant c ~x ~y =
+  (* u = y − l1·x evolves as exp(l2·t) (eqn (22)) and v = y − l2·x as
+     exp(l1·t) (eqn (23)), so l1·ln|u| − l2·ln|v| has zero time
+     derivative: l1·l2 − l2·l1 *)
+  let u = y -. (c.l1 *. x) and v = y -. (c.l2 *. x) in
+  (c.l1 *. log (Float.abs u)) -. (c.l2 *. log (Float.abs v))
+
+let extremum_time c ~x0 ~y0 =
+  let { l1; l2 } = c in
+  let a1, a2 = amplitudes c ~x0 ~y0 in
+  if a1 = 0. || a2 = 0. then None
+  else begin
+    (* y = 0: A1·l1·e^{l1 t} = −A2·l2·e^{l2 t} *)
+    let ratio = -.(a2 *. l2) /. (a1 *. l1) in
+    if ratio <= 0. then None
+    else begin
+      let t = log ratio /. (l1 -. l2) in
+      if t > 1e-15 then Some t else None
+    end
+  end
+
+let extremum c ~x0 ~y0 =
+  Option.map (fun t -> fst (solution c ~x0 ~y0 t)) (extremum_time c ~x0 ~y0)
+
+let extremum_paper c ~x0 ~y0 =
+  let { l1; l2 } = c in
+  (* eqn (28), evaluated in log space (the literal fractional powers
+     overflow for the eigenvalue magnitudes of a 10 Gbit/s link), with
+     absolute values inside the powers as the expression implicitly
+     requires *)
+  let u = Float.abs (y0 -. (l1 *. x0)) and v = Float.abs (y0 -. (l2 *. x0)) in
+  if u = 0. || v = 0. then 0.
+  else begin
+    let log_num = (l1 *. log (-.l1)) +. (l2 *. log v) in
+    let log_den = (l2 *. log (-.l2)) +. (l1 *. log u) in
+    let magnitude = exp ((log_num -. log_den) /. (l2 -. l1)) in
+    if y0 >= 0. then magnitude else -.magnitude
+  end
+
+let slow_slope c = c.l2
+let fast_slope c = c.l1
+
+let crossing_time c ~k ~dir ?(t_min = 0.) ?t_max ~x0 ~y0 () =
+  let horizon = 50. /. Float.abs c.l2 in
+  let t_max = match t_max with Some t -> t | None -> horizon in
+  let sol t = solution c ~x0 ~y0 t in
+  let dt = Float.min (0.01 /. Float.abs c.l2) ((t_max -. t_min) /. 400.) in
+  Crossing.first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt

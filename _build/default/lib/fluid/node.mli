@@ -1,0 +1,63 @@
+(** Closed-form trajectories of an overdamped (node) subsystem —
+    paper §IV.B Case 2, eqns (21)–(28).
+
+    The subsystem [x'' + m·x' + n·x = 0] with [m² − 4n > 0] has two
+    distinct real negative eigenvalues [l1 < l2 < 0]; its trajectories are
+    parabola-like curves with the eigenlines [y = l1·x] and [y = l2·x] as
+    invariant manifolds, [y = l2·x] being the slow asymptote. *)
+
+type coeffs = private { l1 : float; l2 : float }
+(** [l1 < l2 < 0]. *)
+
+val coeffs : m:float -> n:float -> coeffs
+(** Raises [Invalid_argument] unless [m > 0], [n > 0], [m² − 4n > 0]. *)
+
+val of_region : Params.t -> Linearized.region -> coeffs
+
+val amplitudes : coeffs -> x0:float -> y0:float -> float * float
+(** [(A1, A2)] of the solution
+    [x t = A1·exp(l1·t) + A2·exp(l2·t)] (eqn (21)). *)
+
+val solution : coeffs -> x0:float -> y0:float -> float -> float * float
+(** [(x t, y t)] — eqn (21). *)
+
+val on_eigenline : coeffs -> x0:float -> y0:float -> bool
+(** Whether the initial point lies on one of the straight-line
+    trajectories (24)/(25). *)
+
+val invariant : coeffs -> x:float -> y:float -> float
+(** The first integral behind eqn (26):
+    [ln|y − l2·x|·l1 − ln|y − l1·x|·l2] — constant along trajectories off
+    the eigenlines; used by the property tests. *)
+
+val extremum_time : coeffs -> x0:float -> y0:float -> float option
+(** Time of the single extremum of [x] ([y t = 0]), if it occurs at a
+    positive time. *)
+
+val extremum : coeffs -> x0:float -> y0:float -> float option
+(** [x] at {!extremum_time} — the paper's [mump] (eqn (28)), evaluated
+    exactly from the solution. *)
+
+val extremum_paper : coeffs -> x0:float -> y0:float -> float
+(** The literal right-hand side of eqn (28), kept for comparison tests.
+    Uses absolute values inside the fractional powers, as the paper's
+    expression implicitly requires. *)
+
+val slow_slope : coeffs -> float
+(** [l2] — slope of the asymptotic eigenline. *)
+
+val fast_slope : coeffs -> float
+(** [l1]. *)
+
+val crossing_time :
+  coeffs ->
+  k:float ->
+  dir:Crossing.direction ->
+  ?t_min:float ->
+  ?t_max:float ->
+  x0:float ->
+  y0:float ->
+  unit ->
+  float option
+(** First crossing of [x + k·y = 0]; default scan horizon
+    [t_max = 50 / abs l2] (several slow time constants). *)

@@ -1,0 +1,78 @@
+type case1 = {
+  a1i : float;
+  phi1i : float;
+  t1i : float;
+  x1d0 : float;
+  y1d0 : float;
+  max1 : float;
+  t1d : float;
+  x2i0 : float;
+  min1 : float;
+}
+
+let require_case p expected name =
+  if Cases.classify p <> expected then
+    invalid_arg ("Paper_formulas." ^ name ^ ": parameters not in the right case")
+
+let case1 p =
+  require_case p Cases.Case1 "case1";
+  let a = Params.a p and b = Params.b p and k = Params.k p in
+  let c = p.Params.capacity and q0 = p.Params.q0 in
+  (* increase-region spiral quantities *)
+  let disc_i = (4. *. a) -. (a *. a *. k *. k) in
+  let root_i = sqrt disc_i in
+  let alpha_i = -.a *. k /. 2. and beta_i = root_i /. 2. in
+  (* decrease-region spiral quantities *)
+  let disc_d = (4. *. b *. c) -. ((k *. b *. c) ** 2.) in
+  let root_d = sqrt disc_d in
+  let alpha_d = -.b *. k *. c /. 2. and beta_d = root_d /. 2. in
+  (* chain of §IV.C Case 1, transcribed *)
+  let a1i = 2. *. q0 *. sqrt a /. root_i in
+  let phi1i = -.atan (a *. k /. root_i) in
+  let t1i = 2. /. root_i *. (atan ((2. -. (a *. k *. k)) /. (k *. root_i)) -. phi1i) in
+  let x1d0 = -.k *. a1i *. root_i /. 2. *. exp (-.a *. k /. 2. *. t1i) in
+  let y1d0 = -.x1d0 /. k in
+  let phi1d = atan ((2. -. (b *. k *. k *. c)) /. (k *. root_d)) in
+  let ratio_d = alpha_d /. beta_d in
+  let max1 =
+    Float.abs x1d0 /. (k *. sqrt (b *. c))
+    *. exp (ratio_d *. (Float.pi +. atan ratio_d -. phi1d))
+  in
+  let t1d = 2. *. Float.pi /. root_d in
+  let a1d = 2. *. Float.abs y1d0 /. root_d in
+  let x2i0 = -.a1d *. k *. root_d /. 2. *. exp (-.b *. k *. c /. 2. *. t1d) in
+  let phi2i = atan ((2. -. (a *. k *. k)) /. (k *. root_i)) in
+  let ratio_i = alpha_i /. beta_i in
+  let min1 =
+    -.(Float.abs x2i0 /. (k *. sqrt a))
+    *. exp (ratio_i *. (Float.pi +. atan ratio_i -. phi2i))
+  in
+  { a1i; phi1i; t1i; x1d0; y1d0; max1; t1d; x2i0; min1 }
+
+let max2 p =
+  require_case p Cases.Case2 "max2";
+  let a = Params.a p and b = Params.b p and k = Params.k p in
+  let c = p.Params.capacity and q0 = p.Params.q0 in
+  (* node eigenvalues of the increase region *)
+  let disc = (a *. a *. k *. k) -. (4. *. a) in
+  let s = sqrt disc in
+  let l1 = ((-.k *. a) -. s) /. 2. and l2 = ((-.k *. a) +. s) /. 2. in
+  (* y1d0 = q0 [ (k+1/l1)^l1 / (k+1/l2)^l2 ]^(1/(l2-l1)), log space;
+     both (k + 1/l) factors are positive because l < -1/k *)
+  let u = k +. (1. /. l1) and v = k +. (1. /. l2) in
+  let log_bracket = ((l1 *. log u) -. (l2 *. log v)) /. (l2 -. l1) in
+  let y1d0 = q0 *. exp log_bracket in
+  ignore y1d0;
+  (* eqn (38) folds that bracket directly into the overshoot *)
+  let disc_d = (4. *. b *. c) -. ((k *. b *. c) ** 2.) in
+  let root_d = sqrt disc_d in
+  let alpha_d = -.b *. k *. c /. 2. and beta_d = root_d /. 2. in
+  let phi1d = atan ((2. -. (b *. k *. k *. c)) /. (k *. root_d)) in
+  let ratio_d = alpha_d /. beta_d in
+  q0 /. sqrt (b *. c) *. exp log_bracket
+  *. exp (ratio_d *. (Float.pi +. atan ratio_d -. phi1d))
+
+let theorem1_bound_chain p =
+  let a = Params.a p and b = Params.b p in
+  let c = p.Params.capacity and q0 = p.Params.q0 in
+  (sqrt (a /. (b *. c)) *. q0, -.q0)

@@ -1,0 +1,45 @@
+(** Literal transcriptions of the paper's chained Case-1/Case-2
+    expressions (§IV.C), kept verbatim so the reproduction can state
+    exactly which printed formulas hold and which carry typos.
+
+    The {!Flowmap} module evaluates the same quantities from first
+    principles (closed-form subsystem solutions + root finding); this
+    module evaluates the {e printed} formulas:
+
+    - the warm-up/increase-phase constants [A1i], [phi1i] and the first
+      switching time [T1i];
+    - the first decrease-region entry point [x1d0] (on the switching
+      line, so [y1d0 = −x1d0/k]);
+    - [max1] — eqn (36), the Case-1 first overshoot;
+    - [T1d] (printed as a full rotation period [2·pi/beta_d]), the
+      re-entry point [x2i0] and [min1] — eqn (37);
+    - [y1d0_case2] and [max2] — eqn (38), the Case-2 overshoot (evaluated
+      in log space).
+
+    The test suite compares each value against the flow map; see
+    EXPERIMENTS.md for the verdicts. *)
+
+type case1 = {
+  a1i : float;  (** amplitude of the first increase-phase spiral *)
+  phi1i : float;
+  t1i : float;  (** time to the first switching-line crossing *)
+  x1d0 : float;  (** x at entry into the decrease region *)
+  y1d0 : float;  (** [= −x1d0/k] *)
+  max1 : float;  (** eqn (36) *)
+  t1d : float;  (** the paper's [2·pi/sqrt(4bC − (kbC)²)] *)
+  x2i0 : float;  (** x at re-entry into the increase region *)
+  min1 : float;  (** eqn (37) *)
+}
+
+val case1 : Params.t -> case1
+(** Raises [Invalid_argument] unless the parameters are in Case 1. *)
+
+val max2 : Params.t -> float
+(** Eqn (38) for Case-2 parameters (node increase / spiral decrease);
+    the eigen-ratio bracket is evaluated in log space.
+    Raises [Invalid_argument] outside Case 2. *)
+
+val theorem1_bound_chain : Params.t -> float * float
+(** The two bounds used inside the Theorem-1 proof:
+    [(max1 upper bound, min1 lower bound)] =
+    [(sqrt(a/(bC))·q0, −q0)]. *)

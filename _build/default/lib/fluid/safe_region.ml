@@ -1,0 +1,101 @@
+type verdict = Safe | Overflow | Underflow
+
+type raster = {
+  q_grid : float array;
+  r_grid : float array;
+  cells : verdict array array;
+  safe_fraction : float;
+}
+
+let slower_period p =
+  Float.max
+    (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Increase))
+    (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Decrease))
+
+let classify ?t_max p ~q ~r =
+  if q < 0. || q > p.Params.buffer then
+    invalid_arg "Safe_region.classify: q outside [0, B]";
+  if r < 0. then invalid_arg "Safe_region.classify: r < 0";
+  let t_end = match t_max with Some t -> t | None -> 12. *. slower_period p in
+  let h = Float.min 1e-6 (slower_period p /. 500.) in
+  let ph = Model.simulate_physical ~h ~q_init:q ~r_init:r ~t_end p in
+  if ph.Model.dropped_bits > 0. then Overflow
+  else if ph.Model.idle_time > 0. then Underflow
+  else Safe
+
+let raster ?t_max ?(nq = 24) ?(nr = 24) ?r_max p =
+  if nq < 2 || nr < 2 then invalid_arg "Safe_region.raster: grid too small";
+  let r_max =
+    match r_max with Some v -> v | None -> 2. *. Params.equilibrium_rate p
+  in
+  (* keep cell centers strictly inside the walls *)
+  let q_grid =
+    Array.init nq (fun i ->
+        p.Params.buffer *. (float_of_int i +. 0.5) /. float_of_int nq)
+  in
+  let r_grid =
+    Array.init nr (fun j ->
+        r_max *. (float_of_int j +. 0.5) /. float_of_int nr)
+  in
+  let cells =
+    Array.map
+      (fun q -> Array.map (fun r -> classify ?t_max p ~q ~r) r_grid)
+      q_grid
+  in
+  let safe = ref 0 in
+  Array.iter
+    (Array.iter (fun v -> if v = Safe then incr safe))
+    cells;
+  {
+    q_grid;
+    r_grid;
+    cells;
+    safe_fraction = float_of_int !safe /. float_of_int (nq * nr);
+  }
+
+let glyph = function Safe -> '.' | Overflow -> '#' | Underflow -> 'o'
+
+let render ra =
+  let nq = Array.length ra.q_grid and nr = Array.length ra.r_grid in
+  let buf = Buffer.create ((nq + 16) * (nr + 4)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "strong-stability basin ('.' safe, '#' overflow, 'o' underflow); \
+        safe fraction = %.2f\n"
+       ra.safe_fraction);
+  Buffer.add_string buf "r (bit/s)\n";
+  for j = nr - 1 downto 0 do
+    let label =
+      if j = nr - 1 || j = 0 then
+        Printf.sprintf "%8s |" (Report.Table.si ra.r_grid.(j))
+      else Printf.sprintf "%8s |" ""
+    in
+    Buffer.add_string buf label;
+    for i = 0 to nq - 1 do
+      Buffer.add_char buf (glyph ra.cells.(i).(j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make nq '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%8s  q: 0 .. %s (buffer)\n" "" (Report.Table.si (ra.q_grid.(nq - 1) *. float_of_int nq /. (float_of_int nq -. 0.5))));
+  Buffer.contents buf
+
+and to_csv ~path ra =
+  let rows = ref [] in
+  Array.iteri
+    (fun i q ->
+      Array.iteri
+        (fun j r ->
+          let v =
+            match ra.cells.(i).(j) with
+            | Safe -> 0.
+            | Overflow -> 1.
+            | Underflow -> -1.
+          in
+          rows := [ q; r; v ] :: !rows)
+        ra.r_grid;
+      ignore q)
+    ra.q_grid;
+  Report.Csv.write_floats ~path ~header:[ "q"; "r"; "verdict" ]
+    (List.rev !rows)

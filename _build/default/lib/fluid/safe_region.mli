@@ -1,0 +1,42 @@
+(** The strong-stability basin: from which initial states [(q, r)] does
+    the BCN system satisfy Definition 1?
+
+    The paper analyzes the canonical start [(q, r) = (0, mu)] (empty
+    queue, warm-up). Operationally one also cares about recovery from
+    {e any} state — after a routing change, a flow join, or a PAUSE
+    episode the system restarts from an arbitrary queue/rate point. This
+    module rasterizes the plane: each cell is integrated forward and
+    classified by whether the trajectory stays inside the buffer walls.
+
+    Classification of a cell (normalized coordinates, launch at the cell
+    center):
+    - [Safe] — the trajectory remains in [(-q0, B - q0)] for the whole
+      horizon after its first switching-line crossing;
+    - [Overflow] — [x] reaches [B - q0] (packets would drop);
+    - [Underflow] — [x] returns to [-q0] after having left it (link
+      idles). *)
+
+type verdict = Safe | Overflow | Underflow
+
+type raster = {
+  q_grid : float array;  (** queue-axis cell centers, bits *)
+  r_grid : float array;  (** per-source-rate cell centers, bit/s *)
+  cells : verdict array array;  (** [cells.(i).(j)] at [(q i, r j)] *)
+  safe_fraction : float;
+}
+
+val classify :
+  ?t_max:float -> Params.t -> q:float -> r:float -> verdict
+(** Classify a single initial state ([0 <= q <= B] required). Default
+    horizon: 12 periods of the slower subsystem. *)
+
+val raster :
+  ?t_max:float -> ?nq:int -> ?nr:int -> ?r_max:float -> Params.t -> raster
+(** Raster over [q in [0, B]] x [r in [0, r_max]] (default
+    [r_max = 2·C/N], grid 24 x 24). *)
+
+val render : raster -> string
+(** ASCII heat map: ['.'] safe, ['#'] overflow, ['o'] underflow; the
+    queue axis is horizontal. *)
+
+val to_csv : path:string -> raster -> unit

@@ -1,0 +1,75 @@
+type coeffs = { alpha : float; beta : float }
+
+let coeffs ~m ~n =
+  if m <= 0. || n <= 0. then invalid_arg "Spiral.coeffs: need m > 0, n > 0";
+  let disc = (m *. m) -. (4. *. n) in
+  if disc >= 0. then invalid_arg "Spiral.coeffs: not underdamped (m^2 >= 4n)";
+  { alpha = -.m /. 2.; beta = sqrt (-.disc) /. 2. }
+
+let of_region p region =
+  coeffs ~m:(Linearized.damping p region) ~n:(Linearized.stiffness p region)
+
+let amplitude_phase c ~x0 ~y0 =
+  let { alpha; beta } = c in
+  let a =
+    sqrt ((beta *. beta *. x0 *. x0) +. (((alpha *. x0) -. y0) ** 2.)) /. beta
+  in
+  (* cos phi = x0/A, sin phi = (alpha·x0 − y0)/(A·beta) *)
+  let phi = atan2 (((alpha *. x0) -. y0) /. beta) x0 in
+  (a, phi)
+
+let solution c ~x0 ~y0 t =
+  let { alpha; beta } = c in
+  let a, phi = amplitude_phase c ~x0 ~y0 in
+  let e = exp (alpha *. t) in
+  let cb = cos ((beta *. t) +. phi) and sb = sin ((beta *. t) +. phi) in
+  let x = a *. e *. cb in
+  let y = a *. e *. ((alpha *. cb) -. (beta *. sb)) in
+  (x, y)
+
+let polar c ~x0 ~y0 t =
+  let { alpha; beta } = c in
+  let a, phi = amplitude_phase c ~x0 ~y0 in
+  let theta = (beta *. t) +. phi in
+  (* r² = (beta·x)² + (alpha·x − y)² = (A·beta)²·exp(2·alpha·t) *)
+  let r = a *. beta *. exp (alpha *. t) in
+  (r, theta)
+
+let t_star c ~x0 ~y0 =
+  let { alpha; beta } = c in
+  let _, phi = amplitude_phase c ~x0 ~y0 in
+  (* y = 0 at beta·t + phi = atan(alpha/beta) + j·pi *)
+  let base = atan (alpha /. beta) in
+  let eps = 1e-12 *. (1. +. Float.abs phi) /. beta in
+  let t_of j = ((base +. (Float.pi *. float_of_int j)) -. phi) /. beta in
+  let j0 =
+    int_of_float (Float.ceil ((phi -. base) /. Float.pi *. (1. -. 1e-15)))
+  in
+  let rec find j =
+    let t = t_of j in
+    if t > eps then t else find (j + 1)
+  in
+  find (j0 - 2)
+
+let extremum c ~x0 ~y0 =
+  let t = t_star c ~x0 ~y0 in
+  fst (solution c ~x0 ~y0 t)
+
+let extremum_paper c ~x0 ~y0 =
+  let { alpha; beta } = c in
+  let a, _ = amplitude_phase c ~x0 ~y0 in
+  let t = t_star c ~x0 ~y0 in
+  let magnitude =
+    a *. beta /. sqrt ((alpha *. alpha) +. (beta *. beta)) *. exp (alpha *. t)
+  in
+  if y0 >= 0. then magnitude else -.magnitude
+
+let period c = 2. *. Float.pi /. c.beta
+
+let contraction_per_turn c = exp (2. *. Float.pi *. c.alpha /. c.beta)
+
+let crossing_time c ~k ~dir ?(t_min = 0.) ?t_max ~x0 ~y0 () =
+  let t_max = match t_max with Some t -> t | None -> 2. *. period c in
+  let sol t = solution c ~x0 ~y0 t in
+  let dt = period c /. 400. in
+  Crossing.first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt

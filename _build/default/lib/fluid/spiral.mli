@@ -1,0 +1,65 @@
+(** Closed-form trajectories of an underdamped (spiral) subsystem —
+    paper §IV.B Case 1, eqns (12)–(20).
+
+    The subsystem [x'' + m·x' + n·x = 0] with [m² − 4n < 0] has complex
+    eigenvalues [alpha ± i·beta]; its trajectories are logarithmic spirals
+    around a stable focus. *)
+
+type coeffs = private {
+  alpha : float;  (** real part, [−m/2 < 0] *)
+  beta : float;  (** imaginary part, [sqrt(4n − m²)/2 > 0] *)
+}
+
+val coeffs : m:float -> n:float -> coeffs
+(** Raises [Invalid_argument] unless [m > 0], [n > 0] and [m² − 4n < 0]. *)
+
+val of_region : Params.t -> Linearized.region -> coeffs
+(** Convenience constructor from the BCN parameters; raises if the region
+    is not a spiral (check {!Linearized.discriminant} first). *)
+
+val amplitude_phase : coeffs -> x0:float -> y0:float -> float * float
+(** [(A, phi)] of the solution [x t = A·exp(alpha·t)·cos(beta·t + phi)]
+    (eqn (12)), with [phi] computed by [atan2] so all quadrants are
+    handled. *)
+
+val solution : coeffs -> x0:float -> y0:float -> float -> float * float
+(** [(x t, y t)] — eqn (12). *)
+
+val polar : coeffs -> x0:float -> y0:float -> float -> float * float
+(** [(r t, theta t)] — the logarithmic-spiral form, eqn (17):
+    [r = sqrt c1 · exp((alpha/beta)·theta)], [theta = beta·t + phi]. *)
+
+val t_star : coeffs -> x0:float -> y0:float -> float
+(** Time of the {e next} local extremum of [x] (the smallest positive
+    solution of [y t = 0]) — eqn (18). When [y0 = 0] (already at an
+    extremum) the following extremum, half a period later, is returned. *)
+
+val extremum : coeffs -> x0:float -> y0:float -> float
+(** [x(t_star)] — the first overshoot ([y0 > 0], eqn (19)) or undershoot
+    ([y0 < 0], eqn (20)) of [x], evaluated exactly. *)
+
+val extremum_paper : coeffs -> x0:float -> y0:float -> float
+(** The paper's literal expressions (19)/(20)
+    [± A·beta/sqrt(alpha² + beta²) · exp(alpha·t_star)], kept separate so
+    the test suite can confirm they agree with {!extremum}. *)
+
+val period : coeffs -> float
+(** Full rotation period [2·pi/beta]. *)
+
+val contraction_per_turn : coeffs -> float
+(** Radius contraction over one full turn, [exp(2·pi·alpha/beta)] — always
+    < 1 for a stable focus. *)
+
+val crossing_time :
+  coeffs ->
+  k:float ->
+  dir:Crossing.direction ->
+  ?t_min:float ->
+  ?t_max:float ->
+  x0:float ->
+  y0:float ->
+  unit ->
+  float option
+(** First time the spiral trajectory crosses the switching line
+    [x + k·y = 0] in the given direction. Default scan range: from
+    [t_min = 0] to [t_max] = two periods. *)

@@ -1,0 +1,124 @@
+open Numerics
+
+type verdict = {
+  case : Cases.case;
+  analytic_max : float option;
+  analytic_min : float option;
+  numeric_max : float;
+  numeric_min : float;
+  overflow_margin : float;
+  underflow_margin : float;
+  strongly_stable : bool;
+  analytic_strongly_stable : bool option;
+}
+
+(* A characteristic time scale per region: the rotation period for spiral
+   regions, a few slow time constants for node regions. *)
+let region_time_scale p region =
+  match Cases.shape_of p region with
+  | Cases.Spiral_shape ->
+      let c = Spiral.of_region p region in
+      Spiral.period c
+  | Cases.Node_shape ->
+      let c = Node.of_region p region in
+      4. /. Float.abs (Node.slow_slope c)
+  | Cases.Critical_shape -> (
+      match Linearized.eigenvalues p region with
+      | Mat2.Real_pair (l1, _) -> 4. /. Float.abs l1
+      | Mat2.Complex_pair { re; _ } -> 4. /. Float.abs re)
+
+let default_horizon p =
+  12.
+  *. Float.max
+       (region_time_scale p Linearized.Increase)
+       (region_time_scale p Linearized.Decrease)
+
+let first_excursion ?t_max ?solver p =
+  let t_max = match t_max with Some t -> t | None -> default_horizon p in
+  let sys = Model.normalized_system p in
+  let tr =
+    Phaseplane.Trajectory.integrate ?solver ~t_max sys (Model.start_point p)
+  in
+  let xs = Phaseplane.Trajectory.x_series tr in
+  let crossings = tr.Phaseplane.Trajectory.switch_crossings in
+  let max_x = Phaseplane.Trajectory.x_max tr in
+  let min_x =
+    match crossings with
+    | _ :: { Phaseplane.Trajectory.ct = t2; _ } :: _ ->
+        let tail = Series.tail_from xs t2 in
+        if Series.is_empty tail then Phaseplane.Trajectory.x_min tr
+        else snd (Series.argmin tail)
+    | [ { Phaseplane.Trajectory.ct = t1; _ } ] ->
+        let tail = Series.tail_from xs t1 in
+        if Series.is_empty tail then Phaseplane.Trajectory.x_min tr
+        else snd (Series.argmin tail)
+    | [] -> Phaseplane.Trajectory.x_min tr
+  in
+  (max_x, min_x)
+
+let proposition2 p =
+  match Cases.classify p with
+  | Cases.Case1 -> (
+      match (Flowmap.first_overshoot p, Flowmap.first_undershoot p) with
+      | Some mx, Some mn ->
+          Some (mx < p.Params.buffer -. p.Params.q0 && mn > -.p.Params.q0)
+      | Some mx, None -> Some (mx < p.Params.buffer -. p.Params.q0)
+      | None, _ -> Some true)
+  | Cases.Case2 | Cases.Case3 | Cases.Case4 | Cases.Case5 -> None
+
+let proposition3 p =
+  match Cases.classify p with
+  | Cases.Case2 -> (
+      match Flowmap.first_overshoot p with
+      | Some mx -> Some (mx < p.Params.buffer -. p.Params.q0)
+      | None -> Some true)
+  | Cases.Case1 | Cases.Case3 | Cases.Case4 | Cases.Case5 -> None
+
+let proposition4 p =
+  match Cases.classify p with
+  | Cases.Case3 | Cases.Case4 | Cases.Case5 -> Some true
+  | Cases.Case1 | Cases.Case2 -> None
+
+let analyze ?t_max ?solver p =
+  let case = Cases.classify p in
+  let analytic_max = Flowmap.first_overshoot p in
+  let analytic_min = Flowmap.first_undershoot p in
+  let numeric_max, numeric_min = first_excursion ?t_max ?solver p in
+  let overflow_margin = p.Params.buffer -. p.Params.q0 -. numeric_max in
+  let underflow_margin = numeric_min +. p.Params.q0 in
+  let analytic_strongly_stable =
+    match case with
+    | Cases.Case1 -> proposition2 p
+    | Cases.Case2 -> proposition3 p
+    | Cases.Case3 | Cases.Case4 | Cases.Case5 -> proposition4 p
+  in
+  {
+    case;
+    analytic_max;
+    analytic_min;
+    numeric_max;
+    numeric_min;
+    overflow_margin;
+    underflow_margin;
+    strongly_stable = overflow_margin > 0. && underflow_margin > 0.;
+    analytic_strongly_stable;
+  }
+
+let pp_verdict ppf v =
+  let pp_opt ppf = function
+    | Some x -> Format.fprintf ppf "%g" x
+    | None -> Format.pp_print_string ppf "n/a"
+  in
+  Format.fprintf ppf
+    "@[<v>%a@,\
+     analytic first overshoot max1(x) = %a, undershoot min1(x) = %a@,\
+     numeric  first excursion  max(x) = %g, min(x) = %g@,\
+     overflow margin = %g bit, underflow margin = %g bit@,\
+     strongly stable (numeric): %b; (Propositions 2-4): %a@]"
+    Cases.pp_case v.case pp_opt v.analytic_max pp_opt v.analytic_min
+    v.numeric_max v.numeric_min v.overflow_margin v.underflow_margin
+    v.strongly_stable
+    (fun ppf -> function
+      | Some b -> Format.fprintf ppf "%b" b
+      | None -> Format.pp_print_string ppf "n/a")
+    v.analytic_strongly_stable

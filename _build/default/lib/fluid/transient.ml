@@ -1,0 +1,86 @@
+open Numerics
+
+type metrics = {
+  overshoot : float;
+  undershoot : float;
+  oscillations : int;
+  settling_time : float option;
+  decay_per_cycle : float option;
+}
+
+let slower_period p =
+  Float.max
+    (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Increase))
+    (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Decrease))
+
+let decay_of_extrema extrema =
+  let mags =
+    List.filter_map
+      (fun { Phaseplane.Trajectory.cp; _ } ->
+        let m = Float.abs cp.Vec2.x in
+        if m > 0. then Some m else None)
+      extrema
+  in
+  match mags with
+  | _ :: (_ :: _ :: _ as tail) ->
+      let rec ratios acc = function
+        | a :: (b :: _ as rest) -> ratios (log (b /. a) :: acc) rest
+        | [ _ ] | [] -> acc
+      in
+      let rs = ratios [] tail in
+      if rs = [] then None
+      else
+        Some (exp (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)))
+  | _ -> None
+
+let measure ?horizon ?(band = 0.05) p =
+  let horizon =
+    match horizon with Some v -> v | None -> 20. *. slower_period p
+  in
+  let sys = Model.normalized_system p in
+  let tr = Phaseplane.Trajectory.integrate ~t_max:horizon sys (Model.start_point p) in
+  let xs = Phaseplane.Trajectory.x_series tr in
+  let overshoot = Phaseplane.Trajectory.x_max tr in
+  let undershoot =
+    match tr.Phaseplane.Trajectory.switch_crossings with
+    | { Phaseplane.Trajectory.ct; _ } :: _ ->
+        let tail = Series.tail_from xs ct in
+        if Series.is_empty tail then Phaseplane.Trajectory.x_min tr
+        else snd (Series.argmin tail)
+    | [] -> Phaseplane.Trajectory.x_min tr
+  in
+  let threshold = band *. p.Params.q0 in
+  (* settling: the last time |x| exceeds the band *)
+  let settling_time =
+    let last = ref None in
+    Array.iteri
+      (fun i v -> if Float.abs v > threshold then last := Some xs.Series.ts.(i))
+      xs.Series.vs;
+    match !last with
+    | None -> Some 0.
+    | Some t when t < xs.Series.ts.(Series.length xs - 1) -. (0.01 *. horizon)
+      ->
+        Some t
+    | Some _ -> None
+  in
+  {
+    overshoot;
+    undershoot;
+    oscillations = List.length tr.Phaseplane.Trajectory.axis_crossings;
+    settling_time;
+    decay_per_cycle = decay_of_extrema tr.Phaseplane.Trajectory.axis_crossings;
+  }
+
+let sweep ?horizon ?band param_of values =
+  List.map (fun v -> (v, measure ?horizon ?band (param_of v))) values
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "overshoot %g, undershoot %g, %d oscillations, settling %s, decay %s"
+    m.overshoot m.undershoot m.oscillations
+    (match m.settling_time with
+    | Some t -> Printf.sprintf "%g s" t
+    | None -> "none within horizon")
+    (match m.decay_per_cycle with
+    | Some d -> Printf.sprintf "%.5f/cycle" d
+    | None -> "n/a")

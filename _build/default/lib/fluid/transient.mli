@@ -1,0 +1,35 @@
+(** Transient-performance metrics of the BCN loop — the quantities the
+    paper's Remarks say the sampling parameters [w] and [pm] influence
+    (while leaving the Theorem-1 stability bound untouched), and which
+    its Conclusion defers to future work.
+
+    All metrics are measured on the nonlinear normalized system (8)
+    launched from [(−q0, 0)]. *)
+
+type metrics = {
+  overshoot : float;  (** max of [x] (bits above the reference) *)
+  undershoot : float;  (** min of [x] after the first switching *)
+  oscillations : int;  (** number of [y = 0] crossings within the horizon *)
+  settling_time : float option;
+      (** first time after which |x| stays within the band for the rest
+          of the horizon; [None] when the trajectory never settles *)
+  decay_per_cycle : float option;
+      (** geometric-mean contraction of successive |x| extrema; < 1 is
+          contracting, [None] with fewer than three extrema *)
+}
+
+val measure :
+  ?horizon:float -> ?band:float -> Params.t -> metrics
+(** [band] is the settling band as a fraction of [q0] (default 0.05);
+    [horizon] defaults to 20 periods of the slower subsystem. *)
+
+val sweep :
+  ?horizon:float ->
+  ?band:float ->
+  (float -> Params.t) ->
+  float list ->
+  (float * metrics) list
+(** Measure over a parameterized family, e.g.
+    [sweep (fun w -> Params.with_sampling ~w p) [1.; 2.; 4.]]. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,1 @@
+lib/numerics/mat2.ml: Float Format Vec2

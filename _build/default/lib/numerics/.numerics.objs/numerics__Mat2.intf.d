@@ -1,0 +1,1 @@
+lib/numerics/mat2.mli: Format Vec2

@@ -1,0 +1,1 @@
+lib/numerics/poly.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/numerics/vec2.ml: Array Float Format

@@ -1,0 +1,105 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : float array;
+  mutable under : float;
+  mutable over : float;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  { lo; hi; bins = Array.make bins 0.; under = 0.; over = 0. }
+
+let add_weighted h v w =
+  if w < 0. then invalid_arg "Histogram.add_weighted: negative weight";
+  if v < h.lo then h.under <- h.under +. w
+  else if v >= h.hi then h.over <- h.over +. w
+  else begin
+    let n = Array.length h.bins in
+    let idx =
+      int_of_float ((v -. h.lo) /. (h.hi -. h.lo) *. float_of_int n)
+    in
+    let idx = Stdlib.min (n - 1) (Stdlib.max 0 idx) in
+    h.bins.(idx) <- h.bins.(idx) +. w
+  end
+
+let add h v = add_weighted h v 1.
+
+let count h = Array.fold_left ( +. ) (h.under +. h.over) h.bins
+let underflow h = h.under
+let overflow h = h.over
+let bin_count h = Array.length h.bins
+
+let bin_edges h i =
+  let n = Array.length h.bins in
+  if i < 0 || i >= n then invalid_arg "Histogram.bin_edges: out of range";
+  let w = (h.hi -. h.lo) /. float_of_int n in
+  (h.lo +. (float_of_int i *. w), h.lo +. (float_of_int (i + 1) *. w))
+
+let bin_mass h i =
+  if i < 0 || i >= Array.length h.bins then
+    invalid_arg "Histogram.bin_mass: out of range";
+  h.bins.(i)
+
+let mean h =
+  let total = Array.fold_left ( +. ) 0. h.bins in
+  if total = 0. then nan
+  else begin
+    let acc = ref 0. in
+    Array.iteri
+      (fun i m ->
+        let a, b = bin_edges h i in
+        acc := !acc +. (m *. (a +. b) /. 2.))
+      h.bins;
+    !acc /. total
+  end
+
+let quantile h p =
+  if p < 0. || p > 1. then invalid_arg "Histogram.quantile: p out of range";
+  let total = count h in
+  if total = 0. then invalid_arg "Histogram.quantile: empty histogram";
+  let target = p *. total in
+  if target <= h.under then h.lo
+  else begin
+    let acc = ref h.under in
+    let result = ref h.hi in
+    (try
+       Array.iteri
+         (fun i m ->
+           if !acc +. m >= target then begin
+             let a, b = bin_edges h i in
+             let frac = if m = 0. then 0. else (target -. !acc) /. m in
+             result := a +. (frac *. (b -. a));
+             raise Exit
+           end
+           else acc := !acc +. m)
+         h.bins
+     with Exit -> ());
+    !result
+  end
+
+let to_series h =
+  let n = Array.length h.bins in
+  let ts =
+    Array.init n (fun i ->
+        let a, b = bin_edges h i in
+        (a +. b) /. 2.)
+  in
+  Series.make ts (Array.copy h.bins)
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || Array.length a.bins <> Array.length b.bins
+  then invalid_arg "Histogram.merge: geometry mismatch";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    bins = Array.init (Array.length a.bins) (fun i -> a.bins.(i) +. b.bins.(i));
+    under = a.under +. b.under;
+    over = a.over +. b.over;
+  }
+
+let reset h =
+  Array.fill h.bins 0 (Array.length h.bins) 0.;
+  h.under <- 0.;
+  h.over <- 0.

@@ -1,0 +1,45 @@
+(** Fixed-bin histograms for simulation measurements (queue occupancy
+    distributions, frame latency percentiles).
+
+    Values outside the configured range are counted in saturating
+    underflow/overflow bins so the total mass is never lost. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Raises [Invalid_argument] unless [lo < hi] and [bins >= 1]. *)
+
+val add : t -> float -> unit
+val add_weighted : t -> float -> float -> unit
+(** [add_weighted h v w] adds mass [w] at value [v] (e.g. time-weighted
+    queue occupancy). Raises [Invalid_argument] on negative weight. *)
+
+val count : t -> float
+(** Total recorded mass (including out-of-range). *)
+
+val underflow : t -> float
+val overflow : t -> float
+
+val bin_count : t -> int
+val bin_edges : t -> int -> float * float
+(** Bounds of bin [i]; raises [Invalid_argument] out of range. *)
+
+val bin_mass : t -> int -> float
+
+val mean : t -> float
+(** Mass-weighted mean of in-range samples (bin midpoints); NaN when
+    empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h p] with [p] in [0,1]: linear interpolation within the
+    containing bin; counts underflow mass at [lo] and overflow at [hi].
+    Raises [Invalid_argument] when empty or [p] out of range. *)
+
+val to_series : t -> Series.t
+(** Bin midpoints vs masses (for plotting). *)
+
+val merge : t -> t -> t
+(** Sum of two histograms with identical geometry;
+    raises [Invalid_argument] otherwise. *)
+
+val reset : t -> unit

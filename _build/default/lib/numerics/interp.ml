@@ -1,0 +1,67 @@
+let find_segment xs x =
+  (* largest i with xs.(i) <= x, clamped to [0, n-2] *)
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear xs ys x =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Interp.linear: length mismatch";
+  if n = 0 then invalid_arg "Interp.linear: empty";
+  if n = 1 then ys.(0)
+  else if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let i = find_segment xs x in
+    let x0 = xs.(i) and x1 = xs.(i + 1) in
+    let s = if x1 = x0 then 0. else (x -. x0) /. (x1 -. x0) in
+    ys.(i) +. (s *. (ys.(i + 1) -. ys.(i)))
+  end
+
+let hermite x0 x1 y0 y1 d0 d1 x =
+  let h = x1 -. x0 in
+  if h = 0. then y0
+  else begin
+    let s = (x -. x0) /. h in
+    let s2 = s *. s in
+    let s3 = s2 *. s in
+    let h00 = (2. *. s3) -. (3. *. s2) +. 1. in
+    let h10 = s3 -. (2. *. s2) +. s in
+    let h01 = (-2. *. s3) +. (3. *. s2) in
+    let h11 = s3 -. s2 in
+    (h00 *. y0) +. (h10 *. h *. d0) +. (h01 *. y1) +. (h11 *. h *. d1)
+  end
+
+let resample xs ys n =
+  if n < 2 then invalid_arg "Interp.resample: n < 2";
+  let m = Array.length xs in
+  if m = 0 then invalid_arg "Interp.resample: empty";
+  let a = xs.(0) and b = xs.(m - 1) in
+  let xs' =
+    Array.init n (fun i -> a +. ((b -. a) *. float_of_int i /. float_of_int (n - 1)))
+  in
+  let ys' = Array.map (fun x -> linear xs ys x) xs' in
+  (xs', ys')
+
+let zero_crossings xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Interp.zero_crossings: mismatch";
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    let y0 = ys.(i) and y1 = ys.(i + 1) in
+    if y0 = 0. then acc := xs.(i) :: !acc
+    else if y0 *. y1 < 0. then begin
+      let s = y0 /. (y0 -. y1) in
+      acc := (xs.(i) +. (s *. (xs.(i + 1) -. xs.(i)))) :: !acc
+    end
+  done;
+  if n > 0 && ys.(n - 1) = 0. then acc := xs.(n - 1) :: !acc;
+  List.rev !acc

@@ -1,0 +1,18 @@
+(** Interpolation of sampled functions. *)
+
+(** [linear xs ys x] — piecewise-linear interpolation on the sorted knots
+    [xs]. Clamps outside the knot range. Raises [Invalid_argument] on
+    length mismatch or empty input. *)
+val linear : float array -> float array -> float -> float
+
+(** [hermite x0 x1 y0 y1 d0 d1 x] — cubic Hermite interpolation on
+    [[x0,x1]] with endpoint values [y0,y1] and derivatives [d0,d1]. *)
+val hermite : float -> float -> float -> float -> float -> float -> float -> float
+
+(** [resample xs ys n] — [n] equally spaced samples of the piecewise-linear
+    interpolant over the knot range, returned as [(xs', ys')]. *)
+val resample : float array -> float array -> int -> float array * float array
+
+(** [zero_crossings xs ys] — abscissae where the piecewise-linear
+    interpolant crosses zero, in increasing order. *)
+val zero_crossings : float array -> float array -> float list

@@ -1,0 +1,87 @@
+type t = { a11 : float; a12 : float; a21 : float; a22 : float }
+
+type eigenvalues =
+  | Real_pair of float * float
+  | Complex_pair of { re : float; im : float }
+
+let make a11 a12 a21 a22 = { a11; a12; a21; a22 }
+let identity = make 1. 0. 0. 1.
+let zero = make 0. 0. 0. 0.
+
+let of_rows (r1 : Vec2.t) (r2 : Vec2.t) = make r1.Vec2.x r1.Vec2.y r2.Vec2.x r2.Vec2.y
+let row1 m = Vec2.make m.a11 m.a12
+let row2 m = Vec2.make m.a21 m.a22
+
+let add a b =
+  make (a.a11 +. b.a11) (a.a12 +. b.a12) (a.a21 +. b.a21) (a.a22 +. b.a22)
+
+let sub a b =
+  make (a.a11 -. b.a11) (a.a12 -. b.a12) (a.a21 -. b.a21) (a.a22 -. b.a22)
+
+let scale s m = make (s *. m.a11) (s *. m.a12) (s *. m.a21) (s *. m.a22)
+
+let mul a b =
+  make
+    ((a.a11 *. b.a11) +. (a.a12 *. b.a21))
+    ((a.a11 *. b.a12) +. (a.a12 *. b.a22))
+    ((a.a21 *. b.a11) +. (a.a22 *. b.a21))
+    ((a.a21 *. b.a12) +. (a.a22 *. b.a22))
+
+let transpose m = make m.a11 m.a21 m.a12 m.a22
+
+let apply m (v : Vec2.t) =
+  Vec2.make ((m.a11 *. v.Vec2.x) +. (m.a12 *. v.Vec2.y))
+    ((m.a21 *. v.Vec2.x) +. (m.a22 *. v.Vec2.y))
+
+let det m = (m.a11 *. m.a22) -. (m.a12 *. m.a21)
+let trace m = m.a11 +. m.a22
+
+let inv m =
+  let d = det m in
+  if d = 0. then failwith "Mat2.inv: singular matrix";
+  scale (1. /. d) (make m.a22 (-.m.a12) (-.m.a21) m.a11)
+
+let discriminant m =
+  let tr = trace m in
+  (tr *. tr) -. (4. *. det m)
+
+let eigenvalues m =
+  let tr = trace m in
+  let disc = discriminant m in
+  if disc >= 0. then begin
+    let s = sqrt disc in
+    let l1 = (tr -. s) /. 2. and l2 = (tr +. s) /. 2. in
+    Real_pair (l1, l2)
+  end
+  else Complex_pair { re = tr /. 2.; im = sqrt (-.disc) /. 2. }
+
+let eigenvector m l =
+  (* Rows of (A − l·I) are orthogonal to the eigenvector; pick the row with
+     the larger norm for numerical robustness. *)
+  let b11 = m.a11 -. l and b22 = m.a22 -. l in
+  let r1 = Vec2.make b11 m.a12 and r2 = Vec2.make m.a21 b22 in
+  let n1 = Vec2.norm r1 and n2 = Vec2.norm r2 in
+  let scale_ref = 1. +. Float.abs m.a11 +. Float.abs m.a12
+                  +. Float.abs m.a21 +. Float.abs m.a22 in
+  if n1 <= 1e-12 *. scale_ref && n2 <= 1e-12 *. scale_ref then Vec2.make 1. 0.
+  else begin
+    let r = if n1 >= n2 then r1 else r2 in
+    (* eigenvector is perpendicular to r *)
+    let v = Vec2.make (-.r.Vec2.y) r.Vec2.x in
+    (* Sanity check: A·v ≈ l·v *)
+    let av = apply m v in
+    let residual = Vec2.dist av (Vec2.scale l v) in
+    if residual > 1e-6 *. scale_ref *. Vec2.norm v then
+      failwith "Mat2.eigenvector: not an eigenvalue";
+    v
+  end
+
+let char_poly m = (det m, -.trace m)
+
+let equal ?(eps = 1e-12) a b =
+  let close u v = Float.abs (u -. v) <= eps in
+  close a.a11 b.a11 && close a.a12 b.a12 && close a.a21 b.a21
+  && close a.a22 b.a22
+
+let pp ppf m =
+  Format.fprintf ppf "[[%g, %g]; [%g, %g]]" m.a11 m.a12 m.a21 m.a22

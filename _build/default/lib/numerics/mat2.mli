@@ -1,0 +1,55 @@
+(** 2×2 real matrices and their spectral decomposition.
+
+    The linearized BCN subsystems are planar LTI systems
+    [d/dt (x,y) = A (x,y)]; classifying the equilibrium requires the
+    eigenstructure of [A]. *)
+
+type t = { a11 : float; a12 : float; a21 : float; a22 : float }
+
+(** Eigenvalues of a real 2×2 matrix: either two real eigenvalues
+    (possibly equal) or a complex-conjugate pair [alpha ± i·beta]
+    with [beta > 0]. *)
+type eigenvalues =
+  | Real_pair of float * float  (** ordered [l1 <= l2] *)
+  | Complex_pair of { re : float; im : float }  (** [im > 0] *)
+
+val make : float -> float -> float -> float -> t
+val identity : t
+val zero : t
+
+val of_rows : Vec2.t -> Vec2.t -> t
+val row1 : t -> Vec2.t
+val row2 : t -> Vec2.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val transpose : t -> t
+
+val apply : t -> Vec2.t -> Vec2.t
+val det : t -> float
+val trace : t -> float
+
+(** [inv m] is the inverse. Raises [Failure] if [det m = 0]. *)
+val inv : t -> t
+
+(** [discriminant m] is [trace² − 4·det], whose sign separates real from
+    complex eigenvalues. *)
+val discriminant : t -> float
+
+val eigenvalues : t -> eigenvalues
+
+(** [eigenvector m l] is a (non-normalized) real eigenvector for the real
+    eigenvalue [l]. Raises [Failure] if [l] is not an eigenvalue within
+    tolerance or if the eigenspace is the whole plane (scalar matrix), in
+    which case any vector works and [(1,0)] is returned instead of failing. *)
+val eigenvector : t -> float -> Vec2.t
+
+(** Characteristic polynomial coefficients [(c0, c1)] such that the
+    characteristic equation is [l² + c1·l + c0 = 0]
+    (i.e. [c1 = −trace], [c0 = det]). *)
+val char_poly : t -> float * float
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

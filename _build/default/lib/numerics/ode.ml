@@ -1,0 +1,390 @@
+type field = float -> float array -> float array
+type method_ = Euler | Heun | Rk4
+type direction = Up | Down | Both
+
+type event = {
+  ev_name : string;
+  guard : float -> float array -> float;
+  dir : direction;
+  terminal : bool;
+}
+
+type occurrence = { oc_name : string; oc_t : float; oc_y : float array }
+
+type solution = {
+  ts : float array;
+  ys : float array array;
+  occs : occurrence list;
+  terminated : occurrence option;
+  n_steps : int;
+  n_rejected : int;
+}
+
+let axpy out a x y =
+  (* out.(i) = y.(i) + a * x.(i) *)
+  for i = 0 to Array.length y - 1 do
+    out.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let step m f t y h =
+  let n = Array.length y in
+  match m with
+  | Euler ->
+      let k1 = f t y in
+      let out = Array.make n 0. in
+      axpy out h k1 y;
+      out
+  | Heun ->
+      let k1 = f t y in
+      let tmp = Array.make n 0. in
+      axpy tmp h k1 y;
+      let k2 = f (t +. h) tmp in
+      Array.init n (fun i -> y.(i) +. (h /. 2. *. (k1.(i) +. k2.(i))))
+  | Rk4 ->
+      let tmp = Array.make n 0. in
+      let k1 = f t y in
+      axpy tmp (h /. 2.) k1 y;
+      let k2 = f (t +. (h /. 2.)) tmp in
+      axpy tmp (h /. 2.) k2 y;
+      let k3 = f (t +. (h /. 2.)) tmp in
+      axpy tmp h k3 y;
+      let k4 = f (t +. h) tmp in
+      Array.init n (fun i ->
+          y.(i) +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+(* --- event helpers ------------------------------------------------------ *)
+
+let fires dir g_prev g_next =
+  if g_prev = 0. then false
+  else
+    match dir with
+    | Up -> g_prev < 0. && g_next >= 0.
+    | Down -> g_prev > 0. && g_next <= 0.
+    | Both -> g_prev *. g_next <= 0. && g_next <> g_prev
+
+(* Localize the event inside the step [t, t+h] starting at state [y], using
+   the provided single-step function to evaluate intermediate states.
+   Returns (t_event, y_event). *)
+let localize step_fn ev t y h =
+  let state_at_frac s = step_fn t y (s *. h) in
+  let phi s =
+    let ys = state_at_frac s in
+    ev.guard (t +. (s *. h)) ys
+  in
+  let s_root =
+    try Roots.bisect ~tol:1e-13 ~max_iter:100 phi 1e-15 1.
+    with Roots.No_bracket _ -> 1.
+  in
+  let y_ev = state_at_frac s_root in
+  (t +. (s_root *. h), y_ev)
+
+(* --- generic driver ------------------------------------------------------ *)
+
+type driver_step = float -> float array -> float -> float array
+(* [driver_step t y h] = state after one step of size h from (t, y). *)
+
+let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float -> float * float * bool)
+    ?(events = []) ~t_end ~t0 ~y0 () =
+  (* [next_h t y h_try] returns (h_accepted, h_next_suggestion, accepted?).
+     For fixed-step drivers it always accepts. *)
+  let ts = ref [ t0 ] in
+  let ys = ref [ Array.copy y0 ] in
+  let occs = ref [] in
+  let terminated = ref None in
+  let n_steps = ref 0 in
+  let n_rejected = ref 0 in
+  let guards_prev =
+    ref (List.map (fun ev -> (ev, ev.guard t0 y0)) events)
+  in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  let h_cur = ref nan in
+  (* h_cur is set by the caller through next_h's suggestion channel: we seed
+     it with (t_end - t0) and let next_h clamp. *)
+  h_cur := t_end -. t0;
+  let continue_ = ref (t_end > t0) in
+  while !continue_ do
+    let remaining = t_end -. !t in
+    if remaining <= 1e-15 *. (1. +. Float.abs t_end) then continue_ := false
+    else begin
+      let h_try = Float.min !h_cur remaining in
+      let h_acc, h_next, accepted = next_h !t !y h_try in
+      if not accepted then begin
+        incr n_rejected;
+        h_cur := h_next
+      end
+      else begin
+        incr n_steps;
+        let y_next = single !t !y h_acc in
+        let t_next = !t +. h_acc in
+        (* event detection over this accepted step *)
+        let fired =
+          List.filter_map
+            (fun (ev, g_prev) ->
+              let g_next = ev.guard t_next y_next in
+              if fires ev.dir g_prev g_next then Some ev else None)
+            !guards_prev
+        in
+        let stop_here = ref None in
+        List.iter
+          (fun ev ->
+            let t_ev, y_ev = localize single ev !t !y h_acc in
+            let oc = { oc_name = ev.ev_name; oc_t = t_ev; oc_y = y_ev } in
+            occs := oc :: !occs;
+            if ev.terminal then
+              match !stop_here with
+              | Some (prev_oc : occurrence) when prev_oc.oc_t <= t_ev -> ()
+              | _ -> stop_here := Some oc)
+          fired;
+        (match !stop_here with
+        | Some oc ->
+            terminated := Some oc;
+            ts := oc.oc_t :: !ts;
+            ys := Array.copy oc.oc_y :: !ys;
+            continue_ := false
+        | None ->
+            t := t_next;
+            y := y_next;
+            ts := t_next :: !ts;
+            ys := Array.copy y_next :: !ys;
+            guards_prev :=
+              List.map (fun (ev, _) -> (ev, ev.guard t_next y_next)) !guards_prev;
+            h_cur := h_next)
+      end
+    end
+  done;
+  {
+    ts = Array.of_list (List.rev !ts);
+    ys = Array.of_list (List.rev !ys);
+    occs = List.rev !occs;
+    terminated = !terminated;
+    n_steps = !n_steps;
+    n_rejected = !n_rejected;
+  }
+
+let solve_fixed ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
+  if h <= 0. then invalid_arg "Ode.solve_fixed: h <= 0";
+  let single t y h = step method_ f t y h in
+  let next_h _t _y h_try = (Float.min h_try h, h, true) in
+  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+
+(* --- Fehlberg 4(5) ------------------------------------------------------- *)
+
+let rkf45_step f t y h =
+  let n = Array.length y in
+  let stage coeffs =
+    let tmp = Array.copy y in
+    List.iter
+      (fun (c, (k : float array)) ->
+        for i = 0 to n - 1 do
+          tmp.(i) <- tmp.(i) +. (h *. c *. k.(i))
+        done)
+      coeffs;
+    tmp
+  in
+  let k1 = f t y in
+  let k2 = f (t +. (h /. 4.)) (stage [ (1. /. 4., k1) ]) in
+  let k3 =
+    f (t +. (3. *. h /. 8.)) (stage [ (3. /. 32., k1); (9. /. 32., k2) ])
+  in
+  let k4 =
+    f
+      (t +. (12. *. h /. 13.))
+      (stage
+         [ (1932. /. 2197., k1); (-7200. /. 2197., k2); (7296. /. 2197., k3) ])
+  in
+  let k5 =
+    f (t +. h)
+      (stage
+         [
+           (439. /. 216., k1);
+           (-8., k2);
+           (3680. /. 513., k3);
+           (-845. /. 4104., k4);
+         ])
+  in
+  let k6 =
+    f
+      (t +. (h /. 2.))
+      (stage
+         [
+           (-8. /. 27., k1);
+           (2., k2);
+           (-3544. /. 2565., k3);
+           (1859. /. 4104., k4);
+           (-11. /. 40., k5);
+         ])
+  in
+  let y5 =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((16. /. 135. *. k1.(i))
+                +. (6656. /. 12825. *. k3.(i))
+                +. (28561. /. 56430. *. k4.(i))
+                +. (-9. /. 50. *. k5.(i))
+                +. (2. /. 55. *. k6.(i)))))
+  in
+  let err = ref 0. in
+  for i = 0 to n - 1 do
+    let y4i =
+      y.(i)
+      +. (h
+          *. ((25. /. 216. *. k1.(i))
+              +. (1408. /. 2565. *. k3.(i))
+              +. (2197. /. 4104. *. k4.(i))
+              +. (-1. /. 5. *. k5.(i))))
+    in
+    err := Float.max !err (Float.abs (y5.(i) -. y4i))
+  done;
+  (y5, !err)
+
+(* --- Dormand–Prince 5(4) ------------------------------------------------- *)
+
+let dopri5_step f t y h =
+  let n = Array.length y in
+  let stage coeffs =
+    let tmp = Array.copy y in
+    List.iter
+      (fun (c, (k : float array)) ->
+        for i = 0 to n - 1 do
+          tmp.(i) <- tmp.(i) +. (h *. c *. k.(i))
+        done)
+      coeffs;
+    tmp
+  in
+  let k1 = f t y in
+  let k2 = f (t +. (h /. 5.)) (stage [ (1. /. 5., k1) ]) in
+  let k3 =
+    f (t +. (3. *. h /. 10.)) (stage [ (3. /. 40., k1); (9. /. 40., k2) ])
+  in
+  let k4 =
+    f
+      (t +. (4. *. h /. 5.))
+      (stage [ (44. /. 45., k1); (-56. /. 15., k2); (32. /. 9., k3) ])
+  in
+  let k5 =
+    f
+      (t +. (8. *. h /. 9.))
+      (stage
+         [
+           (19372. /. 6561., k1);
+           (-25360. /. 2187., k2);
+           (64448. /. 6561., k3);
+           (-212. /. 729., k4);
+         ])
+  in
+  let k6 =
+    f (t +. h)
+      (stage
+         [
+           (9017. /. 3168., k1);
+           (-355. /. 33., k2);
+           (46732. /. 5247., k3);
+           (49. /. 176., k4);
+           (-5103. /. 18656., k5);
+         ])
+  in
+  let y5 =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((35. /. 384. *. k1.(i))
+                +. (500. /. 1113. *. k3.(i))
+                +. (125. /. 192. *. k4.(i))
+                +. (-2187. /. 6784. *. k5.(i))
+                +. (11. /. 84. *. k6.(i)))))
+  in
+  let k7 = f (t +. h) y5 in
+  let err = ref 0. in
+  for i = 0 to n - 1 do
+    let y4i =
+      y.(i)
+      +. (h
+          *. ((5179. /. 57600. *. k1.(i))
+              +. (7571. /. 16695. *. k3.(i))
+              +. (393. /. 640. *. k4.(i))
+              +. (-92097. /. 339200. *. k5.(i))
+              +. (187. /. 2100. *. k6.(i))
+              +. (1. /. 40. *. k7.(i))))
+    in
+    err := Float.max !err (Float.abs (y5.(i) -. y4i))
+  done;
+  (y5, !err)
+
+let solve_adaptive ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
+    ?h_max ?(max_steps = 2_000_000) ?(events = []) ~t_end f ~t0 ~y0 =
+  let span = t_end -. t0 in
+  if span <= 0. then invalid_arg "Ode.solve_adaptive: t_end <= t0";
+  let h_max = match h_max with Some h -> h | None -> span in
+  let h_init = match h0 with Some h -> h | None -> span /. 100. in
+  let budget = ref max_steps in
+  let single t y h =
+    let y', _ = dopri5_step f t y h in
+    y'
+  in
+  let h_suggest = ref (Float.min h_init h_max) in
+  let next_h t y h_try =
+    decr budget;
+    if !budget <= 0 then failwith "Ode.solve_adaptive: max_steps exhausted";
+    let h_try = Float.min h_try !h_suggest in
+    let h_try = Float.max h_try h_min in
+    let y', err = dopri5_step f t y h_try in
+    let scale = ref atol in
+    Array.iteri
+      (fun i yi ->
+        scale :=
+          Float.max !scale (rtol *. Float.max (Float.abs yi) (Float.abs y'.(i))))
+      y;
+    let ratio = err /. !scale in
+    (* a wildly oversized trial step can overflow the stage values and
+       produce a NaN error estimate; treat it as an infinitely bad step so
+       the controller shrinks instead of propagating the NaN *)
+    let ratio = if Float.is_finite ratio then ratio else infinity in
+    if ratio <= 1. || h_try <= h_min *. 1.0001 then begin
+      let grow =
+        if ratio <= 0. then 5. else Float.min 5. (0.9 *. (ratio ** -0.2))
+      in
+      h_suggest := Float.min h_max (h_try *. Float.max 1. grow);
+      (h_try, !h_suggest, true)
+    end
+    else begin
+      let shrink = Float.max 0.1 (0.9 *. (ratio ** -0.25)) in
+      let h_new = Float.max h_min (h_try *. shrink) in
+      if h_new <= h_min && h_try <= h_min *. 1.0001 then
+        failwith "Ode.solve_adaptive: step size underflow";
+      h_suggest := h_new;
+      (h_try, h_new, false)
+    end
+  in
+  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+
+let state_at sol t =
+  let n = Array.length sol.ts in
+  assert (n > 0);
+  if t <= sol.ts.(0) then Array.copy sol.ys.(0)
+  else if t >= sol.ts.(n - 1) then Array.copy sol.ys.(n - 1)
+  else begin
+    (* binary search for the bracketing segment *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if sol.ts.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t0 = sol.ts.(!lo) and t1 = sol.ts.(!hi) in
+    let s = if t1 = t0 then 0. else (t -. t0) /. (t1 -. t0) in
+    let y0 = sol.ys.(!lo) and y1 = sol.ys.(!hi) in
+    Array.init (Array.length y0) (fun i -> y0.(i) +. (s *. (y1.(i) -. y0.(i))))
+  end
+
+let convergence_order m f ~t0 ~y0 ~t_end ~exact =
+  let err h =
+    let sol = solve_fixed ~method_:m ~h ~t_end f ~t0 ~y0 in
+    let yn = sol.ys.(Array.length sol.ys - 1) in
+    let ye = exact t_end in
+    let e = ref 0. in
+    Array.iteri (fun i v -> e := Float.max !e (Float.abs (v -. ye.(i)))) yn;
+    !e
+  in
+  let h1 = (t_end -. t0) /. 64. in
+  let e1 = err h1 and e2 = err (h1 /. 2.) in
+  log (e1 /. e2) /. log 2.

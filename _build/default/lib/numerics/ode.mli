@@ -1,0 +1,96 @@
+(** Initial-value-problem solvers for systems of ordinary differential
+    equations, with event (zero-crossing) detection.
+
+    The BCN fluid model (paper eqns (4)/(7), normalized form (8)) is a
+    *switched* ODE: the right-hand side changes across the switching line
+    [sigma = 0]. Integrating it accurately requires localizing the crossing
+    inside a step, which the [events] machinery below provides: an event is
+    a scalar guard function whose sign change is bisected to a time
+    tolerance, the state at the crossing is recorded, and integration can
+    optionally terminate there.
+
+    State vectors are [float array]s of arbitrary dimension. Fields must
+    not retain or mutate the array they are given. *)
+
+type field = float -> float array -> float array
+(** [f t y] returns [dy/dt]; must allocate (or at least not alias) its
+    result. *)
+
+(** Fixed-step explicit methods. *)
+type method_ =
+  | Euler  (** order 1 *)
+  | Heun  (** order 2 *)
+  | Rk4  (** classic order 4 *)
+
+(** Direction of the guard's sign change that fires an event. *)
+type direction = Up | Down | Both
+
+type event = {
+  ev_name : string;
+  guard : float -> float array -> float;
+  dir : direction;
+  terminal : bool;  (** stop integration at the event *)
+}
+
+type occurrence = { oc_name : string; oc_t : float; oc_y : float array }
+
+type solution = {
+  ts : float array;  (** accepted step times, [ts.(0) = t0] *)
+  ys : float array array;  (** [ys.(i)] is the state at [ts.(i)] *)
+  occs : occurrence list;  (** events fired, in chronological order *)
+  terminated : occurrence option;
+      (** the terminal event that stopped integration, if any *)
+  n_steps : int;  (** accepted steps *)
+  n_rejected : int;  (** rejected steps (adaptive methods only) *)
+}
+
+val state_at : solution -> float -> float array
+(** [state_at sol t] linearly interpolates the stored trajectory at time
+    [t]. Clamps outside the stored range. *)
+
+val step : method_ -> field -> float -> float array -> float -> float array
+(** [step m f t y h] advances one step of size [h]. *)
+
+val solve_fixed :
+  ?method_:method_ ->
+  ?events:event list ->
+  h:float ->
+  t_end:float ->
+  field ->
+  t0:float ->
+  y0:float array ->
+  solution
+(** Fixed-step integration from [t0] to [t_end] with step [h] (the last
+    step is shortened to land exactly on [t_end]). Guards are evaluated at
+    step boundaries; a sign change is refined by bisection on the step
+    fraction to a relative time tolerance of 1e-12. *)
+
+val solve_adaptive :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  ?events:event list ->
+  t_end:float ->
+  field ->
+  t0:float ->
+  y0:float array ->
+  solution
+(** Adaptive Dormand–Prince 5(4) integration with PI-style step control.
+    Defaults: [rtol=1e-8], [atol=1e-10], [max_steps=2_000_000].
+    Raises [Failure] if the step size underflows [h_min] or the step budget
+    is exhausted before [t_end]. *)
+
+val rkf45_step :
+  field -> float -> float array -> float -> float array * float
+(** One Fehlberg 4(5) step: returns the 5th-order solution and the
+    embedded error estimate (max-norm of the 4th/5th order difference).
+    Exposed for the solver-ablation benchmark. *)
+
+val convergence_order :
+  method_ -> field -> t0:float -> y0:float array -> t_end:float ->
+  exact:(float -> float array) -> float
+(** Empirical convergence order of a fixed-step method, estimated from the
+    error ratio between step sizes [h] and [h/2]. Used by the test suite. *)

@@ -1,0 +1,187 @@
+type t = float array
+type root = Real of float | Complex of { re : float; im : float }
+
+let make coeffs =
+  let n = Array.length coeffs in
+  let rec top i = if i > 0 && coeffs.(i) = 0. then top (i - 1) else i in
+  if n = 0 then [| 0. |] else Array.sub coeffs 0 (top (n - 1) + 1)
+
+let degree p = Array.length p - 1
+
+let eval p x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_complex p (re, im) =
+  let ar = ref 0. and ai = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    let nr = (!ar *. re) -. (!ai *. im) +. p.(i) in
+    let ni = (!ar *. im) +. (!ai *. re) in
+    ar := nr;
+    ai := ni
+  done;
+  (!ar, !ai)
+
+let derivative p =
+  let n = degree p in
+  if n = 0 then [| 0. |]
+  else Array.init n (fun i -> float_of_int (i + 1) *. p.(i + 1))
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  let get a i = if i < Array.length a then a.(i) else 0. in
+  make (Array.init n (fun i -> get p i +. get q i))
+
+let scale s p = make (Array.map (fun c -> s *. c) p)
+let sub p q = add p (scale (-1.) q)
+
+let mul p q =
+  let n = Array.length p + Array.length q - 1 in
+  let r = Array.make n 0. in
+  Array.iteri
+    (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q)
+    p;
+  make r
+
+let of_roots rs =
+  List.fold_left (fun acc r -> mul acc [| -.r; 1. |]) [| 1. |] rs
+
+let roots_linear p =
+  if degree p <> 1 then invalid_arg "Poly.roots_linear: degree <> 1";
+  -.p.(0) /. p.(1)
+
+let roots_quadratic p =
+  if degree p <> 2 then invalid_arg "Poly.roots_quadratic: degree <> 2";
+  let a = p.(2) and b = p.(1) and c = p.(0) in
+  let disc = (b *. b) -. (4. *. a *. c) in
+  if disc >= 0. then begin
+    (* q = −(b + sign(b)·sqrt(disc))/2 avoids cancellation *)
+    let s = sqrt disc in
+    let q = if b >= 0. then -.(b +. s) /. 2. else -.(b -. s) /. 2. in
+    if q = 0. then (Real 0., Real 0.)
+    else begin
+      let r1 = q /. a and r2 = c /. q in
+      if r1 <= r2 then (Real r1, Real r2) else (Real r2, Real r1)
+    end
+  end
+  else begin
+    let re = -.b /. (2. *. a) and im = sqrt (-.disc) /. (2. *. a) in
+    let im = Float.abs im in
+    (Complex { re; im = -.im }, Complex { re; im })
+  end
+
+let roots_cubic p =
+  if degree p <> 3 then invalid_arg "Poly.roots_cubic: degree <> 3";
+  (* Normalize to x^3 + a2 x^2 + a1 x + a0, then depress: x = u − a2/3 *)
+  let a2 = p.(2) /. p.(3) and a1 = p.(1) /. p.(3) and a0 = p.(0) /. p.(3) in
+  let shift = a2 /. 3. in
+  let q = a1 -. (a2 *. a2 /. 3.) in
+  let r = (2. *. a2 *. a2 *. a2 /. 27.) -. (a2 *. a1 /. 3.) +. a0 in
+  (* u^3 + q u + r = 0 *)
+  let disc = (r *. r /. 4.) +. (q *. q *. q /. 27.) in
+  if disc > 0. then begin
+    let s = sqrt disc in
+    let cbrt v = if v >= 0. then v ** (1. /. 3.) else -.((-.v) ** (1. /. 3.)) in
+    let u = cbrt ((-.r /. 2.) +. s) +. cbrt ((-.r /. 2.) -. s) in
+    let real_root = u -. shift in
+    (* Deflate: remaining quadratic x^2 + (a2 + x0) x + ... via synthetic division *)
+    let b1 = a2 +. real_root in
+    let b0 = a1 +. (real_root *. b1) in
+    let r1, r2 = roots_quadratic [| b0; b1; 1. |] in
+    [ Real real_root; r1; r2 ]
+  end
+  else begin
+    (* three real roots: trigonometric method *)
+    if q = 0. && r = 0. then
+      [ Real (-.shift); Real (-.shift); Real (-.shift) ]
+    else begin
+      let m = 2. *. sqrt (-.q /. 3.) in
+      let arg = 3. *. r /. (q *. m) in
+      let arg = Float.max (-1.) (Float.min 1. arg) in
+      let theta = acos arg /. 3. in
+      let root k =
+        (m *. cos (theta -. (2. *. Float.pi *. float_of_int k /. 3.))) -. shift
+      in
+      List.sort compare [ Real (root 0); Real (root 1); Real (root 2) ]
+    end
+  end
+
+let roots ?(max_iter = 500) ?(tol = 1e-12) p =
+  let n = degree p in
+  if n < 1 then invalid_arg "Poly.roots: degree < 1"
+  else if n = 1 then [ Real (roots_linear p) ]
+  else if n = 2 then
+    let r1, r2 = roots_quadratic p in
+    [ r1; r2 ]
+  else if n = 3 then roots_cubic p
+  else begin
+    (* Durand–Kerner on the monic normalization *)
+    let monic = Array.map (fun c -> c /. p.(n)) p in
+    let csub (a, b) (c, d) = (a -. c, b -. d) in
+    let cmul (a, b) (c, d) = ((a *. c) -. (b *. d), (a *. d) +. (b *. c)) in
+    let cdiv (a, b) (c, d) =
+      let den = (c *. c) +. (d *. d) in
+      (((a *. c) +. (b *. d)) /. den, ((b *. c) -. (a *. d)) /. den)
+    in
+    let cnorm (a, b) = sqrt ((a *. a) +. (b *. b)) in
+    (* initial guesses on a circle of non-trivial radius, not a root of unity *)
+    let zs =
+      Array.init n (fun i ->
+          let angle = (2. *. Float.pi *. float_of_int i /. float_of_int n) +. 0.4 in
+          (0.4 +. (0.9 *. cos angle), 0.4 +. (0.9 *. sin angle)))
+    in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      let delta = ref 0. in
+      for i = 0 to n - 1 do
+        let zi = zs.(i) in
+        let num = eval_complex monic zi in
+        let den = ref (1., 0.) in
+        for j = 0 to n - 1 do
+          if j <> i then den := cmul !den (csub zi zs.(j))
+        done;
+        let corr = cdiv num !den in
+        zs.(i) <- csub zi corr;
+        delta := Float.max !delta (cnorm corr)
+      done;
+      if !delta < tol then converged := true
+    done;
+    (* classify near-real roots *)
+    let scale_ref =
+      Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 1. monic
+    in
+    let real_tol = 1e-8 *. scale_ref in
+    Array.to_list zs
+    |> List.map (fun (re, im) ->
+           if Float.abs im <= real_tol then Real re else Complex { re; im })
+    |> List.sort compare
+  end
+
+let is_hurwitz p =
+  roots p
+  |> List.for_all (function
+       | Real r -> r < 0.
+       | Complex { re; _ } -> re < 0.)
+
+let pp ppf p =
+  let n = degree p in
+  let first = ref true in
+  for i = n downto 0 do
+    if p.(i) <> 0. || (n = 0 && i = 0) then begin
+      if not !first then Format.fprintf ppf " + ";
+      first := false;
+      if i = 0 then Format.fprintf ppf "%g" p.(i)
+      else if i = 1 then Format.fprintf ppf "%g·x" p.(i)
+      else Format.fprintf ppf "%g·x^%d" p.(i) i
+    end
+  done;
+  if !first then Format.fprintf ppf "0"
+
+let pp_root ppf = function
+  | Real r -> Format.fprintf ppf "%g" r
+  | Complex { re; im } -> Format.fprintf ppf "%g%+gi" re im

@@ -1,0 +1,54 @@
+(** Real polynomials with dense coefficient representation.
+
+    A polynomial [p] is stored as a coefficient array with [p.(i)] the
+    coefficient of [x^i]. The characteristic equations of the BCN
+    subsystems (eqns (10)/(35) in the paper) and the Routh–Hurwitz baseline
+    both operate on such polynomials. *)
+
+type t = float array
+
+(** A root of a real polynomial. *)
+type root = Real of float | Complex of { re : float; im : float }
+
+(** [make coeffs] normalizes by dropping trailing (highest-degree) zero
+    coefficients. The zero polynomial is represented as [[|0.|]]. *)
+val make : float array -> t
+
+val degree : t -> int
+val eval : t -> float -> float
+
+(** Horner evaluation at a complex point, returning [(re, im)]. *)
+val eval_complex : t -> float * float -> float * float
+
+val derivative : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+(** [of_roots rs] is the monic polynomial with the given real roots. *)
+val of_roots : float list -> t
+
+(** Roots of a degree-1 polynomial. Raises [Invalid_argument] otherwise. *)
+val roots_linear : t -> float
+
+(** Roots of a degree-2 polynomial, numerically stable (avoids
+    catastrophic cancellation). Raises [Invalid_argument] otherwise. *)
+val roots_quadratic : t -> root * root
+
+(** Roots of a degree-3 polynomial via the trigonometric/Cardano method.
+    Raises [Invalid_argument] otherwise. *)
+val roots_cubic : t -> root list
+
+(** All roots of a polynomial of any degree ≥ 1 via the Durand–Kerner
+    (Weierstrass) iteration; real roots are reported as [Real] when the
+    imaginary part is below an absolute tolerance. *)
+val roots : ?max_iter:int -> ?tol:float -> t -> root list
+
+(** [is_hurwitz p] holds when all roots have strictly negative real part
+    (checked by computing the roots; see {!Routh} in [lib/control] for the
+    algebraic criterion). *)
+val is_hurwitz : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_root : Format.formatter -> root -> unit

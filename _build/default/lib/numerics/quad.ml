@@ -1,0 +1,47 @@
+let trapezoid f a b n =
+  if n < 1 then invalid_arg "Quad.trapezoid: n < 1";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref ((f a +. f b) /. 2.) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (h *. float_of_int i))
+  done;
+  !acc *. h
+
+let simpson f a b n =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  if n < 2 then invalid_arg "Quad.simpson: n < 2";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (a +. (h *. float_of_int i)))
+  done;
+  !acc *. h /. 3.
+
+let adaptive_simpson ?(tol = 1e-10) f a b =
+  let simpson1 a b fa fm fb = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a b fa fm fb whole tol depth =
+    let m = (a +. b) /. 2. in
+    let lm = (a +. m) /. 2. and rm = (m +. b) /. 2. in
+    let flm = f lm and frm = f rm in
+    let left = simpson1 a m fa flm fm in
+    let right = simpson1 m b fm frm fb in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15. *. tol then
+      left +. right +. (delta /. 15.)
+    else
+      go a m fa flm fm left (tol /. 2.) (depth - 1)
+      +. go m b fm frm fb right (tol /. 2.) (depth - 1)
+  in
+  let fa = f a and fb = f b and fm = f ((a +. b) /. 2.) in
+  go a b fa fm fb (simpson1 a b fa fm fb) tol 50
+
+let trapezoid_samples ts vs =
+  let n = Array.length ts in
+  if n <> Array.length vs then invalid_arg "Quad.trapezoid_samples: mismatch";
+  if n < 2 then invalid_arg "Quad.trapezoid_samples: need >= 2 samples";
+  let acc = ref 0. in
+  for i = 0 to n - 2 do
+    acc := !acc +. ((ts.(i + 1) -. ts.(i)) *. (vs.(i) +. vs.(i + 1)) /. 2.)
+  done;
+  !acc

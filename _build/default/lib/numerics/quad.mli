@@ -1,0 +1,19 @@
+(** Numerical integration of scalar functions.
+
+    Used for averaging along trajectories (e.g. mean queue occupancy over a
+    limit-cycle period) and for verifying closed-form expressions. *)
+
+(** [trapezoid f a b n] — composite trapezoid rule with [n] panels. *)
+val trapezoid : (float -> float) -> float -> float -> int -> float
+
+(** [simpson f a b n] — composite Simpson rule; [n] is rounded up to even. *)
+val simpson : (float -> float) -> float -> float -> int -> float
+
+(** [adaptive_simpson ?tol f a b] — recursive adaptive Simpson quadrature
+    with absolute tolerance [tol] (default [1e-10]). *)
+val adaptive_simpson : ?tol:float -> (float -> float) -> float -> float -> float
+
+(** [trapezoid_samples ts vs] integrates the sampled series [(ts, vs)] with
+    the trapezoid rule. Raises [Invalid_argument] on length mismatch or
+    fewer than two samples. *)
+val trapezoid_samples : float array -> float array -> float

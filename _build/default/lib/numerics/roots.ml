@@ -1,0 +1,170 @@
+exception No_bracket of string
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if fa *. fb > 0. then
+    raise (No_bracket (Printf.sprintf "bisect: f(%g)=%g, f(%g)=%g" a fa b fb))
+  else begin
+    let lo = ref (Float.min a b) and hi = ref (Float.max a b) in
+    let flo = ref (if a <= b then fa else fb) in
+    let i = ref 0 in
+    while !hi -. !lo > tol && !i < max_iter do
+      incr i;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fm = f mid in
+      if fm = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fm < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fm
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if fa *. fb > 0. then
+    raise (No_bracket (Printf.sprintf "brent: f(%g)=%g, f(%g)=%g" a fa b fb))
+  else begin
+    (* classic Brent: a is the contrapoint, b the best iterate *)
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    while !fb <> 0. && Float.abs (!b -. !a) > tol && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo = ((3. *. !a) +. !b) /. 4. and hi = !b in
+      let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+      let use_bisect =
+        s < lo || s > hi
+        || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+        || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+        || (!mflag && Float.abs (!b -. !c) < tol)
+        || ((not !mflag) && Float.abs (!c -. !d) < tol)
+      in
+      let s = if use_bisect then (!a +. !b) /. 2. else s in
+      mflag := use_bisect;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0. then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    done;
+    !b
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) f f' x0 =
+  let x = ref x0 in
+  let converged = ref false in
+  let i = ref 0 in
+  while (not !converged) && !i < max_iter do
+    incr i;
+    let fx = f !x in
+    let dfx = f' !x in
+    if Float.abs dfx < 1e-300 then failwith "Roots.newton: zero derivative";
+    let step = fx /. dfx in
+    x := !x -. step;
+    if Float.abs step <= tol *. (1. +. Float.abs !x) then converged := true
+  done;
+  if not !converged then failwith "Roots.newton: no convergence";
+  !x
+
+let secant ?(tol = 1e-12) ?(max_iter = 100) f x0 x1 =
+  let xa = ref x0 and xb = ref x1 in
+  let fa = ref (f x0) and fb = ref (f x1) in
+  let converged = ref (!fb = 0.) in
+  let i = ref 0 in
+  while (not !converged) && !i < max_iter do
+    incr i;
+    if !fb = !fa then failwith "Roots.secant: flat function";
+    let xn = !xb -. (!fb *. (!xb -. !xa) /. (!fb -. !fa)) in
+    xa := !xb;
+    fa := !fb;
+    xb := xn;
+    fb := f xn;
+    if Float.abs (!xb -. !xa) <= tol *. (1. +. Float.abs !xb) || !fb = 0. then
+      converged := true
+  done;
+  if not !converged then failwith "Roots.secant: no convergence";
+  !xb
+
+let bracket ?(grow = 1.6) ?(max_iter = 60) f a b =
+  if a = b then invalid_arg "Roots.bracket: empty interval";
+  let a = ref a and b = ref b in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  let i = ref 0 in
+  let found = ref (!fa *. !fb <= 0.) in
+  while (not !found) && !i < max_iter do
+    incr i;
+    if Float.abs !fa < Float.abs !fb then begin
+      a := !a +. (grow *. (!a -. !b));
+      fa := f !a
+    end
+    else begin
+      b := !b +. (grow *. (!b -. !a));
+      fb := f !b
+    end;
+    if !fa *. !fb <= 0. then found := true
+  done;
+  if not !found then raise (No_bracket "bracket: no sign change found");
+  if !a <= !b then (!a, !b) else (!b, !a)
+
+let find_all ?(n = 200) f a b =
+  if n < 1 then invalid_arg "Roots.find_all: n < 1";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref [] in
+  let prev_x = ref a and prev_f = ref (f a) in
+  for i = 1 to n do
+    let x = a +. (h *. float_of_int i) in
+    let fx = f x in
+    if !prev_f = 0. then acc := !prev_x :: !acc
+    else if !prev_f *. fx < 0. then acc := brent f !prev_x x :: !acc;
+    prev_x := x;
+    prev_f := fx
+  done;
+  if !prev_f = 0. then acc := !prev_x :: !acc;
+  List.rev !acc
+
+let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) g x0 =
+  let x = ref x0 in
+  let converged = ref false in
+  let i = ref 0 in
+  while (not !converged) && !i < max_iter do
+    incr i;
+    let xn = g !x in
+    if Float.abs (xn -. !x) <= tol *. (1. +. Float.abs xn) then converged := true;
+    x := xn
+  done;
+  if not !converged then failwith "Roots.fixed_point: no convergence";
+  !x

@@ -1,0 +1,41 @@
+(** Scalar root finding.
+
+    Used throughout the phase-plane machinery: localizing switching-line
+    crossings in time, inverting the spiral solution
+    [t = H⁻¹{x,y | x0,y0}] (paper eqn (12)), and solving Theorem-1 parameter
+    constraints for a single unknown. *)
+
+exception No_bracket of string
+(** Raised when a bracketing interval with a sign change cannot be found. *)
+
+(** [bisect ?tol ?max_iter f a b] finds a root of [f] in [[a,b]].
+    Requires [f a] and [f b] to have opposite signs (or one of them to be
+    zero). [tol] bounds the interval width at return.
+    Raises [No_bracket] if the endpoints do not bracket a root. *)
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+
+(** [brent ?tol ?max_iter f a b] — Brent's method: inverse quadratic
+    interpolation safeguarded by bisection. Same contract as {!bisect} but
+    converges superlinearly on smooth functions. *)
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+
+(** [newton ?tol ?max_iter f f' x0] — Newton iteration from [x0].
+    Raises [Failure] on derivative blow-up or non-convergence. *)
+val newton : ?tol:float -> ?max_iter:int -> (float -> float) -> (float -> float) -> float -> float
+
+(** [secant ?tol ?max_iter f x0 x1] — secant iteration.
+    Raises [Failure] on non-convergence. *)
+val secant : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+
+(** [bracket ?grow ?max_iter f a b] expands [[a,b]] geometrically until
+    [f] changes sign over it; returns the bracketing interval.
+    Raises [No_bracket] on failure. *)
+val bracket : ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float -> float * float
+
+(** [find_all ?n f a b] scans [[a,b]] with [n] subintervals and returns one
+    refined root (via {!brent}) per sign change, in increasing order. *)
+val find_all : ?n:int -> (float -> float) -> float -> float -> float list
+
+(** [fixed_point ?tol ?max_iter g x0] iterates [x ← g x] to a fixed point.
+    Raises [Failure] on non-convergence. *)
+val fixed_point : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float

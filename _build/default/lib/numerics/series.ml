@@ -1,0 +1,90 @@
+type t = { ts : float array; vs : float array }
+
+let make ts vs =
+  let n = Array.length ts in
+  if n <> Array.length vs then invalid_arg "Series.make: length mismatch";
+  for i = 0 to n - 2 do
+    if ts.(i + 1) < ts.(i) then invalid_arg "Series.make: ts not nondecreasing"
+  done;
+  { ts; vs }
+
+let length s = Array.length s.ts
+let is_empty s = length s = 0
+
+let of_fn f a b n =
+  if n < 2 then invalid_arg "Series.of_fn: n < 2";
+  let ts =
+    Array.init n (fun i -> a +. ((b -. a) *. float_of_int i /. float_of_int (n - 1)))
+  in
+  { ts; vs = Array.map f ts }
+
+let map f s = { s with vs = Array.map f s.vs }
+
+let map2 f s1 s2 =
+  if Array.length s1.ts <> Array.length s2.ts then
+    invalid_arg "Series.map2: length mismatch";
+  { ts = s1.ts; vs = Array.init (length s1) (fun i -> f s1.vs.(i) s2.vs.(i)) }
+
+let at s t = Interp.linear s.ts s.vs t
+
+let slice s t0 t1 =
+  let idx = ref [] in
+  Array.iteri (fun i t -> if t >= t0 && t <= t1 then idx := i :: !idx) s.ts;
+  let idx = Array.of_list (List.rev !idx) in
+  {
+    ts = Array.map (fun i -> s.ts.(i)) idx;
+    vs = Array.map (fun i -> s.vs.(i)) idx;
+  }
+
+let resample s n =
+  let ts, vs = Interp.resample s.ts s.vs n in
+  { ts; vs }
+
+let integral s = Quad.trapezoid_samples s.ts s.vs
+
+let time_average s =
+  let span = s.ts.(length s - 1) -. s.ts.(0) in
+  if span = 0. then s.vs.(0) else integral s /. span
+
+let local_extrema s =
+  let n = length s in
+  let acc = ref [] in
+  for i = 1 to n - 2 do
+    let a = s.vs.(i - 1) and b = s.vs.(i) and c = s.vs.(i + 1) in
+    if b > a && b >= c then acc := (s.ts.(i), b, `Max) :: !acc
+    else if b < a && b <= c then acc := (s.ts.(i), b, `Min) :: !acc
+  done;
+  List.rev !acc
+
+let crossings ?(level = 0.) s =
+  Interp.zero_crossings s.ts (Array.map (fun v -> v -. level) s.vs)
+
+let argmax s =
+  if is_empty s then invalid_arg "Series.argmax: empty";
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > s.vs.(!best) then best := i) s.vs;
+  (s.ts.(!best), s.vs.(!best))
+
+let argmin s =
+  if is_empty s then invalid_arg "Series.argmin: empty";
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < s.vs.(!best) then best := i) s.vs;
+  (s.ts.(!best), s.vs.(!best))
+
+let within s lo hi = Array.for_all (fun v -> v > lo && v < hi) s.vs
+
+let tail_from s t0 =
+  let n = length s in
+  let rec first i = if i >= n || s.ts.(i) >= t0 then i else first (i + 1) in
+  let i0 = first 0 in
+  {
+    ts = Array.sub s.ts i0 (n - i0);
+    vs = Array.sub s.vs i0 (n - i0);
+  }
+
+let to_list s = Array.to_list (Array.init (length s) (fun i -> (s.ts.(i), s.vs.(i))))
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri (fun i t -> Format.fprintf ppf "%g\t%g@," t s.vs.(i)) s.ts;
+  Format.fprintf ppf "@]"

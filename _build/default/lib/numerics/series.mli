@@ -1,0 +1,57 @@
+(** Time series: a pair of equal-length arrays [(ts, vs)] with
+    nondecreasing [ts].
+
+    The trajectory recorder, the packet simulator's traces and the figure
+    generators all exchange data in this form. *)
+
+type t = { ts : float array; vs : float array }
+
+(** [make ts vs] validates lengths and monotonicity of [ts].
+    Raises [Invalid_argument] otherwise. *)
+val make : float array -> float array -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+(** [of_fn f a b n] samples [f] at [n] equally spaced points of [[a,b]]. *)
+val of_fn : (float -> float) -> float -> float -> int -> t
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [at s t] — piecewise-linear value at time [t] (clamped). *)
+val at : t -> float -> float
+
+(** [slice s t0 t1] — restriction to samples with [t0 <= t <= t1]. *)
+val slice : t -> float -> float -> t
+
+(** [resample s n] — [n] equally spaced samples over the series range. *)
+val resample : t -> int -> t
+
+(** [integral s] — trapezoid integral over the whole series. *)
+val integral : t -> float
+
+(** [time_average s] — integral divided by the time span. *)
+val time_average : t -> float
+
+(** Local extrema of the piecewise-linear series, as
+    [(time, value, `Max | `Min)] triples, endpoints excluded. *)
+val local_extrema : t -> (float * float * [ `Max | `Min ]) list
+
+(** Times where the series crosses level [c] (default 0). *)
+val crossings : ?level:float -> t -> float list
+
+(** Greatest value and when it occurs; [Invalid_argument] if empty. *)
+val argmax : t -> float * float
+
+val argmin : t -> float * float
+
+(** [within s lo hi] — true when every sample value lies in [(lo, hi)]
+    (strict, matching the paper's strong-stability Definition 1). *)
+val within : t -> float -> float -> bool
+
+(** [tail_from s t0] — samples from the first index with [ts >= t0]. *)
+val tail_from : t -> float -> t
+
+val to_list : t -> (float * float) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let sum xs = Array.fold_left ( +. ) 0. xs
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "Stats.min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Stats.max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let rms xs =
+  check_nonempty "Stats.rms" xs;
+  let acc = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile 50. xs
+
+let mean_ci95 xs =
+  check_nonempty "Stats.mean_ci95" xs;
+  let n = float_of_int (Array.length xs) in
+  let m = mean xs in
+  let half = 1.96 *. stddev xs /. sqrt n in
+  (m, half)
+
+let check_same_len name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch")
+
+let rmse a b =
+  check_same_len "Stats.rmse" a b;
+  check_nonempty "Stats.rmse" a;
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) *. (x -. b.(i)))) a;
+  sqrt (!acc /. float_of_int (Array.length a))
+
+let max_abs_err a b =
+  check_same_len "Stats.max_abs_err" a b;
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := Float.max !acc (Float.abs (x -. b.(i)))) a;
+  !acc
+
+let corr a b =
+  check_same_len "Stats.corr" a b;
+  check_nonempty "Stats.corr" a;
+  let ma = mean a and mb = mean b in
+  let num = ref 0. and da = ref 0. and db = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let u = x -. ma and v = b.(i) -. mb in
+      num := !num +. (u *. v);
+      da := !da +. (u *. u);
+      db := !db +. (v *. v))
+    a;
+  if !da = 0. || !db = 0. then 0. else !num /. sqrt (!da *. !db)

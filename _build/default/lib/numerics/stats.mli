@@ -1,0 +1,35 @@
+(** Descriptive statistics over [float array]s.
+
+    Used by the packet-level simulator's measurement pipeline (queue
+    occupancy, throughput, drop counts) and by the fluid-vs-packet
+    comparison metrics. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased (n−1) sample variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+val rms : float array -> float
+
+(** [percentile p xs] with [p] in [0,100]; linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input or [p]
+    out of range. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+(** [mean_ci95 xs] — sample mean and the half-width of a normal-theory 95%
+    confidence interval. *)
+val mean_ci95 : float array -> float * float
+
+(** [rmse a b] — root-mean-square error between equal-length arrays. *)
+val rmse : float array -> float array -> float
+
+(** [max_abs_err a b] — maximum absolute componentwise difference. *)
+val max_abs_err : float array -> float array -> float
+
+(** [corr a b] — Pearson correlation; 0 when either side is constant. *)
+val corr : float array -> float array -> float

@@ -1,0 +1,37 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.; y = 0. }
+let add u v = { x = u.x +. v.x; y = u.y +. v.y }
+let sub u v = { x = u.x -. v.x; y = u.y -. v.y }
+let scale s v = { x = s *. v.x; y = s *. v.y }
+let neg v = { x = -.v.x; y = -.v.y }
+let dot u v = (u.x *. v.x) +. (u.y *. v.y)
+let cross u v = (u.x *. v.y) -. (u.y *. v.x)
+let norm2 v = dot v v
+let norm v = sqrt (norm2 v)
+let dist u v = norm (sub u v)
+
+let normalize v =
+  let n = norm v in
+  if n = 0. then invalid_arg "Vec2.normalize: zero vector";
+  scale (1. /. n) v
+
+let rotate theta v =
+  let c = cos theta and s = sin theta in
+  { x = (c *. v.x) -. (s *. v.y); y = (s *. v.x) +. (c *. v.y) }
+
+let lerp a b s = add (scale (1. -. s) a) (scale s b)
+let angle v = atan2 v.y v.x
+
+let equal ?(eps = 1e-12) u v =
+  Float.abs (u.x -. v.x) <= eps && Float.abs (u.y -. v.y) <= eps
+
+let pp ppf v = Format.fprintf ppf "(%g, %g)" v.x v.y
+let to_string v = Format.asprintf "%a" pp v
+
+let of_array a =
+  if Array.length a < 2 then invalid_arg "Vec2.of_array: need length >= 2";
+  { x = a.(0); y = a.(1) }
+
+let to_array v = [| v.x; v.y |]

@@ -1,0 +1,46 @@
+(** Two-dimensional vectors over [float].
+
+    The phase plane of the BCN system lives in [R^2]; this module provides
+    the small amount of planar geometry the analysis needs. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val dot : t -> t -> float
+
+(** [cross u v] is the z-component of the 3D cross product, i.e. the signed
+    area spanned by [u] and [v]. *)
+val cross : t -> t -> float
+
+val norm : t -> float
+val norm2 : t -> float
+val dist : t -> t -> float
+
+(** [normalize v] is the unit vector along [v]. Raises [Invalid_argument]
+    on the zero vector. *)
+val normalize : t -> t
+
+(** [rotate theta v] rotates [v] counter-clockwise by [theta] radians. *)
+val rotate : float -> t -> t
+
+(** [lerp a b s] is the affine interpolation [(1-s)·a + s·b]. *)
+val lerp : t -> t -> float -> t
+
+(** [angle v] is [atan2 v.y v.x]. *)
+val angle : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [of_array a] reads components from [a.(0)], [a.(1)].
+    Raises [Invalid_argument] if [Array.length a < 2]. *)
+val of_array : float array -> t
+
+val to_array : t -> float array

@@ -1,0 +1,1 @@
+lib/phaseplane/limit_cycle.ml: Array Float List Option Poincare Printf Stdlib

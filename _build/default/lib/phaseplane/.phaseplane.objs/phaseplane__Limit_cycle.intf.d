@@ -1,0 +1,1 @@
+lib/phaseplane/limit_cycle.mli: Poincare System Trajectory

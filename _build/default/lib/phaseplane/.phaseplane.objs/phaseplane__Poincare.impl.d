@@ -1,0 +1,1 @@
+lib/phaseplane/poincare.ml: Array Float List Numerics Ode Option Roots System Trajectory Vec2

@@ -1,0 +1,1 @@
+lib/phaseplane/poincare.mli: Numerics System Trajectory

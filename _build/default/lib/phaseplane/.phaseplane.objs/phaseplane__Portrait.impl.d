@@ -1,0 +1,1 @@
+lib/phaseplane/portrait.ml: Array Float List Numerics Roots System Trajectory Vec2

@@ -1,0 +1,1 @@
+lib/phaseplane/portrait.mli: Numerics System Trajectory

@@ -1,0 +1,1 @@
+lib/phaseplane/singular.ml: Float Format Mat2 Numerics

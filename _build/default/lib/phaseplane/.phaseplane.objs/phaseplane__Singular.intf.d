@@ -1,0 +1,1 @@
+lib/phaseplane/singular.mli: Format Numerics

@@ -1,0 +1,1 @@
+lib/phaseplane/system.ml: Array Float Mat2 Numerics Ode Vec2

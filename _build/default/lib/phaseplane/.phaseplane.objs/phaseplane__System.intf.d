@@ -1,0 +1,1 @@
+lib/phaseplane/system.mli: Numerics

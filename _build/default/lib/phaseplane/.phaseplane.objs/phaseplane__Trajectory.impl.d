@@ -1,0 +1,1 @@
+lib/phaseplane/trajectory.ml: Array Float List Numerics Ode Series String System Vec2

@@ -1,0 +1,1 @@
+lib/phaseplane/trajectory.mli: Numerics System

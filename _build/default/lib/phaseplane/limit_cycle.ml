@@ -1,0 +1,76 @@
+type verdict =
+  | Converges_to_origin
+  | Cycle of {
+      s_star : float;
+      period : float;
+      multiplier : float option;
+      stable : bool option;
+    }
+  | Diverges
+  | Contracting of { ratio : float; s_last : float }
+  | Expanding of { ratio : float; s_last : float }
+  | Inconclusive of string
+
+(* Geometric mean of the last few |s_{k+1}/s_k| ratios. *)
+let trailing_ratio iterates =
+  let arr = Array.of_list iterates in
+  let n = Array.length arr in
+  if n < 3 then None
+  else begin
+    let take = Stdlib.min 10 (n - 1) in
+    let acc = ref 0. in
+    let count = ref 0 in
+    for i = n - take to n - 1 do
+      let prev = arr.(i - 1) and cur = arr.(i) in
+      if prev <> 0. && cur <> 0. then begin
+        acc := !acc +. log (Float.abs (cur /. prev));
+        incr count
+      end
+    done;
+    if !count = 0 then None else Some (exp (!acc /. float_of_int !count))
+  end
+
+let detect ?solver ?t_max ?(max_iters = 200) ?origin_tol ?diverge_bound
+    ?(settle_tol = 1e-7) ?(ratio_tol = 1e-4) sys sec ~s0 =
+  let origin_tol =
+    match origin_tol with Some v -> v | None -> 1e-6 *. Float.abs s0
+  in
+  let diverge_bound =
+    match diverge_bound with Some v -> v | None -> 1e6 *. Float.abs s0
+  in
+  let rec go s i history =
+    if i >= max_iters then begin
+      match trailing_ratio (List.rev history) with
+      | Some ratio when ratio < 1. -. ratio_tol ->
+          Contracting { ratio; s_last = s }
+      | Some ratio when ratio > 1. +. ratio_tol ->
+          Expanding { ratio; s_last = s }
+      | Some _ | None ->
+          Inconclusive
+            (Printf.sprintf
+               "amplitude neutral after %d return-map iterations (possible \
+                cycle near s = %g)"
+               max_iters s)
+    end
+    else
+      match Poincare.return_map ?solver ?t_max sys sec s with
+      | None -> Inconclusive "trajectory stopped returning to the section"
+      | Some r ->
+          let s' = r.Poincare.s_next in
+          if Float.abs s' <= origin_tol then Converges_to_origin
+          else if Float.abs s' >= diverge_bound then Diverges
+          else if Float.abs (s' -. s) <= settle_tol *. (1. +. Float.abs s')
+          then begin
+            let multiplier =
+              Option.map Float.abs
+                (Poincare.derivative ?solver ?t_max sys sec s')
+            in
+            let stable = Option.map (fun m -> m < 1.) multiplier in
+            Cycle { s_star = s'; period = r.Poincare.time; multiplier; stable }
+          end
+          else go s' (i + 1) (s' :: history)
+  in
+  go s0 0 [ s0 ]
+
+let amplitude_history ?solver ?t_max sys sec ~n ~s0 =
+  Poincare.iterate ?solver ?t_max sys sec ~n s0

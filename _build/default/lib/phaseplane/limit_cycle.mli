@@ -1,0 +1,59 @@
+(** Limit-cycle detection via return-map iteration.
+
+    Paper Fig. 7 shows a closed phase trajectory — a limit cycle — whose
+    existence linear analysis cannot reveal. We detect it operationally:
+    iterate the Poincaré map; if the iterates converge to a non-origin
+    fixed point the orbit through it is a cycle; if they shrink to the
+    origin the system converges; if they grow beyond a bound it diverges.
+    When the iterate budget runs out first, the geometric trend of the
+    amplitude sequence is reported instead: a per-return contraction
+    ratio very close to 1 is the quasi-periodic regime in which BCN
+    oscillates for thousands of rounds (the practically observed
+    "oscillation" of ref. [4]'s experiments). *)
+
+type verdict =
+  | Converges_to_origin  (** return-map iterates shrink below tolerance *)
+  | Cycle of {
+      s_star : float;  (** section coordinate of the cycle *)
+      period : float;  (** return time at the fixed point *)
+      multiplier : float option;  (** |dP/ds| at the fixed point, if computable *)
+      stable : bool option;  (** [multiplier < 1], when known *)
+    }
+  | Diverges  (** iterates exceed the divergence bound *)
+  | Contracting of { ratio : float; s_last : float }
+      (** iterate budget exhausted while amplitudes shrink geometrically
+          with the given per-return ratio (< 1): slow convergence, no
+          cycle *)
+  | Expanding of { ratio : float; s_last : float }
+      (** amplitudes grow (> 1) without reaching the divergence bound *)
+  | Inconclusive of string  (** e.g. the trajectory stopped returning *)
+
+val detect :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  ?max_iters:int ->
+  ?origin_tol:float ->
+  ?diverge_bound:float ->
+  ?settle_tol:float ->
+  ?ratio_tol:float ->
+  System.t ->
+  Poincare.section ->
+  s0:float ->
+  verdict
+(** [detect sys sec ~s0] iterates the return map from [s0].
+    [origin_tol] (default [1e-6]·|s0|): iterates below this are treated as
+    convergence to the origin. [settle_tol] (default [1e-7] relative):
+    consecutive iterates closer than this are treated as a fixed point.
+    [diverge_bound] (default [1e6]·|s0|). [ratio_tol] (default [1e-4]):
+    half-width of the neutral band around ratio 1 inside which the trend
+    verdicts are not emitted and a fixed point is suspected instead. *)
+
+val amplitude_history :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  System.t ->
+  Poincare.section ->
+  n:int ->
+  s0:float ->
+  float list
+(** The raw iterate sequence (for plotting amplitude decay/growth). *)

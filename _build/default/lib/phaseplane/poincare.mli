@@ -1,0 +1,76 @@
+(** Poincaré (first-return) maps on a linear section.
+
+    For the BCN system the natural section is the switching line
+    [x + k·y = 0]: the return map sends the k-th crossing into the
+    rate-decrease region to the (k+1)-th. A fixed point of the return map
+    away from the origin is a limit cycle (paper Fig. 7); the slope of the
+    map at the fixed point decides the cycle's stability. *)
+
+type section = {
+  point_of : float -> Numerics.Vec2.t;
+      (** embeds the section coordinate into the plane *)
+  coord_of : Numerics.Vec2.t -> float;
+      (** signed coordinate of a point on (or near) the section *)
+  guard : Numerics.Vec2.t -> float;  (** zero exactly on the section *)
+  sec_dir : Numerics.Ode.direction;
+      (** which guard sign changes count as a return *)
+}
+
+val line_section :
+  ?dir:Numerics.Ode.direction -> normal:Numerics.Vec2.t -> unit -> section
+(** Section = the line through the origin with the given [normal]
+    (so [guard p = normal·p]). The section coordinate is the signed
+    position along the unit tangent [(-n.y, n.x)/|n|]. Default direction:
+    [Both]. Raises [Invalid_argument] on a zero normal. *)
+
+type return_ = { s_next : float; time : float; point : Numerics.Vec2.t }
+
+val return_map :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  System.t ->
+  section ->
+  float ->
+  return_ option
+(** [return_map sys sec s] launches the trajectory from the section point
+    with coordinate [s] and reports the next section crossing (in the
+    section's direction, skipping the immediate departure). [None] when
+    the trajectory does not return before [t_max] (default 1000). *)
+
+val iterate :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  System.t ->
+  section ->
+  n:int ->
+  float ->
+  float list
+(** Successive return-map iterates [s1; s2; …] (at most [n]), stopping
+    early if the trajectory fails to return. *)
+
+val fixed_points :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  ?exclude_origin:float ->
+  System.t ->
+  section ->
+  s_min:float ->
+  s_max:float ->
+  n:int ->
+  float list
+(** Roots of [P(s) − s] found by scanning [n] subintervals of
+    [[s_min, s_max]] and refining with Brent. Coordinates with
+    [|s| < exclude_origin] (default [1e-9]) are dropped: the origin is
+    always a trivial fixed point. *)
+
+val derivative :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  ?ds:float ->
+  System.t ->
+  section ->
+  float ->
+  float option
+(** Central-difference estimate of [dP/ds]; [None] if either probe fails
+    to return. A cycle at a fixed point is orbitally stable when the
+    absolute value of this derivative (the Floquet multiplier) is below 1. *)

@@ -1,0 +1,55 @@
+open Numerics
+
+type t = {
+  trajectories : Trajectory.t list;
+  initial_points : Vec2.t list;
+}
+
+let compute ?solver ?t_max ?converge_radius ?box sys inits =
+  let run p0 = Trajectory.integrate ?solver ?t_max ?converge_radius ?box sys p0 in
+  { trajectories = List.map run inits; initial_points = inits }
+
+let grid ~lo ~hi ~nx ~ny =
+  if nx < 1 || ny < 1 then invalid_arg "Portrait.grid: need nx, ny >= 1";
+  let pt i j =
+    let fx = if nx = 1 then 0.5 else float_of_int i /. float_of_int (nx - 1) in
+    let fy = if ny = 1 then 0.5 else float_of_int j /. float_of_int (ny - 1) in
+    Vec2.make
+      (lo.Vec2.x +. (fx *. (hi.Vec2.x -. lo.Vec2.x)))
+      (lo.Vec2.y +. (fy *. (hi.Vec2.y -. lo.Vec2.y)))
+  in
+  List.concat_map
+    (fun i -> List.init ny (fun j -> pt i j))
+    (List.init nx (fun i -> i))
+
+let ring ~center ~radius ~n =
+  if n < 1 then invalid_arg "Portrait.ring: n < 1";
+  List.init n (fun i ->
+      let th = 2. *. Float.pi *. float_of_int i /. float_of_int n in
+      Vec2.add center (Vec2.make (radius *. cos th) (radius *. sin th)))
+
+let field_arrows sys ~lo ~hi ~nx ~ny =
+  grid ~lo ~hi ~nx ~ny
+  |> List.map (fun p ->
+         let v = System.eval sys p in
+         let n = Vec2.norm v in
+         let dir = if n = 0. then Vec2.zero else Vec2.scale (1. /. n) v in
+         (p, dir))
+
+let switching_line_points ~sigma ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Portrait.switching_line_points: n < 2";
+  let xs =
+    Array.init n (fun i ->
+        lo.Vec2.x
+        +. ((hi.Vec2.x -. lo.Vec2.x) *. float_of_int i /. float_of_int (n - 1)))
+  in
+  Array.to_list xs
+  |> List.filter_map (fun x ->
+         let g y = sigma (Vec2.make x y) in
+         let glo = g lo.Vec2.y and ghi = g hi.Vec2.y in
+         if glo = 0. then Some (Vec2.make x lo.Vec2.y)
+         else if ghi = 0. then Some (Vec2.make x hi.Vec2.y)
+         else if glo *. ghi < 0. then
+           let y = Roots.brent ~tol:1e-12 g lo.Vec2.y hi.Vec2.y in
+           Some (Vec2.make x y)
+         else None)

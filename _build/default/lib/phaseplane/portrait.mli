@@ -1,0 +1,49 @@
+(** Phase-portrait data: families of trajectories and nullclines.
+
+    Produces the raw material for Figs. 3–10 of the paper: many
+    trajectories from a set of initial conditions plus the geometry of the
+    switching line, packaged as plain series ready for CSV/ASCII output. *)
+
+type t = {
+  trajectories : Trajectory.t list;
+  initial_points : Numerics.Vec2.t list;
+}
+
+val compute :
+  ?solver:Trajectory.solver ->
+  ?t_max:float ->
+  ?converge_radius:float ->
+  ?box:Numerics.Vec2.t * Numerics.Vec2.t ->
+  System.t ->
+  Numerics.Vec2.t list ->
+  t
+(** One trajectory per initial point; see {!Trajectory.integrate} for the
+    option semantics. *)
+
+val grid :
+  lo:Numerics.Vec2.t -> hi:Numerics.Vec2.t -> nx:int -> ny:int ->
+  Numerics.Vec2.t list
+(** [nx × ny] lattice of initial conditions over the box. *)
+
+val ring :
+  center:Numerics.Vec2.t -> radius:float -> n:int -> Numerics.Vec2.t list
+(** [n] points on a circle — useful around a focus. *)
+
+val field_arrows :
+  System.t ->
+  lo:Numerics.Vec2.t ->
+  hi:Numerics.Vec2.t ->
+  nx:int ->
+  ny:int ->
+  (Numerics.Vec2.t * Numerics.Vec2.t) list
+(** Direction field sampled on a lattice: [(point, unit direction)] pairs.
+    Zero-field points get a zero direction. *)
+
+val switching_line_points :
+  sigma:(Numerics.Vec2.t -> float) ->
+  lo:Numerics.Vec2.t ->
+  hi:Numerics.Vec2.t ->
+  n:int ->
+  Numerics.Vec2.t list
+(** Points of the switching line [sigma = 0] inside the box, found by
+    scanning vertical grid lines for sign changes of [sigma]. *)

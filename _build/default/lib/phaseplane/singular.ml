@@ -1,0 +1,56 @@
+open Numerics
+
+type kind =
+  | Stable_node
+  | Unstable_node
+  | Stable_focus
+  | Unstable_focus
+  | Saddle
+  | Center
+  | Degenerate_stable
+  | Degenerate_unstable
+  | Non_hyperbolic
+
+let classify ?(eps = 1e-12) j =
+  let scale =
+    1.
+    +. Float.abs j.Mat2.a11 +. Float.abs j.Mat2.a12 +. Float.abs j.Mat2.a21
+    +. Float.abs j.Mat2.a22
+  in
+  let zero v = Float.abs v <= eps *. scale in
+  match Mat2.eigenvalues j with
+  | Mat2.Complex_pair { re; _ } ->
+      if zero re then Center else if re < 0. then Stable_focus else Unstable_focus
+  | Mat2.Real_pair (l1, l2) ->
+      if zero l1 || zero l2 then Non_hyperbolic
+      else if l1 < 0. && l2 < 0. then
+        if zero (l1 -. l2) then Degenerate_stable else Stable_node
+      else if l1 > 0. && l2 > 0. then
+        if zero (l1 -. l2) then Degenerate_unstable else Unstable_node
+      else Saddle
+
+let is_attracting = function
+  | Stable_node | Stable_focus | Degenerate_stable -> true
+  | Unstable_node | Unstable_focus | Saddle | Center | Degenerate_unstable
+  | Non_hyperbolic ->
+      false
+
+let to_string = function
+  | Stable_node -> "stable node"
+  | Unstable_node -> "unstable node"
+  | Stable_focus -> "stable focus"
+  | Unstable_focus -> "unstable focus"
+  | Saddle -> "saddle"
+  | Center -> "center"
+  | Degenerate_stable -> "degenerate stable node"
+  | Degenerate_unstable -> "degenerate unstable node"
+  | Non_hyperbolic -> "non-hyperbolic"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let eigen_summary j =
+  match Mat2.eigenvalues j with
+  | Mat2.Real_pair (l1, l2) ->
+      Format.asprintf "l1 = %g, l2 = %g (%a)" l1 l2 pp (classify j)
+  | Mat2.Complex_pair { re; im } ->
+      Format.asprintf "l = %g +- %gi (%a)" re im pp (classify j)

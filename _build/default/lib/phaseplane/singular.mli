@@ -1,0 +1,30 @@
+(** Classification of a planar equilibrium from the Jacobian.
+
+    This is the standard trace–determinant taxonomy the paper leans on:
+    Case 1 corresponds to {!Stable_focus} in both half-planes, Cases 2–4 to
+    mixes of {!Stable_node} and {!Stable_focus}. *)
+
+type kind =
+  | Stable_node  (** two real negative eigenvalues *)
+  | Unstable_node  (** two real positive eigenvalues *)
+  | Stable_focus  (** complex pair, negative real part *)
+  | Unstable_focus  (** complex pair, positive real part *)
+  | Saddle  (** real eigenvalues of opposite sign *)
+  | Center  (** purely imaginary pair *)
+  | Degenerate_stable  (** repeated negative real eigenvalue *)
+  | Degenerate_unstable  (** repeated positive real eigenvalue *)
+  | Non_hyperbolic  (** at least one zero eigenvalue *)
+
+val classify : ?eps:float -> Numerics.Mat2.t -> kind
+(** [classify j] classifies the origin of [dp/dt = J·p]. [eps] (default
+    [1e-12]) is the relative tolerance for treating eigenvalue real parts
+    or discriminants as zero. *)
+
+val is_attracting : kind -> bool
+(** True for the three asymptotically stable kinds. *)
+
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit
+
+val eigen_summary : Numerics.Mat2.t -> string
+(** Human-readable eigenvalue report, e.g. ["l = -0.5 ± 1.2i (stable focus)"]. *)

@@ -1,0 +1,37 @@
+open Numerics
+
+type field = Vec2.t -> Vec2.t
+
+type t =
+  | Smooth of field
+  | Switched of {
+      sigma : Vec2.t -> float;
+      pos : field;
+      neg : field;
+    }
+
+let eval sys p =
+  match sys with
+  | Smooth f -> f p
+  | Switched { sigma; pos; neg } -> if sigma p >= 0. then pos p else neg p
+
+let region sys p =
+  match sys with
+  | Smooth _ -> `Pos
+  | Switched { sigma; _ } ->
+      let s = sigma p in
+      let scale = 1. +. Vec2.norm p in
+      if Float.abs s <= 1e-12 *. scale then `Boundary
+      else if s > 0. then `Pos
+      else `Neg
+
+let to_ode sys : Ode.field =
+ fun _t y ->
+  let v = eval sys (Vec2.make y.(0) y.(1)) in
+  [| v.Vec2.x; v.Vec2.y |]
+
+let linear m = Smooth (fun p -> Mat2.apply m p)
+
+let switched_linear ~sigma ~pos ~neg =
+  Switched
+    { sigma; pos = (fun p -> Mat2.apply pos p); neg = (fun p -> Mat2.apply neg p) }

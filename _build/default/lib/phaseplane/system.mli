@@ -1,0 +1,39 @@
+(** Planar autonomous dynamical systems, smooth or switched.
+
+    The BCN fluid model is a {e variable-structure} system: the plane is
+    split by a switching line [sigma(p) = 0] into two half-planes, each
+    governed by its own smooth field (paper eqn (8)). This module gives
+    that structure a first-class representation so the trajectory,
+    Poincaré-map and portrait machinery can stay generic. *)
+
+type field = Numerics.Vec2.t -> Numerics.Vec2.t
+(** Autonomous planar vector field. *)
+
+type t =
+  | Smooth of field
+  | Switched of {
+      sigma : Numerics.Vec2.t -> float;  (** switching function *)
+      pos : field;  (** dynamics where [sigma > 0] *)
+      neg : field;  (** dynamics where [sigma < 0] *)
+    }
+
+val eval : t -> Numerics.Vec2.t -> Numerics.Vec2.t
+(** Field value at a point; on the switching line ([sigma = 0]) the
+    [pos] branch is used (the paper's rate-increase law, consistent with
+    BCN sending a positive message when [sigma >= 0] and [q < q0]). *)
+
+val region : t -> Numerics.Vec2.t -> [ `Pos | `Neg | `Boundary ]
+(** Which branch governs the point ([`Boundary] within [1e-12]·scale). *)
+
+val to_ode : t -> Numerics.Ode.field
+(** Adapter to the array-based ODE solvers; state is [[|x; y|]]. *)
+
+val linear : Numerics.Mat2.t -> t
+(** The LTI system [dp/dt = A·p]. *)
+
+val switched_linear :
+  sigma:(Numerics.Vec2.t -> float) ->
+  pos:Numerics.Mat2.t ->
+  neg:Numerics.Mat2.t ->
+  t
+(** Piecewise-linear system with matrices per half-plane. *)

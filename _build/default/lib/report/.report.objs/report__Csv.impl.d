@@ -1,0 +1,1 @@
+lib/report/csv.ml: Array Buffer Fun List Numerics Printf String

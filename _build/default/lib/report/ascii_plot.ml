@@ -1,0 +1,167 @@
+type curve = {
+  label : string;
+  points : (float * float) list;
+  glyph : char;
+}
+
+let curve ?(glyph = '\000') label points = { label; points; glyph }
+
+let of_series ?glyph label (s : Numerics.Series.t) =
+  curve ?glyph label (Numerics.Series.to_list s)
+
+let auto_glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let assign_glyphs curves =
+  List.mapi
+    (fun i c ->
+      if c.glyph = '\000' then
+        { c with glyph = auto_glyphs.(i mod Array.length auto_glyphs) }
+      else c)
+    curves
+
+let envelope curves =
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (x, y) ->
+          if Float.is_finite x && Float.is_finite y then begin
+            if x < !xmin then xmin := x;
+            if x > !xmax then xmax := x;
+            if y < !ymin then ymin := y;
+            if y > !ymax then ymax := y
+          end)
+        c.points)
+    curves;
+  if !xmin > !xmax then (0., 1., 0., 1.) else (!xmin, !xmax, !ymin, !ymax)
+
+let widen lo hi =
+  if lo < hi then (lo, hi)
+  else begin
+    let pad = if lo = 0. then 1. else Float.abs lo *. 0.1 in
+    (lo -. pad, hi +. pad)
+  end
+
+let render ?(width = 72) ?(height = 20) ?title ?x_label ?y_label ?x_range
+    ?y_range curves =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: grid too small";
+  let curves = assign_glyphs curves in
+  let ex0, ex1, ey0, ey1 = envelope curves in
+  let x0, x1 =
+    match x_range with Some (a, b) -> (a, b) | None -> widen ex0 ex1
+  in
+  let y0, y1 =
+    match y_range with Some (a, b) -> (a, b) | None -> widen ey0 ey1
+  in
+  let x0, x1 = widen x0 (Float.max x0 x1) in
+  let y0, y1 = widen y0 (Float.max y0 y1) in
+  let grid = Array.make_matrix height width ' ' in
+  (* zero axes, drawn first so data overwrites them *)
+  let col_of x = int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))) in
+  let row_of y =
+    (height - 1)
+    - int_of_float (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+  in
+  if y0 < 0. && y1 > 0. then begin
+    let r = row_of 0. in
+    if r >= 0 && r < height then
+      for cidx = 0 to width - 1 do
+        grid.(r).(cidx) <- '-'
+      done
+  end;
+  if x0 < 0. && x1 > 0. then begin
+    let cidx = col_of 0. in
+    if cidx >= 0 && cidx < width then
+      for r = 0 to height - 1 do
+        grid.(r).(cidx) <- (if grid.(r).(cidx) = '-' then '+' else '|')
+      done
+  end;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (x, y) ->
+          if Float.is_finite x && Float.is_finite y then begin
+            let cx = col_of x and ry = row_of y in
+            if cx >= 0 && cx < width && ry >= 0 && ry < height then
+              grid.(ry).(cx) <- c.glyph
+          end)
+        c.points)
+    curves;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  (match y_label with
+  | Some l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let ylab_top = Printf.sprintf "%.4g" y1 in
+  let ylab_bot = Printf.sprintf "%.4g" y0 in
+  let margin = Stdlib.max (String.length ylab_top) (String.length ylab_bot) in
+  Array.iteri
+    (fun r row ->
+      let lab =
+        if r = 0 then ylab_top else if r = height - 1 then ylab_bot else ""
+      in
+      Buffer.add_string buf (String.make (margin - String.length lab) ' ');
+      Buffer.add_string buf lab;
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.init width (fun cidx -> row.(cidx)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make margin ' ');
+  Buffer.add_string buf " +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let xlab_left = Printf.sprintf "%.4g" x0 in
+  let xlab_right = Printf.sprintf "%.4g" x1 in
+  Buffer.add_string buf (String.make (margin + 2) ' ');
+  Buffer.add_string buf xlab_left;
+  let gap =
+    width - String.length xlab_left - String.length xlab_right
+  in
+  if gap > 0 then Buffer.add_string buf (String.make gap ' ');
+  Buffer.add_string buf xlab_right;
+  Buffer.add_char buf '\n';
+  (match x_label with
+  | Some l ->
+      Buffer.add_string buf (String.make (margin + 2) ' ');
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n" c.glyph c.label))
+    curves;
+  Buffer.contents buf
+
+let render_series ?width ?height ?title ?x_label ?y_label named =
+  render ?width ?height ?title ?x_label ?y_label
+    (List.map (fun (label, s) -> of_series label s) named)
+
+let spark_chars = [| " "; "_"; "."; "-"; "="; "+"; "*"; "#" |]
+
+let sparkline ?(width = 60) (s : Numerics.Series.t) =
+  if Numerics.Series.is_empty s then ""
+  else begin
+    let r = Numerics.Series.resample s width in
+    let vs = r.Numerics.Series.vs in
+    let lo = Array.fold_left Float.min vs.(0) vs in
+    let hi = Array.fold_left Float.max vs.(0) vs in
+    let span = if hi > lo then hi -. lo else 1. in
+    let levels = Array.length spark_chars in
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (fun v ->
+              let idx =
+                int_of_float ((v -. lo) /. span *. float_of_int (levels - 1))
+              in
+              spark_chars.(Stdlib.max 0 (Stdlib.min (levels - 1) idx)))
+            vs))
+  end

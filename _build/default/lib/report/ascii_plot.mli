@@ -1,0 +1,36 @@
+(** Terminal renderings of the paper's figures: line plots for time
+    series, scatter plots for phase trajectories. Pure text — no external
+    plotting dependency. *)
+
+type curve = {
+  label : string;
+  points : (float * float) list;
+  glyph : char;
+}
+
+val curve : ?glyph:char -> string -> (float * float) list -> curve
+(** Default glyphs are assigned per curve ([*], [+], [o], [x], …) when
+    [glyph] is omitted ('\000' means auto). *)
+
+val of_series : ?glyph:char -> string -> Numerics.Series.t -> curve
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?x_range:float * float ->
+  ?y_range:float * float ->
+  curve list ->
+  string
+(** Plot the curves on a character grid (default 72×20) with numeric
+    axis annotations and a legend. Ranges default to the data envelope
+    (with a small margin); degenerate ranges are widened. *)
+
+val render_series :
+  ?width:int -> ?height:int -> ?title:string -> ?x_label:string ->
+  ?y_label:string -> (string * Numerics.Series.t) list -> string
+
+val sparkline : ?width:int -> Numerics.Series.t -> string
+(** One-line unicode sparkline of a series (resampled to [width]). *)

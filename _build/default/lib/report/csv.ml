@@ -1,0 +1,52 @@
+let escape s =
+  let needs_quote =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  let emit row =
+    output_string oc (String.concat "," (List.map escape row));
+    output_char oc '\n'
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      emit header;
+      List.iter emit rows)
+
+let write_floats ?(fmt = Printf.sprintf "%.9g") ~path ~header rows =
+  write ~path ~header ~rows:(List.map (List.map fmt) rows)
+
+let write_series ~path ~name (s : Numerics.Series.t) =
+  let rows =
+    List.init (Numerics.Series.length s) (fun i ->
+        [ s.Numerics.Series.ts.(i); s.Numerics.Series.vs.(i) ])
+  in
+  write_floats ~path ~header:[ "t"; name ] rows
+
+let write_columns ~path ~header ~cols =
+  match cols with
+  | [] -> write ~path ~header ~rows:[]
+  | first :: rest ->
+      let n = Array.length first in
+      List.iter
+        (fun c ->
+          if Array.length c <> n then
+            invalid_arg "Csv.write_columns: ragged columns")
+        rest;
+      let rows =
+        List.init n (fun i -> List.map (fun c -> c.(i)) cols)
+      in
+      write_floats ~path ~header rows

@@ -1,0 +1,26 @@
+(** CSV output for the regenerated figure data.
+
+    Every figure of the paper is emitted as a CSV file so the series can
+    be re-plotted with any external tool; the ASCII renderings are only a
+    terminal convenience. *)
+
+val escape : string -> string
+(** RFC-4180 quoting when the cell contains a comma, quote or newline. *)
+
+val write : path:string -> header:string list -> rows:string list list -> unit
+(** Raises [Sys_error] on IO failure. *)
+
+val write_floats :
+  ?fmt:(float -> string) ->
+  path:string ->
+  header:string list ->
+  float list list ->
+  unit
+
+val write_series :
+  path:string -> name:string -> Numerics.Series.t -> unit
+(** Two columns [t,<name>]. *)
+
+val write_columns :
+  path:string -> header:string list -> cols:float array list -> unit
+(** Column-major write; all columns must have equal length. *)

@@ -1,0 +1,53 @@
+let render ~headers ~rows =
+  let ncols = List.length headers in
+  let pad_row r =
+    let len = List.length r in
+    if len > ncols then invalid_arg "Table.render: row longer than header"
+    else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    (Array.to_list widths);
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let render_floats ?(fmt = Printf.sprintf "%.6g") ~headers rows =
+  render ~headers ~rows:(List.map (List.map fmt) rows)
+
+let si v =
+  let av = Float.abs v in
+  let scaled, suffix =
+    if av >= 1e12 then (v /. 1e12, "T")
+    else if av >= 1e9 then (v /. 1e9, "G")
+    else if av >= 1e6 then (v /. 1e6, "M")
+    else if av >= 1e3 then (v /. 1e3, "k")
+    else if av = 0. || av >= 1. then (v, "")
+    else if av >= 1e-3 then (v *. 1e3, "m")
+    else if av >= 1e-6 then (v *. 1e6, "u")
+    else (v *. 1e9, "n")
+  in
+  Printf.sprintf "%.4g%s" scaled suffix
+
+let print ~headers ~rows = print_string (render ~headers ~rows)

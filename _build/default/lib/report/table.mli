@@ -1,0 +1,19 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned table with a header separator. Rows shorter than the
+    header are padded with empty cells; longer rows raise
+    [Invalid_argument]. *)
+
+val render_floats :
+  ?fmt:(float -> string) ->
+  headers:string list ->
+  float list list ->
+  string
+(** Convenience wrapper; default format is ["%.6g"]. *)
+
+val si : float -> string
+(** Engineering notation with SI prefixes: [si 2.5e6 = "2.5M"]. *)
+
+val print : headers:string list -> rows:string list list -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+lib/simnet/e2cm.ml: Array Engine Fifo Float Fluid Numerics Packet Series Stdlib

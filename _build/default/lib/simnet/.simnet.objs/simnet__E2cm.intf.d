@@ -1,0 +1,1 @@
+lib/simnet/e2cm.mli: Fluid Numerics

@@ -1,0 +1,1 @@
+lib/simnet/eventq.ml: Array Float List Stdlib

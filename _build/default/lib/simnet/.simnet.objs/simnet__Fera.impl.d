@@ -1,0 +1,1 @@
+lib/simnet/fera.ml: Array Engine Fifo Float Fluid Numerics Packet Series

@@ -1,0 +1,1 @@
+lib/simnet/fera.mli: Fluid Numerics

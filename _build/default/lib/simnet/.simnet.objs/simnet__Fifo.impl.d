@@ -1,0 +1,1 @@
+lib/simnet/fifo.ml: Packet Queue

@@ -1,0 +1,1 @@
+lib/simnet/multihop.ml: Array Engine Fifo Float Fluid Numerics Packet Series Source Stats Switch

@@ -1,0 +1,1 @@
+lib/simnet/multihop.mli: Fluid Numerics

@@ -1,0 +1,1 @@
+lib/simnet/qcn.ml: Array Engine Fifo Float Fluid Numerics Packet Series Stdlib

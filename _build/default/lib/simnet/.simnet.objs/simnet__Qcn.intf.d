@@ -1,0 +1,1 @@
+lib/simnet/qcn.mli: Fluid Numerics

@@ -1,0 +1,1 @@
+lib/simnet/runner.ml: Array Engine Fifo Float Fluid Histogram Numerics Packet Series Source Switch

@@ -1,0 +1,1 @@
+lib/simnet/runner.mli: Fluid Numerics Source Switch

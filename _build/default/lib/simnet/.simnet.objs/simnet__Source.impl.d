@@ -1,0 +1,1 @@
+lib/simnet/source.ml: Engine Float Packet

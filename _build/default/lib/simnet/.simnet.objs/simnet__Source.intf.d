@@ -1,0 +1,1 @@
+lib/simnet/source.mli: Engine Packet

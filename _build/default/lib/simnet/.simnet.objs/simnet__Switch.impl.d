@@ -1,0 +1,1 @@
+lib/simnet/switch.ml: Engine Fifo Float Fluid Packet Random Stdlib

@@ -1,0 +1,1 @@
+lib/simnet/switch.mli: Engine Fifo Fluid Packet Random

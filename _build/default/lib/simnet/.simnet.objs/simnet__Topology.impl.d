@@ -1,0 +1,1 @@
+lib/simnet/topology.ml: Array Engine Fifo Float Fluid Numerics Packet Series Source Stdlib Switch

@@ -1,0 +1,1 @@
+lib/simnet/workload.ml: Engine List Packet Random

@@ -1,0 +1,1 @@
+lib/simnet/workload.mli: Engine Packet

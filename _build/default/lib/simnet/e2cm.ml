@@ -1,0 +1,155 @@
+open Numerics
+
+type config = {
+  params : Fluid.Params.t;
+  t_end : float;
+  sample_dt : float;
+  initial_rate : float;
+  control_delay : float;
+  interval : float;
+}
+
+let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
+  {
+    params = p;
+    t_end;
+    sample_dt;
+    initial_rate = 0.3 *. Fluid.Params.equilibrium_rate p;
+    control_delay = 1e-6;
+    interval =
+      200. *. float_of_int Packet.data_frame_bits /. p.Fluid.Params.capacity;
+  }
+
+type result = {
+  queue : Series.t;
+  agg_rate : Series.t;
+  drops : int;
+  delivered_bits : float;
+  utilization : float;
+  messages : int;
+  final_rates : float array;
+}
+
+let run cfg =
+  if cfg.t_end <= 0. then invalid_arg "E2cm.run: t_end <= 0";
+  let p = cfg.params in
+  let n = p.Fluid.Params.n_flows in
+  let c = p.Fluid.Params.capacity in
+  let e = Engine.create () in
+  let fifo = Fifo.create ~capacity_bits:p.Fluid.Params.buffer in
+  let busy = ref false in
+  let delivered = ref 0. in
+  let messages = ref 0 in
+  let rates = Array.make n cfg.initial_rate in
+  (* congestion-point state: BCN sampling + an interval fair-share
+     estimate from the active-flow count *)
+  let arrivals = ref 0 in
+  let sample_every =
+    Stdlib.max 1 (int_of_float (Float.round (1. /. p.Fluid.Params.pm)))
+  in
+  let q_old = ref 0. in
+  let active = Array.make n false in
+  let fair_share = ref (c /. float_of_int n) in
+  let rec fair_cycle e =
+    let count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 active in
+    if count > 0 then fair_share := 0.95 *. c /. float_of_int count;
+    Array.fill active 0 n false;
+    Engine.schedule e ~delay:cfg.interval fair_cycle
+  in
+  Engine.schedule e ~delay:cfg.interval fair_cycle;
+  let rec serve e =
+    if not !busy then
+      match Fifo.dequeue fifo with
+      | None -> ()
+      | Some pkt ->
+          busy := true;
+          Engine.schedule e
+            ~delay:(float_of_int pkt.Packet.bits /. c)
+            (fun e ->
+              busy := false;
+              delivered := !delivered +. float_of_int pkt.Packet.bits;
+              serve e)
+  in
+  (* the hybrid reaction law: BCN AIMD with the advertised fair share
+     capping the additive increase *)
+  let react flow sigma er =
+    if sigma > 0. then
+      rates.(flow) <-
+        Float.min
+          (Float.max er rates.(flow))
+          (rates.(flow) +. (p.Fluid.Params.gi *. p.Fluid.Params.ru *. sigma))
+    else if sigma < 0. then
+      rates.(flow) <-
+        Float.max 1e3
+          (Float.min
+             (rates.(flow) *. (1. +. (p.Fluid.Params.gd *. sigma)))
+             er)
+  in
+  let receive e (pkt : Packet.t) =
+    (match pkt.Packet.kind with
+    | Packet.Data { flow; _ } ->
+        active.(flow) <- true;
+        if Fifo.enqueue fifo pkt then begin
+          incr arrivals;
+          if !arrivals mod sample_every = 0 then begin
+            let q = Fifo.occupancy_bits fifo in
+            let dq = q -. !q_old in
+            q_old := q;
+            let sigma =
+              (p.Fluid.Params.q0 -. q) -. (p.Fluid.Params.w *. dq)
+            in
+            if sigma <> 0. then begin
+              incr messages;
+              let er = !fair_share in
+              Engine.schedule e ~delay:cfg.control_delay (fun _e ->
+                  react flow sigma er)
+            end
+          end
+        end
+    | Packet.Bcn _ | Packet.Pause _ -> ());
+    serve e
+  in
+  let frame = float_of_int Packet.data_frame_bits in
+  let seq = ref 0 in
+  let rec pace i e =
+    if Engine.now e <= cfg.t_end then begin
+      let pkt =
+        Packet.make_data ~seq:!seq ~now:(Engine.now e) ~flow:i ~rrt:None
+      in
+      incr seq;
+      receive e pkt;
+      Engine.schedule e ~delay:(frame /. rates.(i)) (pace i)
+    end
+  in
+  for i = 0 to n - 1 do
+    let jitter = frame /. rates.(i) *. (float_of_int (i mod 97) /. 97.) in
+    Engine.schedule e ~delay:jitter (pace i)
+  done;
+  let n_samples = int_of_float (Float.ceil (cfg.t_end /. cfg.sample_dt)) + 1 in
+  let ts = Array.make n_samples 0. in
+  let qs = Array.make n_samples 0. in
+  let ags = Array.make n_samples 0. in
+  let idx = ref 0 in
+  let rec sampler e =
+    if !idx < n_samples then begin
+      ts.(!idx) <- Engine.now e;
+      qs.(!idx) <- Fifo.occupancy_bits fifo;
+      ags.(!idx) <- Array.fold_left ( +. ) 0. rates;
+      incr idx
+    end;
+    if Engine.now e +. cfg.sample_dt <= cfg.t_end then
+      Engine.schedule e ~delay:cfg.sample_dt sampler
+  in
+  Engine.schedule e ~delay:0. sampler;
+  Engine.run ~until:cfg.t_end e;
+  let m = !idx in
+  let cut a = Array.sub a 0 m in
+  {
+    queue = Series.make (cut ts) (cut qs);
+    agg_rate = Series.make (cut ts) (cut ags);
+    drops = Fifo.drops fifo;
+    delivered_bits = !delivered;
+    utilization = !delivered /. (c *. cfg.t_end);
+    messages = !messages;
+    final_rates = Array.copy rates;
+  }

@@ -1,0 +1,47 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Eventq.t;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+let create () =
+  { clock = 0.; queue = Eventq.create (); stopped = false; processed = 0 }
+
+let now e = e.clock
+
+let schedule_at e ~time f =
+  if time < e.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Eventq.push e.queue time f
+
+let schedule e ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at e ~time:(e.clock +. delay) f
+
+let stop e = e.stopped <- true
+
+let run ?until e =
+  e.stopped <- false;
+  let horizon = match until with Some t -> t | None -> infinity in
+  let rec loop () =
+    if e.stopped then ()
+    else
+      match Eventq.peek e.queue with
+      | None -> ()
+      | Some (t, _) when t > horizon -> ()
+      | Some _ -> (
+          match Eventq.pop e.queue with
+          | None -> ()
+          | Some (t, f) ->
+              e.clock <- t;
+              e.processed <- e.processed + 1;
+              f e;
+              loop ())
+  in
+  loop ();
+  (match until with
+  | Some t when not e.stopped -> if e.clock < t then e.clock <- t
+  | Some _ | None -> ())
+
+let events_processed e = e.processed
+let pending e = Eventq.size e.queue

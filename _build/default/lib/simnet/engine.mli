@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a time-ordered queue of callbacks.
+    Callbacks receive the engine so they can read the clock and schedule
+    further events; simulated time only advances between events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (seconds); 0 at creation. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule e ~delay f] runs [f] at [now e +. delay].
+    Raises [Invalid_argument] on negative [delay]. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue is empty or the clock
+    would pass [until] (events after [until] remain queued; the clock is
+    left at [until]). *)
+
+val stop : t -> unit
+(** Makes {!run} return after the current callback. *)
+
+val events_processed : t -> int
+val pending : t -> int

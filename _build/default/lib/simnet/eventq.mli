@@ -1,0 +1,24 @@
+(** Binary min-heap priority queue keyed by time.
+
+    The discrete-event engine's core data structure. Entries with equal
+    timestamps pop in insertion order (FIFO tie-breaking), which keeps
+    packet orderings deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q t v] inserts [v] with key [t]. Raises [Invalid_argument] on a
+    NaN key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest entry. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

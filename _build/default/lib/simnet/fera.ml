@@ -1,0 +1,152 @@
+open Numerics
+
+type config = {
+  params : Fluid.Params.t;
+  t_end : float;
+  sample_dt : float;
+  initial_rate : float;
+  control_delay : float;
+  interval : float;
+  target_util : float;
+}
+
+let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
+  {
+    params = p;
+    t_end;
+    sample_dt;
+    initial_rate = 0.3 *. Fluid.Params.equilibrium_rate p;
+    control_delay = 1e-6;
+    interval =
+      100. *. float_of_int Packet.data_frame_bits /. p.Fluid.Params.capacity;
+    target_util = 0.95;
+  }
+
+type result = {
+  queue : Series.t;
+  agg_rate : Series.t;
+  drops : int;
+  delivered_bits : float;
+  utilization : float;
+  advertisements : int;
+  final_rates : float array;
+  convergence_time : float option;
+}
+
+let run cfg =
+  if cfg.t_end <= 0. then invalid_arg "Fera.run: t_end <= 0";
+  if cfg.interval <= 0. then invalid_arg "Fera.run: interval <= 0";
+  let p = cfg.params in
+  let n = p.Fluid.Params.n_flows in
+  let c = p.Fluid.Params.capacity in
+  let fair = Fluid.Params.equilibrium_rate p in
+  let e = Engine.create () in
+  let fifo = Fifo.create ~capacity_bits:p.Fluid.Params.buffer in
+  let busy = ref false in
+  let delivered = ref 0. in
+  let advertisements = ref 0 in
+  let rates = Array.make n cfg.initial_rate in
+  (* per-interval measurement state *)
+  let flow_bits = Array.make n 0. in
+  let rec serve e =
+    if not !busy then
+      match Fifo.dequeue fifo with
+      | None -> ()
+      | Some pkt ->
+          busy := true;
+          Engine.schedule e
+            ~delay:(float_of_int pkt.Packet.bits /. c)
+            (fun e ->
+              busy := false;
+              delivered := !delivered +. float_of_int pkt.Packet.bits;
+              serve e)
+  in
+  let receive e (pkt : Packet.t) =
+    (match pkt.Packet.kind with
+    | Packet.Data { flow; _ } ->
+        if Fifo.enqueue fifo pkt then
+          flow_bits.(flow) <- flow_bits.(flow) +. float_of_int pkt.Packet.bits
+    | Packet.Bcn _ | Packet.Pause _ -> ());
+    serve e
+  in
+  (* the ERICA measurement/advertisement cycle *)
+  let rec advertise e =
+    let measured = Array.fold_left ( +. ) 0. flow_bits /. cfg.interval in
+    let active =
+      Array.fold_left (fun acc b -> if b > 0. then acc + 1 else acc) 0 flow_bits
+    in
+    if active > 0 then begin
+      let u = cfg.target_util *. c in
+      let z = Float.max 1e-9 (measured /. u) in
+      let fair_share = u /. float_of_int active in
+      Array.iteri
+        (fun i bits ->
+          if bits > 0. then begin
+            let flow_rate = bits /. cfg.interval in
+            let er = Float.max fair_share (flow_rate /. z) in
+            let er = Float.min er c in
+            incr advertisements;
+            Engine.schedule e ~delay:cfg.control_delay (fun _e ->
+                rates.(i) <- er)
+          end)
+        flow_bits
+    end;
+    Array.fill flow_bits 0 n 0.;
+    Engine.schedule e ~delay:cfg.interval advertise
+  in
+  Engine.schedule e ~delay:cfg.interval advertise;
+  (* paced sources reading their advertised rate *)
+  let frame = float_of_int Packet.data_frame_bits in
+  let seq = ref 0 in
+  let rec pace i e =
+    if Engine.now e <= cfg.t_end then begin
+      let pkt =
+        Packet.make_data ~seq:!seq ~now:(Engine.now e) ~flow:i ~rrt:None
+      in
+      incr seq;
+      receive e pkt;
+      Engine.schedule e ~delay:(frame /. rates.(i)) (pace i)
+    end
+  in
+  for i = 0 to n - 1 do
+    let jitter = frame /. rates.(i) *. (float_of_int (i mod 97) /. 97.) in
+    Engine.schedule e ~delay:jitter (pace i)
+  done;
+  (* tracing + convergence detection *)
+  let n_samples = int_of_float (Float.ceil (cfg.t_end /. cfg.sample_dt)) + 1 in
+  let ts = Array.make n_samples 0. in
+  let qs = Array.make n_samples 0. in
+  let ags = Array.make n_samples 0. in
+  let idx = ref 0 in
+  let convergence = ref None in
+  let rec sampler e =
+    if !idx < n_samples then begin
+      ts.(!idx) <- Engine.now e;
+      qs.(!idx) <- Fifo.occupancy_bits fifo;
+      ags.(!idx) <- Array.fold_left ( +. ) 0. rates;
+      (if !convergence = None then
+         let all_fair =
+           Array.for_all
+             (fun r -> Float.abs (r -. (cfg.target_util *. fair)) < 0.1 *. fair)
+             rates
+         in
+         if all_fair then convergence := Some (Engine.now e));
+      incr idx
+    end;
+    if Engine.now e +. cfg.sample_dt <= cfg.t_end then
+      Engine.schedule e ~delay:cfg.sample_dt sampler
+  in
+  Engine.schedule e ~delay:0. sampler;
+  Engine.run ~until:cfg.t_end e;
+  let m = !idx in
+  let cut a = Array.sub a 0 m in
+  {
+    queue = Series.make (cut ts) (cut qs);
+    agg_rate = Series.make (cut ts) (cut ags);
+    drops = Fifo.drops fifo;
+    delivered_bits = !delivered;
+    utilization = !delivered /. (c *. cfg.t_end);
+    advertisements = !advertisements;
+    final_rates = Array.copy rates;
+    convergence_time = !convergence;
+  }

@@ -1,0 +1,52 @@
+type t = {
+  capacity : float;
+  items : Packet.t Queue.t;
+  mutable occupancy : float;
+  mutable drops : int;
+  mutable dropped : float;
+  mutable in_bits : float;
+  mutable out_bits : float;
+}
+
+let create ~capacity_bits =
+  if capacity_bits <= 0. then invalid_arg "Fifo.create: capacity <= 0";
+  {
+    capacity = capacity_bits;
+    items = Queue.create ();
+    occupancy = 0.;
+    drops = 0;
+    dropped = 0.;
+    in_bits = 0.;
+    out_bits = 0.;
+  }
+
+let enqueue q (p : Packet.t) =
+  let bits = float_of_int p.Packet.bits in
+  if q.occupancy +. bits > q.capacity then begin
+    q.drops <- q.drops + 1;
+    q.dropped <- q.dropped +. bits;
+    false
+  end
+  else begin
+    Queue.push p q.items;
+    q.occupancy <- q.occupancy +. bits;
+    q.in_bits <- q.in_bits +. bits;
+    true
+  end
+
+let dequeue q =
+  match Queue.take_opt q.items with
+  | None -> None
+  | Some p ->
+      let bits = float_of_int p.Packet.bits in
+      q.occupancy <- q.occupancy -. bits;
+      q.out_bits <- q.out_bits +. bits;
+      Some p
+
+let occupancy_bits q = q.occupancy
+let length q = Queue.length q.items
+let capacity_bits q = q.capacity
+let drops q = q.drops
+let dropped_bits q = q.dropped
+let enqueued_bits q = q.in_bits
+let dequeued_bits q = q.out_bits

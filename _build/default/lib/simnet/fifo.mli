@@ -1,0 +1,30 @@
+(** Bit-counted FIFO packet queue with a hard capacity — the core-switch
+    buffer whose occupancy [q t] is the controlled variable of the whole
+    system. Tail-drop on overflow, with drop accounting. *)
+
+type t
+
+val create : capacity_bits:float -> t
+(** Raises [Invalid_argument] when the capacity is not positive. *)
+
+val enqueue : t -> Packet.t -> bool
+(** [false] when the frame did not fit and was dropped (tail drop). *)
+
+val dequeue : t -> Packet.t option
+
+val occupancy_bits : t -> float
+(** Current queue length in bits — the [q t] of the model. *)
+
+val length : t -> int
+(** Queued frames. *)
+
+val capacity_bits : t -> float
+val drops : t -> int
+val dropped_bits : t -> float
+
+val enqueued_bits : t -> float
+(** Cumulative bits accepted (the arrival counter of the congestion
+    point). *)
+
+val dequeued_bits : t -> float
+(** Cumulative bits served (the departure counter). *)

@@ -1,0 +1,35 @@
+type kind =
+  | Data of { flow : int; rrt : int option }
+  | Bcn of { flow : int; fb : float; cpid : int }
+  | Pause of { on : bool }
+
+type t = { kind : kind; bits : int; born : float; seq : int }
+
+let data_frame_bits = 12000
+let control_frame_bits = 512
+
+let make_data ~seq ~now ~flow ~rrt =
+  { kind = Data { flow; rrt }; bits = data_frame_bits; born = now; seq }
+
+let make_bcn ~seq ~now ~flow ~fb ~cpid =
+  { kind = Bcn { flow; fb; cpid }; bits = control_frame_bits; born = now; seq }
+
+let make_pause ~seq ~now ~on =
+  { kind = Pause { on }; bits = control_frame_bits; born = now; seq }
+
+let is_data p = match p.kind with Data _ -> true | Bcn _ | Pause _ -> false
+
+let flow_of p =
+  match p.kind with
+  | Data { flow; _ } | Bcn { flow; _ } -> Some flow
+  | Pause _ -> None
+
+let pp ppf p =
+  match p.kind with
+  | Data { flow; rrt } ->
+      Format.fprintf ppf "DATA[flow=%d%s seq=%d]" flow
+        (match rrt with Some c -> Printf.sprintf " rrt=%d" c | None -> "")
+        p.seq
+  | Bcn { flow; fb; cpid } ->
+      Format.fprintf ppf "BCN[flow=%d fb=%g cpid=%d]" flow fb cpid
+  | Pause { on } -> Format.fprintf ppf "PAUSE[%s]" (if on then "on" else "off")

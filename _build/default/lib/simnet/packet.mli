@@ -1,0 +1,37 @@
+(** Frames exchanged in the simulated DCE network.
+
+    Mirrors the BCN message format of paper Fig. 2 at the level of detail
+    the control loop needs: a data frame may carry a rate-regulator tag
+    (RRT) holding the congestion point id (CPID) it is associated with;
+    a BCN frame carries the feedback value [fb = sigma] and the CPID;
+    PAUSE frames implement IEEE 802.3x on/off flow control. *)
+
+type kind =
+  | Data of {
+      flow : int;  (** source id *)
+      rrt : int option;  (** CPID carried in the rate regulator tag *)
+    }
+  | Bcn of {
+      flow : int;  (** destination source id (DA of Fig. 2) *)
+      fb : float;  (** the feedback field: sigma at the sampling instant *)
+      cpid : int;  (** congestion point id (switch interface) *)
+    }
+  | Pause of { on : bool }  (** 802.3x PAUSE (on) / un-PAUSE (off) *)
+
+type t = { kind : kind; bits : int; born : float; seq : int }
+
+val data_frame_bits : int
+(** 1500-byte Ethernet frame = 12000 bits. *)
+
+val control_frame_bits : int
+(** 64-byte minimum frame = 512 bits (BCN and PAUSE frames). *)
+
+val make_data : seq:int -> now:float -> flow:int -> rrt:int option -> t
+val make_bcn : seq:int -> now:float -> flow:int -> fb:float -> cpid:int -> t
+val make_pause : seq:int -> now:float -> on:bool -> t
+
+val is_data : t -> bool
+val flow_of : t -> int option
+(** The flow a data or BCN frame concerns; [None] for PAUSE. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** QCN (Quantized Congestion Notification) — the fourth 802.1Qau
+    proposal discussed in paper §II.A, implemented as an extension so the
+    BCN analysis can be contrasted with its successor.
+
+    Differences from BCN that matter to the control loop:
+    - the congestion point sends {e only negative} feedback, quantized to
+      a few bits ([Fb = −(q_off + w·q_delta)], clipped and quantized);
+    - the reaction point performs multiplicative decrease on feedback and
+      recovers {e autonomously} (no positive messages): after a decrease
+      it alternates fast-recovery cycles ([r ← (r + target)/2] every
+      byte-counter expiry) and active-increase cycles ([target += R_AI]).
+
+    The byte-counter-only reaction point is implemented (the standard's
+    backup timer is omitted — a simulation at these time scales triggers
+    the byte counter first; recorded as a substitution in DESIGN.md). *)
+
+type config = {
+  params : Fluid.Params.t;
+      (** capacity/buffer/q0/w/pm reused; [gd] scales the decrease *)
+  t_end : float;
+  sample_dt : float;
+  initial_rate : float;
+  control_delay : float;
+  quant_bits : int;  (** feedback quantization width (standard: 6) *)
+  bc_limit_bits : float;  (** byte-counter window (standard: 150 kB) *)
+  fast_recovery_cycles : int;  (** cycles before active increase (5) *)
+  r_ai : float;  (** active-increase step, bit/s *)
+}
+
+val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config
+
+type result = {
+  queue : Numerics.Series.t;
+  agg_rate : Numerics.Series.t;
+  drops : int;
+  delivered_bits : float;
+  utilization : float;
+  cn_messages : int;  (** congestion notifications sent *)
+  final_rates : float array;
+}
+
+val run : config -> result
+
+val quantize : bits:int -> fb_max:float -> float -> float
+(** [quantize ~bits ~fb_max fb] clips [fb] to [[−fb_max, 0]] and rounds it
+    to one of [2^bits] levels; exposed for the unit tests. *)

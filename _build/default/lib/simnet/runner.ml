@@ -1,0 +1,184 @@
+open Numerics
+
+type config = {
+  params : Fluid.Params.t;
+  t_end : float;
+  sample_dt : float;
+  initial_rate : float;
+  control_delay : float;
+  sampling : Switch.sampling;
+  mode : Source.update_mode;
+  positive_to_untagged : bool;
+  broadcast_feedback : bool;
+  enable_bcn : bool;
+  enable_pause : bool;
+}
+
+let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
+  let fair = Fluid.Params.equilibrium_rate p in
+  {
+    params = p;
+    t_end;
+    sample_dt;
+    initial_rate = Float.max p.Fluid.Params.mu (0.02 *. fair);
+    control_delay = 1e-6;
+    sampling = Switch.Deterministic;
+    mode = Source.Zoh_fluid;
+    positive_to_untagged = true;
+    broadcast_feedback = false;
+    enable_bcn = true;
+    enable_pause = true;
+  }
+
+type result = {
+  queue : Series.t;
+  agg_rate : Series.t;
+  flow_rates : Series.t array;
+  latency : Histogram.t;
+  queue_histogram : Histogram.t;
+  drops : int;
+  dropped_bits : float;
+  delivered_bits : float;
+  utilization : float;
+  bcn_positive : int;
+  bcn_negative : int;
+  pause_on_events : int;
+  sampled_frames : int;
+  events_processed : int;
+  final_rates : float array;
+}
+
+let run cfg =
+  if cfg.t_end <= 0. then invalid_arg "Runner.run: t_end <= 0";
+  if cfg.sample_dt <= 0. then invalid_arg "Runner.run: sample_dt <= 0";
+  let p = cfg.params in
+  let n = p.Fluid.Params.n_flows in
+  let e = Engine.create () in
+  let delivered = ref 0. in
+  (* frame sojourn time through the switch; worst case ~ B/C plus service *)
+  let latency =
+    Histogram.create ~lo:0.
+      ~hi:(2.2 *. p.Fluid.Params.buffer /. p.Fluid.Params.capacity)
+      ~bins:120
+  in
+  let queue_histogram =
+    Histogram.create ~lo:0. ~hi:p.Fluid.Params.buffer ~bins:100
+  in
+  (* the switch is created before the sources so control frames can be
+     routed; sources are filled in just below *)
+  let sources = Array.make n None in
+  let dispatch_control e (pkt : Packet.t) =
+    match pkt.Packet.kind with
+    | Packet.Bcn { flow; fb; cpid } ->
+        if cfg.broadcast_feedback then
+          Array.iter
+            (function
+              | Some src -> Source.handle_bcn src ~now:(Engine.now e) ~fb ~cpid
+              | None -> ())
+            sources
+        else (
+          match sources.(flow) with
+          | Some src -> Source.handle_bcn src ~now:(Engine.now e) ~fb ~cpid
+          | None -> ())
+    | Packet.Pause { on } ->
+        Array.iter
+          (function Some src -> Source.set_paused src e on | None -> ())
+          sources
+    | Packet.Data _ -> ()
+  in
+  let sw_cfg =
+    {
+      (Switch.default_config p ~cpid:1) with
+      Switch.sampling = cfg.sampling;
+      positive_to_untagged = cfg.positive_to_untagged;
+      enable_bcn = cfg.enable_bcn;
+      enable_pause = cfg.enable_pause;
+    }
+  in
+  let sw =
+    Switch.create sw_cfg ~control_out:(fun e pkt ->
+        Engine.schedule e ~delay:cfg.control_delay (fun e ->
+            dispatch_control e pkt))
+  in
+  Switch.set_forward sw (fun e pkt ->
+      delivered := !delivered +. float_of_int pkt.Packet.bits;
+      Histogram.add latency (Engine.now e -. pkt.Packet.born));
+  Switch.start sw e;
+  for i = 0 to n - 1 do
+    let src =
+      Source.create ~id:i ~initial_rate:cfg.initial_rate
+        ~min_rate:(0.01 *. Fluid.Params.equilibrium_rate p)
+        ~max_rate:p.Fluid.Params.capacity ~mode:cfg.mode
+        ~hold_timeout:(50. *. Switch.fluid_sampling_period p)
+        ~gi:p.Fluid.Params.gi ~gd:p.Fluid.Params.gd ~ru:p.Fluid.Params.ru
+        ~send:(fun e pkt -> Switch.receive sw e pkt)
+        ()
+    in
+    sources.(i) <- Some src;
+    Source.start src e
+  done;
+  (* periodic trace sampler *)
+  let n_samples = int_of_float (Float.ceil (cfg.t_end /. cfg.sample_dt)) + 1 in
+  let ts = Array.make n_samples 0. in
+  let qs = Array.make n_samples 0. in
+  let aggs = Array.make n_samples 0. in
+  let per_flow = Array.make_matrix n n_samples 0. in
+  let idx = ref 0 in
+  let record e =
+    if !idx < n_samples then begin
+      ts.(!idx) <- Engine.now e;
+      qs.(!idx) <- Switch.queue_bits sw;
+      Histogram.add_weighted queue_histogram (Switch.queue_bits sw) cfg.sample_dt;
+      let agg = ref 0. in
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Some src ->
+              let r = Source.rate src in
+              per_flow.(i).(!idx) <- r;
+              agg := !agg +. r
+          | None -> ())
+        sources;
+      aggs.(!idx) <- !agg;
+      incr idx
+    end
+  in
+  let rec sampler e =
+    record e;
+    if Engine.now e +. cfg.sample_dt <= cfg.t_end then
+      Engine.schedule e ~delay:cfg.sample_dt sampler
+  in
+  Engine.schedule e ~delay:0. sampler;
+  Engine.run ~until:cfg.t_end e;
+  let m = !idx in
+  let cut a = Array.sub a 0 m in
+  let st = Switch.stats sw in
+  let q = Switch.fifo sw in
+  {
+    queue = Series.make (cut ts) (cut qs);
+    agg_rate = Series.make (cut ts) (cut aggs);
+    flow_rates =
+      Array.init n (fun i -> Series.make (cut ts) (cut per_flow.(i)));
+    latency;
+    queue_histogram;
+    drops = Fifo.drops q;
+    dropped_bits = Fifo.dropped_bits q;
+    delivered_bits = !delivered;
+    utilization = !delivered /. (p.Fluid.Params.capacity *. cfg.t_end);
+    bcn_positive = st.Switch.bcn_positive;
+    bcn_negative = st.Switch.bcn_negative;
+    pause_on_events = st.Switch.pause_on;
+    sampled_frames = st.Switch.sampled;
+    events_processed = Engine.events_processed e;
+    final_rates =
+      Array.map
+        (function Some src -> Source.rate src | None -> 0.)
+        sources;
+  }
+
+let fairness rates =
+  let n = Array.length rates in
+  if n = 0 then invalid_arg "Runner.fairness: empty";
+  let s = Array.fold_left ( +. ) 0. rates in
+  let s2 = Array.fold_left (fun acc r -> acc +. (r *. r)) 0. rates in
+  if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)

@@ -1,0 +1,55 @@
+(** Single-bottleneck (dumbbell) BCN simulation — paper Fig. 1 made
+    executable: N homogeneous sources with reaction points, one core
+    switch with the congestion point, a sink.
+
+    This is the packet-level ground truth against which the fluid model
+    is validated (experiment V1 of DESIGN.md). *)
+
+type config = {
+  params : Fluid.Params.t;
+  t_end : float;  (** simulated seconds *)
+  sample_dt : float;  (** trace sampling period *)
+  initial_rate : float;  (** per-source starting rate, bit/s *)
+  control_delay : float;  (** BCN/PAUSE propagation delay, seconds *)
+  sampling : Switch.sampling;
+  mode : Source.update_mode;  (** reaction-point update semantics *)
+  positive_to_untagged : bool;
+  broadcast_feedback : bool;
+      (** deliver every BCN message to all sources — the fluid model's
+          homogeneity assumption made literal; default off *)
+  enable_bcn : bool;
+  enable_pause : bool;
+}
+
+val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config
+(** Defaults: [t_end = 20 ms], [sample_dt = 10 us], initial rate
+    [max mu (2%% of the fair share)], [control_delay = 1 us],
+    deterministic sampling, [mode = Zoh_fluid], fluid-faithful positive
+    feedback, BCN and PAUSE enabled. *)
+
+type result = {
+  queue : Numerics.Series.t;  (** switch queue occupancy, bits *)
+  agg_rate : Numerics.Series.t;  (** sum of source rates, bit/s *)
+  flow_rates : Numerics.Series.t array;  (** per-flow rate traces *)
+  latency : Numerics.Histogram.t;
+      (** per-frame sojourn time through the switch, seconds *)
+  queue_histogram : Numerics.Histogram.t;
+      (** time-weighted queue-occupancy distribution, bits *)
+  drops : int;
+  dropped_bits : float;
+  delivered_bits : float;
+  utilization : float;  (** delivered / (C·t_end) *)
+  bcn_positive : int;
+  bcn_negative : int;
+  pause_on_events : int;
+  sampled_frames : int;
+  events_processed : int;
+  final_rates : float array;
+}
+
+val run : config -> result
+
+val fairness : float array -> float
+(** Jain's fairness index of a rate allocation:
+    [(sum r)² / (n · sum r²)]; 1.0 = perfectly fair.
+    Raises [Invalid_argument] on an empty array. *)

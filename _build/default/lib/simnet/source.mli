@@ -1,0 +1,56 @@
+(** Traffic source with its congestion reaction point (paper §II.B).
+
+    The source paces data frames at its current rate [r]; the reaction
+    point adjusts [r] on BCN feedback. Two update semantics are provided:
+
+    - {!Literal} — the draft's eqn (2), applied once per BCN message:
+      positive [fb]: [r ← r + Gi·Ru·fb]; negative [fb]:
+      [r ← r·(1 + Gd·fb)].
+    - {!Zoh_fluid} — zero-order hold of the feedback: the latest [fb]
+      value is retained and the {e fluid} laws (paper eqn (7))
+      [dr/dt = Gi·Ru·fb] / [dr/dt = Gd·fb·r] are integrated exactly
+      between pacing events. This makes the packet system converge to the
+      fluid model as the sampling rate grows, which is what the
+      fluid-vs-packet validation (experiment V1) needs.
+
+    On a negative BCN the source associates itself with the congestion
+    point: subsequent frames carry the CPID in their rate-regulator tag.
+    The rate is clamped to [[min_rate, max_rate]]. An 802.3x PAUSE stops
+    the pacing loop until the matching un-PAUSE. *)
+
+type update_mode = Literal | Zoh_fluid
+
+type t
+
+val create :
+  id:int ->
+  initial_rate:float ->
+  ?min_rate:float ->
+  ?max_rate:float ->
+  ?mode:update_mode ->
+  ?hold_timeout:float ->
+  gi:float ->
+  gd:float ->
+  ru:float ->
+  send:(Engine.t -> Packet.t -> unit) ->
+  unit ->
+  t
+(** Defaults: [min_rate] = 1 kbit/s, [max_rate] = +inf,
+    [mode = Zoh_fluid], [hold_timeout] = +inf. In [Zoh_fluid] mode a held
+    feedback value is integrated only for [hold_timeout] seconds after
+    the BCN that delivered it — beyond that the reaction point coasts
+    (the fluid model's sigma is assumed fresh every sampling interval).
+    Raises [Invalid_argument] on a non-positive initial rate. *)
+
+val start : t -> Engine.t -> unit
+(** Begin the pacing loop (idempotent). *)
+
+val handle_bcn : t -> now:float -> fb:float -> cpid:int -> unit
+val set_paused : t -> Engine.t -> bool -> unit
+
+val rate : t -> float
+val id : t -> int
+val tagged : t -> bool
+val is_paused : t -> bool
+val frames_sent : t -> int
+val bits_sent : t -> float

@@ -1,0 +1,210 @@
+type sampling =
+  | Deterministic
+  | Bernoulli of Random.State.t
+  | Timer of float
+
+type config = {
+  cpid : int;
+  capacity : float;
+  buffer_bits : float;
+  q0 : float;
+  qsc : float;
+  w : float;
+  pm : float;
+  sampling : sampling;
+  positive_to_untagged : bool;
+  enable_bcn : bool;
+  enable_pause : bool;
+}
+
+let default_config (p : Fluid.Params.t) ~cpid =
+  {
+    cpid;
+    capacity = p.Fluid.Params.capacity;
+    buffer_bits = p.Fluid.Params.buffer;
+    q0 = p.Fluid.Params.q0;
+    qsc = p.Fluid.Params.qsc;
+    w = p.Fluid.Params.w;
+    pm = p.Fluid.Params.pm;
+    sampling = Deterministic;
+    positive_to_untagged = true;
+    enable_bcn = true;
+    enable_pause = true;
+  }
+
+type stats = {
+  mutable forwarded : int;
+  mutable sampled : int;
+  mutable bcn_positive : int;
+  mutable bcn_negative : int;
+  mutable pause_on : int;
+  mutable pause_off : int;
+}
+
+type t = {
+  cfg : config;
+  queue : Fifo.t;
+  control_out : Engine.t -> Packet.t -> unit;
+  mutable forward : (Engine.t -> Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable egress_paused : bool;
+  mutable upstream_paused : bool;
+  mutable arrivals_since_sample : int;
+  sample_every : int;
+  mutable q_at_last_sample : float;
+  mutable last_flow : int;
+  mutable last_rrt : int option;
+  mutable timer_armed : bool;
+  mutable ctl_seq : int;
+  st : stats;
+}
+
+let create cfg ~control_out =
+  if cfg.capacity <= 0. then invalid_arg "Switch.create: capacity <= 0";
+  if cfg.pm <= 0. || cfg.pm > 1. then invalid_arg "Switch.create: pm not in (0,1]";
+  {
+    cfg;
+    queue = Fifo.create ~capacity_bits:cfg.buffer_bits;
+    control_out;
+    forward = None;
+    busy = false;
+    egress_paused = false;
+    upstream_paused = false;
+    arrivals_since_sample = 0;
+    sample_every = Stdlib.max 1 (int_of_float (Float.round (1. /. cfg.pm)));
+    q_at_last_sample = 0.;
+    last_flow = 0;
+    last_rrt = None;
+    timer_armed = false;
+    ctl_seq = 0;
+    st =
+      {
+        forwarded = 0;
+        sampled = 0;
+        bcn_positive = 0;
+        bcn_negative = 0;
+        pause_on = 0;
+        pause_off = 0;
+      };
+  }
+
+let set_forward sw f = sw.forward <- Some f
+let queue_bits sw = Fifo.occupancy_bits sw.queue
+let fifo sw = sw.queue
+let stats sw = sw.st
+let config sw = sw.cfg
+let upstream_paused sw = sw.upstream_paused
+
+let next_ctl_seq sw =
+  let s = sw.ctl_seq in
+  sw.ctl_seq <- s + 1;
+  s
+
+let send_pause sw e on =
+  let pkt = Packet.make_pause ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~on in
+  if on then sw.st.pause_on <- sw.st.pause_on + 1
+  else sw.st.pause_off <- sw.st.pause_off + 1;
+  sw.upstream_paused <- on;
+  sw.control_out e pkt
+
+let pause_resume_threshold cfg = 0.9 *. cfg.qsc
+
+let check_pause sw e =
+  if sw.cfg.enable_pause then begin
+    let q = queue_bits sw in
+    if (not sw.upstream_paused) && q > sw.cfg.qsc then send_pause sw e true
+    else if sw.upstream_paused && q < pause_resume_threshold sw.cfg then
+      send_pause sw e false
+  end
+
+let rec serve sw e =
+  if (not sw.busy) && not sw.egress_paused then begin
+    match Fifo.dequeue sw.queue with
+    | None -> ()
+    | Some pkt ->
+        sw.busy <- true;
+        let tx = float_of_int pkt.Packet.bits /. sw.cfg.capacity in
+        Engine.schedule e ~delay:tx (fun e ->
+            sw.busy <- false;
+            sw.st.forwarded <- sw.st.forwarded + 1;
+            (match sw.forward with
+            | Some f -> f e pkt
+            | None -> failwith "Switch: forward not set");
+            check_pause sw e;
+            serve sw e)
+  end
+
+let set_egress_paused sw e on =
+  sw.egress_paused <- on;
+  if not on then serve sw e
+
+let should_sample sw =
+  match sw.cfg.sampling with
+  | Deterministic ->
+      sw.arrivals_since_sample <- sw.arrivals_since_sample + 1;
+      if sw.arrivals_since_sample >= sw.sample_every then begin
+        sw.arrivals_since_sample <- 0;
+        true
+      end
+      else false
+  | Bernoulli rng -> Random.State.float rng 1. < sw.cfg.pm
+  | Timer _ -> false
+
+let sample sw e ~flow ~rrt =
+  sw.st.sampled <- sw.st.sampled + 1;
+  let q = queue_bits sw in
+  let dq = q -. sw.q_at_last_sample in
+  sw.q_at_last_sample <- q;
+  let sigma = (sw.cfg.q0 -. q) -. (sw.cfg.w *. dq) in
+  if sigma < 0. then begin
+    sw.st.bcn_negative <- sw.st.bcn_negative + 1;
+    sw.control_out e
+      (Packet.make_bcn ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~flow
+         ~fb:sigma ~cpid:sw.cfg.cpid)
+  end
+  else if sigma > 0. && q < sw.cfg.q0 then begin
+    let tagged_here = match rrt with Some c -> c = sw.cfg.cpid | None -> false in
+    if tagged_here || sw.cfg.positive_to_untagged then begin
+      sw.st.bcn_positive <- sw.st.bcn_positive + 1;
+      sw.control_out e
+        (Packet.make_bcn ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~flow
+           ~fb:sigma ~cpid:sw.cfg.cpid)
+    end
+  end
+
+let start sw e =
+  match sw.cfg.sampling with
+  | Deterministic | Bernoulli _ -> ()
+  | Timer period ->
+      if period <= 0. then invalid_arg "Switch.start: timer period <= 0";
+      if not sw.timer_armed then begin
+        sw.timer_armed <- true;
+        let rec tick e =
+          if sw.cfg.enable_bcn then
+            sample sw e ~flow:sw.last_flow ~rrt:sw.last_rrt;
+          Engine.schedule e ~delay:period tick
+        in
+        Engine.schedule e ~delay:period tick
+      end
+
+let fluid_sampling_period (p : Fluid.Params.t) =
+  float_of_int Packet.data_frame_bits
+  /. (p.Fluid.Params.pm *. p.Fluid.Params.capacity)
+
+let receive sw e pkt =
+  (match pkt.Packet.kind with
+  | Packet.Bcn _ | Packet.Pause _ ->
+      invalid_arg "Switch.receive: control frames do not enter the data path"
+  | Packet.Data _ -> ());
+  (match pkt.Packet.kind with
+  | Packet.Data { flow; rrt } ->
+      sw.last_flow <- flow;
+      sw.last_rrt <- rrt
+  | Packet.Bcn _ | Packet.Pause _ -> ());
+  let accepted = Fifo.enqueue sw.queue pkt in
+  (if accepted && sw.cfg.enable_bcn && should_sample sw then
+     match pkt.Packet.kind with
+     | Packet.Data { flow; rrt } -> sample sw e ~flow ~rrt
+     | Packet.Bcn _ | Packet.Pause _ -> ());
+  check_pause sw e;
+  serve sw e

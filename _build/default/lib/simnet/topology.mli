@@ -1,0 +1,54 @@
+(** Multi-switch scenarios.
+
+    The paper's introduction motivates BCN with the failure mode of plain
+    802.3x PAUSE: "congestion can roll back from switch to switch,
+    affecting flows that do not contribute to the congestion, but happen
+    to share a link with flows that do." The {!victim_scenario} builds the
+    canonical two-hop illustration:
+
+    {v
+      hot sources ──┐                ┌── edge-hot port ── core (bottleneck) ── sink
+                    ├── shared link ─┤
+      victim source ┘                └── edge-victim port ─────────────────── sink
+    v}
+
+    All sources share the ingress link into the edge switch. The core is
+    the only congested queue. With PAUSE alone, the core pauses the
+    edge-hot port; its queue then fills and the edge pauses the {e shared
+    ingress link} — stalling the victim although its own path is idle.
+    With BCN enabled, the hot sources are rate-limited at the reaction
+    points, the core queue never reaches the PAUSE threshold, and the
+    victim is untouched. *)
+
+type config = {
+  params : Fluid.Params.t;  (** gains/thresholds; capacity = bottleneck *)
+  n_hot : int;
+  victim_rate : float;  (** offered rate of the victim flow, bit/s *)
+  t_end : float;
+  sample_dt : float;
+  initial_hot_rate : float;
+  control_delay : float;
+  enable_bcn : bool;
+  enable_pause : bool;
+}
+
+val default_config :
+  ?t_end:float -> ?sample_dt:float -> ?n_hot:int -> ?victim_rate:float ->
+  Fluid.Params.t -> config
+
+type result = {
+  core_queue : Numerics.Series.t;
+  edge_hot_queue : Numerics.Series.t;
+  victim_delivered_bits : float;
+  victim_goodput : float;  (** delivered / t_end, bit/s *)
+  victim_offered : float;
+  hot_delivered_bits : float;
+  core_drops : int;
+  core_pause_on : int;
+  edge_pause_on : int;
+  victim_paused_fraction : float;
+      (** fraction of trace samples at which the victim source was held
+          in PAUSE *)
+}
+
+val victim_scenario : config -> result

@@ -1,0 +1,144 @@
+let frame_bits = float_of_int Packet.data_frame_bits
+
+type shape =
+  | Cbr of { rate : float }
+  | Poisson of { mean_rate : float; rng : Random.State.t }
+  | On_off of {
+      peak_rate : float;
+      mean_on : float;
+      mean_off : float;
+      rng : Random.State.t;
+      mutable on : bool;
+      mutable phase_ends : float;
+    }
+  | Incast of {
+      ids : int list;
+      burst_frames : int;
+      period : float;
+      jitter : float;
+      rng : Random.State.t;
+    }
+
+type t = {
+  id : int;
+  shape : shape;
+  mutable running : bool;
+  mutable frames : int;
+  mutable bits : float;
+  mutable seq : int;
+}
+
+let make id shape = { id; shape; running = false; frames = 0; bits = 0.; seq = 0 }
+
+let cbr ~id ~rate =
+  if rate <= 0. then invalid_arg "Workload.cbr: rate <= 0";
+  make id (Cbr { rate })
+
+let poisson ~id ~mean_rate ~seed =
+  if mean_rate <= 0. then invalid_arg "Workload.poisson: rate <= 0";
+  make id (Poisson { mean_rate; rng = Random.State.make [| seed |] })
+
+let on_off ~id ~peak_rate ~mean_on ~mean_off ~seed =
+  if peak_rate <= 0. || mean_on <= 0. || mean_off <= 0. then
+    invalid_arg "Workload.on_off: nonpositive parameter";
+  make id
+    (On_off
+       {
+         peak_rate;
+         mean_on;
+         mean_off;
+         rng = Random.State.make [| seed |];
+         on = false;
+         phase_ends = 0.;
+       })
+
+let incast ~ids ~burst_frames ~period ?(jitter = 0.) ?(seed = 1) () =
+  if ids = [] then invalid_arg "Workload.incast: no ids";
+  if burst_frames < 1 then invalid_arg "Workload.incast: burst_frames < 1";
+  if period <= 0. then invalid_arg "Workload.incast: period <= 0";
+  make (List.hd ids)
+    (Incast
+       { ids; burst_frames; period; jitter; rng = Random.State.make [| seed |] })
+
+let exponential rng mean = -.mean *. log (1. -. Random.State.float rng 1.)
+
+let emit w e sink ~flow =
+  let pkt =
+    Packet.make_data ~seq:w.seq ~now:(Engine.now e) ~flow ~rrt:None
+  in
+  w.seq <- w.seq + 1;
+  w.frames <- w.frames + 1;
+  w.bits <- w.bits +. frame_bits;
+  sink e pkt
+
+let start w e ~sink =
+  if w.running then ()
+  else begin
+    w.running <- true;
+    match w.shape with
+    | Cbr { rate } ->
+        let gap = frame_bits /. rate in
+        let rec loop e =
+          if w.running then begin
+            emit w e sink ~flow:w.id;
+            Engine.schedule e ~delay:gap loop
+          end
+        in
+        Engine.schedule e ~delay:gap loop
+    | Poisson { mean_rate; rng } ->
+        let mean_gap = frame_bits /. mean_rate in
+        let rec loop e =
+          if w.running then begin
+            emit w e sink ~flow:w.id;
+            Engine.schedule e ~delay:(exponential rng mean_gap) loop
+          end
+        in
+        Engine.schedule e ~delay:(exponential rng mean_gap) loop
+    | On_off ({ peak_rate; mean_on; mean_off; rng; _ } as st) ->
+        let gap = frame_bits /. peak_rate in
+        st.on <- false;
+        st.phase_ends <- Engine.now e +. exponential rng mean_off;
+        let rec loop e =
+          if w.running then begin
+            let now = Engine.now e in
+            if now >= st.phase_ends then begin
+              st.on <- not st.on;
+              st.phase_ends <-
+                now +. exponential rng (if st.on then mean_on else mean_off)
+            end;
+            if st.on then emit w e sink ~flow:w.id;
+            Engine.schedule e ~delay:gap loop
+          end
+        in
+        Engine.schedule e ~delay:gap loop
+    | Incast { ids; burst_frames; period; jitter; rng } ->
+        let rec epoch e =
+          if w.running then begin
+            List.iter
+              (fun flow ->
+                let delay =
+                  if jitter > 0. then Random.State.float rng jitter else 0.
+                in
+                Engine.schedule e ~delay (fun e ->
+                    for _ = 1 to burst_frames do
+                      emit w e sink ~flow
+                    done))
+              ids;
+            Engine.schedule e ~delay:period epoch
+          end
+        in
+        Engine.schedule e ~delay:0. epoch
+  end
+
+let stop w = w.running <- false
+let frames_sent w = w.frames
+let bits_sent w = w.bits
+
+let mean_offered_rate w =
+  match w.shape with
+  | Cbr { rate } -> rate
+  | Poisson { mean_rate; _ } -> mean_rate
+  | On_off { peak_rate; mean_on; mean_off; _ } ->
+      peak_rate *. mean_on /. (mean_on +. mean_off)
+  | Incast { ids; burst_frames; period; _ } ->
+      float_of_int (List.length ids * burst_frames) *. frame_bits /. period

@@ -1,0 +1,42 @@
+(** Traffic generators for workloads beyond the rate-controlled sources:
+    uncontrolled cross traffic (CBR, Poisson, exponential on/off) and the
+    synchronized burst pattern of cluster-file-system incast.
+
+    Generators inject data frames directly into a switch and do not react
+    to BCN feedback — they model the background traffic a congestion
+    point must cope with. All randomness is seeded and reproducible. *)
+
+type t
+
+val cbr : id:int -> rate:float -> t
+(** Constant bit rate: evenly paced frames. *)
+
+val poisson : id:int -> mean_rate:float -> seed:int -> t
+(** Exponential inter-frame gaps with the given mean rate. *)
+
+val on_off :
+  id:int -> peak_rate:float -> mean_on:float -> mean_off:float -> seed:int -> t
+(** Exponential on/off (Markov-modulated): bursts at [peak_rate] for
+    exponentially distributed on-periods, silent for off-periods. *)
+
+val incast :
+  ids:int list -> burst_frames:int -> period:float -> ?jitter:float ->
+  ?seed:int -> unit -> t
+(** Synchronized periodic bursts: every [period] seconds each id emits
+    [burst_frames] back-to-back frames (within [jitter] seconds of the
+    epoch, default 0) — the parallel-read pattern of Lustre/Panasas-style
+    storage (paper §III.A). *)
+
+val start : t -> Engine.t -> sink:(Engine.t -> Packet.t -> unit) -> unit
+(** Begin injecting at the current simulation time. *)
+
+val stop : t -> unit
+(** Cease injection (pending frames already scheduled still fire). *)
+
+val frames_sent : t -> int
+val bits_sent : t -> float
+
+val mean_offered_rate : t -> float
+(** The configured long-run offered load in bit/s (for capacity
+    budgeting): the rate for {!cbr}/{!poisson}, the duty-cycle-scaled
+    peak for {!on_off}, burst volume over period for {!incast}. *)

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Control Float List Mat2 Numerics Ode Poly Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Control Dcecc_core Float Fluid Format Histogram List Mat2 Numerics Ode Poly Series Simnet Stats String Vec2

@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Dcecc_core Float Fluid List Mat2 Numerics Ode Phaseplane Poly Printf QCheck QCheck_alcotest Series Vec2

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dcecc_core Filename Float Fluid List Numerics Ode Phaseplane Printf Series Simnet String Sys Vec2

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Histogram Interp List Mat2 Numerics Ode Poly QCheck QCheck_alcotest Quad Roots Series Stats Vec2

@@ -1,0 +1,1 @@
+test/test_phaseplane.ml: Alcotest Array Float List Mat2 Numerics Ode Phaseplane QCheck QCheck_alcotest Series Vec2

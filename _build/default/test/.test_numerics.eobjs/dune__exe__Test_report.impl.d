@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Numerics Report Series String

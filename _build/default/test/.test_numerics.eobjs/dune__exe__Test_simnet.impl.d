@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Float Fluid List Numerics Printf QCheck QCheck_alcotest Series Simnet Stats

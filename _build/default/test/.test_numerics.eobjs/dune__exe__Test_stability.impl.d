@@ -1,0 +1,1 @@
+test/test_stability.ml: Alcotest Control Dcecc_core Float Fluid List Numerics Phaseplane Printf QCheck QCheck_alcotest String

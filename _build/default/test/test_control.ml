@@ -1,0 +1,276 @@
+(* Tests for the classical-control baseline: Routh–Hurwitz, transfer
+   functions, Nyquist, second-order closed forms, and the ref-[4]-style
+   linear analysis of the BCN loop. *)
+
+open Numerics
+
+let checkf eps = Alcotest.(check (float eps))
+
+(* ---------------- Routh ---------------- *)
+
+let test_routh_stable_cubic () =
+  let p = Poly.of_roots [ -1.; -2.; -3. ] in
+  Alcotest.(check bool) "stable" true (Control.Routh.is_stable p)
+
+let test_routh_unstable_counts () =
+  let p = Poly.of_roots [ 1.; -2.; 3. ] in
+  (match Control.Routh.analyze p with
+  | Control.Routh.Unstable k -> Alcotest.(check int) "two RHP" 2 k
+  | _ -> Alcotest.fail "expected unstable");
+  let p = Poly.of_roots [ 1.; -2.; -3. ] in
+  match Control.Routh.analyze p with
+  | Control.Routh.Unstable k -> Alcotest.(check int) "one RHP" 1 k
+  | _ -> Alcotest.fail "expected unstable"
+
+let test_routh_marginal () =
+  match Control.Routh.analyze [| 1.; 0.; 1. |] with
+  | Control.Routh.Marginal -> ()
+  | Control.Routh.Stable -> Alcotest.fail "marginal reported stable"
+  | Control.Routh.Unstable _ -> Alcotest.fail "marginal reported unstable"
+
+let test_routh_first_order () =
+  Alcotest.(check bool) "s+2 stable" true (Control.Routh.is_stable [| 2.; 1. |]);
+  Alcotest.(check bool) "s-2 unstable" false (Control.Routh.is_stable [| -2.; 1. |])
+
+let test_routh_low_order_closed_forms () =
+  Alcotest.(check bool) "2nd order" true (Control.Routh.second_order 3. 4.);
+  Alcotest.(check bool) "2nd order neg" false (Control.Routh.second_order (-1.) 4.);
+  Alcotest.(check bool) "3rd order" true (Control.Routh.third_order 4. 3. 2.);
+  Alcotest.(check bool) "3rd order unstable" false
+    (Control.Routh.third_order 10. 1. 1.)
+
+let prop_routh_matches_roots =
+  QCheck.Test.make ~name:"Routh verdict matches actual roots (degree 4)"
+    ~count:300
+    QCheck.(
+      quad (float_range (-4.) 4.) (float_range (-4.) 4.) (float_range (-4.) 4.)
+        (float_range (-4.) 4.))
+    (fun (r1, r2, r3, r4) ->
+      let rs = [ r1; r2; r3; r4 ] in
+      QCheck.assume (List.for_all (fun r -> Float.abs r > 0.05) rs);
+      let p = Poly.of_roots rs in
+      let expected_stable = List.for_all (fun r -> r < 0.) rs in
+      Control.Routh.is_stable p = expected_stable)
+
+(* ---------------- Tf ---------------- *)
+
+let test_tf_response () =
+  let h = Control.Tf.make [| 1. |] [| 1.; 1. |] in
+  checkf 1e-12 "magnitude" (1. /. sqrt 2.) (Control.Tf.magnitude h 1.);
+  checkf 1e-12 "phase" (-.Float.pi /. 4.) (Control.Tf.phase h 1.)
+
+let test_tf_algebra () =
+  let a = Control.Tf.make [| 1. |] [| 1.; 1. |] in
+  let b = Control.Tf.make [| 1.; 1. |] [| 1. |] in
+  let prod = Control.Tf.mul a b in
+  checkf 1e-12 "mul response" 1. (Control.Tf.magnitude prod 3.7);
+  let s = Control.Tf.add a a in
+  checkf 1e-12 "add response" (2. /. sqrt 2.) (Control.Tf.magnitude s 1.)
+
+let test_tf_feedback () =
+  let l = Control.Tf.make [| 10. |] [| 0.; 1. |] in
+  let cl = Control.Tf.feedback l in
+  checkf 1e-9 "dc gain" 1. (Control.Tf.magnitude cl 1e-6);
+  match Control.Tf.poles cl with
+  | [ Poly.Real p ] -> checkf 1e-9 "pole" (-10.) p
+  | _ -> Alcotest.fail "expected single real pole"
+
+let test_tf_stability () =
+  Alcotest.(check bool) "1/(s+1) stable" true
+    (Control.Tf.is_stable (Control.Tf.make [| 1. |] [| 1.; 1. |]));
+  Alcotest.(check bool) "1/(s-1) unstable" false
+    (Control.Tf.is_stable (Control.Tf.make [| 1. |] [| -1.; 1. |]))
+
+let test_tf_closed_loop_char_poly () =
+  let n = 7. and k = 0.3 in
+  let l = Control.Tf.make [| n; n *. k |] [| 0.; 0.; 1. |] in
+  let cp = Control.Tf.char_poly_closed_loop l in
+  checkf 1e-12 "c0" n cp.(0);
+  checkf 1e-12 "c1" (n *. k) cp.(1);
+  checkf 1e-12 "c2" 1. cp.(2)
+
+(* ---------------- Nyquist ---------------- *)
+
+let test_nyquist_stable_first_order () =
+  let l = Control.Tf.make [| 1. |] [| 1.; 1. |] in
+  Alcotest.(check int) "no encirclement" 0 (Control.Nyquist.encirclements l);
+  Alcotest.(check bool) "closed-loop stable" true
+    (Control.Nyquist.closed_loop_stable l)
+
+let test_nyquist_rhp_pole_compensated () =
+  let l = Control.Tf.make [| 2. |] [| -1.; 1. |] in
+  Alcotest.(check int) "one CCW encirclement" (-1)
+    (Control.Nyquist.encirclements l);
+  Alcotest.(check bool) "closed-loop stable" true
+    (Control.Nyquist.closed_loop_stable l)
+
+let test_nyquist_unstable_closed_loop () =
+  let l = Control.Tf.make [| 0.5 |] [| -1.; 1. |] in
+  Alcotest.(check bool) "closed-loop unstable" false
+    (Control.Nyquist.closed_loop_stable l)
+
+let test_nyquist_double_integrator_loop () =
+  let l = Control.Tf.make [| 4.; 4. *. 0.5 |] [| 0.; 0.; 1. |] in
+  Alcotest.(check bool) "BCN-shaped loop stable" true
+    (Control.Nyquist.closed_loop_stable l)
+
+let test_nyquist_margins () =
+  (* L = 4/((s+1)^3): phase crossover at w = sqrt 3 where |L| = 1/2,
+     so the gain margin is 2 *)
+  let den = Poly.of_roots [ -1.; -1.; -1. ] in
+  let l = Control.Tf.make [| 4. |] den in
+  (match Control.Nyquist.gain_margin l with
+  | Some gm -> checkf 1e-2 "gain margin" 2. gm
+  | None -> Alcotest.fail "no gain margin found");
+  match Control.Nyquist.phase_margin l with
+  | Some pm -> Alcotest.(check bool) "positive phase margin" true (pm > 0.)
+  | None -> Alcotest.fail "no phase margin found"
+
+(* ---------------- Lti2 ---------------- *)
+
+let test_lti2_classification () =
+  let open Control.Lti2 in
+  Alcotest.(check bool) "underdamped" true
+    (classify (make ~m:1. ~n:25.) = Underdamped);
+  Alcotest.(check bool) "overdamped" true
+    (classify (make ~m:11. ~n:25.) = Overdamped);
+  Alcotest.(check bool) "critical" true
+    (classify (make ~m:10. ~n:25.) = Critically_damped)
+
+let test_lti2_constants () =
+  let s = Control.Lti2.make ~m:2. ~n:25. in
+  checkf 1e-12 "wn" 5. (Control.Lti2.natural_frequency s);
+  checkf 1e-12 "zeta" 0.2 (Control.Lti2.damping_ratio s);
+  (match Control.Lti2.damped_frequency s with
+  | Some wd -> checkf 1e-12 "wd" (5. *. sqrt (1. -. 0.04)) wd
+  | None -> Alcotest.fail "underdamped must have wd");
+  match Control.Lti2.step_overshoot s with
+  | Some mp ->
+      checkf 1e-12 "overshoot" (exp (-.Float.pi *. 0.2 /. sqrt 0.96)) mp
+  | None -> Alcotest.fail "underdamped must overshoot"
+
+let test_lti2_solution_vs_ode () =
+  List.iter
+    (fun (m, n) ->
+      let s = Control.Lti2.make ~m ~n in
+      let f _t y = [| y.(1); (-.n *. y.(0)) -. (m *. y.(1)) |] in
+      let sol =
+        Ode.solve_fixed ~method_:Ode.Rk4 ~h:1e-4 ~t_end:2. f ~t0:0.
+          ~y0:[| 1.; -0.5 |]
+      in
+      let yn = sol.Ode.ys.(Array.length sol.Ode.ys - 1) in
+      let x, v = Control.Lti2.solution s ~x0:1. ~v0:(-0.5) 2. in
+      checkf 1e-6 (Printf.sprintf "x (m=%g)" m) yn.(0) x;
+      checkf 1e-6 (Printf.sprintf "v (m=%g)" m) yn.(1) v)
+    [ (1., 25.); (11., 25.); (10., 25.) ]
+
+let test_lti2_companion_consistency () =
+  let s = Control.Lti2.make ~m:3. ~n:7. in
+  let j = Control.Lti2.companion s in
+  let c0, c1 = Mat2.char_poly j in
+  checkf 1e-12 "det = n" 7. c0;
+  checkf 1e-12 "-trace = m" 3. c1
+
+(* ---------------- Linear_baseline ---------------- *)
+
+let bcn_loop =
+  { Control.Linear_baseline.a = 1.6e9; b = 1. /. 128.; k = 2e-8; c = 1e10 }
+
+let test_baseline_char_polys () =
+  let p_inc =
+    Control.Linear_baseline.char_poly bcn_loop Control.Linear_baseline.Increase
+  in
+  checkf 1. "n1 = a" 1.6e9 p_inc.(0);
+  checkf 1e-6 "m1 = ka" (2e-8 *. 1.6e9) p_inc.(1);
+  let p_dec =
+    Control.Linear_baseline.char_poly bcn_loop Control.Linear_baseline.Decrease
+  in
+  checkf 1. "n2 = bC" (1e10 /. 128.) p_dec.(0)
+
+let test_baseline_proposition1 () =
+  let r = Control.Linear_baseline.analyze bcn_loop in
+  Alcotest.(check bool) "claims stable" true
+    r.Control.Linear_baseline.claims_stable;
+  Alcotest.(check bool) "nyquist agrees (increase)" true
+    r.Control.Linear_baseline.increase_nyquist;
+  Alcotest.(check bool) "nyquist agrees (decrease)" true
+    r.Control.Linear_baseline.decrease_nyquist
+
+let test_baseline_rejects_nonpositive () =
+  Alcotest.(check bool) "rejects zero gain" true
+    (try
+       ignore
+         (Control.Linear_baseline.analyze
+            { bcn_loop with Control.Linear_baseline.a = 0. });
+       false
+     with Invalid_argument _ -> true)
+
+let prop_baseline_always_stable =
+  QCheck.Test.make
+    ~name:"Proposition 1: Routh says stable for all positive parameters"
+    ~count:200
+    QCheck.(
+      quad (float_range 1e3 1e12) (float_range 1e-4 1.)
+        (float_range 1e-10 1e-4) (float_range 1e8 1e11))
+    (fun (a, b, k, c) ->
+      let lp = { Control.Linear_baseline.a; b; k; c } in
+      let stable sub =
+        match Control.Linear_baseline.routh_verdict lp sub with
+        | Control.Routh.Stable -> true
+        | Control.Routh.Unstable _ | Control.Routh.Marginal -> false
+      in
+      stable Control.Linear_baseline.Increase
+      && stable Control.Linear_baseline.Decrease)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "routh",
+        [
+          Alcotest.test_case "stable cubic" `Quick test_routh_stable_cubic;
+          Alcotest.test_case "unstable counts" `Quick test_routh_unstable_counts;
+          Alcotest.test_case "marginal" `Quick test_routh_marginal;
+          Alcotest.test_case "first order" `Quick test_routh_first_order;
+          Alcotest.test_case "closed forms" `Quick
+            test_routh_low_order_closed_forms;
+        ] );
+      qsuite "routh-props" [ prop_routh_matches_roots ];
+      ( "tf",
+        [
+          Alcotest.test_case "response" `Quick test_tf_response;
+          Alcotest.test_case "algebra" `Quick test_tf_algebra;
+          Alcotest.test_case "feedback" `Quick test_tf_feedback;
+          Alcotest.test_case "stability" `Quick test_tf_stability;
+          Alcotest.test_case "closed-loop char poly" `Quick
+            test_tf_closed_loop_char_poly;
+        ] );
+      ( "nyquist",
+        [
+          Alcotest.test_case "stable first order" `Quick
+            test_nyquist_stable_first_order;
+          Alcotest.test_case "RHP pole compensated" `Quick
+            test_nyquist_rhp_pole_compensated;
+          Alcotest.test_case "unstable closed loop" `Quick
+            test_nyquist_unstable_closed_loop;
+          Alcotest.test_case "double-integrator loop" `Quick
+            test_nyquist_double_integrator_loop;
+          Alcotest.test_case "margins" `Quick test_nyquist_margins;
+        ] );
+      ( "lti2",
+        [
+          Alcotest.test_case "classification" `Quick test_lti2_classification;
+          Alcotest.test_case "constants" `Quick test_lti2_constants;
+          Alcotest.test_case "solution vs ODE" `Quick test_lti2_solution_vs_ode;
+          Alcotest.test_case "companion" `Quick test_lti2_companion_consistency;
+        ] );
+      ( "linear-baseline",
+        [
+          Alcotest.test_case "char polys" `Quick test_baseline_char_polys;
+          Alcotest.test_case "Proposition 1" `Quick test_baseline_proposition1;
+          Alcotest.test_case "validation" `Quick
+            test_baseline_rejects_nonpositive;
+        ] );
+      qsuite "baseline-props" [ prop_baseline_always_stable ];
+    ]

@@ -1,0 +1,687 @@
+(* Tests for the BCN fluid model: parameter algebra, the paper's closed
+   forms (eqns (12)–(34)) cross-checked against direct numerical
+   integration, the case taxonomy, the flow map and Theorem 1. *)
+
+open Numerics
+
+let checkf eps = Alcotest.(check (float eps))
+let default = Fluid.Params.default
+
+(* relative check for the large magnitudes of the 10G parameter set *)
+let check_rel name expected got =
+  let scale = Float.max 1. (Float.abs expected) in
+  if Float.abs (expected -. got) > 1e-6 *. scale then
+    Alcotest.failf "%s: expected %g, got %g" name expected got
+
+(* ---------------- Params ---------------- *)
+
+let test_params_derived () =
+  check_rel "a = RuGiN" 1.6e9 (Fluid.Params.a default);
+  check_rel "b = Gd" (1. /. 128.) (Fluid.Params.b default);
+  check_rel "k = w/(pm C)" 2e-8 (Fluid.Params.k default);
+  check_rel "fair share" 2e8 (Fluid.Params.equilibrium_rate default);
+  check_rel "a threshold" 1e16 (Fluid.Params.a_threshold default);
+  check_rel "b threshold" 1e6 (Fluid.Params.b_threshold default)
+
+let test_params_validation () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "q0 >= B rejected" true
+    (expect_invalid (fun () ->
+         Fluid.Params.make ~n_flows:1 ~capacity:1e9 ~q0:2e6 ~buffer:1e6 ~gi:1.
+           ~gd:0.1 ~ru:1e5 ()));
+  Alcotest.(check bool) "pm > 1 rejected" true
+    (expect_invalid (fun () ->
+         Fluid.Params.make ~pm:1.5 ~n_flows:1 ~capacity:1e9 ~q0:1e5
+           ~buffer:1e6 ~gi:1. ~gd:0.1 ~ru:1e5 ()));
+  Alcotest.(check bool) "negative gain rejected" true
+    (expect_invalid (fun () ->
+         Fluid.Params.make ~n_flows:1 ~capacity:1e9 ~q0:1e5 ~buffer:1e6
+           ~gi:(-1.) ~gd:0.1 ~ru:1e5 ()))
+
+let test_params_updates () =
+  let p = Fluid.Params.with_buffer default 10e6 in
+  check_rel "buffer" 10e6 p.Fluid.Params.buffer;
+  check_rel "qsc keeps fraction" 9e6 p.Fluid.Params.qsc;
+  let p = Fluid.Params.with_gains ~gi:2. default in
+  check_rel "a halves" 8e8 (Fluid.Params.a p);
+  let p = Fluid.Params.with_flows default 100 in
+  check_rel "a doubles" 3.2e9 (Fluid.Params.a p)
+
+(* ---------------- Model ---------------- *)
+
+let test_sigma_signs () =
+  (* empty queue, zero rate: sigma = q0 > 0 (rate increase) *)
+  let s = Fluid.Model.sigma default ~x:(-.default.Fluid.Params.q0) ~y:0. in
+  check_rel "sigma at start" default.Fluid.Params.q0 s;
+  (* above reference with rising queue: decrease *)
+  let s = Fluid.Model.sigma default ~x:1e6 ~y:1e9 in
+  Alcotest.(check bool) "negative" true (s < 0.)
+
+let test_coordinate_roundtrip () =
+  let q = 3.3e6 and r = 1.7e8 in
+  let v = Fluid.Model.to_xy default ~q ~r in
+  let q', r' = Fluid.Model.of_xy default v in
+  check_rel "q roundtrip" q q';
+  check_rel "r roundtrip" r r'
+
+let test_warmup_duration () =
+  (* T0 = (C - N mu)/(a q0); paper's value for mu = 0 *)
+  check_rel "T0" 2.5e-6 (Fluid.Model.warmup_duration default)
+
+let test_physical_simulation_clamps () =
+  let p = Fluid.Params.with_buffer default 15e6 in
+  let ph = Fluid.Model.simulate_physical ~h:1e-6 ~t_end:0.01 p in
+  Alcotest.(check bool) "queue never negative" true
+    (Array.for_all (fun q -> q >= 0.) ph.Fluid.Model.q.Series.vs);
+  Alcotest.(check bool) "queue never above B" true
+    (Array.for_all (fun q -> q <= 15e6 +. 1.) ph.Fluid.Model.q.Series.vs);
+  Alcotest.(check bool) "rate never negative" true
+    (Array.for_all (fun r -> r >= 0.) ph.Fluid.Model.r.Series.vs);
+  check_rel "no drops with big buffer" 0. ph.Fluid.Model.dropped_bits
+
+let test_physical_warmup_matches_t0 () =
+  let ph = Fluid.Model.simulate_physical ~h:1e-8 ~t_end:1e-4 default in
+  let t0 = Fluid.Model.warmup_duration default in
+  checkf (0.2 *. t0) "warmup end" t0 ph.Fluid.Model.warmup_end
+
+let test_physical_overflow_accounting () =
+  (* the BDP buffer overflows at the draft gains *)
+  let ph = Fluid.Model.simulate_physical ~h:1e-6 ~t_end:0.01 default in
+  Alcotest.(check bool) "drops recorded" true (ph.Fluid.Model.dropped_bits > 0.)
+
+(* ---------------- Linearized ---------------- *)
+
+let test_linearized_eigen_match_poly () =
+  List.iter
+    (fun region ->
+      let j = Fluid.Linearized.jacobian default region in
+      let p = Fluid.Linearized.char_poly default region in
+      match Mat2.eigenvalues j with
+      | Mat2.Complex_pair { re; im } ->
+          let vr, vi = Poly.eval_complex p (re, im) in
+          let scale = Float.abs p.(0) in
+          Alcotest.(check bool) "eigenvalue on char poly" true
+            (sqrt ((vr *. vr) +. (vi *. vi)) < 1e-6 *. scale)
+      | Mat2.Real_pair (l1, l2) ->
+          let scale = Float.abs p.(0) in
+          Alcotest.(check bool) "l1 root" true
+            (Float.abs (Poly.eval p l1) < 1e-6 *. scale);
+          Alcotest.(check bool) "l2 root" true
+            (Float.abs (Poly.eval p l2) < 1e-6 *. scale))
+    [ Fluid.Linearized.Increase; Fluid.Linearized.Decrease ]
+
+let test_linearized_draft_spectra () =
+  (* increase: l = -16 +- 40000 i (approximately) *)
+  match Fluid.Linearized.eigenvalues default Fluid.Linearized.Increase with
+  | Mat2.Complex_pair { re; im } ->
+      checkf 0.1 "re" (-16.) re;
+      checkf 10. "im" 40000. im
+  | Mat2.Real_pair _ -> Alcotest.fail "expected complex pair"
+
+let test_linearized_damping_relation () =
+  (* the paper's identity m = k n in both regions *)
+  List.iter
+    (fun region ->
+      let m = Fluid.Linearized.damping default region in
+      let n = Fluid.Linearized.stiffness default region in
+      check_rel "m = k n" (Fluid.Params.k default *. n) m)
+    [ Fluid.Linearized.Increase; Fluid.Linearized.Decrease ]
+
+(* ---------------- Spiral closed forms vs integration ---------------- *)
+
+let spiral_cases = [ (2., 25.); (0.5, 100.); (32., 1.6e9 *. 4e-16 *. 1e9) ]
+
+let test_spiral_solution_vs_ode () =
+  List.iter
+    (fun (m, n) ->
+      let c = Fluid.Spiral.coeffs ~m ~n in
+      let f _t y = [| y.(1); (-.n *. y.(0)) -. (m *. y.(1)) |] in
+      let x0 = 1.3 and y0 = -0.7 in
+      let t_end = Fluid.Spiral.period c in
+      let sol =
+        Ode.solve_adaptive ~rtol:1e-11 ~atol:1e-14 ~t_end f ~t0:0.
+          ~y0:[| x0; y0 |]
+      in
+      let yn = sol.Ode.ys.(Array.length sol.Ode.ys - 1) in
+      let x, y = Fluid.Spiral.solution c ~x0 ~y0 t_end in
+      check_rel (Printf.sprintf "x (m=%g,n=%g)" m n) yn.(0) x;
+      check_rel "y" yn.(1) y)
+    (List.filter (fun (m, n) -> (m *. m) -. (4. *. n) < 0.) spiral_cases)
+
+let test_spiral_initial_conditions () =
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  List.iter
+    (fun (x0, y0) ->
+      let x, y = Fluid.Spiral.solution c ~x0 ~y0 0. in
+      checkf 1e-9 "x(0)" x0 x;
+      checkf 1e-9 "y(0)" y0 y)
+    [ (1., 0.); (0., 1.); (-2., 3.); (0.5, -0.5) ]
+
+let test_spiral_extremum_is_extremum () =
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  let x0 = -1. and y0 = 2. in
+  let t = Fluid.Spiral.t_star c ~x0 ~y0 in
+  let _, y_at = Fluid.Spiral.solution c ~x0 ~y0 t in
+  checkf 1e-9 "y = 0 at extremum" 0. y_at;
+  (* it must be a local max since y0 > 0 *)
+  let x_star = Fluid.Spiral.extremum c ~x0 ~y0 in
+  let x_before, _ = Fluid.Spiral.solution c ~x0 ~y0 (t *. 0.95) in
+  let x_after, _ = Fluid.Spiral.solution c ~x0 ~y0 (t *. 1.05) in
+  Alcotest.(check bool) "local max" true (x_star >= x_before && x_star >= x_after)
+
+let test_spiral_extremum_matches_paper_formula () =
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  List.iter
+    (fun (x0, y0) ->
+      let exact = Fluid.Spiral.extremum c ~x0 ~y0 in
+      let paper = Fluid.Spiral.extremum_paper c ~x0 ~y0 in
+      check_rel "paper (19)/(20) agrees" exact paper)
+    [ (-1., 2.); (1., -3.); (-2., -1.); (0.5, 0.7) ]
+
+let test_spiral_polar_consistency () =
+  (* r(t) from the polar form equals sqrt((beta x)^2 + (alpha x - y)^2) *)
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  let x0 = 1. and y0 = 1. in
+  List.iter
+    (fun t ->
+      let x, y = Fluid.Spiral.solution c ~x0 ~y0 t in
+      let r, _ = Fluid.Spiral.polar c ~x0 ~y0 t in
+      let r_direct =
+        sqrt
+          (((c.Fluid.Spiral.beta *. x) ** 2.)
+           +. (((c.Fluid.Spiral.alpha *. x) -. y) ** 2.))
+      in
+      check_rel "polar radius" r_direct r)
+    [ 0.; 0.3; 1.1; 2.7 ]
+
+let test_spiral_contraction () =
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  let ratio = Fluid.Spiral.contraction_per_turn c in
+  Alcotest.(check bool) "contracts" true (ratio < 1.);
+  (* after one full period the state shrinks by exactly that ratio *)
+  let x0 = 1. and y0 = 0.5 in
+  let t = Fluid.Spiral.period c in
+  let r0, _ = Fluid.Spiral.polar c ~x0 ~y0 0. in
+  let r1, _ = Fluid.Spiral.polar c ~x0 ~y0 t in
+  check_rel "radius ratio" ratio (r1 /. r0)
+
+let test_spiral_crossing_time () =
+  let c = Fluid.Spiral.coeffs ~m:2. ~n:25. in
+  let k = 0.1 in
+  match
+    Fluid.Spiral.crossing_time c ~k ~dir:Fluid.Crossing.Any ~x0:(-1.) ~y0:0. ()
+  with
+  | Some t ->
+      let x, y = Fluid.Spiral.solution c ~x0:(-1.) ~y0:0. t in
+      checkf 1e-8 "on switching line" 0. (x +. (k *. y))
+  | None -> Alcotest.fail "no crossing found"
+
+let test_spiral_rejects_overdamped () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fluid.Spiral.coeffs ~m:11. ~n:25.);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Node closed forms vs integration ---------------- *)
+
+let test_node_solution_vs_ode () =
+  let m = 11. and n = 25. in
+  let c = Fluid.Node.coeffs ~m ~n in
+  let f _t y = [| y.(1); (-.n *. y.(0)) -. (m *. y.(1)) |] in
+  let x0 = -1.5 and y0 = 4. in
+  let t_end = 1.2 in
+  let sol =
+    Ode.solve_adaptive ~rtol:1e-11 ~atol:1e-14 ~t_end f ~t0:0. ~y0:[| x0; y0 |]
+  in
+  let yn = sol.Ode.ys.(Array.length sol.Ode.ys - 1) in
+  let x, y = Fluid.Node.solution c ~x0 ~y0 t_end in
+  check_rel "x" yn.(0) x;
+  check_rel "y" yn.(1) y
+
+let test_node_eigenline_invariance () =
+  let c = Fluid.Node.coeffs ~m:11. ~n:25. in
+  let l2 = Fluid.Node.slow_slope c in
+  (* a start on the slow eigenline stays on it (eqn (25)) *)
+  let x0 = 1. in
+  let y0 = l2 *. x0 in
+  Alcotest.(check bool) "on eigenline" true (Fluid.Node.on_eigenline c ~x0 ~y0);
+  List.iter
+    (fun t ->
+      let x, y = Fluid.Node.solution c ~x0 ~y0 t in
+      checkf 1e-9 "stays on line" 0. (y -. (l2 *. x)))
+    [ 0.1; 0.5; 2. ]
+
+let test_node_invariant_constant () =
+  (* the first integral behind eqn (26) is constant along trajectories *)
+  let c = Fluid.Node.coeffs ~m:11. ~n:25. in
+  let x0 = -1. and y0 = 1. in
+  let i0 = Fluid.Node.invariant c ~x:x0 ~y:y0 in
+  List.iter
+    (fun t ->
+      let x, y = Fluid.Node.solution c ~x0 ~y0 t in
+      checkf 1e-6 "invariant" i0 (Fluid.Node.invariant c ~x ~y))
+    [ 0.05; 0.2; 0.4 ]
+
+let test_node_extremum () =
+  let c = Fluid.Node.coeffs ~m:11. ~n:25. in
+  (* from (1, 2) the slow mode pulls y negative: one interior maximum *)
+  let x0 = 1. and y0 = 2. in
+  match (Fluid.Node.extremum_time c ~x0 ~y0, Fluid.Node.extremum c ~x0 ~y0) with
+  | Some t, Some x_star ->
+      let _, y_at = Fluid.Node.solution c ~x0 ~y0 t in
+      checkf 1e-9 "y = 0" 0. y_at;
+      (* eqn (28) in log space must agree *)
+      let paper = Fluid.Node.extremum_paper c ~x0 ~y0 in
+      check_rel "paper (28)" x_star paper
+  | _ -> Alcotest.fail "expected an extremum"
+
+let test_node_monotone_when_no_extremum () =
+  (* starting below the slow eigenline with y < 0 and x < 0: x decreases
+     monotonically toward 0; no positive-time zero of y *)
+  let c = Fluid.Node.coeffs ~m:11. ~n:25. in
+  match Fluid.Node.extremum_time c ~x0:1. ~y0:(Fluid.Node.slow_slope c) with
+  | None -> ()
+  | Some t -> Alcotest.failf "unexpected extremum at t = %g" t
+
+(* ---------------- Critical damping ---------------- *)
+
+let test_critical_solution_vs_ode () =
+  let m = 10. and n = 25. in
+  let c = Fluid.Critical.coeffs ~m ~n in
+  let f _t y = [| y.(1); (-.n *. y.(0)) -. (m *. y.(1)) |] in
+  let x0 = 2. and y0 = -3. in
+  let t_end = 1.5 in
+  let sol =
+    Ode.solve_adaptive ~rtol:1e-11 ~atol:1e-14 ~t_end f ~t0:0. ~y0:[| x0; y0 |]
+  in
+  let yn = sol.Ode.ys.(Array.length sol.Ode.ys - 1) in
+  let x, y = Fluid.Critical.solution c ~x0 ~y0 t_end in
+  check_rel "x" yn.(0) x;
+  check_rel "y" yn.(1) y
+
+let test_critical_extremum_and_paper_typo () =
+  let c = Fluid.Critical.coeffs ~m:10. ~n:25. in
+  let x0 = -1. and y0 = 8. in
+  match
+    (Fluid.Critical.extremum_time c ~x0 ~y0, Fluid.Critical.extremum c ~x0 ~y0)
+  with
+  | Some t, Some x_star ->
+      let _, y_at = Fluid.Critical.solution c ~x0 ~y0 t in
+      checkf 1e-9 "y = 0 at extremum" 0. y_at;
+      let x_direct, _ = Fluid.Critical.solution c ~x0 ~y0 t in
+      check_rel "extremum value" x_direct x_star;
+      (* eqn (34) as printed differs by the typo'd 1/l factor in the
+         exponent — document that the literal formula does NOT match *)
+      (match Fluid.Critical.extremum_paper c ~x0 ~y0 with
+      | Some paper ->
+          Alcotest.(check bool) "paper (34) typo confirmed" true
+            (Float.abs (paper -. x_star) > 1e-6 *. Float.abs x_star)
+      | None -> Alcotest.fail "paper formula should produce a value")
+  | _ -> Alcotest.fail "expected an extremum"
+
+let test_critical_eigenline () =
+  let c = Fluid.Critical.coeffs ~m:10. ~n:25. in
+  Alcotest.(check bool) "on line" true
+    (Fluid.Critical.on_eigenline c ~x0:2. ~y0:(-10.));
+  List.iter
+    (fun t ->
+      let x, y = Fluid.Critical.solution c ~x0:2. ~y0:(-10.) t in
+      checkf 1e-9 "line invariant" 0. (y +. (5. *. x)))
+    [ 0.2; 1. ]
+
+(* ---------------- Cases ---------------- *)
+
+let test_case_classification () =
+  Alcotest.(check bool) "default is Case 1" true
+    (Fluid.Cases.classify default = Fluid.Cases.Case1);
+  Alcotest.(check bool) "case2 params" true
+    (Fluid.Cases.classify Dcecc_core.Figures.case2_params = Fluid.Cases.Case2);
+  Alcotest.(check bool) "case3 params" true
+    (Fluid.Cases.classify Dcecc_core.Figures.case3_params = Fluid.Cases.Case3);
+  Alcotest.(check bool) "case4 params" true
+    (Fluid.Cases.classify Dcecc_core.Figures.case4_params = Fluid.Cases.Case4)
+
+let test_case_thresholds_are_boundaries () =
+  (* just below / above the a-threshold flips the increase-region shape *)
+  let p = default in
+  let k = Fluid.Params.k p in
+  let a_th = 4. /. (k *. k) in
+  (* choose Gi to land a slightly below/above the threshold *)
+  let gi_for a = a /. (p.Fluid.Params.ru *. float_of_int p.Fluid.Params.n_flows) in
+  let below = Fluid.Params.with_gains ~gi:(gi_for (0.99 *. a_th)) p in
+  let above = Fluid.Params.with_gains ~gi:(gi_for (1.01 *. a_th)) p in
+  Alcotest.(check bool) "below: spiral" true
+    (Fluid.Cases.shape_of below Fluid.Linearized.Increase = Fluid.Cases.Spiral_shape);
+  Alcotest.(check bool) "above: node" true
+    (Fluid.Cases.shape_of above Fluid.Linearized.Increase = Fluid.Cases.Node_shape)
+
+let test_eigen_slope_bound () =
+  (* paper's claim below (35): node eigenvalues lie below -1/k *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "increase" true
+        (Fluid.Cases.eigen_slope_bound p Fluid.Linearized.Increase);
+      Alcotest.(check bool) "decrease" true
+        (Fluid.Cases.eigen_slope_bound p Fluid.Linearized.Decrease))
+    [
+      default;
+      Dcecc_core.Figures.case2_params;
+      Dcecc_core.Figures.case3_params;
+      Dcecc_core.Figures.case4_params;
+    ]
+
+let test_case5_erratum () =
+  (* paper Case 5 claims lambda_{1,2} = -1/k at the boundary; actually
+     char(-1/k) = 1/k^2 (never zero) and the repeated eigenvalue is -2/k *)
+  let base = Fluid.Params.with_sampling ~w:8000. default in
+  let gi_b =
+    Fluid.Params.a_threshold base
+    /. (base.Fluid.Params.ru *. float_of_int base.Fluid.Params.n_flows)
+  in
+  let p5 = Fluid.Params.with_gains ~gi:gi_b base in
+  Alcotest.(check bool) "classified Case 5" true
+    (Fluid.Cases.classify p5 = Fluid.Cases.Case5);
+  let k = Fluid.Params.k p5 in
+  let cp = Fluid.Linearized.char_poly p5 Fluid.Linearized.Increase in
+  check_rel "char(-1/k) = 1/k^2" (1. /. (k *. k)) (Poly.eval cp (-1. /. k));
+  Alcotest.(check bool) "char(-2/k) ~ 0" true
+    (Float.abs (Poly.eval cp (-2. /. k)) < 1e-9 /. (k *. k))
+
+(* ---------------- Flowmap ---------------- *)
+
+let test_flowmap_segments_alternate_and_join () =
+  let segs = Fluid.Flowmap.trace default (Fluid.Model.start_point default) in
+  Alcotest.(check bool) "several segments" true (List.length segs >= 3);
+  let rec check_chain = function
+    | s1 :: (s2 :: _ as rest) ->
+        Alcotest.(check bool) "regions alternate" true
+          (s1.Fluid.Flowmap.region <> s2.Fluid.Flowmap.region);
+        (match s1.Fluid.Flowmap.p_end with
+        | Some p_end ->
+            Alcotest.(check bool) "segments join" true
+              (Vec2.dist p_end s2.Fluid.Flowmap.p_start
+               <= 1e-6 *. (1. +. Vec2.norm p_end));
+            (* crossing points lie on the switching line *)
+            let g =
+              p_end.Vec2.x +. (Fluid.Params.k default *. p_end.Vec2.y)
+            in
+            Alcotest.(check bool) "on switching line" true
+              (Float.abs g <= 1e-3 *. (1. +. Vec2.norm p_end))
+        | None -> Alcotest.fail "chained segment must have an end");
+        check_chain rest
+    | [ _ ] | [] -> ()
+  in
+  check_chain segs
+
+let test_flowmap_matches_paper_numbers () =
+  (* max1 evaluated by the flow map is within the Theorem-1 bound and
+     close to it for the draft parameters (the proof's bound is tight) *)
+  match Fluid.Flowmap.first_overshoot default with
+  | Some mx ->
+      let bound = Fluid.Criterion.overshoot_bound default in
+      Alcotest.(check bool) "below bound" true (mx <= bound);
+      Alcotest.(check bool) "within 1% of bound" true
+        (mx >= 0.99 *. bound)
+  | None -> Alcotest.fail "Case 1 must have an overshoot"
+
+let test_flowmap_vs_piecewise_linear_integration () =
+  (* the semi-analytic flow map must agree with direct integration of the
+     piecewise-LINEAR system (9) *)
+  let p = default in
+  let sys = Fluid.Linearized.system p in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:0.002 sys (Fluid.Model.start_point p)
+  in
+  let numeric_max = Phaseplane.Trajectory.x_max tr in
+  match Fluid.Flowmap.first_overshoot p with
+  | Some analytic_max ->
+      Alcotest.(check bool) "flow map matches linear integration" true
+        (Float.abs (analytic_max -. numeric_max) <= 1e-3 *. analytic_max)
+  | None -> Alcotest.fail "expected overshoot"
+
+let test_flowmap_no_overshoot_case3 () =
+  Alcotest.(check bool) "case 3 has no overshoot above 0" true
+    (match Fluid.Flowmap.first_overshoot Dcecc_core.Figures.case3_params with
+    | None -> true
+    | Some x -> x <= 1e-3 *. Dcecc_core.Figures.case3_params.Fluid.Params.q0)
+
+(* ---------------- Paper formula transcriptions ---------------- *)
+
+let test_paper_case1_chain_matches_flowmap () =
+  (* the printed Case-1 chain (A1i, T1i, x1d0, eqns (36)-(37)) agrees with
+     the independent flow-map evaluation to float precision -- the paper's
+     chained formulas are correct as printed *)
+  let f = Fluid.Paper_formulas.case1 default in
+  (match Fluid.Flowmap.trace default (Fluid.Model.start_point default) with
+  | seg :: _ -> (
+      match (seg.Fluid.Flowmap.duration, seg.Fluid.Flowmap.p_end) with
+      | Some t1i, Some pe ->
+          check_rel "T1i" t1i f.Fluid.Paper_formulas.t1i;
+          check_rel "x1d0" pe.Vec2.x f.Fluid.Paper_formulas.x1d0;
+          check_rel "y1d0" pe.Vec2.y f.Fluid.Paper_formulas.y1d0
+      | _ -> Alcotest.fail "first segment must cross")
+  | [] -> Alcotest.fail "no segments");
+  (match Fluid.Flowmap.first_overshoot default with
+  | Some mx -> check_rel "max1 = eqn (36)" mx f.Fluid.Paper_formulas.max1
+  | None -> Alcotest.fail "expected overshoot");
+  match Fluid.Flowmap.first_undershoot default with
+  | Some mn -> check_rel "min1 = eqn (37)" mn f.Fluid.Paper_formulas.min1
+  | None -> Alcotest.fail "expected undershoot"
+
+let test_paper_case2_eqn38_matches_flowmap () =
+  let c2 = Dcecc_core.Figures.case2_params in
+  let paper = Fluid.Paper_formulas.max2 c2 in
+  match Fluid.Flowmap.first_overshoot c2 with
+  | Some mx -> check_rel "max2 = eqn (38)" mx paper
+  | None -> Alcotest.fail "expected overshoot"
+
+let test_paper_bound_chain () =
+  let f = Fluid.Paper_formulas.case1 default in
+  let up, low = Fluid.Paper_formulas.theorem1_bound_chain default in
+  Alcotest.(check bool) "max1 below proof bound" true
+    (f.Fluid.Paper_formulas.max1 <= up);
+  Alcotest.(check bool) "min1 above proof bound" true
+    (f.Fluid.Paper_formulas.min1 >= low)
+
+let test_paper_case_gating () =
+  Alcotest.(check bool) "case1 rejects case-2 params" true
+    (try
+       ignore (Fluid.Paper_formulas.case1 Dcecc_core.Figures.case2_params);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "max2 rejects case-1 params" true
+    (try
+       ignore (Fluid.Paper_formulas.max2 default);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_paper_chain_agrees_across_gains =
+  QCheck.Test.make
+    ~name:"eqns (36)/(37) match the flow map across random Case-1 gains"
+    ~count:25
+    QCheck.(pair (float_range 0.5 8.) (float_range (1. /. 512.) (1. /. 16.)))
+    (fun (gi, gd) ->
+      let p = Fluid.Params.with_gains ~gi ~gd default in
+      QCheck.assume (Fluid.Cases.classify p = Fluid.Cases.Case1);
+      let f = Fluid.Paper_formulas.case1 p in
+      match (Fluid.Flowmap.first_overshoot p, Fluid.Flowmap.first_undershoot p) with
+      | Some mx, Some mn ->
+          Float.abs (mx -. f.Fluid.Paper_formulas.max1) < 1e-5 *. mx
+          && Float.abs (mn -. f.Fluid.Paper_formulas.min1) < 1e-5 *. Float.abs mn
+      | _ -> false)
+
+(* ---------------- Criterion ---------------- *)
+
+let test_criterion_worked_example () =
+  (* the paper's 13.75 Mbit (our exact arithmetic gives 13.81) *)
+  let req = Fluid.Criterion.required_buffer default in
+  Alcotest.(check bool) "close to paper value" true
+    (Float.abs (req -. 13.75e6) < 0.15e6);
+  Alcotest.(check bool) "not satisfied at BDP" false
+    (Fluid.Criterion.satisfied default);
+  Alcotest.(check bool) "satisfied at 14 Mbit" true
+    (Fluid.Criterion.satisfied (Fluid.Params.with_buffer default 14e6))
+
+let test_criterion_boundary_solvers () =
+  let p = default in
+  (* gi_max: criterion holds just below, fails just above *)
+  let gi = Fluid.Criterion.gi_max p in
+  Alcotest.(check bool) "just below gi_max ok" true
+    (Fluid.Criterion.satisfied (Fluid.Params.with_gains ~gi:(0.999 *. gi) p));
+  Alcotest.(check bool) "just above gi_max fails" false
+    (Fluid.Criterion.satisfied (Fluid.Params.with_gains ~gi:(1.001 *. gi) p));
+  let gd = Fluid.Criterion.gd_min p in
+  Alcotest.(check bool) "just above gd_min ok" true
+    (Fluid.Criterion.satisfied (Fluid.Params.with_gains ~gd:(1.001 *. gd) p));
+  Alcotest.(check bool) "just below gd_min fails" false
+    (Fluid.Criterion.satisfied (Fluid.Params.with_gains ~gd:(0.999 *. gd) p));
+  let q0m = Fluid.Criterion.q0_max p in
+  Alcotest.(check bool) "just below q0_max ok" true
+    (Fluid.Criterion.satisfied (Fluid.Params.with_q0 p (0.999 *. q0m)))
+
+let test_criterion_n_flows_max () =
+  let p = Fluid.Params.with_buffer default 14e6 in
+  let nmax = Fluid.Criterion.n_flows_max p in
+  Alcotest.(check bool) "nmax satisfied" true
+    (nmax = 0 || Fluid.Criterion.satisfied (Fluid.Params.with_flows p nmax));
+  Alcotest.(check bool) "nmax+1 fails" false
+    (Fluid.Criterion.satisfied (Fluid.Params.with_flows p (nmax + 1)))
+
+let test_criterion_sampling_independence () =
+  (* Theorem 1 does not involve w or pm *)
+  let p1 = Fluid.Params.with_sampling ~w:50. default in
+  let p2 = Fluid.Params.with_sampling ~pm:0.5 default in
+  check_rel "w-independent" (Fluid.Criterion.required_buffer default)
+    (Fluid.Criterion.required_buffer p1);
+  check_rel "pm-independent" (Fluid.Criterion.required_buffer default)
+    (Fluid.Criterion.required_buffer p2)
+
+let prop_criterion_monotone_in_gi =
+  QCheck.Test.make ~name:"required buffer grows with Gi" ~count:100
+    QCheck.(pair (float_range 0.1 8.) (float_range 1.01 4.))
+    (fun (gi, factor) ->
+      let p1 = Fluid.Params.with_gains ~gi default in
+      let p2 = Fluid.Params.with_gains ~gi:(gi *. factor) default in
+      Fluid.Criterion.required_buffer p2 > Fluid.Criterion.required_buffer p1)
+
+let prop_criterion_scaling_sqrt_n =
+  QCheck.Test.make
+    ~name:"overshoot bound scales as sqrt(N) (paper Remarks)" ~count:50
+    QCheck.(int_range 2 100)
+    (fun n ->
+      let p1 = Fluid.Params.with_flows default n in
+      let p4 = Fluid.Params.with_flows default (4 * n) in
+      let r =
+        Fluid.Criterion.overshoot_bound p4 /. Fluid.Criterion.overshoot_bound p1
+      in
+      Float.abs (r -. 2.) < 1e-9)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "fluid"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "derived" `Quick test_params_derived;
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "updates" `Quick test_params_updates;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "sigma signs" `Quick test_sigma_signs;
+          Alcotest.test_case "coordinates" `Quick test_coordinate_roundtrip;
+          Alcotest.test_case "warmup T0" `Quick test_warmup_duration;
+          Alcotest.test_case "clamped simulation" `Quick
+            test_physical_simulation_clamps;
+          Alcotest.test_case "warmup matches T0" `Quick
+            test_physical_warmup_matches_t0;
+          Alcotest.test_case "overflow accounting" `Quick
+            test_physical_overflow_accounting;
+        ] );
+      ( "linearized",
+        [
+          Alcotest.test_case "eigen vs char poly" `Quick
+            test_linearized_eigen_match_poly;
+          Alcotest.test_case "draft spectra" `Quick test_linearized_draft_spectra;
+          Alcotest.test_case "m = k n" `Quick test_linearized_damping_relation;
+        ] );
+      ( "spiral",
+        [
+          Alcotest.test_case "solution vs ODE" `Quick test_spiral_solution_vs_ode;
+          Alcotest.test_case "initial conditions" `Quick
+            test_spiral_initial_conditions;
+          Alcotest.test_case "extremum" `Quick test_spiral_extremum_is_extremum;
+          Alcotest.test_case "paper (19)/(20)" `Quick
+            test_spiral_extremum_matches_paper_formula;
+          Alcotest.test_case "polar form" `Quick test_spiral_polar_consistency;
+          Alcotest.test_case "contraction" `Quick test_spiral_contraction;
+          Alcotest.test_case "crossing time" `Quick test_spiral_crossing_time;
+          Alcotest.test_case "rejects overdamped" `Quick
+            test_spiral_rejects_overdamped;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "solution vs ODE" `Quick test_node_solution_vs_ode;
+          Alcotest.test_case "eigenline invariance" `Quick
+            test_node_eigenline_invariance;
+          Alcotest.test_case "first integral" `Quick test_node_invariant_constant;
+          Alcotest.test_case "extremum + paper (28)" `Quick test_node_extremum;
+          Alcotest.test_case "monotone case" `Quick
+            test_node_monotone_when_no_extremum;
+        ] );
+      ( "critical",
+        [
+          Alcotest.test_case "solution vs ODE" `Quick
+            test_critical_solution_vs_ode;
+          Alcotest.test_case "extremum + (34) typo" `Quick
+            test_critical_extremum_and_paper_typo;
+          Alcotest.test_case "eigenline" `Quick test_critical_eigenline;
+        ] );
+      ( "cases",
+        [
+          Alcotest.test_case "classification" `Quick test_case_classification;
+          Alcotest.test_case "threshold boundary" `Quick
+            test_case_thresholds_are_boundaries;
+          Alcotest.test_case "eigen slope bound" `Quick test_eigen_slope_bound;
+          Alcotest.test_case "case-5 erratum" `Quick test_case5_erratum;
+        ] );
+      ( "flowmap",
+        [
+          Alcotest.test_case "segments chain" `Quick
+            test_flowmap_segments_alternate_and_join;
+          Alcotest.test_case "paper numbers" `Quick
+            test_flowmap_matches_paper_numbers;
+          Alcotest.test_case "vs piecewise-linear ODE" `Quick
+            test_flowmap_vs_piecewise_linear_integration;
+          Alcotest.test_case "case 3 no overshoot" `Quick
+            test_flowmap_no_overshoot_case3;
+        ] );
+      ( "paper-formulas",
+        [
+          Alcotest.test_case "Case-1 chain vs flow map" `Quick
+            test_paper_case1_chain_matches_flowmap;
+          Alcotest.test_case "eqn (38) vs flow map" `Quick
+            test_paper_case2_eqn38_matches_flowmap;
+          Alcotest.test_case "proof bounds" `Quick test_paper_bound_chain;
+          Alcotest.test_case "case gating" `Quick test_paper_case_gating;
+        ] );
+      qsuite "paper-formula-props" [ prop_paper_chain_agrees_across_gains ];
+      ( "criterion",
+        [
+          Alcotest.test_case "worked example" `Quick test_criterion_worked_example;
+          Alcotest.test_case "boundary solvers" `Quick
+            test_criterion_boundary_solvers;
+          Alcotest.test_case "n_flows_max" `Quick test_criterion_n_flows_max;
+          Alcotest.test_case "sampling independence" `Quick
+            test_criterion_sampling_independence;
+        ] );
+      qsuite "criterion-props"
+        [ prop_criterion_monotone_in_gi; prop_criterion_scaling_sqrt_n ];
+    ]

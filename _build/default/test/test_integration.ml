@@ -1,0 +1,252 @@
+(* Cross-module integration tests: the fluid model against the packet
+   simulator (experiment V1), the warm-up law against both, the full
+   Analysis engine end to end, and smoke coverage of every figure
+   generator. These are the slowest tests in the suite. *)
+
+open Numerics
+
+(* ---------------- V1: fluid vs packet ---------------- *)
+
+let test_fluid_vs_packet_agreement () =
+  let p = Dcecc_core.Compare.validation_params in
+  let r = Dcecc_core.Compare.fluid_vs_packet p in
+  (* shape agreement: the packet queue settles near q0 like the fluid
+     model; RMSE within 20% of q0 and both tails near the reference *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rmse/q0 = %.3f < 0.2" r.Dcecc_core.Compare.rmse_rel_q0)
+    true
+    (r.Dcecc_core.Compare.rmse_rel_q0 < 0.2);
+  Alcotest.(check bool) "no drops" true (r.Dcecc_core.Compare.packet_drops = 0);
+  Alcotest.(check bool) "packet tail near q0" true
+    (Float.abs (r.Dcecc_core.Compare.packet_mean_tail -. p.Fluid.Params.q0)
+     < 0.25 *. p.Fluid.Params.q0);
+  Alcotest.(check bool) "fluid tail near q0" true
+    (Float.abs (r.Dcecc_core.Compare.fluid_mean_tail -. p.Fluid.Params.q0)
+     < 0.1 *. p.Fluid.Params.q0);
+  Alcotest.(check bool) "high utilization" true
+    (r.Dcecc_core.Compare.utilization > 0.9)
+
+let test_warmup_law_packet_level () =
+  (* the fluid warm-up T0 = (C - N mu)/(a q0) predicts when the packet
+     system first fills the queue (same order of magnitude; the packet
+     system senses sigma only at sampling instants) *)
+  let p = Dcecc_core.Compare.validation_params in
+  let t0 = Fluid.Model.warmup_duration p in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:(10. *. t0)
+         ~sample_dt:(t0 /. 50.) p)
+      with
+      Simnet.Runner.broadcast_feedback = true;
+      sampling = Simnet.Switch.Timer (Simnet.Switch.fluid_sampling_period p);
+      initial_rate = p.Fluid.Params.mu;
+      enable_pause = false;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  (* time at which the aggregate rate first reaches 90% of capacity *)
+  let t_fill =
+    match
+      Series.crossings ~level:(0.9 *. p.Fluid.Params.capacity)
+        r.Simnet.Runner.agg_rate
+    with
+    | t :: _ -> t
+    | [] -> infinity
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ramp-up %.4g within 4x of T0 %.4g" t_fill t0)
+    true
+    (t_fill < 4. *. t0)
+
+let test_overflow_prediction_consistency () =
+  (* the three layers agree that the draft parameters overflow the BDP
+     buffer: Theorem 1, the clamped fluid simulation, the packet system *)
+  let p = Fluid.Params.default in
+  Alcotest.(check bool) "Theorem 1 fails" false (Fluid.Criterion.satisfied p);
+  let ph = Fluid.Model.simulate_physical ~h:1e-6 ~t_end:0.01 p in
+  Alcotest.(check bool) "fluid drops" true (ph.Fluid.Model.dropped_bits > 0.);
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.01 p) with
+      Simnet.Runner.mode = Simnet.Source.Literal;
+      enable_pause = false;
+      initial_rate = Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check bool) "packet drops" true (r.Simnet.Runner.drops > 0)
+
+let test_sized_buffer_consistency () =
+  (* and that the Theorem-1 buffer removes the loss in all three layers *)
+  let p =
+    Fluid.Params.with_buffer Fluid.Params.default
+      (1.1 *. Fluid.Criterion.required_buffer Fluid.Params.default)
+  in
+  Alcotest.(check bool) "Theorem 1 holds" true (Fluid.Criterion.satisfied p);
+  let ph = Fluid.Model.simulate_physical ~h:1e-6 ~t_end:0.01 p in
+  Alcotest.(check (float 0.)) "no fluid drops" 0. ph.Fluid.Model.dropped_bits;
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.01 p) with
+      Simnet.Runner.mode = Simnet.Source.Literal;
+      enable_pause = false;
+      initial_rate = Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check int) "no packet drops" 0 r.Simnet.Runner.drops
+
+(* ---------------- Analysis engine end to end ---------------- *)
+
+let test_analysis_cases_consistent () =
+  List.iter
+    (fun (p, expected) ->
+      let r = Dcecc_core.Analysis.run p in
+      Alcotest.(check bool) "case" true (r.Dcecc_core.Analysis.case = expected))
+    [
+      (Fluid.Params.default, Fluid.Cases.Case1);
+      (Dcecc_core.Figures.case2_params, Fluid.Cases.Case2);
+      (Dcecc_core.Figures.case3_params, Fluid.Cases.Case3);
+      (Dcecc_core.Figures.case4_params, Fluid.Cases.Case4);
+    ]
+
+let test_analysis_exit_contract () =
+  (* the report's strongly_stable bit drives the CLI exit status; check
+     both polarities *)
+  let bad = Dcecc_core.Analysis.run Fluid.Params.default in
+  Alcotest.(check bool) "draft+BDP unstable" false
+    bad.Dcecc_core.Analysis.stability.Fluid.Stability.strongly_stable;
+  let good =
+    Dcecc_core.Analysis.run
+      (Fluid.Params.with_buffer Fluid.Params.default 16e6)
+  in
+  Alcotest.(check bool) "sized stable" true
+    good.Dcecc_core.Analysis.stability.Fluid.Stability.strongly_stable
+
+(* ---------------- Figures smoke coverage ---------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_figures_fast_generators () =
+  (* every pure-analytic figure renders non-trivially *)
+  List.iter
+    (fun (name, text) ->
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length text > 200))
+    [
+      ("fig4", Dcecc_core.Figures.fig4_spiral ());
+      ("fig5", Dcecc_core.Figures.fig5_node ());
+      ("fig6", Dcecc_core.Figures.fig6_case1 ());
+      ("fig9", Dcecc_core.Figures.fig9_case3 ());
+      ("fig10", Dcecc_core.Figures.fig10_case4 ());
+      ("t1", Dcecc_core.Figures.t1_criterion ());
+    ]
+
+let test_t1_reproduces_paper_numbers () =
+  let text = Dcecc_core.Figures.t1_criterion () in
+  Alcotest.(check bool) "13.81M present" true (contains ~needle:"13.81M" text);
+  Alcotest.(check bool) "2.76x ratio present" true (contains ~needle:"2.76x" text)
+
+let test_fig7_finds_genuine_cycle () =
+  let sys, s0 = Dcecc_core.Figures.genuine_limit_cycle_system () in
+  let sec =
+    Phaseplane.Poincare.line_section ~dir:Ode.Up ~normal:(Vec2.make 1. 0.1) ()
+  in
+  match Phaseplane.Limit_cycle.detect ~max_iters:400 sys sec ~s0 with
+  | Phaseplane.Limit_cycle.Cycle { multiplier = Some m; stable = Some true; _ } ->
+      Alcotest.(check bool) "orbitally stable" true (m < 1.)
+  | _ -> Alcotest.fail "expected an orbitally stable cycle"
+
+let test_figures_csv_output () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "dcecc_fig_test" in
+  ignore (Dcecc_core.Figures.fig4_spiral ~out:dir ());
+  Alcotest.(check bool) "csv written" true
+    (Sys.file_exists (Filename.concat dir "fig4_spiral_1.csv"));
+  let ic = open_in (Filename.concat dir "fig4_spiral_1.csv") in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "t,x,y" header
+
+(* ---------------- Ablation: solver choices ---------------- *)
+
+let test_ablation_event_localization_matters () =
+  (* integrating the switched system WITHOUT event localization (plain
+     coarse fixed-step) misplaces the overshoot; the event-aware adaptive
+     integration agrees with the semi-analytic flow map on the
+     piecewise-linear system *)
+  let p = Fluid.Params.default in
+  let sys = Fluid.Linearized.system p in
+  let exact =
+    match Fluid.Flowmap.first_overshoot p with
+    | Some v -> v
+    | None -> Alcotest.fail "no overshoot"
+  in
+  let adaptive =
+    Phaseplane.Trajectory.integrate ~t_max:0.002 sys (Fluid.Model.start_point p)
+  in
+  let err_adaptive =
+    Float.abs (Phaseplane.Trajectory.x_max adaptive -. exact) /. exact
+  in
+  let coarse =
+    Phaseplane.Trajectory.integrate
+      ~solver:(Phaseplane.Trajectory.Fixed (Ode.Euler, 2e-5))
+      ~t_max:0.002 sys (Fluid.Model.start_point p)
+  in
+  let err_coarse =
+    Float.abs (Phaseplane.Trajectory.x_max coarse -. exact) /. exact
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.2e much better than coarse Euler %.2e"
+       err_adaptive err_coarse)
+    true
+    (err_adaptive < 1e-4 && err_coarse > 10. *. err_adaptive)
+
+let test_ablation_rk4_vs_adaptive () =
+  (* fixed RK4 with a sane step agrees with the adaptive solver *)
+  let p = Fluid.Params.default in
+  let sys = Fluid.Model.normalized_system p in
+  let a =
+    Phaseplane.Trajectory.integrate ~t_max:0.002 sys (Fluid.Model.start_point p)
+  in
+  let b =
+    Phaseplane.Trajectory.integrate
+      ~solver:(Phaseplane.Trajectory.Fixed (Ode.Rk4, 1e-7))
+      ~t_max:0.002 sys (Fluid.Model.start_point p)
+  in
+  let ma = Phaseplane.Trajectory.x_max a and mb = Phaseplane.Trajectory.x_max b in
+  Alcotest.(check bool) "solvers agree on overshoot" true
+    (Float.abs (ma -. mb) < 1e-3 *. ma)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "fluid-vs-packet",
+        [
+          Alcotest.test_case "V1 agreement" `Slow test_fluid_vs_packet_agreement;
+          Alcotest.test_case "warmup law" `Slow test_warmup_law_packet_level;
+          Alcotest.test_case "overflow consistency" `Slow
+            test_overflow_prediction_consistency;
+          Alcotest.test_case "sized-buffer consistency" `Slow
+            test_sized_buffer_consistency;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "cases" `Quick test_analysis_cases_consistent;
+          Alcotest.test_case "exit contract" `Quick test_analysis_exit_contract;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fast generators" `Slow test_figures_fast_generators;
+          Alcotest.test_case "paper numbers" `Quick test_t1_reproduces_paper_numbers;
+          Alcotest.test_case "genuine cycle" `Quick test_fig7_finds_genuine_cycle;
+          Alcotest.test_case "csv output" `Quick test_figures_csv_output;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "event localization" `Quick
+            test_ablation_event_localization_matters;
+          Alcotest.test_case "rk4 vs adaptive" `Slow test_ablation_rk4_vs_adaptive;
+        ] );
+    ]

@@ -1,0 +1,388 @@
+(* Tests for the generic phase-plane toolkit, exercised on textbook
+   systems with known behaviour (harmonic oscillator, damped oscillator,
+   the polar limit-cycle system r' = r(1 - r^2)). *)
+
+open Numerics
+
+let checkf eps = Alcotest.(check (float eps))
+
+(* ---------------- Singular ---------------- *)
+
+let companion ~n ~m = Mat2.make 0. 1. (-.n) (-.m)
+
+let test_classify_taxonomy () =
+  let open Phaseplane.Singular in
+  Alcotest.(check string) "stable focus" "stable focus"
+    (to_string (classify (companion ~n:25. ~m:2.)));
+  Alcotest.(check string) "unstable focus" "unstable focus"
+    (to_string (classify (companion ~n:25. ~m:(-2.))));
+  Alcotest.(check string) "stable node" "stable node"
+    (to_string (classify (companion ~n:25. ~m:11.)));
+  Alcotest.(check string) "unstable node" "unstable node"
+    (to_string (classify (companion ~n:25. ~m:(-11.))));
+  Alcotest.(check string) "center" "center"
+    (to_string (classify (companion ~n:25. ~m:0.)));
+  Alcotest.(check string) "saddle" "saddle"
+    (to_string (classify (companion ~n:(-25.) ~m:2.)));
+  Alcotest.(check string) "degenerate" "degenerate stable node"
+    (to_string (classify (companion ~n:25. ~m:10.)))
+
+let test_is_attracting () =
+  let open Phaseplane.Singular in
+  Alcotest.(check bool) "focus attracts" true
+    (is_attracting (classify (companion ~n:25. ~m:2.)));
+  Alcotest.(check bool) "center does not" false
+    (is_attracting (classify (companion ~n:25. ~m:0.)))
+
+(* ---------------- System ---------------- *)
+
+let test_system_regions () =
+  let sigma (p : Vec2.t) = -.(p.Vec2.x +. p.Vec2.y) in
+  let sys =
+    Phaseplane.System.Switched
+      {
+        sigma;
+        pos = (fun _ -> Vec2.make 1. 0.);
+        neg = (fun _ -> Vec2.make (-1.) 0.);
+      }
+  in
+  Alcotest.(check bool) "pos region" true
+    (Phaseplane.System.region sys (Vec2.make (-2.) 0.) = `Pos);
+  Alcotest.(check bool) "neg region" true
+    (Phaseplane.System.region sys (Vec2.make 2. 0.) = `Neg);
+  Alcotest.(check bool) "boundary" true
+    (Phaseplane.System.region sys (Vec2.make 1. (-1.)) = `Boundary);
+  let v = Phaseplane.System.eval sys (Vec2.make (-2.) 0.) in
+  checkf 1e-12 "pos branch used" 1. v.Vec2.x
+
+let test_system_linear () =
+  let m = Mat2.make 0. 1. (-4.) 0. in
+  let sys = Phaseplane.System.linear m in
+  let v = Phaseplane.System.eval sys (Vec2.make 1. 2.) in
+  checkf 1e-12 "dx" 2. v.Vec2.x;
+  checkf 1e-12 "dy" (-4.) v.Vec2.y
+
+(* ---------------- Trajectory ---------------- *)
+
+let harmonic = Phaseplane.System.linear (Mat2.make 0. 1. (-1.) 0.)
+
+let test_trajectory_harmonic () =
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:(2. *. Float.pi) harmonic
+      (Vec2.make 1. 0.)
+  in
+  let _, p = Phaseplane.Trajectory.final tr in
+  checkf 1e-6 "x after period" 1. p.Vec2.x;
+  checkf 1e-6 "y after period" 0. p.Vec2.y;
+  Alcotest.(check bool) "axis crossings >= 1" true
+    (List.length tr.Phaseplane.Trajectory.axis_crossings >= 1)
+
+let test_trajectory_converges () =
+  let damped = Phaseplane.System.linear (Mat2.make 0. 1. (-1.) (-1.)) in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:100. ~converge_radius:1e-3 damped
+      (Vec2.make 1. 0.)
+  in
+  Alcotest.(check bool) "converged" true
+    (tr.Phaseplane.Trajectory.stop = Phaseplane.Trajectory.Converged);
+  let _, p = Phaseplane.Trajectory.final tr in
+  Alcotest.(check bool) "inside ball" true (Vec2.norm p <= 1.01e-3)
+
+let test_trajectory_leaves_box () =
+  let expanding = Phaseplane.System.Smooth (fun p -> p) in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:100.
+      ~box:(Vec2.make (-2.) (-2.), Vec2.make 2. 2.)
+      expanding (Vec2.make 1. 1.)
+  in
+  Alcotest.(check bool) "left box" true
+    (tr.Phaseplane.Trajectory.stop = Phaseplane.Trajectory.Left_box)
+
+let test_trajectory_switch_crossings () =
+  (* harmonic oscillator with a (dynamically inert) switching line y = 0:
+     crossings coincide with the axis crossings *)
+  let sigma (p : Vec2.t) = p.Vec2.y in
+  let sys =
+    Phaseplane.System.Switched
+      {
+        sigma;
+        pos = (fun p -> Vec2.make p.Vec2.y (-.p.Vec2.x));
+        neg = (fun p -> Vec2.make p.Vec2.y (-.p.Vec2.x));
+      }
+  in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:(2. *. Float.pi -. 0.1) sys
+      (Vec2.make 1. 0.)
+  in
+  Alcotest.(check int) "one interior switch crossing" 1
+    (List.length tr.Phaseplane.Trajectory.switch_crossings);
+  match tr.Phaseplane.Trajectory.switch_crossings with
+  | [ { Phaseplane.Trajectory.ct; cp } ] ->
+      checkf 1e-6 "at t = pi" Float.pi ct;
+      checkf 1e-6 "x = -1" (-1.) cp.Vec2.x
+  | _ -> Alcotest.fail "expected exactly one crossing"
+
+let test_trajectory_series () =
+  let tr = Phaseplane.Trajectory.integrate ~t_max:1. harmonic (Vec2.make 1. 0.) in
+  let xs = Phaseplane.Trajectory.x_series tr in
+  checkf 1e-6 "x(1) = cos 1" (cos 1.) (Series.at xs 1.);
+  checkf 1e-9 "x max" 1. (Phaseplane.Trajectory.x_max tr)
+
+(* ---------------- Poincare on the polar limit cycle ---------------- *)
+
+(* r' = r(1 - r^2), theta' = 1: a globally attracting limit cycle at r=1.
+   Cartesian: x' = x(1-r^2) - y, y' = y(1-r^2) + x. *)
+let polar_cycle =
+  Phaseplane.System.Smooth
+    (fun p ->
+      let x = p.Vec2.x and y = p.Vec2.y in
+      let r2 = (x *. x) +. (y *. y) in
+      Vec2.make ((x *. (1. -. r2)) -. y) ((y *. (1. -. r2)) +. x))
+
+(* With normal (0,-1) the section coordinate runs along +x and a [Down]
+   crossing of the guard (-y: + -> -) is the counter-clockwise orbit
+   passing the positive x-axis upward — one crossing per revolution. *)
+let section_y =
+  Phaseplane.Poincare.line_section ~dir:Ode.Down ~normal:(Vec2.make 0. (-1.)) ()
+
+let test_poincare_return_map () =
+  match Phaseplane.Poincare.return_map polar_cycle section_y 0.5 with
+  | Some r ->
+      Alcotest.(check bool) "amplitude grew toward 1" true
+        (r.Phaseplane.Poincare.s_next > 0.5
+         && r.Phaseplane.Poincare.s_next < 1.01);
+      checkf 0.05 "period ~ 2pi" (2. *. Float.pi) r.Phaseplane.Poincare.time
+  | None -> Alcotest.fail "no return"
+
+let test_poincare_iterate_converges_to_cycle () =
+  let iters = Phaseplane.Poincare.iterate polar_cycle section_y ~n:12 0.3 in
+  match List.rev iters with
+  | last :: _ -> checkf 1e-4 "converged to r=1" 1. last
+  | [] -> Alcotest.fail "no iterates"
+
+let test_poincare_fixed_points () =
+  let fps =
+    Phaseplane.Poincare.fixed_points polar_cycle section_y ~s_min:0.3 ~s_max:2.
+      ~n:10
+  in
+  Alcotest.(check int) "one fixed point" 1 (List.length fps);
+  checkf 1e-6 "at r=1" 1. (List.hd fps)
+
+let test_poincare_derivative_stable () =
+  match Phaseplane.Poincare.derivative polar_cycle section_y 1. with
+  | Some d -> Alcotest.(check bool) "multiplier < 1" true (Float.abs d < 1.)
+  | None -> Alcotest.fail "derivative failed"
+
+let test_line_section_geometry () =
+  let sec = Phaseplane.Poincare.line_section ~normal:(Vec2.make 1. 1.) () in
+  let p = sec.Phaseplane.Poincare.point_of 2. in
+  checkf 1e-12 "on section" 0. (sec.Phaseplane.Poincare.guard p);
+  checkf 1e-12 "coordinate roundtrip" 2. (sec.Phaseplane.Poincare.coord_of p)
+
+(* ---------------- Limit_cycle ---------------- *)
+
+let test_limit_cycle_detect_cycle () =
+  match Phaseplane.Limit_cycle.detect polar_cycle section_y ~s0:0.4 with
+  | Phaseplane.Limit_cycle.Cycle { s_star; period; multiplier; stable } ->
+      checkf 1e-4 "cycle at r=1" 1. s_star;
+      checkf 0.05 "period 2pi" (2. *. Float.pi) period;
+      (match multiplier with
+      | Some m -> Alcotest.(check bool) "contracting" true (m < 1.)
+      | None -> ());
+      (match stable with
+      | Some b -> Alcotest.(check bool) "stable" true b
+      | None -> ())
+  | _ -> Alcotest.fail "expected a cycle"
+
+let test_limit_cycle_detect_convergence () =
+  let damped =
+    Phaseplane.System.Smooth
+      (fun p -> Vec2.make p.Vec2.y (-.p.Vec2.x -. (0.8 *. p.Vec2.y)))
+  in
+  match Phaseplane.Limit_cycle.detect damped section_y ~s0:1. with
+  | Phaseplane.Limit_cycle.Converges_to_origin
+  | Phaseplane.Limit_cycle.Contracting _ ->
+      ()
+  | v ->
+      Alcotest.failf "expected convergence, got %s"
+        (match v with
+        | Phaseplane.Limit_cycle.Cycle _ -> "cycle"
+        | Phaseplane.Limit_cycle.Diverges -> "diverges"
+        | Phaseplane.Limit_cycle.Expanding _ -> "expanding"
+        | Phaseplane.Limit_cycle.Inconclusive m -> m
+        | Phaseplane.Limit_cycle.Converges_to_origin
+        | Phaseplane.Limit_cycle.Contracting _ ->
+            "")
+
+let test_limit_cycle_detect_divergence () =
+  let unstable =
+    Phaseplane.System.Smooth
+      (fun p -> Vec2.make p.Vec2.y (-.p.Vec2.x +. (0.5 *. p.Vec2.y)))
+  in
+  match
+    Phaseplane.Limit_cycle.detect ~diverge_bound:100. unstable section_y ~s0:1.
+  with
+  | Phaseplane.Limit_cycle.Diverges | Phaseplane.Limit_cycle.Expanding _ -> ()
+  | _ -> Alcotest.fail "expected divergence"
+
+let test_amplitude_history_monotone () =
+  let hist =
+    Phaseplane.Limit_cycle.amplitude_history polar_cycle section_y ~n:8 ~s0:0.3
+  in
+  Alcotest.(check int) "8 iterates" 8 (List.length hist);
+  let sorted = List.sort compare hist in
+  Alcotest.(check (list (float 1e-12))) "monotone growth toward cycle" sorted hist
+
+(* ---------------- Properties ---------------- *)
+
+let prop_stable_linear_systems_contract =
+  QCheck.Test.make
+    ~name:"random stable linear systems contract the state over time"
+    ~count:100
+    QCheck.(pair (float_range 0.2 5.) (float_range 0.5 30.))
+    (fun (m, n) ->
+      (* companion form with m, n > 0 is always Hurwitz *)
+      let sys = Phaseplane.System.linear (Mat2.make 0. 1. (-.n) (-.m)) in
+      let p0 = Vec2.make 1. 1. in
+      let tr = Phaseplane.Trajectory.integrate ~t_max:(40. /. m) sys p0 in
+      let _, pf = Phaseplane.Trajectory.final tr in
+      Vec2.norm pf < Vec2.norm p0)
+
+let prop_classification_matches_eigen_sign =
+  QCheck.Test.make
+    ~name:"equilibrium classification agrees with eigenvalue real parts"
+    ~count:200
+    QCheck.(
+      quad (float_range (-5.) 5.) (float_range (-5.) 5.) (float_range (-5.) 5.)
+        (float_range (-5.) 5.))
+    (fun (a11, a12, a21, a22) ->
+      let j = Mat2.make a11 a12 a21 a22 in
+      let re_parts =
+        match Mat2.eigenvalues j with
+        | Mat2.Real_pair (l1, l2) -> [ l1; l2 ]
+        | Mat2.Complex_pair { re; _ } -> [ re; re ]
+      in
+      QCheck.assume (List.for_all (fun r -> Float.abs r > 1e-3) re_parts);
+      let all_neg = List.for_all (fun r -> r < 0.) re_parts in
+      Phaseplane.Singular.is_attracting (Phaseplane.Singular.classify j)
+      = all_neg)
+
+let prop_switched_stable_regions_bounded =
+  QCheck.Test.make
+    ~name:"switched systems with two stable regions stay bounded" ~count:40
+    QCheck.(
+      quad (float_range 0.5 4.) (float_range 2. 40.) (float_range 0.5 4.)
+        (float_range 2. 40.))
+    (fun (m1, n1, m2, n2) ->
+      let sigma (p : Vec2.t) = -.(p.Vec2.x +. (0.3 *. p.Vec2.y)) in
+      let sys =
+        Phaseplane.System.switched_linear ~sigma
+          ~pos:(Mat2.make 0. 1. (-.n1) (-.m1))
+          ~neg:(Mat2.make 0. 1. (-.n2) (-.m2))
+      in
+      let tr = Phaseplane.Trajectory.integrate ~t_max:20. sys (Vec2.make (-1.) 0.) in
+      Array.for_all
+        (fun (y : float array) ->
+          Float.is_finite y.(0) && Float.abs y.(0) < 100.)
+        tr.Phaseplane.Trajectory.sol.Ode.ys)
+
+(* ---------------- Portrait ---------------- *)
+
+let test_portrait_grid () =
+  let pts =
+    Phaseplane.Portrait.grid ~lo:(Vec2.make 0. 0.) ~hi:(Vec2.make 1. 1.) ~nx:3
+      ~ny:4
+  in
+  Alcotest.(check int) "3x4 lattice" 12 (List.length pts)
+
+let test_portrait_ring () =
+  let pts = Phaseplane.Portrait.ring ~center:Vec2.zero ~radius:2. ~n:8 in
+  Alcotest.(check int) "8 points" 8 (List.length pts);
+  List.iter (fun p -> checkf 1e-12 "radius" 2. (Vec2.norm p)) pts
+
+let test_portrait_field_arrows () =
+  let arrows =
+    Phaseplane.Portrait.field_arrows harmonic ~lo:(Vec2.make (-1.) (-1.))
+      ~hi:(Vec2.make 1. 1.) ~nx:3 ~ny:3
+  in
+  Alcotest.(check int) "9 arrows" 9 (List.length arrows);
+  List.iter
+    (fun (p, d) ->
+      let n = Vec2.norm d in
+      if Vec2.norm (Phaseplane.System.eval harmonic p) > 0. then
+        checkf 1e-9 "unit direction" 1. n)
+    arrows
+
+let test_portrait_switching_line () =
+  let sigma (p : Vec2.t) = p.Vec2.x +. p.Vec2.y in
+  let pts =
+    Phaseplane.Portrait.switching_line_points ~sigma
+      ~lo:(Vec2.make (-1.) (-1.)) ~hi:(Vec2.make 1. 1.) ~n:11
+  in
+  Alcotest.(check bool) "found points" true (List.length pts > 5);
+  List.iter (fun p -> checkf 1e-9 "on line" 0. (sigma p)) pts
+
+let test_portrait_compute () =
+  let inits = Phaseplane.Portrait.ring ~center:Vec2.zero ~radius:1. ~n:4 in
+  let pt = Phaseplane.Portrait.compute ~t_max:1. harmonic inits in
+  Alcotest.(check int) "4 trajectories" 4
+    (List.length pt.Phaseplane.Portrait.trajectories)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "phaseplane"
+    [
+      qsuite "props"
+        [
+          prop_stable_linear_systems_contract;
+          prop_classification_matches_eigen_sign;
+          prop_switched_stable_regions_bounded;
+        ];
+      ( "singular",
+        [
+          Alcotest.test_case "taxonomy" `Quick test_classify_taxonomy;
+          Alcotest.test_case "attracting" `Quick test_is_attracting;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "regions" `Quick test_system_regions;
+          Alcotest.test_case "linear" `Quick test_system_linear;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "harmonic period" `Quick test_trajectory_harmonic;
+          Alcotest.test_case "convergence stop" `Quick test_trajectory_converges;
+          Alcotest.test_case "box stop" `Quick test_trajectory_leaves_box;
+          Alcotest.test_case "switch crossings" `Quick
+            test_trajectory_switch_crossings;
+          Alcotest.test_case "series" `Quick test_trajectory_series;
+        ] );
+      ( "poincare",
+        [
+          Alcotest.test_case "return map" `Quick test_poincare_return_map;
+          Alcotest.test_case "iterate to cycle" `Quick
+            test_poincare_iterate_converges_to_cycle;
+          Alcotest.test_case "fixed points" `Quick test_poincare_fixed_points;
+          Alcotest.test_case "derivative" `Quick test_poincare_derivative_stable;
+          Alcotest.test_case "section geometry" `Quick test_line_section_geometry;
+        ] );
+      ( "limit-cycle",
+        [
+          Alcotest.test_case "detect cycle" `Quick test_limit_cycle_detect_cycle;
+          Alcotest.test_case "detect convergence" `Quick
+            test_limit_cycle_detect_convergence;
+          Alcotest.test_case "detect divergence" `Quick
+            test_limit_cycle_detect_divergence;
+          Alcotest.test_case "amplitude history" `Quick
+            test_amplitude_history_monotone;
+        ] );
+      ( "portrait",
+        [
+          Alcotest.test_case "grid" `Quick test_portrait_grid;
+          Alcotest.test_case "ring" `Quick test_portrait_ring;
+          Alcotest.test_case "field arrows" `Quick test_portrait_field_arrows;
+          Alcotest.test_case "switching line" `Quick test_portrait_switching_line;
+          Alcotest.test_case "compute" `Quick test_portrait_compute;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(* Tests for the reporting layer: tables, CSV, ASCII plots. *)
+
+open Numerics
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- Table ---------------- *)
+
+let test_table_alignment () =
+  let out =
+    Report.Table.render ~headers:[ "a"; "long header" ]
+      ~rows:[ [ "xxxx"; "1" ]; [ "y"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: sep :: _ ->
+      Alcotest.(check int) "separator width matches header"
+        (String.length header) (String.length sep)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check bool) "contains cells" true
+    (contains ~needle:"xxxx" out && contains ~needle:"22" out)
+
+let test_table_pads_short_rows () =
+  let out = Report.Table.render ~headers:[ "a"; "b" ] ~rows:[ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_rejects_long_rows () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Report.Table.render ~headers:[ "a" ] ~rows:[ [ "1"; "2" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_render_floats () =
+  let out = Report.Table.render_floats ~headers:[ "v" ] [ [ 0.5 ]; [ 1e9 ] ] in
+  Alcotest.(check bool) "formats" true
+    (contains ~needle:"0.5" out && contains ~needle:"1e+09" out)
+
+let test_si_formatting () =
+  Alcotest.(check string) "mega" "2.5M" (Report.Table.si 2.5e6);
+  Alcotest.(check string) "giga" "10G" (Report.Table.si 1e10);
+  Alcotest.(check string) "kilo" "12k" (Report.Table.si 12e3);
+  Alcotest.(check string) "unit" "3" (Report.Table.si 3.);
+  Alcotest.(check string) "micro" "5u" (Report.Table.si 5e-6);
+  Alcotest.(check string) "negative" "-2.5M" (Report.Table.si (-2.5e6));
+  Alcotest.(check string) "zero" "0" (Report.Table.si 0.)
+
+(* ---------------- Csv ---------------- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Report.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Report.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Report.Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Report.Csv.escape "a\nb")
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let read_all path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_csv_roundtrip () =
+  let path = tmp "dcecc_test.csv" in
+  Report.Csv.write ~path ~header:[ "x"; "y" ]
+    ~rows:[ [ "1"; "a,b" ]; [ "2"; "plain" ] ];
+  let content = read_all path in
+  Alcotest.(check string) "content" "x,y\n1,\"a,b\"\n2,plain\n" content
+
+let test_csv_write_series () =
+  let path = tmp "dcecc_series.csv" in
+  let s = Series.make [| 0.; 1. |] [| 10.; 20. |] in
+  Report.Csv.write_series ~path ~name:"v" s;
+  let content = read_all path in
+  Alcotest.(check bool) "header" true (contains ~needle:"t,v" content);
+  Alcotest.(check bool) "row" true (contains ~needle:"1,20" content)
+
+let test_csv_columns_ragged () =
+  Alcotest.(check bool) "raises on ragged" true
+    (try
+       Report.Csv.write_columns ~path:(tmp "x.csv") ~header:[ "a"; "b" ]
+         ~cols:[ [| 1. |]; [| 1.; 2. |] ];
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Ascii_plot ---------------- *)
+
+let test_plot_renders_points () =
+  let out =
+    Report.Ascii_plot.render ~width:20 ~height:8
+      [ Report.Ascii_plot.curve "c" [ (0., 0.); (1., 1.) ] ]
+  in
+  Alcotest.(check bool) "has glyph" true (contains ~needle:"*" out);
+  Alcotest.(check bool) "has legend" true (contains ~needle:"c" out)
+
+let test_plot_axis_labels () =
+  let out =
+    Report.Ascii_plot.render ~width:20 ~height:8 ~x_range:(0., 10.)
+      ~y_range:(-5., 5.)
+      [ Report.Ascii_plot.curve "c" [ (5., 0.) ] ]
+  in
+  Alcotest.(check bool) "y max label" true (contains ~needle:"5" out);
+  Alcotest.(check bool) "x max label" true (contains ~needle:"10" out)
+
+let test_plot_multiple_glyphs () =
+  let out =
+    Report.Ascii_plot.render ~width:24 ~height:8
+      [
+        Report.Ascii_plot.curve "a" [ (0., 0.) ];
+        Report.Ascii_plot.curve "b" [ (1., 1.) ];
+      ]
+  in
+  Alcotest.(check bool) "distinct glyphs" true
+    (contains ~needle:"*" out && contains ~needle:"+" out)
+
+let test_plot_degenerate_range () =
+  (* constant series must not divide by zero *)
+  let out =
+    Report.Ascii_plot.render ~width:16 ~height:6
+      [ Report.Ascii_plot.curve "flat" [ (0., 1.); (1., 1.) ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_plot_too_small_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Report.Ascii_plot.render ~width:2 ~height:1 []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sparkline () =
+  let s = Series.of_fn (fun t -> t) 0. 1. 30 in
+  let sp = Report.Ascii_plot.sparkline ~width:10 s in
+  Alcotest.(check bool) "nonempty" true (String.length sp > 0);
+  (* a ramp should start low and end high *)
+  Alcotest.(check bool) "ends with peak char" true
+    (contains ~needle:"#" sp)
+
+let test_sparkline_empty () =
+  Alcotest.(check string) "empty series" ""
+    (Report.Ascii_plot.sparkline (Series.make [||] [||]))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "rejects long rows" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "render_floats" `Quick test_table_render_floats;
+          Alcotest.test_case "si" `Quick test_si_formatting;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "write_series" `Quick test_csv_write_series;
+          Alcotest.test_case "ragged columns" `Quick test_csv_columns_ragged;
+        ] );
+      ( "ascii-plot",
+        [
+          Alcotest.test_case "renders points" `Quick test_plot_renders_points;
+          Alcotest.test_case "axis labels" `Quick test_plot_axis_labels;
+          Alcotest.test_case "multiple glyphs" `Quick test_plot_multiple_glyphs;
+          Alcotest.test_case "degenerate range" `Quick test_plot_degenerate_range;
+          Alcotest.test_case "too small" `Quick test_plot_too_small_rejected;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "sparkline empty" `Quick test_sparkline_empty;
+        ] );
+    ]

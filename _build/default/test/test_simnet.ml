@@ -1,0 +1,787 @@
+(* Tests for the discrete-event network substrate: event queue, engine,
+   FIFO accounting, packets, switch congestion point, sources, the
+   dumbbell runner, the victim topology and the QCN variant. *)
+
+open Numerics
+
+let checkf eps = Alcotest.(check (float eps))
+
+(* ---------------- Eventq ---------------- *)
+
+let test_eventq_ordering () =
+  let q = Simnet.Eventq.create () in
+  List.iter (fun (t, v) -> Simnet.Eventq.push q t v)
+    [ (3., "c"); (1., "a"); (2., "b") ];
+  let drained = Simnet.Eventq.drain q in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.map snd drained)
+
+let test_eventq_fifo_ties () =
+  let q = Simnet.Eventq.create () in
+  List.iter (fun v -> Simnet.Eventq.push q 1. v) [ "first"; "second"; "third" ];
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ]
+    (List.map snd (Simnet.Eventq.drain q))
+
+let test_eventq_interleaved () =
+  let q = Simnet.Eventq.create () in
+  Simnet.Eventq.push q 5. 5;
+  Simnet.Eventq.push q 1. 1;
+  (match Simnet.Eventq.pop q with
+  | Some (t, 1) -> checkf 1e-12 "t" 1. t
+  | _ -> Alcotest.fail "expected 1");
+  Simnet.Eventq.push q 3. 3;
+  Alcotest.(check int) "size" 2 (Simnet.Eventq.size q);
+  match Simnet.Eventq.peek q with
+  | Some (_, 3) -> ()
+  | _ -> Alcotest.fail "expected 3 at head"
+
+let test_eventq_nan_rejected () =
+  let q = Simnet.Eventq.create () in
+  Alcotest.(check bool) "nan key" true
+    (try
+       Simnet.Eventq.push q nan 0;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"drain is sorted for random pushes" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (float_range 0. 1e6))
+    (fun keys ->
+      let q = Simnet.Eventq.create () in
+      List.iteri (fun i k -> Simnet.Eventq.push q k i) keys;
+      let drained = List.map fst (Simnet.Eventq.drain q) in
+      List.sort compare drained = drained)
+
+let prop_eventq_conserves =
+  QCheck.Test.make ~name:"push count = drain count" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 100) (float_range 0. 100.))
+    (fun keys ->
+      let q = Simnet.Eventq.create () in
+      List.iteri (fun i k -> Simnet.Eventq.push q k i) keys;
+      List.length (Simnet.Eventq.drain q) = List.length keys)
+
+(* ---------------- Engine ---------------- *)
+
+let test_engine_order_and_clock () =
+  let e = Simnet.Engine.create () in
+  let log = ref [] in
+  Simnet.Engine.schedule e ~delay:2. (fun e ->
+      log := ("b", Simnet.Engine.now e) :: !log);
+  Simnet.Engine.schedule e ~delay:1. (fun e ->
+      log := ("a", Simnet.Engine.now e) :: !log;
+      (* nested scheduling *)
+      Simnet.Engine.schedule e ~delay:0.5 (fun e ->
+          log := ("a2", Simnet.Engine.now e) :: !log));
+  Simnet.Engine.run e;
+  match List.rev !log with
+  | [ ("a", t1); ("a2", t2); ("b", t3) ] ->
+      checkf 1e-12 "a at 1" 1. t1;
+      checkf 1e-12 "a2 at 1.5" 1.5 t2;
+      checkf 1e-12 "b at 2" 2. t3
+  | _ -> Alcotest.fail "wrong event order"
+
+let test_engine_until () =
+  let e = Simnet.Engine.create () in
+  let fired = ref 0 in
+  Simnet.Engine.schedule e ~delay:1. (fun _ -> incr fired);
+  Simnet.Engine.schedule e ~delay:5. (fun _ -> incr fired);
+  Simnet.Engine.run ~until:2. e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  checkf 1e-12 "clock at horizon" 2. (Simnet.Engine.now e);
+  Alcotest.(check int) "second still pending" 1 (Simnet.Engine.pending e)
+
+let test_engine_stop () =
+  let e = Simnet.Engine.create () in
+  let fired = ref 0 in
+  Simnet.Engine.schedule e ~delay:1. (fun e ->
+      incr fired;
+      Simnet.Engine.stop e);
+  Simnet.Engine.schedule e ~delay:2. (fun _ -> incr fired);
+  Simnet.Engine.run e;
+  Alcotest.(check int) "stopped after first" 1 !fired
+
+let test_engine_rejects_past () =
+  let e = Simnet.Engine.create () in
+  Alcotest.(check bool) "negative delay" true
+    (try
+       Simnet.Engine.schedule e ~delay:(-1.) (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Fifo ---------------- *)
+
+let test_fifo_accounting () =
+  let f = Simnet.Fifo.create ~capacity_bits:30000. in
+  let p1 = Simnet.Packet.make_data ~seq:0 ~now:0. ~flow:0 ~rrt:None in
+  let p2 = Simnet.Packet.make_data ~seq:1 ~now:0. ~flow:1 ~rrt:None in
+  let p3 = Simnet.Packet.make_data ~seq:2 ~now:0. ~flow:2 ~rrt:None in
+  Alcotest.(check bool) "p1 accepted" true (Simnet.Fifo.enqueue f p1);
+  Alcotest.(check bool) "p2 accepted" true (Simnet.Fifo.enqueue f p2);
+  (* third 12000-bit frame exceeds 30000 bits *)
+  Alcotest.(check bool) "p3 dropped" false (Simnet.Fifo.enqueue f p3);
+  Alcotest.(check int) "drops" 1 (Simnet.Fifo.drops f);
+  checkf 1e-9 "occupancy" 24000. (Simnet.Fifo.occupancy_bits f);
+  (match Simnet.Fifo.dequeue f with
+  | Some p -> Alcotest.(check int) "FIFO order" 0 p.Simnet.Packet.seq
+  | None -> Alcotest.fail "dequeue failed");
+  checkf 1e-9 "occupancy after dequeue" 12000. (Simnet.Fifo.occupancy_bits f);
+  checkf 1e-9 "conservation"
+    (Simnet.Fifo.enqueued_bits f)
+    (Simnet.Fifo.dequeued_bits f +. Simnet.Fifo.occupancy_bits f)
+
+(* ---------------- Packet ---------------- *)
+
+let test_packet_constructors () =
+  let d = Simnet.Packet.make_data ~seq:7 ~now:1.5 ~flow:3 ~rrt:(Some 9) in
+  Alcotest.(check bool) "is data" true (Simnet.Packet.is_data d);
+  Alcotest.(check (option int)) "flow" (Some 3) (Simnet.Packet.flow_of d);
+  Alcotest.(check int) "bits" 12000 d.Simnet.Packet.bits;
+  let b = Simnet.Packet.make_bcn ~seq:0 ~now:0. ~flow:1 ~fb:(-2.) ~cpid:4 in
+  Alcotest.(check bool) "bcn not data" false (Simnet.Packet.is_data b);
+  let p = Simnet.Packet.make_pause ~seq:0 ~now:0. ~on:true in
+  Alcotest.(check (option int)) "pause has no flow" None
+    (Simnet.Packet.flow_of p)
+
+(* ---------------- Switch ---------------- *)
+
+let params = Fluid.Params.with_buffer Fluid.Params.default 15e6
+
+let mk_switch ?(cfg_mod = fun c -> c) () =
+  let msgs = ref [] in
+  let sw =
+    Simnet.Switch.create
+      (cfg_mod (Simnet.Switch.default_config params ~cpid:1))
+      ~control_out:(fun _e pkt -> msgs := pkt :: !msgs)
+  in
+  Simnet.Switch.set_forward sw (fun _e _pkt -> ());
+  (sw, msgs)
+
+let feed sw e n flow =
+  for i = 0 to n - 1 do
+    Simnet.Switch.receive sw e
+      (Simnet.Packet.make_data ~seq:i ~now:(Simnet.Engine.now e) ~flow ~rrt:None)
+  done
+
+let test_switch_sampling_rate () =
+  let sw, _ = mk_switch () in
+  let e = Simnet.Engine.create () in
+  feed sw e 1000 0;
+  Simnet.Engine.run e;
+  (* pm = 0.01 -> every 100th frame *)
+  Alcotest.(check int) "10 samples over 1000 frames" 10
+    (Simnet.Switch.stats sw).Simnet.Switch.sampled
+
+let test_switch_positive_feedback_when_below_q0 () =
+  let sw, msgs = mk_switch () in
+  let e = Simnet.Engine.create () in
+  (* run to completion after each push so the queue drains: q stays ~0,
+     sigma = q0 - w dq > 0 *)
+  for i = 0 to 199 do
+    Simnet.Engine.schedule e ~delay:(1e-5 *. float_of_int i) (fun e ->
+        Simnet.Switch.receive sw e
+          (Simnet.Packet.make_data ~seq:i ~now:(Simnet.Engine.now e) ~flow:0
+             ~rrt:None))
+  done;
+  Simnet.Engine.run e;
+  let pos =
+    List.filter
+      (fun (p : Simnet.Packet.t) ->
+        match p.Simnet.Packet.kind with
+        | Simnet.Packet.Bcn { fb; _ } -> fb > 0.
+        | _ -> false)
+      !msgs
+  in
+  Alcotest.(check bool) "positive BCN emitted" true (List.length pos >= 1)
+
+let test_switch_negative_feedback_when_congested () =
+  let sw, msgs = mk_switch () in
+  let e = Simnet.Engine.create () in
+  (* slam 600 frames in at t=0: queue builds to 7.2 Mbit > q0 *)
+  feed sw e 600 0;
+  Simnet.Engine.run ~until:1e-7 e;
+  let neg =
+    List.exists
+      (fun (p : Simnet.Packet.t) ->
+        match p.Simnet.Packet.kind with
+        | Simnet.Packet.Bcn { fb; _ } -> fb < 0.
+        | _ -> false)
+      !msgs
+  in
+  Alcotest.(check bool) "negative BCN emitted" true neg
+
+let test_switch_pause_thresholds () =
+  let sw, msgs = mk_switch () in
+  let e = Simnet.Engine.create () in
+  (* fill beyond qsc = 13.5 Mbit: 1200 frames = 14.4 Mbit *)
+  feed sw e 1200 0;
+  Alcotest.(check bool) "pause issued" true (Simnet.Switch.upstream_paused sw);
+  (* drain: forwards at 10G; run long enough to empty *)
+  Simnet.Engine.run ~until:0.01 e;
+  Alcotest.(check bool) "pause lifted after draining" false
+    (Simnet.Switch.upstream_paused sw);
+  let pauses =
+    List.filter
+      (fun (p : Simnet.Packet.t) ->
+        match p.Simnet.Packet.kind with
+        | Simnet.Packet.Pause _ -> true
+        | _ -> false)
+      !msgs
+  in
+  Alcotest.(check int) "one on + one off" 2 (List.length pauses)
+
+let test_switch_egress_pause_stops_service () =
+  let sw, _ = mk_switch ~cfg_mod:(fun c -> { c with Simnet.Switch.enable_pause = false }) () in
+  let e = Simnet.Engine.create () in
+  Simnet.Switch.set_egress_paused sw e true;
+  feed sw e 10 0;
+  Simnet.Engine.run ~until:0.01 e;
+  checkf 1e-9 "queue held" (10. *. 12000.) (Simnet.Switch.queue_bits sw);
+  Simnet.Switch.set_egress_paused sw e false;
+  Simnet.Engine.run ~until:0.02 e;
+  checkf 1e-9 "drained after unpause" 0. (Simnet.Switch.queue_bits sw)
+
+let test_switch_rejects_control_frames () =
+  let sw, _ = mk_switch () in
+  let e = Simnet.Engine.create () in
+  Alcotest.(check bool) "control frame rejected" true
+    (try
+       Simnet.Switch.receive sw e (Simnet.Packet.make_pause ~seq:0 ~now:0. ~on:true);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Source ---------------- *)
+
+let test_source_pacing_rate () =
+  let e = Simnet.Engine.create () in
+  let sent = ref 0 in
+  let src =
+    Simnet.Source.create ~id:0 ~initial_rate:1.2e6 ~gi:1. ~gd:0.1 ~ru:1e5
+      ~send:(fun _e _p -> incr sent)
+      ()
+  in
+  Simnet.Source.start src e;
+  Simnet.Engine.run ~until:1. e;
+  (* 1.2e6 bit/s / 12000 bit = 100 frames/s *)
+  Alcotest.(check bool) "frame count near 100" true
+    (abs (!sent - 100) <= 2)
+
+let test_source_literal_aimd () =
+  let src =
+    Simnet.Source.create ~id:0 ~initial_rate:1e6 ~mode:Simnet.Source.Literal
+      ~gi:2. ~gd:0.5 ~ru:1e3
+      ~send:(fun _e _p -> ())
+      ()
+  in
+  Simnet.Source.handle_bcn src ~now:0. ~fb:10. ~cpid:1;
+  checkf 1e-6 "additive increase" (1e6 +. (2. *. 1e3 *. 10.))
+    (Simnet.Source.rate src);
+  Alcotest.(check bool) "untagged after positive" false (Simnet.Source.tagged src);
+  let r = Simnet.Source.rate src in
+  Simnet.Source.handle_bcn src ~now:0. ~fb:(-1.) ~cpid:1;
+  checkf 1e-6 "multiplicative decrease" (r *. 0.5) (Simnet.Source.rate src);
+  Alcotest.(check bool) "tagged after negative" true (Simnet.Source.tagged src)
+
+let test_source_zoh_integration () =
+  let src =
+    Simnet.Source.create ~id:0 ~initial_rate:1e6 ~mode:Simnet.Source.Zoh_fluid
+      ~gi:1. ~gd:0.5 ~ru:1e3 ~max_rate:1e9
+      ~send:(fun _e _p -> ())
+      ()
+  in
+  let e = Simnet.Engine.create () in
+  Simnet.Source.start src e;
+  (* hold fb = +100: dr/dt = gi ru fb = 1e5 bit/s^2 *)
+  Simnet.Source.handle_bcn src ~now:0. ~fb:100. ~cpid:1;
+  Simnet.Engine.run ~until:1. e;
+  (* rate should have ramped by about 1e5 *)
+  Alcotest.(check bool) "ramped" true
+    (Float.abs (Simnet.Source.rate src -. 1.1e6) < 0.02e6)
+
+let test_source_pause_stops_sending () =
+  let e = Simnet.Engine.create () in
+  let sent = ref 0 in
+  let src =
+    Simnet.Source.create ~id:0 ~initial_rate:1.2e7 ~gi:1. ~gd:0.1 ~ru:1e5
+      ~send:(fun _e _p -> incr sent)
+      ()
+  in
+  Simnet.Source.start src e;
+  Simnet.Engine.run ~until:0.1 e;
+  let before = !sent in
+  Simnet.Source.set_paused src e true;
+  Simnet.Engine.run ~until:0.2 e;
+  Alcotest.(check int) "no frames while paused" before !sent;
+  Simnet.Source.set_paused src e false;
+  Simnet.Engine.run ~until:0.3 e;
+  Alcotest.(check bool) "resumed" true (!sent > before)
+
+let test_source_rate_clamped () =
+  let src =
+    Simnet.Source.create ~id:0 ~initial_rate:1e6 ~mode:Simnet.Source.Literal
+      ~min_rate:1e3 ~max_rate:2e6 ~gi:1. ~gd:1. ~ru:1e6
+      ~send:(fun _e _p -> ())
+      ()
+  in
+  Simnet.Source.handle_bcn src ~now:0. ~fb:1e9 ~cpid:1;
+  checkf 1e-9 "max clamp" 2e6 (Simnet.Source.rate src);
+  Simnet.Source.handle_bcn src ~now:0. ~fb:(-1e9) ~cpid:1;
+  checkf 1e-9 "min clamp" 1e3 (Simnet.Source.rate src)
+
+(* ---------------- Runner ---------------- *)
+
+let test_runner_conservation () =
+  let cfg = Simnet.Runner.default_config ~t_end:0.005 params in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check bool) "utilization in [0,1]" true
+    (r.Simnet.Runner.utilization >= 0. && r.Simnet.Runner.utilization <= 1.001);
+  Alcotest.(check bool) "queue within buffer" true
+    (Array.for_all
+       (fun q -> q >= 0. && q <= params.Fluid.Params.buffer +. 1.)
+       r.Simnet.Runner.queue.Series.vs);
+  Alcotest.(check bool) "events processed" true (r.Simnet.Runner.events_processed > 0)
+
+let test_runner_bcn_converges_queue () =
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.02 params) with
+      Simnet.Runner.mode = Simnet.Source.Literal;
+      initial_rate = 0.5 *. Fluid.Params.equilibrium_rate params;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check int) "no drops" 0 r.Simnet.Runner.drops;
+  Alcotest.(check bool) "high utilization" true (r.Simnet.Runner.utilization > 0.5);
+  (* the queue eventually lives near q0 (within a broad band: the literal
+     mode oscillates) *)
+  let tail = Series.tail_from r.Simnet.Runner.queue 0.01 in
+  let mean = Stats.mean tail.Series.vs in
+  Alcotest.(check bool) "tail mean within (0, 2 q0)" true
+    (mean > 0. && mean < 2. *. params.Fluid.Params.q0)
+
+let test_runner_fairness_metric () =
+  checkf 1e-12 "equal rates" 1. (Simnet.Runner.fairness [| 5.; 5.; 5. |]);
+  checkf 1e-12 "one hog" (1. /. 3.) (Simnet.Runner.fairness [| 1.; 0.; 0. |])
+
+let test_runner_no_bcn_overflows () =
+  let p = Fluid.Params.default in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.005 p) with
+      Simnet.Runner.enable_bcn = false;
+      enable_pause = false;
+      initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check bool) "drops without control" true (r.Simnet.Runner.drops > 0)
+
+let test_runner_pause_prevents_drops () =
+  let p = Fluid.Params.default in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:0.005 p) with
+      Simnet.Runner.enable_bcn = false;
+      enable_pause = true;
+      initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Runner.run cfg in
+  Alcotest.(check int) "no drops with PAUSE" 0 r.Simnet.Runner.drops;
+  Alcotest.(check bool) "pauses occurred" true (r.Simnet.Runner.pause_on_events > 0)
+
+(* ---------------- Topology ---------------- *)
+
+let test_victim_scenario_contrast () =
+  let p =
+    Fluid.Params.make ~n_flows:10 ~capacity:10e9 ~q0:2.5e6 ~buffer:5e6 ~gi:4.
+      ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  let base = Simnet.Topology.default_config ~t_end:0.005 ~n_hot:10 ~victim_rate:500e6 p in
+  let base = { base with Simnet.Topology.initial_hot_rate = 1.5e9 } in
+  let pause_only =
+    Simnet.Topology.victim_scenario
+      { base with Simnet.Topology.enable_bcn = false; enable_pause = true }
+  in
+  let with_bcn =
+    Simnet.Topology.victim_scenario
+      { base with Simnet.Topology.enable_bcn = true; enable_pause = true }
+  in
+  Alcotest.(check bool) "victim suffers under PAUSE-only" true
+    (pause_only.Simnet.Topology.victim_paused_fraction > 0.05);
+  Alcotest.(check bool) "victim fine under BCN" true
+    (with_bcn.Simnet.Topology.victim_paused_fraction
+     < pause_only.Simnet.Topology.victim_paused_fraction /. 2.);
+  Alcotest.(check bool) "BCN goodput better" true
+    (with_bcn.Simnet.Topology.victim_goodput
+     > pause_only.Simnet.Topology.victim_goodput)
+
+(* ---------------- Qcn ---------------- *)
+
+let test_qcn_quantize () =
+  let q = Simnet.Qcn.quantize ~bits:6 ~fb_max:64. in
+  checkf 1e-9 "positive clipped to 0" 0. (q 5.);
+  checkf 1e-9 "below -fb_max clipped" (-64.) (q (-100.));
+  (* step = 64/63; -1 rounds to nearest level *)
+  Alcotest.(check bool) "quantized to a level" true
+    (let v = q (-1.) in
+     let step = 64. /. 63. in
+     Float.abs (Float.rem v step) < 1e-9 || Float.abs (Float.rem v step) > step -. 1e-9)
+
+let test_qcn_runs_and_controls () =
+  let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let cfg =
+    {
+      (Simnet.Qcn.default_config ~t_end:0.02 p) with
+      (* offer 1.5x the capacity so the congestion point must act *)
+      Simnet.Qcn.initial_rate = 1.5 *. Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let r = Simnet.Qcn.run cfg in
+  (* QCN has no positive messages and reacts per sampled flow, so the
+     initial 1.5x surge loses a few frames before control bites (this is
+     why 802.1Qau deployments pair QCN with 802.1Qbb PFC); the loss must
+     stay a small fraction and the queue must come under control *)
+  Alcotest.(check bool) "control messages sent" true (r.Simnet.Qcn.cn_messages > 0);
+  Alcotest.(check bool) "transient loss below 5%" true
+    (float_of_int r.Simnet.Qcn.drops
+     < 0.05 *. (r.Simnet.Qcn.delivered_bits /. 12000.));
+  let tail = Series.tail_from r.Simnet.Qcn.queue 0.012 in
+  Alcotest.(check bool) "queue controlled after transient" true
+    (Stats.max tail.Series.vs < p.Fluid.Params.qsc);
+  Alcotest.(check bool) "utilization high" true (r.Simnet.Qcn.utilization > 0.85)
+
+(* ---------------- Workload ---------------- *)
+
+let run_workload w t_end =
+  let e = Simnet.Engine.create () in
+  let frames = ref 0 in
+  Simnet.Workload.start w e ~sink:(fun _e _p -> incr frames);
+  Simnet.Engine.run ~until:t_end e;
+  !frames
+
+let test_workload_cbr_rate () =
+  let w = Simnet.Workload.cbr ~id:0 ~rate:1.2e6 in
+  let frames = run_workload w 1. in
+  (* 1.2e6 / 12000 = 100 frames/s *)
+  Alcotest.(check bool) "close to 100" true (abs (frames - 100) <= 2)
+
+let test_workload_poisson_mean () =
+  let w = Simnet.Workload.poisson ~id:0 ~mean_rate:1.2e6 ~seed:3 in
+  let frames = run_workload w 10. in
+  (* 1000 expected; Poisson std ~ 32 *)
+  Alcotest.(check bool) "within 4 sigma" true (abs (frames - 1000) < 130)
+
+let test_workload_on_off_duty_cycle () =
+  let w =
+    Simnet.Workload.on_off ~id:0 ~peak_rate:1.2e6 ~mean_on:0.05 ~mean_off:0.05
+      ~seed:5
+  in
+  let frames = run_workload w 20. in
+  (* 50% duty cycle of 100 frames/s over 20 s: ~1000 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "duty cycle ~50%% (got %d)" frames)
+    true
+    (frames > 600 && frames < 1400);
+  Alcotest.(check (float 1e-6)) "mean offered" 0.6e6
+    (Simnet.Workload.mean_offered_rate w)
+
+let test_workload_incast_bursts () =
+  let w =
+    Simnet.Workload.incast ~ids:[ 0; 1; 2 ] ~burst_frames:10 ~period:0.1 ()
+  in
+  let frames = run_workload w 0.35 in
+  (* epochs at 0, 0.1, 0.2, 0.3: 4 x 3 x 10 = 120 *)
+  Alcotest.(check int) "four epochs" 120 frames
+
+let test_workload_stop () =
+  let e = Simnet.Engine.create () in
+  let frames = ref 0 in
+  let w = Simnet.Workload.cbr ~id:0 ~rate:1.2e6 in
+  Simnet.Workload.start w e ~sink:(fun _e _p -> incr frames);
+  Simnet.Engine.run ~until:0.5 e;
+  Simnet.Workload.stop w;
+  let before = !frames in
+  Simnet.Engine.run ~until:1.5 e;
+  Alcotest.(check bool) "at most one frame after stop" true
+    (!frames - before <= 1)
+
+(* ---------------- Fera ---------------- *)
+
+let test_fera_converges_to_fair_share () =
+  let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let cfg = Simnet.Fera.default_config ~t_end:0.01 p in
+  let r = Simnet.Fera.run cfg in
+  Alcotest.(check int) "no drops" 0 r.Simnet.Fera.drops;
+  Alcotest.(check bool) "converged" true (r.Simnet.Fera.convergence_time <> None);
+  Alcotest.(check bool) "fair" true
+    (Simnet.Runner.fairness r.Simnet.Fera.final_rates > 0.99);
+  let fair = Fluid.Params.equilibrium_rate p in
+  Array.iter
+    (fun rate ->
+      Alcotest.(check bool) "near 0.95 fair share" true
+        (Float.abs (rate -. (0.95 *. fair)) < 0.15 *. fair))
+    r.Simnet.Fera.final_rates;
+  Alcotest.(check bool) "utilization near target" true
+    (r.Simnet.Fera.utilization > 0.85)
+
+let test_fera_queue_stays_small () =
+  let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let r = Simnet.Fera.run (Simnet.Fera.default_config ~t_end:0.01 p) in
+  (* explicit rates never let the queue grow anywhere near the buffer *)
+  Alcotest.(check bool) "queue < q0" true
+    (Stats.max r.Simnet.Fera.queue.Series.vs < p.Fluid.Params.q0)
+
+(* ---------------- E2cm ---------------- *)
+
+let test_e2cm_controls_and_outperforms_bcn_fairness () =
+  let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let start = 0.3 *. Fluid.Params.equilibrium_rate p in
+  let e2cm =
+    Simnet.E2cm.run
+      { (Simnet.E2cm.default_config ~t_end:0.02 p) with Simnet.E2cm.initial_rate = start }
+  in
+  Alcotest.(check int) "no drops" 0 e2cm.Simnet.E2cm.drops;
+  Alcotest.(check bool) "messages flowed" true (e2cm.Simnet.E2cm.messages > 0);
+  Alcotest.(check bool) "queue bounded by q0 region" true
+    (Stats.max e2cm.Simnet.E2cm.queue.Series.vs < p.Fluid.Params.buffer);
+  let bcn =
+    Simnet.Runner.run
+      {
+        (Simnet.Runner.default_config ~t_end:0.02 p) with
+        Simnet.Runner.mode = Simnet.Source.Literal;
+        initial_rate = start;
+        enable_pause = false;
+      }
+  in
+  (* the fair-share cap tames BCN's per-sample unfairness *)
+  Alcotest.(check bool) "fairer than plain BCN" true
+    (Simnet.Runner.fairness e2cm.Simnet.E2cm.final_rates
+     > Simnet.Runner.fairness bcn.Simnet.Runner.final_rates)
+
+(* ---------------- Multihop ---------------- *)
+
+let test_multihop_strict_tagging_protects () =
+  let p =
+    Fluid.Params.with_sampling ~pm:0.05
+      (Fluid.Params.with_buffer Fluid.Params.default 15e6)
+  in
+  let base = Simnet.Multihop.default_config ~t_end:0.02 p in
+  let strict = Simnet.Multihop.run base in
+  let relaxed =
+    Simnet.Multihop.run { base with Simnet.Multihop.strict_tagging = false }
+  in
+  Alcotest.(check int) "no drops (strict)" 0
+    (strict.Simnet.Multihop.drops_a + strict.Simnet.Multihop.drops_b);
+  (* strict tagging keeps the long/short goodput ratio within bounds;
+     relaxing it distorts the share substantially more *)
+  let dev r = Float.abs (log r.Simnet.Multihop.beatdown) in
+  Alcotest.(check bool)
+    (Printf.sprintf "strict %.3f closer to 1 than relaxed %.3f"
+       strict.Simnet.Multihop.beatdown relaxed.Simnet.Multihop.beatdown)
+    true
+    (dev strict < dev relaxed);
+  Alcotest.(check bool) "messages flowed" true
+    (strict.Simnet.Multihop.bcn_messages > 0)
+
+let test_multihop_validation () =
+  let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+  let base = Simnet.Multihop.default_config p in
+  Alcotest.(check bool) "rejects inverted capacities" true
+    (try
+       ignore (Simnet.Multihop.run { base with Simnet.Multihop.c_b = 2. *. base.Simnet.Multihop.c_a });
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Runner histograms ---------------- *)
+
+let test_runner_latency_histogram () =
+  let cfg = Simnet.Runner.default_config ~t_end:0.005 params in
+  let r = Simnet.Runner.run cfg in
+  let h = r.Simnet.Runner.latency in
+  Alcotest.(check bool) "latency recorded" true (Numerics.Histogram.count h > 0.);
+  let p50 = Numerics.Histogram.quantile h 0.5 in
+  let p99 = Numerics.Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  (* sojourn cannot exceed buffer/C plus one service time by much *)
+  Alcotest.(check bool) "p99 below bound" true
+    (p99 <= (params.Fluid.Params.buffer /. params.Fluid.Params.capacity) *. 2.2)
+
+(* ---------------- Model-based property tests ---------------- *)
+
+let prop_fifo_conserves_bits =
+  QCheck.Test.make ~name:"FIFO conserves bits over random op sequences"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) bool)
+    (fun ops ->
+      let f = Simnet.Fifo.create ~capacity_bits:60000. in
+      let seq = ref 0 in
+      List.iter
+        (fun enq ->
+          if enq then begin
+            incr seq;
+            ignore
+              (Simnet.Fifo.enqueue f
+                 (Simnet.Packet.make_data ~seq:!seq ~now:0. ~flow:0 ~rrt:None))
+          end
+          else ignore (Simnet.Fifo.dequeue f))
+        ops;
+      Float.abs
+        (Simnet.Fifo.enqueued_bits f
+        -. (Simnet.Fifo.dequeued_bits f +. Simnet.Fifo.occupancy_bits f))
+      < 1e-9
+      && Simnet.Fifo.occupancy_bits f <= 60000.)
+
+let prop_fifo_order_preserved =
+  QCheck.Test.make ~name:"FIFO pops in push order" ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let f = Simnet.Fifo.create ~capacity_bits:1e9 in
+      for i = 0 to n - 1 do
+        ignore
+          (Simnet.Fifo.enqueue f
+             (Simnet.Packet.make_data ~seq:i ~now:0. ~flow:0 ~rrt:None))
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        match Simnet.Fifo.dequeue f with
+        | Some p -> if p.Simnet.Packet.seq <> i then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let prop_engine_processes_in_time_order =
+  QCheck.Test.make ~name:"engine fires callbacks in nondecreasing time"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (float_range 0. 50.))
+    (fun delays ->
+      let e = Simnet.Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          Simnet.Engine.schedule e ~delay:d (fun e ->
+              times := Simnet.Engine.now e :: !times))
+        delays;
+      Simnet.Engine.run e;
+      let fired = List.rev !times in
+      List.length fired = List.length delays
+      && List.sort compare fired = fired)
+
+let prop_source_rate_always_in_bounds =
+  QCheck.Test.make ~name:"reaction point clamps under random feedback"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 100) (float_range (-1e7) 1e7))
+    (fun fbs ->
+      let src =
+        Simnet.Source.create ~id:0 ~initial_rate:1e6 ~min_rate:1e3
+          ~max_rate:1e9 ~mode:Simnet.Source.Literal ~gi:4. ~gd:(1. /. 128.)
+          ~ru:8e6
+          ~send:(fun _ _ -> ())
+          ()
+      in
+      List.iter (fun fb -> Simnet.Source.handle_bcn src ~now:0. ~fb ~cpid:1) fbs;
+      let r = Simnet.Source.rate src in
+      r >= 1e3 && r <= 1e9)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "ordering" `Quick test_eventq_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_eventq_interleaved;
+          Alcotest.test_case "nan rejected" `Quick test_eventq_nan_rejected;
+        ] );
+      qsuite "eventq-props" [ prop_eventq_sorted; prop_eventq_conserves ];
+      qsuite "model-props"
+        [
+          prop_fifo_conserves_bits;
+          prop_fifo_order_preserved;
+          prop_engine_processes_in_time_order;
+          prop_source_rate_always_in_bounds;
+        ];
+      ( "engine",
+        [
+          Alcotest.test_case "order and clock" `Quick test_engine_order_and_clock;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "fifo",
+        [ Alcotest.test_case "accounting" `Quick test_fifo_accounting ] );
+      ( "packet",
+        [ Alcotest.test_case "constructors" `Quick test_packet_constructors ] );
+      ( "switch",
+        [
+          Alcotest.test_case "sampling rate" `Quick test_switch_sampling_rate;
+          Alcotest.test_case "positive feedback" `Quick
+            test_switch_positive_feedback_when_below_q0;
+          Alcotest.test_case "negative feedback" `Quick
+            test_switch_negative_feedback_when_congested;
+          Alcotest.test_case "pause thresholds" `Quick test_switch_pause_thresholds;
+          Alcotest.test_case "egress pause" `Quick
+            test_switch_egress_pause_stops_service;
+          Alcotest.test_case "rejects control" `Quick
+            test_switch_rejects_control_frames;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "pacing rate" `Quick test_source_pacing_rate;
+          Alcotest.test_case "literal AIMD" `Quick test_source_literal_aimd;
+          Alcotest.test_case "zoh integration" `Quick test_source_zoh_integration;
+          Alcotest.test_case "pause" `Quick test_source_pause_stops_sending;
+          Alcotest.test_case "rate clamp" `Quick test_source_rate_clamped;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "conservation" `Quick test_runner_conservation;
+          Alcotest.test_case "BCN controls queue" `Quick
+            test_runner_bcn_converges_queue;
+          Alcotest.test_case "fairness metric" `Quick test_runner_fairness_metric;
+          Alcotest.test_case "no control overflows" `Quick
+            test_runner_no_bcn_overflows;
+          Alcotest.test_case "PAUSE prevents drops" `Quick
+            test_runner_pause_prevents_drops;
+        ] );
+      ( "topology",
+        [ Alcotest.test_case "victim contrast" `Quick test_victim_scenario_contrast ] );
+      ( "workload",
+        [
+          Alcotest.test_case "cbr rate" `Quick test_workload_cbr_rate;
+          Alcotest.test_case "poisson mean" `Quick test_workload_poisson_mean;
+          Alcotest.test_case "on/off duty cycle" `Quick
+            test_workload_on_off_duty_cycle;
+          Alcotest.test_case "incast bursts" `Quick test_workload_incast_bursts;
+          Alcotest.test_case "stop" `Quick test_workload_stop;
+        ] );
+      ( "fera",
+        [
+          Alcotest.test_case "fair convergence" `Quick
+            test_fera_converges_to_fair_share;
+          Alcotest.test_case "small queue" `Quick test_fera_queue_stays_small;
+        ] );
+      ( "multihop",
+        [
+          Alcotest.test_case "strict tagging" `Slow
+            test_multihop_strict_tagging_protects;
+          Alcotest.test_case "validation" `Quick test_multihop_validation;
+        ] );
+      ( "e2cm",
+        [
+          Alcotest.test_case "controls + fairness" `Quick
+            test_e2cm_controls_and_outperforms_bcn_fairness;
+        ] );
+      ( "measurements",
+        [
+          Alcotest.test_case "latency histogram" `Quick
+            test_runner_latency_histogram;
+        ] );
+      ( "qcn",
+        [
+          Alcotest.test_case "quantize" `Quick test_qcn_quantize;
+          Alcotest.test_case "runs and controls" `Quick test_qcn_runs_and_controls;
+        ] );
+    ]

@@ -1,0 +1,456 @@
+(* Strong-stability analysis: Definition 1, Propositions 2–4, Theorem 1
+   and the Analysis engine. These tests check the paper's logical
+   structure: the criterion implies the measured behaviour, the linear
+   baseline is blind to it, and the case taxonomy matches the verdicts. *)
+
+let default = Fluid.Params.default
+
+let big = Fluid.Params.with_buffer default (2. *. Fluid.Criterion.required_buffer default)
+
+let test_first_excursion_shape () =
+  let mx, mn = Fluid.Stability.first_excursion default in
+  (* overshoot positive, undershoot negative but above -q0 for the
+     nonlinear system at draft parameters *)
+  Alcotest.(check bool) "overshoot positive" true (mx > 0.);
+  Alcotest.(check bool) "undershoot negative" true (mn < 0.);
+  Alcotest.(check bool) "undershoot above -q0" true (mn > -.default.Fluid.Params.q0)
+
+let test_verdict_draft_params () =
+  let v = Fluid.Stability.analyze default in
+  Alcotest.(check bool) "Case 1" true (v.Fluid.Stability.case = Fluid.Cases.Case1);
+  Alcotest.(check bool) "not strongly stable at BDP" false
+    v.Fluid.Stability.strongly_stable;
+  Alcotest.(check bool) "overflow margin negative" true
+    (v.Fluid.Stability.overflow_margin < 0.);
+  match v.Fluid.Stability.analytic_strongly_stable with
+  | Some b -> Alcotest.(check bool) "Proposition 2 fails too" false b
+  | None -> Alcotest.fail "Case 1 must evaluate Proposition 2"
+
+let test_verdict_sized_buffer () =
+  let v = Fluid.Stability.analyze big in
+  Alcotest.(check bool) "strongly stable" true v.Fluid.Stability.strongly_stable;
+  Alcotest.(check bool) "positive margins" true
+    (v.Fluid.Stability.overflow_margin > 0.
+     && v.Fluid.Stability.underflow_margin > 0.)
+
+let test_propositions_case_gating () =
+  Alcotest.(check bool) "prop2 only in case 1" true
+    (Fluid.Stability.proposition2 default <> None);
+  Alcotest.(check bool) "prop3 not in case 1" true
+    (Fluid.Stability.proposition3 default = None);
+  Alcotest.(check bool) "prop4 not in case 1" true
+    (Fluid.Stability.proposition4 default = None);
+  let c2 = Dcecc_core.Figures.case2_params in
+  Alcotest.(check bool) "prop3 in case 2" true
+    (Fluid.Stability.proposition3 c2 <> None);
+  let c3 = Dcecc_core.Figures.case3_params in
+  Alcotest.(check bool) "prop4 in case 3" true
+    (Fluid.Stability.proposition4 c3 = Some true)
+
+let test_cases_3_4_no_overshoot () =
+  (* the paper's claim: Cases 3 and 4 never overshoot the reference *)
+  List.iter
+    (fun p ->
+      let v = Fluid.Stability.analyze p in
+      Alcotest.(check bool) "no overshoot above q0" true
+        (v.Fluid.Stability.numeric_max <= 1e-3 *. p.Fluid.Params.q0))
+    [ Dcecc_core.Figures.case3_params; Dcecc_core.Figures.case4_params ]
+
+let test_theorem1_implies_numeric_stability () =
+  (* sweep buffers around the criterion boundary: whenever Theorem 1 is
+     satisfied the measured trajectory must stay inside the buffer *)
+  List.iter
+    (fun factor ->
+      let p =
+        Fluid.Params.with_buffer default
+          (factor *. Fluid.Criterion.required_buffer default)
+      in
+      if Fluid.Criterion.satisfied p then begin
+        let v = Fluid.Stability.analyze p in
+        Alcotest.(check bool)
+          (Printf.sprintf "B = %.2fx required -> stable" factor)
+          true v.Fluid.Stability.strongly_stable
+      end)
+    [ 1.01; 1.2; 1.5; 2.; 3. ]
+
+let test_theorem1_conservative_not_tight () =
+  (* the criterion is sufficient, not necessary: the nonlinear system is
+     already strongly stable somewhat below the bound (the linearization
+     overestimates the decrease-phase overshoot) *)
+  let p = Fluid.Params.with_buffer default 8e6 in
+  Alcotest.(check bool) "criterion not satisfied" false
+    (Fluid.Criterion.satisfied p);
+  let v = Fluid.Stability.analyze p in
+  Alcotest.(check bool) "yet numerically stable" true
+    v.Fluid.Stability.strongly_stable
+
+let test_baseline_blindness () =
+  (* the paper's core argument (experiment V2): linear theory approves
+     configurations that overflow *)
+  let rows = Dcecc_core.Compare.linear_vs_strong Dcecc_core.Compare.default_sweep in
+  List.iter
+    (fun (r : Dcecc_core.Compare.linear_vs_strong_row) ->
+      Alcotest.(check bool)
+        (r.Dcecc_core.Compare.label ^ ": linear says stable") true
+        r.Dcecc_core.Compare.linear_stable)
+    rows;
+  let bdp = List.find (fun r -> r.Dcecc_core.Compare.label = "B = BDP (paper)") rows in
+  Alcotest.(check bool) "BDP config not strongly stable" false
+    bdp.Dcecc_core.Compare.numeric_strongly_stable;
+  let ok = List.find (fun r -> r.Dcecc_core.Compare.label = "B = 1.5x required") rows in
+  Alcotest.(check bool) "1.5x required is strongly stable" true
+    ok.Dcecc_core.Compare.numeric_strongly_stable
+
+let test_analysis_report () =
+  let r = Dcecc_core.Analysis.run big in
+  Alcotest.(check bool) "criterion ok" true r.Dcecc_core.Analysis.criterion_ok;
+  Alcotest.(check bool) "focus kinds" true
+    (r.Dcecc_core.Analysis.increase_kind = Phaseplane.Singular.Stable_focus
+     && r.Dcecc_core.Analysis.decrease_kind = Phaseplane.Singular.Stable_focus);
+  Alcotest.(check bool) "baseline stable" true
+    r.Dcecc_core.Analysis.baseline.Control.Linear_baseline.claims_stable;
+  (match r.Dcecc_core.Analysis.warmup with
+  | Some t0 -> Alcotest.(check (float 1e-9)) "T0" 2.5e-6 t0
+  | None -> Alcotest.fail "warmup expected");
+  (* report renders *)
+  let text = Dcecc_core.Analysis.to_string r in
+  Alcotest.(check bool) "report non-empty" true (String.length text > 200)
+
+let test_analysis_limit_cycle_probe () =
+  (* the draft parameters' quasi-cycle: slow contraction, no divergence *)
+  match Dcecc_core.Analysis.probe_limit_cycle ~max_iters:25 big with
+  | Phaseplane.Limit_cycle.Contracting { ratio; _ } ->
+      Alcotest.(check bool) "ratio below 1" true (ratio < 1.);
+      Alcotest.(check bool) "ratio near 1 (quasi-cycle)" true (ratio > 0.8)
+  | Phaseplane.Limit_cycle.Converges_to_origin -> ()
+  | v ->
+      Alcotest.failf "unexpected verdict: %s"
+        (match v with
+        | Phaseplane.Limit_cycle.Cycle _ -> "cycle"
+        | Phaseplane.Limit_cycle.Diverges -> "diverges"
+        | Phaseplane.Limit_cycle.Expanding _ -> "expanding"
+        | Phaseplane.Limit_cycle.Inconclusive m -> m
+        | _ -> "?")
+
+let test_region_time_scales_positive () =
+  List.iter
+    (fun p ->
+      let mx, mn = Fluid.Stability.first_excursion ~t_max:0.002 p in
+      Alcotest.(check bool) "finite excursion" true
+        (Float.is_finite mx && Float.is_finite mn))
+    [ default; Dcecc_core.Figures.case2_params ]
+
+let prop_criterion_sound =
+  (* randomized soundness: Theorem 1 satisfied => no overflow in the
+     nonlinear simulation (checked on a reduced-horizon analysis) *)
+  QCheck.Test.make ~name:"Theorem 1 soundness (random gains)" ~count:12
+    QCheck.(pair (float_range 0.5 8.) (float_range (1. /. 512.) (1. /. 16.)))
+    (fun (gi, gd) ->
+      let p = Fluid.Params.with_gains ~gi ~gd default in
+      let p = Fluid.Params.with_buffer p (1.05 *. Fluid.Criterion.required_buffer p) in
+      let v = Fluid.Stability.analyze p in
+      v.Fluid.Stability.strongly_stable)
+
+let prop_overshoot_below_bound =
+  QCheck.Test.make
+    ~name:"semi-analytic max1 never exceeds the Theorem-1 bound" ~count:20
+    QCheck.(pair (float_range 0.5 8.) (float_range (1. /. 512.) (1. /. 16.)))
+    (fun (gi, gd) ->
+      let p = Fluid.Params.with_gains ~gi ~gd default in
+      match Fluid.Flowmap.first_overshoot p with
+      | Some mx -> mx <= Fluid.Criterion.overshoot_bound p *. (1. +. 1e-9)
+      | None -> true)
+
+let prop_undershoot_above_minus_q0 =
+  QCheck.Test.make
+    ~name:"semi-analytic min1 stays above -q0 (Theorem-1 proof step)"
+    ~count:20
+    QCheck.(pair (float_range 0.5 8.) (float_range (1. /. 512.) (1. /. 16.)))
+    (fun (gi, gd) ->
+      let p = Fluid.Params.with_gains ~gi ~gd default in
+      match Fluid.Flowmap.first_undershoot p with
+      | Some mn -> mn >= -.p.Fluid.Params.q0 *. (1. +. 1e-9)
+      | None -> true)
+
+(* ---------------- Delayed feedback ---------------- *)
+
+let test_delayed_zero_tau_matches_undelayed () =
+  let r = Fluid.Delayed.simulate ~tau:0. big in
+  (* the dedicated DDE integrator at tau = 0 must agree with the standard
+     nonlinear integration on the first overshoot *)
+  let mx_dde = Numerics.Stats.max r.Fluid.Delayed.x.Numerics.Series.vs in
+  let mx_ref, _ = Fluid.Stability.first_excursion big in
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot %.4g vs %.4g" mx_dde mx_ref)
+    true
+    (Float.abs (mx_dde -. mx_ref) < 0.05 *. mx_ref)
+
+let test_delayed_growth_increases_with_tau () =
+  let g tau =
+    match (Fluid.Delayed.simulate ~tau big).Fluid.Delayed.growth_per_cycle with
+    | Some g -> g
+    | None -> Alcotest.fail "expected oscillation"
+  in
+  let g0 = g 0. and g2 = g 2e-6 in
+  Alcotest.(check bool) "tau=0 contracts" true (g0 < 1.);
+  Alcotest.(check bool) "delay weakens contraction" true (g2 > g0)
+
+let test_delayed_large_tau_unstable () =
+  Alcotest.(check bool) "tau = 1e-4 unstable" false
+    (Fluid.Delayed.is_stable ~tau:1e-4 big)
+
+let test_delayed_critical_delay_brackets () =
+  (* stability is not monotone in tau (delay-induced stabilization pockets
+     exist — see experiment A2), so only check that a critical delay is
+     found in range and that the clearly-stable / clearly-unstable ends
+     behave *)
+  match Fluid.Delayed.critical_delay big with
+  | Some tau ->
+      Alcotest.(check bool) "within scanned range" true (tau > 0. && tau < 1e-3);
+      Alcotest.(check bool) "tiny delay stable" true
+        (Fluid.Delayed.is_stable ~tau:1e-6 big)
+  | None -> Alcotest.fail "expected a critical delay at the draft gains"
+
+let test_delayed_rejects_negative_tau () =
+  Alcotest.(check bool) "negative tau" true
+    (try
+       ignore (Fluid.Delayed.simulate ~tau:(-1.) big);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Transient metrics ---------------- *)
+
+let test_transient_measure_shape () =
+  let m = Fluid.Transient.measure big in
+  Alcotest.(check bool) "overshoot positive" true
+    (m.Fluid.Transient.overshoot > 0.);
+  Alcotest.(check bool) "undershoot negative" true
+    (m.Fluid.Transient.undershoot < 0.);
+  Alcotest.(check bool) "oscillates" true (m.Fluid.Transient.oscillations > 5);
+  match m.Fluid.Transient.decay_per_cycle with
+  | Some d -> Alcotest.(check bool) "contracting" true (d < 1.)
+  | None -> Alcotest.fail "expected decay estimate"
+
+let test_transient_invariant_bound_across_w () =
+  (* the Remarks: w moves the transient but not the Theorem-1 bound *)
+  let reqs =
+    List.map
+      (fun w ->
+        Fluid.Criterion.required_buffer (Fluid.Params.with_sampling ~w big))
+      [ 0.5; 2.; 32. ]
+  in
+  match reqs with
+  | a :: rest ->
+      List.iter
+        (fun b -> Alcotest.(check (float 1.)) "bound unchanged" a b)
+        rest
+  | [] -> ()
+
+let test_transient_gd_speeds_decay () =
+  (* a stronger decrease gain contracts the oscillation faster *)
+  let decay gd =
+    match
+      (Fluid.Transient.measure (Fluid.Params.with_gains ~gd big))
+        .Fluid.Transient.decay_per_cycle
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "expected decay"
+  in
+  Alcotest.(check bool) "Gd x4 decays faster" true
+    (decay (1. /. 32.) < decay (1. /. 128.))
+
+(* ---------------- Safe region ---------------- *)
+
+let test_safe_region_classify () =
+  (* the canonical warm-up start overflows with the BDP buffer ... *)
+  Alcotest.(check bool) "warm-up overflows at BDP" true
+    (Fluid.Safe_region.classify default ~q:0. ~r:0. = Fluid.Safe_region.Overflow);
+  (* ... and is safe with the Theorem-1 buffer *)
+  Alcotest.(check bool) "warm-up safe at Theorem-1 B" true
+    (Fluid.Safe_region.classify big ~q:0. ~r:0. = Fluid.Safe_region.Safe);
+  (* the equilibrium itself is safe in both *)
+  Alcotest.(check bool) "equilibrium safe" true
+    (Fluid.Safe_region.classify default ~q:default.Fluid.Params.q0
+       ~r:(Fluid.Params.equilibrium_rate default)
+     = Fluid.Safe_region.Safe)
+
+let test_safe_region_raster_orders () =
+  let ra = Fluid.Safe_region.raster ~nq:8 ~nr:6 default in
+  let rb = Fluid.Safe_region.raster ~nq:8 ~nr:6 big in
+  Alcotest.(check bool) "bigger buffer, bigger basin" true
+    (rb.Fluid.Safe_region.safe_fraction >= ra.Fluid.Safe_region.safe_fraction);
+  Alcotest.(check bool) "Theorem-1 basin is everything" true
+    (rb.Fluid.Safe_region.safe_fraction > 0.999);
+  Alcotest.(check bool) "BDP basin has holes" true
+    (ra.Fluid.Safe_region.safe_fraction < 0.95);
+  (* render is well-formed *)
+  let txt = Fluid.Safe_region.render ra in
+  Alcotest.(check bool) "render nonempty" true (String.length txt > 50)
+
+let test_safe_region_rejects_bad_input () =
+  Alcotest.(check bool) "q > B rejected" true
+    (try
+       ignore (Fluid.Safe_region.classify default ~q:1e9 ~r:1e8);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Design engine ---------------- *)
+
+let test_design_recommend_feasible () =
+  match Fluid.Design.recommend ~n_flows:50 ~capacity:10e9 ~buffer:5e6 () with
+  | Some c ->
+      Alcotest.(check bool) "criterion holds with headroom" true
+        (1.1 *. c.Fluid.Design.required_buffer < 5e6);
+      Alcotest.(check bool) "warm-up bounded" true
+        (c.Fluid.Design.warmup <= 1e-3);
+      (* the recommendation is actually strongly stable *)
+      let v = Fluid.Stability.analyze c.Fluid.Design.params in
+      Alcotest.(check bool) "strongly stable" true
+        v.Fluid.Stability.strongly_stable
+  | None -> Alcotest.fail "expected a feasible configuration"
+
+let test_design_infeasible () =
+  let constraints =
+    { Fluid.Design.max_warmup = 1e-12; headroom = 1.1 }
+  in
+  Alcotest.(check bool) "impossible warm-up bound" true
+    (Fluid.Design.recommend ~constraints ~n_flows:50 ~capacity:10e9
+       ~buffer:5e6 ()
+     = None)
+
+let test_design_ranking () =
+  let cands =
+    Fluid.Design.feasible_set ~n_flows:50 ~capacity:10e9 ~buffer:5e6 ()
+  in
+  Alcotest.(check bool) "nonempty" true (List.length cands > 1);
+  match cands with
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      (match (first.Fluid.Design.settling, last.Fluid.Design.settling) with
+      | Some a, Some b -> Alcotest.(check bool) "sorted by settling" true (a <= b)
+      | Some _, None -> ()
+      | None, Some _ -> Alcotest.fail "unsettled ranked above settled"
+      | None, None -> ())
+  | [] -> Alcotest.fail "unreachable"
+
+(* ---------------- AIMD fairness (Chiu-Jain) ---------------- *)
+
+let test_aimd_converges_to_fairness () =
+  let policy = Fluid.Aimd_fairness.Aimd { increase = 1e8; decrease = 0.2 } in
+  Alcotest.(check bool) "converges" true
+    (Fluid.Aimd_fairness.converges_to_fairness policy ~capacity:10e9
+       { Fluid.Aimd_fairness.r1 = 9e9; r2 = 1e9 })
+
+let test_aiad_does_not_converge () =
+  let policy = Fluid.Aimd_fairness.Aiad { increase = 1e8; decrease = 2e9 } in
+  Alcotest.(check bool) "does not converge" false
+    (Fluid.Aimd_fairness.converges_to_fairness policy ~capacity:10e9
+       { Fluid.Aimd_fairness.r1 = 9e9; r2 = 1e9 })
+
+let test_aimd_md_preserves_ratio () =
+  (* multiplicative decrease preserves r1/r2; additive increase shrinks
+     the relative gap — the Chiu-Jain geometry *)
+  let policy = Fluid.Aimd_fairness.Aimd { increase = 1e8; decrease = 0.25 } in
+  let congested = { Fluid.Aimd_fairness.r1 = 8e9; r2 = 4e9 } in
+  let after = Fluid.Aimd_fairness.step policy ~capacity:10e9 congested in
+  Alcotest.(check (float 1e-9)) "ratio preserved" 2.
+    (after.Fluid.Aimd_fairness.r1 /. after.Fluid.Aimd_fairness.r2);
+  let idle = { Fluid.Aimd_fairness.r1 = 2e9; r2 = 1e9 } in
+  let after = Fluid.Aimd_fairness.step policy ~capacity:10e9 idle in
+  Alcotest.(check bool) "gap ratio shrinks" true
+    (after.Fluid.Aimd_fairness.r1 /. after.Fluid.Aimd_fairness.r2 < 2.)
+
+let test_aimd_fairness_index () =
+  Alcotest.(check (float 1e-12)) "equal" 1.
+    (Fluid.Aimd_fairness.fairness_index { Fluid.Aimd_fairness.r1 = 5.; r2 = 5. });
+  Alcotest.(check (float 1e-12)) "one flow" 0.5
+    (Fluid.Aimd_fairness.fairness_index { Fluid.Aimd_fairness.r1 = 1.; r2 = 0. })
+
+let test_aimd_of_params_converges () =
+  let policy = Fluid.Aimd_fairness.of_params Fluid.Params.default in
+  Alcotest.(check bool) "BCN-derived gains converge" true
+    (Fluid.Aimd_fairness.converges_to_fairness ~n:5000 policy ~capacity:10e9
+       { Fluid.Aimd_fairness.r1 = 9e9; r2 = 1e9 })
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "stability"
+    [
+      ( "excursion",
+        [
+          Alcotest.test_case "shape" `Quick test_first_excursion_shape;
+          Alcotest.test_case "time scales" `Quick test_region_time_scales_positive;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "draft params" `Quick test_verdict_draft_params;
+          Alcotest.test_case "sized buffer" `Quick test_verdict_sized_buffer;
+          Alcotest.test_case "proposition gating" `Quick
+            test_propositions_case_gating;
+          Alcotest.test_case "cases 3/4 no overshoot" `Quick
+            test_cases_3_4_no_overshoot;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "implies stability" `Quick
+            test_theorem1_implies_numeric_stability;
+          Alcotest.test_case "conservative" `Quick
+            test_theorem1_conservative_not_tight;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "blindness (V2)" `Quick test_baseline_blindness ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "report" `Quick test_analysis_report;
+          Alcotest.test_case "limit-cycle probe" `Quick
+            test_analysis_limit_cycle_probe;
+        ] );
+      ( "delayed",
+        [
+          Alcotest.test_case "tau = 0 baseline" `Quick
+            test_delayed_zero_tau_matches_undelayed;
+          Alcotest.test_case "growth vs tau" `Quick
+            test_delayed_growth_increases_with_tau;
+          Alcotest.test_case "large tau unstable" `Quick
+            test_delayed_large_tau_unstable;
+          Alcotest.test_case "critical delay" `Slow
+            test_delayed_critical_delay_brackets;
+          Alcotest.test_case "negative tau" `Quick
+            test_delayed_rejects_negative_tau;
+        ] );
+      ( "safe-region",
+        [
+          Alcotest.test_case "classify" `Quick test_safe_region_classify;
+          Alcotest.test_case "raster ordering" `Slow test_safe_region_raster_orders;
+          Alcotest.test_case "input validation" `Quick
+            test_safe_region_rejects_bad_input;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "recommend" `Quick test_design_recommend_feasible;
+          Alcotest.test_case "infeasible" `Quick test_design_infeasible;
+          Alcotest.test_case "ranking" `Slow test_design_ranking;
+        ] );
+      ( "aimd-fairness",
+        [
+          Alcotest.test_case "AIMD converges" `Quick test_aimd_converges_to_fairness;
+          Alcotest.test_case "AIAD does not" `Quick test_aiad_does_not_converge;
+          Alcotest.test_case "MD preserves ratio" `Quick test_aimd_md_preserves_ratio;
+          Alcotest.test_case "fairness index" `Quick test_aimd_fairness_index;
+          Alcotest.test_case "BCN-derived gains" `Quick test_aimd_of_params_converges;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "measure shape" `Quick test_transient_measure_shape;
+          Alcotest.test_case "bound invariant in w" `Quick
+            test_transient_invariant_bound_across_w;
+          Alcotest.test_case "Gd speeds decay" `Quick test_transient_gd_speeds_decay;
+        ] );
+      qsuite "props"
+        [
+          prop_criterion_sound;
+          prop_overshoot_below_bound;
+          prop_undershoot_above_minus_q0;
+        ];
+    ]
