@@ -3,12 +3,20 @@
    Default run (what `dune exec bench/main.exe` produces):
    1. regenerates every figure and table of the paper — the experiment
       index of DESIGN.md §4 — printing the reproduced rows/series and the
-      paper-vs-measured checks;
+      paper-vs-measured checks (fanned out across a domain pool; output
+      is byte-identical to a serial run);
    2. runs a Bechamel micro-benchmark suite with one Test.make per
       experiment id, measuring that experiment's computational kernel.
 
    `--figures-only` / `--perf-only` restrict to one half;
-   `--out DIR` additionally writes the figure data as CSVs. *)
+   `--serial` forces the figure pass onto one domain;
+   `--compare` times the figure pass serially AND in parallel, checks the
+   outputs are byte-identical, and reports the speedup;
+   `--jobs N` sets the pool size (default DCECC_JOBS or the recommended
+   domain count);
+   `--out DIR` additionally writes the figure data as CSVs;
+   `--json FILE` writes the per-kernel estimates as JSON (the seed for
+   the BENCH_* perf trajectory). *)
 
 let default = Fluid.Params.default
 
@@ -19,17 +27,89 @@ let big =
 (* Part 1: figure regeneration                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures out =
-  let t0 = Sys.time () in
-  List.iter
-    (fun (id, text) ->
-      Printf.printf "################ %s ################\n%s\n" id text)
-    (Dcecc_core.Figures.all ?out ());
-  Printf.printf "[figure regeneration took %.1f s]\n\n" (Sys.time () -. t0)
+(* Wall clock, not [Sys.time]: CPU time over-reports as soon as the
+   figures run on multiple domains. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let render_figures figs =
+  String.concat ""
+    (List.map
+       (fun (id, text) ->
+         Printf.sprintf "################ %s ################\n%s\n" id text)
+       figs)
+
+let run_figures ~jobs out =
+  let jobs =
+    match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
+  in
+  let figs, dt = timed (fun () -> Dcecc_core.Figures.all ~jobs ?out ()) in
+  print_string (render_figures figs);
+  Printf.printf "[figure regeneration took %.1f s on %d domain%s]\n\n" dt jobs
+    (if jobs = 1 then "" else "s")
+
+let run_compare ~jobs out =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Stdlib.max 2 (Parallel.Pool.default_size ())
+  in
+  let serial, dt_serial = timed (fun () -> Dcecc_core.Figures.all ~jobs:1 ?out ()) in
+  let parallel, dt_par = timed (fun () -> Dcecc_core.Figures.all ~jobs ?out ()) in
+  let identical = render_figures serial = render_figures parallel in
+  Printf.printf
+    "################ serial vs parallel (figures) ################\n";
+  Printf.printf "serial   (1 domain)  : %8.2f s\n" dt_serial;
+  Printf.printf "parallel (%d domains): %8.2f s\n" jobs dt_par;
+  Printf.printf "speedup              : %8.2fx\n" (dt_serial /. dt_par);
+  Printf.printf "output byte-identical: %b\n\n" identical;
+  if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel performance suite (one Test.make per experiment)   *)
 (* ------------------------------------------------------------------ *)
+
+(* The RK4 substrate kernels are shared between the Bechamel suite and
+   the direct allocation check below. *)
+let ode_step () =
+  let f _t y = [| y.(1); -.y.(0) |] in
+  ignore (Numerics.Ode.step Numerics.Ode.Rk4 f 0. [| 1.; 0. |] 0.01)
+
+let ode_ws = Numerics.Ode.workspace 2
+let ode_y = [| 1.; 0. |]
+let ode_dst = [| 0.; 0. |]
+
+let ode_field (y : float array) (dst : float array) =
+  dst.(0) <- y.(1);
+  dst.(1) <- -.y.(0)
+
+let ode_step_into () =
+  Numerics.Ode.step_auto_into ode_ws Numerics.Ode.Rk4 ode_field ode_y 0.01
+    ode_dst
+
+(* Bechamel's OLS estimate of minor_allocated rounds tiny per-run
+   footprints down to zero, so the headline zero-allocation claim is also
+   checked the blunt way: a raw [Gc.minor_words] delta over a fixed
+   number of runs. *)
+let minor_words_per_run f =
+  for _ = 1 to 100 do
+    f ()
+  done;
+  let runs = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int runs
+
+let run_alloc_check () =
+  Printf.printf
+    "\nGc.minor_words delta per step: allocating rk4 step = %.1f words, \
+     in-place step_auto_into = %.1f words\n"
+    (minor_words_per_run ode_step)
+    (minor_words_per_run ode_step_into)
 
 let kernels () =
   let open Bechamel in
@@ -119,11 +199,10 @@ let kernels () =
     Simnet.Workload.start wl e ~sink:(fun _e _p -> incr count);
     Simnet.Engine.run ~until:1e-3 e
   in
-  (* substrate micro-kernels for the ablation notes *)
-  let ode_step () =
-    let f _t y = [| y.(1); -.y.(0) |] in
-    ignore (Numerics.Ode.step Numerics.Ode.Rk4 f 0. [| 1.; 0. |] 0.01)
-  in
+  (* substrate micro-kernels for the ablation notes: [ode_step] is the
+     historical allocating step, [ode_step_into] the in-place variant
+     (same math bit-for-bit, preallocated workspace, autonomous field —
+     zero minor-heap allocation per step) *)
   let nonlinear_excursion () =
     ignore (Fluid.Stability.first_excursion ~t_max:1e-3 big)
   in
@@ -149,9 +228,28 @@ let kernels () =
       Test.make ~name:"b1_safe_region" (Staged.stage b1);
       Test.make ~name:"m1_multihop" (Staged.stage m1);
       Test.make ~name:"kernel_rk4_step" (Staged.stage ode_step);
+      Test.make ~name:"kernel_rk4_step_into" (Staged.stage ode_step_into);
       Test.make ~name:"kernel_nonlinear_excursion"
         (Staged.stage nonlinear_excursion);
     ]
+
+type estimate = { name : string; time_ns : float; minor_words : float }
+
+let estimates_of instance raw =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name v acc ->
+      let est =
+        match Analyze.OLS.estimates v with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      (name, est) :: acc)
+    results []
 
 let run_perf () =
   let open Bechamel in
@@ -160,22 +258,22 @@ let run_perf () =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 0.2) ~kde:None ~stabilize:false
       ()
   in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (kernels ()) in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ minor_allocated; monotonic_clock ]
+      (kernels ())
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let times = estimates_of Toolkit.Instance.monotonic_clock raw in
+  let words = estimates_of Toolkit.Instance.minor_allocated raw in
   let rows =
-    Hashtbl.fold
-      (fun name v acc ->
-        let est =
-          match Analyze.OLS.estimates v with
-          | Some (e :: _) -> e
-          | Some [] | None -> nan
-        in
-        (name, est) :: acc)
-      results []
-    |> List.sort compare
+    List.sort compare
+      (List.map
+         (fun (name, t) ->
+           let mw =
+             match List.assoc_opt name words with Some w -> w | None -> nan
+           in
+           { name; time_ns = t; minor_words = mw })
+         times)
   in
   let fmt_time ns =
     if Float.is_nan ns then "n/a"
@@ -184,20 +282,93 @@ let run_perf () =
     else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
     else Printf.sprintf "%.1f ns" ns
   in
+  let fmt_words w =
+    if Float.is_nan w then "n/a" else Printf.sprintf "%.1f" w
+  in
   Report.Table.print
-    ~headers:[ "experiment kernel"; "time per run" ]
-    ~rows:(List.map (fun (n, e) -> [ n; fmt_time e ]) rows)
+    ~headers:[ "experiment kernel"; "time per run"; "minor words/run" ]
+    ~rows:
+      (List.map
+         (fun e -> [ e.name; fmt_time e.time_ns; fmt_words e.minor_words ])
+         rows);
+  rows
+
+(* Hand-rolled JSON writer (the repo carries no JSON dependency); every
+   emitted value is a string-keyed object of floats, so escaping reduces
+   to the kernel names, which are [a-z0-9_] already — escaped anyway for
+   safety. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"kernels\": [\n";
+      List.iteri
+        (fun i e ->
+          Printf.fprintf oc
+            "    {\"name\": \"%s\", \"time_ns_per_run\": %s, \
+             \"minor_words_per_run\": %s}%s\n"
+            (json_escape e.name) (json_float e.time_ns)
+            (json_float e.minor_words)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
-  let out =
+  let opt name =
     let rec find = function
-      | "--out" :: dir :: _ -> Some dir
+      | flag :: v :: _ when flag = name -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
-  if not (has "--perf-only") then run_figures out;
-  if not (has "--figures-only") then run_perf ()
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+  let out = opt "--out" in
+  let json = opt "--json" in
+  (* reject a bad --json destination up front rather than after the
+     multi-minute perf run *)
+  (match json with
+  | Some path -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg -> fail "bench: cannot write --json %s" msg)
+  | None -> ());
+  let jobs =
+    if has "--serial" then Some 1
+    else
+      match opt "--jobs" with
+      | None -> None
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some j when j >= 1 -> Some j
+          | Some _ | None ->
+              fail "bench: --jobs expects a positive integer, got %S" v)
+  in
+  if has "--compare" then run_compare ~jobs out
+  else if not (has "--perf-only") then run_figures ~jobs out;
+  if not (has "--figures-only") && not (has "--compare") then begin
+    let rows = run_perf () in
+    run_alloc_check ();
+    match json with Some path -> write_json path rows | None -> ()
+  end

@@ -18,7 +18,7 @@ let apply base param v =
   | "pm" -> Fluid.Params.with_sampling ~pm:v base
   | other -> invalid_arg ("unknown parameter: " ^ other)
 
-let run param lo hi steps log_scale buffer csv =
+let run param lo hi steps log_scale buffer csv jobs =
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
   let value i =
@@ -31,27 +31,35 @@ let run param lo hi steps log_scale buffer csv =
       "numeric_min_q"; "strongly_stable"; "oscillations"; "decay_per_cycle";
     ]
   in
+  let row i =
+    let v = value i in
+    let p = apply base param v in
+    let verdict = Fluid.Stability.analyze p in
+    let t = Fluid.Transient.measure p in
+    [
+      Printf.sprintf "%g" v;
+      Format.asprintf "%a" Fluid.Cases.pp_case verdict.Fluid.Stability.case;
+      Printf.sprintf "%g" (Fluid.Criterion.required_buffer p);
+      string_of_bool (Fluid.Criterion.satisfied p);
+      Printf.sprintf "%g"
+        (verdict.Fluid.Stability.numeric_max +. p.Fluid.Params.q0);
+      Printf.sprintf "%g"
+        (verdict.Fluid.Stability.numeric_min +. p.Fluid.Params.q0);
+      string_of_bool verdict.Fluid.Stability.strongly_stable;
+      string_of_int t.Fluid.Transient.oscillations;
+      (match t.Fluid.Transient.decay_per_cycle with
+      | Some d -> Printf.sprintf "%.6f" d
+      | None -> "");
+    ]
+  in
+  (* Each grid point is an independent analyze+measure; shard the grid
+     across the pool in deterministic chunks (the table is identical to a
+     sequential run for any --jobs). *)
   let rows =
-    List.init steps (fun i ->
-        let v = value i in
-        let p = apply base param v in
-        let verdict = Fluid.Stability.analyze p in
-        let t = Fluid.Transient.measure p in
-        [
-          Printf.sprintf "%g" v;
-          Format.asprintf "%a" Fluid.Cases.pp_case verdict.Fluid.Stability.case;
-          Printf.sprintf "%g" (Fluid.Criterion.required_buffer p);
-          string_of_bool (Fluid.Criterion.satisfied p);
-          Printf.sprintf "%g"
-            (verdict.Fluid.Stability.numeric_max +. p.Fluid.Params.q0);
-          Printf.sprintf "%g"
-            (verdict.Fluid.Stability.numeric_min +. p.Fluid.Params.q0);
-          string_of_bool verdict.Fluid.Stability.strongly_stable;
-          string_of_int t.Fluid.Transient.oscillations;
-          (match t.Fluid.Transient.decay_per_cycle with
-          | Some d -> Printf.sprintf "%.6f" d
-          | None -> "");
-        ])
+    Parallel.Pool.with_pool ?size:jobs (fun pool ->
+        Array.to_list
+          (Parallel.Pool.parmap_array pool row
+             (Array.init steps (fun i -> i))))
   in
   Report.Table.print ~headers:header ~rows;
   (match csv with
@@ -78,8 +86,26 @@ let cmd =
     Arg.(value & opt float 15e6 & info [ "buffer" ] ~doc:"Buffer for the base config, bits.")
   in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV.") in
+  let jobs =
+    let pos_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ | None ->
+            Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(
+      value
+      & opt (some pos_int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep (default: \\$(b,DCECC_JOBS) or the \
+             recommended domain count; 1 = sequential).")
+  in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
-    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv)
+    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv $ jobs)
 
 let () = exit (Cmd.eval' cmd)

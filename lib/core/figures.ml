@@ -880,20 +880,44 @@ let a3_solver_ablation ?out () =
   let exact =
     match Fluid.Flowmap.first_overshoot p with Some v -> v | None -> nan
   in
+  (* Cost is reported as the number of right-hand-side evaluations — a
+     deterministic work measure, unlike wall time, so the rendered text
+     is reproducible run-to-run (and byte-identical under the parallel
+     figure driver); wall-time comparisons live in bench/. *)
+  let counted sys n =
+    match sys with
+    | Phaseplane.System.Smooth f ->
+        Phaseplane.System.Smooth
+          (fun pt ->
+            incr n;
+            f pt)
+    | Phaseplane.System.Switched { sigma; pos; neg } ->
+        Phaseplane.System.Switched
+          {
+            sigma;
+            pos =
+              (fun pt ->
+                incr n;
+                pos pt);
+            neg =
+              (fun pt ->
+                incr n;
+                neg pt);
+          }
+  in
   let measure label solver =
-    let t0 = Sys.time () in
+    let nevals = ref 0 in
     let tr =
-      Phaseplane.Trajectory.integrate ~solver ~t_max:0.002 sys
+      Phaseplane.Trajectory.integrate ~solver ~t_max:0.002 (counted sys nevals)
         (Fluid.Model.start_point p)
     in
-    let dt = Sys.time () -. t0 in
     let got = Phaseplane.Trajectory.x_max tr in
     [
       label;
       Report.Table.si got;
       Printf.sprintf "%.2e" (Float.abs (got -. exact) /. exact);
       string_of_int tr.Phaseplane.Trajectory.sol.Ode.n_steps;
-      Printf.sprintf "%.1f ms" (1e3 *. dt);
+      string_of_int !nevals;
     ]
   in
   let rows =
@@ -908,7 +932,7 @@ let a3_solver_ablation ?out () =
   in
   buf_add buf
     (Report.Table.render
-       ~headers:[ "integrator"; "max x"; "rel. error"; "steps"; "wall time" ]
+       ~headers:[ "integrator"; "max x"; "rel. error"; "steps"; "rhs evals" ]
        ~rows);
   buf_add buf
     (Printf.sprintf "\nreference max1 x (closed-form flow map) = %s\n"
@@ -916,7 +940,7 @@ let a3_solver_ablation ?out () =
   (match csv_path out "a3_solvers.csv" with
   | Some path ->
       Report.Csv.write ~path
-        ~header:[ "integrator"; "max_x"; "rel_error"; "steps"; "wall_ms" ]
+        ~header:[ "integrator"; "max_x"; "rel_error"; "steps"; "rhs_evals" ]
         ~rows
   | None -> ());
   Buffer.contents buf
@@ -1319,25 +1343,36 @@ let m1_multihop ?out () =
 
 (* ------------------------------------------------------------------ *)
 
-let all ?out () =
+let generators :
+    (string * (?out:string -> unit -> string)) list =
   [
-    ("fig3_taxonomy", fig3_taxonomy ?out ());
-    ("fig4_spiral", fig4_spiral ?out ());
-    ("fig5_node", fig5_node ?out ());
-    ("fig6_case1", fig6_case1 ?out ());
-    ("fig7_limit_cycle", fig7_limit_cycle ?out ());
-    ("fig8_case2", fig8_case2 ?out ());
-    ("fig9_case3", fig9_case3 ?out ());
-    ("fig10_case4", fig10_case4 ?out ());
-    ("t1_criterion", t1_criterion ?out ());
-    ("v1_fluid_vs_packet", v1_fluid_vs_packet ?out ());
-    ("v2_linear_vs_strong", v2_linear_vs_strong ?out ());
-    ("a1_transient_sampling", a1_transient_sampling ?out ());
-    ("a2_delay_margin", a2_delay_margin ?out ());
-    ("a3_solver_ablation", a3_solver_ablation ?out ());
-    ("p1_paradigms", p1_paradigms ?out ());
-    ("p2_aimd_fairness", p2_aimd_fairness ?out ());
-    ("w1_cross_traffic", w1_cross_traffic ?out ());
-    ("b1_safe_region", b1_safe_region ?out ());
-    ("m1_multihop", m1_multihop ?out ());
+    ("fig3_taxonomy", fig3_taxonomy);
+    ("fig4_spiral", fig4_spiral);
+    ("fig5_node", fig5_node);
+    ("fig6_case1", fig6_case1);
+    ("fig7_limit_cycle", fig7_limit_cycle);
+    ("fig8_case2", fig8_case2);
+    ("fig9_case3", fig9_case3);
+    ("fig10_case4", fig10_case4);
+    ("t1_criterion", t1_criterion);
+    ("v1_fluid_vs_packet", v1_fluid_vs_packet);
+    ("v2_linear_vs_strong", v2_linear_vs_strong);
+    ("a1_transient_sampling", a1_transient_sampling);
+    ("a2_delay_margin", a2_delay_margin);
+    ("a3_solver_ablation", a3_solver_ablation);
+    ("p1_paradigms", p1_paradigms);
+    ("p2_aimd_fairness", p2_aimd_fairness);
+    ("w1_cross_traffic", w1_cross_traffic);
+    ("b1_safe_region", b1_safe_region);
+    ("m1_multihop", m1_multihop);
   ]
+
+let all ?jobs ?out () =
+  (* Each generator is independent and deterministic (per-experiment RNG
+     state, no shared mutable data), so they fan out across the pool;
+     results are reassembled in the fixed order above, making the output
+     byte-identical to a serial run for any [jobs]. When [out] is given,
+     each generator writes distinct CSV files ([ensure_dir] tolerates the
+     concurrent-mkdir race). *)
+  Parallel.Pool.with_pool ?size:jobs (fun pool ->
+      Parallel.Pool.map pool (fun (id, gen) -> (id, gen ?out ())) generators)

@@ -91,8 +91,12 @@ val b1_safe_region : ?out:string -> unit -> string
 (** B1 — raster of the strong-stability basin over initial [(q, r)]
     states, BDP buffer vs Theorem-1 buffer. *)
 
-val all : ?out:string -> unit -> (string * string) list
-(** Every generator above as [(experiment id, rendered text)]. *)
+val all : ?jobs:int -> ?out:string -> unit -> (string * string) list
+(** Every generator above as [(experiment id, rendered text)], computed
+    across a domain pool of [jobs] lanes (default: [DCECC_JOBS] or
+    [Domain.recommended_domain_count ()]; see {!Parallel.Pool}). The
+    result list is in the fixed experiment order and byte-identical for
+    every [jobs] value; [jobs:1] runs fully sequentially. *)
 
 (** {1 Parameter sets used by the figures (exposed for tests)} *)
 

@@ -80,11 +80,22 @@ let other = function
   | Linearized.Increase -> Linearized.Decrease
   | Linearized.Decrease -> Linearized.Increase
 
+(* Both regions' flows are needed along any multi-segment trace; computing
+   them once here (instead of once per segment) keeps the eigenstructure
+   work out of the segment loop. *)
+let cached_flows p =
+  let inc = lazy (flow_of p Linearized.Increase) in
+  let dec = lazy (flow_of p Linearized.Decrease) in
+  function
+  | Linearized.Increase -> Lazy.force inc
+  | Linearized.Decrease -> Lazy.force dec
+
 let trace ?(max_segments = 8) p p0 =
+  let flow_for = cached_flows p in
   let rec go acc region t_abs (pt : Vec2.t) n =
     if n >= max_segments then List.rev acc
     else begin
-      let fl = flow_of p region in
+      let fl = flow_for region in
       let x0 = pt.Vec2.x and y0 = pt.Vec2.y in
       let tc = fl.fcross ~dir:(exit_direction region) ~x0 ~y0 () in
       let extremum =
@@ -127,9 +138,10 @@ let trace ?(max_segments = 8) p p0 =
 
 let sample p segments ~dt =
   if dt <= 0. then invalid_arg "Flowmap.sample: dt <= 0";
+  let flow_for = cached_flows p in
   List.concat_map
     (fun seg ->
-      let fl = flow_of p seg.region in
+      let fl = flow_for seg.region in
       let horizon =
         match seg.duration with Some d -> d | None -> 5. *. fl.slowest
       in
@@ -144,19 +156,19 @@ let sample p segments ~dt =
 
 let segments_from_start p = trace ~max_segments:6 p (Model.start_point p)
 
-let first_overshoot p =
+let overshoot_of_segments segs =
   (* the first extremum inside a decrease-region segment *)
-  segments_from_start p
-  |> List.find_map (fun seg ->
-         match (seg.region, seg.extremum) with
-         | Linearized.Decrease, Some (_, x) -> Some x
-         | _, _ -> None)
+  List.find_map
+    (fun seg ->
+      match (seg.region, seg.extremum) with
+      | Linearized.Decrease, Some (_, x) -> Some x
+      | _, _ -> None)
+    segs
 
-let first_undershoot p =
+let undershoot_of_segments segs =
   (* the first extremum inside an increase-region segment entered *after*
      a decrease segment (the initial segment from (−q0,0) starts in the
      increase region and its extremum is the starting point itself) *)
-  let segs = segments_from_start p in
   let rec scan seen_decrease = function
     | [] -> None
     | seg :: rest -> (
@@ -170,3 +182,12 @@ let first_undershoot p =
             else scan seen_decrease rest)
   in
   scan false segs
+
+let first_overshoot p = overshoot_of_segments (segments_from_start p)
+let first_undershoot p = undershoot_of_segments (segments_from_start p)
+
+let excursions p =
+  (* overshoot and undershoot from a single trace (callers that need both
+     would otherwise pay for the segment chase twice) *)
+  let segs = segments_from_start p in
+  (overshoot_of_segments segs, undershoot_of_segments segs)

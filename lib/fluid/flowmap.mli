@@ -54,3 +54,7 @@ val first_overshoot : Params.t -> float option
 val first_undershoot : Params.t -> float option
 (** [min¹x]: the first local minimum after the trajectory re-enters the
     increase region — eqn (37). *)
+
+val excursions : Params.t -> float option * float option
+(** [(first_overshoot p, first_undershoot p)] computed from a single
+    segment trace instead of two. *)

@@ -59,7 +59,7 @@ let first_excursion ?t_max ?solver p =
 let proposition2 p =
   match Cases.classify p with
   | Cases.Case1 -> (
-      match (Flowmap.first_overshoot p, Flowmap.first_undershoot p) with
+      match Flowmap.excursions p with
       | Some mx, Some mn ->
           Some (mx < p.Params.buffer -. p.Params.q0 && mn > -.p.Params.q0)
       | Some mx, None -> Some (mx < p.Params.buffer -. p.Params.q0)
@@ -81,8 +81,7 @@ let proposition4 p =
 
 let analyze ?t_max ?solver p =
   let case = Cases.classify p in
-  let analytic_max = Flowmap.first_overshoot p in
-  let analytic_min = Flowmap.first_undershoot p in
+  let analytic_max, analytic_min = Flowmap.excursions p in
   let numeric_max, numeric_min = first_excursion ?t_max ?solver p in
   let overflow_margin = p.Params.buffer -. p.Params.q0 -. numeric_max in
   let underflow_margin = numeric_min +. p.Params.q0 in

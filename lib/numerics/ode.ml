@@ -26,6 +26,134 @@ let axpy out a x y =
     out.(i) <- y.(i) +. (a *. x.(i))
   done
 
+(* --- in-place fast path --------------------------------------------------- *)
+
+type field_into = float -> float array -> float array -> unit
+type field_auto = float array -> float array -> unit
+
+type workspace = {
+  wk1 : float array;
+  wk2 : float array;
+  wk3 : float array;
+  wk4 : float array;
+  wtmp : float array;
+}
+
+let workspace dim =
+  if dim < 1 then invalid_arg "Ode.workspace: dim < 1";
+  {
+    wk1 = Array.make dim 0.;
+    wk2 = Array.make dim 0.;
+    wk3 = Array.make dim 0.;
+    wk4 = Array.make dim 0.;
+    wtmp = Array.make dim 0.;
+  }
+
+let workspace_dim ws = Array.length ws.wk1
+
+let field_into_of_field (f : field) : field_into =
+ fun t y dst ->
+  let v = f t y in
+  Array.blit v 0 dst 0 (Array.length dst)
+
+let field_into_of_auto (f : field_auto) : field_into = fun _t y dst -> f y dst
+
+(* The arithmetic below mirrors [step] expression-for-expression so the
+   results are bit-for-bit identical (floating point is deterministic);
+   the equivalence is locked down by the test suite. The stage loops are
+   written out inline (rather than calling [axpy]) because a non-inlined
+   call with a float argument boxes it — the only remaining per-step
+   allocation on this path is the stage-time boxing at the [field_into]
+   closure calls, and [step_auto_into] eliminates even that. *)
+
+let check_ws ws y name =
+  if Array.length y > Array.length ws.wk1 then
+    invalid_arg (name ^ ": state larger than workspace")
+
+let step_into ws m (f : field_into) t y h dst =
+  check_ws ws y "Ode.step_into";
+  let n = Array.length y in
+  match m with
+  | Euler ->
+      let k1 = ws.wk1 in
+      f t y k1;
+      for i = 0 to n - 1 do
+        dst.(i) <- y.(i) +. (h *. k1.(i))
+      done
+  | Heun ->
+      let k1 = ws.wk1 and k2 = ws.wk2 and tmp = ws.wtmp in
+      f t y k1;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h *. k1.(i))
+      done;
+      f (t +. h) tmp k2;
+      for i = 0 to n - 1 do
+        dst.(i) <- y.(i) +. (h /. 2. *. (k1.(i) +. k2.(i)))
+      done
+  | Rk4 ->
+      let k1 = ws.wk1 and k2 = ws.wk2 and k3 = ws.wk3 and k4 = ws.wk4 in
+      let tmp = ws.wtmp in
+      f t y k1;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h /. 2. *. k1.(i))
+      done;
+      f (t +. (h /. 2.)) tmp k2;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h /. 2. *. k2.(i))
+      done;
+      f (t +. (h /. 2.)) tmp k3;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h *. k3.(i))
+      done;
+      f (t +. h) tmp k4;
+      for i = 0 to n - 1 do
+        dst.(i) <-
+          y.(i)
+          +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+      done
+
+let step_auto_into ws m (f : field_auto) y h dst =
+  check_ws ws y "Ode.step_auto_into";
+  let n = Array.length y in
+  match m with
+  | Euler ->
+      let k1 = ws.wk1 in
+      f y k1;
+      for i = 0 to n - 1 do
+        dst.(i) <- y.(i) +. (h *. k1.(i))
+      done
+  | Heun ->
+      let k1 = ws.wk1 and k2 = ws.wk2 and tmp = ws.wtmp in
+      f y k1;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h *. k1.(i))
+      done;
+      f tmp k2;
+      for i = 0 to n - 1 do
+        dst.(i) <- y.(i) +. (h /. 2. *. (k1.(i) +. k2.(i)))
+      done
+  | Rk4 ->
+      let k1 = ws.wk1 and k2 = ws.wk2 and k3 = ws.wk3 and k4 = ws.wk4 in
+      let tmp = ws.wtmp in
+      f y k1;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h /. 2. *. k1.(i))
+      done;
+      f tmp k2;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h /. 2. *. k2.(i))
+      done;
+      f tmp k3;
+      for i = 0 to n - 1 do
+        tmp.(i) <- y.(i) +. (h *. k3.(i))
+      done;
+      f tmp k4;
+      for i = 0 to n - 1 do
+        dst.(i) <-
+          y.(i)
+          +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
+      done
+
 let step m f t y h =
   let n = Array.length y in
   match m with
@@ -81,7 +209,9 @@ let localize step_fn ev t y h =
 (* --- generic driver ------------------------------------------------------ *)
 
 type driver_step = float -> float array -> float -> float array
-(* [driver_step t y h] = state after one step of size h from (t, y). *)
+(* [driver_step t y h] = state after one step of size h from (t, y).
+   Must return a freshly allocated array (never a reused buffer): the
+   driver stores the result in the solution without copying. *)
 
 let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float -> float * float * bool)
     ?(events = []) ~t_end ~t0 ~y0 () =
@@ -145,7 +275,7 @@ let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float 
             t := t_next;
             y := y_next;
             ts := t_next :: !ts;
-            ys := Array.copy y_next :: !ys;
+            ys := y_next :: !ys;
             guards_prev :=
               List.map (fun (ev, _) -> (ev, ev.guard t_next y_next)) !guards_prev;
             h_cur := h_next)
@@ -164,6 +294,17 @@ let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float 
 let solve_fixed ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
   if h <= 0. then invalid_arg "Ode.solve_fixed: h <= 0";
   let single t y h = step method_ f t y h in
+  let next_h _t _y h_try = (Float.min h_try h, h, true) in
+  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+
+let solve_fixed_into ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
+  if h <= 0. then invalid_arg "Ode.solve_fixed_into: h <= 0";
+  let ws = workspace (Array.length y0) in
+  let single t y h =
+    let dst = Array.make (Array.length y) 0. in
+    step_into ws method_ f t y h dst;
+    dst
+  in
   let next_h _t _y h_try = (Float.min h_try h, h, true) in
   run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
 

@@ -51,6 +51,75 @@ val state_at : solution -> float -> float array
 val step : method_ -> field -> float -> float array -> float -> float array
 (** [step m f t y h] advances one step of size [h]. *)
 
+(** {1 Allocation-free stepping}
+
+    The [step] above allocates the stage arrays [k1..k4] and the result
+    on every call, which dominates the cost of long fixed-step
+    integrations. The in-place API below reuses a preallocated
+    {!workspace} instead; [step_into] is bit-for-bit equivalent to
+    [step] (same expressions, same evaluation order — the test suite
+    asserts exact equality). *)
+
+type field_into = float -> float array -> float array -> unit
+(** [f t y dst] writes [dy/dt] into [dst] instead of allocating. [dst]
+    never aliases [y]. *)
+
+type field_auto = float array -> float array -> unit
+(** Autonomous right-hand side: [f y dst] writes [dy/dt] into [dst].
+    Because no [float] crosses the closure boundary (OCaml boxes float
+    arguments of indirect calls), stepping an autonomous field performs
+    {e zero} minor-heap allocation per step — the BCN systems are all
+    autonomous, so this is the hot-loop form. *)
+
+type workspace
+(** Preallocated stage buffers ([k1..k4] and a stage-state scratch) for
+    one in-place integration; create once, reuse across steps. A
+    workspace is not safe to share between domains — create one per
+    domain. *)
+
+val workspace : int -> workspace
+(** [workspace dim] allocates buffers for states of dimension [dim] (or
+    smaller). *)
+
+val workspace_dim : workspace -> int
+
+val step_into :
+  workspace -> method_ -> field_into -> float -> float array -> float ->
+  float array -> unit
+(** [step_into ws m f t y h dst] advances one step of size [h], writing
+    the new state into [dst]. [dst == y] is allowed (true in-place
+    update). Bit-for-bit equal to [step m _ t y h] for the equivalent
+    field. Raises [Invalid_argument] if the state is larger than the
+    workspace. Remaining allocation: only the boxing of the stage times
+    passed to [f] (at most 4 small boxes per step); use
+    {!step_auto_into} for the zero-allocation path. *)
+
+val step_auto_into :
+  workspace -> method_ -> field_auto -> float array -> float ->
+  float array -> unit
+(** [step_auto_into ws m f y h dst] — like {!step_into} for autonomous
+    fields, with zero minor-heap allocation per step (asserted by the
+    test suite via [Gc.minor_words]). *)
+
+val field_into_of_field : field -> field_into
+(** Adapter (copies the allocated derivative into [dst]; for porting,
+    not for speed). *)
+
+val field_into_of_auto : field_auto -> field_into
+
+val solve_fixed_into :
+  ?method_:method_ ->
+  ?events:event list ->
+  h:float ->
+  t_end:float ->
+  field_into ->
+  t0:float ->
+  y0:float array ->
+  solution
+(** {!solve_fixed} over an in-place field: identical results (bit for
+    bit) but the inner loop allocates only the recorded trajectory
+    point per accepted step, not the RK stages. *)
+
 val solve_fixed :
   ?method_:method_ ->
   ?events:event list ->

@@ -1,0 +1,63 @@
+(** Fixed-size domain pool for deterministic data parallelism.
+
+    The pool owns [size - 1] worker domains plus the calling domain, which
+    participates in draining the task queue (so a pool of size [n] really
+    applies [n]-way parallelism and [map] never deadlocks even if every
+    worker is busy).
+
+    Determinism guarantee: all combinators return results in the order of
+    their input regardless of the pool size or scheduling, so any code
+    whose tasks are themselves deterministic produces byte-identical
+    output under [size = 1] and [size = n]. Tasks must not assume they
+    run on any particular domain and must not share unsynchronized
+    mutable state with each other.
+
+    Sizing: [create ()] uses the [DCECC_JOBS] environment variable when
+    set (clamped to at least 1), otherwise
+    [Domain.recommended_domain_count ()]. A pool of size 1 spawns no
+    domains at all and runs every combinator sequentially in the caller
+    — the graceful fallback path, also forced by [DCECC_JOBS=1]. *)
+
+type t
+
+val default_size : unit -> int
+(** [DCECC_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn a pool of [size] (default {!default_size}) total lanes,
+    i.e. [size - 1] worker domains. Raises [Invalid_argument] if
+    [size < 1]. *)
+
+val size : t -> int
+(** Total parallelism of the pool (workers + caller). *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. The pool must not be used
+    afterwards. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], order-preserving. If one or more applications
+    raise, the exception of the earliest input (by position) is re-raised
+    in the caller with its backtrace, after all tasks have finished. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with one task per element; order-preserving,
+    same exception policy as {!map}. *)
+
+val parmap_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map_array} but shards the input into contiguous chunks
+    (default: enough chunks for ~4 tasks per lane) so per-element
+    scheduling overhead is amortized — the right shape for dense
+    parameter-grid sweeps. Chunk boundaries depend only on the input
+    length and [chunk], never on scheduling, so the result is
+    deterministic and equal to [Array.map f arr]. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce pool ~map ~combine ~init xs] applies [map] in parallel
+    and folds the results left-to-right in input order — deterministic
+    even for non-commutative [combine]. *)

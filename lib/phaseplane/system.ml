@@ -30,6 +30,12 @@ let to_ode sys : Ode.field =
   let v = eval sys (Vec2.make y.(0) y.(1)) in
   [| v.Vec2.x; v.Vec2.y |]
 
+let to_ode_into sys : Ode.field_into =
+ fun _t y dst ->
+  let v = eval sys (Vec2.make y.(0) y.(1)) in
+  dst.(0) <- v.Vec2.x;
+  dst.(1) <- v.Vec2.y
+
 let linear m = Smooth (fun p -> Mat2.apply m p)
 
 let switched_linear ~sigma ~pos ~neg =

@@ -28,6 +28,11 @@ val region : t -> Numerics.Vec2.t -> [ `Pos | `Neg | `Boundary ]
 val to_ode : t -> Numerics.Ode.field
 (** Adapter to the array-based ODE solvers; state is [[|x; y|]]. *)
 
+val to_ode_into : t -> Numerics.Ode.field_into
+(** In-place adapter for the allocation-free solvers ({!Numerics.Ode}
+    [solve_fixed_into]); writes the field value into the destination
+    array instead of allocating it. *)
+
 val linear : Numerics.Mat2.t -> t
 (** The LTI system [dp/dt = A·p]. *)
 

@@ -68,14 +68,17 @@ let integrate ?(solver = Adaptive (1e-9, 1e-12)) ?(t_max = 100.)
   let events =
     match box with Some b -> box_event b :: events | None -> events
   in
-  let f = System.to_ode sys in
   let y0 = Vec2.to_array p0 in
   let sol =
     match solver with
     | Fixed (m, h) ->
-        Ode.solve_fixed ~method_:m ~events ~h ~t_end:t_max f ~t0:0. ~y0
+        (* in-place stepper: same results bit-for-bit, no stage-array
+           churn in the inner loop *)
+        Ode.solve_fixed_into ~method_:m ~events ~h ~t_end:t_max
+          (System.to_ode_into sys) ~t0:0. ~y0
     | Adaptive (rtol, atol) ->
-        Ode.solve_adaptive ~rtol ~atol ~events ~t_end:t_max f ~t0:0. ~y0
+        Ode.solve_adaptive ~rtol ~atol ~events ~t_end:t_max
+          (System.to_ode sys) ~t0:0. ~y0
   in
   let pick name =
     List.filter_map

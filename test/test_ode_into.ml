@@ -1,0 +1,262 @@
+(* Equivalence and allocation guarantees of the in-place ODE fast path:
+   - [Ode.step_into] / [Ode.step_auto_into] match [Ode.step] bit for bit
+     on Euler/Heun/Rk4 across random states and dimensions;
+   - [Ode.solve_fixed_into] reproduces [Ode.solve_fixed] exactly,
+     events included;
+   - [Ode.step_auto_into] performs zero minor-heap allocation per step
+     (native code). *)
+
+open Numerics
+
+let methods = [ ("euler", Ode.Euler); ("heun", Ode.Heun); ("rk4", Ode.Rk4) ]
+
+(* A deliberately messy autonomous nonlinear field: couples components,
+   mixes transcendentals, exercises every bit of the mantissa. *)
+let auto_field n : Ode.field_auto =
+ fun y dst ->
+  for i = 0 to n - 1 do
+    let a = y.(i) in
+    let b = y.((i + 1) mod n) in
+    dst.(i) <- (sin a *. b) -. (0.3 *. a *. a) +. cos (a -. b)
+  done
+
+(* The same dynamics as an allocating [Ode.field], plus a time term for
+   the non-autonomous variants. *)
+let alloc_field n ~with_t : Ode.field =
+ fun t y ->
+  let dst = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let a = y.(i) in
+    let b = y.((i + 1) mod n) in
+    dst.(i) <- (sin a *. b) -. (0.3 *. a *. a) +. cos (a -. b)
+  done;
+  if with_t then
+    for i = 0 to n - 1 do
+      dst.(i) <- dst.(i) +. (0.1 *. sin (t +. float_of_int i))
+    done;
+  dst
+
+let into_field n : Ode.field_into =
+ fun t y dst ->
+  for i = 0 to n - 1 do
+    let a = y.(i) in
+    let b = y.((i + 1) mod n) in
+    dst.(i) <- (sin a *. b) -. (0.3 *. a *. a) +. cos (a -. b)
+  done;
+  for i = 0 to n - 1 do
+    dst.(i) <- dst.(i) +. (0.1 *. sin (t +. float_of_int i))
+  done
+
+let check_bits name expected got =
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check int64)
+        (Printf.sprintf "%s[%d]" name i)
+        (Int64.bits_of_float e)
+        (Int64.bits_of_float got.(i)))
+    expected
+
+let random_state rng n =
+  Array.init n (fun _ -> (Random.State.float rng 4.) -. 2.)
+
+let test_step_into_equiv () =
+  let rng = Random.State.make [| 42 |] in
+  List.iter
+    (fun (mname, m) ->
+      for n = 1 to 5 do
+        let ws = Ode.workspace n in
+        for trial = 1 to 20 do
+          let y = random_state rng n in
+          let t = Random.State.float rng 10. in
+          let h = 1e-4 +. Random.State.float rng 0.1 in
+          let expected = Ode.step m (alloc_field n ~with_t:true) t y h in
+          let dst = Array.make n 0. in
+          Ode.step_into ws m (into_field n) t y h dst;
+          check_bits
+            (Printf.sprintf "%s n=%d trial=%d" mname n trial)
+            expected dst
+        done
+      done)
+    methods
+
+let test_step_auto_into_equiv () =
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun (mname, m) ->
+      for n = 1 to 5 do
+        let ws = Ode.workspace n in
+        for trial = 1 to 20 do
+          let y = random_state rng n in
+          let h = 1e-4 +. Random.State.float rng 0.1 in
+          let expected = Ode.step m (alloc_field n ~with_t:false) 0. y h in
+          let dst = Array.make n 0. in
+          Ode.step_auto_into ws m (auto_field n) y h dst;
+          check_bits
+            (Printf.sprintf "auto %s n=%d trial=%d" mname n trial)
+            expected dst
+        done
+      done)
+    methods
+
+let test_step_into_inplace_alias () =
+  (* dst == y is the documented in-place form *)
+  let n = 3 in
+  let ws = Ode.workspace n in
+  let rng = Random.State.make [| 11 |] in
+  let y = random_state rng n in
+  let expected = Ode.step Ode.Rk4 (alloc_field n ~with_t:false) 0. y 0.01 in
+  let state = Array.copy y in
+  Ode.step_auto_into ws Ode.Rk4 (auto_field n) state 0.01 state;
+  check_bits "aliased dst" expected state
+
+let switched_events =
+  [
+    {
+      Ode.ev_name = "axis";
+      guard = (fun _t y -> y.(1));
+      dir = Ode.Both;
+      terminal = false;
+    };
+    {
+      Ode.ev_name = "ball";
+      guard = (fun _t y -> sqrt ((y.(0) *. y.(0)) +. (y.(1) *. y.(1))) -. 0.2);
+      dir = Ode.Down;
+      terminal = true;
+    };
+  ]
+
+let test_solve_fixed_into_equiv () =
+  (* damped oscillator, with event localization on both solvers *)
+  let f : Ode.field = fun _t y -> [| y.(1); -.y.(0) -. (0.4 *. y.(1)) |] in
+  let fi : Ode.field_into =
+   fun _t y dst ->
+    dst.(0) <- y.(1);
+    dst.(1) <- -.y.(0) -. (0.4 *. y.(1))
+  in
+  List.iter
+    (fun (mname, m) ->
+      let a =
+        Ode.solve_fixed ~method_:m ~events:switched_events ~h:0.01 ~t_end:10. f
+          ~t0:0. ~y0:[| 1.; 0. |]
+      in
+      let b =
+        Ode.solve_fixed_into ~method_:m ~events:switched_events ~h:0.01
+          ~t_end:10. fi ~t0:0. ~y0:[| 1.; 0. |]
+      in
+      Alcotest.(check int) (mname ^ " n_steps") a.Ode.n_steps b.Ode.n_steps;
+      Alcotest.(check int)
+        (mname ^ " points")
+        (Array.length a.Ode.ts) (Array.length b.Ode.ts);
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s ts[%d]" mname i)
+            (Int64.bits_of_float t)
+            (Int64.bits_of_float b.Ode.ts.(i));
+          check_bits (Printf.sprintf "%s ys[%d]" mname i) a.Ode.ys.(i)
+            b.Ode.ys.(i))
+        a.Ode.ts;
+      Alcotest.(check int)
+        (mname ^ " occurrences")
+        (List.length a.Ode.occs) (List.length b.Ode.occs);
+      List.iter2
+        (fun (oa : Ode.occurrence) (ob : Ode.occurrence) ->
+          Alcotest.(check string) (mname ^ " occ name") oa.Ode.oc_name
+            ob.Ode.oc_name;
+          Alcotest.(check int64)
+            (mname ^ " occ t")
+            (Int64.bits_of_float oa.Ode.oc_t)
+            (Int64.bits_of_float ob.Ode.oc_t))
+        a.Ode.occs b.Ode.occs;
+      Alcotest.(check bool)
+        (mname ^ " terminated")
+        (a.Ode.terminated <> None)
+        (b.Ode.terminated <> None))
+    methods
+
+let test_zero_allocation () =
+  (* The autonomous in-place step must not touch the minor heap: no float
+     crosses the closure boundary, the stage buffers are preallocated and
+     the loops unbox. Only meaningful in native code — bytecode boxes
+     every float temporary. *)
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+      let ws = Ode.workspace 2 in
+      let field (y : float array) (dst : float array) =
+        dst.(0) <- y.(1);
+        dst.(1) <- -.y.(0)
+      in
+      let y = [| 1.; 0. |] in
+      List.iter
+        (fun (mname, m) ->
+          (* warm up: fault in closures and any one-time allocation *)
+          for _ = 1 to 100 do
+            Ode.step_auto_into ws m field y 0.01 y
+          done;
+          let w0 = Gc.minor_words () in
+          for _ = 1 to 10_000 do
+            Ode.step_auto_into ws m field y 0.01 y
+          done;
+          let dw = Gc.minor_words () -. w0 in
+          Alcotest.(check (float 0.))
+            (mname ^ " minor words per 10k steps")
+            0. dw)
+        methods
+
+let test_workspace_validation () =
+  let ws = Ode.workspace 2 in
+  Alcotest.(check int) "dim" 2 (Ode.workspace_dim ws);
+  Alcotest.(check bool) "undersized workspace rejected" true
+    (try
+       Ode.step_into ws Ode.Rk4
+         (fun _t _y _dst -> ())
+         0. [| 0.; 0.; 0. |] 0.1 [| 0.; 0.; 0. |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "workspace dim >= 1" true
+    (try
+       ignore (Ode.workspace 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_adapters () =
+  let n = 3 in
+  let ws = Ode.workspace n in
+  let rng = Random.State.make [| 5 |] in
+  let y = random_state rng n in
+  let expected = Ode.step Ode.Rk4 (alloc_field n ~with_t:false) 0.3 y 0.02 in
+  let dst = Array.make n 0. in
+  Ode.step_into ws Ode.Rk4
+    (Ode.field_into_of_field (alloc_field n ~with_t:false))
+    0.3 y 0.02 dst;
+  check_bits "field_into_of_field" expected dst;
+  let dst2 = Array.make n 0. in
+  Ode.step_into ws Ode.Rk4
+    (Ode.field_into_of_auto (auto_field n))
+    0.3 y 0.02 dst2;
+  check_bits "field_into_of_auto" expected dst2
+
+let () =
+  Alcotest.run "ode_into"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "step_into = step (bits)" `Quick
+            test_step_into_equiv;
+          Alcotest.test_case "step_auto_into = step (bits)" `Quick
+            test_step_auto_into_equiv;
+          Alcotest.test_case "in-place aliasing" `Quick
+            test_step_into_inplace_alias;
+          Alcotest.test_case "solve_fixed_into = solve_fixed" `Quick
+            test_solve_fixed_into_equiv;
+          Alcotest.test_case "adapters" `Quick test_adapters;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "step_auto_into allocates zero" `Quick
+            test_zero_allocation;
+          Alcotest.test_case "workspace validation" `Quick
+            test_workspace_validation;
+        ] );
+    ]
