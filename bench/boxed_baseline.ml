@@ -1,0 +1,341 @@
+(* Seed-faithful baseline for the packet-engine throughput benchmark.
+
+   This module reproduces, verbatim in style, the original packet engine
+   this repository shipped with before the structure-of-arrays rewrite:
+
+   - the event queue is [Simnet.Eventq_boxed] (one record per entry,
+     boxed float key) and every pop goes through an option/tuple;
+   - every scheduled event allocates a fresh closure;
+   - the switch buffer is a [Stdlib.Queue] (one cons cell per frame);
+   - frames are immutable records allocated per transmission, with the
+     [born] float boxed inside a mixed record;
+   - per-frame mutable float state (rates, bit counters) lives in mixed
+     records, so each store allocates a float box.
+
+   It runs the same dumbbell scenario as [Simnet.Runner.run] — same
+   constants, same update laws, same trace sampler — so events/sec here
+   and there measure the same work. Only the implementation idiom
+   differs, which is exactly what the benchmark wants to isolate. *)
+
+module Q = Simnet.Eventq_boxed
+
+type kind =
+  | Data of { flow : int; rrt : int option }
+  | Bcn of { flow : int; fb : float; cpid : int }
+  | Pause of { on : bool }
+
+type packet = { kind : kind; bits : int; born : float; seq : int }
+
+let data_frame_bits = Simnet.Packet.data_frame_bits
+let control_frame_bits = Simnet.Packet.control_frame_bits
+
+type engine = {
+  mutable clock : float;
+  queue : (engine -> unit) Q.t;
+  mutable processed : int;
+}
+
+let schedule e ~delay f = Q.push e.queue (e.clock +. delay) f
+
+let run_engine ~until e =
+  let continue = ref true in
+  while !continue do
+    match Q.peek e.queue with
+    | None -> continue := false
+    | Some (t, _) when t > until -> continue := false
+    | Some _ -> (
+        match Q.pop e.queue with
+        | None -> continue := false
+        | Some (t, f) ->
+            e.clock <- t;
+            e.processed <- e.processed + 1;
+            f e)
+  done
+
+type source = {
+  id : int;
+  mutable rate : float;
+  min_rate : float;
+  max_rate : float;
+  gi : float;
+  gd : float;
+  ru : float;
+  hold_timeout : float;
+  mutable rrt : int option;
+  mutable fb_hold : float;
+  mutable hold_until : float;
+  mutable last_integration : float;
+  mutable paused : bool;
+  mutable seq : int;
+  mutable epoch : int;
+}
+
+let clamp src v = Float.min src.max_rate (Float.max src.min_rate v)
+
+let integrate_held src now =
+  let upto = Float.min now src.hold_until in
+  let dt = upto -. src.last_integration in
+  if dt > 0. then begin
+    let fb = src.fb_hold in
+    if fb > 0. then
+      src.rate <- clamp src (src.rate +. (src.gi *. src.ru *. fb *. dt))
+    else if fb < 0. then
+      src.rate <- clamp src (src.rate *. exp (src.gd *. fb *. dt))
+  end;
+  src.last_integration <- now
+
+type switch = {
+  capacity : float;
+  buffer_bits : float;
+  q0 : float;
+  qsc : float;
+  w : float;
+  sample_every : int;
+  items : packet Queue.t;
+  mutable occupancy : float;
+  mutable busy : bool;
+  mutable upstream_paused : bool;
+  mutable arrivals : int;
+  mutable q_at_last_sample : float;
+  mutable ctl_seq : int;
+  mutable delivered : float;
+}
+
+type stats = { events : int; frames : int; delivered_bits : float }
+
+let run ?initial_rate ~t_end ~sample_dt (p : Fluid.Params.t) =
+  let n = p.Fluid.Params.n_flows in
+  let fair = Fluid.Params.equilibrium_rate p in
+  let initial_rate =
+    match initial_rate with
+    | Some r -> r
+    | None -> Float.max p.Fluid.Params.mu (0.02 *. fair)
+  in
+  let control_delay = 1e-6 in
+  let hold_timeout =
+    50. *. float_of_int data_frame_bits
+    /. (p.Fluid.Params.pm *. p.Fluid.Params.capacity)
+  in
+  let e = { clock = 0.; queue = Q.create (); processed = 0 } in
+  let sw =
+    {
+      capacity = p.Fluid.Params.capacity;
+      buffer_bits = p.Fluid.Params.buffer;
+      q0 = p.Fluid.Params.q0;
+      qsc = p.Fluid.Params.qsc;
+      w = p.Fluid.Params.w;
+      sample_every =
+        Stdlib.max 1 (int_of_float (Float.round (1. /. p.Fluid.Params.pm)));
+      items = Queue.create ();
+      occupancy = 0.;
+      busy = false;
+      upstream_paused = false;
+      arrivals = 0;
+      q_at_last_sample = 0.;
+      ctl_seq = 0;
+      delivered = 0.;
+    }
+  in
+  let sources =
+    Array.init n (fun i ->
+        {
+          id = i;
+          rate = Float.min (Float.max initial_rate (0.01 *. fair)) sw.capacity;
+          min_rate = 0.01 *. fair;
+          max_rate = sw.capacity;
+          gi = p.Fluid.Params.gi;
+          gd = p.Fluid.Params.gd;
+          ru = p.Fluid.Params.ru;
+          hold_timeout;
+          rrt = None;
+          fb_hold = 0.;
+          hold_until = infinity;
+          last_integration = 0.;
+          paused = false;
+          seq = 0;
+          epoch = 0;
+        })
+  in
+  let frames = ref 0 in
+  let handle_bcn src ~now ~fb ~cpid =
+    integrate_held src now;
+    src.fb_hold <- fb;
+    src.hold_until <- now +. src.hold_timeout;
+    if fb < 0. then src.rrt <- Some cpid
+  in
+  let rec pacing_loop src epoch e =
+    if src.epoch = epoch && not src.paused then begin
+      integrate_held src e.clock;
+      let pkt =
+        {
+          kind = Data { flow = src.id; rrt = src.rrt };
+          bits = data_frame_bits;
+          born = e.clock;
+          seq = src.seq;
+        }
+      in
+      src.seq <- src.seq + 1;
+      incr frames;
+      receive e pkt;
+      let gap = float_of_int pkt.bits /. src.rate in
+      schedule e ~delay:gap (pacing_loop src epoch)
+    end
+  and set_paused src e on =
+    if on <> src.paused then begin
+      src.paused <- on;
+      src.epoch <- src.epoch + 1;
+      src.last_integration <- e.clock;
+      if not on then schedule e ~delay:0. (pacing_loop src src.epoch)
+    end
+  and dispatch_control e pkt =
+    match pkt.kind with
+    | Bcn { flow; fb; cpid } ->
+        handle_bcn sources.(flow) ~now:e.clock ~fb ~cpid
+    | Pause { on } -> Array.iter (fun src -> set_paused src e on) sources
+    | Data _ -> ()
+  and control_out e pkt =
+    schedule e ~delay:control_delay (fun e -> dispatch_control e pkt)
+  and send_pause e on =
+    let seq = sw.ctl_seq in
+    sw.ctl_seq <- seq + 1;
+    sw.upstream_paused <- on;
+    control_out e { kind = Pause { on }; bits = control_frame_bits; born = e.clock; seq }
+  and check_pause e =
+    if (not sw.upstream_paused) && sw.occupancy > sw.qsc then send_pause e true
+    else if sw.upstream_paused && sw.occupancy < 0.9 *. sw.qsc then
+      send_pause e false
+  and serve e =
+    if (not sw.busy) && not (Queue.is_empty sw.items) then begin
+      let pkt = Queue.pop sw.items in
+      sw.occupancy <- sw.occupancy -. float_of_int pkt.bits;
+      sw.busy <- true;
+      let tx = float_of_int pkt.bits /. sw.capacity in
+      schedule e ~delay:tx (fun e ->
+          sw.busy <- false;
+          sw.delivered <- sw.delivered +. float_of_int pkt.bits;
+          check_pause e;
+          serve e)
+    end
+  and sample e ~flow ~rrt =
+    let q = sw.occupancy in
+    let dq = q -. sw.q_at_last_sample in
+    sw.q_at_last_sample <- q;
+    let sigma = (sw.q0 -. q) -. (sw.w *. dq) in
+    let emit () =
+      let seq = sw.ctl_seq in
+      sw.ctl_seq <- seq + 1;
+      control_out e
+        {
+          kind = Bcn { flow; fb = sigma; cpid = 1 };
+          bits = control_frame_bits;
+          born = e.clock;
+          seq;
+        }
+    in
+    if sigma < 0. then emit ()
+    else if sigma > 0. && q < sw.q0 then begin
+      (* positive_to_untagged = true, as in the runner's default *)
+      ignore rrt;
+      emit ()
+    end
+  and receive e pkt =
+    let bits = float_of_int pkt.bits in
+    if sw.occupancy +. bits <= sw.buffer_bits then begin
+      Queue.push pkt sw.items;
+      sw.occupancy <- sw.occupancy +. bits;
+      sw.arrivals <- sw.arrivals + 1;
+      if sw.arrivals >= sw.sample_every then begin
+        sw.arrivals <- 0;
+        match pkt.kind with
+        | Data { flow; rrt } -> sample e ~flow ~rrt
+        | Bcn _ | Pause _ -> ()
+      end
+    end;
+    check_pause e;
+    serve e
+  in
+  Array.iter
+    (fun src ->
+      let jitter =
+        float_of_int data_frame_bits /. src.rate
+        *. (float_of_int (src.id mod 97) /. 97.)
+      in
+      schedule e ~delay:jitter (pacing_loop src src.epoch))
+    sources;
+  (* same periodic trace sampler shape as the runner: record the queue
+     and the per-flow rates into growable traces *)
+  let n_samples = int_of_float (Float.ceil (t_end /. sample_dt)) + 1 in
+  let qs = Array.make n_samples 0. in
+  let aggs = Array.make n_samples 0. in
+  let idx = ref 0 in
+  let rec sampler e =
+    if !idx < n_samples then begin
+      qs.(!idx) <- sw.occupancy;
+      let agg = ref 0. in
+      Array.iter (fun src -> agg := !agg +. src.rate) sources;
+      aggs.(!idx) <- !agg;
+      incr idx
+    end;
+    if e.clock +. sample_dt <= t_end then schedule e ~delay:sample_dt sampler
+  in
+  schedule e ~delay:0. sampler;
+  run_engine ~until:t_end e;
+  { events = e.processed; frames = !frames; delivered_bits = sw.delivered }
+
+(* Incast fan-in forwarding scenario on the seed stack: [nsrc] staggered
+   constant-rate feeders push freshly-allocated immutable frames through
+   one Queue-buffered switch that drops each frame after service. This
+   is the boxed counterpart of the pooled fan-in scenario in
+   [Simnet_bench]: identical event structure (one feed plus one service
+   completion per frame), so events/sec here and there compare the
+   implementation idiom, not the workload. Returns events processed. *)
+let run_fanin ~nsrc ~frames (p : Fluid.Params.t) =
+  let e = { clock = 0.; queue = Q.create (); processed = 0 } in
+  let capacity = p.Fluid.Params.capacity in
+  let buffer_bits = p.Fluid.Params.buffer in
+  let items : packet Queue.t = Queue.create () in
+  let occupancy = ref 0. in
+  let busy = ref false in
+  let rec serve e =
+    if (not !busy) && not (Queue.is_empty items) then begin
+      let pkt = Queue.pop items in
+      occupancy := !occupancy -. float_of_int pkt.bits;
+      busy := true;
+      let tx = float_of_int pkt.bits /. capacity in
+      schedule e ~delay:tx (fun e ->
+          busy := false;
+          ignore pkt.born;
+          serve e)
+    end
+  in
+  let receive e pkt =
+    let bits = float_of_int pkt.bits in
+    if !occupancy +. bits <= buffer_bits then begin
+      Queue.push pkt items;
+      occupancy := !occupancy +. bits
+    end;
+    serve e
+  in
+  (* aggregate offered load just above line rate, split across feeders *)
+  let gap =
+    1.05 *. float_of_int nsrc *. float_of_int data_frame_bits /. capacity
+  in
+  let seq = ref 0 in
+  let rec feed e =
+    let pkt =
+      {
+        kind = Data { flow = 0; rrt = None };
+        bits = data_frame_bits;
+        born = e.clock;
+        seq = !seq;
+      }
+    in
+    incr seq;
+    receive e pkt;
+    schedule e ~delay:gap feed
+  in
+  for i = 0 to nsrc - 1 do
+    schedule e ~delay:(float_of_int i *. gap /. float_of_int nsrc) feed
+  done;
+  run_engine ~until:(float_of_int frames /. float_of_int nsrc *. gap) e;
+  e.processed

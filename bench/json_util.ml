@@ -1,0 +1,20 @@
+(* Hand-rolled JSON fragments shared by the benchmark writers (the repo
+   carries no JSON dependency); every emitted value is a string-keyed
+   object of floats, so escaping reduces to the kernel names, which are
+   [a-z0-9_] already — escaped anyway for safety. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f

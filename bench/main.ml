@@ -16,7 +16,12 @@
    domain count);
    `--out DIR` additionally writes the figure data as CSVs;
    `--json FILE` writes the per-kernel estimates as JSON (the seed for
-   the BENCH_* perf trajectory). *)
+   the BENCH_* perf trajectory);
+   `--simnet-json FILE` writes the packet-engine throughput rows
+   (events/sec and minor words/event for the structure-of-arrays engine
+   vs the boxed seed baseline) as JSON;
+   `--smoke` runs only the fast packet-engine allocation assertions and
+   exits — the @bench-smoke dune alias. *)
 
 let default = Fluid.Params.default
 
@@ -293,26 +298,9 @@ let run_perf () =
          rows);
   rows
 
-(* Hand-rolled JSON writer (the repo carries no JSON dependency); every
-   emitted value is a string-keyed object of floats, so escaping reduces
-   to the kernel names, which are [a-z0-9_] already — escaped anyway for
-   safety. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float f =
-  if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+(* JSON writer over the shared fragments in [Json_util]. *)
+let json_escape = Json_util.escape
+let json_float = Json_util.float
 
 let write_json path rows =
   let oc = open_out path in
@@ -344,8 +332,13 @@ let () =
     find args
   in
   let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+  if has "--smoke" then begin
+    Simnet_bench.smoke ();
+    exit 0
+  end;
   let out = opt "--out" in
   let json = opt "--json" in
+  let simnet_json = opt "--simnet-json" in
   (* reject a bad --json destination up front rather than after the
      multi-minute perf run *)
   (match json with
@@ -353,6 +346,13 @@ let () =
       match open_out_gen [ Open_append; Open_creat ] 0o644 path with
       | oc -> close_out oc
       | exception Sys_error msg -> fail "bench: cannot write --json %s" msg)
+  | None -> ());
+  (match simnet_json with
+  | Some path -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          fail "bench: cannot write --simnet-json %s" msg)
   | None -> ());
   let jobs =
     if has "--serial" then Some 1
@@ -370,5 +370,6 @@ let () =
   if not (has "--figures-only") && not (has "--compare") then begin
     let rows = run_perf () in
     run_alloc_check ();
-    match json with Some path -> write_json path rows | None -> ()
+    (match json with Some path -> write_json path rows | None -> ());
+    ignore (Simnet_bench.run ?json:simnet_json () : Simnet_bench.row list)
   end

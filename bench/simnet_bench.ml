@@ -1,0 +1,344 @@
+(* Packet-engine throughput suite.
+
+   Measures the structure-of-arrays engine stack against the seed
+   implementation preserved in [Boxed_baseline], scenario by scenario:
+
+   - simnet_engine / simnet_engine_boxed: the headline incast fan-in
+     forwarding scenario (4096 staggered feeders through one switch),
+     where the pending-event set is deep enough that the unboxed
+     event-queue layout and the packet pool dominate;
+   - simnet_runner / simnet_runner_boxed: the full closed-loop dumbbell
+     (sources, BCN/PAUSE control, trace sampling) in the busy regime;
+   - eventq_push_pop / eventq_boxed_push_pop: the queue in isolation;
+   - switch_forwarding: minor words per frame on the pooled fast path.
+
+   Reports events/sec and minor-heap words/event; [rows] feeds the
+   BENCH_simnet JSON the perf trajectory tracks, [smoke] is the fast
+   allocation-assertion pass wired into the @bench-smoke dune alias. *)
+
+let params = Fluid.Params.with_buffer Fluid.Params.default 15e6
+
+type row = { name : string; metrics : (string * float) list }
+
+let metric row key =
+  match List.assoc_opt key row.metrics with Some v -> v | None -> nan
+
+(* ------------------------------------------------------------------ *)
+(* Headline scenario: incast fan-in forwarding, new stack vs seed      *)
+(* ------------------------------------------------------------------ *)
+
+(* [fanin_sources] staggered feeders pace pool-allocated frames through
+   one pooled switch into a releasing sink, aggregate offered load just
+   above line rate. With thousands of concurrent feeders the pending-
+   event set is large, which is where the engine's data layout earns its
+   keep: the structure-of-arrays heap sifts through contiguous unboxed
+   keys while the seed heap chases a pointer per comparison, and the
+   packet pool keeps the frame churn off the minor heap entirely.
+   [Boxed_baseline.run_fanin] is the same scenario on the seed stack. *)
+let fanin_sources = 4096
+
+let pooled_fanin ~frames () =
+  let pool = Simnet.Packet.Pool.create () in
+  let e = Simnet.Engine.create () in
+  let cfg =
+    {
+      (Simnet.Switch.default_config params ~cpid:1) with
+      Simnet.Switch.enable_bcn = false;
+      enable_pause = false;
+      pool = Some pool;
+    }
+  in
+  let sw = Simnet.Switch.create cfg ~control_out:(fun _ _ -> ()) in
+  Simnet.Switch.set_forward sw (fun _e pkt ->
+      Simnet.Packet.Pool.release pool pkt);
+  let nsrc = fanin_sources in
+  let gap =
+    1.05 *. float_of_int nsrc
+    *. float_of_int Simnet.Packet.data_frame_bits
+    /. cfg.Simnet.Switch.capacity
+  in
+  let seq = ref 0 in
+  let rec feed e =
+    let pkt =
+      Simnet.Packet.Pool.alloc_data pool ~seq:!seq ~now:(Simnet.Engine.now e)
+        ~flow:0 ~rrt:None
+    in
+    incr seq;
+    Simnet.Switch.receive sw e pkt;
+    Simnet.Engine.schedule e ~delay:gap feed
+  in
+  for i = 0 to nsrc - 1 do
+    Simnet.Engine.schedule e
+      ~delay:(float_of_int i *. gap /. float_of_int nsrc)
+      feed
+  done;
+  Simnet.Engine.run
+    ~until:(float_of_int frames /. float_of_int nsrc *. gap)
+    e;
+  Simnet.Engine.events_processed e
+
+let boxed_fanin ~frames () =
+  Boxed_baseline.run_fanin ~nsrc:fanin_sources ~frames params
+
+(* ------------------------------------------------------------------ *)
+(* Full dumbbell runs (Runner.run vs seed replica), busy regime        *)
+(* ------------------------------------------------------------------ *)
+
+(* Start the sources at the equilibrium rate so the run is frame-dense
+   from t = 0 rather than idling at the 2% probe rate; both stacks see
+   the identical event sequence. *)
+let pooled_events ~t_end () =
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end ~sample_dt:1e-4 params) with
+      Simnet.Runner.initial_rate = Fluid.Params.equilibrium_rate params;
+    }
+  in
+  (Simnet.Runner.run cfg).Simnet.Runner.events_processed
+
+let boxed_events ~t_end () =
+  (Boxed_baseline.run
+     ~initial_rate:(Fluid.Params.equilibrium_rate params)
+     ~t_end ~sample_dt:1e-4 params)
+    .Boxed_baseline.events
+
+(* Repeat [f] (which returns an event count) until [min_time] has
+   elapsed; report events/sec and the Gc.minor_words delta per event. *)
+let measure_events ~min_time f =
+  ignore (f () : int);
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  let events = ref 0 in
+  while Unix.gettimeofday () -. t0 < min_time || !events = 0 do
+    events := !events + f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let n = float_of_int !events in
+  (n /. dt, dw /. n)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue in isolation: push/pop churn                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic pseudo-random keys (LCG), generated once. *)
+let bench_keys n =
+  let keys = Array.make n 0. in
+  let state = ref 123456789 in
+  for i = 0 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    keys.(i) <- float_of_int !state
+  done;
+  keys
+
+let soa_round q keys =
+  for i = 0 to Array.length keys - 1 do
+    Simnet.Eventq.push q keys.(i) 0
+  done;
+  while not (Simnet.Eventq.is_empty q) do
+    ignore (Simnet.Eventq.pop_min q : int)
+  done
+
+let boxed_round q keys =
+  for i = 0 to Array.length keys - 1 do
+    Simnet.Eventq_boxed.push q keys.(i) 0
+  done;
+  let continue = ref true in
+  while !continue do
+    match Simnet.Eventq_boxed.pop q with
+    | None -> continue := false
+    | Some (_, _) -> ()
+  done
+
+(* One op = one push plus its pop. *)
+let measure_queue ~min_time round =
+  let keys = bench_keys 4096 in
+  round keys;
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  let ops = ref 0 in
+  while Unix.gettimeofday () -. t0 < min_time || !ops = 0 do
+    round keys;
+    ops := !ops + Array.length keys
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let n = float_of_int !ops in
+  (dt /. n *. 1e9, dw /. n)
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding fast path: words per data frame through a pooled switch  *)
+(* ------------------------------------------------------------------ *)
+
+(* A single feeder paces pool-allocated frames through a switch into a
+   releasing sink at just under line rate, so each frame is exactly one
+   feed event plus one service completion. After warmup this path must
+   allocate nothing. *)
+let forwarding_words_per_frame ~frames () =
+  let pool = Simnet.Packet.Pool.create () in
+  let e = Simnet.Engine.create () in
+  let cfg =
+    {
+      (Simnet.Switch.default_config params ~cpid:1) with
+      Simnet.Switch.enable_bcn = false;
+      enable_pause = false;
+      pool = Some pool;
+    }
+  in
+  let sw = Simnet.Switch.create cfg ~control_out:(fun _ _ -> ()) in
+  Simnet.Switch.set_forward sw (fun _e pkt ->
+      Simnet.Packet.Pool.release pool pkt);
+  let gap =
+    1.05 *. float_of_int Simnet.Packet.data_frame_bits
+    /. cfg.Simnet.Switch.capacity
+  in
+  let seq = ref 0 in
+  let rec feed e =
+    let pkt =
+      Simnet.Packet.Pool.alloc_data pool ~seq:!seq ~now:(Simnet.Engine.now e)
+        ~flow:0 ~rrt:None
+    in
+    incr seq;
+    Simnet.Switch.receive sw e pkt;
+    Simnet.Engine.schedule e ~delay:gap feed
+  in
+  Simnet.Engine.schedule e ~delay:0. feed;
+  let warm = 2048 in
+  Simnet.Engine.run ~until:(float_of_int warm *. gap) e;
+  let n0 = !seq in
+  let w0 = Gc.minor_words () in
+  Simnet.Engine.run ~until:(float_of_int (warm + frames) *. gap) e;
+  let dw = Gc.minor_words () -. w0 in
+  dw /. float_of_int (!seq - n0)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rows ~min_time ~t_end () =
+  let eng_eps, eng_words =
+    measure_events ~min_time (pooled_fanin ~frames:200_000)
+  in
+  let box_eps, box_words =
+    measure_events ~min_time (boxed_fanin ~frames:200_000)
+  in
+  let run_eps, run_words = measure_events ~min_time (pooled_events ~t_end) in
+  let brun_eps, brun_words = measure_events ~min_time (boxed_events ~t_end) in
+  let soa_ns, soa_words =
+    measure_queue ~min_time:(0.5 *. min_time)
+      (soa_round (Simnet.Eventq.create ()))
+  in
+  let boxed_ns, boxed_words =
+    measure_queue ~min_time:(0.5 *. min_time)
+      (boxed_round (Simnet.Eventq_boxed.create ()))
+  in
+  let fwd_words = forwarding_words_per_frame ~frames:100_000 () in
+  [
+    {
+      name = "simnet_engine";
+      metrics =
+        [ ("events_per_sec", eng_eps); ("minor_words_per_event", eng_words) ];
+    };
+    {
+      name = "simnet_engine_boxed";
+      metrics =
+        [ ("events_per_sec", box_eps); ("minor_words_per_event", box_words) ];
+    };
+    {
+      name = "speedup_vs_boxed";
+      metrics = [ ("ratio", eng_eps /. box_eps) ];
+    };
+    {
+      name = "simnet_runner";
+      metrics =
+        [ ("events_per_sec", run_eps); ("minor_words_per_event", run_words) ];
+    };
+    {
+      name = "simnet_runner_boxed";
+      metrics =
+        [ ("events_per_sec", brun_eps); ("minor_words_per_event", brun_words) ];
+    };
+    {
+      name = "eventq_push_pop";
+      metrics = [ ("ns_per_op", soa_ns); ("minor_words_per_op", soa_words) ];
+    };
+    {
+      name = "eventq_boxed_push_pop";
+      metrics =
+        [ ("ns_per_op", boxed_ns); ("minor_words_per_op", boxed_words) ];
+    };
+    {
+      name = "switch_forwarding";
+      metrics = [ ("minor_words_per_frame", fwd_words) ];
+    };
+  ]
+
+let print rows =
+  Printf.printf "################ packet engine throughput ################\n";
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s" r.name;
+      List.iter (fun (k, v) -> Printf.printf "  %s = %.4g" k v) r.metrics;
+      print_newline ())
+    rows;
+  print_newline ()
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"simnet\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "    {\"name\": \"%s\"" (Json_util.escape r.name);
+          List.iter
+            (fun (k, v) ->
+              Printf.fprintf oc ", \"%s\": %s" (Json_util.escape k)
+                (Json_util.float v))
+            r.metrics;
+          Printf.fprintf oc "}%s\n"
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.printf "wrote %s\n" path
+
+let run ?json () =
+  let rows = rows ~min_time:1.0 ~t_end:5e-3 () in
+  print rows;
+  (match json with Some path -> write_json path rows | None -> ());
+  rows
+
+(* Fast allocation-assertion pass for @bench-smoke: a failed invariant
+   here means the zero-allocation fast path regressed. *)
+let smoke () =
+  let fwd = forwarding_words_per_frame ~frames:20_000 () in
+  Printf.printf "smoke: switch forwarding        %.4f minor words/frame\n" fwd;
+  if fwd > 0.01 then begin
+    Printf.eprintf
+      "bench smoke FAILED: pooled forwarding allocates %.4f words/frame \
+       (expected 0)\n"
+      fwd;
+    exit 1
+  end;
+  let _, soa_words =
+    measure_queue ~min_time:0.05 (soa_round (Simnet.Eventq.create ()))
+  in
+  Printf.printf "smoke: eventq push/pop          %.4f minor words/op\n"
+    soa_words;
+  if soa_words > 0.01 then begin
+    Printf.eprintf
+      "bench smoke FAILED: Eventq push/pop allocates %.4f words/op \
+       (expected 0)\n"
+      soa_words;
+    exit 1
+  end;
+  let eps, words = measure_events ~min_time:0.2 (pooled_events ~t_end:1e-3) in
+  Printf.printf
+    "smoke: engine scenario          %.3g events/sec, %.2f minor words/event\n"
+    eps words;
+  if not (Float.is_finite eps && eps > 0.) then begin
+    Printf.eprintf "bench smoke FAILED: engine throughput not positive\n";
+    exit 1
+  end;
+  print_endline "bench smoke OK"

@@ -2,12 +2,54 @@
 
    Example:
      bcn_sim --flows 50 --capacity 10e9 --buffer 15e6 --t-end 0.02 \
-             --mode literal --plot *)
+             --mode literal --plot
+
+   With --replicas N the scenario is re-run N times under seeded
+   Bernoulli frame sampling (Runner.replicate), fanned out over --jobs
+   worker domains; the report then shows per-replica rows plus
+   mean +/- stddev aggregates. Results are byte-identical for any
+   --jobs value. *)
 
 open Cmdliner
 
+let mean_std vs =
+  let n = float_of_int (Array.length vs) in
+  let mean = Array.fold_left ( +. ) 0. vs /. n in
+  let var =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. vs /. n
+  in
+  (mean, sqrt var)
+
+let report_replicas seeds results =
+  let open Simnet.Runner in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : result) ->
+           [
+             string_of_int seeds.(i);
+             string_of_int r.events_processed;
+             Printf.sprintf "%.3f" r.utilization;
+             string_of_int r.drops;
+             string_of_int r.pause_on_events;
+             Printf.sprintf "%.3f" (fairness r.final_rates);
+           ])
+         results)
+  in
+  Report.Table.print
+    ~headers:[ "seed"; "events"; "util"; "drops"; "PAUSEs"; "fairness" ]
+    ~rows;
+  let agg label f =
+    let mean, std = mean_std (Array.map f results) in
+    Format.printf "%-10s %.4f +/- %.4f@." label mean std
+  in
+  Format.printf "@.across %d replicas:@." (Array.length results);
+  agg "util" (fun r -> r.utilization);
+  agg "fairness" (fun r -> fairness r.final_rates);
+  agg "drops" (fun r -> float_of_int r.drops)
+
 let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
-    initial_rate plot csv =
+    initial_rate replicas seed jobs plot csv =
   let p =
     Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer ~gi ~gd ~ru ~w ~pm ()
   in
@@ -32,6 +74,14 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
         | None -> base.Simnet.Runner.initial_rate);
     }
   in
+  if replicas < 1 then invalid_arg "--replicas must be >= 1";
+  if replicas > 1 then begin
+    let seeds = Array.init replicas (fun i -> seed + i) in
+    let results = Simnet.Runner.replicate ?jobs ~seeds cfg in
+    report_replicas seeds results;
+    0
+  end
+  else begin
   let r = Simnet.Runner.run cfg in
   let open Simnet.Runner in
   Format.printf
@@ -59,6 +109,7 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
   | Some path -> Report.Csv.write_series ~path ~name:"queue_bits" r.queue
   | None -> ());
   0
+  end
 
 let cmd =
   let open Term in
@@ -82,12 +133,31 @@ let cmd =
   let initial_rate =
     Arg.(value & opt (some float) None & info [ "initial-rate" ] ~doc:"Per-source start rate, bit/s.")
   in
+  let replicas =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"N"
+             ~doc:"Monte-Carlo replicas under seeded Bernoulli frame \
+                   sampling; 1 keeps the single deterministic run.")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Base RNG seed; replica i uses seed S+i.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for --replicas (default: DCECC_JOBS or \
+                   the machine's domain count). Results do not depend on \
+                   this value.")
+  in
   let plot = Arg.(value & flag & info [ "plot" ] ~doc:"ASCII plots of queue and rate.") in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the queue trace to CSV.") in
   let doc = "Packet-level BCN simulation (dumbbell: N sources, one congestion point)." in
   Cmd.v
     (Cmd.info "bcn_sim" ~doc)
     (const run $ flows $ capacity $ q0 $ buffer $ gi $ gd $ ru $ w $ pm $ t_end
-     $ mode $ broadcast $ timer $ no_pause $ initial_rate $ plot $ csv)
+     $ mode $ broadcast $ timer $ no_pause $ initial_rate $ replicas $ seed
+     $ jobs $ plot $ csv)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,27 +5,30 @@
    buffer overflows and frames are lost — fatal for storage traffic.
    BCN throttles the senders; PAUSE merely freezes them.
 
+   The five control configurations are independent simulations, so they
+   go through [Runner.run_many] as one batch and fan out over the worker
+   pool (DCECC_JOBS); results are identical to running them one by one.
+
    Run with:  dune exec examples/incast_fanin.exe *)
 
 open Numerics
 
-let run_incast ~label ~enable_bcn ~enable_pause ~buffer =
+let incast_config ~enable_bcn ~enable_pause ~buffer =
   let p =
     Fluid.Params.make ~n_flows:32 ~capacity:10e9 ~q0:2.5e6 ~buffer ~gi:4.
       ~gd:(1. /. 128.) ~ru:8e6 ()
   in
-  let cfg =
-    {
-      (Simnet.Runner.default_config ~t_end:0.01 p) with
-      (* every server starts at twice its fair share: aggregated 2x the
-         fan-in capacity *)
-      Simnet.Runner.initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
-      mode = Simnet.Source.Literal;
-      enable_bcn;
-      enable_pause;
-    }
-  in
-  let r = Simnet.Runner.run cfg in
+  {
+    (Simnet.Runner.default_config ~t_end:0.01 p) with
+    (* every server starts at twice its fair share: aggregated 2x the
+       fan-in capacity *)
+    Simnet.Runner.initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
+    mode = Simnet.Source.Literal;
+    enable_bcn;
+    enable_pause;
+  }
+
+let row ~label (r : Simnet.Runner.result) =
   let qmax = snd (Series.argmax r.Simnet.Runner.queue) in
   [
     label;
@@ -40,19 +43,24 @@ let run_incast ~label ~enable_bcn ~enable_pause ~buffer =
 let () =
   Format.printf
     "32-to-1 incast at 2x overload on a 10G fan-in port (10 ms run)@.@.";
+  let cases =
+    [|
+      ( "no control, BDP buffer",
+        incast_config ~enable_bcn:false ~enable_pause:false ~buffer:5e6 );
+      ( "PAUSE only, BDP buffer",
+        incast_config ~enable_bcn:false ~enable_pause:true ~buffer:5e6 );
+      ( "BCN, BDP buffer",
+        incast_config ~enable_bcn:true ~enable_pause:false ~buffer:5e6 );
+      ( "BCN + PAUSE, BDP buffer",
+        incast_config ~enable_bcn:true ~enable_pause:true ~buffer:5e6 );
+      ( "BCN + PAUSE, Theorem-1 buffer",
+        incast_config ~enable_bcn:true ~enable_pause:true ~buffer:15e6 );
+    |]
+  in
+  let results = Simnet.Runner.run_many (Array.map snd cases) in
   let rows =
-    [
-      run_incast ~label:"no control, BDP buffer" ~enable_bcn:false
-        ~enable_pause:false ~buffer:5e6;
-      run_incast ~label:"PAUSE only, BDP buffer" ~enable_bcn:false
-        ~enable_pause:true ~buffer:5e6;
-      run_incast ~label:"BCN, BDP buffer" ~enable_bcn:true ~enable_pause:false
-        ~buffer:5e6;
-      run_incast ~label:"BCN + PAUSE, BDP buffer" ~enable_bcn:true
-        ~enable_pause:true ~buffer:5e6;
-      run_incast ~label:"BCN + PAUSE, Theorem-1 buffer" ~enable_bcn:true
-        ~enable_pause:true ~buffer:15e6;
-    ]
+    Array.to_list
+      (Array.map2 (fun (label, _) r -> row ~label r) cases results)
   in
   Report.Table.print
     ~headers:

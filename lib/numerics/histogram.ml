@@ -11,7 +11,7 @@ let create ~lo ~hi ~bins =
   if bins < 1 then invalid_arg "Histogram.create: bins < 1";
   { lo; hi; bins = Array.make bins 0.; under = 0.; over = 0. }
 
-let add_weighted h v w =
+let[@inline] add_weighted h v w =
   if w < 0. then invalid_arg "Histogram.add_weighted: negative weight";
   if v < h.lo then h.under <- h.under +. w
   else if v >= h.hi then h.over <- h.over +. w
@@ -24,7 +24,7 @@ let add_weighted h v w =
     h.bins.(idx) <- h.bins.(idx) +. w
   end
 
-let add h v = add_weighted h v 1.
+let[@inline] add h v = add_weighted h v 1.
 
 let count h = Array.fold_left ( +. ) (h.under +. h.over) h.bins
 let underflow h = h.under

@@ -1,47 +1,54 @@
+(* The clock lives in a single-field all-float record: all-float records
+   are stored flat, so advancing the clock once per event writes the
+   float in place instead of allocating a fresh box (which a mutable
+   float field in this mixed record would do). *)
+type clock = { mutable t : float }
+
 type t = {
-  mutable clock : float;
+  clock : clock;
   queue : (t -> unit) Eventq.t;
   mutable stopped : bool;
   mutable processed : int;
 }
 
 let create () =
-  { clock = 0.; queue = Eventq.create (); stopped = false; processed = 0 }
+  { clock = { t = 0. }; queue = Eventq.create (); stopped = false; processed = 0 }
 
-let now e = e.clock
+let[@inline] now e = e.clock.t
 
-let schedule_at e ~time f =
-  if time < e.clock then invalid_arg "Engine.schedule_at: time in the past";
+let[@inline] schedule_at e ~time f =
+  if time < e.clock.t then invalid_arg "Engine.schedule_at: time in the past";
   Eventq.push e.queue time f
 
-let schedule e ~delay f =
+let[@inline] schedule e ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  schedule_at e ~time:(e.clock +. delay) f
+  Eventq.push e.queue (e.clock.t +. delay) f
 
 let stop e = e.stopped <- true
 
+(* The loop reads the key and pops the payload through the unboxed
+   Eventq fast path: no option, tuple or float box per event. *)
 let run ?until e =
   e.stopped <- false;
   let horizon = match until with Some t -> t | None -> infinity in
-  let rec loop () =
-    if e.stopped then ()
-    else
-      match Eventq.peek e.queue with
-      | None -> ()
-      | Some (t, _) when t > horizon -> ()
-      | Some _ -> (
-          match Eventq.pop e.queue with
-          | None -> ()
-          | Some (t, f) ->
-              e.clock <- t;
-              e.processed <- e.processed + 1;
-              f e;
-              loop ())
-  in
-  loop ();
-  (match until with
-  | Some t when not e.stopped -> if e.clock < t then e.clock <- t
-  | Some _ | None -> ())
+  let q = e.queue in
+  let running = ref true in
+  while !running do
+    if e.stopped || Eventq.is_empty q then running := false
+    else begin
+      let t = Eventq.min_key q in
+      if t > horizon then running := false
+      else begin
+        let f = Eventq.pop_min q in
+        e.clock.t <- t;
+        e.processed <- e.processed + 1;
+        f e
+      end
+    end
+  done;
+  match until with
+  | Some t when not e.stopped -> if e.clock.t < t then e.clock.t <- t
+  | Some _ | None -> ()
 
 let events_processed e = e.processed
 let pending e = Eventq.size e.queue

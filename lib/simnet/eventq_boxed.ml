@@ -1,0 +1,92 @@
+(* The seed implementation of the event queue: a binary min-heap over
+   boxed { key; seq; value } records, one allocated per push. Kept (a)
+   as the oracle for the Eventq property tests — same observable
+   semantics, independently implemented — and (b) as the benchmark
+   baseline the structure-of-arrays queue is measured against.
+
+   The one change from the seed is the space-leak fix: pop clears the
+   vacated slot instead of leaving the popped entry (and the moved-from
+   tail entry) reachable from the heap array until overwritten. *)
+
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let no_entry : unit -> 'a entry = fun () -> Obj.magic 0
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.len >= cap then begin
+    let ncap = Stdlib.max 16 (2 * cap) in
+    let h = Array.make ncap (no_entry ()) in
+    Array.blit q.heap 0 h 0 q.len;
+    q.heap <- h
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  if Float.is_nan key then invalid_arg "Eventq_boxed.push: NaN key";
+  let entry = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    q.heap.(q.len) <- no_entry ();
+    Some (top.key, top.value)
+  end
+
+let peek q = if q.len = 0 then None else Some (q.heap.(0).key, q.heap.(0).value)
+
+let size q = q.len
+let is_empty q = q.len = 0
+
+let clear q =
+  for i = 0 to q.len - 1 do
+    q.heap.(i) <- no_entry ()
+  done;
+  q.len <- 0
+
+let drain q =
+  let rec go acc = match pop q with None -> List.rev acc | Some e -> go (e :: acc) in
+  go []

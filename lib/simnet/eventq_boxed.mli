@@ -1,0 +1,27 @@
+(** The seed (record-per-entry) event queue, kept as a reference.
+
+    Same observable semantics as {!Eventq} — time-ordered pops with FIFO
+    tie-breaking — but each push allocates a boxed entry record. It
+    serves as the independently-implemented oracle for the Eventq
+    property tests and as the baseline of the [simnet] throughput
+    benchmarks; the engine itself uses the structure-of-arrays
+    {!Eventq}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+(** Raises [Invalid_argument] on a NaN key. *)
+
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Discard all entries, releasing every payload reference. *)
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

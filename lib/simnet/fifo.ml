@@ -1,52 +1,89 @@
-type t = {
-  capacity : float;
-  items : Packet.t Queue.t;
+(* Growable ring buffer instead of a Stdlib.Queue: enqueue/dequeue on
+   the forwarding fast path must not allocate, and Queue.push conses a
+   cell per element. Bit counters live in an all-float record (flat
+   representation) so the per-frame accounting writes floats in place
+   instead of boxing. Vacated ring slots are cleared to a sentinel so a
+   drained queue pins no dead frames. *)
+
+type acc = {
   mutable occupancy : float;
-  mutable drops : int;
   mutable dropped : float;
   mutable in_bits : float;
   mutable out_bits : float;
+}
+
+type t = {
+  capacity : float;
+  mutable ring : Packet.t array;
+  mutable head : int;  (* index of the oldest frame *)
+  mutable count : int;
+  filler : Packet.t;
+  acc : acc;
+  mutable drops : int;
 }
 
 let create ~capacity_bits =
   if capacity_bits <= 0. then invalid_arg "Fifo.create: capacity <= 0";
   {
     capacity = capacity_bits;
-    items = Queue.create ();
-    occupancy = 0.;
+    ring = [||];
+    head = 0;
+    count = 0;
+    filler = Packet.sentinel ();
+    acc = { occupancy = 0.; dropped = 0.; in_bits = 0.; out_bits = 0. };
     drops = 0;
-    dropped = 0.;
-    in_bits = 0.;
-    out_bits = 0.;
   }
+
+let grow q =
+  let cap = Array.length q.ring in
+  if q.count >= cap then begin
+    let ncap = Stdlib.max 16 (2 * cap) in
+    let nring = Array.make ncap q.filler in
+    for i = 0 to q.count - 1 do
+      nring.(i) <- q.ring.((q.head + i) mod cap)
+    done;
+    q.ring <- nring;
+    q.head <- 0
+  end
 
 let enqueue q (p : Packet.t) =
   let bits = float_of_int p.Packet.bits in
-  if q.occupancy +. bits > q.capacity then begin
+  if q.acc.occupancy +. bits > q.capacity then begin
     q.drops <- q.drops + 1;
-    q.dropped <- q.dropped +. bits;
+    q.acc.dropped <- q.acc.dropped +. bits;
     false
   end
   else begin
-    Queue.push p q.items;
-    q.occupancy <- q.occupancy +. bits;
-    q.in_bits <- q.in_bits +. bits;
+    grow q;
+    let cap = Array.length q.ring in
+    let i = q.head + q.count in
+    let i = if i >= cap then i - cap else i in
+    q.ring.(i) <- p;
+    q.count <- q.count + 1;
+    q.acc.occupancy <- q.acc.occupancy +. bits;
+    q.acc.in_bits <- q.acc.in_bits +. bits;
     true
   end
 
-let dequeue q =
-  match Queue.take_opt q.items with
-  | None -> None
-  | Some p ->
-      let bits = float_of_int p.Packet.bits in
-      q.occupancy <- q.occupancy -. bits;
-      q.out_bits <- q.out_bits +. bits;
-      Some p
+let pop q =
+  if q.count = 0 then invalid_arg "Fifo.pop: empty queue";
+  let p = q.ring.(q.head) in
+  q.ring.(q.head) <- q.filler;
+  let h = q.head + 1 in
+  q.head <- (if h >= Array.length q.ring then 0 else h);
+  q.count <- q.count - 1;
+  let bits = float_of_int p.Packet.bits in
+  q.acc.occupancy <- q.acc.occupancy -. bits;
+  q.acc.out_bits <- q.acc.out_bits +. bits;
+  p
 
-let occupancy_bits q = q.occupancy
-let length q = Queue.length q.items
+let dequeue q = if q.count = 0 then None else Some (pop q)
+
+let[@inline] occupancy_bits q = q.acc.occupancy
+let[@inline] length q = q.count
+let[@inline] is_empty q = q.count = 0
 let capacity_bits q = q.capacity
 let drops q = q.drops
-let dropped_bits q = q.dropped
-let enqueued_bits q = q.in_bits
-let dequeued_bits q = q.out_bits
+let dropped_bits q = q.acc.dropped
+let enqueued_bits q = q.acc.in_bits
+let dequeued_bits q = q.acc.out_bits

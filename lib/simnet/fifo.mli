@@ -1,6 +1,11 @@
 (** Bit-counted FIFO packet queue with a hard capacity — the core-switch
     buffer whose occupancy [q t] is the controlled variable of the whole
-    system. Tail-drop on overflow, with drop accounting. *)
+    system. Tail-drop on overflow, with drop accounting.
+
+    Implemented as a growable ring buffer with flat float accounting so
+    that steady-state enqueue/dequeue allocates nothing; {!pop} is the
+    allocation-free variant of {!dequeue} for the forwarding fast
+    path. *)
 
 type t
 
@@ -12,11 +17,17 @@ val enqueue : t -> Packet.t -> bool
 
 val dequeue : t -> Packet.t option
 
+val pop : t -> Packet.t
+(** Like {!dequeue} but without the option box; raises
+    [Invalid_argument] on an empty queue — check {!is_empty} first. *)
+
 val occupancy_bits : t -> float
 (** Current queue length in bits — the [q t] of the model. *)
 
 val length : t -> int
 (** Queued frames. *)
+
+val is_empty : t -> bool
 
 val capacity_bits : t -> float
 val drops : t -> int

@@ -4,21 +4,29 @@
     the control loop needs: a data frame may carry a rate-regulator tag
     (RRT) holding the congestion point id (CPID) it is associated with;
     a BCN frame carries the feedback value [fb = sigma] and the CPID;
-    PAUSE frames implement IEEE 802.3x on/off flow control. *)
+    PAUSE frames implement IEEE 802.3x on/off flow control.
+
+    Frame fields are mutable so a {!Pool} can recycle frames on the
+    steady-state forwarding path without allocating; code that does not
+    pool simply uses the [make_*] constructors and never mutates. *)
 
 type kind =
   | Data of {
-      flow : int;  (** source id *)
-      rrt : int option;  (** CPID carried in the rate regulator tag *)
+      mutable flow : int;  (** source id *)
+      mutable rrt : int option;  (** CPID carried in the rate regulator tag *)
     }
   | Bcn of {
-      flow : int;  (** destination source id (DA of Fig. 2) *)
-      fb : float;  (** the feedback field: sigma at the sampling instant *)
-      cpid : int;  (** congestion point id (switch interface) *)
+      mutable flow : int;  (** destination source id (DA of Fig. 2) *)
+      mutable fb : float;  (** the feedback field: sigma at the sampling instant *)
+      mutable cpid : int;  (** congestion point id (switch interface) *)
     }
-  | Pause of { on : bool }  (** 802.3x PAUSE (on) / un-PAUSE (off) *)
+  | Pause of { mutable on : bool }  (** 802.3x PAUSE (on) / un-PAUSE (off) *)
 
-type t = { kind : kind; bits : int; born : float; seq : int }
+type stamp = { mutable born : float }
+(** Creation time, kept in an all-float record so pooled frames can be
+    re-stamped without boxing. *)
+
+type t = { kind : kind; bits : int; stamp : stamp; mutable seq : int }
 
 val data_frame_bits : int
 (** 1500-byte Ethernet frame = 12000 bits. *)
@@ -30,8 +38,49 @@ val make_data : seq:int -> now:float -> flow:int -> rrt:int option -> t
 val make_bcn : seq:int -> now:float -> flow:int -> fb:float -> cpid:int -> t
 val make_pause : seq:int -> now:float -> on:bool -> t
 
+val born : t -> float
+(** Creation timestamp of the frame (simulated seconds). *)
+
 val is_data : t -> bool
 val flow_of : t -> int option
 (** The flow a data or BCN frame concerns; [None] for PAUSE. *)
 
 val pp : Format.formatter -> t -> unit
+
+val sentinel : unit -> t
+(** A fresh placeholder frame for pre-filling packet slots (pools, ring
+    buffers). Never enters the data path. *)
+
+(** Free-list frame pool.
+
+    [alloc_*] pops a dead frame of the matching shape off the free list
+    and rewrites its fields (falling back to a fresh allocation when the
+    list is empty); [release] pushes a frame that has left the network
+    back. In steady state the alloc/release cycle touches the heap not
+    at all, which is what makes the engine's forwarding fast path
+    allocation-free.
+
+    Ownership discipline: a frame must be released exactly once, by
+    whoever consumed it (the sink for data frames, the control
+    dispatcher for BCN/PAUSE). Releasing twice aliases one frame into
+    two logical packets; forgetting to release is safe — the frame is
+    simply garbage-collected and the pool refills itself. *)
+module Pool : sig
+  type packet = t
+  type t
+
+  val create : unit -> t
+  val alloc_data : t -> seq:int -> now:float -> flow:int -> rrt:int option -> packet
+  val alloc_bcn : t -> seq:int -> now:float -> flow:int -> fb:float -> cpid:int -> packet
+  val alloc_pause : t -> seq:int -> now:float -> on:bool -> packet
+  val release : t -> packet -> unit
+
+  val live : t -> int
+  (** Frames currently checked out (allocated minus released). *)
+
+  val created : t -> int
+  (** Fresh heap allocations that missed the free list. *)
+
+  val pooled : t -> int
+  (** Dead frames currently waiting on the free lists. *)
+end

@@ -30,6 +30,9 @@ let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
     enable_pause = true;
   }
 
+let with_seed cfg seed =
+  { cfg with sampling = Switch.Bernoulli (Random.State.make [| seed |]) }
+
 type result = {
   queue : Series.t;
   agg_rate : Series.t;
@@ -54,7 +57,12 @@ let run cfg =
   let p = cfg.params in
   let n = p.Fluid.Params.n_flows in
   let e = Engine.create () in
-  let delivered = ref 0. in
+  (* every frame in this run cycles through one pool: sources draw data
+     frames, the switch draws control frames, and whoever consumes a
+     frame (sink, control dispatcher, tail drop) releases it *)
+  let pool = Packet.Pool.create () in
+  (* flat float accumulator: a [ref float] would box on every store *)
+  let delivered = [| 0. |] in
   (* frame sojourn time through the switch; worst case ~ B/C plus service *)
   let latency =
     Histogram.create ~lo:0.
@@ -68,7 +76,7 @@ let run cfg =
      routed; sources are filled in just below *)
   let sources = Array.make n None in
   let dispatch_control e (pkt : Packet.t) =
-    match pkt.Packet.kind with
+    (match pkt.Packet.kind with
     | Packet.Bcn { flow; fb; cpid } ->
         if cfg.broadcast_feedback then
           Array.iter
@@ -84,7 +92,8 @@ let run cfg =
         Array.iter
           (function Some src -> Source.set_paused src e on | None -> ())
           sources
-    | Packet.Data _ -> ()
+    | Packet.Data _ -> ());
+    Packet.Pool.release pool pkt
   in
   let sw_cfg =
     {
@@ -93,6 +102,7 @@ let run cfg =
       positive_to_untagged = cfg.positive_to_untagged;
       enable_bcn = cfg.enable_bcn;
       enable_pause = cfg.enable_pause;
+      pool = Some pool;
     }
   in
   let sw =
@@ -101,8 +111,9 @@ let run cfg =
             dispatch_control e pkt))
   in
   Switch.set_forward sw (fun e pkt ->
-      delivered := !delivered +. float_of_int pkt.Packet.bits;
-      Histogram.add latency (Engine.now e -. pkt.Packet.born));
+      delivered.(0) <- delivered.(0) +. float_of_int pkt.Packet.bits;
+      Histogram.add latency (Engine.now e -. Packet.born pkt);
+      Packet.Pool.release pool pkt);
   Switch.start sw e;
   for i = 0 to n - 1 do
     let src =
@@ -110,7 +121,8 @@ let run cfg =
         ~min_rate:(0.01 *. Fluid.Params.equilibrium_rate p)
         ~max_rate:p.Fluid.Params.capacity ~mode:cfg.mode
         ~hold_timeout:(50. *. Switch.fluid_sampling_period p)
-        ~gi:p.Fluid.Params.gi ~gd:p.Fluid.Params.gd ~ru:p.Fluid.Params.ru
+        ~pool ~gi:p.Fluid.Params.gi ~gd:p.Fluid.Params.gd
+        ~ru:p.Fluid.Params.ru
         ~send:(fun e pkt -> Switch.receive sw e pkt)
         ()
     in
@@ -129,17 +141,17 @@ let run cfg =
       ts.(!idx) <- Engine.now e;
       qs.(!idx) <- Switch.queue_bits sw;
       Histogram.add_weighted queue_histogram (Switch.queue_bits sw) cfg.sample_dt;
-      let agg = ref 0. in
+      let agg = [| 0. |] in
       Array.iteri
         (fun i s ->
           match s with
           | Some src ->
               let r = Source.rate src in
               per_flow.(i).(!idx) <- r;
-              agg := !agg +. r
+              agg.(0) <- agg.(0) +. r
           | None -> ())
         sources;
-      aggs.(!idx) <- !agg;
+      aggs.(!idx) <- agg.(0);
       incr idx
     end
   in
@@ -163,8 +175,8 @@ let run cfg =
     queue_histogram;
     drops = Fifo.drops q;
     dropped_bits = Fifo.dropped_bits q;
-    delivered_bits = !delivered;
-    utilization = !delivered /. (p.Fluid.Params.capacity *. cfg.t_end);
+    delivered_bits = delivered.(0);
+    utilization = delivered.(0) /. (p.Fluid.Params.capacity *. cfg.t_end);
     bcn_positive = st.Switch.bcn_positive;
     bcn_negative = st.Switch.bcn_negative;
     pause_on_events = st.Switch.pause_on;
@@ -175,6 +187,27 @@ let run cfg =
         (function Some src -> Source.rate src | None -> 0.)
         sources;
   }
+
+(* Each run builds its own engine, pool and RNG state, shares nothing
+   with its siblings, and Parallel.Pool.map_array is order-preserving,
+   so the fan-outs below return byte-identical results for any pool
+   size. *)
+
+let run_many ?jobs cfgs =
+  if Array.length cfgs = 0 then [||]
+  else begin
+    let size =
+      match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
+    in
+    if size < 1 then invalid_arg "Runner.run_many: jobs < 1";
+    if size = 1 || Array.length cfgs = 1 then Array.map run cfgs
+    else
+      Parallel.Pool.with_pool ~size (fun pool ->
+          Parallel.Pool.map_array pool run cfgs)
+  end
+
+let replicate ?jobs ~seeds cfg =
+  run_many ?jobs (Array.map (with_seed cfg) seeds)
 
 let fairness rates =
   let n = Array.length rates in

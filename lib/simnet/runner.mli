@@ -48,6 +48,28 @@ type result = {
 }
 
 val run : config -> result
+(** One simulation. Internally every frame is drawn from a private
+    {!Packet.Pool}, so the steady-state forwarding path allocates
+    nothing per data frame. *)
+
+val with_seed : config -> int -> config
+(** Switch the config to [Bernoulli] frame sampling driven by a fresh
+    RNG state derived deterministically from [seed]. Two configs built
+    from the same seed produce identical runs. *)
+
+val run_many : ?jobs:int -> config array -> result array
+(** Run every config, fanning out over a [Parallel.Pool] of [jobs]
+    lanes (default: [Parallel.Pool.default_size ()], i.e. [DCECC_JOBS]
+    or the machine's domain count). Results are returned in input order
+    and are byte-identical for any [jobs] value — each run owns its
+    engine, packet pool and RNG state, and the pool's combinators are
+    deterministic. [jobs = 1] runs sequentially in the caller.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val replicate : ?jobs:int -> seeds:int array -> config -> result array
+(** [replicate ~seeds cfg] = [run_many (Array.map (with_seed cfg) seeds)]:
+    independent Monte-Carlo replicas of one scenario under Bernoulli
+    sampling, one per seed, in seed order. *)
 
 val fairness : float array -> float
 (** Jain's fairness index of a rate allocation:

@@ -29,6 +29,7 @@ val create :
   ?max_rate:float ->
   ?mode:update_mode ->
   ?hold_timeout:float ->
+  ?pool:Packet.Pool.t ->
   gi:float ->
   gd:float ->
   ru:float ->
@@ -40,6 +41,8 @@ val create :
     feedback value is integrated only for [hold_timeout] seconds after
     the BCN that delivered it — beyond that the reaction point coasts
     (the fluid model's sigma is assumed fresh every sampling interval).
+    When [pool] is given, data frames are drawn from it instead of being
+    freshly allocated; whoever consumes them must release them back.
     Raises [Invalid_argument] on a non-positive initial rate. *)
 
 val start : t -> Engine.t -> unit

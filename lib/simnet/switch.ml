@@ -15,6 +15,7 @@ type config = {
   positive_to_untagged : bool;
   enable_bcn : bool;
   enable_pause : bool;
+  pool : Packet.Pool.t option;
 }
 
 let default_config (p : Fluid.Params.t) ~cpid =
@@ -30,6 +31,7 @@ let default_config (p : Fluid.Params.t) ~cpid =
     positive_to_untagged = true;
     enable_bcn = true;
     enable_pause = true;
+    pool = None;
   }
 
 type stats = {
@@ -41,6 +43,10 @@ type stats = {
   mutable pause_off : int;
 }
 
+(* [q_at_last_sample] lives in an all-float cell so the per-sample store
+   does not box. *)
+type fstate = { mutable q_at_last_sample : float }
+
 type t = {
   cfg : config;
   queue : Fifo.t;
@@ -51,45 +57,19 @@ type t = {
   mutable upstream_paused : bool;
   mutable arrivals_since_sample : int;
   sample_every : int;
-  mutable q_at_last_sample : float;
+  fs : fstate;
   mutable last_flow : int;
   mutable last_rrt : int option;
   mutable timer_armed : bool;
   mutable ctl_seq : int;
+  (* frame currently in service plus the preallocated service-completion
+     callback: one closure per switch, not one per forwarded frame *)
+  mutable in_service : Packet.t;
+  mutable complete : Engine.t -> unit;
   st : stats;
 }
 
-let create cfg ~control_out =
-  if cfg.capacity <= 0. then invalid_arg "Switch.create: capacity <= 0";
-  if cfg.pm <= 0. || cfg.pm > 1. then invalid_arg "Switch.create: pm not in (0,1]";
-  {
-    cfg;
-    queue = Fifo.create ~capacity_bits:cfg.buffer_bits;
-    control_out;
-    forward = None;
-    busy = false;
-    egress_paused = false;
-    upstream_paused = false;
-    arrivals_since_sample = 0;
-    sample_every = Stdlib.max 1 (int_of_float (Float.round (1. /. cfg.pm)));
-    q_at_last_sample = 0.;
-    last_flow = 0;
-    last_rrt = None;
-    timer_armed = false;
-    ctl_seq = 0;
-    st =
-      {
-        forwarded = 0;
-        sampled = 0;
-        bcn_positive = 0;
-        bcn_negative = 0;
-        pause_on = 0;
-        pause_off = 0;
-      };
-  }
-
-let set_forward sw f = sw.forward <- Some f
-let queue_bits sw = Fifo.occupancy_bits sw.queue
+let[@inline] queue_bits sw = Fifo.occupancy_bits sw.queue
 let fifo sw = sw.queue
 let stats sw = sw.st
 let config sw = sw.cfg
@@ -101,7 +81,13 @@ let next_ctl_seq sw =
   s
 
 let send_pause sw e on =
-  let pkt = Packet.make_pause ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~on in
+  let seq = next_ctl_seq sw in
+  let now = Engine.now e in
+  let pkt =
+    match sw.cfg.pool with
+    | Some pool -> Packet.Pool.alloc_pause pool ~seq ~now ~on
+    | None -> Packet.make_pause ~seq ~now ~on
+  in
   if on then sw.st.pause_on <- sw.st.pause_on + 1
   else sw.st.pause_off <- sw.st.pause_off + 1;
   sw.upstream_paused <- on;
@@ -118,21 +104,63 @@ let check_pause sw e =
   end
 
 let rec serve sw e =
-  if (not sw.busy) && not sw.egress_paused then begin
-    match Fifo.dequeue sw.queue with
-    | None -> ()
-    | Some pkt ->
-        sw.busy <- true;
-        let tx = float_of_int pkt.Packet.bits /. sw.cfg.capacity in
-        Engine.schedule e ~delay:tx (fun e ->
-            sw.busy <- false;
-            sw.st.forwarded <- sw.st.forwarded + 1;
-            (match sw.forward with
-            | Some f -> f e pkt
-            | None -> failwith "Switch: forward not set");
-            check_pause sw e;
-            serve sw e)
+  if (not sw.busy) && (not sw.egress_paused) && not (Fifo.is_empty sw.queue)
+  then begin
+    let pkt = Fifo.pop sw.queue in
+    sw.busy <- true;
+    sw.in_service <- pkt;
+    let tx = float_of_int pkt.Packet.bits /. sw.cfg.capacity in
+    Engine.schedule e ~delay:tx sw.complete
   end
+
+and complete_service sw e =
+  let pkt = sw.in_service in
+  sw.busy <- false;
+  sw.st.forwarded <- sw.st.forwarded + 1;
+  (match sw.forward with
+  | Some f -> f e pkt
+  | None -> failwith "Switch: forward not set");
+  check_pause sw e;
+  serve sw e
+
+let create cfg ~control_out =
+  if cfg.capacity <= 0. then invalid_arg "Switch.create: capacity <= 0";
+  if cfg.pm <= 0. || cfg.pm > 1. then invalid_arg "Switch.create: pm not in (0,1]";
+  let sw =
+    {
+      cfg;
+      queue = Fifo.create ~capacity_bits:cfg.buffer_bits;
+      control_out;
+      forward = None;
+      busy = false;
+      egress_paused = false;
+      upstream_paused = false;
+      arrivals_since_sample = 0;
+      sample_every = Stdlib.max 1 (int_of_float (Float.round (1. /. cfg.pm)));
+      fs = { q_at_last_sample = 0. };
+      last_flow = 0;
+      last_rrt = None;
+      timer_armed = false;
+      ctl_seq = 0;
+      in_service = Packet.sentinel ();
+      complete = (fun _ -> ());
+      st =
+        {
+          forwarded = 0;
+          sampled = 0;
+          bcn_positive = 0;
+          bcn_negative = 0;
+          pause_on = 0;
+          pause_off = 0;
+        };
+    }
+  in
+  (* the completion callback closes over [sw], so it can only be built
+     once the record exists *)
+  sw.complete <- (fun e -> complete_service sw e);
+  sw
+
+let set_forward sw f = sw.forward <- Some f
 
 let set_egress_paused sw e on =
   sw.egress_paused <- on;
@@ -150,25 +178,32 @@ let should_sample sw =
   | Bernoulli rng -> Random.State.float rng 1. < sw.cfg.pm
   | Timer _ -> false
 
+let emit_bcn sw e ~flow ~fb =
+  let seq = next_ctl_seq sw in
+  let now = Engine.now e in
+  let pkt =
+    match sw.cfg.pool with
+    | Some pool ->
+        Packet.Pool.alloc_bcn pool ~seq ~now ~flow ~fb ~cpid:sw.cfg.cpid
+    | None -> Packet.make_bcn ~seq ~now ~flow ~fb ~cpid:sw.cfg.cpid
+  in
+  sw.control_out e pkt
+
 let sample sw e ~flow ~rrt =
   sw.st.sampled <- sw.st.sampled + 1;
   let q = queue_bits sw in
-  let dq = q -. sw.q_at_last_sample in
-  sw.q_at_last_sample <- q;
+  let dq = q -. sw.fs.q_at_last_sample in
+  sw.fs.q_at_last_sample <- q;
   let sigma = (sw.cfg.q0 -. q) -. (sw.cfg.w *. dq) in
   if sigma < 0. then begin
     sw.st.bcn_negative <- sw.st.bcn_negative + 1;
-    sw.control_out e
-      (Packet.make_bcn ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~flow
-         ~fb:sigma ~cpid:sw.cfg.cpid)
+    emit_bcn sw e ~flow ~fb:sigma
   end
   else if sigma > 0. && q < sw.cfg.q0 then begin
     let tagged_here = match rrt with Some c -> c = sw.cfg.cpid | None -> false in
     if tagged_here || sw.cfg.positive_to_untagged then begin
       sw.st.bcn_positive <- sw.st.bcn_positive + 1;
-      sw.control_out e
-        (Packet.make_bcn ~seq:(next_ctl_seq sw) ~now:(Engine.now e) ~flow
-           ~fb:sigma ~cpid:sw.cfg.cpid)
+      emit_bcn sw e ~flow ~fb:sigma
     end
   end
 
@@ -195,16 +230,20 @@ let receive sw e pkt =
   (match pkt.Packet.kind with
   | Packet.Bcn _ | Packet.Pause _ ->
       invalid_arg "Switch.receive: control frames do not enter the data path"
-  | Packet.Data _ -> ());
-  (match pkt.Packet.kind with
   | Packet.Data { flow; rrt } ->
       sw.last_flow <- flow;
-      sw.last_rrt <- rrt
-  | Packet.Bcn _ | Packet.Pause _ -> ());
+      sw.last_rrt <- rrt);
   let accepted = Fifo.enqueue sw.queue pkt in
-  (if accepted && sw.cfg.enable_bcn && should_sample sw then
-     match pkt.Packet.kind with
-     | Packet.Data { flow; rrt } -> sample sw e ~flow ~rrt
-     | Packet.Bcn _ | Packet.Pause _ -> ());
+  (if accepted then begin
+     if sw.cfg.enable_bcn && should_sample sw then
+       match pkt.Packet.kind with
+       | Packet.Data { flow; rrt } -> sample sw e ~flow ~rrt
+       | Packet.Bcn _ | Packet.Pause _ -> ()
+   end
+   else
+     (* tail drop: the frame is dead here; recycle it if we pool *)
+     match sw.cfg.pool with
+     | Some pool -> Packet.Pool.release pool pkt
+     | None -> ());
   check_pause sw e;
   serve sw e

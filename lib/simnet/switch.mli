@@ -44,11 +44,15 @@ type config = {
           the fluid model's always-on increase law) *)
   enable_bcn : bool;
   enable_pause : bool;
+  pool : Packet.Pool.t option;
+      (** when set, BCN/PAUSE frames are drawn from this pool and
+          tail-dropped data frames are recycled into it; must be the
+          same pool the sources allocate data frames from *)
 }
 
 val default_config : Fluid.Params.t -> cpid:int -> config
 (** Deterministic sampling, [positive_to_untagged = true], BCN and PAUSE
-    enabled, thresholds taken from the fluid parameters. *)
+    enabled, no pool, thresholds taken from the fluid parameters. *)
 
 type stats = {
   mutable forwarded : int;

@@ -61,6 +61,92 @@ let prop_eventq_conserves =
       List.iteri (fun i k -> Simnet.Eventq.push q k i) keys;
       List.length (Simnet.Eventq.drain q) = List.length keys)
 
+(* Keys drawn from {0..3} so ties are the common case: payloads with
+   equal keys must drain in insertion order. *)
+let prop_eventq_fifo_under_ties =
+  QCheck.Test.make ~name:"equal keys drain in insertion order" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 150) (int_range 0 3))
+    (fun keys ->
+      let q = Simnet.Eventq.create () in
+      List.iteri (fun i k -> Simnet.Eventq.push q (float_of_int k) i) keys;
+      let drained = Simnet.Eventq.drain q in
+      (* for every key, the payload sequence must be increasing *)
+      List.for_all
+        (fun k ->
+          let payloads =
+            List.filter_map
+              (fun (key, v) -> if key = float_of_int k then Some v else None)
+              drained
+          in
+          List.sort compare payloads = payloads)
+        [ 0; 1; 2; 3 ])
+
+(* Interleaved push/pop sequences against the seed implementation
+   ([Eventq_boxed]) as the oracle: both queues must agree on every
+   popped (key, payload) pair and on the final size. Keys are tie-prone
+   on purpose — this pins the FIFO tie-break across the rewrite. *)
+let prop_eventq_matches_boxed_oracle =
+  QCheck.Test.make ~name:"interleaved ops match the boxed oracle" ~count:300
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 0 200)
+        (option (int_range 0 7)))
+    (fun ops ->
+      let q = Simnet.Eventq.create () in
+      let oracle = Simnet.Eventq_boxed.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+              let key = float_of_int k in
+              Simnet.Eventq.push q key !next;
+              Simnet.Eventq_boxed.push oracle key !next;
+              incr next;
+              Simnet.Eventq.size q = Simnet.Eventq_boxed.size oracle
+          | None -> (
+              match (Simnet.Eventq.pop q, Simnet.Eventq_boxed.pop oracle) with
+              | None, None -> true
+              | Some (k1, v1), Some (k2, v2) -> k1 = k2 && v1 = v2
+              | _ -> false))
+        ops
+      && Simnet.Eventq.size q = Simnet.Eventq_boxed.size oracle)
+
+let test_eventq_clear () =
+  let q = Simnet.Eventq.create () in
+  for i = 0 to 9 do
+    Simnet.Eventq.push q (float_of_int i) i
+  done;
+  Simnet.Eventq.clear q;
+  Alcotest.(check bool) "empty after clear" true (Simnet.Eventq.is_empty q);
+  Alcotest.(check bool) "pop after clear" true (Simnet.Eventq.pop q = None);
+  (* the queue must be reusable after clear *)
+  Simnet.Eventq.push q 2. 2;
+  Simnet.Eventq.push q 1. 1;
+  Alcotest.(check (list int)) "reusable" [ 1; 2 ]
+    (List.map snd (Simnet.Eventq.drain q))
+
+(* The pop space-leak fix: a popped (or cleared) payload must not stay
+   reachable through the queue's internal storage. Observed through a
+   weak pointer after a full major collection. *)
+let test_eventq_does_not_pin_payloads () =
+  let q = Simnet.Eventq.create () in
+  Simnet.Eventq.push q 5. (ref (-1));
+  let w : int ref Weak.t = Weak.create 2 in
+  (let v = ref 1 in
+   Weak.set w 0 (Some v);
+   Simnet.Eventq.push q 1. v);
+  (match Simnet.Eventq.pop q with
+  | Some (_, r) -> Alcotest.(check int) "popped payload" 1 !r
+  | None -> Alcotest.fail "expected a payload");
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check w 0);
+  (let v = ref 2 in
+   Weak.set w 1 (Some v);
+   Simnet.Eventq.push q 0.5 v);
+  Simnet.Eventq.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" false (Weak.check w 1)
+
 (* ---------------- Engine ---------------- *)
 
 let test_engine_order_and_clock () =
@@ -90,6 +176,23 @@ let test_engine_until () =
   Alcotest.(check int) "only first fired" 1 !fired;
   checkf 1e-12 "clock at horizon" 2. (Simnet.Engine.now e);
   Alcotest.(check int) "second still pending" 1 (Simnet.Engine.pending e)
+
+let test_engine_until_boundary () =
+  (* an event at exactly the horizon fires; one just past it does not,
+     and the clock still lands exactly on the horizon *)
+  let e = Simnet.Engine.create () in
+  let fired = ref [] in
+  Simnet.Engine.schedule e ~delay:2. (fun _ -> fired := 2 :: !fired);
+  Simnet.Engine.schedule e ~delay:(2. +. epsilon_float *. 8.) (fun _ ->
+      fired := 3 :: !fired);
+  Simnet.Engine.run ~until:2. e;
+  Alcotest.(check (list int)) "boundary event fired" [ 2 ] !fired;
+  checkf 0. "clock exactly at horizon" 2. (Simnet.Engine.now e);
+  Alcotest.(check int) "past-boundary event pending" 1
+    (Simnet.Engine.pending e);
+  (* resuming past the horizon runs the remaining event *)
+  Simnet.Engine.run e;
+  Alcotest.(check (list int)) "remaining event fired" [ 3; 2 ] !fired
 
 let test_engine_stop () =
   let e = Simnet.Engine.create () in
@@ -142,6 +245,29 @@ let test_packet_constructors () =
   let p = Simnet.Packet.make_pause ~seq:0 ~now:0. ~on:true in
   Alcotest.(check (option int)) "pause has no flow" None
     (Simnet.Packet.flow_of p)
+
+let test_packet_pool_reuse () =
+  let pool = Simnet.Packet.Pool.create () in
+  let p1 =
+    Simnet.Packet.Pool.alloc_data pool ~seq:0 ~now:1. ~flow:2 ~rrt:None
+  in
+  Simnet.Packet.Pool.release pool p1;
+  Alcotest.(check int) "nothing live" 0 (Simnet.Packet.Pool.live pool);
+  let p2 =
+    Simnet.Packet.Pool.alloc_data pool ~seq:9 ~now:3. ~flow:5 ~rrt:(Some 1)
+  in
+  Alcotest.(check bool) "frame recycled, not reallocated" true (p1 == p2);
+  Alcotest.(check int) "created only once" 1 (Simnet.Packet.Pool.created pool);
+  (* the recycled frame carries the new fields, not stale ones *)
+  Alcotest.(check int) "seq rewritten" 9 p2.Simnet.Packet.seq;
+  checkf 0. "timestamp rewritten" 3. (Simnet.Packet.born p2);
+  (match p2.Simnet.Packet.kind with
+  | Simnet.Packet.Data { flow; rrt } ->
+      Alcotest.(check int) "flow rewritten" 5 flow;
+      Alcotest.(check (option int)) "rrt rewritten" (Some 1) rrt
+  | _ -> Alcotest.fail "expected a data frame");
+  Simnet.Packet.Pool.release pool p2;
+  Alcotest.(check int) "pooled again" 1 (Simnet.Packet.Pool.pooled pool)
 
 (* ---------------- Switch ---------------- *)
 
@@ -389,6 +515,43 @@ let test_runner_pause_prevents_drops () =
   let r = Simnet.Runner.run cfg in
   Alcotest.(check int) "no drops with PAUSE" 0 r.Simnet.Runner.drops;
   Alcotest.(check bool) "pauses occurred" true (r.Simnet.Runner.pause_on_events > 0)
+
+let test_runner_replicate_deterministic () =
+  (* the same seeds must give byte-identical results whether the
+     replicas run sequentially or fan out over a 4-lane pool *)
+  let cfg = Simnet.Runner.default_config ~t_end:0.002 params in
+  let seeds = [| 11; 22; 33; 44 |] in
+  let serial = Simnet.Runner.replicate ~jobs:1 ~seeds cfg in
+  let parallel = Simnet.Runner.replicate ~jobs:4 ~seeds cfg in
+  Alcotest.(check int) "replica count" (Array.length seeds)
+    (Array.length serial);
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check string)
+        (Printf.sprintf "replica %d byte-identical" i)
+        (Marshal.to_string a [])
+        (Marshal.to_string parallel.(i) []))
+    serial;
+  (* different seeds under Bernoulli sampling are genuinely different
+     runs: at least one pair of replicas must diverge *)
+  let distinct =
+    Array.exists
+      (fun r ->
+        Marshal.to_string r [] <> Marshal.to_string serial.(0) [])
+      serial
+  in
+  Alcotest.(check bool) "seeds differentiate replicas" true distinct
+
+let test_runner_run_many_matches_run () =
+  let cfg = Simnet.Runner.default_config ~t_end:0.002 params in
+  let cfg' = { cfg with Simnet.Runner.enable_pause = false } in
+  let batch = Simnet.Runner.run_many ~jobs:2 [| cfg; cfg' |] in
+  Alcotest.(check string) "slot 0 = run cfg"
+    (Marshal.to_string (Simnet.Runner.run cfg) [])
+    (Marshal.to_string batch.(0) []);
+  Alcotest.(check string) "slot 1 = run cfg'"
+    (Marshal.to_string (Simnet.Runner.run cfg') [])
+    (Marshal.to_string batch.(1) [])
 
 (* ---------------- Topology ---------------- *)
 
@@ -694,8 +857,17 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_eventq_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_eventq_interleaved;
           Alcotest.test_case "nan rejected" `Quick test_eventq_nan_rejected;
+          Alcotest.test_case "clear" `Quick test_eventq_clear;
+          Alcotest.test_case "no payload pinning" `Quick
+            test_eventq_does_not_pin_payloads;
         ] );
-      qsuite "eventq-props" [ prop_eventq_sorted; prop_eventq_conserves ];
+      qsuite "eventq-props"
+        [
+          prop_eventq_sorted;
+          prop_eventq_conserves;
+          prop_eventq_fifo_under_ties;
+          prop_eventq_matches_boxed_oracle;
+        ];
       qsuite "model-props"
         [
           prop_fifo_conserves_bits;
@@ -707,13 +879,17 @@ let () =
         [
           Alcotest.test_case "order and clock" `Quick test_engine_order_and_clock;
           Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "until boundary" `Quick test_engine_until_boundary;
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
         ] );
       ( "fifo",
         [ Alcotest.test_case "accounting" `Quick test_fifo_accounting ] );
       ( "packet",
-        [ Alcotest.test_case "constructors" `Quick test_packet_constructors ] );
+        [
+          Alcotest.test_case "constructors" `Quick test_packet_constructors;
+          Alcotest.test_case "pool reuse" `Quick test_packet_pool_reuse;
+        ] );
       ( "switch",
         [
           Alcotest.test_case "sampling rate" `Quick test_switch_sampling_rate;
@@ -745,6 +921,10 @@ let () =
             test_runner_no_bcn_overflows;
           Alcotest.test_case "PAUSE prevents drops" `Quick
             test_runner_pause_prevents_drops;
+          Alcotest.test_case "replicate deterministic" `Quick
+            test_runner_replicate_deterministic;
+          Alcotest.test_case "run_many matches run" `Quick
+            test_runner_run_many_matches_run;
         ] );
       ( "topology",
         [ Alcotest.test_case "victim contrast" `Quick test_victim_scenario_contrast ] );
