@@ -298,9 +298,9 @@ let run_perf () =
          rows);
   rows
 
-(* JSON writer over the shared fragments in [Json_util]. *)
-let json_escape = Json_util.escape
-let json_float = Json_util.float
+(* JSON writer over the shared fragments in [Telemetry.Json]. *)
+let json_escape = Telemetry.Json.escape
+let json_float = Telemetry.Json.float
 
 let write_json path rows =
   let oc = open_out path in

@@ -291,11 +291,12 @@ let write_json path rows =
       output_string oc "{\n  \"simnet\": [\n";
       List.iteri
         (fun i r ->
-          Printf.fprintf oc "    {\"name\": \"%s\"" (Json_util.escape r.name);
+          Printf.fprintf oc "    {\"name\": \"%s\""
+            (Telemetry.Json.escape r.name);
           List.iter
             (fun (k, v) ->
-              Printf.fprintf oc ", \"%s\": %s" (Json_util.escape k)
-                (Json_util.float v))
+              Printf.fprintf oc ", \"%s\": %s" (Telemetry.Json.escape k)
+                (Telemetry.Json.float v))
             r.metrics;
           Printf.fprintf oc "}%s\n"
             (if i = List.length rows - 1 then "" else ","))

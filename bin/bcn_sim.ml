@@ -48,8 +48,12 @@ let report_replicas seeds results =
   agg "fairness" (fun r -> fairness r.final_rates);
   agg "drops" (fun r -> float_of_int r.drops)
 
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
 let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
-    initial_rate replicas seed jobs plot csv =
+    initial_rate replicas seed jobs plot csv trace metrics =
   let p =
     Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer ~gi ~gd ~ru ~w ~pm ()
   in
@@ -76,13 +80,33 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
   in
   if replicas < 1 then invalid_arg "--replicas must be >= 1";
   if replicas > 1 then begin
+    if trace <> None then
+      invalid_arg
+        "--trace records a single run's flight recorder; it cannot be \
+         combined with --replicas > 1";
     let seeds = Array.init replicas (fun i -> seed + i) in
-    let results = Simnet.Runner.replicate ?jobs ~seeds cfg in
+    let results, merged =
+      if metrics = None then (Simnet.Runner.replicate ?jobs ~seeds cfg, None)
+      else begin
+        let rs, m = Simnet.Runner.replicate_instrumented ?jobs ~seeds cfg in
+        (rs, Some m)
+      end
+    in
     report_replicas seeds results;
+    (match (metrics, merged) with
+    | Some path, Some m ->
+        with_out path (Telemetry.Metrics.write_json m);
+        Printf.printf "wrote %s (metrics merged across %d replicas)\n" path
+          replicas
+    | _ -> ());
     0
   end
   else begin
-  let r = Simnet.Runner.run cfg in
+  let probe =
+    if trace = None && metrics = None then Telemetry.Probe.disabled
+    else Telemetry.Probe.create ~capacity:(1 lsl 20) ()
+  in
+  let r = Simnet.Runner.run ~probe cfg in
   let open Simnet.Runner in
   Format.printf
     "@[<v>events processed: %d@,\
@@ -107,6 +131,19 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
   end;
   (match csv with
   | Some path -> Report.Csv.write_series ~path ~name:"queue_bits" r.queue
+  | None -> ());
+  (match trace with
+  | Some path ->
+      let rec_ = Telemetry.Probe.recorder probe in
+      with_out path (Telemetry.Recorder.write_jsonl rec_);
+      Printf.printf "wrote %s (%d events retained, %d recorded)\n" path
+        (Telemetry.Recorder.length rec_)
+        (Telemetry.Recorder.total rec_)
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      with_out path (Telemetry.Metrics.write_json (Telemetry.Probe.metrics probe));
+      Printf.printf "wrote %s\n" path
   | None -> ());
   0
   end
@@ -153,11 +190,28 @@ let cmd =
   in
   let plot = Arg.(value & flag & info [ "plot" ] ~doc:"ASCII plots of queue and rate.") in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the queue trace to CSV.") in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE.jsonl"
+             ~doc:"Record the run under a flight recorder and write the \
+                   retained events as JSONL (one event object per line; \
+                   summarize or diff with $(b,bcn_trace)). Single runs \
+                   only — incompatible with --replicas > 1.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE.json"
+             ~doc:"Write the run's metrics registry (event counters, \
+                   runner.* counters/gauges/histograms) as JSON. With \
+                   --replicas the per-replica registries are merged in \
+                   seed order, so the file is byte-identical for any \
+                   --jobs value.")
+  in
   let doc = "Packet-level BCN simulation (dumbbell: N sources, one congestion point)." in
   Cmd.v
     (Cmd.info "bcn_sim" ~doc)
     (const run $ flows $ capacity $ q0 $ buffer $ gi $ gd $ ru $ w $ pm $ t_end
      $ mode $ broadcast $ timer $ no_pause $ initial_rate $ replicas $ seed
-     $ jobs $ plot $ csv)
+     $ jobs $ plot $ csv $ trace $ metrics)
 
 let () = exit (Cmd.eval' cmd)

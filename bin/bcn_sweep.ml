@@ -18,7 +18,31 @@ let apply base param v =
   | "pm" -> Fluid.Params.with_sampling ~pm:v base
   | other -> invalid_arg ("unknown parameter: " ^ other)
 
-let run param lo hi steps log_scale buffer csv jobs =
+(* The sweep table as one JSON document, through the shared telemetry
+   emitter: [{"<param>": v, "case": "...", ...}, ...]. Cells are emitted
+   as JSON numbers when they parse as floats, strings otherwise. *)
+let write_json ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i row ->
+          let cells =
+            List.map2
+              (fun k v ->
+                match float_of_string_opt v with
+                | Some f when v <> "" -> (k, Telemetry.Json.float_full f)
+                | Some _ | None -> (k, Telemetry.Json.str v))
+              header row
+          in
+          Printf.fprintf oc "  %s%s\n" (Telemetry.Json.obj cells)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n")
+
+let run param lo hi steps log_scale buffer csv json jobs =
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
   let value i =
@@ -67,6 +91,11 @@ let run param lo hi steps log_scale buffer csv jobs =
       Report.Csv.write ~path ~header ~rows;
       Printf.printf "\nwrote %s\n" path
   | None -> ());
+  (match json with
+  | Some path ->
+      write_json ~path ~header ~rows;
+      Printf.printf "\nwrote %s\n" path
+  | None -> ());
   0
 
 let cmd =
@@ -86,6 +115,12 @@ let cmd =
     Arg.(value & opt float 15e6 & info [ "buffer" ] ~doc:"Buffer for the base config, bits.")
   in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the table to JSON.")
+  in
   let jobs =
     let pos_int =
       let parse s =
@@ -106,6 +141,7 @@ let cmd =
   in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
-    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv $ jobs)
+    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv $ json
+   $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,462 @@
+(* bcn_trace — record, summarize and diff flight-recorder traces.
+
+   Examples:
+     bcn_trace record --flows 16 --t-end 5e-3 --out incast.jsonl
+     bcn_trace summarize incast.jsonl
+     bcn_trace diff a.jsonl b.jsonl
+     bcn_trace smoke            # CI: probes-off cost + round-trip checks *)
+
+open Cmdliner
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* ---------- trace loading ---------- *)
+
+let load_trace path =
+  let ic = open_in path in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let l = input_line ic in
+           if String.trim l <> "" then lines := l :: !lines
+         done
+       with End_of_file -> ());
+      let raw = Array.of_list (List.rev !lines) in
+      let events =
+        Array.mapi
+          (fun i l ->
+            match Telemetry.Event.of_line l with
+            | Some ev -> ev
+            | None ->
+                failwith
+                  (Printf.sprintf "%s:%d: unparseable trace line: %s" path
+                     (i + 1) l))
+          raw
+      in
+      (raw, events))
+
+(* The queue occupancy an event carries, if any (see the field map in
+   Telemetry.Event). *)
+let queue_of (ev : Telemetry.Event.t) =
+  match ev.kind with
+  | Telemetry.Event.Enqueue | Dequeue | Drop | Pause_on | Pause_off ->
+      Some ev.a
+  | Bcn_positive | Bcn_negative -> Some ev.b
+  | Rate_update | Ode_step | Ode_reject -> None
+
+(* ---------- summary ---------- *)
+
+type summary = {
+  n_events : int;
+  counts : int array;  (* indexed by Telemetry.Event.to_code *)
+  t_min : float;
+  t_max : float;
+  bcn_times : float array;  (* notification (BCN+/-) times, trace order *)
+  max_q : float;
+}
+
+let summarize_events events =
+  let counts = Array.make Telemetry.Event.n_kinds 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let bcn_times = ref [] in
+  let max_q = ref 0. in
+  Array.iter
+    (fun (ev : Telemetry.Event.t) ->
+      let c = Telemetry.Event.to_code ev.kind in
+      counts.(c) <- counts.(c) + 1;
+      if ev.t < !t_min then t_min := ev.t;
+      if ev.t > !t_max then t_max := ev.t;
+      (match ev.kind with
+      | Telemetry.Event.Bcn_positive | Bcn_negative ->
+          bcn_times := ev.t :: !bcn_times
+      | _ -> ());
+      match queue_of ev with
+      | Some q -> if q > !max_q then max_q := q
+      | None -> ())
+    events;
+  {
+    n_events = Array.length events;
+    counts;
+    t_min = !t_min;
+    t_max = !t_max;
+    bcn_times = Array.of_list (List.rev !bcn_times);
+    max_q = !max_q;
+  }
+
+let count s kind = s.counts.(Telemetry.Event.to_code kind)
+
+let gap_stats times =
+  let n = Array.length times in
+  if n < 2 then None
+  else begin
+    let gaps = Array.init (n - 1) (fun i -> times.(i + 1) -. times.(i)) in
+    let sorted = Array.copy gaps in
+    Array.sort compare sorted;
+    let m = Array.length sorted in
+    let q p = sorted.(Stdlib.min (m - 1) (int_of_float (p *. float_of_int m))) in
+    let mean = Array.fold_left ( +. ) 0. gaps /. float_of_int m in
+    Some (m, sorted.(0), mean, q 0.5, q 0.9, sorted.(m - 1))
+  end
+
+type excursion = {
+  x_start : float;
+  x_end : float;
+  x_peak : float;
+  x_events : int;
+}
+
+(* Contiguous intervals during which the queue (as seen by q-carrying
+   events) stays above [threshold]. *)
+let excursions ~threshold events =
+  let acc = ref [] in
+  let cur = ref None in
+  let close t =
+    match !cur with
+    | Some (s, peak, cnt) ->
+        acc := { x_start = s; x_end = t; x_peak = peak; x_events = cnt } :: !acc;
+        cur := None
+    | None -> ()
+  in
+  Array.iter
+    (fun (ev : Telemetry.Event.t) ->
+      match queue_of ev with
+      | None -> ()
+      | Some q ->
+          if q > threshold then
+            cur :=
+              Some
+                (match !cur with
+                | None -> (ev.t, q, 1)
+                | Some (s, peak, cnt) -> (s, Float.max peak q, cnt + 1))
+          else close ev.t)
+    events;
+  (match !cur with Some (s, peak, cnt) ->
+     acc := { x_start = s; x_end = s; x_peak = peak; x_events = cnt } :: !acc
+   | None -> ());
+  List.rev !acc
+
+let summarize ?threshold path =
+  let raw, events = load_trace path in
+  let s = summarize_events events in
+  Printf.printf "%s: %d events" path s.n_events;
+  if s.n_events > 0 then Printf.printf ", t in [%g, %g] s" s.t_min s.t_max;
+  print_newline ();
+  print_newline ();
+  let rows =
+    List.filter_map
+      (fun c ->
+        let kind = Telemetry.Event.of_code c in
+        if s.counts.(c) = 0 then None
+        else Some [ Telemetry.Event.name kind; string_of_int s.counts.(c) ])
+      (List.init Telemetry.Event.n_kinds Fun.id)
+  in
+  if rows <> [] then Report.Table.print ~headers:[ "event"; "count" ] ~rows;
+  (match gap_stats s.bcn_times with
+  | None ->
+      Printf.printf "\ninter-notification gaps: fewer than 2 BCN events\n"
+  | Some (n, min_g, mean, p50, p90, max_g) ->
+      Printf.printf
+        "\ninter-notification gaps (%d): min %.3g  mean %.3g  p50 %.3g  \
+         p90 %.3g  max %.3g s\n"
+        n min_g mean p50 p90 max_g);
+  if s.max_q > 0. then begin
+    let threshold =
+      match threshold with Some t -> t | None -> 0.5 *. s.max_q
+    in
+    let xs = excursions ~threshold events in
+    Printf.printf "\nqueue excursions above %s bit (max seen %s bit):\n"
+      (Report.Table.si threshold) (Report.Table.si s.max_q);
+    if xs = [] then Printf.printf "  none\n"
+    else begin
+      let shown = List.filteri (fun i _ -> i < 20) xs in
+      Report.Table.print
+        ~headers:[ "start_s"; "duration_s"; "peak_bits"; "events" ]
+        ~rows:
+          (List.map
+             (fun x ->
+               [
+                 Printf.sprintf "%.6g" x.x_start;
+                 Printf.sprintf "%.3g" (x.x_end -. x.x_start);
+                 Report.Table.si x.x_peak;
+                 string_of_int x.x_events;
+               ])
+             shown);
+      if List.length xs > 20 then
+        Printf.printf "  (%d more excursions not shown)\n"
+          (List.length xs - 20)
+    end
+  end;
+  (ignore raw; s)
+
+(* ---------- subcommands ---------- *)
+
+let record_run flows t_end buffer no_pause initial_rate out metrics =
+  let p =
+    Fluid.Params.with_flows
+      (Fluid.Params.with_buffer Fluid.Params.default buffer)
+      flows
+  in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end p) with
+      Simnet.Runner.enable_pause = not no_pause;
+      (* incast: every source starts at line rate unless told otherwise,
+         so the congestion machinery fires within a short horizon *)
+      initial_rate =
+        (match initial_rate with
+        | Some r -> r
+        | None -> p.Fluid.Params.capacity);
+    }
+  in
+  let probe = Telemetry.Probe.create ~capacity:(1 lsl 20) () in
+  let r = Simnet.Runner.run ~probe cfg in
+  let rec_ = Telemetry.Probe.recorder probe in
+  with_out out (Telemetry.Recorder.write_jsonl rec_);
+  Printf.printf
+    "wrote %s (%d events retained, %d recorded; %d BCN+, %d BCN-, %d drops, \
+     %d PAUSE-on)\n"
+    out
+    (Telemetry.Recorder.length rec_)
+    (Telemetry.Recorder.total rec_)
+    r.Simnet.Runner.bcn_positive r.Simnet.Runner.bcn_negative
+    r.Simnet.Runner.drops r.Simnet.Runner.pause_on_events;
+  (match metrics with
+  | Some path ->
+      with_out path (Telemetry.Metrics.write_json (Telemetry.Probe.metrics probe));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  0
+
+let diff_run a b =
+  let raw_a, ev_a = load_trace a in
+  let raw_b, ev_b = load_trace b in
+  let sa = summarize_events ev_a and sb = summarize_events ev_b in
+  let count_rows =
+    List.filter_map
+      (fun c ->
+        let ca = sa.counts.(c) and cb = sb.counts.(c) in
+        if ca = 0 && cb = 0 then None
+        else
+          Some
+            [
+              Telemetry.Event.name (Telemetry.Event.of_code c);
+              string_of_int ca;
+              string_of_int cb;
+              Printf.sprintf "%+d" (cb - ca);
+            ])
+      (List.init Telemetry.Event.n_kinds Fun.id)
+  in
+  Report.Table.print ~headers:[ "event"; a; b; "delta" ] ~rows:count_rows;
+  let n = Stdlib.min (Array.length raw_a) (Array.length raw_b) in
+  let first_diff = ref None in
+  (try
+     for i = 0 to n - 1 do
+       if raw_a.(i) <> raw_b.(i) then begin
+         first_diff := Some i;
+         raise Exit
+       end
+     done;
+     if Array.length raw_a <> Array.length raw_b then first_diff := Some n
+   with Exit -> ());
+  match !first_diff with
+  | None ->
+      Printf.printf "\ntraces are identical (%d events)\n" (Array.length raw_a);
+      0
+  | Some i ->
+      Printf.printf "\nfirst difference at line %d:\n" (i + 1);
+      Printf.printf "- %s\n"
+        (if i < Array.length raw_a then raw_a.(i) else "<end of trace>");
+      Printf.printf "+ %s\n"
+        (if i < Array.length raw_b then raw_b.(i) else "<end of trace>");
+      1
+
+(* ---------- smoke (CI) ---------- *)
+
+let smoke_run () =
+  (* 1. Disabled-probe emitters must cost ~0 minor words per event: the
+     [@inline] wrappers reduce to a load and an untaken branch, so a
+     million calls should allocate (almost) nothing. *)
+  let p = Telemetry.Probe.disabled in
+  let n = 1_000_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to n do
+    let t = float_of_int i in
+    Telemetry.Probe.enqueue p ~t ~q:t ~bits:12000. ~flow:i ~seq:i;
+    Telemetry.Probe.bcn p ~t ~fb:(-.t) ~q:t ~flow:i ~seq:i;
+    Telemetry.Probe.rate_update p ~t ~rate:t ~fb:t ~id:i ~cpid:1
+  done;
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int (3 * n) in
+  Printf.printf "disabled-probe emitter cost: %.4f minor words/event\n"
+    per_event;
+  if per_event > 0.01 then begin
+    Printf.eprintf
+      "FAIL: disabled probe allocates %.4f minor words/event (>0.01)\n"
+      per_event;
+    exit 1
+  end;
+  (* 2. Telemetry must not perturb the simulation: the same scenario
+     with and without a probe produces identical results. Sources start
+     at line rate (16x overload) so the congestion machinery — BCN,
+     PAUSE — actually fires within the short horizon. *)
+  let params =
+    Fluid.Params.make ~n_flows:16 ~capacity:10e9 ~q0:2.5e6 ~buffer:15e6
+      ~gi:4. ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  let cfg =
+    {
+      (Simnet.Runner.default_config ~t_end:2e-3 params) with
+      Simnet.Runner.initial_rate = 10e9;
+    }
+  in
+  let check_roundtrip label cfg =
+    let bare = Simnet.Runner.run cfg in
+    let probe = Telemetry.Probe.create ~capacity:(1 lsl 20) () in
+    let r = Simnet.Runner.run ~probe cfg in
+    let same =
+      r.Simnet.Runner.events_processed = bare.Simnet.Runner.events_processed
+      && r.Simnet.Runner.drops = bare.Simnet.Runner.drops
+      && r.Simnet.Runner.bcn_positive = bare.Simnet.Runner.bcn_positive
+      && r.Simnet.Runner.bcn_negative = bare.Simnet.Runner.bcn_negative
+      && r.Simnet.Runner.delivered_bits = bare.Simnet.Runner.delivered_bits
+    in
+    if not same then begin
+      Printf.eprintf "FAIL(%s): probe perturbed the simulation\n" label;
+      exit 1
+    end;
+    let rec_ = Telemetry.Probe.recorder probe in
+    if Telemetry.Recorder.overwritten rec_ > 0 then begin
+      Printf.eprintf "FAIL(%s): flight recorder overflowed\n" label;
+      exit 1
+    end;
+    (* 3. Round-trip: the JSONL written by the recorder parses back and
+       its per-kind counts equal the runner's own statistics. *)
+    let path = Filename.temp_file "bcn_trace_smoke" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        with_out path (Telemetry.Recorder.write_jsonl rec_);
+        let _, events = load_trace path in
+        let s = summarize_events events in
+        let expect name got want =
+          if got <> want then begin
+            Printf.eprintf "FAIL(%s): %s: trace has %d, runner says %d\n"
+              label name got want;
+            exit 1
+          end
+        in
+        expect "bcn_positive"
+          (count s Telemetry.Event.Bcn_positive)
+          r.Simnet.Runner.bcn_positive;
+        expect "bcn_negative"
+          (count s Telemetry.Event.Bcn_negative)
+          r.Simnet.Runner.bcn_negative;
+        expect "drops" (count s Telemetry.Event.Drop) r.Simnet.Runner.drops;
+        expect "pause_on"
+          (count s Telemetry.Event.Pause_on)
+          r.Simnet.Runner.pause_on_events;
+        Printf.printf
+          "%s: round-trip ok (%d events; %d BCN+, %d BCN-, %d drops, %d \
+           PAUSE-on)\n"
+          label s.n_events
+          (count s Telemetry.Event.Bcn_positive)
+          (count s Telemetry.Event.Bcn_negative)
+          (count s Telemetry.Event.Drop)
+          (count s Telemetry.Event.Pause_on));
+    r
+  in
+  let _ = check_roundtrip "incast" cfg in
+  (* An overload variant — PAUSE off, tiny buffer — so tail drops occur
+     and the Drop-event path is exercised too. *)
+  let tiny =
+    Fluid.Params.make ~n_flows:16 ~capacity:10e9 ~q0:1e5 ~buffer:4e5
+      ~gi:4. ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  let overload =
+    {
+      (Simnet.Runner.default_config ~t_end:1e-3 tiny) with
+      Simnet.Runner.enable_pause = false;
+      initial_rate = 10e9;
+    }
+  in
+  let r = check_roundtrip "overload" overload in
+  if r.Simnet.Runner.drops = 0 then begin
+    Printf.eprintf
+      "FAIL: overload scenario produced no drops; smoke lost coverage\n";
+    exit 1
+  end;
+  Printf.printf "telemetry smoke ok\n";
+  0
+
+let record_cmd =
+  let flows = Arg.(value & opt int 16 & info [ "n"; "flows" ] ~doc:"Number of flows.") in
+  let t_end = Arg.(value & opt float 5e-3 & info [ "t-end" ] ~doc:"Simulated seconds.") in
+  let buffer = Arg.(value & opt float 15e6 & info [ "b"; "buffer" ] ~doc:"Buffer, bits.") in
+  let no_pause = Arg.(value & flag & info [ "no-pause" ] ~doc:"Disable 802.3x PAUSE.") in
+  let initial_rate =
+    Arg.(value & opt (some float) None
+         & info [ "initial-rate" ]
+             ~doc:"Per-source start rate, bit/s (default: line rate, i.e. \
+                   an N-to-1 incast).")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE.jsonl" ~doc:"Trace output path.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE.json" ~doc:"Also write the metrics registry.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Run an incast scenario under a flight recorder.")
+    Term.(
+      const record_run $ flows $ t_end $ buffer $ no_pause $ initial_rate
+      $ out $ metrics)
+
+let summarize_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.jsonl")
+  in
+  let threshold =
+    Arg.(value & opt (some float) None
+         & info [ "threshold" ] ~docv:"BITS"
+             ~doc:"Queue-excursion threshold (default: half the maximum \
+                   occupancy seen in the trace).")
+  in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:"Event counts, inter-notification gaps and queue excursions.")
+    Term.(
+      const (fun threshold file ->
+          let _ = summarize ?threshold file in
+          0)
+      $ threshold $ file)
+
+let diff_cmd =
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.jsonl") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.jsonl") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two traces: per-kind count deltas and the first \
+             differing line. Exits 1 when the traces differ.")
+    Term.(const diff_run $ a $ b)
+
+let smoke_cmd =
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:"CI check: disabled probes cost ~0 minor words/event, enabled \
+             probes round-trip through the JSONL format with counts \
+             matching the runner's statistics.")
+    Term.(const smoke_run $ const ())
+
+let cmd =
+  Cmd.group
+    (Cmd.info "bcn_trace"
+       ~doc:"Record, summarize and diff BCN flight-recorder traces.")
+    [ record_cmd; summarize_cmd; diff_cmd; smoke_cmd ]
+
+let () = exit (Cmd.eval' cmd)

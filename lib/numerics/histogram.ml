@@ -99,6 +99,15 @@ let merge a b =
     over = a.over +. b.over;
   }
 
+let copy h =
+  {
+    lo = h.lo;
+    hi = h.hi;
+    bins = Array.copy h.bins;
+    under = h.under;
+    over = h.over;
+  }
+
 let reset h =
   Array.fill h.bins 0 (Array.length h.bins) 0.;
   h.under <- 0.;

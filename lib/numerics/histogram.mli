@@ -39,7 +39,14 @@ val to_series : t -> Series.t
 (** Bin midpoints vs masses (for plotting). *)
 
 val merge : t -> t -> t
-(** Sum of two histograms with identical geometry;
-    raises [Invalid_argument] otherwise. *)
+(** Exact bin-wise sum of two histograms with identical geometry
+    (same [lo], [hi] and bin count), including the underflow/overflow
+    mass; raises [Invalid_argument] otherwise. Associative and
+    commutative up to float summation order, which is why per-domain
+    registries merged in input order are deterministic. *)
+
+val copy : t -> t
+(** Independent snapshot: further [add]s to either side do not affect
+    the other. *)
 
 val reset : t -> unit

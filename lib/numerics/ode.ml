@@ -11,6 +11,17 @@ type event = {
 
 type occurrence = { oc_name : string; oc_t : float; oc_y : float array }
 
+(* Step monitor: a telemetry hook invoked on every accepted / rejected
+   step. Kept as a plain callback record (rather than depending on
+   lib/telemetry, which sits above numerics) so the solvers stay at the
+   bottom of the dependency stack; Telemetry.Probe.ode_monitor adapts a
+   probe into this shape. The default (no monitor) costs one pattern
+   match per step and allocates nothing. *)
+type monitor = {
+  on_step : float -> float -> unit;  (* t_end_of_step, h_accepted *)
+  on_reject : float -> float -> unit;  (* t, h_rejected *)
+}
+
 type solution = {
   ts : float array;
   ys : float array array;
@@ -214,7 +225,7 @@ type driver_step = float -> float array -> float -> float array
    driver stores the result in the solution without copying. *)
 
 let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float -> float * float * bool)
-    ?(events = []) ~t_end ~t0 ~y0 () =
+    ?(events = []) ?monitor ~t_end ~t0 ~y0 () =
   (* [next_h t y h_try] returns (h_accepted, h_next_suggestion, accepted?).
      For fixed-step drivers it always accepts. *)
   let ts = ref [ t0 ] in
@@ -240,12 +251,18 @@ let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float 
       let h_acc, h_next, accepted = next_h !t !y h_try in
       if not accepted then begin
         incr n_rejected;
+        (match monitor with
+        | Some m -> m.on_reject !t h_try
+        | None -> ());
         h_cur := h_next
       end
       else begin
         incr n_steps;
         let y_next = single !t !y h_acc in
         let t_next = !t +. h_acc in
+        (match monitor with
+        | Some m -> m.on_step t_next h_acc
+        | None -> ());
         (* event detection over this accepted step *)
         let fired =
           List.filter_map
@@ -291,13 +308,14 @@ let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float 
     n_rejected = !n_rejected;
   }
 
-let solve_fixed ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
+let solve_fixed ?(method_ = Rk4) ?(events = []) ?monitor ~h ~t_end f ~t0 ~y0 =
   if h <= 0. then invalid_arg "Ode.solve_fixed: h <= 0";
   let single t y h = step method_ f t y h in
   let next_h _t _y h_try = (Float.min h_try h, h, true) in
-  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+  run_driver ~single ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
-let solve_fixed_into ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
+let solve_fixed_into ?(method_ = Rk4) ?(events = []) ?monitor ~h ~t_end f ~t0
+    ~y0 =
   if h <= 0. then invalid_arg "Ode.solve_fixed_into: h <= 0";
   let ws = workspace (Array.length y0) in
   let single t y h =
@@ -306,7 +324,7 @@ let solve_fixed_into ?(method_ = Rk4) ?(events = []) ~h ~t_end f ~t0 ~y0 =
     dst
   in
   let next_h _t _y h_try = (Float.min h_try h, h, true) in
-  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+  run_driver ~single ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
 (* --- Fehlberg 4(5) ------------------------------------------------------- *)
 
@@ -453,7 +471,7 @@ let dopri5_step f t y h =
   (y5, !err)
 
 let solve_adaptive ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
-    ?h_max ?(max_steps = 2_000_000) ?(events = []) ~t_end f ~t0 ~y0 =
+    ?h_max ?(max_steps = 2_000_000) ?(events = []) ?monitor ~t_end f ~t0 ~y0 =
   let span = t_end -. t0 in
   if span <= 0. then invalid_arg "Ode.solve_adaptive: t_end <= t0";
   let h_max = match h_max with Some h -> h | None -> span in
@@ -497,7 +515,7 @@ let solve_adaptive ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
       (h_try, h_new, false)
     end
   in
-  run_driver ~single ~next_h ~events ~t_end ~t0 ~y0 ()
+  run_driver ~single ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
 let state_at sol t =
   let n = Array.length sol.ts in

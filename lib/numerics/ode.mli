@@ -34,6 +34,19 @@ type event = {
 
 type occurrence = { oc_name : string; oc_t : float; oc_y : float array }
 
+type monitor = {
+  on_step : float -> float -> unit;
+      (** [on_step t h] after each accepted step ending at time [t] with
+          step size [h]. *)
+  on_reject : float -> float -> unit;
+      (** [on_reject t h] after each rejected trial step of size [h]
+          attempted from time [t] (adaptive methods only). *)
+}
+(** Telemetry hook for the solvers. Numerics sits below [lib/telemetry]
+    in the dependency stack, so the hook is a plain callback record;
+    [Telemetry.Probe.ode_monitor] adapts a probe into one. Passing no
+    monitor costs one pattern match per step and allocates nothing. *)
+
 type solution = {
   ts : float array;  (** accepted step times, [ts.(0) = t0] *)
   ys : float array array;  (** [ys.(i)] is the state at [ts.(i)] *)
@@ -110,6 +123,7 @@ val field_into_of_auto : field_auto -> field_into
 val solve_fixed_into :
   ?method_:method_ ->
   ?events:event list ->
+  ?monitor:monitor ->
   h:float ->
   t_end:float ->
   field_into ->
@@ -123,6 +137,7 @@ val solve_fixed_into :
 val solve_fixed :
   ?method_:method_ ->
   ?events:event list ->
+  ?monitor:monitor ->
   h:float ->
   t_end:float ->
   field ->
@@ -142,6 +157,7 @@ val solve_adaptive :
   ?h_max:float ->
   ?max_steps:int ->
   ?events:event list ->
+  ?monitor:monitor ->
   t_end:float ->
   field ->
   t0:float ->

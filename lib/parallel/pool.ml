@@ -7,7 +7,15 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable closed : bool;
+  (* per-lane wall-clock accounting: lane 0 is the caller, lanes
+     1..size-1 the workers. Each lane only ever writes its own slot
+     (word-sized stores, no tearing), so no lock is needed; readers get
+     a racy-but-consistent-per-slot snapshot. *)
+  lane_busy : float array;
+  lane_tasks : int array;
 }
+
+type lane_stats = { lane : int; busy_s : float; tasks_run : int }
 
 let default_size () =
   match Sys.getenv_opt "DCECC_JOBS" with
@@ -25,9 +33,16 @@ let try_pop pool =
   Mutex.unlock pool.lock;
   job
 
+let run_on_lane pool lane job =
+  let t0 = Unix.gettimeofday () in
+  (* tasks are wrapped and never raise; be defensive anyway *)
+  (try job () with _ -> ());
+  pool.lane_busy.(lane) <- pool.lane_busy.(lane) +. (Unix.gettimeofday () -. t0);
+  pool.lane_tasks.(lane) <- pool.lane_tasks.(lane) + 1
+
 (* Workers block on [nonempty]; the caller never blocks here — it drains
    with [try_pop] and then waits on its batch's completion latch. *)
-let worker_loop pool () =
+let worker_loop pool lane () =
   let rec next () =
     Mutex.lock pool.lock;
     let rec await () =
@@ -42,8 +57,7 @@ let worker_loop pool () =
     Mutex.unlock pool.lock;
     match job with
     | Some job ->
-        (* tasks are wrapped and never raise; be defensive anyway *)
-        (try job () with _ -> ());
+        run_on_lane pool lane job;
         next ()
     | None -> ()
   in
@@ -60,12 +74,19 @@ let create ?size () =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       closed = false;
+      lane_busy = Array.make size 0.;
+      lane_tasks = Array.make size 0;
     }
   in
-  pool.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (worker_loop pool (i + 1)));
   pool
 
 let size pool = pool.size
+
+let lane_stats pool =
+  Array.init pool.size (fun i ->
+      { lane = i; busy_s = pool.lane_busy.(i); tasks_run = pool.lane_tasks.(i) })
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -84,7 +105,8 @@ let with_pool ?size f =
    worker domains. Tasks must not raise (callers wrap them). *)
 let run_tasks pool (tasks : task array) =
   let n = Array.length tasks in
-  if pool.size = 1 || n <= 1 then Array.iter (fun job -> job ()) tasks
+  if pool.size = 1 || n <= 1 then
+    Array.iter (fun job -> run_on_lane pool 0 job) tasks
   else begin
     let remaining = Atomic.make n in
     let latch = Mutex.create () in
@@ -106,7 +128,7 @@ let run_tasks pool (tasks : task array) =
     let rec help () =
       match try_pop pool with
       | Some job ->
-          (try job () with _ -> ());
+          run_on_lane pool 0 job;
           help ()
       | None -> ()
     in

@@ -32,6 +32,18 @@ val create : ?size:int -> unit -> t
 val size : t -> int
 (** Total parallelism of the pool (workers + caller). *)
 
+type lane_stats = { lane : int; busy_s : float; tasks_run : int }
+(** Wall-clock utilization of one lane. Lane 0 is the calling domain,
+    lanes [1..size-1] the workers. *)
+
+val lane_stats : t -> lane_stats array
+(** Per-lane busy time and task counts, indexed by lane. Wall-clock
+    measurements: they vary run to run and across [jobs] values, so they
+    are operational telemetry for utilization reporting — keep them out
+    of registries whose snapshots must be deterministic. Safe to call at
+    any time (each lane writes only its own slot); a mid-flight read is
+    a consistent per-lane snapshot. *)
+
 val shutdown : t -> unit
 (** Join all worker domains. Idempotent. The pool must not be used
     afterwards. *)

@@ -9,12 +9,21 @@ type t = {
   queue : (t -> unit) Eventq.t;
   mutable stopped : bool;
   mutable processed : int;
+  mutable probe : Telemetry.Probe.t;
 }
 
-let create () =
-  { clock = { t = 0. }; queue = Eventq.create (); stopped = false; processed = 0 }
+let create ?(probe = Telemetry.Probe.disabled) () =
+  {
+    clock = { t = 0. };
+    queue = Eventq.create ();
+    stopped = false;
+    processed = 0;
+    probe;
+  }
 
 let[@inline] now e = e.clock.t
+let[@inline] probe e = e.probe
+let set_probe e p = e.probe <- p
 
 let[@inline] schedule_at e ~time f =
   if time < e.clock.t then invalid_arg "Engine.schedule_at: time in the past";

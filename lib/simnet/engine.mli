@@ -6,10 +6,18 @@
 
 type t
 
-val create : unit -> t
+val create : ?probe:Telemetry.Probe.t -> unit -> t
+(** [probe] is the telemetry probe components attached to this engine
+    emit through (default {!Telemetry.Probe.disabled}, which records
+    nothing at ~zero cost). The engine carries the probe so that
+    switches and sources don't each need it threaded through their
+    configs. *)
 
 val now : t -> float
 (** Current simulated time (seconds); 0 at creation. *)
+
+val probe : t -> Telemetry.Probe.t
+val set_probe : t -> Telemetry.Probe.t -> unit
 
 val schedule : t -> delay:float -> (t -> unit) -> unit
 (** [schedule e ~delay f] runs [f] at [now e +. delay].

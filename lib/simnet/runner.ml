@@ -51,12 +51,12 @@ type result = {
   final_rates : float array;
 }
 
-let run cfg =
+let run ?(probe = Telemetry.Probe.disabled) cfg =
   if cfg.t_end <= 0. then invalid_arg "Runner.run: t_end <= 0";
   if cfg.sample_dt <= 0. then invalid_arg "Runner.run: sample_dt <= 0";
   let p = cfg.params in
   let n = p.Fluid.Params.n_flows in
-  let e = Engine.create () in
+  let e = Engine.create ~probe () in
   (* every frame in this run cycles through one pool: sources draw data
      frames, the switch draws control frames, and whoever consumes a
      frame (sink, control dispatcher, tail drop) releases it *)
@@ -166,6 +166,20 @@ let run cfg =
   let cut a = Array.sub a 0 m in
   let st = Switch.stats sw in
   let q = Switch.fifo sw in
+  if Telemetry.Probe.enabled probe then begin
+    let mx = Telemetry.Probe.metrics probe in
+    Telemetry.Probe.flush_event_counters probe;
+    Telemetry.Metrics.add mx "runner.events_processed"
+      (Engine.events_processed e);
+    Telemetry.Metrics.add mx "runner.frames_sampled" st.Switch.sampled;
+    Telemetry.Metrics.add mx "runner.drops" (Fifo.drops q);
+    Telemetry.Metrics.set_gauge mx "runner.delivered_bits" delivered.(0);
+    Telemetry.Metrics.set_gauge mx "runner.dropped_bits" (Fifo.dropped_bits q);
+    Telemetry.Metrics.set_gauge mx "runner.utilization"
+      (delivered.(0) /. (p.Fluid.Params.capacity *. cfg.t_end));
+    Telemetry.Metrics.add_histogram mx "runner.latency_s" latency;
+    Telemetry.Metrics.add_histogram mx "runner.queue_bits" queue_histogram
+  end;
   {
     queue = Series.make (cut ts) (cut qs);
     agg_rate = Series.make (cut ts) (cut aggs);
@@ -200,14 +214,42 @@ let run_many ?jobs cfgs =
       match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
     in
     if size < 1 then invalid_arg "Runner.run_many: jobs < 1";
-    if size = 1 || Array.length cfgs = 1 then Array.map run cfgs
+    if size = 1 || Array.length cfgs = 1 then
+      Array.map (fun c -> run c) cfgs
     else
       Parallel.Pool.with_pool ~size (fun pool ->
-          Parallel.Pool.map_array pool run cfgs)
+          Parallel.Pool.map_array pool (fun c -> run c) cfgs)
   end
 
 let replicate ?jobs ~seeds cfg =
   run_many ?jobs (Array.map (with_seed cfg) seeds)
+
+(* Instrumented fan-out: each replica gets its own counting probe
+   (capacity 0: per-kind event counters + metrics, no ring), created
+   inside the task so no probe state crosses domains. map_array returns
+   in input order, so folding the registries left-to-right merges them
+   in seed order — the combined snapshot is byte-identical for any
+   [jobs] value. *)
+let replicate_instrumented ?jobs ~seeds cfg =
+  let cfgs = Array.map (with_seed cfg) seeds in
+  let task c =
+    let probe = Telemetry.Probe.create ~capacity:0 () in
+    let r = run ~probe c in
+    (r, Telemetry.Probe.metrics probe)
+  in
+  let pairs =
+    let size =
+      match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
+    in
+    if size < 1 then invalid_arg "Runner.replicate_instrumented: jobs < 1";
+    if size = 1 || Array.length cfgs <= 1 then Array.map task cfgs
+    else
+      Parallel.Pool.with_pool ~size (fun pool ->
+          Parallel.Pool.map_array pool task cfgs)
+  in
+  let merged = Telemetry.Metrics.create () in
+  Array.iter (fun (_, m) -> Telemetry.Metrics.merge_into ~into:merged m) pairs;
+  (Array.map fst pairs, merged)
 
 let fairness rates =
   let n = Array.length rates in

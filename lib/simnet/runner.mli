@@ -47,10 +47,19 @@ type result = {
   final_rates : float array;
 }
 
-val run : config -> result
+val run : ?probe:Telemetry.Probe.t -> config -> result
 (** One simulation. Internally every frame is drawn from a private
     {!Packet.Pool}, so the steady-state forwarding path allocates
-    nothing per data frame. *)
+    nothing per data frame.
+
+    [probe] (default {!Telemetry.Probe.disabled}) is installed on the
+    engine: switches, sources and the runner itself emit flight-recorder
+    events and metrics through it. With the default disabled probe the
+    emitters compile to untaken branches and the run is bit-identical
+    (including allocation behaviour) to an uninstrumented one. When the
+    probe is enabled, the runner flushes per-kind event counters and
+    [runner.*] counters/gauges/histograms into the probe's registry
+    before returning. *)
 
 val with_seed : config -> int -> config
 (** Switch the config to [Bernoulli] frame sampling driven by a fresh
@@ -70,6 +79,15 @@ val replicate : ?jobs:int -> seeds:int array -> config -> result array
 (** [replicate ~seeds cfg] = [run_many (Array.map (with_seed cfg) seeds)]:
     independent Monte-Carlo replicas of one scenario under Bernoulli
     sampling, one per seed, in seed order. *)
+
+val replicate_instrumented :
+  ?jobs:int -> seeds:int array -> config -> result array * Telemetry.Metrics.t
+(** Like {!replicate}, but each replica runs under its own counting
+    probe (a zero-capacity flight recorder: exact per-kind event counts
+    and [runner.*] metrics, no event ring). The per-replica registries
+    are merged in seed order after the fan-out completes, so the
+    returned registry — and its {!Telemetry.Metrics.to_json_string}
+    snapshot — is byte-identical for any [jobs] value. *)
 
 val fairness : float array -> float
 (** Jain's fairness index of a rate allocation:

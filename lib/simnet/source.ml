@@ -33,6 +33,9 @@ type t = {
   (* preallocated pacing callback for the current epoch: one closure per
      (re)start, not one per frame *)
   mutable tick : Engine.t -> unit;
+  (* captured from the engine in [start]: [handle_bcn] has no engine
+     argument, so the probe must already be at hand there *)
+  mutable probe : Telemetry.Probe.t;
 }
 
 let create ~id ~initial_rate ?(min_rate = 1e3) ?(max_rate = infinity)
@@ -66,6 +69,7 @@ let create ~id ~initial_rate ?(min_rate = 1e3) ?(max_rate = infinity)
     seq = 0;
     frames = 0;
     tick = (fun _ -> ());
+    probe = Telemetry.Probe.disabled;
   }
 
 let[@inline] clamp src v = Float.min src.max_rate (Float.max src.min_rate v)
@@ -122,6 +126,7 @@ let rearm src =
 let start src e =
   if not src.running then begin
     src.running <- true;
+    src.probe <- Engine.probe e;
     rearm src;
     src.fs.last_integration <- Engine.now e;
     (* stagger by id so N sources do not fire in lockstep at t = 0 *)
@@ -144,6 +149,8 @@ let handle_bcn src ~now ~fb ~cpid =
       integrate_held src now;
       src.fs.fb_hold <- fb;
       src.fs.hold_until <- now +. src.hold_timeout);
+  Telemetry.Probe.rate_update src.probe ~t:now ~rate:src.fs.rate ~fb ~id:src.id
+    ~cpid;
   if fb < 0. then src.rrt <- Some cpid
 
 let set_paused src e on =

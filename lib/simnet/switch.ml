@@ -91,6 +91,8 @@ let send_pause sw e on =
   if on then sw.st.pause_on <- sw.st.pause_on + 1
   else sw.st.pause_off <- sw.st.pause_off + 1;
   sw.upstream_paused <- on;
+  Telemetry.Probe.pause (Engine.probe e) ~t:now ~on ~q:(queue_bits sw)
+    ~cpid:sw.cfg.cpid ~seq;
   sw.control_out e pkt
 
 let pause_resume_threshold cfg = 0.9 *. cfg.qsc
@@ -117,6 +119,18 @@ and complete_service sw e =
   let pkt = sw.in_service in
   sw.busy <- false;
   sw.st.forwarded <- sw.st.forwarded + 1;
+  (* read the frame's fields before [forward]: the downstream sink may
+     recycle the frame into the pool. Matching the kind inline (rather
+     than Packet.flow_of) keeps this allocation-free: flow_of builds an
+     option per call, which the bench smoke flags at 2 words/frame. *)
+  Telemetry.Probe.dequeue (Engine.probe e) ~t:(Engine.now e)
+    ~q:(queue_bits sw)
+    ~sojourn:(Engine.now e -. Packet.born pkt)
+    ~flow:
+      (match pkt.Packet.kind with
+      | Packet.Data { flow; _ } | Packet.Bcn { flow; _ } -> flow
+      | Packet.Pause _ -> -1)
+    ~seq:pkt.Packet.seq;
   (match sw.forward with
   | Some f -> f e pkt
   | None -> failwith "Switch: forward not set");
@@ -197,12 +211,16 @@ let sample sw e ~flow ~rrt =
   let sigma = (sw.cfg.q0 -. q) -. (sw.cfg.w *. dq) in
   if sigma < 0. then begin
     sw.st.bcn_negative <- sw.st.bcn_negative + 1;
+    Telemetry.Probe.bcn (Engine.probe e) ~t:(Engine.now e) ~fb:sigma ~q ~flow
+      ~seq:sw.ctl_seq;
     emit_bcn sw e ~flow ~fb:sigma
   end
   else if sigma > 0. && q < sw.cfg.q0 then begin
     let tagged_here = match rrt with Some c -> c = sw.cfg.cpid | None -> false in
     if tagged_here || sw.cfg.positive_to_untagged then begin
       sw.st.bcn_positive <- sw.st.bcn_positive + 1;
+      Telemetry.Probe.bcn (Engine.probe e) ~t:(Engine.now e) ~fb:sigma ~q ~flow
+        ~seq:sw.ctl_seq;
       emit_bcn sw e ~flow ~fb:sigma
     end
   end
@@ -235,15 +253,24 @@ let receive sw e pkt =
       sw.last_rrt <- rrt);
   let accepted = Fifo.enqueue sw.queue pkt in
   (if accepted then begin
+     Telemetry.Probe.enqueue (Engine.probe e) ~t:(Engine.now e)
+       ~q:(queue_bits sw)
+       ~bits:(float_of_int pkt.Packet.bits)
+       ~flow:sw.last_flow ~seq:pkt.Packet.seq;
      if sw.cfg.enable_bcn && should_sample sw then
        match pkt.Packet.kind with
        | Packet.Data { flow; rrt } -> sample sw e ~flow ~rrt
        | Packet.Bcn _ | Packet.Pause _ -> ()
    end
-   else
-     (* tail drop: the frame is dead here; recycle it if we pool *)
+   else begin
+     (* tail drop: record before recycling — release rewrites the frame *)
+     Telemetry.Probe.drop (Engine.probe e) ~t:(Engine.now e)
+       ~q:(queue_bits sw)
+       ~bits:(float_of_int pkt.Packet.bits)
+       ~flow:sw.last_flow ~seq:pkt.Packet.seq;
      match sw.cfg.pool with
      | Some pool -> Packet.Pool.release pool pkt
-     | None -> ());
+     | None -> ()
+   end);
   check_pause sw e;
   serve sw e

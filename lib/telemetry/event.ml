@@ -1,0 +1,147 @@
+type kind =
+  | Enqueue
+  | Dequeue
+  | Drop
+  | Bcn_positive
+  | Bcn_negative
+  | Pause_on
+  | Pause_off
+  | Rate_update
+  | Ode_step
+  | Ode_reject
+
+let n_kinds = 10
+
+let to_code = function
+  | Enqueue -> 0
+  | Dequeue -> 1
+  | Drop -> 2
+  | Bcn_positive -> 3
+  | Bcn_negative -> 4
+  | Pause_on -> 5
+  | Pause_off -> 6
+  | Rate_update -> 7
+  | Ode_step -> 8
+  | Ode_reject -> 9
+
+let of_code = function
+  | 0 -> Enqueue
+  | 1 -> Dequeue
+  | 2 -> Drop
+  | 3 -> Bcn_positive
+  | 4 -> Bcn_negative
+  | 5 -> Pause_on
+  | 6 -> Pause_off
+  | 7 -> Rate_update
+  | 8 -> Ode_step
+  | 9 -> Ode_reject
+  | c -> invalid_arg (Printf.sprintf "Telemetry.Event.of_code: %d" c)
+
+let name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Drop -> "drop"
+  | Bcn_positive -> "bcn_positive"
+  | Bcn_negative -> "bcn_negative"
+  | Pause_on -> "pause_on"
+  | Pause_off -> "pause_off"
+  | Rate_update -> "rate_update"
+  | Ode_step -> "ode_step"
+  | Ode_reject -> "ode_reject"
+
+let of_name = function
+  | "enqueue" -> Some Enqueue
+  | "dequeue" -> Some Dequeue
+  | "drop" -> Some Drop
+  | "bcn_positive" -> Some Bcn_positive
+  | "bcn_negative" -> Some Bcn_negative
+  | "pause_on" -> Some Pause_on
+  | "pause_off" -> Some Pause_off
+  | "rate_update" -> Some Rate_update
+  | "ode_step" -> Some Ode_step
+  | "ode_reject" -> Some Ode_reject
+  | _ -> None
+
+type t = { kind : kind; t : float; a : float; b : float; i : int; j : int }
+
+let to_line ev =
+  Printf.sprintf "{\"ev\": \"%s\", \"t\": %s, \"a\": %s, \"b\": %s, \"i\": %d, \"j\": %d}"
+    (name ev.kind) (Json.float_full ev.t) (Json.float_full ev.a)
+    (Json.float_full ev.b) ev.i ev.j
+
+(* The parser accepts exactly the shape [to_line] emits (fixed key order,
+   one object per line) — it is a round-trip inverse, not a general JSON
+   reader. *)
+let of_line line =
+  let len = String.length line in
+  let field_value key from =
+    (* find ["<key>": ] starting at [from]; return (value_start, next) *)
+    let pat = "\"" ^ key ^ "\": " in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > len then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find from
+  in
+  let value_end start =
+    let rec go i =
+      if i >= len then i
+      else match line.[i] with ',' | '}' -> i | _ -> go (i + 1)
+    in
+    go start
+  in
+  match field_value "ev" 0 with
+  | None -> None
+  | Some ev_start -> (
+      match String.index_from_opt line ev_start '"' with
+      | None -> None
+      | Some _ when line.[ev_start] <> '"' -> None
+      | Some _ -> (
+          match String.index_from_opt line (ev_start + 1) '"' with
+          | None -> None
+          | Some ev_close -> (
+              let ev_name =
+                String.sub line (ev_start + 1) (ev_close - ev_start - 1)
+              in
+              match of_name ev_name with
+              | None -> None
+              | Some kind -> (
+                  let float_field key from =
+                    match field_value key from with
+                    | None -> None
+                    | Some s ->
+                        let e = value_end s in
+                        let raw = String.sub line s (e - s) in
+                        if raw = "null" then Some (nan, e)
+                        else
+                          Option.map
+                            (fun v -> (v, e))
+                            (float_of_string_opt raw)
+                  in
+                  let int_field key from =
+                    match field_value key from with
+                    | None -> None
+                    | Some s ->
+                        let e = value_end s in
+                        Option.map
+                          (fun v -> (v, e))
+                          (int_of_string_opt (String.sub line s (e - s)))
+                  in
+                  match float_field "t" ev_close with
+                  | None -> None
+                  | Some (t, p) -> (
+                      match float_field "a" p with
+                      | None -> None
+                      | Some (a, p) -> (
+                          match float_field "b" p with
+                          | None -> None
+                          | Some (b, p) -> (
+                              match int_field "i" p with
+                              | None -> None
+                              | Some (i, p) -> (
+                                  match int_field "j" p with
+                                  | None -> None
+                                  | Some (j, _) ->
+                                      Some { kind; t; a; b; i; j }))))))))

@@ -1,0 +1,58 @@
+(** Structured trace events.
+
+    Every event is one fixed-width record: a kind tag, the simulated
+    time, two float payloads and two int payloads. The flight recorder
+    stores these fields column-wise in unboxed arrays; this module gives
+    the fields their meaning and the JSONL wire form.
+
+    Field semantics per kind:
+
+    {v
+    kind          t              a                b                i       j
+    Enqueue       arrival time   queue bits after frame bits       flow    seq
+    Dequeue       service done   queue bits       sojourn seconds  flow    seq
+    Drop          arrival time   queue bits       frame bits       flow    seq
+    Bcn_positive  sample time    fb (sigma > 0)   queue bits       flow    ctl seq
+    Bcn_negative  sample time    fb (sigma < 0)   queue bits       flow    ctl seq
+    Pause_on      emit time      queue bits       0                cpid    ctl seq
+    Pause_off     emit time      queue bits       0                cpid    ctl seq
+    Rate_update   feedback time  new rate bit/s   fb               source  cpid
+    Ode_step      step end time  step size h      0                0       0
+    Ode_reject    step start     rejected h       0                0       0
+    v} *)
+
+type kind =
+  | Enqueue
+  | Dequeue
+  | Drop
+  | Bcn_positive
+  | Bcn_negative
+  | Pause_on
+  | Pause_off
+  | Rate_update
+  | Ode_step
+  | Ode_reject
+
+val n_kinds : int
+
+val to_code : kind -> int
+(** Dense codes in [0, n_kinds); stable across releases (appended-only)
+    because trace files persist them. *)
+
+val of_code : int -> kind
+(** Raises [Invalid_argument] outside [0, n_kinds). *)
+
+val name : kind -> string
+(** Short snake_case name used in JSONL lines and summaries. *)
+
+val of_name : string -> kind option
+
+type t = { kind : kind; t : float; a : float; b : float; i : int; j : int }
+
+val to_line : t -> string
+(** One JSONL line (no trailing newline):
+    [{"ev": "...", "t": ..., "a": ..., "b": ..., "i": ..., "j": ...}].
+    Floats render with [%.17g] so {!of_line} is an exact inverse. *)
+
+val of_line : string -> t option
+(** Parse a line produced by {!to_line}; [None] on anything else. *)

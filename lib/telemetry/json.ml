@@ -1,8 +1,3 @@
-(* Hand-rolled JSON fragments shared by the benchmark writers (the repo
-   carries no JSON dependency); every emitted value is a string-keyed
-   object of floats, so escaping reduces to the kernel names, which are
-   [a-z0-9_] already — escaped anyway for safety. *)
-
 let escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -17,4 +12,23 @@ let escape s =
     s;
   Buffer.contents b
 
+let str s = "\"" ^ escape s ^ "\""
 let float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let float_full f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.17g" f
+
+let int = string_of_int
+
+let obj fields =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (str k);
+      Buffer.add_string b ": ";
+      Buffer.add_string b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** Minimal JSON emission helpers shared by every writer in the repo
+    (benchmarks, metric snapshots, trace exporters). The repo carries no
+    JSON dependency, so the fragments are hand-rolled here — one place
+    for escaping and float formatting instead of a copy per writer. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes. *)
+
+val str : string -> string
+(** [str s] is [s] escaped and wrapped in double quotes. *)
+
+val float : float -> string
+(** Compact [%.6g] rendering; NaN becomes [null] (JSON has no NaN). *)
+
+val float_full : float -> string
+(** Round-trip [%.17g] rendering for values that must survive a
+    parse-back bit-for-bit (trace timestamps); NaN becomes [null]. *)
+
+val int : int -> string
+
+val obj : (string * string) list -> string
+(** [obj fields] renders [{"k": v, ...}] — values are already rendered
+    fragments, keys are escaped here. *)

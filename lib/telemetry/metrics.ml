@@ -1,0 +1,163 @@
+open Numerics
+
+(* Single-field mutable cells rather than refs in the table so updates
+   are in-place stores; the registry itself is off every fast path, so
+   plain Hashtbls are fine. *)
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 8;
+  }
+
+let counter_cell m name =
+  match Hashtbl.find_opt m.counters name with
+  | Some c -> c
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.replace m.counters name c;
+      c
+
+let incr m name =
+  let c = counter_cell m name in
+  c.c <- c.c + 1
+
+let add m name n =
+  let c = counter_cell m name in
+  c.c <- c.c + n
+
+let set_counter m name n = (counter_cell m name).c <- n
+
+let counter_value m name =
+  match Hashtbl.find_opt m.counters name with Some c -> c.c | None -> 0
+
+let gauge_cell m name =
+  match Hashtbl.find_opt m.gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g = 0. } in
+      Hashtbl.replace m.gauges name g;
+      g
+
+let set_gauge m name v = (gauge_cell m name).g <- v
+
+let add_gauge m name v =
+  let g = gauge_cell m name in
+  g.g <- g.g +. v
+
+let gauge_value m name =
+  match Hashtbl.find_opt m.gauges name with Some g -> g.g | None -> nan
+
+let same_geometry a b =
+  Histogram.bin_count a = Histogram.bin_count b
+  && Histogram.bin_edges a 0 = Histogram.bin_edges b 0
+  && Histogram.bin_edges a (Histogram.bin_count a - 1)
+     = Histogram.bin_edges b (Histogram.bin_count b - 1)
+
+let histogram m name ~lo ~hi ~bins =
+  match Hashtbl.find_opt m.hists name with
+  | Some h ->
+      let probe = Histogram.create ~lo ~hi ~bins in
+      if not (same_geometry h probe) then
+        invalid_arg
+          (Printf.sprintf "Telemetry.Metrics.histogram: %s geometry mismatch"
+             name);
+      h
+  | None ->
+      let h = Histogram.create ~lo ~hi ~bins in
+      Hashtbl.replace m.hists name h;
+      h
+
+let add_histogram m name h =
+  match Hashtbl.find_opt m.hists name with
+  | Some existing ->
+      let merged = Histogram.merge existing h in
+      Hashtbl.replace m.hists name merged
+  | None -> Hashtbl.replace m.hists name (Histogram.copy h)
+
+let merge_into ~into src =
+  Hashtbl.iter (fun name c -> add into name c.c) src.counters;
+  Hashtbl.iter (fun name g -> add_gauge into name g.g) src.gauges;
+  Hashtbl.iter (fun name h -> add_histogram into name h) src.hists
+
+let sorted_keys tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let names m =
+  List.sort_uniq compare
+    (sorted_keys m.counters @ sorted_keys m.gauges @ sorted_keys m.hists)
+
+let hist_json h =
+  let bins =
+    String.concat ", "
+      (List.init (Histogram.bin_count h) (fun i ->
+           Json.float_full (Histogram.bin_mass h i)))
+  in
+  let lo, _ = Histogram.bin_edges h 0 in
+  let _, hi = Histogram.bin_edges h (Histogram.bin_count h - 1) in
+  Json.obj
+    [
+      ("lo", Json.float_full lo);
+      ("hi", Json.float_full hi);
+      ("underflow", Json.float_full (Histogram.underflow h));
+      ("overflow", Json.float_full (Histogram.overflow h));
+      ("bins", "[" ^ bins ^ "]");
+    ]
+
+let to_json_string m =
+  let b = Buffer.create 512 in
+  let family name keys render =
+    Buffer.add_string b (Printf.sprintf "  %s: {" (Json.str name));
+    List.iteri
+      (fun i k ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf "\n    %s: %s" (Json.str k) (render k)))
+      keys;
+    if keys <> [] then Buffer.add_string b "\n  ";
+    Buffer.add_string b "}"
+  in
+  Buffer.add_string b "{\n";
+  family "counters" (sorted_keys m.counters) (fun k ->
+      Json.int (counter_value m k));
+  Buffer.add_string b ",\n";
+  family "gauges" (sorted_keys m.gauges) (fun k ->
+      Json.float_full (gauge_value m k));
+  Buffer.add_string b ",\n";
+  family "histograms" (sorted_keys m.hists) (fun k ->
+      hist_json (Hashtbl.find m.hists k));
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write_json m oc = output_string oc (to_json_string m)
+
+let write_csv m oc =
+  output_string oc "family,name,value\n";
+  List.iter
+    (fun k -> Printf.fprintf oc "counter,%s,%d\n" k (counter_value m k))
+    (sorted_keys m.counters);
+  List.iter
+    (fun k -> Printf.fprintf oc "gauge,%s,%.17g\n" k (gauge_value m k))
+    (sorted_keys m.gauges);
+  List.iter
+    (fun k ->
+      let h = Hashtbl.find m.hists k in
+      let stat name v = Printf.fprintf oc "histogram,%s.%s,%.17g\n" k name v in
+      stat "count" (Histogram.count h);
+      stat "mean" (Histogram.mean h);
+      (if Histogram.count h > 0. then begin
+         stat "p50" (Histogram.quantile h 0.5);
+         stat "p99" (Histogram.quantile h 0.99)
+       end);
+      stat "underflow" (Histogram.underflow h);
+      stat "overflow" (Histogram.overflow h))
+    (sorted_keys m.hists)

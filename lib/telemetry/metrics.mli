@@ -1,0 +1,62 @@
+(** Metrics registry: named counters, gauges and histograms with
+    deterministic snapshot and merge.
+
+    A registry is cheap mutable state owned by one run (one domain);
+    cross-run aggregation goes through {!merge_into}, which callers
+    invoke in input order so a parallel sweep merges to the same bytes
+    as a sequential one (counters and gauges are sums, histograms
+    bin-wise sums via [Numerics.Histogram.merge] — all order-insensitive
+    up to float summation order, which the in-order merge fixes).
+
+    Registries contain no closures, so a registry crosses domains and
+    [Marshal] safely. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set_counter : t -> string -> int -> unit
+val counter_value : t -> string -> int
+(** 0 when the counter does not exist. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val add_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float
+(** NaN when the gauge does not exist. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> lo:float -> hi:float -> bins:int -> Numerics.Histogram.t
+(** Find-or-create. Raises [Invalid_argument] when the name exists with
+    a different geometry. *)
+
+val add_histogram : t -> string -> Numerics.Histogram.t -> unit
+(** Merge a snapshot of [h] into the named histogram (registering a
+    copy when absent — later mutation of [h] does not leak in). Raises
+    [Invalid_argument] on geometry mismatch with an existing entry. *)
+
+(** {1 Aggregation and export} *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src] into [into]: counters and gauges add, histograms merge
+    bin-wise. Raises [Invalid_argument] when a shared histogram name has
+    mismatched geometry. *)
+
+val names : t -> string list
+(** All metric names, sorted, deduplicated across the three families. *)
+
+val to_json_string : t -> string
+(** Deterministic snapshot: families sorted by name, floats in [%.17g].
+    Two registries built by the same in-order merges render to the same
+    bytes. *)
+
+val write_json : t -> out_channel -> unit
+val write_csv : t -> out_channel -> unit
+(** [family,name,value] rows; histograms flatten to
+    [count]/[mean]/[p50]/[p99]/[underflow]/[overflow] rows. *)

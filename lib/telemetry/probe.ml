@@ -1,0 +1,80 @@
+type t = { enabled : bool; recorder : Recorder.t; metrics : Metrics.t }
+
+let disabled =
+  { enabled = false; recorder = Recorder.create ~capacity:0; metrics = Metrics.create () }
+
+let create ?(capacity = 65536) () =
+  { enabled = true; recorder = Recorder.create ~capacity; metrics = Metrics.create () }
+
+let enabled p = p.enabled
+let recorder p = p.recorder
+let metrics p = p.metrics
+
+(* Each emitter is an [@inline] wrapper that tests [enabled] before
+   touching any argument, so on the disabled probe the floats the caller
+   passes never box (the wrapper inlines into the call site; the branch
+   is all that remains). *)
+
+let[@inline] enqueue p ~t ~q ~bits ~flow ~seq =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Enqueue ~t ~a:q ~b:bits ~i:flow
+      ~j:seq
+
+let[@inline] dequeue p ~t ~q ~sojourn ~flow ~seq =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Dequeue ~t ~a:q ~b:sojourn ~i:flow
+      ~j:seq
+
+let[@inline] drop p ~t ~q ~bits ~flow ~seq =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Drop ~t ~a:q ~b:bits ~i:flow ~j:seq
+
+let[@inline] bcn p ~t ~fb ~q ~flow ~seq =
+  if p.enabled then
+    Recorder.record p.recorder
+      ~kind:(if fb < 0. then Event.Bcn_negative else Event.Bcn_positive)
+      ~t ~a:fb ~b:q ~i:flow ~j:seq
+
+let[@inline] pause p ~t ~on ~q ~cpid ~seq =
+  if p.enabled then
+    Recorder.record p.recorder
+      ~kind:(if on then Event.Pause_on else Event.Pause_off)
+      ~t ~a:q ~b:0. ~i:cpid ~j:seq
+
+let[@inline] rate_update p ~t ~rate ~fb ~id ~cpid =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Rate_update ~t ~a:rate ~b:fb ~i:id
+      ~j:cpid
+
+let[@inline] ode_step p ~t ~h =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Ode_step ~t ~a:h ~b:0. ~i:0 ~j:0
+
+let[@inline] ode_reject p ~t ~h =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Ode_reject ~t ~a:h ~b:0. ~i:0 ~j:0
+
+let ode_monitor p =
+  if not p.enabled then None
+  else
+    Some
+      {
+        Numerics.Ode.on_step = (fun t h -> ode_step p ~t ~h);
+        on_reject = (fun t h -> ode_reject p ~t ~h);
+      }
+
+let all_kinds =
+  List.init Event.n_kinds Event.of_code
+
+let flush_event_counters p =
+  if p.enabled then begin
+    List.iter
+      (fun kind ->
+        Metrics.set_counter p.metrics
+          ("events." ^ Event.name kind)
+          (Recorder.count p.recorder kind))
+      all_kinds;
+    Metrics.set_counter p.metrics "events.total" (Recorder.total p.recorder);
+    Metrics.set_counter p.metrics "events.overwritten"
+      (Recorder.overwritten p.recorder)
+  end

@@ -1,0 +1,85 @@
+type t = {
+  cap : int;
+  kinds : int array;  (* Event codes; column-wise so recording is stores *)
+  ts : float array;
+  av : float array;
+  bv : float array;
+  iv : int array;
+  jv : int array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+  mutable total : int;
+  counts : int array;  (* per-kind totals, never reset by wrap *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Telemetry.Recorder.create: capacity < 0";
+  {
+    cap = capacity;
+    kinds = Array.make capacity 0;
+    ts = Array.make capacity 0.;
+    av = Array.make capacity 0.;
+    bv = Array.make capacity 0.;
+    iv = Array.make capacity 0;
+    jv = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    total = 0;
+    counts = Array.make Event.n_kinds 0;
+  }
+
+let capacity r = r.cap
+let length r = r.len
+let total r = r.total
+let overwritten r = r.total - r.len
+let count r kind = r.counts.(Event.to_code kind)
+
+let[@inline] record r ~kind ~t ~a ~b ~i ~j =
+  let code = Event.to_code kind in
+  r.counts.(code) <- r.counts.(code) + 1;
+  r.total <- r.total + 1;
+  if r.cap > 0 then begin
+    let h = r.head in
+    r.kinds.(h) <- code;
+    r.ts.(h) <- t;
+    r.av.(h) <- a;
+    r.bv.(h) <- b;
+    r.iv.(h) <- i;
+    r.jv.(h) <- j;
+    let h = h + 1 in
+    r.head <- (if h >= r.cap then 0 else h);
+    if r.len < r.cap then r.len <- r.len + 1
+  end
+
+let slot r i =
+  if i < 0 || i >= r.len then invalid_arg "Telemetry.Recorder.nth: out of range";
+  (* oldest event sits at [head - len] modulo the ring *)
+  let s = r.head - r.len + i in
+  if s < 0 then s + r.cap else s
+
+let nth r i =
+  let s = slot r i in
+  {
+    Event.kind = Event.of_code r.kinds.(s);
+    t = r.ts.(s);
+    a = r.av.(s);
+    b = r.bv.(s);
+    i = r.iv.(s);
+    j = r.jv.(s);
+  }
+
+let iter r f =
+  for i = 0 to r.len - 1 do
+    f (nth r i)
+  done
+
+let clear r =
+  r.head <- 0;
+  r.len <- 0;
+  r.total <- 0;
+  Array.fill r.counts 0 Event.n_kinds 0
+
+let write_jsonl r oc =
+  iter r (fun ev ->
+      output_string oc (Event.to_line ev);
+      output_char oc '\n')

@@ -1,0 +1,51 @@
+(** Flight recorder: a fixed-capacity ring buffer of structured events.
+
+    Events are stored column-wise (kind codes, times and payloads each
+    in their own flat array), so recording one event is a handful of
+    in-place stores — no allocation, whatever the rate. When the ring is
+    full the oldest event is overwritten: the recorder always retains
+    the {e last} [capacity] events, which is what a post-mortem dump
+    after an overflow or a failed assertion needs.
+
+    Per-kind totals are tracked separately from the ring and never
+    wrap, so event counting stays exact even after overwrites — a
+    [capacity = 0] recorder is a pure event counter. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 0]. *)
+
+val capacity : t -> int
+
+val record :
+  t -> kind:Event.kind -> t:float -> a:float -> b:float -> i:int -> j:int ->
+  unit
+(** Append one event (overwriting the oldest when full). Performs no
+    allocation. *)
+
+val length : t -> int
+(** Events currently retained ([<= capacity]). *)
+
+val total : t -> int
+(** Events ever recorded (monotone; never reset by overwrites). *)
+
+val overwritten : t -> int
+(** [total - length]: events lost to ring wrap-around. *)
+
+val count : t -> Event.kind -> int
+(** Exact per-kind total over the whole run (not just the retained
+    window). *)
+
+val nth : t -> int -> Event.t
+(** [nth r i] is the [i]-th retained event, oldest first. Raises
+    [Invalid_argument] out of range. Allocates the returned record. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Oldest to newest over the retained window. *)
+
+val clear : t -> unit
+(** Forget retained events and reset all counters. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** One {!Event.to_line} per retained event, oldest first. *)

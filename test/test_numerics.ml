@@ -228,6 +228,42 @@ let test_ode_adaptive_harmonic () =
   checkf 1e-7 "x after full period" 1. yn.(0);
   checkf 1e-7 "v after full period" 0. yn.(1)
 
+let test_ode_monitor_counts () =
+  (* the monitor hook must see exactly the accepted/rejected steps the
+     solution reports, and must not change the trajectory *)
+  let steps = ref 0 and rejects = ref 0 and last_t = ref nan in
+  let monitor =
+    {
+      Ode.on_step =
+        (fun t _h ->
+          incr steps;
+          last_t := t);
+      on_reject = (fun _t _h -> incr rejects);
+    }
+  in
+  let sol =
+    Ode.solve_adaptive ~rtol:1e-6 ~atol:1e-9 ~monitor ~t_end:(2. *. Float.pi)
+      harmonic ~t0:0. ~y0:[| 1.; 0. |]
+  in
+  Alcotest.(check int) "on_step == n_steps" sol.Ode.n_steps !steps;
+  Alcotest.(check int) "on_reject == n_rejected" sol.Ode.n_rejected !rejects;
+  check_float "last on_step lands on t_end" (2. *. Float.pi) !last_t;
+  let bare =
+    Ode.solve_adaptive ~rtol:1e-6 ~atol:1e-9 ~t_end:(2. *. Float.pi) harmonic
+      ~t0:0. ~y0:[| 1.; 0. |]
+  in
+  Alcotest.(check int) "monitor does not perturb step count"
+    bare.Ode.n_steps sol.Ode.n_steps;
+  (* fixed-step: every step accepted, none rejected *)
+  steps := 0;
+  rejects := 0;
+  let fsol =
+    Ode.solve_fixed ~method_:Ode.Rk4 ~monitor ~h:0.01 ~t_end:1. decay ~t0:0.
+      ~y0:[| 1. |]
+  in
+  Alcotest.(check int) "fixed on_step" fsol.Ode.n_steps !steps;
+  Alcotest.(check int) "fixed on_reject" 0 !rejects
+
 let test_ode_event_detection () =
   (* x(t) = cos t crosses 0 at pi/2 *)
   let ev =
@@ -446,6 +482,79 @@ let test_histogram_weighted_and_merge () =
        false
      with Invalid_argument _ -> true)
 
+let test_histogram_quantile_all_underflow () =
+  (* every sample below [lo]: the quantile must sit at [lo] for any p,
+     because all mass is counted there *)
+  let h = Histogram.create ~lo:10. ~hi:20. ~bins:8 in
+  List.iter (Histogram.add h) [ 1.; 2.; 3. ];
+  check_float "p0.01" 10. (Histogram.quantile h 0.01);
+  check_float "median" 10. (Histogram.quantile h 0.5);
+  check_float "p0.99" 10. (Histogram.quantile h 0.99);
+  check_float "count kept" 3. (Histogram.count h)
+
+let test_histogram_quantile_all_overflow () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:8 in
+  List.iter (Histogram.add h) [ 5.; 6.; 1. ] (* hi itself overflows too *);
+  check_float "p0.01" 1. (Histogram.quantile h 0.01);
+  check_float "median" 1. (Histogram.quantile h 0.5);
+  check_float "p0.99" 1. (Histogram.quantile h 0.99)
+
+let test_histogram_quantile_single_bin () =
+  (* one bin spanning the whole range: quantiles are pure linear
+     interpolation across [lo, hi] *)
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:1 in
+  for _ = 1 to 4 do
+    Histogram.add h 5.
+  done;
+  check_float "p25" 2.5 (Histogram.quantile h 0.25);
+  check_float "median" 5. (Histogram.quantile h 0.5);
+  check_float "p100" 10. (Histogram.quantile h 1.)
+
+let test_histogram_quantile_empty_raises () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Histogram.quantile h 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_copy_independent () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Histogram.add h 2.5;
+  Histogram.add h (-1.);
+  let c = Histogram.copy h in
+  Histogram.add h 2.5;
+  Histogram.add c 7.5;
+  check_float "original bin 2" 2. (Histogram.bin_mass h 2);
+  check_float "copy bin 2" 1. (Histogram.bin_mass c 2);
+  check_float "copy bin 7" 1. (Histogram.bin_mass c 7);
+  check_float "original bin 7" 0. (Histogram.bin_mass h 7);
+  check_float "copy underflow" 1. (Histogram.underflow c)
+
+(* merge must equal the histogram of the concatenated sample streams,
+   bin for bin, including the out-of-range mass *)
+let prop_histogram_merge_is_concat =
+  QCheck.Test.make ~name:"merge == histogram of concatenated samples"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 100) (float_range (-20.) 120.))
+        (list_of_size (QCheck.Gen.int_range 0 100) (float_range (-20.) 120.)))
+    (fun (xs, ys) ->
+      let mk vals =
+        let h = Histogram.create ~lo:0. ~hi:100. ~bins:16 in
+        List.iter (Histogram.add h) vals;
+        h
+      in
+      let m = Histogram.merge (mk xs) (mk ys) in
+      let c = mk (xs @ ys) in
+      let ok = ref (Histogram.underflow m = Histogram.underflow c
+                    && Histogram.overflow m = Histogram.overflow c) in
+      for i = 0 to Histogram.bin_count m - 1 do
+        if Histogram.bin_mass m i <> Histogram.bin_mass c i then ok := false
+      done;
+      !ok)
+
 let prop_histogram_quantile_monotone =
   QCheck.Test.make ~name:"histogram quantiles are monotone" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range 0. 100.))
@@ -505,6 +614,7 @@ let () =
           Alcotest.test_case "exact decay" `Quick test_ode_exact_decay;
           Alcotest.test_case "convergence orders" `Quick test_ode_convergence_orders;
           Alcotest.test_case "adaptive harmonic" `Quick test_ode_adaptive_harmonic;
+          Alcotest.test_case "monitor counts" `Quick test_ode_monitor_counts;
           Alcotest.test_case "event detection" `Quick test_ode_event_detection;
           Alcotest.test_case "event direction" `Quick test_ode_event_direction;
           Alcotest.test_case "nonterminal events" `Quick test_ode_nonterminal_events;
@@ -538,8 +648,19 @@ let () =
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "weighted + merge" `Quick
             test_histogram_weighted_and_merge;
+          Alcotest.test_case "quantile all-underflow" `Quick
+            test_histogram_quantile_all_underflow;
+          Alcotest.test_case "quantile all-overflow" `Quick
+            test_histogram_quantile_all_overflow;
+          Alcotest.test_case "quantile single bin" `Quick
+            test_histogram_quantile_single_bin;
+          Alcotest.test_case "quantile empty raises" `Quick
+            test_histogram_quantile_empty_raises;
+          Alcotest.test_case "copy independent" `Quick
+            test_histogram_copy_independent;
         ] );
-      qsuite "histogram-props" [ prop_histogram_quantile_monotone ];
+      qsuite "histogram-props"
+        [ prop_histogram_quantile_monotone; prop_histogram_merge_is_concat ];
       ( "series",
         [
           Alcotest.test_case "basic" `Quick test_series_basic;

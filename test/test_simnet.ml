@@ -553,6 +553,124 @@ let test_runner_run_many_matches_run () =
     (Marshal.to_string (Simnet.Runner.run cfg') [])
     (Marshal.to_string batch.(1) [])
 
+(* ---------------- Telemetry probes through the runner ---------------- *)
+
+(* A congested scenario that exercises every event kind the runner can
+   emit: sources start at line rate, drops forced by a small buffer. *)
+let probe_cfg ~enable_pause ~buffer =
+  let p =
+    Fluid.Params.make ~n_flows:8 ~capacity:10e9 ~q0:(0.2 *. buffer) ~buffer
+      ~gi:4. ~gd:(1. /. 128.) ~ru:8e6 ()
+  in
+  {
+    (Simnet.Runner.default_config ~t_end:2e-3 p) with
+    Simnet.Runner.enable_pause;
+    initial_rate = 10e9;
+  }
+
+let run_probed cfg =
+  let probe = Telemetry.Probe.create ~capacity:(1 lsl 20) () in
+  let r = Simnet.Runner.run ~probe cfg in
+  Alcotest.(check int) "flight recorder did not overflow" 0
+    (Telemetry.Recorder.overwritten (Telemetry.Probe.recorder probe));
+  (r, probe)
+
+let test_probe_counts_match_result () =
+  List.iter
+    (fun (label, cfg) ->
+      let r, probe = run_probed cfg in
+      let rec_ = Telemetry.Probe.recorder probe in
+      let count k = Telemetry.Recorder.count rec_ k in
+      let check name got want =
+        Alcotest.(check int) (label ^ ": " ^ name) want got
+      in
+      check "drop events == result.drops"
+        (count Telemetry.Event.Drop)
+        r.Simnet.Runner.drops;
+      check "bcn+ events == result.bcn_positive"
+        (count Telemetry.Event.Bcn_positive)
+        r.Simnet.Runner.bcn_positive;
+      check "bcn- events == result.bcn_negative"
+        (count Telemetry.Event.Bcn_negative)
+        r.Simnet.Runner.bcn_negative;
+      check "pause-on events == result.pause_on_events"
+        (count Telemetry.Event.Pause_on)
+        r.Simnet.Runner.pause_on_events;
+      (* every BCN message triggers exactly one reaction-point update
+         (feedback is unicast to the sampled flow) *)
+      check "rate updates == bcn messages"
+        (count Telemetry.Event.Rate_update)
+        (r.Simnet.Runner.bcn_positive + r.Simnet.Runner.bcn_negative))
+    [
+      ("pause", probe_cfg ~enable_pause:true ~buffer:1e6);
+      ("drops", probe_cfg ~enable_pause:false ~buffer:1e6);
+    ]
+
+let test_probe_bits_conservation () =
+  (* only data frames traverse the switch queue, so every dequeue is one
+     delivered data frame, and enqueued - dequeued frames are still in
+     the system (queued or in service) at t_end *)
+  let cfg = probe_cfg ~enable_pause:false ~buffer:1e6 in
+  let r, probe = run_probed cfg in
+  let rec_ = Telemetry.Probe.recorder probe in
+  let count k = Telemetry.Recorder.count rec_ k in
+  let frame = float_of_int Simnet.Packet.data_frame_bits in
+  checkf 0. "delivered == dequeues * frame_bits"
+    (float_of_int (count Telemetry.Event.Dequeue) *. frame)
+    r.Simnet.Runner.delivered_bits;
+  checkf 0. "dropped == drops * frame_bits"
+    (float_of_int (count Telemetry.Event.Drop) *. frame)
+    r.Simnet.Runner.dropped_bits;
+  let in_flight =
+    count Telemetry.Event.Enqueue - count Telemetry.Event.Dequeue
+  in
+  Alcotest.(check bool) "in-flight frames fit the buffer (+1 in service)" true
+    (in_flight >= 0
+    && float_of_int in_flight *. frame
+       <= cfg.Simnet.Runner.params.Fluid.Params.buffer +. frame)
+
+let test_probe_does_not_perturb_run () =
+  let cfg = probe_cfg ~enable_pause:true ~buffer:1e6 in
+  let bare = Simnet.Runner.run cfg in
+  let probed, _ = run_probed cfg in
+  Alcotest.(check string) "probed run byte-identical to bare run"
+    (Marshal.to_string bare [])
+    (Marshal.to_string probed [])
+
+let test_replicate_instrumented_deterministic () =
+  let cfg = Simnet.Runner.default_config ~t_end:2e-3 params in
+  let seeds = [| 5; 6; 7; 8 |] in
+  let rs1, m1 = Simnet.Runner.replicate_instrumented ~jobs:1 ~seeds cfg in
+  let rs4, m4 = Simnet.Runner.replicate_instrumented ~jobs:4 ~seeds cfg in
+  Alcotest.(check string) "merged metrics byte-identical for jobs=1 vs 4"
+    (Telemetry.Metrics.to_json_string m1)
+    (Telemetry.Metrics.to_json_string m4);
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check string)
+        (Printf.sprintf "replica %d identical" i)
+        (Marshal.to_string a [])
+        (Marshal.to_string rs4.(i) []))
+    rs1;
+  (* the merged registry really is the sum over replicas *)
+  let total_events =
+    Array.fold_left
+      (fun acc (r : Simnet.Runner.result) -> acc + r.Simnet.Runner.events_processed)
+      0 rs1
+  in
+  Alcotest.(check int) "runner.events_processed sums across replicas"
+    total_events
+    (Telemetry.Metrics.counter_value m1 "runner.events_processed");
+  (* and matches the plain (uninstrumented) fan-out *)
+  let plain = Simnet.Runner.replicate ~jobs:1 ~seeds cfg in
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check string)
+        (Printf.sprintf "replica %d matches plain replicate" i)
+        (Marshal.to_string plain.(i) [])
+        (Marshal.to_string rs1.(i) []))
+    rs1
+
 (* ---------------- Topology ---------------- *)
 
 let test_victim_scenario_contrast () =
@@ -925,6 +1043,17 @@ let () =
             test_runner_replicate_deterministic;
           Alcotest.test_case "run_many matches run" `Quick
             test_runner_run_many_matches_run;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "event counts match result" `Quick
+            test_probe_counts_match_result;
+          Alcotest.test_case "bits conservation" `Quick
+            test_probe_bits_conservation;
+          Alcotest.test_case "probe does not perturb" `Quick
+            test_probe_does_not_perturb_run;
+          Alcotest.test_case "replicate_instrumented deterministic" `Quick
+            test_replicate_instrumented_deterministic;
         ] );
       ( "topology",
         [ Alcotest.test_case "victim contrast" `Quick test_victim_scenario_contrast ] );

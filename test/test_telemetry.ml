@@ -1,0 +1,343 @@
+(* Tests for the telemetry subsystem: flight recorder semantics, event
+   line round-trips, metrics merge determinism, probe behaviour. *)
+
+open Telemetry
+
+let record_n r n =
+  for k = 0 to n - 1 do
+    Recorder.record r ~kind:Event.Enqueue ~t:(float_of_int k) ~a:1. ~b:2.
+      ~i:k ~j:(k * 10)
+  done
+
+(* ---------------- Recorder ---------------- *)
+
+let test_recorder_basic () =
+  let r = Recorder.create ~capacity:8 in
+  record_n r 3;
+  Alcotest.(check int) "length" 3 (Recorder.length r);
+  Alcotest.(check int) "total" 3 (Recorder.total r);
+  Alcotest.(check int) "overwritten" 0 (Recorder.overwritten r);
+  Alcotest.(check int) "count enqueue" 3 (Recorder.count r Event.Enqueue);
+  Alcotest.(check int) "count drop" 0 (Recorder.count r Event.Drop);
+  let ev = Recorder.nth r 1 in
+  Alcotest.(check (float 0.)) "nth t" 1. ev.Event.t;
+  Alcotest.(check int) "nth i" 1 ev.Event.i;
+  Alcotest.(check int) "nth j" 10 ev.Event.j
+
+let test_recorder_wraps_keeping_last () =
+  let r = Recorder.create ~capacity:4 in
+  record_n r 10;
+  Alcotest.(check int) "length == capacity" 4 (Recorder.length r);
+  Alcotest.(check int) "total" 10 (Recorder.total r);
+  Alcotest.(check int) "overwritten" 6 (Recorder.overwritten r);
+  (* the retained window is the LAST 4 events, oldest first *)
+  for k = 0 to 3 do
+    let ev = Recorder.nth r k in
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "nth %d" k)
+      (float_of_int (6 + k))
+      ev.Event.t
+  done;
+  (* counts are exact despite the overwrites *)
+  Alcotest.(check int) "count exact" 10 (Recorder.count r Event.Enqueue)
+
+let test_recorder_zero_capacity_counts () =
+  let r = Recorder.create ~capacity:0 in
+  record_n r 100;
+  Recorder.record r ~kind:Event.Drop ~t:0. ~a:0. ~b:0. ~i:0 ~j:0;
+  Alcotest.(check int) "length" 0 (Recorder.length r);
+  Alcotest.(check int) "total" 101 (Recorder.total r);
+  Alcotest.(check int) "enqueues" 100 (Recorder.count r Event.Enqueue);
+  Alcotest.(check int) "drops" 1 (Recorder.count r Event.Drop)
+
+let test_recorder_clear () =
+  let r = Recorder.create ~capacity:4 in
+  record_n r 10;
+  Recorder.clear r;
+  Alcotest.(check int) "length" 0 (Recorder.length r);
+  Alcotest.(check int) "total" 0 (Recorder.total r);
+  Alcotest.(check int) "count" 0 (Recorder.count r Event.Enqueue)
+
+let test_recorder_iter_order () =
+  let r = Recorder.create ~capacity:4 in
+  record_n r 7;
+  let seen = ref [] in
+  Recorder.iter r (fun ev -> seen := ev.Event.t :: !seen);
+  Alcotest.(check (list (float 0.)))
+    "oldest to newest" [ 3.; 4.; 5.; 6. ] (List.rev !seen)
+
+(* ---------------- Event lines ---------------- *)
+
+let all_kinds = List.init Event.n_kinds Event.of_code
+
+let test_event_codes_and_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Event.name kind) true
+        (Event.of_code (Event.to_code kind) = kind
+        && Event.of_name (Event.name kind) = Some kind))
+    all_kinds
+
+let ev_equal (a : Event.t) (b : Event.t) =
+  a.Event.kind = b.Event.kind
+  && Float.equal a.Event.t b.Event.t
+  && Float.equal a.Event.a b.Event.a
+  && Float.equal a.Event.b b.Event.b
+  && a.Event.i = b.Event.i
+  && a.Event.j = b.Event.j
+
+let prop_event_line_roundtrip =
+  QCheck.Test.make ~name:"to_line |> of_line is the identity" ~count:500
+    QCheck.(
+      quad (int_range 0 (Event.n_kinds - 1))
+        (triple (float_range (-1e9) 1e9) (float_range (-1e12) 1e12)
+           (float_range (-1.) 1.))
+        small_signed_int small_signed_int)
+    (fun (code, (t, a, b), i, j) ->
+      let ev = { Event.kind = Event.of_code code; t; a; b; i; j } in
+      match Event.of_line (Event.to_line ev) with
+      | Some ev' -> ev_equal ev ev'
+      | None -> false)
+
+let test_event_line_nan_and_garbage () =
+  (* NaN payloads are emitted as null and come back as NaN *)
+  let ev =
+    { Event.kind = Event.Ode_step; t = 0.5; a = Float.nan; b = 0.; i = 0; j = 0 }
+  in
+  (match Event.of_line (Event.to_line ev) with
+  | Some ev' -> Alcotest.(check bool) "nan survives" true (Float.is_nan ev'.Event.a)
+  | None -> Alcotest.fail "nan line did not parse");
+  Alcotest.(check bool) "garbage rejected" true
+    (Event.of_line "not json at all" = None);
+  Alcotest.(check bool) "unknown kind rejected" true
+    (Event.of_line "{\"ev\": \"warp\", \"t\": 0, \"a\": 0, \"b\": 0, \"i\": 0, \"j\": 0}"
+     = None)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.add m "c" 4;
+  Metrics.set_counter m "c2" 7;
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.add_gauge m "g" 0.25;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value m "c");
+  Alcotest.(check int) "set_counter" 7 (Metrics.counter_value m "c2");
+  Alcotest.(check int) "absent counter" 0 (Metrics.counter_value m "absent");
+  Alcotest.(check (float 0.)) "gauge" 1.75 (Metrics.gauge_value m "g");
+  Alcotest.(check bool) "absent gauge NaN" true
+    (Float.is_nan (Metrics.gauge_value m "absent"))
+
+let test_metrics_histogram_geometry_guard () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" ~lo:0. ~hi:1. ~bins:10 in
+  Numerics.Histogram.add h 0.5;
+  (* find-or-create returns the same histogram *)
+  let h' = Metrics.histogram m "lat" ~lo:0. ~hi:1. ~bins:10 in
+  Alcotest.(check (float 0.)) "same histogram" 1. (Numerics.Histogram.count h');
+  Alcotest.(check bool) "geometry mismatch raises" true
+    (try
+       ignore (Metrics.histogram m "lat" ~lo:0. ~hi:2. ~bins:10);
+       false
+     with Invalid_argument _ -> true);
+  let foreign = Numerics.Histogram.create ~lo:0. ~hi:3. ~bins:7 in
+  Alcotest.(check bool) "add_histogram mismatch raises" true
+    (try
+       Metrics.add_histogram m "lat" foreign;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_add_histogram_copies () =
+  let m = Metrics.create () in
+  let h = Numerics.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Numerics.Histogram.add h 0.1;
+  Metrics.add_histogram m "lat" h;
+  (* mutating the caller's histogram afterwards must not leak in *)
+  Numerics.Histogram.add h 0.9;
+  let stored = Metrics.histogram m "lat" ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check (float 0.)) "snapshot" 1. (Numerics.Histogram.count stored)
+
+let test_metrics_merge_and_json_determinism () =
+  let build names =
+    let m = Metrics.create () in
+    List.iter
+      (fun n ->
+        Metrics.add m ("c." ^ n) 1;
+        Metrics.set_gauge m ("g." ^ n) 2.;
+        let h = Metrics.histogram m ("h." ^ n) ~lo:0. ~hi:1. ~bins:4 in
+        Numerics.Histogram.add h 0.5)
+      names;
+    m
+  in
+  (* same content, different insertion order -> same bytes *)
+  let a = build [ "x"; "y"; "z" ] and b = build [ "z"; "x"; "y" ] in
+  Alcotest.(check string)
+    "insertion order invisible"
+    (Metrics.to_json_string a) (Metrics.to_json_string b);
+  (* merging [a; b] into fresh registries in the same order -> same bytes *)
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  Metrics.merge_into ~into:m1 a;
+  Metrics.merge_into ~into:m1 b;
+  Metrics.merge_into ~into:m2 a;
+  Metrics.merge_into ~into:m2 b;
+  Alcotest.(check string)
+    "merge deterministic"
+    (Metrics.to_json_string m1) (Metrics.to_json_string m2);
+  Alcotest.(check int) "counters added" 2 (Metrics.counter_value m1 "c.x");
+  Alcotest.(check (float 0.)) "gauges added" 4. (Metrics.gauge_value m1 "g.x");
+  let h = Metrics.histogram m1 "h.x" ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check (float 0.)) "histograms merged" 2.
+    (Numerics.Histogram.count h)
+
+let test_metrics_names_sorted () =
+  let m = Metrics.create () in
+  Metrics.incr m "zeta";
+  Metrics.set_gauge m "alpha" 0.;
+  ignore (Metrics.histogram m "mid" ~lo:0. ~hi:1. ~bins:2);
+  Alcotest.(check (list string))
+    "sorted" [ "alpha"; "mid"; "zeta" ] (Metrics.names m)
+
+(* ---------------- Probe ---------------- *)
+
+let test_probe_disabled_is_inert () =
+  let p = Probe.disabled in
+  Alcotest.(check bool) "disabled" false (Probe.enabled p);
+  Probe.enqueue p ~t:0. ~q:1. ~bits:2. ~flow:0 ~seq:0;
+  Probe.drop p ~t:0. ~q:1. ~bits:2. ~flow:0 ~seq:0;
+  Probe.bcn p ~t:0. ~fb:(-1.) ~q:1. ~flow:0 ~seq:0;
+  Probe.pause p ~t:0. ~on:true ~q:1. ~cpid:1 ~seq:0;
+  Probe.rate_update p ~t:0. ~rate:1. ~fb:0.5 ~id:0 ~cpid:1;
+  Probe.flush_event_counters p;
+  Alcotest.(check int) "nothing recorded" 0 (Recorder.total (Probe.recorder p));
+  Alcotest.(check bool) "no monitor" true (Probe.ode_monitor p = None);
+  Alcotest.(check (list string)) "no metrics" [] (Metrics.names (Probe.metrics p))
+
+let test_probe_bcn_sign_split () =
+  let p = Probe.create ~capacity:16 () in
+  Probe.bcn p ~t:0. ~fb:(-3.) ~q:1. ~flow:0 ~seq:0;
+  Probe.bcn p ~t:1. ~fb:2. ~q:1. ~flow:0 ~seq:1;
+  Probe.bcn p ~t:2. ~fb:0. ~q:1. ~flow:0 ~seq:2;
+  let r = Probe.recorder p in
+  Alcotest.(check int) "negative" 1 (Recorder.count r Event.Bcn_negative);
+  Alcotest.(check int) "positive (fb >= 0)" 2
+    (Recorder.count r Event.Bcn_positive)
+
+let test_probe_flush_event_counters () =
+  let p = Probe.create ~capacity:2 () in
+  Probe.enqueue p ~t:0. ~q:1. ~bits:2. ~flow:0 ~seq:0;
+  Probe.enqueue p ~t:1. ~q:1. ~bits:2. ~flow:0 ~seq:1;
+  Probe.enqueue p ~t:2. ~q:1. ~bits:2. ~flow:0 ~seq:2;
+  Probe.drop p ~t:3. ~q:1. ~bits:2. ~flow:0 ~seq:3;
+  Probe.flush_event_counters p;
+  let m = Probe.metrics p in
+  Alcotest.(check int) "enqueue counter" 3
+    (Metrics.counter_value m "events.enqueue");
+  Alcotest.(check int) "drop counter" 1 (Metrics.counter_value m "events.drop");
+  Alcotest.(check int) "total" 4 (Metrics.counter_value m "events.total");
+  (* capacity 2, four events: two were overwritten, counters stay exact *)
+  Alcotest.(check int) "overwritten" 2
+    (Metrics.counter_value m "events.overwritten")
+
+let test_probe_ode_monitor_counts () =
+  let p = Probe.create ~capacity:0 () in
+  let monitor =
+    match Probe.ode_monitor p with
+    | Some m -> m
+    | None -> Alcotest.fail "enabled probe must yield a monitor"
+  in
+  let harmonic _t y = [| y.(1); -.y.(0) |] in
+  let sol =
+    Numerics.Ode.solve_adaptive ~rtol:1e-6 ~atol:1e-9 ~monitor
+      ~t_end:(2. *. Float.pi) harmonic ~t0:0. ~y0:[| 1.; 0. |]
+  in
+  let r = Probe.recorder p in
+  Alcotest.(check int) "ode_step events" sol.Numerics.Ode.n_steps
+    (Recorder.count r Event.Ode_step);
+  Alcotest.(check int) "ode_reject events" sol.Numerics.Ode.n_rejected
+    (Recorder.count r Event.Ode_reject)
+
+(* ---------------- JSONL round-trip through the recorder ---------------- *)
+
+let test_recorder_jsonl_roundtrip () =
+  let r = Recorder.create ~capacity:64 in
+  Recorder.record r ~kind:Event.Enqueue ~t:1e-6 ~a:12000. ~b:12000. ~i:3 ~j:7;
+  Recorder.record r ~kind:Event.Bcn_negative ~t:2e-6 ~a:(-0.125) ~b:2.5e6
+    ~i:3 ~j:0;
+  Recorder.record r ~kind:Event.Pause_on ~t:3e-6 ~a:1.4e7 ~i:1 ~j:1 ~b:0.;
+  let path = Filename.temp_file "telemetry_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Recorder.write_jsonl r oc;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "line count" 3 (List.length lines);
+      List.iteri
+        (fun k line ->
+          match Event.of_line line with
+          | Some ev ->
+              let orig = Recorder.nth r k in
+              Alcotest.(check bool)
+                (Printf.sprintf "line %d round-trips" k)
+                true (ev_equal ev orig)
+          | None -> Alcotest.fail ("unparseable: " ^ line))
+        lines)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "basic" `Quick test_recorder_basic;
+          Alcotest.test_case "wraps keeping last" `Quick
+            test_recorder_wraps_keeping_last;
+          Alcotest.test_case "zero capacity counts" `Quick
+            test_recorder_zero_capacity_counts;
+          Alcotest.test_case "clear" `Quick test_recorder_clear;
+          Alcotest.test_case "iter order" `Quick test_recorder_iter_order;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_recorder_jsonl_roundtrip;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "codes and names" `Quick
+            test_event_codes_and_names_roundtrip;
+          Alcotest.test_case "nan and garbage" `Quick
+            test_event_line_nan_and_garbage;
+        ] );
+      qsuite "event-props" [ prop_event_line_roundtrip ];
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "histogram geometry guard" `Quick
+            test_metrics_histogram_geometry_guard;
+          Alcotest.test_case "add_histogram copies" `Quick
+            test_metrics_add_histogram_copies;
+          Alcotest.test_case "merge + json determinism" `Quick
+            test_metrics_merge_and_json_determinism;
+          Alcotest.test_case "names sorted" `Quick test_metrics_names_sorted;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "disabled is inert" `Quick
+            test_probe_disabled_is_inert;
+          Alcotest.test_case "bcn sign split" `Quick test_probe_bcn_sign_split;
+          Alcotest.test_case "flush event counters" `Quick
+            test_probe_flush_event_counters;
+          Alcotest.test_case "ode monitor counts" `Quick
+            test_probe_ode_monitor_counts;
+        ] );
+    ]
