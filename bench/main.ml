@@ -20,6 +20,8 @@
    `--simnet-json FILE` writes the packet-engine throughput rows
    (events/sec and minor words/event for the structure-of-arrays engine
    vs the boxed seed baseline) as JSON;
+   `--simnet-only` runs just the packet-engine throughput suite (the
+   fast way to regenerate the committed BENCH_simnet.json);
    `--smoke` runs only the fast packet-engine allocation assertions and
    exits — the @bench-smoke dune alias. *)
 
@@ -334,6 +336,11 @@ let () =
   let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
   if has "--smoke" then begin
     Simnet_bench.smoke ();
+    exit 0
+  end;
+  if has "--simnet-only" then begin
+    let json = opt "--simnet-json" in
+    ignore (Simnet_bench.run ?json () : Simnet_bench.row list);
     exit 0
   end;
   let out = opt "--out" in

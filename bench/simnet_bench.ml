@@ -211,6 +211,56 @@ let forwarding_words_per_frame ~frames () =
   let dw = Gc.minor_words () -. w0 in
   dw /. float_of_int (!seq - n0)
 
+(* Same fast path with the congestion point armed (BCN marking on), bare
+   vs interposed by an empty-plan fault injector on the control output.
+   The bare BCN-on figure is nonzero — the switch boxes a float storing
+   feedback into each emitted BCN record — so the injector's cost is the
+   difference between the two, which must stay ~0: classification plus a
+   match on an empty plan, no allocation. *)
+let bcn_forwarding_words ~inject ~frames () =
+  let pool = Simnet.Packet.Pool.create () in
+  let e = Simnet.Engine.create () in
+  let cfg =
+    {
+      (Simnet.Switch.default_config params ~cpid:1) with
+      Simnet.Switch.enable_pause = false;
+      pool = Some pool;
+    }
+  in
+  let release _e pkt = Simnet.Packet.Pool.release pool pkt in
+  let control_out =
+    if inject then begin
+      let inj = Faultnet.Injector.create Faultnet.Plan.none in
+      let chan = Faultnet.Injector.channel inj in
+      fun e pkt -> chan e pkt ~deliver:release ~drop:release
+    end
+    else release
+  in
+  let sw = Simnet.Switch.create cfg ~control_out in
+  Simnet.Switch.set_forward sw release;
+  let gap =
+    1.05 *. float_of_int Simnet.Packet.data_frame_bits
+    /. cfg.Simnet.Switch.capacity
+  in
+  let seq = ref 0 in
+  let rec feed e =
+    let pkt =
+      Simnet.Packet.Pool.alloc_data pool ~seq:!seq ~now:(Simnet.Engine.now e)
+        ~flow:0 ~rrt:None
+    in
+    incr seq;
+    Simnet.Switch.receive sw e pkt;
+    Simnet.Engine.schedule e ~delay:gap feed
+  in
+  Simnet.Engine.schedule e ~delay:0. feed;
+  let warm = 2048 in
+  Simnet.Engine.run ~until:(float_of_int warm *. gap) e;
+  let n0 = !seq in
+  let w0 = Gc.minor_words () in
+  Simnet.Engine.run ~until:(float_of_int (warm + frames) *. gap) e;
+  let dw = Gc.minor_words () -. w0 in
+  dw /. float_of_int (!seq - n0)
+
 (* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -233,6 +283,8 @@ let rows ~min_time ~t_end () =
       (boxed_round (Simnet.Eventq_boxed.create ()))
   in
   let fwd_words = forwarding_words_per_frame ~frames:100_000 () in
+  let bcn_words = bcn_forwarding_words ~inject:false ~frames:100_000 () in
+  let inj_words = bcn_forwarding_words ~inject:true ~frames:100_000 () in
   [
     {
       name = "simnet_engine";
@@ -270,6 +322,18 @@ let rows ~min_time ~t_end () =
     {
       name = "switch_forwarding";
       metrics = [ ("minor_words_per_frame", fwd_words) ];
+    };
+    {
+      name = "switch_forwarding_bcn";
+      metrics = [ ("minor_words_per_frame", bcn_words) ];
+    };
+    {
+      name = "switch_forwarding_injected";
+      metrics =
+        [
+          ("minor_words_per_frame", inj_words);
+          ("injector_overhead_words", inj_words -. bcn_words);
+        ];
     };
   ]
 
@@ -320,6 +384,18 @@ let smoke () =
       "bench smoke FAILED: pooled forwarding allocates %.4f words/frame \
        (expected 0)\n"
       fwd;
+    exit 1
+  end;
+  let bcn_bare = bcn_forwarding_words ~inject:false ~frames:20_000 () in
+  let bcn_inj = bcn_forwarding_words ~inject:true ~frames:20_000 () in
+  Printf.printf
+    "smoke: injected forwarding      %.4f minor words/frame overhead\n"
+    (bcn_inj -. bcn_bare);
+  if bcn_inj -. bcn_bare > 0.01 then begin
+    Printf.eprintf
+      "bench smoke FAILED: empty-plan fault injector adds %.4f words/frame \
+       on the forwarding path (expected 0)\n"
+      (bcn_inj -. bcn_bare);
     exit 1
   end;
   let _, soa_words =

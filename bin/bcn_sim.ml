@@ -53,7 +53,8 @@ let with_out path f =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
-    initial_rate replicas seed jobs plot csv trace metrics =
+    pause_resume initial_rate replicas seed jobs plot csv trace metrics
+    mk_fault =
   let p =
     Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer ~gi ~gd ~ru ~w ~pm ()
   in
@@ -72,6 +73,7 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
            Simnet.Switch.Timer (Simnet.Switch.fluid_sampling_period p)
          else Simnet.Switch.Deterministic);
       enable_pause = not no_pause;
+      pause_resume;
       initial_rate =
         (match initial_rate with
         | Some r -> r
@@ -79,6 +81,16 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
     }
   in
   if replicas < 1 then invalid_arg "--replicas must be >= 1";
+  let fault_inj = Option.map Faultnet.Injector.create (mk_fault t_end) in
+  if Option.is_some fault_inj && replicas > 1 then
+    invalid_arg
+      "--fault-* perturbs a single deterministic run; it cannot be combined \
+       with --replicas > 1";
+  let cfg =
+    match fault_inj with
+    | None -> cfg
+    | Some inj -> Faultnet.Injector.attach inj cfg
+  in
   if replicas > 1 then begin
     if trace <> None then
       invalid_arg
@@ -121,6 +133,26 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
     (Report.Table.si r.dropped_bits)
     r.bcn_positive r.bcn_negative r.sampled_frames r.pause_on_events
     (fairness r.final_rates);
+  (match fault_inj with
+  | None -> ()
+  | Some inj ->
+      let open Faultnet in
+      Format.printf
+        "@[<v>faults (%s):@,\
+        \  control frames seen: %d BCN+, %d BCN-, %d PAUSE@,\
+        \  dropped: %d BCN+, %d BCN-, %d PAUSE@,\
+        \  delayed: %d (max added %.3g s)@,\
+        \  capacity flaps: %d; blackout toggles: %d@]@."
+        (Plan.describe (Injector.plan inj))
+        (Injector.seen inj Plan.Bcn_positive)
+        (Injector.seen inj Plan.Bcn_negative)
+        (Injector.seen inj Plan.Pause)
+        (Injector.dropped inj Plan.Bcn_positive)
+        (Injector.dropped inj Plan.Bcn_negative)
+        (Injector.dropped inj Plan.Pause)
+        (Injector.delayed inj) (Injector.max_added_delay inj)
+        (Injector.capacity_flaps inj)
+        (Injector.blackout_toggles inj));
   if plot then begin
     Format.printf "@.queue occupancy (bit):@.%s@."
       (Report.Ascii_plot.render ~width:70 ~height:16
@@ -148,6 +180,109 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
   0
   end
 
+(* --fault-* flags compose into a Faultnet.Plan: the term yields a
+   [t_end -> Plan.t option] because the square-wave flap schedule needs
+   the horizon. *)
+let fault_term =
+  let mk seed bcn_loss pos_loss neg_loss pause_loss delay jitter reorder flap
+      markov blackout blackout_reset t_end =
+    let open Faultnet.Plan in
+    let bernoulli = function
+      | None -> None
+      | Some p -> Some (Bernoulli p)
+    in
+    let pos = bernoulli (match pos_loss with Some _ -> pos_loss | None -> bcn_loss) in
+    let neg = bernoulli (match neg_loss with Some _ -> neg_loss | None -> bcn_loss) in
+    let p = with_seed none seed in
+    let p = match pos with Some l -> with_bcn_loss ~pos:l p | None -> p in
+    let p = match neg with Some l -> with_bcn_loss ~neg:l p | None -> p in
+    let p =
+      match bernoulli pause_loss with
+      | Some l -> with_pause_loss p l
+      | None -> p
+    in
+    let p =
+      if delay > 0. || jitter > 0. then
+        with_delay ~reorder ~jitter p ~fixed:delay
+      else p
+    in
+    let p =
+      match flap with
+      | Some (period, duty, depth) ->
+          with_capacity p (square_flaps ~period ~duty ~depth ~t_end)
+      | None -> p
+    in
+    let p =
+      match markov with
+      | Some (mean_up, mean_down, factor) ->
+          with_capacity p (Flap_markov { mean_up; mean_down; factor })
+      | None -> p
+    in
+    let p =
+      match blackout with
+      | Some (start, duration) ->
+          with_blackout ~reset:blackout_reset p ~start ~duration
+      | None -> p
+    in
+    if is_none p then None else Some p
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "fault-seed" ] ~docv:"S" ~doc:"Fault-injector RNG seed.")
+  in
+  let prob name doc =
+    Arg.(value & opt (some float) None & info [ name ] ~docv:"P" ~doc)
+  in
+  let bcn_loss = prob "fault-bcn-loss" "Drop each BCN frame (either sign) with probability $(docv)." in
+  let pos_loss = prob "fault-bcn-pos-loss" "Drop positive BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
+  let neg_loss = prob "fault-bcn-neg-loss" "Drop negative BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
+  let pause_loss = prob "fault-pause-loss" "Drop PAUSE frames with probability $(docv)." in
+  let delay =
+    Arg.(value & opt float 0.
+         & info [ "fault-delay" ] ~docv:"S"
+             ~doc:"Extra fixed delay added to every control frame, seconds.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "fault-jitter" ] ~docv:"S"
+             ~doc:"Uniform [0,$(docv)) random extra control-frame delay.")
+  in
+  let reorder =
+    Arg.(value & flag
+         & info [ "fault-reorder" ]
+             ~doc:"Let jittered control frames race (default: delivery is \
+                   monotonised, preserving emission order).")
+  in
+  let triple = Arg.(t3 ~sep:':' float float float) in
+  let flap =
+    Arg.(value & opt (some triple) None
+         & info [ "fault-flap" ] ~docv:"PERIOD:DUTY:DEPTH"
+             ~doc:"Square-wave capacity flaps: every PERIOD seconds dip to \
+                   (1-DEPTH) of nominal for DUTY*PERIOD seconds.")
+  in
+  let markov =
+    Arg.(value & opt (some triple) None
+         & info [ "fault-markov-flap" ] ~docv:"UP:DOWN:FACTOR"
+             ~doc:"Markov on/off capacity flaps: nominal for ~UP seconds, \
+                   FACTOR*nominal for ~DOWN seconds (exponential holding \
+                   times).")
+  in
+  let blackout =
+    Arg.(value & opt (some (t2 ~sep:':' float float)) None
+         & info [ "fault-blackout" ] ~docv:"START:DURATION"
+             ~doc:"Switch the congestion point off during \
+                   [START, START+DURATION).")
+  in
+  let blackout_reset =
+    Arg.(value & flag
+         & info [ "fault-blackout-reset" ]
+             ~doc:"Forget sampler state when the blackout ends (rebooted \
+                   congestion point).")
+  in
+  Term.(
+    const mk $ seed $ bcn_loss $ pos_loss $ neg_loss $ pause_loss $ delay
+    $ jitter $ reorder $ flap $ markov $ blackout $ blackout_reset)
+
 let cmd =
   let open Term in
   let flows = Arg.(value & opt int 50 & info [ "n"; "flows" ] ~doc:"Number of flows.") in
@@ -167,6 +302,13 @@ let cmd =
   let broadcast = Arg.(value & flag & info [ "broadcast" ] ~doc:"Broadcast feedback to all sources.") in
   let timer = Arg.(value & flag & info [ "timer-sampling" ] ~doc:"Timer-driven congestion point.") in
   let no_pause = Arg.(value & flag & info [ "no-pause" ] ~doc:"Disable 802.3x PAUSE.") in
+  let pause_resume =
+    Arg.(value & opt float 0.9
+         & info [ "pause-resume" ] ~docv:"FRAC"
+             ~doc:"PAUSE resume threshold as a fraction of the PAUSE \
+                   trigger queue: a paused port resumes once the queue \
+                   drains below FRAC * qsc.")
+  in
   let initial_rate =
     Arg.(value & opt (some float) None & info [ "initial-rate" ] ~doc:"Per-source start rate, bit/s.")
   in
@@ -211,7 +353,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bcn_sim" ~doc)
     (const run $ flows $ capacity $ q0 $ buffer $ gi $ gd $ ru $ w $ pm $ t_end
-     $ mode $ broadcast $ timer $ no_pause $ initial_rate $ replicas $ seed
-     $ jobs $ plot $ csv $ trace $ metrics)
+     $ mode $ broadcast $ timer $ no_pause $ pause_resume $ initial_rate
+     $ replicas $ seed $ jobs $ plot $ csv $ trace $ metrics $ fault_term)
 
 let () = exit (Cmd.eval' cmd)

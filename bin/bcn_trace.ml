@@ -47,7 +47,9 @@ let queue_of (ev : Telemetry.Event.t) =
   | Telemetry.Event.Enqueue | Dequeue | Drop | Pause_on | Pause_off ->
       Some ev.a
   | Bcn_positive | Bcn_negative -> Some ev.b
-  | Rate_update | Ode_step | Ode_reject -> None
+  | Rate_update | Ode_step | Ode_reject | Fault_drop | Fault_delay
+  | Fault_capacity | Fault_blackout ->
+      None
 
 (* ---------- summary ---------- *)
 

@@ -1,0 +1,208 @@
+(* Per-class loss channel: its own RNG stream plus the Gilbert–Elliott
+   good/bad state (unused under Bernoulli loss). *)
+type chan = { rng : Random.State.t; mutable bad : bool }
+
+type t = {
+  plan : Plan.t;
+  pos : chan;
+  neg : chan;
+  pause : chan;
+  delay_rng : Random.State.t;
+  flap_rng : Random.State.t;
+  mutable last_delivery : float;
+      (* monotonisation floor for no-reorder delayed delivery *)
+  mutable seen_pos : int;
+  mutable seen_neg : int;
+  mutable seen_pause : int;
+  mutable dropped_pos : int;
+  mutable dropped_neg : int;
+  mutable dropped_pause : int;
+  mutable delayed : int;
+  mutable max_added_delay : float;
+  mutable capacity_flaps : int;
+  mutable blackout_toggles : int;
+}
+
+let create ?(salt = 0) plan =
+  let plan = Plan.validate plan in
+  (* One root state per (seed, salt); the split order below is part of
+     the determinism contract — each fault component owns a stream, so
+     e.g. enabling jitter cannot shift the loss channels' draws. *)
+  let root = Random.State.make [| plan.Plan.seed; salt; 0x666c74 |] in
+  let split () = Random.State.split root in
+  let pos = { rng = split (); bad = false } in
+  let neg = { rng = split (); bad = false } in
+  let pause = { rng = split (); bad = false } in
+  let delay_rng = split () in
+  let flap_rng = split () in
+  {
+    plan;
+    pos;
+    neg;
+    pause;
+    delay_rng;
+    flap_rng;
+    last_delivery = 0.;
+    seen_pos = 0;
+    seen_neg = 0;
+    seen_pause = 0;
+    dropped_pos = 0;
+    dropped_neg = 0;
+    dropped_pause = 0;
+    delayed = 0;
+    max_added_delay = 0.;
+    capacity_flaps = 0;
+    blackout_toggles = 0;
+  }
+
+let plan inj = inj.plan
+
+let decide_drop chan = function
+  | None -> false
+  | Some (Plan.Bernoulli p) -> Random.State.float chan.rng 1. < p
+  | Some (Plan.Burst { p_enter; p_exit; p_drop }) ->
+      (* Advance the chain once per frame, then (maybe) drop. *)
+      if chan.bad then begin
+        if Random.State.float chan.rng 1. < p_exit then chan.bad <- false
+      end
+      else if Random.State.float chan.rng 1. < p_enter then chan.bad <- true;
+      chan.bad && Random.State.float chan.rng 1. < p_drop
+
+(* The per-frame body, in direct-call style (no intermediate tuple):
+   with an empty or loss-only plan this path allocates nothing, so an
+   installed injector keeps the engine's forwarding fast path at ~0
+   minor words per frame. Only a delayed delivery allocates (the
+   rescheduling closure). [code] is the Plan.code of the class. *)
+let process inj e pkt ~deliver ~drop ch spec ~fb ~code =
+  let open Simnet in
+  (match code with
+  | 0 -> inj.seen_pos <- inj.seen_pos + 1
+  | 1 -> inj.seen_neg <- inj.seen_neg + 1
+  | _ -> inj.seen_pause <- inj.seen_pause + 1);
+  if decide_drop ch spec then begin
+    (match code with
+    | 0 -> inj.dropped_pos <- inj.dropped_pos + 1
+    | 1 -> inj.dropped_neg <- inj.dropped_neg + 1
+    | _ -> inj.dropped_pause <- inj.dropped_pause + 1);
+    Telemetry.Probe.fault_drop (Engine.probe e) ~t:(Engine.now e) ~fb
+      ~cls:code ~seq:pkt.Packet.seq;
+    drop e pkt
+  end
+  else begin
+    match inj.plan.Plan.delay with
+    | None -> deliver e pkt
+    | Some { Plan.fixed; jitter; reorder } ->
+        let extra =
+          fixed
+          +. (if jitter > 0. then Random.State.float inj.delay_rng jitter
+              else 0.)
+        in
+        let now = Engine.now e in
+        let target =
+          if reorder then now +. extra
+          else begin
+            let tt = Float.max (now +. extra) inj.last_delivery in
+            inj.last_delivery <- tt;
+            tt
+          end
+        in
+        let added = target -. now in
+        if added <= 0. then deliver e pkt
+        else begin
+          inj.delayed <- inj.delayed + 1;
+          if added > inj.max_added_delay then inj.max_added_delay <- added;
+          Telemetry.Probe.fault_delay (Engine.probe e) ~t:now ~delay:added
+            ~cls:code ~seq:pkt.Packet.seq;
+          Engine.schedule e ~delay:added (fun e -> deliver e pkt)
+        end
+  end
+
+let channel inj : Simnet.Runner.control_channel =
+ fun e pkt ~deliver ~drop ->
+  let open Simnet in
+  match pkt.Packet.kind with
+  | Packet.Data _ ->
+      (* Data frames never take the control path; be transparent. *)
+      deliver e pkt
+  | Packet.Bcn b ->
+      if b.fb < 0. then
+        process inj e pkt ~deliver ~drop inj.neg inj.plan.Plan.bcn_neg_loss
+          ~fb:b.fb ~code:1
+      else
+        process inj e pkt ~deliver ~drop inj.pos inj.plan.Plan.bcn_pos_loss
+          ~fb:b.fb ~code:0
+  | Packet.Pause _ ->
+      process inj e pkt ~deliver ~drop inj.pause inj.plan.Plan.pause_loss
+        ~fb:0. ~code:2
+
+let exp_draw rng mean = -.mean *. log (1. -. Random.State.float rng 1.)
+
+let install inj e sw =
+  let open Simnet in
+  let cpid = (Switch.config sw).Switch.cpid in
+  let base = Switch.capacity sw in
+  let apply_capacity e c =
+    let old = Switch.capacity sw in
+    Switch.set_capacity sw c;
+    inj.capacity_flaps <- inj.capacity_flaps + 1;
+    Telemetry.Probe.fault_capacity (Engine.probe e) ~t:(Engine.now e)
+      ~capacity:c ~old_capacity:old ~cpid
+  in
+  (match inj.plan.Plan.capacity with
+  | None -> ()
+  | Some (Plan.Flap_schedule steps) ->
+      List.iter
+        (fun (time, factor) ->
+          Engine.schedule_at e ~time (fun e ->
+              apply_capacity e (factor *. base)))
+        steps
+  | Some (Plan.Flap_markov { mean_up; mean_down; factor }) ->
+      let rec go_down e =
+        apply_capacity e (factor *. base);
+        Engine.schedule e ~delay:(exp_draw inj.flap_rng mean_down) go_up
+      and go_up e =
+        apply_capacity e base;
+        Engine.schedule e ~delay:(exp_draw inj.flap_rng mean_up) go_down
+      in
+      Engine.schedule e ~delay:(exp_draw inj.flap_rng mean_up) go_down);
+  match inj.plan.Plan.blackout with
+  | None -> ()
+  | Some { Plan.start; duration; reset } ->
+      Engine.schedule_at e ~time:start (fun e ->
+          Switch.set_bcn_enabled sw false;
+          inj.blackout_toggles <- inj.blackout_toggles + 1;
+          Telemetry.Probe.fault_blackout (Engine.probe e) ~t:(Engine.now e)
+            ~on:true ~cpid);
+      Engine.schedule_at e ~time:(start +. duration) (fun e ->
+          if reset then Switch.reset_congestion_point sw;
+          Switch.set_bcn_enabled sw true;
+          inj.blackout_toggles <- inj.blackout_toggles + 1;
+          Telemetry.Probe.fault_blackout (Engine.probe e) ~t:(Engine.now e)
+            ~on:false ~cpid)
+
+let attach inj (cfg : Simnet.Runner.config) =
+  {
+    cfg with
+    Simnet.Runner.control_channel = Some (channel inj);
+    on_setup = Some (install inj);
+  }
+
+let seen inj = function
+  | Plan.Bcn_positive -> inj.seen_pos
+  | Plan.Bcn_negative -> inj.seen_neg
+  | Plan.Pause -> inj.seen_pause
+
+let dropped inj = function
+  | Plan.Bcn_positive -> inj.dropped_pos
+  | Plan.Bcn_negative -> inj.dropped_neg
+  | Plan.Pause -> inj.dropped_pause
+
+let dropped_total inj = inj.dropped_pos + inj.dropped_neg + inj.dropped_pause
+
+let delivered_total inj =
+  inj.seen_pos + inj.seen_neg + inj.seen_pause - dropped_total inj
+
+let delayed inj = inj.delayed
+let max_added_delay inj = inj.max_added_delay
+let capacity_flaps inj = inj.capacity_flaps
+let blackout_toggles inj = inj.blackout_toggles

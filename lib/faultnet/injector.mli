@@ -1,0 +1,61 @@
+(** Seeded fault injector: a {!Plan.t} made executable against one run.
+
+    An injector is single-run mutable state (RNG streams, burst-loss
+    chains, the delay monotonisation floor, fault counters). Create one
+    per run — never share across replicas or domains. All randomness is
+    drawn from split [Random.State]s derived from [plan.seed] (and the
+    optional [salt]), so a (plan, salt) pair perturbs a run
+    byte-identically wherever it executes.
+
+    Wiring: pass {!channel} as the runner's [control_channel] and
+    {!install} as its [on_setup] ({!attach} does both). The channel sees
+    every BCN/PAUSE frame synchronously at emission, so after a run the
+    injector's {!seen} counts equal the switch's emission counters and
+    {!dropped} equals the flight recorder's [Fault_drop] total — the
+    [@faults-smoke] check relies on this exactness. *)
+
+type t
+
+val create : ?salt:int -> Plan.t -> t
+(** Validates the plan ({!Plan.validate}) and derives the injector's RNG
+    streams from [(plan.seed, salt)] ([salt] defaults to 0; use it to
+    decorrelate replicas sharing one plan). *)
+
+val plan : t -> Plan.t
+
+val channel : t -> Simnet.Runner.control_channel
+(** The interposition function: classifies each control frame (BCN+ /
+    BCN− / PAUSE), applies the plan's loss process for that class, then
+    the extra-delay process, and finally calls exactly one of the
+    [deliver] / [drop] continuations. Emits [Fault_drop] / [Fault_delay]
+    telemetry through the engine's probe. *)
+
+val install : t -> Simnet.Engine.t -> Simnet.Switch.t -> unit
+(** Arm the plan's capacity flaps and congestion-point blackout as
+    scheduled events against [sw]. Pass as the runner's [on_setup]. *)
+
+val attach : t -> Simnet.Runner.config -> Simnet.Runner.config
+(** [attach inj cfg] sets [cfg.control_channel] and [cfg.on_setup] to
+    this injector. Overwrites any channel/hook already present. *)
+
+(** {1 Post-run fault counters} *)
+
+val seen : t -> Plan.frame_class -> int
+(** Control frames of the class that reached the injector. *)
+
+val dropped : t -> Plan.frame_class -> int
+val dropped_total : t -> int
+val delivered_total : t -> int
+(** [seen − dropped] summed over classes. *)
+
+val delayed : t -> int
+(** Frames delivered late (positive added delay). *)
+
+val max_added_delay : t -> float
+(** Largest added delay over the run, seconds (0 if none). *)
+
+val capacity_flaps : t -> int
+(** Capacity retargets applied (each also a [Fault_capacity] event). *)
+
+val blackout_toggles : t -> int
+(** Blackout on/off transitions applied (each a [Fault_blackout]). *)

@@ -1,0 +1,174 @@
+type violation = Overflow | Underflow
+
+let violation_name = function Overflow -> "overflow" | Underflow -> "underflow"
+
+type scenario = {
+  label : string;
+  cfg : Simnet.Runner.config;
+  transient : float;
+  underflow_frac : float;
+}
+
+let scenario ?(t_end = 20e-3) ?transient ?(underflow_frac = 0.9) ~label params =
+  let transient = match transient with Some t -> t | None -> t_end /. 2. in
+  if transient < 0. || transient >= t_end then
+    invalid_arg "Resilience.scenario: transient must be in [0, t_end)";
+  if underflow_frac <= 0. || underflow_frac > 1. then
+    invalid_arg "Resilience.scenario: underflow_frac must be in (0, 1]";
+  {
+    label;
+    cfg = Simnet.Runner.default_config ~t_end params;
+    transient;
+    underflow_frac;
+  }
+
+let paper_cases ?t_end ?transient () =
+  let base = Fluid.Params.default in
+  let case1 =
+    Fluid.Params.with_buffer base (2. *. Fluid.Criterion.required_buffer base)
+  in
+  let case2 = Fluid.Params.with_sampling ~w:8000. base in
+  let case3 =
+    Fluid.Params.with_sampling ~w:3000. (Fluid.Params.with_gains ~gd:1. base)
+  in
+  [
+    scenario ?t_end ?transient ~label:"case1" case1;
+    scenario ?t_end ?transient ~label:"case2" case2;
+    scenario ?t_end ?transient ~label:"case3" case3;
+  ]
+
+type axis =
+  | Bcn_loss
+  | Pause_loss
+  | Flap_depth of { period : float; duty : float }
+
+let axis_name = function
+  | Bcn_loss -> "bcn_loss"
+  | Pause_loss -> "pause_loss"
+  | Flap_depth _ -> "flap_depth"
+
+let max_severity = function
+  | Bcn_loss | Pause_loss -> 1.
+  | Flap_depth _ -> 0.95
+
+let plan_of axis ~severity ~seed ~t_end =
+  let p = Plan.with_seed Plan.none seed in
+  match axis with
+  | Bcn_loss ->
+      let l = Plan.loss_of_severity severity in
+      Plan.with_bcn_loss ~pos:l ~neg:l p
+  | Pause_loss -> Plan.with_pause_loss p (Plan.loss_of_severity severity)
+  | Flap_depth { period; duty } ->
+      Plan.with_capacity p
+        (Plan.square_flaps ~period ~duty ~depth:severity ~t_end)
+
+let baseline sc = Simnet.Runner.run sc.cfg
+
+let check sc ~baseline_utilization (result : Simnet.Runner.result) =
+  let buffer = sc.cfg.Simnet.Runner.params.Fluid.Params.buffer in
+  let tail = Numerics.Series.tail_from result.Simnet.Runner.queue sc.transient in
+  let q_max =
+    if Numerics.Series.is_empty tail then 0.
+    else snd (Numerics.Series.argmax tail)
+  in
+  if result.Simnet.Runner.drops > 0 || q_max >= buffer then Some Overflow
+  else if
+    result.Simnet.Runner.utilization
+    < sc.underflow_frac *. baseline_utilization
+  then Some Underflow
+  else None
+
+let probe sc axis ~seed ~baseline_utilization ~severity =
+  let plan = plan_of axis ~severity ~seed ~t_end:sc.cfg.Simnet.Runner.t_end in
+  let inj = Injector.create plan in
+  let result = Simnet.Runner.run (Injector.attach inj sc.cfg) in
+  check sc ~baseline_utilization result
+
+type margin = {
+  scenario : string;
+  axis : string;
+  margin : float;
+  ceiling : float;
+  violation : violation option;
+  evaluations : int;
+}
+
+let bisect ?(iters = 8) ~seed sc ax =
+  if iters < 0 then invalid_arg "Resilience.bisect: iters must be >= 0";
+  let evals = ref 1 in
+  let r0 = baseline sc in
+  let bu = r0.Simnet.Runner.utilization in
+  let eval severity =
+    incr evals;
+    probe sc ax ~seed ~baseline_utilization:bu ~severity
+  in
+  let cell margin ceiling violation =
+    {
+      scenario = sc.label;
+      axis = axis_name ax;
+      margin;
+      ceiling;
+      violation;
+      evaluations = !evals;
+    }
+  in
+  (* The unfaulted run itself can violate (a scenario that overflows or
+     was handed an unreachable underflow_frac); report margin 0. *)
+  match check sc ~baseline_utilization:bu r0 with
+  | Some v -> cell 0. 0. (Some v)
+  | None -> (
+      let hi0 = max_severity ax in
+      match eval hi0 with
+      | None -> cell hi0 hi0 None
+      | Some v0 ->
+          let lo = ref 0. and hi = ref hi0 and viol = ref v0 in
+          for _ = 1 to iters do
+            let mid = 0.5 *. (!lo +. !hi) in
+            match eval mid with
+            | None -> lo := mid
+            | Some v ->
+                hi := mid;
+                viol := v
+          done;
+          cell !lo !hi (Some !viol))
+
+let sweep ?jobs ?iters ~seed scenarios axes =
+  let cells =
+    Array.of_list
+      (List.concat_map (fun sc -> List.map (fun ax -> (sc, ax)) axes) scenarios)
+  in
+  let task (sc, ax) = bisect ?iters ~seed sc ax in
+  match jobs with
+  | Some 1 -> Array.map task cells
+  | _ ->
+      Parallel.Pool.with_pool ?size:jobs (fun pool ->
+          Parallel.Pool.map_array pool task cells)
+
+let violation_cell = function Some v -> violation_name v | None -> "none"
+
+let to_csv margins =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "scenario,axis,margin,ceiling,violation,evaluations\n";
+  Array.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%.17g,%.17g,%s,%d\n" m.scenario m.axis m.margin
+           m.ceiling (violation_cell m.violation) m.evaluations))
+    margins;
+  Buffer.contents b
+
+let to_json margins =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "[";
+  Array.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  {\"scenario\": \"%s\", \"axis\": \"%s\", \"margin\": %.17g, \
+            \"ceiling\": %.17g, \"violation\": \"%s\", \"evaluations\": %d}"
+           m.scenario m.axis m.margin m.ceiling (violation_cell m.violation)
+           m.evaluations))
+    margins;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -1,0 +1,131 @@
+(** Strong-stability resilience margins under injected faults.
+
+    The paper's Definition 1 calls the system strongly stable when,
+    after a finite transient, the queue stays strictly inside (0, B).
+    At packet granularity the literal lower bound is vacuous — healthy
+    AIMD runs drain the queue to exactly 0 between bursts — so this
+    module checks the definition's operational content instead:
+
+    - {e overflow}: the buffer overruns — any frame drop, or the
+      post-transient queue trace reaching B;
+    - {e underflow}: the link starves — run utilization falls below a
+      configured fraction (default 0.9) of the same scenario's
+      fault-free baseline. (In the fluid model [q > 0] is precisely the
+      condition for the bottleneck never idling, so lost utilization is
+      what a persistent underflow costs.)
+
+    For a severity axis (feedback-loss probability, PAUSE-loss
+    probability, capacity-flap depth) the module bisects for the
+    largest severity whose run still satisfies both. Everything is
+    deterministic: the packet runs use deterministic sampling, the
+    injector RNG derives from the caller's [seed], and the sweep fans
+    out over an order-preserving {!Parallel.Pool} — the margin table is
+    byte-identical for any [jobs] value. *)
+
+type violation =
+  | Overflow  (** frame drops, or the post-transient queue reached B *)
+  | Underflow
+      (** utilization below [underflow_frac] of the fault-free baseline *)
+
+val violation_name : violation -> string
+
+(** What the margins are measured on. [transient] seconds at the head
+    of the run are excluded from the queue-bound check; frame drops
+    count as overflow wherever they occur. *)
+type scenario = {
+  label : string;
+  cfg : Simnet.Runner.config;
+  transient : float;
+  underflow_frac : float;
+}
+
+val scenario :
+  ?t_end:float ->
+  ?transient:float ->
+  ?underflow_frac:float ->
+  label:string ->
+  Fluid.Params.t ->
+  scenario
+(** [Runner.default_config] on the parameter point. Defaults:
+    [t_end = 20 ms], [transient = t_end / 2], [underflow_frac = 0.9]. *)
+
+val paper_cases : ?t_end:float -> ?transient:float -> unit -> scenario list
+(** The paper's Case 1–3 parameter points (the gallery's settings):
+    Case 1 = the Theorem-1 example with twice the required buffer,
+    Case 2 = [w = 8000], Case 3 = [Gd = 1, w = 3000]. *)
+
+(** Severity axis being bisected. Severity is the Bernoulli loss
+    probability for the loss axes, and the relative capacity dip (the
+    flap takes the link to [(1 − severity)·C]) for {!Flap_depth}. *)
+type axis =
+  | Bcn_loss  (** drop BCN+ and BCN− with the same probability *)
+  | Pause_loss
+  | Flap_depth of { period : float; duty : float }
+      (** {!Plan.square_flaps} with depth = severity *)
+
+val axis_name : axis -> string
+(** ["bcn_loss"], ["pause_loss"], ["flap_depth"]. *)
+
+val max_severity : axis -> float
+(** Upper end of the bisection bracket: 1 for the loss axes, 0.95 for
+    flap depth (the dipped capacity must stay positive). *)
+
+val plan_of : axis -> severity:float -> seed:int -> t_end:float -> Plan.t
+(** The fault plan one probe run uses. *)
+
+val baseline : scenario -> Simnet.Runner.result
+(** The scenario's fault-free run (severity 0, no injector). *)
+
+val check :
+  scenario ->
+  baseline_utilization:float ->
+  Simnet.Runner.result ->
+  violation option
+(** Apply the operational Definition 1 above to a finished run.
+    [Overflow] takes precedence when both bounds fail. *)
+
+val probe :
+  scenario ->
+  axis ->
+  seed:int ->
+  baseline_utilization:float ->
+  severity:float ->
+  violation option
+(** One fault-injected run at the given severity, checked. *)
+
+type margin = {
+  scenario : string;
+  axis : string;
+  margin : float;  (** largest severity observed to keep strong stability *)
+  ceiling : float;
+      (** smallest severity observed to break it; equals [max_severity]
+          when even that severity kept the property *)
+  violation : violation option;  (** what broke at [ceiling], if anything *)
+  evaluations : int;  (** simulation runs spent on this cell *)
+}
+
+val bisect : ?iters:int -> seed:int -> scenario -> axis -> margin
+(** Bracketed bisection: run the fault-free baseline, evaluate
+    [max_severity], then halve the bracket [iters] (default 8) times.
+    A scenario whose baseline already violates reports [margin = 0]
+    with that violation; one surviving [max_severity] reports
+    [margin = ceiling = max_severity] and [violation = None]. *)
+
+val sweep :
+  ?jobs:int ->
+  ?iters:int ->
+  seed:int ->
+  scenario list ->
+  axis list ->
+  margin array
+(** The full scenario × axis margin table (row-major: all axes of the
+    first scenario, then the next). One pool task per cell, fanned out
+    over [jobs] lanes (default {!Parallel.Pool.default_size}); results
+    are in input order and byte-identical for any [jobs]. *)
+
+val to_csv : margin array -> string
+(** Header plus one line per cell; floats as [%.17g] so the file is an
+    exact witness of the computed margins. *)
+
+val to_json : margin array -> string
+(** A JSON array of margin objects, same field names as the CSV. *)

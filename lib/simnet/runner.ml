@@ -1,5 +1,12 @@
 open Numerics
 
+type control_channel =
+  Engine.t ->
+  Packet.t ->
+  deliver:(Engine.t -> Packet.t -> unit) ->
+  drop:(Engine.t -> Packet.t -> unit) ->
+  unit
+
 type config = {
   params : Fluid.Params.t;
   t_end : float;
@@ -12,6 +19,9 @@ type config = {
   broadcast_feedback : bool;
   enable_bcn : bool;
   enable_pause : bool;
+  pause_resume : float;
+  control_channel : control_channel option;
+  on_setup : (Engine.t -> Switch.t -> unit) option;
 }
 
 let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
@@ -28,6 +38,9 @@ let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
     broadcast_feedback = false;
     enable_bcn = true;
     enable_pause = true;
+    pause_resume = 0.9;
+    control_channel = None;
+    on_setup = None;
   }
 
 let with_seed cfg seed =
@@ -102,14 +115,25 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
       positive_to_untagged = cfg.positive_to_untagged;
       enable_bcn = cfg.enable_bcn;
       enable_pause = cfg.enable_pause;
+      pause_resume = cfg.pause_resume;
       pool = Some pool;
     }
   in
-  let sw =
-    Switch.create sw_cfg ~control_out:(fun e pkt ->
-        Engine.schedule e ~delay:cfg.control_delay (fun e ->
-            dispatch_control e pkt))
+  (* the delivery leg every control frame takes once past the (optional)
+     fault channel: the configured propagation delay, then dispatch *)
+  let deliver e pkt =
+    Engine.schedule e ~delay:cfg.control_delay (fun e ->
+        dispatch_control e pkt)
   in
+  let control_out =
+    match cfg.control_channel with
+    | None -> deliver
+    | Some chan ->
+        let drop _e pkt = Packet.Pool.release pool pkt in
+        fun e pkt -> chan e pkt ~deliver ~drop
+  in
+  let sw = Switch.create sw_cfg ~control_out in
+  (match cfg.on_setup with Some f -> f e sw | None -> ());
   Switch.set_forward sw (fun e pkt ->
       delivered.(0) <- delivered.(0) +. float_of_int pkt.Packet.bits;
       Histogram.add latency (Engine.now e -. Packet.born pkt);

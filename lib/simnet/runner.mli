@@ -5,6 +5,21 @@
     This is the packet-level ground truth against which the fluid model
     is validated (experiment V1 of DESIGN.md). *)
 
+type control_channel =
+  Engine.t ->
+  Packet.t ->
+  deliver:(Engine.t -> Packet.t -> unit) ->
+  drop:(Engine.t -> Packet.t -> unit) ->
+  unit
+(** A fault channel interposed between the switch's control-frame output
+    and delivery. Called synchronously at emission time with the frame
+    and two continuations: [deliver] sends the frame down the normal
+    delivery leg (propagation delay, then dispatch — call it at most
+    once, now or from a scheduled event), [drop] disposes of the frame
+    without delivering (recycling it into the run's packet pool).
+    Exactly one of the two must eventually be called per frame, or the
+    frame leaks from the pool's accounting. *)
+
 type config = {
   params : Fluid.Params.t;
   t_end : float;  (** simulated seconds *)
@@ -19,13 +34,24 @@ type config = {
           homogeneity assumption made literal; default off *)
   enable_bcn : bool;
   enable_pause : bool;
+  pause_resume : float;  (** PAUSE(off) hysteresis, fraction of qsc *)
+  control_channel : control_channel option;
+      (** when set, every BCN/PAUSE frame passes through this channel
+          before delivery (fault injection). [None] (the default) keeps
+          the unperturbed direct path — byte-identical behaviour and
+          allocation to a pre-faultnet runner. *)
+  on_setup : (Engine.t -> Switch.t -> unit) option;
+      (** called once, after the switch exists and before any event
+          runs — the hook [Faultnet.Injector.install] uses to arm
+          capacity flaps and blackouts. *)
 }
 
 val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config
 (** Defaults: [t_end = 20 ms], [sample_dt = 10 us], initial rate
     [max mu (2%% of the fair share)], [control_delay = 1 us],
     deterministic sampling, [mode = Zoh_fluid], fluid-faithful positive
-    feedback, BCN and PAUSE enabled. *)
+    feedback, BCN and PAUSE enabled, [pause_resume = 0.9], no fault
+    channel, no setup hook. *)
 
 type result = {
   queue : Numerics.Series.t;  (** switch queue occupancy, bits *)

@@ -9,6 +9,7 @@ type config = {
   buffer_bits : float;
   q0 : float;
   qsc : float;
+  pause_resume : float;
   w : float;
   pm : float;
   sampling : sampling;
@@ -25,6 +26,7 @@ let default_config (p : Fluid.Params.t) ~cpid =
     buffer_bits = p.Fluid.Params.buffer;
     q0 = p.Fluid.Params.q0;
     qsc = p.Fluid.Params.qsc;
+    pause_resume = 0.9;
     w = p.Fluid.Params.w;
     pm = p.Fluid.Params.pm;
     sampling = Deterministic;
@@ -43,9 +45,11 @@ type stats = {
   mutable pause_off : int;
 }
 
-(* [q_at_last_sample] lives in an all-float cell so the per-sample store
-   does not box. *)
-type fstate = { mutable q_at_last_sample : float }
+(* [q_at_last_sample] and the live egress [capacity] live in an
+   all-float cell so per-sample and per-service stores do not box.
+   [capacity] starts at [cfg.capacity] and is only ever rewritten by
+   {!set_capacity} (fault-injected link flaps). *)
+type fstate = { mutable q_at_last_sample : float; mutable capacity : float }
 
 type t = {
   cfg : config;
@@ -53,6 +57,11 @@ type t = {
   control_out : Engine.t -> Packet.t -> unit;
   mutable forward : (Engine.t -> Packet.t -> unit) option;
   mutable busy : bool;
+  (* BCN congestion point live-enabled flag: [cfg.enable_bcn] at create,
+     toggled by fault-injected blackouts *)
+  mutable bcn_active : bool;
+  (* precomputed [pause_resume * qsc] so check_pause stays two compares *)
+  resume_level : float;
   mutable egress_paused : bool;
   mutable upstream_paused : bool;
   mutable arrivals_since_sample : int;
@@ -74,6 +83,8 @@ let fifo sw = sw.queue
 let stats sw = sw.st
 let config sw = sw.cfg
 let upstream_paused sw = sw.upstream_paused
+let capacity sw = sw.fs.capacity
+let bcn_enabled sw = sw.bcn_active
 
 let next_ctl_seq sw =
   let s = sw.ctl_seq in
@@ -95,13 +106,11 @@ let send_pause sw e on =
     ~cpid:sw.cfg.cpid ~seq;
   sw.control_out e pkt
 
-let pause_resume_threshold cfg = 0.9 *. cfg.qsc
-
 let check_pause sw e =
   if sw.cfg.enable_pause then begin
     let q = queue_bits sw in
     if (not sw.upstream_paused) && q > sw.cfg.qsc then send_pause sw e true
-    else if sw.upstream_paused && q < pause_resume_threshold sw.cfg then
+    else if sw.upstream_paused && q < sw.resume_level then
       send_pause sw e false
   end
 
@@ -111,7 +120,7 @@ let rec serve sw e =
     let pkt = Fifo.pop sw.queue in
     sw.busy <- true;
     sw.in_service <- pkt;
-    let tx = float_of_int pkt.Packet.bits /. sw.cfg.capacity in
+    let tx = float_of_int pkt.Packet.bits /. sw.fs.capacity in
     Engine.schedule e ~delay:tx sw.complete
   end
 
@@ -137,9 +146,11 @@ and complete_service sw e =
   check_pause sw e;
   serve sw e
 
-let create cfg ~control_out =
+let create (cfg : config) ~control_out =
   if cfg.capacity <= 0. then invalid_arg "Switch.create: capacity <= 0";
   if cfg.pm <= 0. || cfg.pm > 1. then invalid_arg "Switch.create: pm not in (0,1]";
+  if cfg.pause_resume <= 0. || cfg.pause_resume > 1. then
+    invalid_arg "Switch.create: pause_resume not in (0,1]";
   let sw =
     {
       cfg;
@@ -147,11 +158,13 @@ let create cfg ~control_out =
       control_out;
       forward = None;
       busy = false;
+      bcn_active = cfg.enable_bcn;
+      resume_level = cfg.pause_resume *. cfg.qsc;
       egress_paused = false;
       upstream_paused = false;
       arrivals_since_sample = 0;
       sample_every = Stdlib.max 1 (int_of_float (Float.round (1. /. cfg.pm)));
-      fs = { q_at_last_sample = 0. };
+      fs = { q_at_last_sample = 0.; capacity = cfg.capacity };
       last_flow = 0;
       last_rrt = None;
       timer_armed = false;
@@ -179,6 +192,19 @@ let set_forward sw f = sw.forward <- Some f
 let set_egress_paused sw e on =
   sw.egress_paused <- on;
   if not on then serve sw e
+
+let set_capacity sw c =
+  if c <= 0. || not (Float.is_finite c) then
+    invalid_arg "Switch.set_capacity: capacity must be positive and finite";
+  sw.fs.capacity <- c
+
+(* a switch created with BCN disabled stays disabled: blackouts only
+   interrupt a congestion point that exists *)
+let set_bcn_enabled sw on = sw.bcn_active <- sw.cfg.enable_bcn && on
+
+let reset_congestion_point sw =
+  sw.fs.q_at_last_sample <- queue_bits sw;
+  sw.arrivals_since_sample <- 0
 
 let should_sample sw =
   match sw.cfg.sampling with
@@ -233,7 +259,7 @@ let start sw e =
       if not sw.timer_armed then begin
         sw.timer_armed <- true;
         let rec tick e =
-          if sw.cfg.enable_bcn then
+          if sw.bcn_active then
             sample sw e ~flow:sw.last_flow ~rrt:sw.last_rrt;
           Engine.schedule e ~delay:period tick
         in
@@ -257,7 +283,7 @@ let receive sw e pkt =
        ~q:(queue_bits sw)
        ~bits:(float_of_int pkt.Packet.bits)
        ~flow:sw.last_flow ~seq:pkt.Packet.seq;
-     if sw.cfg.enable_bcn && should_sample sw then
+     if sw.bcn_active && should_sample sw then
        match pkt.Packet.kind with
        | Packet.Data { flow; rrt } -> sample sw e ~flow ~rrt
        | Packet.Bcn _ | Packet.Pause _ -> ()

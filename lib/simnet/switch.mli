@@ -35,7 +35,11 @@ type config = {
   capacity : float;  (** egress rate, bit/s *)
   buffer_bits : float;
   q0 : float;
-  qsc : float;  (** PAUSE threshold; resume at [0.9·qsc] *)
+  qsc : float;  (** PAUSE threshold; resume at [pause_resume·qsc] *)
+  pause_resume : float;
+      (** PAUSE(off) fires once the queue drains below
+          [pause_resume·qsc]; must be in (0, 1]. The 802.1Qbb-style
+          hysteresis default is 0.9. *)
   w : float;
   pm : float;
   sampling : sampling;
@@ -52,7 +56,8 @@ type config = {
 
 val default_config : Fluid.Params.t -> cpid:int -> config
 (** Deterministic sampling, [positive_to_untagged = true], BCN and PAUSE
-    enabled, no pool, thresholds taken from the fluid parameters. *)
+    enabled, [pause_resume = 0.9], no pool, thresholds taken from the
+    fluid parameters. *)
 
 type stats = {
   mutable forwarded : int;
@@ -94,3 +99,30 @@ val config : t -> config
 
 val upstream_paused : t -> bool
 (** Whether this switch currently holds its upstream in PAUSE. *)
+
+(** {1 Fault-injection hooks}
+
+    Used by [Faultnet.Injector] to perturb a running switch; harmless to
+    call directly. None of these allocate. *)
+
+val set_capacity : t -> float -> unit
+(** Retarget the egress drain rate mid-run (link capacity flap). Takes
+    effect from the next service start; the frame currently in service
+    finishes at the rate it started with. Raises [Invalid_argument]
+    unless the new capacity is positive and finite. *)
+
+val capacity : t -> float
+(** The live egress rate ([cfg.capacity] until a flap rewrites it). *)
+
+val set_bcn_enabled : t -> bool -> unit
+(** Toggle the congestion point (blackout). While off, arriving frames
+    are neither counted towards the sampling interval nor sampled, and
+    a timer-driven point stops emitting. A switch configured with
+    [enable_bcn = false] stays off regardless. *)
+
+val bcn_enabled : t -> bool
+
+val reset_congestion_point : t -> unit
+(** Forget sampler state (as a rebooted congestion point would): the
+    [q − q_prev_sample] term restarts from the current occupancy and the
+    deterministic sampling countdown restarts. *)

@@ -39,7 +39,7 @@ let poisson ~id ~mean_rate ~seed =
   make id (Poisson { mean_rate; rng = Random.State.make [| seed |] })
 
 let on_off ~id ~peak_rate ~mean_on ~mean_off ~seed =
-  if peak_rate <= 0. || mean_on <= 0. || mean_off <= 0. then
+  if peak_rate <= 0. || mean_on <= 0. || mean_off < 0. then
     invalid_arg "Workload.on_off: nonpositive parameter";
   make id
     (On_off
@@ -96,8 +96,16 @@ let start w e ~sink =
         Engine.schedule e ~delay:(exponential rng mean_gap) loop
     | On_off ({ peak_rate; mean_on; mean_off; rng; _ } as st) ->
         let gap = frame_bits /. peak_rate in
-        st.on <- false;
-        st.phase_ends <- Engine.now e +. exponential rng mean_off;
+        if mean_off = 0. then begin
+          (* Degenerate always-on source: CBR at the peak rate. The
+             phase clock never fires and the RNG is never drawn. *)
+          st.on <- true;
+          st.phase_ends <- infinity
+        end
+        else begin
+          st.on <- false;
+          st.phase_ends <- Engine.now e +. exponential rng mean_off
+        end;
         let rec loop e =
           if w.running then begin
             let now = Engine.now e in

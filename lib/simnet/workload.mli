@@ -17,7 +17,9 @@ val poisson : id:int -> mean_rate:float -> seed:int -> t
 val on_off :
   id:int -> peak_rate:float -> mean_on:float -> mean_off:float -> seed:int -> t
 (** Exponential on/off (Markov-modulated): bursts at [peak_rate] for
-    exponentially distributed on-periods, silent for off-periods. *)
+    exponentially distributed on-periods, silent for off-periods.
+    [mean_off = 0.] degenerates to an always-on source (CBR at
+    [peak_rate], no RNG draws); negative [mean_off] is invalid. *)
 
 val incast :
   ids:int list -> burst_frames:int -> period:float -> ?jitter:float ->

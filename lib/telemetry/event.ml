@@ -9,8 +9,12 @@ type kind =
   | Rate_update
   | Ode_step
   | Ode_reject
+  | Fault_drop
+  | Fault_delay
+  | Fault_capacity
+  | Fault_blackout
 
-let n_kinds = 10
+let n_kinds = 14
 
 let to_code = function
   | Enqueue -> 0
@@ -23,6 +27,10 @@ let to_code = function
   | Rate_update -> 7
   | Ode_step -> 8
   | Ode_reject -> 9
+  | Fault_drop -> 10
+  | Fault_delay -> 11
+  | Fault_capacity -> 12
+  | Fault_blackout -> 13
 
 let of_code = function
   | 0 -> Enqueue
@@ -35,6 +43,10 @@ let of_code = function
   | 7 -> Rate_update
   | 8 -> Ode_step
   | 9 -> Ode_reject
+  | 10 -> Fault_drop
+  | 11 -> Fault_delay
+  | 12 -> Fault_capacity
+  | 13 -> Fault_blackout
   | c -> invalid_arg (Printf.sprintf "Telemetry.Event.of_code: %d" c)
 
 let name = function
@@ -48,6 +60,10 @@ let name = function
   | Rate_update -> "rate_update"
   | Ode_step -> "ode_step"
   | Ode_reject -> "ode_reject"
+  | Fault_drop -> "fault_drop"
+  | Fault_delay -> "fault_delay"
+  | Fault_capacity -> "fault_capacity"
+  | Fault_blackout -> "fault_blackout"
 
 let of_name = function
   | "enqueue" -> Some Enqueue
@@ -60,6 +76,10 @@ let of_name = function
   | "rate_update" -> Some Rate_update
   | "ode_step" -> Some Ode_step
   | "ode_reject" -> Some Ode_reject
+  | "fault_drop" -> Some Fault_drop
+  | "fault_delay" -> Some Fault_delay
+  | "fault_capacity" -> Some Fault_capacity
+  | "fault_blackout" -> Some Fault_blackout
   | _ -> None
 
 type t = { kind : kind; t : float; a : float; b : float; i : int; j : int }

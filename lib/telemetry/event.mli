@@ -19,7 +19,15 @@
     Rate_update   feedback time  new rate bit/s   fb               source  cpid
     Ode_step      step end time  step size h      0                0       0
     Ode_reject    step start     rejected h       0                0       0
-    v} *)
+    Fault_drop    emit time      fb (0 for PAUSE) 0                class   seq
+    Fault_delay   emit time      added delay s    0                class   seq
+    Fault_capacity flap time     new capacity     old capacity     cpid    0
+    Fault_blackout toggle time   1 = on, 0 = off  0                cpid    0
+    v}
+
+    [class] in the fault events is the {!Faultnet.Plan.frame_class} code
+    of the control frame the injector acted on (0 = positive BCN,
+    1 = negative BCN, 2 = PAUSE). *)
 
 type kind =
   | Enqueue
@@ -32,6 +40,10 @@ type kind =
   | Rate_update
   | Ode_step
   | Ode_reject
+  | Fault_drop  (** injector dropped a control frame *)
+  | Fault_delay  (** injector added delay to a control frame *)
+  | Fault_capacity  (** injector retargeted a switch egress capacity *)
+  | Fault_blackout  (** congestion-point blackout toggled *)
 
 val n_kinds : int
 

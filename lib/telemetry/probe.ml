@@ -54,6 +54,27 @@ let[@inline] ode_reject p ~t ~h =
   if p.enabled then
     Recorder.record p.recorder ~kind:Event.Ode_reject ~t ~a:h ~b:0. ~i:0 ~j:0
 
+let[@inline] fault_drop p ~t ~fb ~cls ~seq =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Fault_drop ~t ~a:fb ~b:0. ~i:cls
+      ~j:seq
+
+let[@inline] fault_delay p ~t ~delay ~cls ~seq =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Fault_delay ~t ~a:delay ~b:0.
+      ~i:cls ~j:seq
+
+let[@inline] fault_capacity p ~t ~capacity ~old_capacity ~cpid =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Fault_capacity ~t ~a:capacity
+      ~b:old_capacity ~i:cpid ~j:0
+
+let[@inline] fault_blackout p ~t ~on ~cpid =
+  if p.enabled then
+    Recorder.record p.recorder ~kind:Event.Fault_blackout ~t
+      ~a:(if on then 1. else 0.)
+      ~b:0. ~i:cpid ~j:0
+
 let ode_monitor p =
   if not p.enabled then None
   else

@@ -45,6 +45,15 @@ val rate_update : t -> t:float -> rate:float -> fb:float -> id:int -> cpid:int -
 val ode_step : t -> t:float -> h:float -> unit
 val ode_reject : t -> t:float -> h:float -> unit
 
+(** Fault-injection emitters (see {!Event} for field semantics; [cls] is
+    the injector's frame-class code: 0 = BCN+, 1 = BCN−, 2 = PAUSE). *)
+
+val fault_drop : t -> t:float -> fb:float -> cls:int -> seq:int -> unit
+val fault_delay : t -> t:float -> delay:float -> cls:int -> seq:int -> unit
+val fault_capacity :
+  t -> t:float -> capacity:float -> old_capacity:float -> cpid:int -> unit
+val fault_blackout : t -> t:float -> on:bool -> cpid:int -> unit
+
 (** {1 Adapters} *)
 
 val ode_monitor : t -> Numerics.Ode.monitor option

@@ -1,0 +1,315 @@
+(* Tests for the fault-injection layer: plan construction/validation,
+   injector semantics against the dumbbell runner (transparency,
+   exactness, determinism, each fault's observable effect), and the
+   strong-stability resilience margins. *)
+
+let checkf eps = Alcotest.(check (float eps))
+let params = Fluid.Params.with_buffer Fluid.Params.default 15e6
+
+let marshal (r : Simnet.Runner.result) = Marshal.to_string r []
+
+(* A short congested dumbbell run: plenty of BCN traffic in 4 ms. *)
+let base_cfg =
+  {
+    (Simnet.Runner.default_config ~t_end:4e-3 params) with
+    Simnet.Runner.initial_rate = Fluid.Params.equilibrium_rate params;
+  }
+
+let run_with plan =
+  let inj = Faultnet.Injector.create plan in
+  let probe = Telemetry.Probe.create ~capacity:(1 lsl 18) () in
+  let r = Simnet.Runner.run ~probe (Faultnet.Injector.attach inj base_cfg) in
+  (r, inj, probe)
+
+(* ---------------- Plan ---------------- *)
+
+let test_plan_builders () =
+  Alcotest.(check bool) "none is none" true (Faultnet.Plan.is_none Faultnet.Plan.none);
+  let p =
+    Faultnet.Plan.with_bcn_loss ~neg:(Faultnet.Plan.Bernoulli 0.25)
+      (Faultnet.Plan.with_seed Faultnet.Plan.none 9)
+  in
+  Alcotest.(check bool) "loss plan not none" false (Faultnet.Plan.is_none p);
+  Alcotest.(check int) "seed kept" 9 p.Faultnet.Plan.seed;
+  Alcotest.(check bool) "pos side untouched" true
+    (p.Faultnet.Plan.bcn_pos_loss = None);
+  (* describe mentions the fault and never raises *)
+  let s = Faultnet.Plan.describe p in
+  Alcotest.(check bool) "described" true (String.length s > 0);
+  Alcotest.(check string) "empty plan describes as none" "none"
+    (Faultnet.Plan.describe Faultnet.Plan.none)
+
+let test_plan_validation () =
+  let rejects p =
+    try
+      ignore (Faultnet.Plan.validate p);
+      false
+    with Invalid_argument _ -> true
+  in
+  let open Faultnet.Plan in
+  Alcotest.(check bool) "p > 1 rejected" true
+    (rejects (with_bcn_loss ~pos:(Bernoulli 1.5) none));
+  Alcotest.(check bool) "negative burst prob rejected" true
+    (rejects
+       (with_pause_loss none
+          (Burst { p_enter = -0.1; p_exit = 0.5; p_drop = 0.5 })));
+  Alcotest.(check bool) "negative delay rejected" true
+    (rejects (with_delay none ~fixed:(-1e-6)));
+  Alcotest.(check bool) "flap factor > 1 rejected" true
+    (rejects (with_capacity none (Flap_schedule [ (1e-3, 1.5) ])));
+  Alcotest.(check bool) "unordered schedule rejected" true
+    (rejects
+       (with_capacity none (Flap_schedule [ (2e-3, 0.5); (1e-3, 1.) ])));
+  Alcotest.(check bool) "negative blackout rejected" true
+    (rejects (with_blackout none ~start:1e-3 ~duration:(-1e-3)));
+  (* a fully-loaded valid plan round-trips *)
+  let p =
+    with_blackout ~reset:true
+      (with_capacity
+         (with_delay ~jitter:1e-6 (with_bcn_loss ~pos:(Bernoulli 0.1) none)
+            ~fixed:2e-6)
+         (Flap_markov { mean_up = 1e-3; mean_down = 1e-4; factor = 0.5 }))
+      ~start:1e-3 ~duration:1e-3
+  in
+  Alcotest.(check bool) "valid plan accepted" true (validate p == p)
+
+let test_square_flaps_shape () =
+  match
+    Faultnet.Plan.square_flaps ~period:1e-3 ~duty:0.5 ~depth:0.4 ~t_end:3.5e-3
+  with
+  | Faultnet.Plan.Flap_schedule steps ->
+      (* k = 1..3: a dip and a recovery each *)
+      Alcotest.(check int) "three dips = six steps" 6 (List.length steps);
+      (match steps with
+      | (t0, f0) :: (t1, f1) :: _ ->
+          checkf 1e-12 "first dip at period" 1e-3 t0;
+          checkf 1e-12 "dip factor = 1 - depth" 0.6 f0;
+          checkf 1e-12 "recovery mid-period" 1.5e-3 t1;
+          checkf 1e-12 "recovery factor" 1. f1
+      | _ -> Alcotest.fail "missing steps");
+      ignore
+        (Faultnet.Plan.validate
+           (Faultnet.Plan.with_capacity Faultnet.Plan.none
+              (Faultnet.Plan.Flap_schedule steps)))
+  | _ -> Alcotest.fail "expected a schedule"
+
+let prop_loss_of_severity_clamped =
+  QCheck.Test.make ~name:"loss_of_severity is a valid Bernoulli" ~count:200
+    QCheck.(float_range (-2.) 3.)
+    (fun s ->
+      match Faultnet.Plan.loss_of_severity s with
+      | Faultnet.Plan.Bernoulli p -> p >= 0. && p <= 1.
+      | _ -> false)
+
+(* ---------------- Injector ---------------- *)
+
+let test_injector_empty_plan_transparent () =
+  let bare = Simnet.Runner.run base_cfg in
+  let thru, inj, _ = run_with Faultnet.Plan.none in
+  Alcotest.(check string) "run byte-identical through empty injector"
+    (marshal bare) (marshal thru);
+  Alcotest.(check int) "nothing dropped" 0 (Faultnet.Injector.dropped_total inj);
+  Alcotest.(check bool) "control frames seen" true
+    (Faultnet.Injector.delivered_total inj > 0)
+
+let loss_plan =
+  Faultnet.Plan.with_pause_loss
+    (Faultnet.Plan.with_bcn_loss
+       ~pos:(Faultnet.Plan.Bernoulli 0.3)
+       ~neg:(Faultnet.Plan.Burst { p_enter = 0.2; p_exit = 0.5; p_drop = 0.9 })
+       (Faultnet.Plan.with_seed Faultnet.Plan.none 42))
+    (Faultnet.Plan.Bernoulli 0.5)
+
+let test_injector_counts_exact () =
+  let r, inj, probe = run_with loss_plan in
+  let rec_ = Telemetry.Probe.recorder probe in
+  Alcotest.(check int) "seen BCN+ = emitted BCN+"
+    r.Simnet.Runner.bcn_positive
+    (Faultnet.Injector.seen inj Faultnet.Plan.Bcn_positive);
+  Alcotest.(check int) "seen BCN- = emitted BCN-"
+    r.Simnet.Runner.bcn_negative
+    (Faultnet.Injector.seen inj Faultnet.Plan.Bcn_negative);
+  Alcotest.(check int) "recorded Fault_drop = dropped_total"
+    (Faultnet.Injector.dropped_total inj)
+    (Telemetry.Recorder.count rec_ Telemetry.Event.Fault_drop);
+  Alcotest.(check bool) "losses actually occurred" true
+    (Faultnet.Injector.dropped_total inj > 0)
+
+let test_injector_deterministic () =
+  let r1, _, _ = run_with loss_plan in
+  let r2, _, _ = run_with loss_plan in
+  Alcotest.(check string) "same plan, same run" (marshal r1) (marshal r2);
+  let r3, _, _ = run_with (Faultnet.Plan.with_seed loss_plan 43) in
+  Alcotest.(check bool) "different seed, different run" true
+    (marshal r1 <> marshal r3)
+
+let test_injector_delay_effect () =
+  let plan =
+    Faultnet.Plan.with_delay ~jitter:5e-6
+      (Faultnet.Plan.with_seed Faultnet.Plan.none 3)
+      ~fixed:10e-6
+  in
+  let _, inj, _ = run_with plan in
+  Alcotest.(check bool) "frames delayed" true (Faultnet.Injector.delayed inj > 0);
+  Alcotest.(check int) "no drops from a delay-only plan" 0
+    (Faultnet.Injector.dropped_total inj);
+  let d = Faultnet.Injector.max_added_delay inj in
+  Alcotest.(check bool)
+    (Printf.sprintf "max added delay in [fixed, fixed+jitter) (got %g)" d)
+    true
+    (d >= 10e-6 && d < 15.0000001e-6)
+
+let test_injector_capacity_flaps () =
+  let plan =
+    Faultnet.Plan.with_capacity Faultnet.Plan.none
+      (Faultnet.Plan.square_flaps ~period:1e-3 ~duty:0.5 ~depth:0.6
+         ~t_end:4e-3)
+  in
+  let r, inj, probe = run_with plan in
+  Alcotest.(check int) "every scheduled step applied" 6
+    (Faultnet.Injector.capacity_flaps inj);
+  Alcotest.(check int) "each step recorded" 6
+    (Telemetry.Recorder.count
+       (Telemetry.Probe.recorder probe)
+       Telemetry.Event.Fault_capacity);
+  let bare = Simnet.Runner.run base_cfg in
+  Alcotest.(check bool) "flaps cost throughput" true
+    (r.Simnet.Runner.delivered_bits < bare.Simnet.Runner.delivered_bits)
+
+let test_injector_blackout () =
+  let plan =
+    Faultnet.Plan.with_blackout ~reset:true Faultnet.Plan.none ~start:1e-3
+      ~duration:1e-3
+  in
+  let r, inj, probe = run_with plan in
+  Alcotest.(check int) "off + on toggles" 2
+    (Faultnet.Injector.blackout_toggles inj);
+  Alcotest.(check int) "both recorded" 2
+    (Telemetry.Recorder.count
+       (Telemetry.Probe.recorder probe)
+       Telemetry.Event.Fault_blackout);
+  (* no feedback for 25% of the run: strictly fewer BCN messages *)
+  let bare = Simnet.Runner.run base_cfg in
+  let msgs (r : Simnet.Runner.result) =
+    r.Simnet.Runner.bcn_positive + r.Simnet.Runner.bcn_negative
+  in
+  Alcotest.(check bool) "fewer BCN messages during blackout" true
+    (msgs r < msgs bare)
+
+(* ---------------- Resilience ---------------- *)
+
+let tiny_scenario () =
+  Faultnet.Resilience.scenario ~t_end:4e-3 ~label:"tiny" params
+
+let test_resilience_margin_sane () =
+  let sc = tiny_scenario () in
+  let m =
+    Faultnet.Resilience.bisect ~iters:3 ~seed:5 sc Faultnet.Resilience.Bcn_loss
+  in
+  Alcotest.(check string) "labels propagated" "tiny"
+    m.Faultnet.Resilience.scenario;
+  Alcotest.(check string) "axis name" "bcn_loss" m.Faultnet.Resilience.axis;
+  Alcotest.(check bool) "margin <= ceiling" true
+    (m.Faultnet.Resilience.margin <= m.Faultnet.Resilience.ceiling);
+  Alcotest.(check bool) "bracket within [0, 1]" true
+    (m.Faultnet.Resilience.margin >= 0. && m.Faultnet.Resilience.ceiling <= 1.);
+  Alcotest.(check bool) "evaluations counted" true
+    (m.Faultnet.Resilience.evaluations >= 2)
+
+let test_resilience_sweep_jobs_independent () =
+  let scenarios = [ tiny_scenario () ] in
+  let axes =
+    [
+      Faultnet.Resilience.Bcn_loss;
+      Faultnet.Resilience.Flap_depth { period = 1e-3; duty = 0.5 };
+    ]
+  in
+  let m1 =
+    Faultnet.Resilience.sweep ~jobs:1 ~iters:2 ~seed:7 scenarios axes
+  in
+  let m4 =
+    Faultnet.Resilience.sweep ~jobs:4 ~iters:2 ~seed:7 scenarios axes
+  in
+  Alcotest.(check string) "CSV identical for jobs 1 vs 4"
+    (Faultnet.Resilience.to_csv m1)
+    (Faultnet.Resilience.to_csv m4);
+  Alcotest.(check string) "JSON identical for jobs 1 vs 4"
+    (Faultnet.Resilience.to_json m1)
+    (Faultnet.Resilience.to_json m4);
+  (* rerun with the same seed: reproducible *)
+  let m1' =
+    Faultnet.Resilience.sweep ~jobs:1 ~iters:2 ~seed:7 scenarios axes
+  in
+  Alcotest.(check string) "seed-reproducible"
+    (Faultnet.Resilience.to_csv m1)
+    (Faultnet.Resilience.to_csv m1')
+
+let test_resilience_csv_shape () =
+  let m =
+    Faultnet.Resilience.sweep ~jobs:1 ~iters:1 ~seed:1 [ tiny_scenario () ]
+      [ Faultnet.Resilience.Pause_loss ]
+  in
+  let csv = Faultnet.Resilience.to_csv m in
+  (match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+      Alcotest.(check string) "header"
+        "scenario,axis,margin,ceiling,violation,evaluations" header;
+      Alcotest.(check int) "one row per cell" (Array.length m)
+        (List.length rows)
+  | [] -> Alcotest.fail "empty CSV");
+  Alcotest.(check bool) "JSON mentions the axis" true
+    (let json = Faultnet.Resilience.to_json m in
+     let needle = "\"axis\": \"pause_loss\"" in
+     let n = String.length needle in
+     let rec find i =
+       i + n <= String.length json
+       && (String.sub json i n = needle || find (i + 1))
+     in
+     find 0)
+
+let test_paper_cases_shape () =
+  let cases = Faultnet.Resilience.paper_cases () in
+  Alcotest.(check int) "three cases" 3 (List.length cases);
+  List.iter
+    (fun (sc : Faultnet.Resilience.scenario) ->
+      Alcotest.(check bool)
+        (sc.Faultnet.Resilience.label ^ " baseline healthy")
+        true
+        (Faultnet.Resilience.check sc ~baseline_utilization:1.
+           (Faultnet.Resilience.baseline sc)
+        = None
+        || (Faultnet.Resilience.baseline sc).Simnet.Runner.drops = 0))
+    cases
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "faultnet"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "builders" `Quick test_plan_builders;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "square flaps" `Quick test_square_flaps_shape;
+        ] );
+      qsuite "plan-props" [ prop_loss_of_severity_clamped ];
+      ( "injector",
+        [
+          Alcotest.test_case "empty plan transparent" `Quick
+            test_injector_empty_plan_transparent;
+          Alcotest.test_case "counts exact" `Quick test_injector_counts_exact;
+          Alcotest.test_case "deterministic" `Quick test_injector_deterministic;
+          Alcotest.test_case "delay effect" `Quick test_injector_delay_effect;
+          Alcotest.test_case "capacity flaps" `Quick
+            test_injector_capacity_flaps;
+          Alcotest.test_case "blackout" `Quick test_injector_blackout;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "margin sane" `Quick test_resilience_margin_sane;
+          Alcotest.test_case "sweep jobs-independent" `Slow
+            test_resilience_sweep_jobs_independent;
+          Alcotest.test_case "csv shape" `Quick test_resilience_csv_shape;
+          Alcotest.test_case "paper cases" `Slow test_paper_cases_shape;
+        ] );
+    ]

@@ -356,6 +356,60 @@ let test_switch_pause_thresholds () =
   in
   Alcotest.(check int) "one on + one off" 2 (List.length pauses)
 
+(* The queue level at which the switch lifts PAUSE is configurable
+   ([pause_resume] * qsc, default 0.9). Capture the occupancy at the
+   moment the off-frame is emitted and pin it to the configured level:
+   just below threshold, within one dequeued frame. *)
+let resume_queue_level ~pause_resume =
+  let level = ref nan in
+  let sw_ref = ref None in
+  let cfg =
+    {
+      (Simnet.Switch.default_config params ~cpid:1) with
+      Simnet.Switch.pause_resume;
+    }
+  in
+  let sw =
+    Simnet.Switch.create cfg ~control_out:(fun _e pkt ->
+        match pkt.Simnet.Packet.kind with
+        | Simnet.Packet.Pause { on = false } -> (
+            match !sw_ref with
+            | Some s -> level := Simnet.Switch.queue_bits s
+            | None -> ())
+        | _ -> ())
+  in
+  sw_ref := Some sw;
+  Simnet.Switch.set_forward sw (fun _e _pkt -> ());
+  let e = Simnet.Engine.create () in
+  feed sw e 1200 0;
+  Simnet.Engine.run ~until:0.01 e;
+  !level
+
+let test_switch_pause_resume_configurable () =
+  let qsc = params.Fluid.Params.qsc in
+  let frame = float_of_int Simnet.Packet.data_frame_bits in
+  List.iter
+    (fun frac ->
+      let level = resume_queue_level ~pause_resume:frac in
+      Alcotest.(check bool)
+        (Printf.sprintf "resume at %.1f*qsc (got %g)" frac level)
+        true
+        (level < frac *. qsc && level > (frac *. qsc) -. (2. *. frame)))
+    [ 0.9; 0.5; 0.2 ]
+
+let test_switch_pause_resume_validated () =
+  Alcotest.(check bool) "pause_resume = 0 rejected" true
+    (try
+       ignore
+         (Simnet.Switch.create
+            {
+              (Simnet.Switch.default_config params ~cpid:1) with
+              Simnet.Switch.pause_resume = 0.;
+            }
+            ~control_out:(fun _ _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
 let test_switch_egress_pause_stops_service () =
   let sw, _ = mk_switch ~cfg_mod:(fun c -> { c with Simnet.Switch.enable_pause = false }) () in
   let e = Simnet.Engine.create () in
@@ -775,6 +829,61 @@ let test_workload_incast_bursts () =
   (* epochs at 0, 0.1, 0.2, 0.3: 4 x 3 x 10 = 120 *)
   Alcotest.(check int) "four epochs" 120 frames
 
+let test_workload_zero_rate_rejected () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "cbr rate 0" true
+    (raises (fun () -> Simnet.Workload.cbr ~id:0 ~rate:0.));
+  Alcotest.(check bool) "cbr rate < 0" true
+    (raises (fun () -> Simnet.Workload.cbr ~id:0 ~rate:(-1.)));
+  Alcotest.(check bool) "poisson rate 0" true
+    (raises (fun () -> Simnet.Workload.poisson ~id:0 ~mean_rate:0. ~seed:1));
+  Alcotest.(check bool) "on_off mean_off < 0" true
+    (raises (fun () ->
+         Simnet.Workload.on_off ~id:0 ~peak_rate:1e6 ~mean_on:0.1
+           ~mean_off:(-0.1) ~seed:1))
+
+let test_workload_on_off_always_on () =
+  (* mean_off = 0 degenerates to CBR at the peak rate: the source never
+     leaves the on phase and the frame count matches plain CBR *)
+  let w =
+    Simnet.Workload.on_off ~id:0 ~peak_rate:1.2e6 ~mean_on:0.05 ~mean_off:0.
+      ~seed:5
+  in
+  let frames = run_workload w 1. in
+  let cbr_frames = run_workload (Simnet.Workload.cbr ~id:0 ~rate:1.2e6) 1. in
+  Alcotest.(check int) "same schedule as CBR at peak" cbr_frames frames;
+  Alcotest.(check (float 1e-6)) "mean offered = peak" 1.2e6
+    (Simnet.Workload.mean_offered_rate w)
+
+(* Seeded workloads are pure functions of their seed: rebuilding the
+   workload with the same seed replays the identical arrival schedule. *)
+let prop_workload_seed_stable =
+  QCheck.Test.make ~name:"same seed replays the same schedule" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let times w =
+        let e = Simnet.Engine.create () in
+        let ts = ref [] in
+        Simnet.Workload.start w e ~sink:(fun e _p ->
+            ts := Simnet.Engine.now e :: !ts);
+        Simnet.Engine.run ~until:0.3 e;
+        !ts
+      in
+      let poisson () =
+        Simnet.Workload.poisson ~id:0 ~mean_rate:2.4e6 ~seed
+      in
+      let onoff () =
+        Simnet.Workload.on_off ~id:0 ~peak_rate:2.4e6 ~mean_on:0.02
+          ~mean_off:0.02 ~seed
+      in
+      times (poisson ()) = times (poisson ())
+      && times (onoff ()) = times (onoff ()))
+
 let test_workload_stop () =
   let e = Simnet.Engine.create () in
   let frames = ref 0 in
@@ -805,6 +914,45 @@ let test_fera_converges_to_fair_share () =
     r.Simnet.Fera.final_rates;
   Alcotest.(check bool) "utilization near target" true
     (r.Simnet.Fera.utilization > 0.85)
+
+(* The paradigm runners' batch entry points must be order-preserving and
+   jobs-independent: the fan-out over a 4-lane pool is byte-identical to
+   the sequential fallback, and each slot equals a direct [run]. *)
+let check_run_many name run run_many cfgs =
+  let serial = run_many ~jobs:1 cfgs in
+  let parallel = run_many ~jobs:4 cfgs in
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s slot %d: jobs 1 = jobs 4" name i)
+        (Marshal.to_string a [])
+        (Marshal.to_string parallel.(i) []))
+    serial;
+  Alcotest.(check string)
+    (name ^ " slot 0 = direct run")
+    (Marshal.to_string (run cfgs.(0)) [])
+    (Marshal.to_string serial.(0) [])
+
+let test_fera_run_many_deterministic () =
+  check_run_many "fera" Simnet.Fera.run
+    (fun ~jobs cfgs -> Simnet.Fera.run_many ~jobs cfgs)
+    (Array.map
+       (fun t_end -> Simnet.Fera.default_config ~t_end params)
+       [| 2e-3; 3e-3; 4e-3 |])
+
+let test_e2cm_run_many_deterministic () =
+  check_run_many "e2cm" Simnet.E2cm.run
+    (fun ~jobs cfgs -> Simnet.E2cm.run_many ~jobs cfgs)
+    (Array.map
+       (fun t_end -> Simnet.E2cm.default_config ~t_end params)
+       [| 2e-3; 3e-3; 4e-3 |])
+
+let test_multihop_run_many_deterministic () =
+  check_run_many "multihop" Simnet.Multihop.run
+    (fun ~jobs cfgs -> Simnet.Multihop.run_many ~jobs cfgs)
+    (Array.map
+       (fun t_end -> Simnet.Multihop.default_config ~t_end params)
+       [| 2e-3; 3e-3; 4e-3 |])
 
 let test_fera_queue_stays_small () =
   let p = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
@@ -1016,6 +1164,10 @@ let () =
           Alcotest.test_case "negative feedback" `Quick
             test_switch_negative_feedback_when_congested;
           Alcotest.test_case "pause thresholds" `Quick test_switch_pause_thresholds;
+          Alcotest.test_case "pause resume configurable" `Quick
+            test_switch_pause_resume_configurable;
+          Alcotest.test_case "pause resume validated" `Quick
+            test_switch_pause_resume_validated;
           Alcotest.test_case "egress pause" `Quick
             test_switch_egress_pause_stops_service;
           Alcotest.test_case "rejects control" `Quick
@@ -1065,23 +1217,34 @@ let () =
             test_workload_on_off_duty_cycle;
           Alcotest.test_case "incast bursts" `Quick test_workload_incast_bursts;
           Alcotest.test_case "stop" `Quick test_workload_stop;
+          Alcotest.test_case "zero rate rejected" `Quick
+            test_workload_zero_rate_rejected;
+          Alcotest.test_case "on/off mean_off = 0" `Quick
+            test_workload_on_off_always_on;
         ] );
+      qsuite "workload-props" [ prop_workload_seed_stable ];
       ( "fera",
         [
           Alcotest.test_case "fair convergence" `Quick
             test_fera_converges_to_fair_share;
           Alcotest.test_case "small queue" `Quick test_fera_queue_stays_small;
+          Alcotest.test_case "run_many deterministic" `Quick
+            test_fera_run_many_deterministic;
         ] );
       ( "multihop",
         [
           Alcotest.test_case "strict tagging" `Slow
             test_multihop_strict_tagging_protects;
           Alcotest.test_case "validation" `Quick test_multihop_validation;
+          Alcotest.test_case "run_many deterministic" `Slow
+            test_multihop_run_many_deterministic;
         ] );
       ( "e2cm",
         [
           Alcotest.test_case "controls + fairness" `Quick
             test_e2cm_controls_and_outperforms_bcn_fairness;
+          Alcotest.test_case "run_many deterministic" `Quick
+            test_e2cm_run_many_deterministic;
         ] );
       ( "measurements",
         [
