@@ -301,10 +301,8 @@ let run_perf () =
   rows
 
 (* JSON writer over the shared fragments in [Telemetry.Json]. *)
-let json_escape = Telemetry.Json.escape
-let json_float = Telemetry.Json.float
-
 let write_json path rows =
+  let module J = Telemetry.Json in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -312,11 +310,13 @@ let write_json path rows =
       output_string oc "{\n  \"kernels\": [\n";
       List.iteri
         (fun i e ->
-          Printf.fprintf oc
-            "    {\"name\": \"%s\", \"time_ns_per_run\": %s, \
-             \"minor_words_per_run\": %s}%s\n"
-            (json_escape e.name) (json_float e.time_ns)
-            (json_float e.minor_words)
+          Printf.fprintf oc "    %s%s\n"
+            (J.obj
+               [
+                 ("name", J.str e.name);
+                 ("time_ns_per_run", J.float e.time_ns);
+                 ("minor_words_per_run", J.float e.minor_words);
+               ])
             (if i = List.length rows - 1 then "" else ","))
         rows;
       output_string oc "  ]\n}\n");

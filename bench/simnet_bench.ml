@@ -262,6 +262,52 @@ let bcn_forwarding_words ~inject ~frames () =
   dw /. float_of_int (!seq - n0)
 
 (* ------------------------------------------------------------------ *)
+(* Result store: cold sweep vs warm rerun                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A small gi-grid of frame-dense BCN scenarios swept through a
+   throwaway content-addressed store: the cold pass simulates and
+   persists every point, the warm pass answers them all from disk
+   (hash + read + unmarshal per point). The ratio is the price of a
+   simulation over the price of a lookup, so the points mirror the
+   store's actual economics — long frame-dense runs (tens of ms of
+   simulation each) sampled coarsely enough that the stored payload
+   stays ~100 KB. *)
+let store_cold_and_warm ~points () =
+  let dir = Filename.temp_dir "dcecc-bench-store" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let cache = Store.Cache.open_ ~dir in
+      let sweep_params = Fluid.Params.with_flows params 10 in
+      let scenarios =
+        Array.init points (fun i ->
+            Simnet.Scenario.bcn ~t_end:0.1 ~sample_dt:2e-4
+              ~initial_rate:(Fluid.Params.equilibrium_rate sweep_params)
+              (Fluid.Params.with_gains
+                 ~gi:(2. +. (0.25 *. float_of_int i))
+                 sweep_params))
+      in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let cold, cold_s =
+        timed (fun () -> Store.Sweep.sweep ~cache ~jobs:1 scenarios)
+      in
+      Store.Cache.reset_stats cache;
+      let warm, warm_s =
+        timed (fun () -> Store.Sweep.sweep ~cache ~jobs:1 scenarios)
+      in
+      if Marshal.to_string cold [] <> Marshal.to_string warm [] then
+        failwith "store bench: warm sweep differs from cold";
+      if (Store.Cache.stats cache).Store.Cache.misses <> 0 then
+        failwith "store bench: warm sweep re-simulated";
+      (cold_s, warm_s))
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -285,6 +331,7 @@ let rows ~min_time ~t_end () =
   let fwd_words = forwarding_words_per_frame ~frames:100_000 () in
   let bcn_words = bcn_forwarding_words ~inject:false ~frames:100_000 () in
   let inj_words = bcn_forwarding_words ~inject:true ~frames:100_000 () in
+  let cold_s, warm_s = store_cold_and_warm ~points:8 () in
   [
     {
       name = "simnet_engine";
@@ -335,6 +382,15 @@ let rows ~min_time ~t_end () =
           ("injector_overhead_words", inj_words -. bcn_words);
         ];
     };
+    {
+      name = "store_warm_vs_cold";
+      metrics =
+        [
+          ("cold_s", cold_s);
+          ("warm_s", warm_s);
+          ("speedup", cold_s /. warm_s);
+        ];
+    };
   ]
 
 let print rows =
@@ -347,7 +403,9 @@ let print rows =
     rows;
   print_newline ()
 
+(* One row per line through the shared [Telemetry.Json] fragments. *)
 let write_json path rows =
+  let module J = Telemetry.Json in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -355,14 +413,11 @@ let write_json path rows =
       output_string oc "{\n  \"simnet\": [\n";
       List.iteri
         (fun i r ->
-          Printf.fprintf oc "    {\"name\": \"%s\""
-            (Telemetry.Json.escape r.name);
-          List.iter
-            (fun (k, v) ->
-              Printf.fprintf oc ", \"%s\": %s" (Telemetry.Json.escape k)
-                (Telemetry.Json.float v))
-            r.metrics;
-          Printf.fprintf oc "}%s\n"
+          let cells =
+            ("name", J.str r.name)
+            :: List.map (fun (k, v) -> (k, J.float v)) r.metrics
+          in
+          Printf.fprintf oc "    %s%s\n" (J.obj cells)
             (if i = List.length rows - 1 then "" else ","))
         rows;
       output_string oc "  ]\n}\n");

@@ -33,13 +33,26 @@ let split_commas s =
   |> List.filter (fun x -> x <> "")
 
 let sweep_run axes_str flap_period flap_duty t_end transient iters seed jobs
-    csv json =
+    csv json store_spec =
   let axes =
     List.map (axis_of_name ~flap_period ~flap_duty) (split_commas axes_str)
   in
   if axes = [] then invalid_arg "--axes must name at least one axis";
+  let cache = Cli_common.open_store store_spec in
+  let memo =
+    Option.map
+      (fun c ->
+        let m = Store.Sweep.resilience_memo c in
+        if store_spec.Cli_common.no_cache then
+          (* recompute every probe but still refresh the stored entries *)
+          { m with Faultnet.Resilience.lookup = (fun _ -> None) }
+        else m)
+      cache
+  in
   let scenarios = Faultnet.Resilience.paper_cases ~t_end ?transient () in
-  let margins = Faultnet.Resilience.sweep ?jobs ?iters ~seed scenarios axes in
+  let margins =
+    Faultnet.Resilience.sweep ?jobs ?iters ?memo ~seed scenarios axes
+  in
   Report.Table.print
     ~headers:[ "scenario"; "axis"; "margin"; "ceiling"; "violation"; "runs" ]
     ~rows:
@@ -69,6 +82,7 @@ let sweep_run axes_str flap_period flap_duty t_end transient iters seed jobs
           output_string oc (Faultnet.Resilience.to_json margins));
       Printf.printf "wrote %s\n" path
   | None -> ());
+  Cli_common.report_store store_spec cache;
   0
 
 (* ---------- smoke (CI) ---------- *)
@@ -251,6 +265,106 @@ let smoke_run () =
   Printf.printf "faults smoke ok\n";
   0
 
+(* ---------- store smoke (CI) ---------- *)
+
+(* End-to-end check of the content-addressed result store, in a
+   throwaway directory:
+     1. a cold scenario sweep persists every point; the warm rerun
+        executes zero simulations and is byte-identical, for any jobs;
+     2. resilience margins probe through the store: the warm sweep's
+        misses are zero and its CSV is byte-identical to the cold one;
+     3. a corrupted entry is detected on read, evicted, recomputed and
+        healed — never served. *)
+let store_smoke_run () =
+  let dir = Filename.temp_dir "dcecc-store-smoke" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let cache = Store.Cache.open_ ~dir in
+      (* 1. cold vs warm scenario sweep *)
+      let params = Fluid.Params.with_buffer Fluid.Params.default 15e6 in
+      let scenarios =
+        Array.init 3 (fun i ->
+            Simnet.Scenario.bcn ~t_end:2e-3
+              (Fluid.Params.with_gains ~gi:(2. +. float_of_int i) params))
+      in
+      let cold = Store.Sweep.sweep ~cache ~jobs:2 scenarios in
+      let s = Store.Cache.stats cache in
+      if s.Store.Cache.puts <> Array.length scenarios then
+        fail "cold sweep stored %d points (expected %d)" s.Store.Cache.puts
+          (Array.length scenarios);
+      Store.Cache.reset_stats cache;
+      let warm = Store.Sweep.sweep ~cache ~jobs:1 scenarios in
+      let s = Store.Cache.stats cache in
+      if s.Store.Cache.misses <> 0 || s.Store.Cache.puts <> 0 then
+        fail "warm sweep simulated (%d misses, %d puts; expected 0)"
+          s.Store.Cache.misses s.Store.Cache.puts;
+      if Marshal.to_string cold [] <> Marshal.to_string warm [] then
+        fail "warm sweep results differ from cold";
+      let warm4 = Store.Sweep.sweep ~cache ~jobs:4 scenarios in
+      if Marshal.to_string warm [] <> Marshal.to_string warm4 [] then
+        fail "warm sweep differs between --jobs 1 and --jobs 4";
+      Printf.printf
+        "scenario sweep ok (cold stored %d points; warm: 0 simulations, \
+         byte-identical at jobs 1 and 4)\n"
+        (Array.length scenarios);
+      (* 2. resilience margins memoized through the store *)
+      let memo = Store.Sweep.resilience_memo cache in
+      let cases = [ List.hd (Faultnet.Resilience.paper_cases ()) ] in
+      let axes = [ Faultnet.Resilience.Bcn_loss ] in
+      let margins () =
+        Faultnet.Resilience.to_csv
+          (Faultnet.Resilience.sweep ~jobs:1 ~iters:3 ~seed:11 ~memo cases axes)
+      in
+      Store.Cache.reset_stats cache;
+      let cold_csv = margins () in
+      let s = Store.Cache.stats cache in
+      if s.Store.Cache.puts = 0 then fail "cold margin sweep stored nothing";
+      Store.Cache.reset_stats cache;
+      let warm_csv = margins () in
+      let s = Store.Cache.stats cache in
+      if s.Store.Cache.misses <> 0 then
+        fail "warm margin sweep simulated (%d misses)" s.Store.Cache.misses;
+      if cold_csv <> warm_csv then
+        fail "warm margin table differs from cold";
+      Printf.printf "resilience memo ok (warm margins: 0 misses, CSV \
+                     byte-identical)\n";
+      (* 3. corruption is detected, evicted and recomputed *)
+      let hex = Store.Key.to_hex (Store.Key.of_scenario scenarios.(0)) in
+      let path =
+        List.fold_left Filename.concat dir
+          [ "objects"; String.sub hex 0 2; hex ]
+      in
+      let bytes =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let corrupted = Bytes.of_string bytes in
+      let last = Bytes.length corrupted - 1 in
+      Bytes.set corrupted last (Char.chr (Char.code (Bytes.get corrupted last) lxor 1));
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_bytes oc corrupted);
+      Store.Cache.reset_stats cache;
+      let healed = Store.Sweep.sweep ~cache ~jobs:1 scenarios in
+      let s = Store.Cache.stats cache in
+      if s.Store.Cache.evictions <> 1 then
+        fail "corrupted entry: %d evictions (expected 1)"
+          s.Store.Cache.evictions;
+      if s.Store.Cache.misses <> 1 || s.Store.Cache.puts <> 1 then
+        fail "corrupted entry: %d misses, %d puts (expected 1, 1)"
+          s.Store.Cache.misses s.Store.Cache.puts;
+      if Marshal.to_string healed [] <> Marshal.to_string warm [] then
+        fail "recomputed results differ after corruption";
+      Printf.printf
+        "corruption ok (entry evicted, recomputed, byte-identical)\n";
+      Printf.printf "store smoke ok\n";
+      0)
+
 (* ---------- commands ---------- *)
 
 let sweep_cmd =
@@ -269,9 +383,7 @@ let sweep_cmd =
          & info [ "flap-duty" ] ~docv:"F"
              ~doc:"Fraction of each period spent at dipped capacity.")
   in
-  let t_end =
-    Arg.(value & opt float 0.02 & info [ "t-end" ] ~doc:"Simulated seconds.")
-  in
+  let t_end = Cli_common.t_end_term () in
   let transient =
     Arg.(value & opt (some float) None
          & info [ "transient" ] ~docv:"S"
@@ -283,16 +395,7 @@ let sweep_cmd =
          & info [ "iters" ] ~docv:"N"
              ~doc:"Bisection refinement steps per cell (default 8).")
   in
-  let seed =
-    Arg.(value & opt int 0
-         & info [ "seed" ] ~docv:"S" ~doc:"Injector RNG seed.")
-  in
-  let jobs =
-    Arg.(value & opt (some int) None
-         & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Worker domains (default: DCECC_JOBS or the machine's \
-                   domain count). Results do not depend on this value.")
-  in
+  let seed = Cli_common.seed_term ~doc:"Injector RNG seed." in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE.csv" ~doc:"Write the margin table as CSV.")
@@ -308,7 +411,8 @@ let sweep_cmd =
              points across fault-severity axes.")
     Term.(
       const sweep_run $ axes $ flap_period $ flap_duty $ t_end $ transient
-      $ iters $ seed $ jobs $ csv $ json)
+      $ iters $ seed $ Cli_common.jobs_term $ csv $ json
+      $ Cli_common.store_term)
 
 let smoke_cmd =
   Cmd.v
@@ -320,11 +424,21 @@ let smoke_cmd =
              jobs-independent and seed-reproducible.")
     Term.(const smoke_run $ const ())
 
+let store_smoke_cmd =
+  Cmd.v
+    (Cmd.info "store-smoke"
+       ~doc:"CI check of the content-addressed result store: a warm \
+             sweep executes zero simulations and is byte-identical to \
+             the cold one for any --jobs; resilience margins memoize \
+             through it; a corrupted entry is detected, evicted and \
+             recomputed.")
+    Term.(const store_smoke_run $ const ())
+
 let cmd =
   Cmd.group
     (Cmd.info "bcn_faults"
        ~doc:"Deterministic fault injection: resilience margins of BCN \
              strong stability.")
-    [ sweep_cmd; smoke_cmd ]
+    [ sweep_cmd; smoke_cmd; store_smoke_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,13 @@
    Bernoulli frame sampling (Runner.replicate), fanned out over --jobs
    worker domains; the report then shows per-replica rows plus
    mean +/- stddev aggregates. Results are byte-identical for any
-   --jobs value. *)
+   --jobs value.
+
+   With --store DIR the run is routed through the content-addressed
+   result store: the flags compile to a Scenario whose canonical
+   encoding is the cache key, and an identical invocation is answered
+   from DIR without simulating. --trace/--metrics need a live probe on
+   the run, so they bypass the store. *)
 
 open Cmdliner
 
@@ -48,77 +54,7 @@ let report_replicas seeds results =
   agg "fairness" (fun r -> fairness r.final_rates);
   agg "drops" (fun r -> float_of_int r.drops)
 
-let with_out path f =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-
-let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
-    pause_resume initial_rate replicas seed jobs plot csv trace metrics
-    mk_fault =
-  let p =
-    Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer ~gi ~gd ~ru ~w ~pm ()
-  in
-  let base = Simnet.Runner.default_config ~t_end p in
-  let cfg =
-    {
-      base with
-      Simnet.Runner.mode =
-        (match mode with
-        | "literal" -> Simnet.Source.Literal
-        | "zoh" -> Simnet.Source.Zoh_fluid
-        | other -> invalid_arg ("unknown mode: " ^ other));
-      broadcast_feedback = broadcast;
-      sampling =
-        (if timer then
-           Simnet.Switch.Timer (Simnet.Switch.fluid_sampling_period p)
-         else Simnet.Switch.Deterministic);
-      enable_pause = not no_pause;
-      pause_resume;
-      initial_rate =
-        (match initial_rate with
-        | Some r -> r
-        | None -> base.Simnet.Runner.initial_rate);
-    }
-  in
-  if replicas < 1 then invalid_arg "--replicas must be >= 1";
-  let fault_inj = Option.map Faultnet.Injector.create (mk_fault t_end) in
-  if Option.is_some fault_inj && replicas > 1 then
-    invalid_arg
-      "--fault-* perturbs a single deterministic run; it cannot be combined \
-       with --replicas > 1";
-  let cfg =
-    match fault_inj with
-    | None -> cfg
-    | Some inj -> Faultnet.Injector.attach inj cfg
-  in
-  if replicas > 1 then begin
-    if trace <> None then
-      invalid_arg
-        "--trace records a single run's flight recorder; it cannot be \
-         combined with --replicas > 1";
-    let seeds = Array.init replicas (fun i -> seed + i) in
-    let results, merged =
-      if metrics = None then (Simnet.Runner.replicate ?jobs ~seeds cfg, None)
-      else begin
-        let rs, m = Simnet.Runner.replicate_instrumented ?jobs ~seeds cfg in
-        (rs, Some m)
-      end
-    in
-    report_replicas seeds results;
-    (match (metrics, merged) with
-    | Some path, Some m ->
-        with_out path (Telemetry.Metrics.write_json m);
-        Printf.printf "wrote %s (metrics merged across %d replicas)\n" path
-          replicas
-    | _ -> ());
-    0
-  end
-  else begin
-  let probe =
-    if trace = None && metrics = None then Telemetry.Probe.disabled
-    else Telemetry.Probe.create ~capacity:(1 lsl 20) ()
-  in
-  let r = Simnet.Runner.run ~probe cfg in
+let report_single (r : Simnet.Runner.result) =
   let open Simnet.Runner in
   Format.printf
     "@[<v>events processed: %d@,\
@@ -132,156 +68,178 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
     r.utilization r.drops
     (Report.Table.si r.dropped_bits)
     r.bcn_positive r.bcn_negative r.sampled_frames r.pause_on_events
-    (fairness r.final_rates);
-  (match fault_inj with
-  | None -> ()
-  | Some inj ->
-      let open Faultnet in
-      Format.printf
-        "@[<v>faults (%s):@,\
-        \  control frames seen: %d BCN+, %d BCN-, %d PAUSE@,\
-        \  dropped: %d BCN+, %d BCN-, %d PAUSE@,\
-        \  delayed: %d (max added %.3g s)@,\
-        \  capacity flaps: %d; blackout toggles: %d@]@."
-        (Plan.describe (Injector.plan inj))
-        (Injector.seen inj Plan.Bcn_positive)
-        (Injector.seen inj Plan.Bcn_negative)
-        (Injector.seen inj Plan.Pause)
-        (Injector.dropped inj Plan.Bcn_positive)
-        (Injector.dropped inj Plan.Bcn_negative)
-        (Injector.dropped inj Plan.Pause)
-        (Injector.delayed inj) (Injector.max_added_delay inj)
-        (Injector.capacity_flaps inj)
-        (Injector.blackout_toggles inj));
+    (fairness r.final_rates)
+
+let plot_and_csv ~plot ~csv (r : Simnet.Runner.result) =
   if plot then begin
     Format.printf "@.queue occupancy (bit):@.%s@."
       (Report.Ascii_plot.render ~width:70 ~height:16
-         [ Report.Ascii_plot.of_series "q(t)" r.queue ]);
+         [ Report.Ascii_plot.of_series "q(t)" r.Simnet.Runner.queue ]);
     Format.printf "aggregate source rate (bit/s):@.%s@."
       (Report.Ascii_plot.render ~width:70 ~height:12
-         [ Report.Ascii_plot.of_series "sum r_i(t)" r.agg_rate ])
+         [ Report.Ascii_plot.of_series "sum r_i(t)" r.Simnet.Runner.agg_rate ])
   end;
-  (match csv with
-  | Some path -> Report.Csv.write_series ~path ~name:"queue_bits" r.queue
-  | None -> ());
-  (match trace with
+  match csv with
   | Some path ->
-      let rec_ = Telemetry.Probe.recorder probe in
-      with_out path (Telemetry.Recorder.write_jsonl rec_);
-      Printf.printf "wrote %s (%d events retained, %d recorded)\n" path
-        (Telemetry.Recorder.length rec_)
-        (Telemetry.Recorder.total rec_)
-  | None -> ());
-  (match metrics with
-  | Some path ->
-      with_out path (Telemetry.Metrics.write_json (Telemetry.Probe.metrics probe));
-      Printf.printf "wrote %s\n" path
-  | None -> ());
-  0
-  end
+      Report.Csv.write_series ~path ~name:"queue_bits" r.Simnet.Runner.queue
+  | None -> ()
 
-(* --fault-* flags compose into a Faultnet.Plan: the term yields a
-   [t_end -> Plan.t option] because the square-wave flap schedule needs
-   the horizon. *)
-let fault_term =
-  let mk seed bcn_loss pos_loss neg_loss pause_loss delay jitter reorder flap
-      markov blackout blackout_reset t_end =
-    let open Faultnet.Plan in
-    let bernoulli = function
-      | None -> None
-      | Some p -> Some (Bernoulli p)
-    in
-    let pos = bernoulli (match pos_loss with Some _ -> pos_loss | None -> bcn_loss) in
-    let neg = bernoulli (match neg_loss with Some _ -> neg_loss | None -> bcn_loss) in
-    let p = with_seed none seed in
-    let p = match pos with Some l -> with_bcn_loss ~pos:l p | None -> p in
-    let p = match neg with Some l -> with_bcn_loss ~neg:l p | None -> p in
-    let p =
-      match bernoulli pause_loss with
-      | Some l -> with_pause_loss p l
-      | None -> p
-    in
-    let p =
-      if delay > 0. || jitter > 0. then
-        with_delay ~reorder ~jitter p ~fixed:delay
-      else p
-    in
-    let p =
-      match flap with
-      | Some (period, duty, depth) ->
-          with_capacity p (square_flaps ~period ~duty ~depth ~t_end)
-      | None -> p
-    in
-    let p =
-      match markov with
-      | Some (mean_up, mean_down, factor) ->
-          with_capacity p (Flap_markov { mean_up; mean_down; factor })
-      | None -> p
-    in
-    let p =
-      match blackout with
-      | Some (start, duration) ->
-          with_blackout ~reset:blackout_reset p ~start ~duration
-      | None -> p
-    in
-    if is_none p then None else Some p
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* The flag set compiles to a first-class scenario; both the store path
+   and the legacy direct path derive their execution configs from it,
+   so the two paths run the same simulation. *)
+let scenario_of_flags p ~t_end ~mode ~timer ~broadcast ~no_pause ~pause_resume
+    ~initial_rate ~replicas ~seed ~fault =
+  let sampling =
+    (* replicas need decorrelation, which only Bernoulli sampling
+       provides; this mirrors Runner.replicate's unconditional
+       re-seeding of the sampler *)
+    if replicas > 1 then Simnet.Scenario.Bernoulli
+    else if timer then
+      Simnet.Scenario.Timer (Simnet.Switch.fluid_sampling_period p)
+    else Simnet.Scenario.Deterministic
   in
-  let seed =
-    Arg.(value & opt int 0
-         & info [ "fault-seed" ] ~docv:"S" ~doc:"Fault-injector RNG seed.")
+  let s =
+    Simnet.Scenario.bcn ~t_end
+      ~mode:
+        (match mode with
+        | "literal" -> Simnet.Source.Literal
+        | "zoh" -> Simnet.Source.Zoh_fluid
+        | other -> invalid_arg ("unknown mode: " ^ other))
+      ~sampling ~broadcast_feedback:broadcast ~enable_pause:(not no_pause)
+      ~pause_resume ?initial_rate p
   in
-  let prob name doc =
-    Arg.(value & opt (some float) None & info [ name ] ~docv:"P" ~doc)
+  let s = Simnet.Scenario.with_seed s seed in
+  let s = Simnet.Scenario.with_replicas s replicas in
+  match fault with
+  | Some plan -> Simnet.Scenario.with_fault s plan
+  | None -> s
+
+let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
+    pause_resume initial_rate replicas seed jobs plot csv trace metrics
+    store_spec mk_fault =
+  let p =
+    Fluid.Params.make ~n_flows:n ~capacity:c ~q0 ~buffer ~gi ~gd ~ru ~w ~pm ()
   in
-  let bcn_loss = prob "fault-bcn-loss" "Drop each BCN frame (either sign) with probability $(docv)." in
-  let pos_loss = prob "fault-bcn-pos-loss" "Drop positive BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
-  let neg_loss = prob "fault-bcn-neg-loss" "Drop negative BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
-  let pause_loss = prob "fault-pause-loss" "Drop PAUSE frames with probability $(docv)." in
-  let delay =
-    Arg.(value & opt float 0.
-         & info [ "fault-delay" ] ~docv:"S"
-             ~doc:"Extra fixed delay added to every control frame, seconds.")
+  if replicas < 1 then invalid_arg "--replicas must be >= 1";
+  let fault = mk_fault t_end in
+  if Option.is_some fault && replicas > 1 then
+    invalid_arg
+      "--fault-* perturbs a single deterministic run; it cannot be combined \
+       with --replicas > 1";
+  let scenario =
+    scenario_of_flags p ~t_end ~mode ~timer ~broadcast ~no_pause ~pause_resume
+      ~initial_rate ~replicas ~seed ~fault
   in
-  let jitter =
-    Arg.(value & opt float 0.
-         & info [ "fault-jitter" ] ~docv:"S"
-             ~doc:"Uniform [0,$(docv)) random extra control-frame delay.")
+  let seeds = Array.init replicas (fun i -> seed + i) in
+  let cache =
+    if trace = None && metrics = None then Cli_common.open_store store_spec
+    else begin
+      if store_spec.Cli_common.dir <> None then
+        Printf.printf
+          "note: --trace/--metrics need a live probe on the run; --store is \
+           bypassed\n";
+      None
+    end
   in
-  let reorder =
-    Arg.(value & flag
-         & info [ "fault-reorder" ]
-             ~doc:"Let jittered control frames race (default: delivery is \
-                   monotonised, preserving emission order).")
-  in
-  let triple = Arg.(t3 ~sep:':' float float float) in
-  let flap =
-    Arg.(value & opt (some triple) None
-         & info [ "fault-flap" ] ~docv:"PERIOD:DUTY:DEPTH"
-             ~doc:"Square-wave capacity flaps: every PERIOD seconds dip to \
-                   (1-DEPTH) of nominal for DUTY*PERIOD seconds.")
-  in
-  let markov =
-    Arg.(value & opt (some triple) None
-         & info [ "fault-markov-flap" ] ~docv:"UP:DOWN:FACTOR"
-             ~doc:"Markov on/off capacity flaps: nominal for ~UP seconds, \
-                   FACTOR*nominal for ~DOWN seconds (exponential holding \
-                   times).")
-  in
-  let blackout =
-    Arg.(value & opt (some (t2 ~sep:':' float float)) None
-         & info [ "fault-blackout" ] ~docv:"START:DURATION"
-             ~doc:"Switch the congestion point off during \
-                   [START, START+DURATION).")
-  in
-  let blackout_reset =
-    Arg.(value & flag
-         & info [ "fault-blackout-reset" ]
-             ~doc:"Forget sampler state when the blackout ends (rebooted \
-                   congestion point).")
-  in
-  Term.(
-    const mk $ seed $ bcn_loss $ pos_loss $ neg_loss $ pause_loss $ delay
-    $ jitter $ reorder $ flap $ markov $ blackout $ blackout_reset)
+  match cache with
+  | Some _ ->
+      (* store path: the scenario executes (or is answered) through the
+         content-addressed cache *)
+      (match
+         Store.Sweep.memo_run ?cache ~refresh:store_spec.Cli_common.no_cache
+           ?jobs scenario
+       with
+      | Store.Sweep.Bcn_results results ->
+          if replicas > 1 then report_replicas seeds results
+          else begin
+            report_single results.(0);
+            if Option.is_some fault then
+              Printf.printf
+                "note: injector counters are per-execution state and are \
+                 not stored; rerun without --store to see them\n";
+            plot_and_csv ~plot ~csv results.(0)
+          end
+      | _ -> assert false);
+      Cli_common.report_store store_spec cache;
+      0
+  | None ->
+      let fault_inj = Option.map Faultnet.Injector.create fault in
+      let cfg =
+        let base = Simnet.Scenario.to_runner_config scenario in
+        match fault_inj with
+        | None -> base
+        | Some inj -> Faultnet.Injector.attach inj base
+      in
+      if replicas > 1 then begin
+        if trace <> None then
+          invalid_arg
+            "--trace records a single run's flight recorder; it cannot be \
+             combined with --replicas > 1";
+        let results, merged =
+          if metrics = None then
+            (Simnet.Runner.replicate ?jobs ~seeds cfg, None)
+          else begin
+            let rs, m = Simnet.Runner.replicate_instrumented ?jobs ~seeds cfg in
+            (rs, Some m)
+          end
+        in
+        report_replicas seeds results;
+        (match (metrics, merged) with
+        | Some path, Some m ->
+            with_out path (Telemetry.Metrics.write_json m);
+            Printf.printf "wrote %s (metrics merged across %d replicas)\n" path
+              replicas
+        | _ -> ());
+        0
+      end
+      else begin
+        let probe =
+          if trace = None && metrics = None then Telemetry.Probe.disabled
+          else Telemetry.Probe.create ~capacity:(1 lsl 20) ()
+        in
+        let r = Simnet.Runner.run ~probe cfg in
+        report_single r;
+        (match fault_inj with
+        | None -> ()
+        | Some inj ->
+            let open Faultnet in
+            Format.printf
+              "@[<v>faults (%s):@,\
+              \  control frames seen: %d BCN+, %d BCN-, %d PAUSE@,\
+              \  dropped: %d BCN+, %d BCN-, %d PAUSE@,\
+              \  delayed: %d (max added %.3g s)@,\
+              \  capacity flaps: %d; blackout toggles: %d@]@."
+              (Plan.describe (Injector.plan inj))
+              (Injector.seen inj Plan.Bcn_positive)
+              (Injector.seen inj Plan.Bcn_negative)
+              (Injector.seen inj Plan.Pause)
+              (Injector.dropped inj Plan.Bcn_positive)
+              (Injector.dropped inj Plan.Bcn_negative)
+              (Injector.dropped inj Plan.Pause)
+              (Injector.delayed inj) (Injector.max_added_delay inj)
+              (Injector.capacity_flaps inj)
+              (Injector.blackout_toggles inj));
+        plot_and_csv ~plot ~csv r;
+        (match trace with
+        | Some path ->
+            let rec_ = Telemetry.Probe.recorder probe in
+            with_out path (Telemetry.Recorder.write_jsonl rec_);
+            Printf.printf "wrote %s (%d events retained, %d recorded)\n" path
+              (Telemetry.Recorder.length rec_)
+              (Telemetry.Recorder.total rec_)
+        | None -> ());
+        (match metrics with
+        | Some path ->
+            with_out path
+              (Telemetry.Metrics.write_json (Telemetry.Probe.metrics probe));
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        0
+      end
 
 let cmd =
   let open Term in
@@ -294,7 +252,7 @@ let cmd =
   let ru = Arg.(value & opt float 8e6 & info [ "ru" ] ~doc:"Ru, bit/s.") in
   let w = Arg.(value & opt float 2. & info [ "w" ] ~doc:"Sigma weight w.") in
   let pm = Arg.(value & opt float 0.01 & info [ "pm" ] ~doc:"Sampling probability.") in
-  let t_end = Arg.(value & opt float 0.02 & info [ "t-end" ] ~doc:"Simulated seconds.") in
+  let t_end = Cli_common.t_end_term () in
   let mode =
     Arg.(value & opt string "literal"
          & info [ "mode" ] ~doc:"Reaction-point semantics: literal | zoh.")
@@ -319,16 +277,7 @@ let cmd =
                    sampling; 1 keeps the single deterministic run.")
   in
   let seed =
-    Arg.(value & opt int 0
-         & info [ "seed" ] ~docv:"S"
-             ~doc:"Base RNG seed; replica i uses seed S+i.")
-  in
-  let jobs =
-    Arg.(value & opt (some int) None
-         & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Worker domains for --replicas (default: DCECC_JOBS or \
-                   the machine's domain count). Results do not depend on \
-                   this value.")
+    Cli_common.seed_term ~doc:"Base RNG seed; replica i uses seed S+i."
   in
   let plot = Arg.(value & flag & info [ "plot" ] ~doc:"ASCII plots of queue and rate.") in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the queue trace to CSV.") in
@@ -354,6 +303,7 @@ let cmd =
     (Cmd.info "bcn_sim" ~doc)
     (const run $ flows $ capacity $ q0 $ buffer $ gi $ gd $ ru $ w $ pm $ t_end
      $ mode $ broadcast $ timer $ no_pause $ pause_resume $ initial_rate
-     $ replicas $ seed $ jobs $ plot $ csv $ trace $ metrics $ fault_term)
+     $ replicas $ seed $ Cli_common.jobs_term $ plot $ csv $ trace $ metrics
+     $ Cli_common.store_term $ Cli_common.fault_term)
 
 let () = exit (Cmd.eval' cmd)

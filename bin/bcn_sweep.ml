@@ -42,9 +42,10 @@ let write_json ~path ~header ~rows =
         rows;
       output_string oc "]\n")
 
-let run param lo hi steps log_scale buffer csv json jobs =
+let run param lo hi steps log_scale buffer csv json jobs store_spec =
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
+  let cache = Cli_common.open_store store_spec in
   let value i =
     let f = float_of_int i /. float_of_int (steps - 1) in
     if log_scale then lo *. ((hi /. lo) ** f) else lo +. ((hi -. lo) *. f)
@@ -55,9 +56,7 @@ let run param lo hi steps log_scale buffer csv json jobs =
       "numeric_min_q"; "strongly_stable"; "oscillations"; "decay_per_cycle";
     ]
   in
-  let row i =
-    let v = value i in
-    let p = apply base param v in
+  let compute_row v p =
     let verdict = Fluid.Stability.analyze p in
     let t = Fluid.Transient.measure p in
     [
@@ -75,6 +74,30 @@ let run param lo hi steps log_scale buffer csv json jobs =
       | Some d -> Printf.sprintf "%.6f" d
       | None -> "");
     ]
+  in
+  let row i =
+    let v = value i in
+    let p = apply base param v in
+    match cache with
+    | None -> compute_row v p
+    | Some c ->
+        (* one cache entry per grid point, keyed by the full resolved
+           parameter set (the canonical Scenario encoding) plus the raw
+           sweep coordinate, so --log/--steps changes that land on the
+           same point re-use its row *)
+        let material =
+          "bcn_sweep.row@v1\nparam=" ^ param ^ "\n"
+          ^ Simnet.Scenario.encode_params p
+          ^ "\n"
+          ^ Telemetry.Json.float_full v
+        in
+        let key = Store.Key.of_material material in
+        if store_spec.Cli_common.no_cache then begin
+          let r = compute_row v p in
+          Store.Cache.store_value c key r;
+          r
+        end
+        else Store.Cache.memo c key (fun () -> compute_row v p)
   in
   (* Each grid point is an independent analyze+measure; shard the grid
      across the pool in deterministic chunks (the table is identical to a
@@ -96,6 +119,7 @@ let run param lo hi steps log_scale buffer csv json jobs =
       write_json ~path ~header ~rows;
       Printf.printf "\nwrote %s\n" path
   | None -> ());
+  Cli_common.report_store store_spec cache;
   0
 
 let cmd =
@@ -121,27 +145,9 @@ let cmd =
       & opt (some string) None
       & info [ "json" ] ~doc:"Write the table to JSON.")
   in
-  let jobs =
-    let pos_int =
-      let parse s =
-        match int_of_string_opt s with
-        | Some n when n >= 1 -> Ok n
-        | Some _ | None ->
-            Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
-      in
-      Arg.conv (parse, Format.pp_print_int)
-    in
-    Arg.(
-      value
-      & opt (some pos_int) None
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Worker domains for the sweep (default: \\$(b,DCECC_JOBS) or the \
-             recommended domain count; 1 = sequential).")
-  in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
     (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv $ json
-   $ jobs)
+   $ Cli_common.jobs_term $ Cli_common.store_term)
 
 let () = exit (Cmd.eval' cmd)

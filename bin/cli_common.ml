@@ -1,0 +1,185 @@
+(* Flag vocabulary shared by the BCN command-line tools. Every term
+   here used to be copy-pasted per binary (jobs/seed/t-end, the whole
+   --fault-* family) or would have been (the --store trio); one module
+   keeps the spellings, docs and defaults identical everywhere. *)
+
+open Cmdliner
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_term =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: $(b,DCECC_JOBS) or the machine's \
+           recommended domain count; 1 = sequential). Results do not \
+           depend on this value.")
+
+let seed_term ~doc = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc)
+
+let t_end_term ?(default = 0.02) () =
+  Arg.(value & opt float default & info [ "t-end" ] ~doc:"Simulated seconds.")
+
+(* ---------- the content-addressed result store ---------- *)
+
+type store_spec = { dir : string option; no_cache : bool; stats : bool }
+
+let store_term =
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result store: identical scenario + code \
+             version pairs are answered from $(docv) without simulating, \
+             and finished points persist immediately, so a killed sweep \
+             resumes where it stopped.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "With --store: skip cache reads, recompute everything, and \
+             refresh the stored entries.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "store-stats" ]
+          ~doc:
+            "After the run, print the store's hit/miss/put/eviction \
+             counters (and entry count) as JSON.")
+  in
+  Term.(
+    const (fun dir no_cache stats -> { dir; no_cache; stats })
+    $ dir $ no_cache $ stats)
+
+let open_store spec = Option.map (fun dir -> Store.Cache.open_ ~dir) spec.dir
+
+(* The counters travel through the shared telemetry registry, so the
+   printed JSON has the same shape as every other metrics snapshot. *)
+let report_store spec cache =
+  match cache with
+  | Some c when spec.stats ->
+      let mx = Telemetry.Metrics.create () in
+      Store.Cache.publish_metrics c mx;
+      Telemetry.Metrics.add mx "store.entries" (Store.Cache.entries c);
+      Printf.printf "store %s: %s\n" (Store.Cache.root c)
+        (Telemetry.Metrics.to_json_string mx)
+  | _ -> ()
+
+(* ---------- fault plans ---------- *)
+
+(* --fault-* flags compose into a Simnet.Fault_plan: the term yields a
+   [t_end -> Fault_plan.t option] because the square-wave flap schedule
+   needs the horizon. *)
+let fault_term =
+  let mk seed bcn_loss pos_loss neg_loss pause_loss delay jitter reorder flap
+      markov blackout blackout_reset t_end =
+    let open Simnet.Fault_plan in
+    let bernoulli = function
+      | None -> None
+      | Some p -> Some (Bernoulli p)
+    in
+    let pos = bernoulli (match pos_loss with Some _ -> pos_loss | None -> bcn_loss) in
+    let neg = bernoulli (match neg_loss with Some _ -> neg_loss | None -> bcn_loss) in
+    let p = with_seed none seed in
+    let p = match pos with Some l -> with_bcn_loss ~pos:l p | None -> p in
+    let p = match neg with Some l -> with_bcn_loss ~neg:l p | None -> p in
+    let p =
+      match bernoulli pause_loss with
+      | Some l -> with_pause_loss p l
+      | None -> p
+    in
+    let p =
+      if delay > 0. || jitter > 0. then
+        with_delay ~reorder ~jitter p ~fixed:delay
+      else p
+    in
+    let p =
+      match flap with
+      | Some (period, duty, depth) ->
+          with_capacity p (square_flaps ~period ~duty ~depth ~t_end)
+      | None -> p
+    in
+    let p =
+      match markov with
+      | Some (mean_up, mean_down, factor) ->
+          with_capacity p (Flap_markov { mean_up; mean_down; factor })
+      | None -> p
+    in
+    let p =
+      match blackout with
+      | Some (start, duration) ->
+          with_blackout ~reset:blackout_reset p ~start ~duration
+      | None -> p
+    in
+    if is_none p then None else Some p
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "fault-seed" ] ~docv:"S" ~doc:"Fault-injector RNG seed.")
+  in
+  let prob name doc =
+    Arg.(value & opt (some float) None & info [ name ] ~docv:"P" ~doc)
+  in
+  let bcn_loss = prob "fault-bcn-loss" "Drop each BCN frame (either sign) with probability $(docv)." in
+  let pos_loss = prob "fault-bcn-pos-loss" "Drop positive BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
+  let neg_loss = prob "fault-bcn-neg-loss" "Drop negative BCN frames with probability $(docv) (overrides --fault-bcn-loss)." in
+  let pause_loss = prob "fault-pause-loss" "Drop PAUSE frames with probability $(docv)." in
+  let delay =
+    Arg.(value & opt float 0.
+         & info [ "fault-delay" ] ~docv:"S"
+             ~doc:"Extra fixed delay added to every control frame, seconds.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "fault-jitter" ] ~docv:"S"
+             ~doc:"Uniform [0,$(docv)) random extra control-frame delay.")
+  in
+  let reorder =
+    Arg.(value & flag
+         & info [ "fault-reorder" ]
+             ~doc:"Let jittered control frames race (default: delivery is \
+                   monotonised, preserving emission order).")
+  in
+  let triple = Arg.(t3 ~sep:':' float float float) in
+  let flap =
+    Arg.(value & opt (some triple) None
+         & info [ "fault-flap" ] ~docv:"PERIOD:DUTY:DEPTH"
+             ~doc:"Square-wave capacity flaps: every PERIOD seconds dip to \
+                   (1-DEPTH) of nominal for DUTY*PERIOD seconds.")
+  in
+  let markov =
+    Arg.(value & opt (some triple) None
+         & info [ "fault-markov-flap" ] ~docv:"UP:DOWN:FACTOR"
+             ~doc:"Markov on/off capacity flaps: nominal for ~UP seconds, \
+                   FACTOR*nominal for ~DOWN seconds (exponential holding \
+                   times).")
+  in
+  let blackout =
+    Arg.(value & opt (some (t2 ~sep:':' float float)) None
+         & info [ "fault-blackout" ] ~docv:"START:DURATION"
+             ~doc:"Switch the congestion point off during \
+                   [START, START+DURATION).")
+  in
+  let blackout_reset =
+    Arg.(value & flag
+         & info [ "fault-blackout-reset" ]
+             ~doc:"Forget sampler state when the blackout ends (rebooted \
+                   congestion point).")
+  in
+  Term.(
+    const mk $ seed $ bcn_loss $ pos_loss $ neg_loss $ pause_loss $ delay
+    $ jitter $ reorder $ flap $ markov $ blackout $ blackout_reset)

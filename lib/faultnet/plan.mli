@@ -1,110 +1,11 @@
-(** Composable, seeded fault plans.
+(** Deprecated spelling of {!Simnet.Fault_plan}, kept so existing
+    [Faultnet.Plan] callers compile unchanged. The plan description
+    moved into [simnet] so the first-class [Simnet.Scenario] can embed a
+    fault plan in its canonical encoding; this alias re-exports every
+    type (with equality — [Faultnet.Plan.t] {e is}
+    [Simnet.Fault_plan.t]) and value. New code should prefer
+    [Simnet.Fault_plan]. *)
 
-    A plan is a pure description of how a run's control plane and links
-    are to be degraded: which control-frame classes lose frames (and
-    how), what extra delay control frames see, how the bottleneck
-    capacity flaps, and whether the congestion point blacks out. The
-    plan carries its own [seed]; everything stochastic in the resulting
-    {!Injector} is derived from that seed through split RNG states, so a
-    plan determines a run's perturbation byte-for-byte — independent of
-    host, of [--jobs] fan-out, and of any other run in flight. *)
-
-(** Control-frame class the switch emits. Codes (see {!code}) match the
-    [i] payload of the telemetry fault events. *)
-type frame_class = Bcn_positive | Bcn_negative | Pause
-
-val code : frame_class -> int
-(** [Bcn_positive] = 0, [Bcn_negative] = 1, [Pause] = 2. *)
-
-val class_name : frame_class -> string
-(** ["bcn+"], ["bcn-"], ["pause"]. *)
-
-(** Loss process applied per frame of one class. *)
-type loss =
-  | Bernoulli of float  (** iid drop probability in [0, 1] *)
-  | Burst of { p_enter : float; p_exit : float; p_drop : float }
-      (** Gilbert–Elliott: a good/bad two-state chain advanced once per
-          frame of the class ([p_enter]: good→bad, [p_exit]: bad→good);
-          frames seen in the bad state drop with probability [p_drop].
-          The chain starts good. *)
-
-(** Extra delay added to every surviving control frame, on top of the
-    runner's propagation delay. *)
-type delay = {
-  fixed : float;  (** deterministic component, seconds, >= 0 *)
-  jitter : float;  (** uniform [0, jitter) random component, >= 0 *)
-  reorder : bool;
-      (** [false] (default): delivery times are monotonised so jitter
-          never reorders control frames relative to emission order;
-          [true]: frames race. *)
-}
-
-(** Bottleneck egress-capacity fault. Factors are multiples of the
-    switch's configured capacity. *)
-type capacity_fault =
-  | Flap_schedule of (float * float) list
-      (** [(time, factor)] steps, applied in list order; times must be
-          nonnegative and nondecreasing, factors in (0, 1]. *)
-  | Flap_markov of { mean_up : float; mean_down : float; factor : float }
-      (** Two-state Markov (exponential holding times): full capacity
-          for ~[mean_up] seconds, then [factor]·capacity for
-          ~[mean_down] seconds, repeating. Starts up. *)
-
-(** Congestion-point blackout: BCN generation is switched off during
-    [[start, start + duration)]. With [reset], the sampler state is
-    forgotten at recovery, as a rebooted congestion point would. *)
-type blackout = { start : float; duration : float; reset : bool }
-
-type t = {
-  seed : int;
-  bcn_pos_loss : loss option;
-  bcn_neg_loss : loss option;
-  pause_loss : loss option;
-  delay : delay option;
-  capacity : capacity_fault option;
-  blackout : blackout option;
-}
-
-val none : t
-(** The empty plan ([seed = 0], every fault [None]). An injector built
-    from it passes every frame through untouched. *)
-
-val is_none : t -> bool
-(** True when every fault component is [None] (seed ignored). *)
-
-(** {1 Builders} — each returns an updated copy; chain freely. *)
-
-val with_seed : t -> int -> t
-val with_bcn_loss : ?pos:loss -> ?neg:loss -> t -> t
-(** Omitted sides keep their current spec. *)
-
-val with_pause_loss : t -> loss -> t
-val with_delay : ?reorder:bool -> ?jitter:float -> t -> fixed:float -> t
-(** Defaults: [jitter = 0.], [reorder = false]. *)
-
-val with_capacity : t -> capacity_fault -> t
-val with_blackout : ?reset:bool -> t -> start:float -> duration:float -> t
-(** Default [reset = false]. *)
-
-val loss_of_severity : float -> loss
-(** [Bernoulli] clamped into [0, 1] — the loss axis the resilience
-    bisection sweeps. *)
-
-val square_flaps :
-  period:float -> duty:float -> depth:float -> t_end:float -> capacity_fault
-(** Periodic square-wave flaps as a {!Flap_schedule}: starting at
-    [t = period] and repeating every [period] seconds until [t_end], the
-    capacity dips to [(1 − depth)] of nominal for [duty·period] seconds.
-    [depth] is clamped so the dipped capacity stays ≥ 5%% of nominal.
-    Raises [Invalid_argument] unless [period > 0] and [duty ∈ (0, 1]]. *)
-
-val validate : t -> t
-(** Returns the plan unchanged, or raises [Invalid_argument] naming the
-    offending component: probabilities outside [0, 1], negative delays,
-    non-positive Markov holding times, flap factors outside (0, 1],
-    unordered flap schedules, negative blackout windows. *)
-
-val describe : t -> string
-(** One-line human summary, e.g.
-    ["seed=7 bcn+loss=bernoulli(0.2) delay=2e-06+1e-06j flaps=markov(...)"].
-    ["none"] for the empty plan. *)
+include module type of struct
+  include Simnet.Fault_plan
+end

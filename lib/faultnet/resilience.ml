@@ -64,25 +64,81 @@ let plan_of axis ~severity ~seed ~t_end =
 
 let baseline sc = Simnet.Runner.run sc.cfg
 
-let check sc ~baseline_utilization (result : Simnet.Runner.result) =
-  let buffer = sc.cfg.Simnet.Runner.params.Fluid.Params.buffer in
+type probe_summary = {
+  utilization : float;
+  drops : int;
+  q_tail_max : float;
+}
+
+type memo = {
+  lookup : string -> probe_summary option;
+  save : string -> probe_summary -> unit;
+}
+
+let summarize sc (result : Simnet.Runner.result) =
   let tail = Numerics.Series.tail_from result.Simnet.Runner.queue sc.transient in
-  let q_max =
+  let q_tail_max =
     if Numerics.Series.is_empty tail then 0.
     else snd (Numerics.Series.argmax tail)
   in
-  if result.Simnet.Runner.drops > 0 || q_max >= buffer then Some Overflow
-  else if
-    result.Simnet.Runner.utilization
-    < sc.underflow_frac *. baseline_utilization
-  then Some Underflow
+  {
+    utilization = result.Simnet.Runner.utilization;
+    drops = result.Simnet.Runner.drops;
+    q_tail_max;
+  }
+
+let check_summary sc ~baseline_utilization (s : probe_summary) =
+  let buffer = sc.cfg.Simnet.Runner.params.Fluid.Params.buffer in
+  if s.drops > 0 || s.q_tail_max >= buffer then Some Overflow
+  else if s.utilization < sc.underflow_frac *. baseline_utilization then
+    Some Underflow
   else None
 
-let probe sc axis ~seed ~baseline_utilization ~severity =
+let check sc ~baseline_utilization result =
+  check_summary sc ~baseline_utilization (summarize sc result)
+
+(* Key material for one probe: the probe is just a BCN scenario (the
+   cell's config plus the plan), so the canonical Scenario encoding is
+   the stable identity; [transient] shapes the summary's q_tail_max and
+   so belongs in the material too. Raises like [of_runner_config] when
+   the config carries hooks — callers fall back to an unmemoized run. *)
+let probe_material sc plan =
+  let scen = Simnet.Scenario.of_runner_config sc.cfg in
+  let scen =
+    match plan with
+    | Some p -> Simnet.Scenario.with_fault scen p
+    | None -> scen
+  in
+  Printf.sprintf "resilience-probe@v1\ntransient=%s\n%s"
+    (Telemetry.Json.float_full sc.transient)
+    (Simnet.Scenario.encode scen)
+
+let run_summary ?memo sc plan =
+  let run () =
+    let result =
+      match plan with
+      | None -> Simnet.Runner.run sc.cfg
+      | Some p ->
+          Simnet.Runner.run (Injector.attach (Injector.create p) sc.cfg)
+    in
+    summarize sc result
+  in
+  match memo with
+  | None -> run ()
+  | Some m -> (
+      match probe_material sc plan with
+      | exception Invalid_argument _ -> run ()
+      | material -> (
+          match m.lookup material with
+          | Some s -> s
+          | None ->
+              let s = run () in
+              m.save material s;
+              s))
+
+let probe ?memo sc axis ~seed ~baseline_utilization ~severity =
   let plan = plan_of axis ~severity ~seed ~t_end:sc.cfg.Simnet.Runner.t_end in
-  let inj = Injector.create plan in
-  let result = Simnet.Runner.run (Injector.attach inj sc.cfg) in
-  check sc ~baseline_utilization result
+  check_summary sc ~baseline_utilization (run_summary ?memo sc (Some plan))
 
 type margin = {
   scenario : string;
@@ -93,14 +149,17 @@ type margin = {
   evaluations : int;
 }
 
-let bisect ?(iters = 8) ~seed sc ax =
+let bisect ?(iters = 8) ?memo ~seed sc ax =
   if iters < 0 then invalid_arg "Resilience.bisect: iters must be >= 0";
+  (* [evals] counts logical evaluations, cached or not: a warm rerun
+     must produce a byte-identical margin table, so the count cannot
+     depend on the memo's hit pattern *)
   let evals = ref 1 in
-  let r0 = baseline sc in
-  let bu = r0.Simnet.Runner.utilization in
+  let s0 = run_summary ?memo sc None in
+  let bu = s0.utilization in
   let eval severity =
     incr evals;
-    probe sc ax ~seed ~baseline_utilization:bu ~severity
+    probe ?memo sc ax ~seed ~baseline_utilization:bu ~severity
   in
   let cell margin ceiling violation =
     {
@@ -114,7 +173,7 @@ let bisect ?(iters = 8) ~seed sc ax =
   in
   (* The unfaulted run itself can violate (a scenario that overflows or
      was handed an unreachable underflow_frac); report margin 0. *)
-  match check sc ~baseline_utilization:bu r0 with
+  match check_summary sc ~baseline_utilization:bu s0 with
   | Some v -> cell 0. 0. (Some v)
   | None -> (
       let hi0 = max_severity ax in
@@ -132,12 +191,12 @@ let bisect ?(iters = 8) ~seed sc ax =
           done;
           cell !lo !hi (Some !viol))
 
-let sweep ?jobs ?iters ~seed scenarios axes =
+let sweep ?jobs ?iters ?memo ~seed scenarios axes =
   let cells =
     Array.of_list
       (List.concat_map (fun sc -> List.map (fun ax -> (sc, ax)) axes) scenarios)
   in
-  let task (sc, ax) = bisect ?iters ~seed sc ax in
+  let task (sc, ax) = bisect ?iters ?memo ~seed sc ax in
   match jobs with
   | Some 1 -> Array.map task cells
   | _ ->
@@ -146,14 +205,17 @@ let sweep ?jobs ?iters ~seed scenarios axes =
 
 let violation_cell = function Some v -> violation_name v | None -> "none"
 
+module J = Telemetry.Json
+
 let to_csv margins =
   let b = Buffer.create 256 in
   Buffer.add_string b "scenario,axis,margin,ceiling,violation,evaluations\n";
   Array.iter
     (fun m ->
       Buffer.add_string b
-        (Printf.sprintf "%s,%s,%.17g,%.17g,%s,%d\n" m.scenario m.axis m.margin
-           m.ceiling (violation_cell m.violation) m.evaluations))
+        (Printf.sprintf "%s,%s,%s,%s,%s,%d\n" m.scenario m.axis
+           (J.float_full m.margin) (J.float_full m.ceiling)
+           (violation_cell m.violation) m.evaluations))
     margins;
   Buffer.contents b
 
@@ -163,12 +225,17 @@ let to_json margins =
   Array.iteri
     (fun i m ->
       if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
       Buffer.add_string b
-        (Printf.sprintf
-           "\n  {\"scenario\": \"%s\", \"axis\": \"%s\", \"margin\": %.17g, \
-            \"ceiling\": %.17g, \"violation\": \"%s\", \"evaluations\": %d}"
-           m.scenario m.axis m.margin m.ceiling (violation_cell m.violation)
-           m.evaluations))
+        (J.obj
+           [
+             ("scenario", J.str m.scenario);
+             ("axis", J.str m.axis);
+             ("margin", J.float_full m.margin);
+             ("ceiling", J.float_full m.ceiling);
+             ("violation", J.str (violation_cell m.violation));
+             ("evaluations", J.int m.evaluations);
+           ]))
     margins;
   Buffer.add_string b "\n]\n";
   Buffer.contents b

@@ -76,6 +76,38 @@ val plan_of : axis -> severity:float -> seed:int -> t_end:float -> Plan.t
 val baseline : scenario -> Simnet.Runner.result
 (** The scenario's fault-free run (severity 0, no injector). *)
 
+(** {1 Memoized probes}
+
+    A probe run collapses to three numbers for the margin decision;
+    persisting those instead of full results keeps stored entries tiny
+    and makes warm margin tables cheap. *)
+
+(** Everything {!check} needs from one finished run: run utilization,
+    total frame drops, and the post-transient queue maximum. *)
+type probe_summary = {
+  utilization : float;
+  drops : int;
+  q_tail_max : float;
+}
+
+(** Persistence hooks for probe summaries, keyed by an opaque {e key
+    material} string (canonical scenario encoding + transient — equal
+    material ⇒ identical deterministic probe). [Store.Sweep.resilience_memo]
+    adapts the content-addressed store to this; injecting the hooks
+    keeps this library free of any on-disk dependency. *)
+type memo = {
+  lookup : string -> probe_summary option;
+  save : string -> probe_summary -> unit;
+}
+
+val summarize : scenario -> Simnet.Runner.result -> probe_summary
+
+val check_summary :
+  scenario ->
+  baseline_utilization:float ->
+  probe_summary ->
+  violation option
+
 val check :
   scenario ->
   baseline_utilization:float ->
@@ -85,13 +117,18 @@ val check :
     [Overflow] takes precedence when both bounds fail. *)
 
 val probe :
+  ?memo:memo ->
   scenario ->
   axis ->
   seed:int ->
   baseline_utilization:float ->
   severity:float ->
   violation option
-(** One fault-injected run at the given severity, checked. *)
+(** One fault-injected run at the given severity, checked. With
+    [?memo], the summary is looked up before simulating and saved
+    after; configs carrying executable hooks ([control_channel] /
+    [on_setup] / live RNG sampling) cannot be keyed and silently run
+    unmemoized. *)
 
 type margin = {
   scenario : string;
@@ -104,16 +141,20 @@ type margin = {
   evaluations : int;  (** simulation runs spent on this cell *)
 }
 
-val bisect : ?iters:int -> seed:int -> scenario -> axis -> margin
+val bisect : ?iters:int -> ?memo:memo -> seed:int -> scenario -> axis -> margin
 (** Bracketed bisection: run the fault-free baseline, evaluate
     [max_severity], then halve the bracket [iters] (default 8) times.
     A scenario whose baseline already violates reports [margin = 0]
     with that violation; one surviving [max_severity] reports
-    [margin = ceiling = max_severity] and [violation = None]. *)
+    [margin = ceiling = max_severity] and [violation = None].
+    [evaluations] counts {e logical} evaluations whether or not the
+    memo answered them, so a warm rerun's margin table is byte-identical
+    to the cold one. *)
 
 val sweep :
   ?jobs:int ->
   ?iters:int ->
+  ?memo:memo ->
   seed:int ->
   scenario list ->
   axis list ->

@@ -1,0 +1,170 @@
+type frame_class = Bcn_positive | Bcn_negative | Pause
+
+let code = function Bcn_positive -> 0 | Bcn_negative -> 1 | Pause -> 2
+let class_name = function
+  | Bcn_positive -> "bcn+"
+  | Bcn_negative -> "bcn-"
+  | Pause -> "pause"
+
+type loss =
+  | Bernoulli of float
+  | Burst of { p_enter : float; p_exit : float; p_drop : float }
+
+type delay = { fixed : float; jitter : float; reorder : bool }
+
+type capacity_fault =
+  | Flap_schedule of (float * float) list
+  | Flap_markov of { mean_up : float; mean_down : float; factor : float }
+
+type blackout = { start : float; duration : float; reset : bool }
+
+type t = {
+  seed : int;
+  bcn_pos_loss : loss option;
+  bcn_neg_loss : loss option;
+  pause_loss : loss option;
+  delay : delay option;
+  capacity : capacity_fault option;
+  blackout : blackout option;
+}
+
+let none =
+  {
+    seed = 0;
+    bcn_pos_loss = None;
+    bcn_neg_loss = None;
+    pause_loss = None;
+    delay = None;
+    capacity = None;
+    blackout = None;
+  }
+
+let is_none p =
+  p.bcn_pos_loss = None && p.bcn_neg_loss = None && p.pause_loss = None
+  && p.delay = None && p.capacity = None && p.blackout = None
+
+let with_seed p seed = { p with seed }
+
+let with_bcn_loss ?pos ?neg p =
+  {
+    p with
+    bcn_pos_loss = (match pos with Some _ -> pos | None -> p.bcn_pos_loss);
+    bcn_neg_loss = (match neg with Some _ -> neg | None -> p.bcn_neg_loss);
+  }
+
+let with_pause_loss p l = { p with pause_loss = Some l }
+
+let with_delay ?(reorder = false) ?(jitter = 0.) p ~fixed =
+  { p with delay = Some { fixed; jitter; reorder } }
+
+let with_capacity p c = { p with capacity = Some c }
+
+let with_blackout ?(reset = false) p ~start ~duration =
+  { p with blackout = Some { start; duration; reset } }
+
+let loss_of_severity s = Bernoulli (Float.max 0. (Float.min 1. s))
+
+let square_flaps ~period ~duty ~depth ~t_end =
+  if period <= 0. || duty <= 0. || duty > 1. then
+    invalid_arg "Plan.square_flaps: period must be > 0 and duty in (0, 1]";
+  let factor = Float.max 0.05 (1. -. depth) in
+  let steps = ref [] in
+  let k = ref 1 in
+  while float_of_int !k *. period < t_end do
+    let t0 = float_of_int !k *. period in
+    steps := (t0 +. (duty *. period), 1.) :: (t0, factor) :: !steps;
+    incr k
+  done;
+  Flap_schedule (List.rev !steps)
+
+let check_prob what x =
+  if not (Float.is_finite x) || x < 0. || x > 1. then
+    invalid_arg (Printf.sprintf "Faultnet.Plan: %s = %g not in [0, 1]" what x)
+
+let check_loss what = function
+  | Bernoulli p -> check_prob (what ^ " Bernoulli p") p
+  | Burst { p_enter; p_exit; p_drop } ->
+      check_prob (what ^ " burst p_enter") p_enter;
+      check_prob (what ^ " burst p_exit") p_exit;
+      check_prob (what ^ " burst p_drop") p_drop
+
+let validate p =
+  Option.iter (check_loss "bcn+ loss") p.bcn_pos_loss;
+  Option.iter (check_loss "bcn- loss") p.bcn_neg_loss;
+  Option.iter (check_loss "pause loss") p.pause_loss;
+  Option.iter
+    (fun { fixed; jitter; _ } ->
+      if not (Float.is_finite fixed) || fixed < 0. then
+        invalid_arg "Faultnet.Plan: delay.fixed must be finite and >= 0";
+      if not (Float.is_finite jitter) || jitter < 0. then
+        invalid_arg "Faultnet.Plan: delay.jitter must be finite and >= 0")
+    p.delay;
+  Option.iter
+    (function
+      | Flap_schedule steps ->
+          let last = ref neg_infinity in
+          List.iter
+            (fun (time, factor) ->
+              if not (Float.is_finite time) || time < 0. then
+                invalid_arg "Faultnet.Plan: flap times must be finite and >= 0";
+              if time < !last then
+                invalid_arg "Faultnet.Plan: flap schedule must be nondecreasing";
+              last := time;
+              if not (Float.is_finite factor) || factor <= 0. || factor > 1.
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Faultnet.Plan: flap factor %g not in (0, 1]" factor))
+            steps
+      | Flap_markov { mean_up; mean_down; factor } ->
+          if
+            (not (Float.is_finite mean_up))
+            || mean_up <= 0.
+            || (not (Float.is_finite mean_down))
+            || mean_down <= 0.
+          then
+            invalid_arg "Faultnet.Plan: Markov holding times must be positive";
+          if not (Float.is_finite factor) || factor <= 0. || factor > 1. then
+            invalid_arg
+              (Printf.sprintf "Faultnet.Plan: flap factor %g not in (0, 1]"
+                 factor))
+    p.capacity;
+  Option.iter
+    (fun { start; duration; _ } ->
+      if not (Float.is_finite start) || start < 0. then
+        invalid_arg "Faultnet.Plan: blackout.start must be finite and >= 0";
+      if not (Float.is_finite duration) || duration < 0. then
+        invalid_arg "Faultnet.Plan: blackout.duration must be finite and >= 0")
+    p.blackout;
+  p
+
+let describe_loss = function
+  | Bernoulli p -> Printf.sprintf "bernoulli(%g)" p
+  | Burst { p_enter; p_exit; p_drop } ->
+      Printf.sprintf "burst(%g,%g,%g)" p_enter p_exit p_drop
+
+let describe p =
+  if is_none p then "none"
+  else begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b (Printf.sprintf "seed=%d" p.seed);
+    let add fmt = Printf.ksprintf (fun s -> Buffer.add_char b ' '; Buffer.add_string b s) fmt in
+    Option.iter (fun l -> add "bcn+loss=%s" (describe_loss l)) p.bcn_pos_loss;
+    Option.iter (fun l -> add "bcn-loss=%s" (describe_loss l)) p.bcn_neg_loss;
+    Option.iter (fun l -> add "pauseloss=%s" (describe_loss l)) p.pause_loss;
+    Option.iter
+      (fun { fixed; jitter; reorder } ->
+        add "delay=%g+%gj%s" fixed jitter (if reorder then "!" else ""))
+      p.delay;
+    Option.iter
+      (function
+        | Flap_schedule steps -> add "flaps=schedule(%d)" (List.length steps)
+        | Flap_markov { mean_up; mean_down; factor } ->
+            add "flaps=markov(%g,%g,x%g)" mean_up mean_down factor)
+      p.capacity;
+    Option.iter
+      (fun { start; duration; reset } ->
+        add "blackout=%g+%g%s" start duration (if reset then "r" else ""))
+      p.blackout;
+    Buffer.contents b
+  end

@@ -151,18 +151,14 @@ let run cfg =
     convergence_time = !convergence;
   }
 
-(* Deterministic fan-out, mirroring Runner.run_many: each run owns its
-   engine and state, and the pool's combinators are order-preserving,
-   so results are byte-identical for any [jobs] value. *)
-let run_many ?jobs cfgs =
-  if Array.length cfgs = 0 then [||]
-  else begin
-    let size =
-      match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
-    in
-    if size < 1 then invalid_arg "Fera.run_many: jobs < 1";
-    if size = 1 || Array.length cfgs = 1 then Array.map (fun c -> run c) cfgs
-    else
-      Parallel.Pool.with_pool ~size (fun pool ->
-          Parallel.Pool.map_array pool (fun c -> run c) cfgs)
-  end
+(* The deterministic fan-out is generated once by the shared MODEL
+   functor; [run_many] stays as the historical alias. *)
+module Fanout = Model.Make (struct
+  type nonrec config = config
+  type nonrec result = result
+
+  let name = "Fera"
+  let run = run
+end)
+
+let run_many = Fanout.run_many

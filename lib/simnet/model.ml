@@ -1,0 +1,37 @@
+module type MODEL = sig
+  type config
+  type result
+
+  val name : string
+  val run : config -> result
+end
+
+module type FANOUT = sig
+  type config
+  type result
+
+  val run_many : ?jobs:int -> config array -> result array
+end
+
+module Make (M : MODEL) :
+  FANOUT with type config = M.config and type result = M.result = struct
+  type config = M.config
+  type result = M.result
+
+  (* Each run builds its own engine/pool/RNG state and shares nothing
+     with its siblings, and [Parallel.Pool.map_array] is
+     order-preserving, so the fan-out returns byte-identical results for
+     any pool size. *)
+  let run_many ?jobs cfgs =
+    if Array.length cfgs = 0 then [||]
+    else begin
+      let size =
+        match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
+      in
+      if size < 1 then invalid_arg (M.name ^ ".run_many: jobs < 1");
+      if size = 1 || Array.length cfgs = 1 then Array.map M.run cfgs
+      else
+        Parallel.Pool.with_pool ~size (fun pool ->
+            Parallel.Pool.map_array pool M.run cfgs)
+    end
+end

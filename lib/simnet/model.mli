@@ -1,0 +1,37 @@
+(** The one shared shape of a packet-level simulation model.
+
+    Every model in this library ([Runner], [E2cm], [Fera], [Multihop])
+    is a pure function from an immutable [config] to a [result]; the
+    deterministic parallel fan-out over a [Parallel.Pool] is identical
+    for all of them and used to be copy-pasted per module. {!Make}
+    generates it once from the {!MODEL} signature; the model modules
+    re-export the generated [run_many] under their historical names, so
+    existing callers keep compiling. *)
+
+(** What a model must provide: a display [name] (used in error
+    messages, e.g. ["E2cm.run_many: jobs < 1"]) and a [run] whose
+    invocations are independent — each owns its engine, pools and RNG
+    state, so runs may execute on any domain in any order. *)
+module type MODEL = sig
+  type config
+  type result
+
+  val name : string
+  val run : config -> result
+end
+
+(** The generated fan-out API. *)
+module type FANOUT = sig
+  type config
+  type result
+
+  val run_many : ?jobs:int -> config array -> result array
+  (** Run every config, fanning out over a [Parallel.Pool] of [jobs]
+      lanes (default {!Parallel.Pool.default_size}). Results are
+      returned in input order and are byte-identical for any [jobs]
+      value. [jobs = 1] runs sequentially in the caller. Raises
+      [Invalid_argument] when [jobs < 1]. *)
+end
+
+module Make (M : MODEL) :
+  FANOUT with type config = M.config and type result = M.result

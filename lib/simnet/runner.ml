@@ -97,7 +97,10 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
               | Some src -> Source.handle_bcn src ~now:(Engine.now e) ~fb ~cpid
               | None -> ())
             sources
-        else (
+        else if flow >= 0 && flow < n then (
+          (* flows >= n are uncontrolled cross traffic (Scenario
+             workloads): they have no reaction point, so feedback
+             addressed to them is consumed here *)
           match sources.(flow) with
           | Some src -> Source.handle_bcn src ~now:(Engine.now e) ~fb ~cpid
           | None -> ())
@@ -226,24 +229,19 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
         sources;
   }
 
-(* Each run builds its own engine, pool and RNG state, shares nothing
-   with its siblings, and Parallel.Pool.map_array is order-preserving,
-   so the fan-outs below return byte-identical results for any pool
-   size. *)
+(* Each run builds its own engine, pool and RNG state and shares
+   nothing with its siblings, so the deterministic fan-out is the one
+   the shared MODEL functor generates; [run_many] stays as the
+   historical alias. *)
+module Fanout = Model.Make (struct
+  type nonrec config = config
+  type nonrec result = result
 
-let run_many ?jobs cfgs =
-  if Array.length cfgs = 0 then [||]
-  else begin
-    let size =
-      match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
-    in
-    if size < 1 then invalid_arg "Runner.run_many: jobs < 1";
-    if size = 1 || Array.length cfgs = 1 then
-      Array.map (fun c -> run c) cfgs
-    else
-      Parallel.Pool.with_pool ~size (fun pool ->
-          Parallel.Pool.map_array pool (fun c -> run c) cfgs)
-  end
+  let name = "Runner"
+  let run c = run c
+end)
+
+let run_many = Fanout.run_many
 
 let replicate ?jobs ~seeds cfg =
   run_many ?jobs (Array.map (with_seed cfg) seeds)

@@ -1,0 +1,207 @@
+(** First-class simulation scenarios with a canonical, versioned
+    encoding.
+
+    A {!t} is a {e pure description} of one packet-level experiment:
+    which model runs (BCN dumbbell, E2CM, FERA, two-hop multihop), with
+    which {!Fluid.Params.t}, over which horizon, under which cross
+    traffic and fault plan, and with which seed/replica structure. It
+    subsumes the per-model config records ([Runner.config],
+    [E2cm.config], ...) that previously had to be assembled by hand at
+    every call site — those remain the execution-layer types; a scenario
+    compiles down to them via {!to_runner_config} and friends.
+
+    Because a scenario is pure data, it has a {b canonical encoding}
+    ({!encode}): a single-line JSON document with a leading version
+    field, a fixed field order, every defaultable field written
+    explicitly, and all floats rendered with [%.17g] (round-trip exact).
+    Two scenarios are equal iff their encodings are byte-equal, so the
+    SHA-256 of the encoding is a sound content-address for cached
+    results — that is exactly what [Store.Key.of_scenario] hashes.
+    {!decode} accepts any field order and elides defaulted fields, and
+    [decode (encode s) = Ok s] for every valid scenario. *)
+
+(** Congestion-point sampling, as pure data. [Bernoulli] carries no RNG
+    state — the run derives it from the scenario [seed] (replica [i]
+    uses [seed + i]), matching [Runner.with_seed]. *)
+type sampling = Deterministic | Bernoulli | Timer of float
+
+(** BCN dumbbell knobs, mirroring the corresponding [Runner.config]
+    fields. *)
+type bcn_knobs = {
+  mode : Source.update_mode;
+  sampling : sampling;
+  positive_to_untagged : bool;
+  broadcast_feedback : bool;
+  enable_bcn : bool;
+  enable_pause : bool;
+  pause_resume : float;
+}
+
+type model =
+  | Bcn of bcn_knobs
+  | E2cm of { interval : float }
+  | Fera of { interval : float; target_util : float }
+  | Multihop of {
+      c_a : float;
+      c_b : float;
+      n_long : int;
+      n_short : int;
+      strict_tagging : bool;
+    }
+
+(** Uncontrolled cross traffic injected at the congestion point
+    (BCN scenarios only). Flow ids are assigned deterministically from
+    [params.n_flows] upward, in list order. *)
+type workload =
+  | Cbr of { rate : float }
+  | Poisson of { mean_rate : float; seed : int }
+  | On_off of {
+      peak_rate : float;
+      mean_on : float;
+      mean_off : float;
+      seed : int;
+    }
+  | Incast of {
+      senders : int;
+      burst_frames : int;
+      period : float;
+      jitter : float;
+      seed : int;
+    }
+
+type t = {
+  params : Fluid.Params.t;
+  t_end : float;
+  sample_dt : float;
+  initial_rate : float option;  (** [None] = the model's default *)
+  control_delay : float;
+  model : model;
+  workload : workload list;
+  fault : Fault_plan.t option;
+  seed : int;  (** base seed for Bernoulli sampling; replica i uses seed+i *)
+  replicas : int;  (** >= 1; > 1 requires [Bernoulli] sampling *)
+}
+
+val version : int
+(** Encoding version written as the leading ["v"] field (currently 1).
+    Bump whenever the canonical encoding changes meaning. *)
+
+(** {1 Constructors} — defaults match the corresponding
+    [default_config]. *)
+
+val bcn :
+  ?t_end:float ->
+  ?sample_dt:float ->
+  ?initial_rate:float ->
+  ?control_delay:float ->
+  ?mode:Source.update_mode ->
+  ?sampling:sampling ->
+  ?positive_to_untagged:bool ->
+  ?broadcast_feedback:bool ->
+  ?enable_bcn:bool ->
+  ?enable_pause:bool ->
+  ?pause_resume:float ->
+  Fluid.Params.t ->
+  t
+
+val e2cm :
+  ?t_end:float ->
+  ?sample_dt:float ->
+  ?initial_rate:float ->
+  ?control_delay:float ->
+  ?interval:float ->
+  Fluid.Params.t ->
+  t
+
+val fera :
+  ?t_end:float ->
+  ?sample_dt:float ->
+  ?initial_rate:float ->
+  ?control_delay:float ->
+  ?interval:float ->
+  ?target_util:float ->
+  Fluid.Params.t ->
+  t
+
+val multihop :
+  ?t_end:float ->
+  ?sample_dt:float ->
+  ?initial_rate:float ->
+  ?control_delay:float ->
+  ?c_a:float ->
+  ?c_b:float ->
+  ?n_long:int ->
+  ?n_short:int ->
+  ?strict_tagging:bool ->
+  Fluid.Params.t ->
+  t
+
+val with_fault : t -> Fault_plan.t -> t
+(** [Fault_plan.is_none] plans normalise to no fault, so attaching an
+    empty plan does not perturb the key. *)
+
+val with_workload : t -> workload list -> t
+val with_seed : t -> int -> t
+val with_replicas : t -> int -> t
+
+val validate : t -> t
+(** Returns the scenario unchanged or raises [Invalid_argument]:
+    positive horizon/sampling period, [replicas >= 1] (and Bernoulli
+    sampling when > 1), fault/workload/replicas restricted to the BCN
+    model, positive workload rates, valid fault plan
+    ({!Fault_plan.validate}). *)
+
+val equal : t -> t -> bool
+val describe : t -> string
+(** One-line human label, e.g. ["bcn n=50 C=10e9 t_end=0.02 x4"]. *)
+
+(** {1 Canonical encoding} *)
+
+val encode : t -> string
+(** Canonical single-line JSON (no trailing newline). Canonical means:
+    fixed field order, every field present (no elision), floats in
+    [%.17g]. [encode] validates first, so only valid scenarios have an
+    encoding. *)
+
+val encode_params : Fluid.Params.t -> string
+(** The canonical params sub-object alone — the stable key material for
+    caches of fluid-layer (non-simulation) derivations. *)
+
+val decode : string -> (t, string) result
+(** Parse an encoding: any field order, defaultable fields may be
+    elided, unknown fields are an error. The result is validated.
+    [decode (encode s) = Ok s]. *)
+
+val decode_exn : string -> t
+(** Raises [Invalid_argument] where {!decode} returns [Error]. *)
+
+(** {1 Compilation to execution-layer configs}
+
+    These build the per-model config records. They do {e not} wire the
+    fault plan (an injector is executable state owned by one run —
+    [Faultnet.Injector] / [Store.Sweep] do that) nor the workloads (use
+    {!start_workloads} from an [on_setup] hook). *)
+
+val to_runner_config : t -> Runner.config
+(** BCN scenarios only; raises [Invalid_argument] otherwise. Bernoulli
+    sampling is seeded from [seed]. *)
+
+val runner_configs : t -> Runner.config array
+(** One config per replica ([Runner.with_seed] at [seed + i]). Length
+    [replicas]. *)
+
+val to_e2cm_config : t -> E2cm.config
+val to_fera_config : t -> Fera.config
+val to_multihop_config : t -> Multihop.config
+
+val of_runner_config : ?seed:int -> ?replicas:int -> Runner.config -> t
+(** Lift an execution config back to a scenario. Raises
+    [Invalid_argument] when the config is not pure data: an attached
+    [control_channel]/[on_setup] hook, or live [Switch.Bernoulli] RNG
+    state (use [?seed] with a [Deterministic]/[Timer] config and
+    {!with_replicas} instead). *)
+
+val start_workloads : t -> Engine.t -> Switch.t -> unit
+(** Instantiate the scenario's cross-traffic generators (flow ids
+    [params.n_flows], [n_flows + 1], ... in list order) and start them
+    against the switch — call from [Runner.config.on_setup]. *)

@@ -1,0 +1,196 @@
+let format_stamp = "dcecc-store v1\n"
+let entry_magic = "dcecc1 "
+
+type stats = { hits : int; misses : int; puts : int; evictions : int }
+
+type t = {
+  root : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  put_count : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let open_ ~dir =
+  mkdir_p dir;
+  let format_path = Filename.concat dir "format" in
+  if Sys.file_exists format_path then begin
+    let stamp = read_file format_path in
+    if stamp <> format_stamp then
+      failwith
+        (Printf.sprintf
+           "Store.Cache.open_: %s is not a dcecc store (format stamp %S)" dir
+           stamp)
+  end
+  else begin
+    (* an existing non-empty directory without a stamp is someone
+       else's data — refuse rather than mix object files into it *)
+    if Sys.readdir dir <> [||] then
+      failwith
+        (Printf.sprintf
+           "Store.Cache.open_: %s exists, is not empty and has no store \
+            format stamp"
+           dir);
+    write_file format_path format_stamp
+  end;
+  mkdir_p (Filename.concat dir "objects");
+  mkdir_p (Filename.concat dir "manifests");
+  mkdir_p (Filename.concat dir "tmp");
+  {
+    root = dir;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    put_count = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let root c = c.root
+
+let entry_path c key =
+  let hex = Key.to_hex key in
+  Filename.concat
+    (Filename.concat (Filename.concat c.root "objects") (String.sub hex 0 2))
+    hex
+
+let mem c key = Sys.file_exists (entry_path c key)
+
+(* unique within the store: pid for cross-process, domain id for pool
+   workers sharing the process *)
+let tmp_path c key =
+  Filename.concat
+    (Filename.concat c.root "tmp")
+    (Printf.sprintf "%s.%d.%d" (Key.to_hex key) (Unix.getpid ())
+       (Domain.self () :> int))
+
+let put c key payload =
+  let header = entry_magic ^ Key.sha256_hex payload ^ "\n" in
+  let path = entry_path c key in
+  mkdir_p (Filename.dirname path);
+  let tmp = tmp_path c key in
+  write_file tmp (header ^ payload);
+  Sys.rename tmp path;
+  Atomic.incr c.put_count
+
+let evict c path =
+  (try Sys.remove path with Sys_error _ -> ());
+  Atomic.incr c.evictions
+
+(* header is "dcecc1 " (7) + 64 hex + "\n" = 72 bytes *)
+let header_len = 72
+
+let find c key =
+  let path = entry_path c key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr c.misses;
+    None
+  end
+  else
+    let raw = read_file path in
+    let ok =
+      String.length raw >= header_len
+      && String.sub raw 0 (String.length entry_magic) = entry_magic
+      && raw.[header_len - 1] = '\n'
+    in
+    if not ok then begin
+      evict c path;
+      Atomic.incr c.misses;
+      None
+    end
+    else begin
+      let recorded = String.sub raw (String.length entry_magic) 64 in
+      let payload = String.sub raw header_len (String.length raw - header_len) in
+      if Key.sha256_hex payload = recorded then begin
+        Atomic.incr c.hits;
+        Some payload
+      end
+      else begin
+        evict c path;
+        Atomic.incr c.misses;
+        None
+      end
+    end
+
+let find_value (type a) c key : a option =
+  match find c key with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : a) with
+      | v -> Some v
+      | exception _ ->
+          (* hash-valid but undecodable: written by an incompatible
+             runtime; treat as corruption *)
+          evict c (entry_path c key);
+          (* the find above counted a hit for bytes we cannot use *)
+          Atomic.decr c.hits;
+          Atomic.incr c.misses;
+          None)
+
+let store_value c key v = put c key (Marshal.to_string v [])
+
+let memo (type a) c key (f : unit -> a) : a =
+  match find_value c key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      let payload = Marshal.to_string v [] in
+      put c key payload;
+      (* return the parse of the stored bytes, not [v] itself: [v] may
+         carry physical sharing with values outside itself (statically
+         allocated float constants, shared sub-structures), which
+         Marshal encodes and a later warm read would not reproduce.
+         Normalizing through the stored representation makes cold and
+         warm returns structurally identical, so anything downstream —
+         including a whole-results-array Marshal — is byte-identical
+         whether the cache was hot or cold. *)
+      (Marshal.from_string payload 0 : a)
+
+let stats c =
+  {
+    hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    puts = Atomic.get c.put_count;
+    evictions = Atomic.get c.evictions;
+  }
+
+let reset_stats c =
+  Atomic.set c.hits 0;
+  Atomic.set c.misses 0;
+  Atomic.set c.put_count 0;
+  Atomic.set c.evictions 0
+
+let publish_metrics c mx =
+  let s = stats c in
+  Telemetry.Metrics.add mx "store.hits" s.hits;
+  Telemetry.Metrics.add mx "store.misses" s.misses;
+  Telemetry.Metrics.add mx "store.puts" s.puts;
+  Telemetry.Metrics.add mx "store.evictions" s.evictions
+
+let entries c =
+  let objects = Filename.concat c.root "objects" in
+  if not (Sys.file_exists objects) then 0
+  else
+    Array.fold_left
+      (fun acc sub ->
+        let d = Filename.concat objects sub in
+        if Sys.is_directory d then acc + Array.length (Sys.readdir d) else acc)
+      0 (Sys.readdir objects)

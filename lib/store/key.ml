@@ -1,0 +1,142 @@
+(* SHA-256 (FIPS 180-4) over strings. All arithmetic is untagged native
+   [int] masked to 32 bits — on 64-bit OCaml that is mod-2^32 with no
+   boxing, several times faster than the obvious Int32 version.
+   Throughput matters: besides hashing a few hundred bytes of canonical
+   JSON per key, [Cache.find] re-hashes every payload it reads (hundreds
+   of kilobytes per stored result) to verify integrity, so this routine
+   sits on the warm path of every cache hit. *)
+
+let k_const =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+    0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+    0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+    0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+    0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+    0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+    0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+    0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+    0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+    0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+    0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let mask = 0xffffffff
+
+let sha256 (msg : string) : string =
+  let len = String.length msg in
+  (* whole 64-byte blocks stream straight from [msg]; the remainder,
+     the 0x80 terminator and the 64-bit big-endian bit length go into a
+     one- or two-block tail buffer *)
+  let full = len / 64 in
+  let rem = len - (full * 64) in
+  let tail_len = if rem + 1 + 8 <= 64 then 64 else 128 in
+  let tail = Bytes.make tail_len '\000' in
+  Bytes.blit_string msg (full * 64) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  let bitlen = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set tail (tail_len - 1 - i)
+      (Char.unsafe_chr ((bitlen lsr (8 * i)) land 0xff))
+  done;
+  let h0 = ref 0x6a09e667 and h1 = ref 0xbb67ae85 in
+  let h2 = ref 0x3c6ef372 and h3 = ref 0xa54ff53a in
+  let h4 = ref 0x510e527f and h5 = ref 0x9b05688c in
+  let h6 = ref 0x1f83d9ab and h7 = ref 0x5be0cd19 in
+  let w = Array.make 64 0 in
+  let compress () =
+    for t = 16 to 63 do
+      let x = Array.unsafe_get w (t - 15) in
+      let s0 =
+        ((x lsr 7) lor (x lsl 25)) lxor ((x lsr 18) lor (x lsl 14)) lxor (x lsr 3)
+      in
+      let y = Array.unsafe_get w (t - 2) in
+      let s1 =
+        ((y lsr 17) lor (y lsl 15)) lxor ((y lsr 19) lor (y lsl 13)) lxor (y lsr 10)
+      in
+      Array.unsafe_set w t
+        ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1)
+         land mask)
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 in
+    let e = ref !h4 and f = ref !h5 and g = ref !h6 and hh = ref !h7 in
+    for t = 0 to 63 do
+      let ev = !e land mask in
+      let sigma1 =
+        ((ev lsr 6) lor (ev lsl 26)) land mask
+        lxor (((ev lsr 11) lor (ev lsl 21)) land mask)
+        lxor (((ev lsr 25) lor (ev lsl 7)) land mask)
+      in
+      let ch = (ev land !f) lxor (lnot ev land !g) in
+      let t1 =
+        (!hh + sigma1 + ch + Array.unsafe_get k_const t + Array.unsafe_get w t)
+        land mask
+      in
+      let av = !a land mask in
+      let sigma0 =
+        ((av lsr 2) lor (av lsl 30)) land mask
+        lxor (((av lsr 13) lor (av lsl 19)) land mask)
+        lxor (((av lsr 22) lor (av lsl 10)) land mask)
+      in
+      let maj = (av land !b) lxor (av land !c) lxor (!b land !c) in
+      let t2 = (sigma0 + maj) land mask in
+      hh := !g;
+      g := !f;
+      f := ev;
+      e := (!d + t1) land mask;
+      d := !c;
+      c := !b;
+      b := av;
+      a := (t1 + t2) land mask
+    done;
+    h0 := (!h0 + !a) land mask;
+    h1 := (!h1 + !b) land mask;
+    h2 := (!h2 + !c) land mask;
+    h3 := (!h3 + !d) land mask;
+    h4 := (!h4 + !e) land mask;
+    h5 := (!h5 + !f) land mask;
+    h6 := (!h6 + !g) land mask;
+    h7 := (!h7 + !hh) land mask
+  in
+  for block = 0 to full - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let i = base + (4 * t) in
+      Array.unsafe_set w t
+        ((Char.code (String.unsafe_get msg i) lsl 24)
+        lor (Char.code (String.unsafe_get msg (i + 1)) lsl 16)
+        lor (Char.code (String.unsafe_get msg (i + 2)) lsl 8)
+        lor Char.code (String.unsafe_get msg (i + 3)))
+    done;
+    compress ()
+  done;
+  for block = 0 to (tail_len / 64) - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let i = base + (4 * t) in
+      Array.unsafe_set w t
+        ((Char.code (Bytes.unsafe_get tail i) lsl 24)
+        lor (Char.code (Bytes.unsafe_get tail (i + 1)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get tail (i + 2)) lsl 8)
+        lor Char.code (Bytes.unsafe_get tail (i + 3)))
+    done;
+    compress ()
+  done;
+  Printf.sprintf "%08x%08x%08x%08x%08x%08x%08x%08x" !h0 !h1 !h2 !h3 !h4 !h5
+    !h6 !h7
+
+let sha256_hex = sha256
+
+type t = string
+
+let code_version = "dcecc-store/1"
+let of_material m = sha256 (code_version ^ "\n" ^ m)
+let of_scenario s = of_material ("scenario@v1\n" ^ Simnet.Scenario.encode s)
+let to_hex k = k
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let of_hex s =
+  if String.length s = 64 && String.for_all is_hex s then Some s else None

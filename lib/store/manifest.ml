@@ -1,0 +1,69 @@
+let magic = "dcecc-manifest v1"
+
+type t = { sweep_key : Key.t; points : Key.t array }
+
+let create ~points =
+  let material =
+    String.concat "\n"
+      ("sweep@v1" :: Array.to_list (Array.map Key.to_hex points))
+  in
+  { sweep_key = Key.of_material material; points }
+
+let path cache key =
+  Filename.concat (Filename.concat (Cache.root cache) "manifests")
+    (Key.to_hex key)
+
+let save cache m =
+  let body =
+    String.concat "\n"
+      (magic :: Array.to_list (Array.map Key.to_hex m.points))
+    ^ "\n"
+  in
+  let target = path cache m.sweep_key in
+  let tmp =
+    Printf.sprintf "%s.%d.%d" target (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc body);
+  Sys.rename tmp target
+
+let load cache key =
+  let file = path cache key in
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in_bin file in
+    let body =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match String.split_on_char '\n' body with
+    | m :: rest when m = magic ->
+        let hexes = List.filter (fun l -> l <> "") rest in
+        let keys = List.filter_map Key.of_hex hexes in
+        if List.length keys <> List.length hexes then None
+        else
+          let m = { sweep_key = key; points = Array.of_list keys } in
+          (* a manifest is content-addressed too: its name must match
+             its points, else it was tampered with or misfiled *)
+          if Key.to_hex (create ~points:m.points).sweep_key = Key.to_hex key
+          then Some m
+          else None
+    | _ -> None
+
+let list cache =
+  let dir = Filename.concat (Cache.root cache) "manifests" in
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun name ->
+           match Key.of_hex name with
+           | Some key -> load cache key
+           | None -> None)
+
+let progress cache m =
+  Array.fold_left
+    (fun acc k -> if Cache.mem cache k then acc + 1 else acc)
+    0 m.points

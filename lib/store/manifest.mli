@@ -1,0 +1,31 @@
+(** Sweep manifests: the ordered point-key list of one sweep.
+
+    A manifest is what makes a killed sweep {e resumable with
+    reporting}: correctness needs only the per-point cache entries
+    (recomputation is keyed point by point), but the manifest records
+    how many points the sweep had in total, so a restarted run can say
+    "resuming 37/120" before any simulation starts, and [--store-stats]
+    can enumerate partially-complete sweeps.
+
+    Stored as plain text under [<root>/manifests/<sweep-key>]: one
+    header line [dcecc-manifest v1], then one point-key hex per line in
+    sweep order. The sweep key is content-derived
+    ({!Key.of_material} over the joined point keys), so re-running the
+    same sweep finds its own manifest by construction. *)
+
+type t = private { sweep_key : Key.t; points : Key.t array }
+
+val create : points:Key.t array -> t
+
+val save : Cache.t -> t -> unit
+(** Atomic, idempotent (same points ⇒ same key ⇒ same bytes). *)
+
+val load : Cache.t -> Key.t -> t option
+(** [None] if absent or malformed. *)
+
+val list : Cache.t -> t list
+(** All well-formed manifests in the store, in unspecified order. *)
+
+val progress : Cache.t -> t -> int
+(** Number of points whose cache entry is present ({!Cache.mem} — no
+    integrity pass, so a corrupt entry may count until read). *)

@@ -1,0 +1,98 @@
+module Scenario = Simnet.Scenario
+
+type outcome =
+  | Bcn_results of Simnet.Runner.result array
+  | E2cm_result of Simnet.E2cm.result
+  | Fera_result of Simnet.Fera.result
+  | Multihop_result of Simnet.Multihop.result
+
+(* Turn the scenario's pure fault/workload data into per-run hooks.
+   Injectors are single-run mutable state, so each replica gets its own,
+   salted by replica index (matching bcn_faults' replicate convention).
+   When the scenario has neither fault nor workload the config is left
+   untouched — hook-free configs are the byte-identity baseline. *)
+let bcn_configs (s : Scenario.t) =
+  let cfgs = Scenario.runner_configs s in
+  Array.mapi
+    (fun i cfg ->
+      let cfg =
+        match s.Scenario.fault with
+        | Some plan ->
+            Faultnet.Injector.attach (Faultnet.Injector.create ~salt:i plan) cfg
+        | None -> cfg
+      in
+      if s.Scenario.workload = [] then cfg
+      else
+        let prev = cfg.Simnet.Runner.on_setup in
+        {
+          cfg with
+          Simnet.Runner.on_setup =
+            Some
+              (fun e sw ->
+                (match prev with Some f -> f e sw | None -> ());
+                Scenario.start_workloads s e sw);
+        })
+    cfgs
+
+let exec ?jobs s =
+  let s = Scenario.validate s in
+  match s.Scenario.model with
+  | Scenario.Bcn _ -> Bcn_results (Simnet.Runner.run_many ?jobs (bcn_configs s))
+  | Scenario.E2cm _ -> E2cm_result (Simnet.E2cm.run (Scenario.to_e2cm_config s))
+  | Scenario.Fera _ -> Fera_result (Simnet.Fera.run (Scenario.to_fera_config s))
+  | Scenario.Multihop _ ->
+      Multihop_result (Simnet.Multihop.run (Scenario.to_multihop_config s))
+
+let memo_run ?cache ?(refresh = false) ?jobs s =
+  match cache with
+  | None -> exec ?jobs s
+  | Some c when refresh ->
+      (* --no-cache semantics: do not read, do recompute, refresh the
+         stored entry so later warm runs see current bits *)
+      let v = exec ?jobs s in
+      Cache.store_value c (Key.of_scenario s) v;
+      v
+  | Some c -> Cache.memo c (Key.of_scenario s) (fun () -> exec ?jobs s)
+
+let sweep ?cache ?refresh ?jobs ?on_progress scenarios =
+  let total = Array.length scenarios in
+  if total = 0 then [||]
+  else begin
+    (match cache with
+    | Some c ->
+        let points = Array.map Key.of_scenario scenarios in
+        Manifest.save c (Manifest.create ~points)
+    | None -> ());
+    let done_count = Atomic.make 0 in
+    let task s =
+      (* points are parallelized across the pool; each point runs its
+         replicas sequentially so one sweep never oversubscribes *)
+      let r = memo_run ?cache ?refresh ~jobs:1 s in
+      (match on_progress with
+      | Some f ->
+          let d = Atomic.fetch_and_add done_count 1 + 1 in
+          let cached =
+            match cache with Some c -> (Cache.stats c).Cache.hits | None -> 0
+          in
+          f ~done_:d ~total ~cached
+      | None -> ());
+      r
+    in
+    let size =
+      match jobs with Some j -> j | None -> Parallel.Pool.default_size ()
+    in
+    if size < 1 then invalid_arg "Store.Sweep.sweep: jobs < 1";
+    if size = 1 || total = 1 then Array.map task scenarios
+    else
+      Parallel.Pool.with_pool ~size (fun pool ->
+          Parallel.Pool.map_array pool task scenarios)
+  end
+
+let resilience_memo cache =
+  {
+    Faultnet.Resilience.lookup =
+      (fun material -> Cache.find_value cache (Key.of_material material));
+    save =
+      (fun material summary ->
+        Cache.store_value cache (Key.of_material material) summary);
+  }

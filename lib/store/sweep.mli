@@ -1,0 +1,56 @@
+(** Scenario execution through the store: memoized single runs and
+    resumable fan-out sweeps.
+
+    [exec] is the one place a {!Simnet.Scenario.t} becomes executable
+    state: per-replica runner configs, a fresh {!Faultnet.Injector} per
+    replica (salted by replica index, exactly as the fault CLIs do) and
+    the scenario's cross-traffic workloads wired through [on_setup].
+    Because scenarios are pure data with a canonical encoding, the
+    outcome of [exec] is a deterministic function of the scenario —
+    which is what makes {!memo_run} sound: identical scenarios under an
+    identical {!Key.code_version} return the stored outcome without
+    simulating.
+
+    {!sweep} fans scenarios over {!Parallel.Pool} with {e per-point}
+    persistence: each point is stored the moment it finishes, so a
+    killed sweep resumes from the completed points, and a warm rerun
+    executes zero simulations. Results are in input order and
+    byte-identical for any [jobs] value (pool order preservation +
+    per-scenario determinism). *)
+
+(** One scenario's results, tagged by model. *)
+type outcome =
+  | Bcn_results of Simnet.Runner.result array
+      (** one per replica, in replica order *)
+  | E2cm_result of Simnet.E2cm.result
+  | Fera_result of Simnet.Fera.result
+  | Multihop_result of Simnet.Multihop.result
+
+val exec : ?jobs:int -> Simnet.Scenario.t -> outcome
+(** Run the scenario, uncached. [jobs] parallelizes BCN replicas;
+    single-run scenarios ignore it. *)
+
+val memo_run :
+  ?cache:Cache.t -> ?refresh:bool -> ?jobs:int -> Simnet.Scenario.t -> outcome
+(** [exec] through the cache under {!Key.of_scenario}. Without
+    [?cache] this is [exec]. [~refresh:true] (the CLIs' [--no-cache])
+    skips the read, recomputes, and overwrites the stored entry. *)
+
+val sweep :
+  ?cache:Cache.t ->
+  ?refresh:bool ->
+  ?jobs:int ->
+  ?on_progress:(done_:int -> total:int -> cached:int -> unit) ->
+  Simnet.Scenario.t array ->
+  outcome array
+(** Memoized fan-out over a pool of [jobs] lanes (default
+    {!Parallel.Pool.default_size}). With a cache, a {!Manifest} for the
+    point-key list is saved before execution starts, and each finished
+    point persists immediately. [on_progress] fires once per point
+    (from worker domains — keep it cheap and thread-safe; [cached] is
+    a snapshot of cache hits so far). *)
+
+val resilience_memo : Cache.t -> Faultnet.Resilience.memo
+(** Adapter making {!Faultnet.Resilience.bisect}/[sweep] persist their
+    probe summaries here: key material strings hash through
+    {!Key.of_material}, summaries marshal like any other entry. *)

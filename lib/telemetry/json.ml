@@ -19,6 +19,7 @@ let float_full f =
   if Float.is_nan f then "null" else Printf.sprintf "%.17g" f
 
 let int = string_of_int
+let bool b = if b then "true" else "false"
 
 let obj fields =
   let b = Buffer.create 64 in
@@ -31,4 +32,15 @@ let obj fields =
       Buffer.add_string b v)
     fields;
   Buffer.add_char b '}';
+  Buffer.contents b
+
+let arr items =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b v)
+    items;
+  Buffer.add_char b ']';
   Buffer.contents b

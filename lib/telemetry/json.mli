@@ -18,6 +18,13 @@ val float_full : float -> string
 
 val int : int -> string
 
+val bool : bool -> string
+(** [true] / [false] literals. *)
+
 val obj : (string * string) list -> string
 (** [obj fields] renders [{"k": v, ...}] — values are already rendered
     fragments, keys are escaped here. *)
+
+val arr : string list -> string
+(** [arr items] renders [[v, ...]] — items are already rendered
+    fragments. *)

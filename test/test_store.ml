@@ -1,0 +1,526 @@
+(* Tests for the content-addressed result store and the Scenario
+   canonical encoding that feeds it: SHA-256 against the FIPS vectors,
+   encode/decode round-trips, key stability under field permutation and
+   default elision, key sensitivity to single-field perturbation, cache
+   integrity (corruption evicts and recomputes), sweep resumability and
+   jobs-independence, and the resilience probe memo. *)
+
+module Scenario = Simnet.Scenario
+module Key = Store.Key
+module Cache = Store.Cache
+module Manifest = Store.Manifest
+module Sweep = Store.Sweep
+
+let with_store f =
+  let dir = Filename.temp_dir "dcecc-store-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f (Cache.open_ ~dir))
+
+(* ---------------- SHA-256 ---------------- *)
+
+let test_sha256_vectors () =
+  let check msg expect =
+    Alcotest.(check string) ("sha256 of " ^ String.escaped msg) expect
+      (Key.sha256_hex msg)
+  in
+  check ""
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* exercises the multi-block path: 1,000,000 'a' is the classic
+     third FIPS vector *)
+  check (String.make 1_000_000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+let test_key_material () =
+  let k1 = Key.of_material "hello" in
+  let k2 = Key.of_material "hello" in
+  let k3 = Key.of_material "hellp" in
+  Alcotest.(check string) "deterministic" (Key.to_hex k1) (Key.to_hex k2);
+  Alcotest.(check bool) "sensitive" false (Key.to_hex k1 = Key.to_hex k3);
+  Alcotest.(check bool) "of_hex round-trip" true
+    (Key.of_hex (Key.to_hex k1) = Some k1);
+  Alcotest.(check bool) "of_hex rejects junk" true
+    (Key.of_hex "xyz" = None
+    && Key.of_hex (String.make 64 'G') = None
+    && Key.of_hex (String.make 63 'a') = None)
+
+(* ---------------- Scenario encoding ---------------- *)
+
+let params = Fluid.Params.default
+
+let sample_scenarios () =
+  let plan =
+    Simnet.Fault_plan.(
+      with_blackout ~reset:true
+        (with_delay ~jitter:2e-6 ~reorder:true
+           (with_capacity
+              (with_pause_loss
+                 (with_bcn_loss ~pos:(Bernoulli 0.1)
+                    ~neg:(Burst { p_enter = 0.1; p_exit = 0.4; p_drop = 0.9 })
+                    (with_seed none 11))
+                 (Bernoulli 0.05))
+              (Flap_schedule [ (1e-3, 0.5); (2e-3, 1.0) ]))
+           ~fixed:1e-6)
+        ~start:3e-3 ~duration:1e-3)
+  in
+  [
+    Scenario.bcn params;
+    Scenario.bcn ~t_end:4e-3 ~sampling:Scenario.Bernoulli ~mode:Simnet.Source.Literal
+      ~broadcast_feedback:true ~pause_resume:0.8 params
+    |> (fun s -> Scenario.with_seed s 42)
+    |> (fun s -> Scenario.with_replicas s 3);
+    Scenario.with_fault (Scenario.bcn ~t_end:4e-3 params) plan;
+    Scenario.with_workload (Scenario.bcn params)
+      [
+        Scenario.Cbr { rate = 1e9 };
+        Scenario.Poisson { mean_rate = 5e8; seed = 7 };
+        Scenario.On_off
+          { peak_rate = 2e9; mean_on = 1e-3; mean_off = 2e-3; seed = 3 };
+        Scenario.Incast
+          { senders = 4; burst_frames = 10; period = 1e-3; jitter = 1e-5; seed = 1 };
+      ];
+    Scenario.e2cm ~t_end:5e-3 params;
+    Scenario.fera ~interval:2e-5 ~target_util:0.9 params;
+    Scenario.multihop ~n_long:3 ~n_short:2 ~strict_tagging:false params;
+    Scenario.bcn ~sampling:(Scenario.Timer 1e-5) ~enable_pause:false params;
+  ]
+
+let test_roundtrip () =
+  List.iteri
+    (fun i s ->
+      let enc = Scenario.encode s in
+      match Scenario.decode enc with
+      | Error e -> Alcotest.failf "scenario %d failed to decode: %s" i e
+      | Ok s' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "scenario %d round-trips" i)
+            true (Scenario.equal s s');
+          Alcotest.(check string)
+            (Printf.sprintf "scenario %d re-encodes identically" i)
+            enc (Scenario.encode s'))
+    (sample_scenarios ())
+
+let test_describe () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "describe nonempty" true
+        (String.length (Scenario.describe s) > 0))
+    (sample_scenarios ())
+
+(* Keys must not depend on JSON field order or on spelling out
+   defaults: both re-keys go through decode, whose output re-encodes
+   canonically. *)
+let test_key_field_order_and_elision () =
+  let s = List.nth (sample_scenarios ()) 1 in
+  let canonical = Key.of_scenario s in
+  let rekey src =
+    match Scenario.decode src with
+    | Ok s' -> Key.of_scenario s'
+    | Error e -> Alcotest.failf "rekey decode failed: %s" e
+  in
+  (* hand-permuted field order, defaults elided *)
+  let permuted =
+    Printf.sprintf
+      "{\"replicas\": 3, \"seed\": 42, \"model\": {\"pause_resume\": 0.8, \
+       \"broadcast_feedback\": true, \"mode\": \"literal\", \"sampling\": \
+       {\"kind\": \"bernoulli\"}, \"kind\": \"bcn\"}, \"t_end\": 0.004, \
+       \"params\": %s, \"v\": 1}"
+      (Scenario.encode_params params)
+  in
+  Alcotest.(check string) "permuted+elided encoding keys identically"
+    (Key.to_hex canonical)
+    (Key.to_hex (rekey permuted));
+  (* fully explicit canonical form keys identically too *)
+  Alcotest.(check string) "canonical encoding keys identically"
+    (Key.to_hex canonical)
+    (Key.to_hex (rekey (Scenario.encode s)))
+
+let test_key_sensitivity () =
+  let base = Scenario.bcn ~t_end:4e-3 params in
+  let k = Key.to_hex (Key.of_scenario base) in
+  let differs name s' =
+    Alcotest.(check bool) (name ^ " changes the key") false
+      (k = Key.to_hex (Key.of_scenario s'))
+  in
+  differs "t_end" (Scenario.bcn ~t_end:5e-3 params);
+  differs "sample_dt" { base with Scenario.sample_dt = 2e-5 };
+  differs "control_delay" { base with Scenario.control_delay = 2e-6 };
+  differs "initial_rate" { base with Scenario.initial_rate = Some 1e9 };
+  differs "params"
+    (Scenario.bcn ~t_end:4e-3 (Fluid.Params.with_buffer params 15e6));
+  differs "model knob"
+    (Scenario.bcn ~t_end:4e-3 ~enable_pause:false params);
+  differs "workload"
+    (Scenario.with_workload base [ Scenario.Cbr { rate = 1e9 } ]);
+  differs "fault"
+    (Scenario.with_fault base
+       Simnet.Fault_plan.(with_bcn_loss ~pos:(Bernoulli 0.1) none));
+  differs "model family" (Scenario.e2cm ~t_end:4e-3 params);
+  (* the no-op fault plan normalises away: key unchanged *)
+  Alcotest.(check string) "empty plan does not perturb the key" k
+    (Key.to_hex (Key.of_scenario (Scenario.with_fault base Simnet.Fault_plan.none)))
+
+let test_decode_rejects () =
+  let rejects name src =
+    match Scenario.decode src with
+    | Ok _ -> Alcotest.failf "%s unexpectedly decoded" name
+    | Error _ -> ()
+  in
+  rejects "garbage" "not json";
+  rejects "unknown top field"
+    "{\"v\": 1, \"model\": {\"kind\": \"bcn\"}, \"params\": {\"n_flows\": 1, \
+     \"capacity\": 1e9, \"q0\": 1e5, \"buffer\": 5e6, \"gi\": 1.0, \"gd\": \
+     4.0, \"ru\": 1e6}, \"bogus\": 1}";
+  rejects "unknown model kind"
+    "{\"v\": 1, \"model\": {\"kind\": \"dctcp\"}, \"params\": {\"n_flows\": \
+     1, \"capacity\": 1e9, \"q0\": 1e5, \"buffer\": 5e6, \"gi\": 1.0, \
+     \"gd\": 4.0, \"ru\": 1e6}}";
+  rejects "bad version"
+    "{\"v\": 99, \"model\": {\"kind\": \"bcn\"}, \"params\": {\"n_flows\": \
+     1, \"capacity\": 1e9, \"q0\": 1e5, \"buffer\": 5e6, \"gi\": 1.0, \
+     \"gd\": 4.0, \"ru\": 1e6}}";
+  rejects "missing params" "{\"v\": 1, \"model\": {\"kind\": \"bcn\"}}";
+  rejects "invalid semantics (t_end < 0)"
+    "{\"v\": 1, \"t_end\": -1.0, \"model\": {\"kind\": \"bcn\"}, \"params\": \
+     {\"n_flows\": 1, \"capacity\": 1e9, \"q0\": 1e5, \"buffer\": 5e6, \
+     \"gi\": 1.0, \"gd\": 4.0, \"ru\": 1e6}}"
+
+(* qcheck: random valid BCN scenarios round-trip through the encoding *)
+let scenario_gen =
+  QCheck.Gen.(
+    let* t_end = float_range 1e-3 1e-2 in
+    let* seed = int_range 0 1000 in
+    let* bern = bool in
+    let* replicas = if bern then int_range 1 4 else return 1 in
+    let* enable_pause = bool in
+    let* broadcast = bool in
+    let* workload =
+      oneof
+        [
+          return [];
+          return [ Scenario.Cbr { rate = 1e8 } ];
+          (let* wseed = int_range 0 99 in
+           return [ Scenario.Poisson { mean_rate = 1e8; seed = wseed } ]);
+        ]
+    in
+    let* fault =
+      oneof
+        [
+          return None;
+          (let* p = float_range 0.01 0.5 in
+           return
+             (Some Simnet.Fault_plan.(with_bcn_loss ~pos:(Bernoulli p) none)));
+        ]
+    in
+    let s =
+      Scenario.bcn ~t_end
+        ~sampling:(if bern then Scenario.Bernoulli else Scenario.Deterministic)
+        ~enable_pause ~broadcast_feedback:broadcast params
+    in
+    let s = Scenario.with_seed s seed in
+    let s = Scenario.with_replicas s replicas in
+    let s = Scenario.with_workload s workload in
+    let s = match fault with Some p -> Scenario.with_fault s p | None -> s in
+    return s)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"decode (encode s) = Ok s" ~count:200
+    (QCheck.make scenario_gen ~print:Scenario.encode)
+    (fun s ->
+      match Scenario.decode (Scenario.encode s) with
+      | Ok s' -> Scenario.equal s s' && Scenario.encode s' = Scenario.encode s
+      | Error _ -> false)
+
+(* ---------------- Cache ---------------- *)
+
+let test_cache_basics () =
+  with_store (fun c ->
+      let k = Key.of_material "cache-basics" in
+      Alcotest.(check bool) "miss on empty" true (Cache.find c k = None);
+      Cache.put c k "payload bytes";
+      Alcotest.(check bool) "mem after put" true (Cache.mem c k);
+      Alcotest.(check (option string)) "hit returns payload"
+        (Some "payload bytes") (Cache.find c k);
+      let s = Cache.stats c in
+      Alcotest.(check int) "one hit" 1 s.Cache.hits;
+      Alcotest.(check int) "one miss" 1 s.Cache.misses;
+      Alcotest.(check int) "one put" 1 s.Cache.puts;
+      Alcotest.(check int) "one entry on disk" 1 (Cache.entries c);
+      (* reopening sees the same entry *)
+      let c2 = Cache.open_ ~dir:(Cache.root c) in
+      Alcotest.(check (option string)) "persistent across open"
+        (Some "payload bytes") (Cache.find c2 k))
+
+let test_cache_refuses_foreign_dir () =
+  let dir = Filename.temp_dir "dcecc-notastore" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let oc = open_out (Filename.concat dir "precious.txt") in
+      output_string oc "do not touch";
+      close_out oc;
+      Alcotest.check_raises "refuses non-store directory"
+        (Failure
+           (Printf.sprintf
+              "Store.Cache.open_: %s exists, is not empty and has no store \
+               format stamp"
+              dir))
+        (fun () -> ignore (Cache.open_ ~dir)))
+
+let corrupt_entry root key =
+  let hex = Key.to_hex key in
+  let path =
+    Filename.concat
+      (Filename.concat (Filename.concat root "objects") (String.sub hex 0 2))
+      hex
+  in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let mangled = Bytes.of_string raw in
+  let last = Bytes.length mangled - 1 in
+  Bytes.set mangled last
+    (Char.chr (Char.code (Bytes.get mangled last) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc mangled;
+  close_out oc;
+  path
+
+let test_cache_corruption_evicts () =
+  with_store (fun c ->
+      let k = Key.of_material "corruptible" in
+      let computed = ref 0 in
+      let f () =
+        incr computed;
+        "the result"
+      in
+      Alcotest.(check string) "cold memo computes" "the result"
+        (Cache.memo c k f);
+      Alcotest.(check string) "warm memo cached" "the result"
+        (Cache.memo c k f);
+      Alcotest.(check int) "computed once" 1 !computed;
+      let path = corrupt_entry (Cache.root c) k in
+      Alcotest.(check string) "corrupt entry recomputes" "the result"
+        (Cache.memo c k f);
+      Alcotest.(check int) "recomputed after corruption" 2 !computed;
+      Alcotest.(check int) "eviction counted" 1 (Cache.stats c).Cache.evictions;
+      Alcotest.(check bool) "entry rewritten" true (Sys.file_exists path);
+      Alcotest.(check string) "healthy again" "the result" (Cache.memo c k f);
+      Alcotest.(check int) "no recompute after heal" 2 !computed)
+
+let test_manifest () =
+  with_store (fun c ->
+      let points =
+        Array.init 5 (fun i -> Key.of_material (Printf.sprintf "point-%d" i))
+      in
+      let m = Manifest.create ~points in
+      Manifest.save c m;
+      (match Manifest.load c m.Manifest.sweep_key with
+      | None -> Alcotest.fail "manifest did not load"
+      | Some m' ->
+          Alcotest.(check int) "point count survives" 5
+            (Array.length m'.Manifest.points);
+          Alcotest.(check string) "points survive in order"
+            (String.concat "," (Array.to_list (Array.map Key.to_hex points)))
+            (String.concat ","
+               (Array.to_list (Array.map Key.to_hex m'.Manifest.points))));
+      Alcotest.(check int) "no progress yet" 0 (Manifest.progress c m);
+      Cache.put c points.(1) "x";
+      Cache.put c points.(3) "y";
+      Alcotest.(check int) "progress counts present points" 2
+        (Manifest.progress c m);
+      Alcotest.(check int) "listed" 1 (List.length (Manifest.list c)))
+
+(* ---------------- Sweeps through the store ---------------- *)
+
+let sweep_scenarios () =
+  Array.of_list
+    (List.map
+       (fun t_end -> Scenario.bcn ~t_end params)
+       [ 1e-3; 1.5e-3; 2e-3; 2.5e-3 ])
+
+let marshal_outcomes (o : Sweep.outcome array) = Marshal.to_string o []
+
+let test_sweep_cold_then_warm () =
+  with_store (fun c ->
+      let scenarios = sweep_scenarios () in
+      let cold = Sweep.sweep ~cache:c ~jobs:1 scenarios in
+      let s1 = Cache.stats c in
+      Alcotest.(check int) "cold: all points computed"
+        (Array.length scenarios) s1.Cache.misses;
+      Cache.reset_stats c;
+      let warm = Sweep.sweep ~cache:c ~jobs:1 scenarios in
+      let s2 = Cache.stats c in
+      Alcotest.(check int) "warm: zero simulations (no misses)" 0
+        s2.Cache.misses;
+      Alcotest.(check int) "warm: zero writes" 0 s2.Cache.puts;
+      Alcotest.(check int) "warm: all points served from store"
+        (Array.length scenarios) s2.Cache.hits;
+      Alcotest.(check string) "warm byte-identical to cold"
+        (marshal_outcomes cold) (marshal_outcomes warm))
+
+let test_sweep_resume_after_crash () =
+  with_store (fun c ->
+      let scenarios = sweep_scenarios () in
+      (* simulate a sweep killed after two points: run only a prefix *)
+      let prefix = Array.sub scenarios 0 2 in
+      ignore (Sweep.sweep ~cache:c ~jobs:1 prefix);
+      (* the full sweep's manifest knows what is already done *)
+      let m =
+        Manifest.create ~points:(Array.map Key.of_scenario scenarios)
+      in
+      Alcotest.(check int) "manifest sees the partial progress" 2
+        (Manifest.progress c m);
+      Cache.reset_stats c;
+      let resumed = Sweep.sweep ~cache:c ~jobs:1 scenarios in
+      let s = Cache.stats c in
+      Alcotest.(check int) "resume recomputes only the missing points" 2
+        s.Cache.misses;
+      Alcotest.(check int) "resume reuses the completed points" 2
+        s.Cache.hits;
+      Alcotest.(check int) "manifest complete after resume"
+        (Array.length scenarios) (Manifest.progress c m);
+      (* and the result equals a from-scratch cold sweep elsewhere *)
+      with_store (fun c2 ->
+          let cold = Sweep.sweep ~cache:c2 ~jobs:1 scenarios in
+          Alcotest.(check string) "resumed = cold" (marshal_outcomes cold)
+            (marshal_outcomes resumed)))
+
+let test_sweep_jobs_independent () =
+  with_store (fun c ->
+      let scenarios = sweep_scenarios () in
+      let r1 = Sweep.sweep ~cache:c ~jobs:1 scenarios in
+      with_store (fun c4 ->
+          let r4 = Sweep.sweep ~cache:c4 ~jobs:4 scenarios in
+          Alcotest.(check string) "jobs=1 and jobs=4 byte-identical"
+            (marshal_outcomes r1) (marshal_outcomes r4));
+      (* warm read at a different jobs count is also identical *)
+      let r4' = Sweep.sweep ~cache:c ~jobs:4 scenarios in
+      Alcotest.(check string) "warm at jobs=4 = cold at jobs=1"
+        (marshal_outcomes r1) (marshal_outcomes r4'))
+
+let test_memo_run_models () =
+  with_store (fun c ->
+      List.iter
+        (fun s ->
+          let cold = Sweep.memo_run ~cache:c s in
+          let warm = Sweep.memo_run ~cache:c s in
+          Alcotest.(check string) "memo_run warm = cold"
+            (Marshal.to_string cold [])
+            (Marshal.to_string warm []))
+        [
+          Scenario.e2cm ~t_end:2e-3 params;
+          Scenario.fera ~t_end:2e-3 params;
+          Scenario.multihop ~t_end:2e-3 ~n_long:2 ~n_short:2 params;
+        ])
+
+(* faulted, multi-replica scenario: exec wires injectors per replica.
+   The run must actually congest (start at the equilibrium rate) or the
+   switch never samples and every replica degenerates to the same
+   trace. *)
+let test_exec_faulted_replicas () =
+  let congested = Fluid.Params.with_buffer params 15e6 in
+  let s =
+    Scenario.bcn ~t_end:2e-3 ~sampling:Scenario.Bernoulli
+      ~initial_rate:(Fluid.Params.equilibrium_rate congested) congested
+    |> (fun s -> Scenario.with_seed s 3)
+    |> (fun s -> Scenario.with_replicas s 2)
+    |> fun s ->
+    Scenario.with_fault s
+      Simnet.Fault_plan.(with_bcn_loss ~pos:(Bernoulli 0.3) (with_seed none 5))
+  in
+  match Sweep.exec s with
+  | Sweep.Bcn_results rs ->
+      Alcotest.(check int) "one result per replica" 2 (Array.length rs);
+      Alcotest.(check bool) "replicas decorrelated" false
+        (Marshal.to_string rs.(0) [] = Marshal.to_string rs.(1) []);
+      (* deterministic: a second exec is byte-identical *)
+      (match Sweep.exec s with
+      | Sweep.Bcn_results rs' ->
+          Alcotest.(check string) "exec deterministic"
+            (Marshal.to_string rs [])
+            (Marshal.to_string rs' [])
+      | _ -> Alcotest.fail "model tag changed")
+  | _ -> Alcotest.fail "expected Bcn_results"
+
+(* ---------------- Resilience memo ---------------- *)
+
+let test_resilience_memo () =
+  with_store (fun c ->
+      let sc =
+        Faultnet.Resilience.scenario ~t_end:2e-3 ~label:"memo"
+          (Fluid.Params.with_buffer Fluid.Params.default 15e6)
+      in
+      let memo = Sweep.resilience_memo c in
+      let cold =
+        Faultnet.Resilience.bisect ~iters:2 ~memo ~seed:5 sc
+          Faultnet.Resilience.Bcn_loss
+      in
+      Cache.reset_stats c;
+      let warm =
+        Faultnet.Resilience.bisect ~iters:2 ~memo ~seed:5 sc
+          Faultnet.Resilience.Bcn_loss
+      in
+      Alcotest.(check int) "warm bisect: zero simulations" 0
+        (Cache.stats c).Cache.misses;
+      Alcotest.(check bool) "warm bisect: probes served from store" true
+        ((Cache.stats c).Cache.hits > 0);
+      Alcotest.(check string) "warm margin byte-identical"
+        (Marshal.to_string cold [])
+        (Marshal.to_string warm []);
+      (* unmemoized bisect agrees: the memo changes cost, not answers *)
+      let plain =
+        Faultnet.Resilience.bisect ~iters:2 ~seed:5 sc
+          Faultnet.Resilience.Bcn_loss
+      in
+      Alcotest.(check string) "memoized = unmemoized"
+        (Marshal.to_string plain [])
+        (Marshal.to_string cold []))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "store"
+    [
+      ("sha256", [
+        Alcotest.test_case "fips vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "key material" `Quick test_key_material;
+      ]);
+      ("scenario-encoding", [
+        Alcotest.test_case "round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "describe" `Quick test_describe;
+        Alcotest.test_case "key: field order + elision" `Quick
+          test_key_field_order_and_elision;
+        Alcotest.test_case "key: single-field sensitivity" `Quick
+          test_key_sensitivity;
+        Alcotest.test_case "decode rejects" `Quick test_decode_rejects;
+      ]);
+      qsuite "scenario-qcheck" [ qcheck_roundtrip ];
+      ("cache", [
+        Alcotest.test_case "basics" `Quick test_cache_basics;
+        Alcotest.test_case "refuses foreign dir" `Quick
+          test_cache_refuses_foreign_dir;
+        Alcotest.test_case "corruption evicts + recomputes" `Quick
+          test_cache_corruption_evicts;
+        Alcotest.test_case "manifest" `Quick test_manifest;
+      ]);
+      ("sweep", [
+        Alcotest.test_case "cold then warm" `Quick test_sweep_cold_then_warm;
+        Alcotest.test_case "resume after crash" `Quick
+          test_sweep_resume_after_crash;
+        Alcotest.test_case "jobs-independent" `Quick
+          test_sweep_jobs_independent;
+        Alcotest.test_case "memo_run all models" `Quick test_memo_run_models;
+        Alcotest.test_case "faulted replicas" `Quick
+          test_exec_faulted_replicas;
+      ]);
+      ("resilience-memo", [
+        Alcotest.test_case "warm bisect is free" `Quick test_resilience_memo;
+      ]);
+    ]
