@@ -22,6 +22,8 @@
    vs the boxed seed baseline) as JSON;
    `--simnet-only` runs just the packet-engine throughput suite (the
    fast way to regenerate the committed BENCH_simnet.json);
+   `--kernels-only` runs just the Bechamel kernel suite (the fast way to
+   regenerate the committed BENCH_kernels.json);
    `--smoke` runs only the fast packet-engine allocation assertions and
    exits — the @bench-smoke dune alias. *)
 
@@ -57,20 +59,39 @@ let run_figures ~jobs out =
   Printf.printf "[figure regeneration took %.1f s on %d domain%s]\n\n" dt jobs
     (if jobs = 1 then "" else "s")
 
+(* Wall clock plus the main domain's Gc.minor_words delta. In the
+   parallel pass worker domains allocate on their own minor heaps, so
+   the delta between the serial and parallel figures is the allocation
+   the pool moved off the coordinating domain. *)
+let timed_words f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0, Gc.minor_words () -. w0)
+
 let run_compare ~jobs out =
   let jobs =
     match jobs with
     | Some j -> j
     | None -> Stdlib.max 2 (Parallel.Pool.default_size ())
   in
-  let serial, dt_serial = timed (fun () -> Dcecc_core.Figures.all ~jobs:1 ?out ()) in
-  let parallel, dt_par = timed (fun () -> Dcecc_core.Figures.all ~jobs ?out ()) in
+  let serial, dt_serial, mw_serial =
+    timed_words (fun () -> Dcecc_core.Figures.all ~jobs:1 ?out ())
+  in
+  let parallel, dt_par, mw_par =
+    timed_words (fun () -> Dcecc_core.Figures.all ~jobs ?out ())
+  in
   let identical = render_figures serial = render_figures parallel in
   Printf.printf
     "################ serial vs parallel (figures) ################\n";
-  Printf.printf "serial   (1 domain)  : %8.2f s\n" dt_serial;
-  Printf.printf "parallel (%d domains): %8.2f s\n" jobs dt_par;
+  Printf.printf "serial   (1 domain)  : %8.2f s  %12.0f minor words\n"
+    dt_serial mw_serial;
+  Printf.printf "parallel (%d domains): %8.2f s  %12.0f minor words\n" jobs
+    dt_par mw_par;
   Printf.printf "speedup              : %8.2fx\n" (dt_serial /. dt_par);
+  Printf.printf "minor words off main : %12.0f (%.1f%% of serial)\n"
+    (mw_serial -. mw_par)
+    (if mw_serial > 0. then 100. *. (mw_serial -. mw_par) /. mw_serial else 0.);
   Printf.printf "output byte-identical: %b\n\n" identical;
   if not identical then exit 1
 
@@ -117,6 +138,12 @@ let run_alloc_check () =
      in-place step_auto_into = %.1f words\n"
     (minor_words_per_run ode_step)
     (minor_words_per_run ode_step_into)
+
+(* Payload size for the SHA-256 throughput rows: large enough that the
+   per-call setup vanishes, small enough for many runs per quota. The
+   JSON rows carry a derived mb_per_s so the store-hash throughput claim
+   is tracked directly. *)
+let sha_bytes = 262144
 
 let kernels () =
   let open Bechamel in
@@ -213,6 +240,11 @@ let kernels () =
   let nonlinear_excursion () =
     ignore (Fluid.Stability.first_excursion ~t_max:1e-3 big)
   in
+  let sha_payload = String.init sha_bytes (fun i -> Char.chr (i land 0xff)) in
+  let sha256 () = ignore (Store.Key.sha256_hex sha_payload : string) in
+  let sha256_ref () =
+    ignore (Store.Key.sha256_reference sha_payload : string)
+  in
   Test.make_grouped ~name:"dcecc"
     [
       Test.make ~name:"fig3_taxonomy" (Staged.stage fig3);
@@ -238,9 +270,23 @@ let kernels () =
       Test.make ~name:"kernel_rk4_step_into" (Staged.stage ode_step_into);
       Test.make ~name:"kernel_nonlinear_excursion"
         (Staged.stage nonlinear_excursion);
+      Test.make ~name:"store_sha256_256k" (Staged.stage sha256);
+      Test.make ~name:"store_sha256_ref_256k" (Staged.stage sha256_ref);
     ]
 
 type estimate = { name : string; time_ns : float; minor_words : float }
+
+(* Derived throughput for the fixed-payload hash rows.
+   bytes / (ns / 1e9) / 1e6 = bytes / ns * 1e3 MB/s. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let sha_mb_per_s e =
+  if contains e.name "sha256" && e.time_ns > 0. then
+    Some (float_of_int sha_bytes /. e.time_ns *. 1e3)
+  else None
 
 let estimates_of instance raw =
   let open Bechamel in
@@ -298,6 +344,12 @@ let run_perf () =
       (List.map
          (fun e -> [ e.name; fmt_time e.time_ns; fmt_words e.minor_words ])
          rows);
+  List.iter
+    (fun e ->
+      match sha_mb_per_s e with
+      | Some mb -> Printf.printf "%s throughput: %.1f MB/s\n" e.name mb
+      | None -> ())
+    rows;
   rows
 
 (* JSON writer over the shared fragments in [Telemetry.Json]. *)
@@ -310,13 +362,18 @@ let write_json path rows =
       output_string oc "{\n  \"kernels\": [\n";
       List.iteri
         (fun i e ->
-          Printf.fprintf oc "    %s%s\n"
-            (J.obj
-               [
-                 ("name", J.str e.name);
-                 ("time_ns_per_run", J.float e.time_ns);
-                 ("minor_words_per_run", J.float e.minor_words);
-               ])
+          let cells =
+            [
+              ("name", J.str e.name);
+              ("time_ns_per_run", J.float e.time_ns);
+              ("minor_words_per_run", J.float e.minor_words);
+            ]
+            @
+            match sha_mb_per_s e with
+            | Some mb -> [ ("mb_per_s", J.float mb) ]
+            | None -> []
+          in
+          Printf.fprintf oc "    %s%s\n" (J.obj cells)
             (if i = List.length rows - 1 then "" else ","))
         rows;
       output_string oc "  ]\n}\n");
@@ -361,6 +418,12 @@ let () =
       | exception Sys_error msg ->
           fail "bench: cannot write --simnet-json %s" msg)
   | None -> ());
+  if has "--kernels-only" then begin
+    let rows = run_perf () in
+    run_alloc_check ();
+    (match json with Some path -> write_json path rows | None -> ());
+    exit 0
+  end;
   let jobs =
     if has "--serial" then Some 1
     else

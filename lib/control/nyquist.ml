@@ -11,12 +11,37 @@ let locus ?(w_min = 1e-4) ?(w_max = 1e6) ?(n = 4000) h =
   if w_min <= 0. || w_max <= w_min then invalid_arg "Nyquist.locus: bad range";
   let ws = log_grid w_min w_max n in
   let res = Array.make n 0. and ims = Array.make n 0. in
-  Array.iteri
-    (fun i w ->
-      let re, im = Tf.response h w in
-      res.(i) <- re;
-      ims.(i) <- im)
-    ws;
+  let num = Tf.num h and den = Tf.den h in
+  let num_top = Array.length num - 1 and den_top = Array.length den - 1 in
+  (* [Tf.response]'s complex Horner, textually inlined at [s = (0., w)]
+     — including the [*. 0.] terms, so the curve is bit-identical. The
+     accumulators live in a 2-slot float array: float-array stores stay
+     unboxed, while the original [ref float]s box on every store (two
+     boxes per coefficient per point), which is where the old locus'
+     minor words went. *)
+  let acc = [| 0.; 0. |] in
+  for i = 0 to n - 1 do
+    let w = ws.(i) in
+    acc.(0) <- 0.;
+    acc.(1) <- 0.;
+    for j = num_top downto 0 do
+      let ar = acc.(0) and ai = acc.(1) in
+      acc.(0) <- (ar *. 0.) -. (ai *. w) +. num.(j);
+      acc.(1) <- (ar *. w) +. (ai *. 0.)
+    done;
+    let nr = acc.(0) and ni = acc.(1) in
+    acc.(0) <- 0.;
+    acc.(1) <- 0.;
+    for j = den_top downto 0 do
+      let ar = acc.(0) and ai = acc.(1) in
+      acc.(0) <- (ar *. 0.) -. (ai *. w) +. den.(j);
+      acc.(1) <- (ar *. w) +. (ai *. 0.)
+    done;
+    let dr = acc.(0) and di = acc.(1) in
+    let d2 = (dr *. dr) +. (di *. di) in
+    res.(i) <- ((nr *. dr) +. (ni *. di)) /. d2;
+    ims.(i) <- ((ni *. dr) -. (nr *. di)) /. d2
+  done;
   { ws; res; ims }
 
 (* Multiplicity of the pole at the origin = index of the lowest-order
@@ -43,35 +68,45 @@ let rhp_pole_count h =
 let winding ?(w_min = 1e-4) ?(w_max = 1e6) ?(n = 4000) h =
   let c = locus ~w_min ~w_max ~n h in
   let len = Array.length c.ws in
-  let angle re im = atan2 im (re +. 1.) in
-  let unwrap prev a =
-    let two_pi = 2. *. Float.pi in
+  let two_pi = 2. *. Float.pi in
+  (* The unwrapped angle lives in a 1-slot float array rather than a
+     [ref float] (which would box per store), and the angle/unwrap
+     helpers are inlined into the sweeps (a closure call boxes its float
+     arguments) — same expressions, same bits, zero allocation per
+     point. [angle re im = atan2 im (re +. 1.)]. *)
+  let th = [| 0. |] in
+  (* negative frequencies: w from −w_max up to −w_min, i.e. traverse the
+     conjugate locus from index n−1 down to 0 *)
+  th.(0) <- atan2 (-.c.ims.(len - 1)) (c.res.(len - 1) +. 1.);
+  let start = th.(0) in
+  for i = len - 2 downto 0 do
+    let a = atan2 (-.c.ims.(i)) (c.res.(i) +. 1.) in
+    let prev = th.(0) in
     let d = Float.rem (a -. Float.rem prev two_pi) two_pi in
     let d =
       if d > Float.pi then d -. two_pi
       else if d < -.Float.pi then d +. two_pi
       else d
     in
-    prev +. d
-  in
-  (* negative frequencies: w from −w_max up to −w_min, i.e. traverse the
-     conjugate locus from index n−1 down to 0 *)
-  let theta = ref (angle c.res.(len - 1) (-.c.ims.(len - 1))) in
-  let start = !theta in
-  for i = len - 2 downto 0 do
-    theta := unwrap !theta (angle c.res.(i) (-.c.ims.(i)))
+    th.(0) <- prev +. d
   done;
   (* indentation around the origin poles: clockwise sweep of m·π *)
   let m = origin_pole_multiplicity h in
-  theta := !theta -. (float_of_int m *. Float.pi);
+  th.(0) <- th.(0) -. (float_of_int m *. Float.pi);
   (* re-anchor the next segment's first point to the current unwrapped
      value: w from w_min to w_max *)
-  let first_pos = angle c.res.(0) c.ims.(0) in
-  theta := unwrap !theta first_pos;
-  for i = 1 to len - 1 do
-    theta := unwrap !theta (angle c.res.(i) c.ims.(i))
+  for i = 0 to len - 1 do
+    let a = atan2 c.ims.(i) (c.res.(i) +. 1.) in
+    let prev = th.(0) in
+    let d = Float.rem (a -. Float.rem prev two_pi) two_pi in
+    let d =
+      if d > Float.pi then d -. two_pi
+      else if d < -.Float.pi then d +. two_pi
+      else d
+    in
+    th.(0) <- prev +. d
   done;
-  (!theta -. start) /. (2. *. Float.pi)
+  (th.(0) -. start) /. (2. *. Float.pi)
 
 let encirclements ?w_min ?w_max ?n h =
   let w = winding ?w_min ?w_max ?n h in

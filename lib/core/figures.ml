@@ -65,8 +65,31 @@ let genuine_limit_cycle_system () =
   let b = 2. in
   let n1 = 25. and m1 = 4. in
   let sigma (p : Vec2.t) = -.(p.Vec2.x +. (k *. p.Vec2.y)) in
+  (* [rhs]/[batch] mirror the closures below expression-for-expression
+     (same ops, same order), so the fast paths stay bit-identical to
+     closure evaluation. *)
+  let rhs (y : float array) (dst : float array) =
+    let lin = y.(0) +. (k *. y.(1)) in
+    dst.(0) <- y.(1);
+    dst.(1) <-
+      (if -.lin >= 0. then (-.n1 *. y.(0)) +. (m1 *. y.(1))
+       else -.b *. (y.(1) +. cap) *. lin)
+  in
+  let batch (bt : Ode.Batch.t) xs ys dxs dys =
+    let nn = bt.Ode.Batch.n in
+    let sg = bt.Ode.Batch.sg and sa = bt.Ode.Batch.sa and sb = bt.Ode.Batch.sb in
+    for i = 0 to nn - 1 do
+      let xv = Array.unsafe_get xs i and yv = Array.unsafe_get ys i in
+      let lin = xv +. (k *. yv) in
+      Array.unsafe_set sg i (-.lin);
+      Array.unsafe_set sa i ((-.n1 *. xv) +. (m1 *. yv));
+      Array.unsafe_set sb i (-.b *. (yv +. cap) *. lin)
+    done;
+    Array.blit ys 0 dxs 0 nn;
+    Ode.Batch.select bt ~mask:sg ~pos:sa ~neg:sb ~dst:dys
+  in
   let sys =
-    Phaseplane.System.Switched
+    Phaseplane.System.Switched_fast
       {
         sigma;
         pos =
@@ -77,6 +100,8 @@ let genuine_limit_cycle_system () =
               (-.b
                *. (p.Vec2.y +. cap)
                *. (p.Vec2.x +. (k *. p.Vec2.y))));
+        rhs;
+        batch;
       }
   in
   (sys, 2.0)
@@ -891,7 +916,11 @@ let a3_solver_ablation ?out () =
           (fun pt ->
             incr n;
             f pt)
-    | Phaseplane.System.Switched { sigma; pos; neg } ->
+    | Phaseplane.System.Switched { sigma; pos; neg }
+    | Phaseplane.System.Switched_fast { sigma; pos; neg; _ } ->
+        (* plain [Switched] on purpose: the fast in-place RHS would
+           bypass the counting closures, and the whole point here is a
+           deterministic evaluation count *)
         Phaseplane.System.Switched
           {
             sigma;

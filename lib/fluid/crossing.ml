@@ -19,6 +19,64 @@ let matches dir g_prev g_next =
 
 (* [first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt] scans [t_min, t_max]
    with step [dt]. [sol t] must return (x t, y t). *)
+(* [first_crossing_g] is the mailbox form of the scan: [g_into tin gout]
+   reads t from [tin.(0)] and writes g(t) into [gout.(0)]. Float-array
+   slots stay unboxed, so the scan allocates nothing per evaluation; only
+   Brent refinement (a handful of calls per crossing) pays the boxed
+   closure-call cost. The scan logic — grid, sign test, refinement — is
+   the same as [first_crossing], so results are bit-identical when
+   [g_into] mirrors the g built from [sol]. *)
+let first_crossing_g ~g_into ~dir ~t_min ~t_max ~dt =
+  if dt <= 0. then invalid_arg "Crossing.first_crossing: dt <= 0";
+  let tin = [| 0. |] and gout = [| 0. |] in
+  (* st.(0) = current t, st.(1) = g(t) *)
+  let st = [| t_min; 0. |] in
+  tin.(0) <- t_min;
+  g_into tin gout;
+  st.(1) <- gout.(0);
+  let result = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    let t = st.(0) in
+    if t >= t_max then continue_ := false
+    else begin
+      let t' = Float.min (t +. dt) t_max in
+      tin.(0) <- t';
+      g_into tin gout;
+      let g_next = gout.(0) in
+      let g_prev = st.(1) in
+      let fired =
+        (* [matches dir], textually inlined: a direct call would box the
+           two float arguments per grid point *)
+        match dir with
+        | Into_pos -> g_prev < 0. && g_next >= 0.
+        | Into_neg -> g_prev > 0. && g_next <= 0.
+        | Any -> g_prev *. g_next <= 0. && g_prev <> g_next
+      in
+      if fired then begin
+        let root =
+          if g_prev = 0. then t
+          else begin
+            let g x =
+              tin.(0) <- x;
+              g_into tin gout;
+              gout.(0)
+            in
+            try Numerics.Roots.brent ~tol:1e-14 g t t'
+            with Numerics.Roots.No_bracket _ -> t'
+          end
+        in
+        result := Some root;
+        continue_ := false
+      end
+      else begin
+        st.(0) <- t';
+        st.(1) <- g_next
+      end
+    end
+  done;
+  !result
+
 let first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt =
   if dt <= 0. then invalid_arg "Crossing.first_crossing: dt <= 0";
   let g t =

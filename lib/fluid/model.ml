@@ -17,7 +17,33 @@ let normalized_system p =
   let a = Params.a p and b = Params.b p and k = Params.k p in
   let c = p.Params.capacity in
   let sw (v : Vec2.t) = -.(v.Vec2.x +. (k *. v.Vec2.y)) in
-  Phaseplane.System.Switched
+  (* The in-place and batched right-hand sides mirror the closures
+     expression for expression ([lin] is the shared subexpression
+     [x +. (k *. y)]; negation and reuse of an identical subexpression
+     are bit-exact), so the fast solver paths produce the same bits as
+     the closure dispatch [if sigma >= 0 then pos else neg]. *)
+  let rhs (y : float array) (dst : float array) =
+    let lin = y.(0) +. (k *. y.(1)) in
+    dst.(0) <- y.(1);
+    dst.(1) <-
+      (if -.lin >= 0. then -.a *. lin else -.b *. (y.(1) +. c) *. lin)
+  in
+  let batch (bt : Ode.Batch.t) xs ys dxs dys =
+    let n = bt.Ode.Batch.n in
+    let sg = bt.Ode.Batch.sg
+    and sa = bt.Ode.Batch.sa
+    and sb = bt.Ode.Batch.sb in
+    for i = 0 to n - 1 do
+      let yv = Array.unsafe_get ys i in
+      let lin = Array.unsafe_get xs i +. (k *. yv) in
+      Array.unsafe_set sg i (-.lin);
+      Array.unsafe_set sa i (-.a *. lin);
+      Array.unsafe_set sb i (-.b *. (yv +. c) *. lin)
+    done;
+    Array.blit ys 0 dxs 0 n;
+    Ode.Batch.select bt ~mask:sg ~pos:sa ~neg:sb ~dst:dys
+  in
+  Phaseplane.System.Switched_fast
     {
       sigma = sw;
       pos =
@@ -27,6 +53,8 @@ let normalized_system p =
         (fun v ->
           Vec2.make v.Vec2.y
             (-.b *. (v.Vec2.y +. c) *. (v.Vec2.x +. (k *. v.Vec2.y))));
+      rhs;
+      batch;
     }
 
 let start_point p = Vec2.make (-.p.Params.q0) 0.

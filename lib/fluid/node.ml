@@ -72,6 +72,17 @@ let fast_slope c = c.l1
 let crossing_time c ~k ~dir ?(t_min = 0.) ?t_max ~x0 ~y0 () =
   let horizon = 50. /. Float.abs c.l2 in
   let t_max = match t_max with Some t -> t | None -> horizon in
-  let sol t = solution c ~x0 ~y0 t in
+  let { l1; l2 } = c in
+  let a1, a2 = amplitudes c ~x0 ~y0 in
+  (* g(t) = x(t) + k·y(t), [solution] inlined with the amplitudes hoisted
+     out of the scan — same expressions, same bits, zero allocation per
+     grid point. *)
+  let g_into (tin : float array) (gout : float array) =
+    let t = tin.(0) in
+    let e1 = exp (l1 *. t) and e2 = exp (l2 *. t) in
+    let x = (a1 *. e1) +. (a2 *. e2) in
+    let y = (a1 *. l1 *. e1) +. (a2 *. l2 *. e2) in
+    gout.(0) <- x +. (k *. y)
+  in
   let dt = Float.min (0.01 /. Float.abs c.l2) ((t_max -. t_min) /. 400.) in
-  Crossing.first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt
+  Crossing.first_crossing_g ~g_into ~dir ~t_min ~t_max ~dt

@@ -30,8 +30,29 @@ val classify :
 (** Classify a single initial state ([0 <= q <= B] required). Default
     horizon: 12 periods of the slower subsystem. *)
 
+val classify_front :
+  ?t_max:float ->
+  ?jobs:int ->
+  Params.t ->
+  (float * float) array ->
+  verdict array
+(** Classify a whole front of [(q, r)] initial states in one batched
+    integration ({!Numerics.Ode.Batch}): one SoA sweep per RK stage over
+    all lanes, zero minor-heap allocation per step, and a lane is frozen
+    the moment its verdict is decided (the first dropped bit decides
+    [Overflow], which has priority over [Underflow], so idle signals
+    never freeze early). Verdicts are bit-identical to per-point
+    {!classify}, for any front and any [jobs] (chunk boundaries depend
+    only on the input length). *)
+
 val raster :
-  ?t_max:float -> ?nq:int -> ?nr:int -> ?r_max:float -> Params.t -> raster
+  ?t_max:float ->
+  ?nq:int ->
+  ?nr:int ->
+  ?r_max:float ->
+  ?jobs:int ->
+  Params.t ->
+  raster
 (** Raster over [q in [0, B]] x [r in [0, r_max]] (default
     [r_max = 2·C/N], grid 24 x 24). *)
 

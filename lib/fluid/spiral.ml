@@ -70,6 +70,18 @@ let contraction_per_turn c = exp (2. *. Float.pi *. c.alpha /. c.beta)
 
 let crossing_time c ~k ~dir ?(t_min = 0.) ?t_max ~x0 ~y0 () =
   let t_max = match t_max with Some t -> t | None -> 2. *. period c in
-  let sol t = solution c ~x0 ~y0 t in
+  let { alpha; beta } = c in
+  let a, phi = amplitude_phase c ~x0 ~y0 in
+  (* g(t) = x(t) + k·y(t) with [solution] inlined expression-for-expression
+     (same ops, same bits) and (A, phi) hoisted out of the scan; the
+     mailbox form keeps every grid evaluation allocation-free. *)
+  let g_into (tin : float array) (gout : float array) =
+    let t = tin.(0) in
+    let e = exp (alpha *. t) in
+    let cb = cos ((beta *. t) +. phi) and sb = sin ((beta *. t) +. phi) in
+    let x = a *. e *. cb in
+    let y = a *. e *. ((alpha *. cb) -. (beta *. sb)) in
+    gout.(0) <- x +. (k *. y)
+  in
   let dt = period c /. 400. in
-  Crossing.first_crossing ~sol ~k ~dir ~t_min ~t_max ~dt
+  Crossing.first_crossing_g ~g_into ~dir ~t_min ~t_max ~dt

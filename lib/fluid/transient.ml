@@ -71,8 +71,12 @@ let measure ?horizon ?(band = 0.05) p =
     decay_per_cycle = decay_of_extrema tr.Phaseplane.Trajectory.axis_crossings;
   }
 
-let sweep ?horizon ?band param_of values =
-  List.map (fun v -> (v, measure ?horizon ?band (param_of v))) values
+let sweep ?horizon ?band ?(jobs = 1) param_of values =
+  let run v = (v, measure ?horizon ?band (param_of v)) in
+  if jobs <= 1 then List.map run values
+  else
+    Parallel.Pool.with_pool ~size:jobs (fun pool ->
+        Parallel.Pool.map pool run values)
 
 let pp_metrics ppf m =
   Format.fprintf ppf

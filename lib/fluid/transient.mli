@@ -26,10 +26,13 @@ val measure :
 val sweep :
   ?horizon:float ->
   ?band:float ->
+  ?jobs:int ->
   (float -> Params.t) ->
   float list ->
   (float * metrics) list
 (** Measure over a parameterized family, e.g.
-    [sweep (fun w -> Params.with_sampling ~w p) [1.; 2.; 4.]]. *)
+    [sweep (fun w -> Params.with_sampling ~w p) [1.; 2.; 4.]].
+    [jobs > 1] fans the family out over a domain pool; the output list
+    is in input order and byte-identical for any [jobs]. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit

@@ -165,6 +165,214 @@ let step_auto_into ws m (f : field_auto) y h dst =
           +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i)))
       done
 
+(* --- batched SoA stepping ------------------------------------------------ *)
+
+(* A front of [n] independent planar states advanced in lock-step.
+   Structure-of-arrays layout: one contiguous [float array] per
+   coordinate lane (state, the four RK stages, the stage scratch and
+   three sweep-scratch lanes), so a whole stage is one pass over
+   contiguous unboxed memory and the right-hand side is evaluated as a
+   single sweep over all lanes instead of n closure calls.
+
+   The per-lane arithmetic mirrors {!step_into} expression for
+   expression, so advancing lane [i] is bit-for-bit identical to
+   advancing the state [[|xs.(i); ys.(i)|]] with the scalar stepper —
+   batching changes the memory layout, never the results (locked down by
+   the test suite).
+
+   [active] is a per-lane byte mask: the moment a caller decides a
+   lane's fate (a verdict, a terminal event), it clears the flag and the
+   stepper stops writing that lane — its state is frozen at the decision
+   point while the rest of the front keeps going. RHS sweeps are allowed
+   to compute garbage for inactive lanes (their stage lanes go stale);
+   lanes are independent, so the garbage never contaminates an active
+   lane.
+
+   The step size lives in the batch ([set_h]) rather than being passed
+   per call: a [float] argument to a non-inlined call is boxed by the
+   compiler, and hoisting it into the (one-time) field store keeps the
+   per-step allocation at exactly zero. *)
+module Batch = struct
+  type t = {
+    n : int;
+    xs : float array;
+    ys : float array;
+    k1x : float array;
+    k1y : float array;
+    k2x : float array;
+    k2y : float array;
+    k3x : float array;
+    k3y : float array;
+    k4x : float array;
+    k4y : float array;
+    tmpx : float array;
+    tmpy : float array;
+    sg : float array;
+    sa : float array;
+    sb : float array;
+    active : Bytes.t;
+    mutable h : float;
+  }
+
+  type rhs = t -> float array -> float array -> float array -> float array -> unit
+
+  let create n =
+    if n < 1 then invalid_arg "Ode.Batch.create: n < 1";
+    let z () = Array.make n 0. in
+    {
+      n;
+      xs = z ();
+      ys = z ();
+      k1x = z ();
+      k1y = z ();
+      k2x = z ();
+      k2y = z ();
+      k3x = z ();
+      k3y = z ();
+      k4x = z ();
+      k4y = z ();
+      tmpx = z ();
+      tmpy = z ();
+      sg = z ();
+      sa = z ();
+      sb = z ();
+      active = Bytes.make n '\001';
+      h = 0.;
+    }
+
+  let lanes b = b.n
+  let set_h b h = b.h <- h
+  let is_active b i = Bytes.unsafe_get b.active i <> '\000'
+
+  let set_active b i v =
+    Bytes.unsafe_set b.active i (if v then '\001' else '\000')
+
+  let active_count b =
+    let c = ref 0 in
+    for i = 0 to b.n - 1 do
+      if Bytes.unsafe_get b.active i <> '\000' then incr c
+    done;
+    !c
+
+  (* Branch-free-style per-lane select on the sign of [mask]: the σ-switch
+     of the paper's variable-structure systems, applied as its own sweep
+     after both branch sweeps have run. An arithmetic blend
+     [m·pos + (1−m)·neg] would NOT be bit-identical to the scalar
+     [if sigma >= 0.] dispatch (e.g. [-0.0 +. 0.0] flips the sign bit),
+     so the select keeps the comparison and lets the compiler turn it
+     into a conditional move. *)
+  (* annotations matter: without them the sweep types as ['a array] and
+     compiles to generic (boxing, tag-checking) array accesses *)
+  let select b ~(mask : float array) ~(pos : float array)
+      ~(neg : float array) ~(dst : float array) =
+    for i = 0 to b.n - 1 do
+      (* the store lives inside each branch: an [if] JOINING two float
+         loads boxes the joined value on its way into [unsafe_set]
+         (no flambda), costing two minor words per lane *)
+      if Array.unsafe_get mask i >= 0. then
+        Array.unsafe_set dst i (Array.unsafe_get pos i)
+      else Array.unsafe_set dst i (Array.unsafe_get neg i)
+    done
+
+  let step_rk4 b (f : rhs) =
+    let n = b.n and act = b.active and h = b.h in
+    let xs = b.xs and ys = b.ys in
+    let tmpx = b.tmpx and tmpy = b.tmpy in
+    f b xs ys b.k1x b.k1y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set tmpx i
+          (Array.unsafe_get xs i +. (h /. 2. *. Array.unsafe_get b.k1x i));
+        Array.unsafe_set tmpy i
+          (Array.unsafe_get ys i +. (h /. 2. *. Array.unsafe_get b.k1y i))
+      end
+    done;
+    f b tmpx tmpy b.k2x b.k2y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set tmpx i
+          (Array.unsafe_get xs i +. (h /. 2. *. Array.unsafe_get b.k2x i));
+        Array.unsafe_set tmpy i
+          (Array.unsafe_get ys i +. (h /. 2. *. Array.unsafe_get b.k2y i))
+      end
+    done;
+    f b tmpx tmpy b.k3x b.k3y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set tmpx i
+          (Array.unsafe_get xs i +. (h *. Array.unsafe_get b.k3x i));
+        Array.unsafe_set tmpy i
+          (Array.unsafe_get ys i +. (h *. Array.unsafe_get b.k3y i))
+      end
+    done;
+    f b tmpx tmpy b.k4x b.k4y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        let nx =
+          Array.unsafe_get xs i
+          +. (h /. 6.
+              *. (Array.unsafe_get b.k1x i
+                  +. (2. *. Array.unsafe_get b.k2x i)
+                  +. (2. *. Array.unsafe_get b.k3x i)
+                  +. Array.unsafe_get b.k4x i))
+        in
+        let ny =
+          Array.unsafe_get ys i
+          +. (h /. 6.
+              *. (Array.unsafe_get b.k1y i
+                  +. (2. *. Array.unsafe_get b.k2y i)
+                  +. (2. *. Array.unsafe_get b.k3y i)
+                  +. Array.unsafe_get b.k4y i))
+        in
+        Array.unsafe_set xs i nx;
+        Array.unsafe_set ys i ny
+      end
+    done
+
+  let step_euler b (f : rhs) =
+    let n = b.n and act = b.active and h = b.h in
+    f b b.xs b.ys b.k1x b.k1y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set b.xs i
+          (Array.unsafe_get b.xs i +. (h *. Array.unsafe_get b.k1x i));
+        Array.unsafe_set b.ys i
+          (Array.unsafe_get b.ys i +. (h *. Array.unsafe_get b.k1y i))
+      end
+    done
+
+  let step_heun b (f : rhs) =
+    let n = b.n and act = b.active and h = b.h in
+    f b b.xs b.ys b.k1x b.k1y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set b.tmpx i
+          (Array.unsafe_get b.xs i +. (h *. Array.unsafe_get b.k1x i));
+        Array.unsafe_set b.tmpy i
+          (Array.unsafe_get b.ys i +. (h *. Array.unsafe_get b.k1y i))
+      end
+    done;
+    f b b.tmpx b.tmpy b.k2x b.k2y;
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get act i <> '\000' then begin
+        Array.unsafe_set b.xs i
+          (Array.unsafe_get b.xs i
+          +. (h /. 2.
+              *. (Array.unsafe_get b.k1x i +. Array.unsafe_get b.k2x i)));
+        Array.unsafe_set b.ys i
+          (Array.unsafe_get b.ys i
+          +. (h /. 2.
+              *. (Array.unsafe_get b.k1y i +. Array.unsafe_get b.k2y i)))
+      end
+    done
+
+  let step b m f =
+    match m with
+    | Euler -> step_euler b f
+    | Heun -> step_heun b f
+    | Rk4 -> step_rk4 b f
+end
+
 let step m f t y h =
   let n = Array.length y in
   match m with
@@ -217,6 +425,25 @@ let localize step_fn ev t y h =
   let y_ev = state_at_frac s_root in
   (t +. (s_root *. h), y_ev)
 
+(* Allocation-free localization: same bisection, but intermediate states
+   are written into a caller-provided scratch buffer instead of being
+   allocated per evaluation. Bit-identical to [localize] when the
+   in-place step function writes the same bits the allocating one
+   returns (true for all the steppers in this module). Only the event
+   state itself is allocated (the caller keeps it). *)
+let localize_into (single_into : float -> float array -> float -> float array -> unit)
+    ev t y h scratch =
+  let phi s =
+    single_into t y (s *. h) scratch;
+    ev.guard (t +. (s *. h)) scratch
+  in
+  let s_root =
+    try Roots.bisect ~tol:1e-13 ~max_iter:100 phi 1e-15 1.
+    with Roots.No_bracket _ -> 1.
+  in
+  single_into t y (s_root *. h) scratch;
+  (t +. (s_root *. h), Array.copy scratch)
+
 (* --- generic driver ------------------------------------------------------ *)
 
 type driver_step = float -> float array -> float -> float array
@@ -224,19 +451,56 @@ type driver_step = float -> float array -> float -> float array
    Must return a freshly allocated array (never a reused buffer): the
    driver stores the result in the solution without copying. *)
 
-let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float -> float * float * bool)
+let run_driver ~(single : driver_step) ?single_into
+    ~(next_h : float -> float array -> float -> float * float * bool)
     ?(events = []) ?monitor ~t_end ~t0 ~y0 () =
+  (* [single_into], when given, is used for event localization: it must
+     write into its destination the same bits [single] would return, and
+     lets the bisection reuse one scratch buffer instead of allocating a
+     state per guard evaluation. *)
+  let loc_scratch =
+    match single_into with
+    | Some _ -> Array.make (Array.length y0) 0.
+    | None -> [||]
+  in
   (* [next_h t y h_try] returns (h_accepted, h_next_suggestion, accepted?).
      For fixed-step drivers it always accepts. *)
-  let ts = ref [ t0 ] in
-  let ys = ref [ Array.copy y0 ] in
+  (* The trajectory accumulates in growable arrays rather than lists:
+     the time column stays unboxed (a [float :: _] cons boxes the head)
+     and the state column costs one pointer store per step. Guards live
+     in parallel arrays, with [g_next] recycled into [g_prev] after an
+     accepted step — the original re-evaluated every guard a second
+     time for the update; guards are pure, so reusing the first
+     evaluation changes nothing. *)
+  let cap0 = 64 in
+  let ts_buf = ref (Array.make cap0 0.) in
+  let ys_buf = ref (Array.make cap0 [||]) in
+  let len = ref 0 in
+  let push t y =
+    if !len = Array.length !ts_buf then begin
+      let c = 2 * Array.length !ts_buf in
+      let ts' = Array.make c 0. and ys' = Array.make c [||] in
+      Array.blit !ts_buf 0 ts' 0 !len;
+      Array.blit !ys_buf 0 ys' 0 !len;
+      ts_buf := ts';
+      ys_buf := ys'
+    end;
+    !ts_buf.(!len) <- t;
+    !ys_buf.(!len) <- y;
+    incr len
+  in
+  push t0 (Array.copy y0);
   let occs = ref [] in
   let terminated = ref None in
   let n_steps = ref 0 in
   let n_rejected = ref 0 in
-  let guards_prev =
-    ref (List.map (fun ev -> (ev, ev.guard t0 y0)) events)
-  in
+  let evs = Array.of_list events in
+  let n_ev = Array.length evs in
+  let g_prev = Array.make n_ev 0. in
+  let g_next = Array.make n_ev 0. in
+  for e = 0 to n_ev - 1 do
+    g_prev.(e) <- evs.(e).guard t0 y0
+  done;
   let t = ref t0 and y = ref (Array.copy y0) in
   let h_cur = ref nan in
   (* h_cur is set by the caller through next_h's suggestion channel: we seed
@@ -264,44 +528,43 @@ let run_driver ~(single : driver_step) ~(next_h : float -> float array -> float 
         | Some m -> m.on_step t_next h_acc
         | None -> ());
         (* event detection over this accepted step *)
-        let fired =
-          List.filter_map
-            (fun (ev, g_prev) ->
-              let g_next = ev.guard t_next y_next in
-              if fires ev.dir g_prev g_next then Some ev else None)
-            !guards_prev
-        in
+        for e = 0 to n_ev - 1 do
+          g_next.(e) <- evs.(e).guard t_next y_next
+        done;
         let stop_here = ref None in
-        List.iter
-          (fun ev ->
-            let t_ev, y_ev = localize single ev !t !y h_acc in
+        for e = 0 to n_ev - 1 do
+          let ev = evs.(e) in
+          if fires ev.dir g_prev.(e) g_next.(e) then begin
+            let t_ev, y_ev =
+              match single_into with
+              | Some si -> localize_into si ev !t !y h_acc loc_scratch
+              | None -> localize single ev !t !y h_acc
+            in
             let oc = { oc_name = ev.ev_name; oc_t = t_ev; oc_y = y_ev } in
             occs := oc :: !occs;
             if ev.terminal then
               match !stop_here with
               | Some (prev_oc : occurrence) when prev_oc.oc_t <= t_ev -> ()
-              | _ -> stop_here := Some oc)
-          fired;
+              | Some _ | None -> stop_here := Some oc
+          end
+        done;
         (match !stop_here with
         | Some oc ->
             terminated := Some oc;
-            ts := oc.oc_t :: !ts;
-            ys := Array.copy oc.oc_y :: !ys;
+            push oc.oc_t (Array.copy oc.oc_y);
             continue_ := false
         | None ->
             t := t_next;
             y := y_next;
-            ts := t_next :: !ts;
-            ys := y_next :: !ys;
-            guards_prev :=
-              List.map (fun (ev, _) -> (ev, ev.guard t_next y_next)) !guards_prev;
+            push t_next y_next;
+            Array.blit g_next 0 g_prev 0 n_ev;
             h_cur := h_next)
       end
     end
   done;
   {
-    ts = Array.of_list (List.rev !ts);
-    ys = Array.of_list (List.rev !ys);
+    ts = Array.sub !ts_buf 0 !len;
+    ys = Array.sub !ys_buf 0 !len;
     occs = List.rev !occs;
     terminated = !terminated;
     n_steps = !n_steps;
@@ -323,8 +586,9 @@ let solve_fixed_into ?(method_ = Rk4) ?(events = []) ?monitor ~h ~t_end f ~t0
     step_into ws method_ f t y h dst;
     dst
   in
+  let single_into t y h dst = step_into ws method_ f t y h dst in
   let next_h _t _y h_try = (Float.min h_try h, h, true) in
-  run_driver ~single ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
+  run_driver ~single ~single_into ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
 (* --- Fehlberg 4(5) ------------------------------------------------------- *)
 
@@ -470,6 +734,192 @@ let dopri5_step f t y h =
   done;
   (y5, !err)
 
+(* In-place Dormand–Prince 5(4): the seven stage derivatives and the
+   stage state live in a preallocated workspace, the 5th-order solution
+   is written into [dst] and the embedded error estimate into
+   [err.(0)] (a 1-element accumulator — a [ref float] would box on
+   every store). Every expression mirrors [dopri5_step] exactly, so the
+   results are bit-for-bit identical; the only allocation left on the
+   path is whatever the field itself performs. [dst] must not alias
+   [y] (it is passed back to [f] for the FSAL stage). *)
+
+type dopri_workspace = {
+  dk1 : float array;
+  dk2 : float array;
+  dk3 : float array;
+  dk4 : float array;
+  dk5 : float array;
+  dk6 : float array;
+  dk7 : float array;
+  dtmp : float array;
+  dhp : float array;
+      (* 1-slot step-size mailbox for the autonomous stepper: a [float]
+         argument crossing a non-inlined call boundary is boxed, a
+         float-array store is not *)
+}
+
+let dopri_workspace dim =
+  if dim < 1 then invalid_arg "Ode.dopri_workspace: dim < 1";
+  {
+    dk1 = Array.make dim 0.;
+    dk2 = Array.make dim 0.;
+    dk3 = Array.make dim 0.;
+    dk4 = Array.make dim 0.;
+    dk5 = Array.make dim 0.;
+    dk6 = Array.make dim 0.;
+    dk7 = Array.make dim 0.;
+    dtmp = Array.make dim 0.;
+    dhp = Array.make 1 0.;
+  }
+
+let dopri5_into ws (f : field_into) t y h dst err =
+  let n = Array.length y in
+  let k1 = ws.dk1 and k2 = ws.dk2 and k3 = ws.dk3 and k4 = ws.dk4 in
+  let k5 = ws.dk5 and k6 = ws.dk6 and k7 = ws.dk7 and tmp = ws.dtmp in
+  f t y k1;
+  for i = 0 to n - 1 do
+    tmp.(i) <- y.(i) +. (h *. (1. /. 5.) *. k1.(i))
+  done;
+  f (t +. (h /. 5.)) tmp k2;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i) +. (h *. (3. /. 40.) *. k1.(i)) +. (h *. (9. /. 40.) *. k2.(i))
+  done;
+  f (t +. (3. *. h /. 10.)) tmp k3;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (44. /. 45.) *. k1.(i))
+      +. (h *. (-56. /. 15.) *. k2.(i))
+      +. (h *. (32. /. 9.) *. k3.(i))
+  done;
+  f (t +. (4. *. h /. 5.)) tmp k4;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (19372. /. 6561.) *. k1.(i))
+      +. (h *. (-25360. /. 2187.) *. k2.(i))
+      +. (h *. (64448. /. 6561.) *. k3.(i))
+      +. (h *. (-212. /. 729.) *. k4.(i))
+  done;
+  f (t +. (8. *. h /. 9.)) tmp k5;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (9017. /. 3168.) *. k1.(i))
+      +. (h *. (-355. /. 33.) *. k2.(i))
+      +. (h *. (46732. /. 5247.) *. k3.(i))
+      +. (h *. (49. /. 176.) *. k4.(i))
+      +. (h *. (-5103. /. 18656.) *. k5.(i))
+  done;
+  f (t +. h) tmp k6;
+  for i = 0 to n - 1 do
+    dst.(i) <-
+      y.(i)
+      +. (h
+          *. ((35. /. 384. *. k1.(i))
+              +. (500. /. 1113. *. k3.(i))
+              +. (125. /. 192. *. k4.(i))
+              +. (-2187. /. 6784. *. k5.(i))
+              +. (11. /. 84. *. k6.(i))))
+  done;
+  f (t +. h) dst k7;
+  err.(0) <- 0.;
+  for i = 0 to n - 1 do
+    let y4i =
+      y.(i)
+      +. (h
+          *. ((5179. /. 57600. *. k1.(i))
+              +. (7571. /. 16695. *. k3.(i))
+              +. (393. /. 640. *. k4.(i))
+              +. (-92097. /. 339200. *. k5.(i))
+              +. (187. /. 2100. *. k6.(i))
+              +. (1. /. 40. *. k7.(i))))
+    in
+    err.(0) <- Float.max err.(0) (Float.abs (dst.(i) -. y4i))
+  done
+
+(* Autonomous Dormand–Prince 5(4). The systems this repo integrates are
+   all autonomous, and in the [field_into] form every stage call boxes
+   its freshly computed stage time (a float crossing a closure boundary
+   allocates). Here no float crosses any call boundary: the step size
+   arrives through the workspace mailbox [dhp] and the stage times are
+   simply never materialized (the field ignores them). Stage arithmetic
+   is identical to [dopri5_into] — h only ever enters the state through
+   the same [h *. c *. k] products — so the results are bit-for-bit
+   equal. *)
+let dopri5_auto_core ws (f : field_auto) y dst err =
+  let n = Array.length y in
+  let h = ws.dhp.(0) in
+  let k1 = ws.dk1 and k2 = ws.dk2 and k3 = ws.dk3 and k4 = ws.dk4 in
+  let k5 = ws.dk5 and k6 = ws.dk6 and k7 = ws.dk7 and tmp = ws.dtmp in
+  f y k1;
+  for i = 0 to n - 1 do
+    tmp.(i) <- y.(i) +. (h *. (1. /. 5.) *. k1.(i))
+  done;
+  f tmp k2;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i) +. (h *. (3. /. 40.) *. k1.(i)) +. (h *. (9. /. 40.) *. k2.(i))
+  done;
+  f tmp k3;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (44. /. 45.) *. k1.(i))
+      +. (h *. (-56. /. 15.) *. k2.(i))
+      +. (h *. (32. /. 9.) *. k3.(i))
+  done;
+  f tmp k4;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (19372. /. 6561.) *. k1.(i))
+      +. (h *. (-25360. /. 2187.) *. k2.(i))
+      +. (h *. (64448. /. 6561.) *. k3.(i))
+      +. (h *. (-212. /. 729.) *. k4.(i))
+  done;
+  f tmp k5;
+  for i = 0 to n - 1 do
+    tmp.(i) <-
+      y.(i)
+      +. (h *. (9017. /. 3168.) *. k1.(i))
+      +. (h *. (-355. /. 33.) *. k2.(i))
+      +. (h *. (46732. /. 5247.) *. k3.(i))
+      +. (h *. (49. /. 176.) *. k4.(i))
+      +. (h *. (-5103. /. 18656.) *. k5.(i))
+  done;
+  f tmp k6;
+  for i = 0 to n - 1 do
+    dst.(i) <-
+      y.(i)
+      +. (h
+          *. ((35. /. 384. *. k1.(i))
+              +. (500. /. 1113. *. k3.(i))
+              +. (125. /. 192. *. k4.(i))
+              +. (-2187. /. 6784. *. k5.(i))
+              +. (11. /. 84. *. k6.(i))))
+  done;
+  f dst k7;
+  err.(0) <- 0.;
+  for i = 0 to n - 1 do
+    let y4i =
+      y.(i)
+      +. (h
+          *. ((5179. /. 57600. *. k1.(i))
+              +. (7571. /. 16695. *. k3.(i))
+              +. (393. /. 640. *. k4.(i))
+              +. (-92097. /. 339200. *. k5.(i))
+              +. (187. /. 2100. *. k6.(i))
+              +. (1. /. 40. *. k7.(i))))
+    in
+    err.(0) <- Float.max err.(0) (Float.abs (dst.(i) -. y4i))
+  done
+
+let dopri5_auto_into ws f y h dst err =
+  ws.dhp.(0) <- h;
+  dopri5_auto_core ws f y dst err
+
 let solve_adaptive ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
     ?h_max ?(max_steps = 2_000_000) ?(events = []) ?monitor ~t_end f ~t0 ~y0 =
   let span = t_end -. t0 in
@@ -516,6 +966,136 @@ let solve_adaptive ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
     end
   in
   run_driver ~single ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
+
+(* [solve_adaptive] over an in-place field. The step-control logic, the
+   trial/accept evaluation sequence and every arithmetic expression
+   mirror [solve_adaptive] exactly (including evaluating the stepper
+   once for the error estimate and once for the accepted state — the
+   field is called the same number of times in the same order, which
+   figure code that counts RHS evaluations relies on), so the solution
+   is bit-for-bit identical. What changes is allocation: the RK stages
+   live in a reused workspace and event localization reuses one scratch
+   state, so the only per-step allocations are the recorded trajectory
+   point and the accepted-state array the driver stores. *)
+let solve_adaptive_into ?(rtol = 1e-8) ?(atol = 1e-10) ?h0 ?(h_min = 1e-14)
+    ?h_max ?(max_steps = 2_000_000) ?(events = []) ?monitor ~t_end
+    (f : field_into) ~t0 ~y0 =
+  let span = t_end -. t0 in
+  if span <= 0. then invalid_arg "Ode.solve_adaptive_into: t_end <= t0";
+  let h_max = match h_max with Some h -> h | None -> span in
+  let h_init = match h0 with Some h -> h | None -> span /. 100. in
+  let budget = ref max_steps in
+  let dim = Array.length y0 in
+  let ws = dopri_workspace dim in
+  let err_acc = [| 0. |] in
+  let trial = Array.make dim 0. in
+  let single t y h =
+    let dst = Array.make dim 0. in
+    dopri5_into ws f t y h dst err_acc;
+    dst
+  in
+  let single_into t y h dst = dopri5_into ws f t y h dst err_acc in
+  let h_suggest = ref (Float.min h_init h_max) in
+  let next_h t y h_try =
+    decr budget;
+    if !budget <= 0 then failwith "Ode.solve_adaptive_into: max_steps exhausted";
+    let h_try = Float.min h_try !h_suggest in
+    let h_try = Float.max h_try h_min in
+    dopri5_into ws f t y h_try trial err_acc;
+    let err = err_acc.(0) in
+    let scale = ref atol in
+    Array.iteri
+      (fun i yi ->
+        scale :=
+          Float.max !scale
+            (rtol *. Float.max (Float.abs yi) (Float.abs trial.(i))))
+      y;
+    let ratio = err /. !scale in
+    let ratio = if Float.is_finite ratio then ratio else infinity in
+    if ratio <= 1. || h_try <= h_min *. 1.0001 then begin
+      let grow =
+        if ratio <= 0. then 5. else Float.min 5. (0.9 *. (ratio ** -0.2))
+      in
+      h_suggest := Float.min h_max (h_try *. Float.max 1. grow);
+      (h_try, !h_suggest, true)
+    end
+    else begin
+      let shrink = Float.max 0.1 (0.9 *. (ratio ** -0.25)) in
+      let h_new = Float.max h_min (h_try *. shrink) in
+      if h_new <= h_min && h_try <= h_min *. 1.0001 then
+        failwith "Ode.solve_adaptive_into: step size underflow";
+      h_suggest := h_new;
+      (h_try, h_new, false)
+    end
+  in
+  run_driver ~single ~single_into ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
+
+(* [solve_adaptive_into] for autonomous fields — the hot-loop form. Same
+   bit-for-bit guarantee (the controller expressions and evaluation
+   sequence are copied verbatim, with the accumulators moved from [ref]
+   cells into 1-slot float arrays, which changes no value), but no float
+   crosses a call boundary on the per-step path: the stepper reads h
+   from the workspace mailbox, the field takes no time argument, and
+   the step-size suggestion lives in a float-array slot instead of a
+   boxing [ref]. *)
+let solve_adaptive_auto_into ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
+    ?(h_min = 1e-14) ?h_max ?(max_steps = 2_000_000) ?(events = []) ?monitor
+    ~t_end (f : field_auto) ~t0 ~y0 =
+  let span = t_end -. t0 in
+  if span <= 0. then invalid_arg "Ode.solve_adaptive_auto_into: t_end <= t0";
+  let h_max = match h_max with Some h -> h | None -> span in
+  let h_init = match h0 with Some h -> h | None -> span /. 100. in
+  let budget = ref max_steps in
+  let dim = Array.length y0 in
+  let ws = dopri_workspace dim in
+  let err_acc = [| 0. |] in
+  let trial = Array.make dim 0. in
+  let single _t y h =
+    let dst = Array.make dim 0. in
+    ws.dhp.(0) <- h;
+    dopri5_auto_core ws f y dst err_acc;
+    dst
+  in
+  let single_into _t y h dst =
+    ws.dhp.(0) <- h;
+    dopri5_auto_core ws f y dst err_acc
+  in
+  let h_suggest = [| Float.min h_init h_max |] in
+  let scale_acc = [| 0. |] in
+  let next_h _t y h_try =
+    decr budget;
+    if !budget <= 0 then
+      failwith "Ode.solve_adaptive_auto_into: max_steps exhausted";
+    let h_try = Float.min h_try h_suggest.(0) in
+    let h_try = Float.max h_try h_min in
+    ws.dhp.(0) <- h_try;
+    dopri5_auto_core ws f y trial err_acc;
+    let err = err_acc.(0) in
+    scale_acc.(0) <- atol;
+    for i = 0 to dim - 1 do
+      scale_acc.(0) <-
+        Float.max scale_acc.(0)
+          (rtol *. Float.max (Float.abs y.(i)) (Float.abs trial.(i)))
+    done;
+    let ratio = err /. scale_acc.(0) in
+    let ratio = if Float.is_finite ratio then ratio else infinity in
+    if ratio <= 1. || h_try <= h_min *. 1.0001 then begin
+      let grow =
+        if ratio <= 0. then 5. else Float.min 5. (0.9 *. (ratio ** -0.2))
+      in
+      h_suggest.(0) <- Float.min h_max (h_try *. Float.max 1. grow);
+      (h_try, h_suggest.(0), true)
+    end
+    else begin
+      let shrink = Float.max 0.1 (0.9 *. (ratio ** -0.25)) in
+      let h_new = Float.max h_min (h_try *. shrink) in
+      if h_new <= h_min && h_try <= h_min *. 1.0001 then
+        failwith "Ode.solve_adaptive_auto_into: step size underflow";
+      h_suggest.(0) <- h_new;
+      (h_try, h_new, false)
+    end
+  in
+  run_driver ~single ~single_into ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
 let state_at sol t =
   let n = Array.length sol.ts in

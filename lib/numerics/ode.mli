@@ -168,6 +168,189 @@ val solve_adaptive :
     Raises [Failure] if the step size underflows [h_min] or the step budget
     is exhausted before [t_end]. *)
 
+val solve_adaptive_into :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  ?events:event list ->
+  ?monitor:monitor ->
+  t_end:float ->
+  field_into ->
+  t0:float ->
+  y0:float array ->
+  solution
+(** {!solve_adaptive} over an in-place field: bit-for-bit identical
+    results (same step-control decisions, same field-evaluation sequence
+    — the trial step for the error estimate and the accepted step are
+    both evaluated, exactly as in {!solve_adaptive}), but the RK stages
+    live in a reused workspace and event localization reuses one
+    scratch state. Per accepted step only the recorded trajectory point
+    is allocated. *)
+
+val solve_adaptive_auto_into :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  ?events:event list ->
+  ?monitor:monitor ->
+  t_end:float ->
+  field_auto ->
+  t0:float ->
+  y0:float array ->
+  solution
+(** {!solve_adaptive_into} for autonomous fields — the hot-loop form for
+    the (autonomous) BCN systems. Bit-for-bit identical solutions, but
+    no float crosses a call boundary on the per-step path: the stepper
+    reads its step size from a workspace mailbox and the field takes no
+    time argument, so per accepted step only the recorded trajectory
+    point is allocated (plus a handful of words for guard evaluations
+    when events are armed). *)
+
+type dopri_workspace
+(** Preallocated stage buffers for {!dopri5_into}; create once per
+    integration (not domain-safe to share). *)
+
+val dopri_workspace : int -> dopri_workspace
+(** [dopri_workspace dim] sizes the buffers for states of dimension
+    [dim]. *)
+
+val dopri5_into :
+  dopri_workspace ->
+  field_into ->
+  float ->
+  float array ->
+  float ->
+  float array ->
+  float array ->
+  unit
+(** [dopri5_into ws f t y h dst err] — one Dormand–Prince 5(4) step
+    written into [dst], with the embedded error estimate written into
+    [err.(0)] (a 1-element accumulator; a [ref float] would box on every
+    store). Bit-for-bit equal to the allocating step inside
+    {!solve_adaptive}. [dst] must not alias [y]. *)
+
+val dopri5_auto_into :
+  dopri_workspace ->
+  field_auto ->
+  float array ->
+  float ->
+  float array ->
+  float array ->
+  unit
+(** [dopri5_auto_into ws f y h dst err] — {!dopri5_into} for autonomous
+    fields: same stage arithmetic bit for bit, no stage times
+    materialized. [dst] must not alias [y]. *)
+
+(** {1 Event machinery for external drivers}
+
+    Exposed so batched front integrators ({!Phaseplane.Front}-style
+    lock-step drivers living outside this module) can reproduce the
+    driver's event semantics exactly. *)
+
+val fires : direction -> float -> float -> bool
+(** [fires dir g_prev g_next] — does a guard moving from [g_prev] to
+    [g_next] across one accepted step fire an event of direction [dir]?
+    (A guard exactly at [0.] before the step never fires.) *)
+
+val localize_into :
+  (float -> float array -> float -> float array -> unit) ->
+  event ->
+  float ->
+  float array ->
+  float ->
+  float array ->
+  float * float array
+(** [localize_into single_into ev t y h scratch] bisects the event time
+    inside the accepted step [t, t+h] starting from [y], evaluating
+    intermediate states with [single_into] into [scratch]
+    (allocation-free); returns [(t_event, y_event)] with [y_event]
+    freshly allocated. Bit-identical to the driver's internal
+    localization when [single_into] writes the bits the driver's step
+    function returns. *)
+
+(** {1 Batched structure-of-arrays stepping}
+
+    A front of [n] independent planar (2-D) states advanced in
+    lock-step: one contiguous [float array] lane per coordinate for the
+    state, the four RK stages and the scratch sweeps, so each stage is
+    a single pass over unboxed memory and the right-hand side is one
+    sweep over all lanes instead of [n] closure calls. Per-lane
+    arithmetic mirrors {!step_into} expression for expression, so
+    advancing lane [i] is bit-for-bit identical to advancing
+    [[|xs.(i); ys.(i)|]] with the scalar stepper. Used by
+    [Phaseplane.Front] and the strong-stability basin raster. *)
+module Batch : sig
+  type t = {
+    n : int;  (** number of lanes *)
+    xs : float array;  (** state, first coordinate, one slot per lane *)
+    ys : float array;  (** state, second coordinate *)
+    k1x : float array;
+    k1y : float array;
+    k2x : float array;
+    k2y : float array;
+    k3x : float array;
+    k3y : float array;
+    k4x : float array;
+    k4y : float array;
+    tmpx : float array;  (** stage-state scratch *)
+    tmpy : float array;
+    sg : float array;  (** sweep scratch: switching-function values *)
+    sa : float array;  (** sweep scratch: one branch of a switched RHS *)
+    sb : float array;  (** sweep scratch: the other branch *)
+    active : Bytes.t;
+        (** per-lane flag; ['\000'] = frozen. The stepper never writes
+            an inactive lane — clear the flag the moment a lane's
+            verdict is decided and its state stays at the decision
+            point while the rest of the front keeps going. *)
+    mutable h : float;  (** step size; set with {!set_h} *)
+  }
+
+  type rhs = t -> float array -> float array -> float array -> float array -> unit
+  (** [f b srcx srcy dstx dsty] writes the derivative of every lane in
+      one sweep. [src] never aliases [dst]; sweeps may compute (ignored)
+      garbage for inactive lanes. The scratch lanes [sg]/[sa]/[sb] are
+      free for the sweep's own use (switching masks, branch values). *)
+
+  val create : int -> t
+  (** [create n] — a front of [n] lanes, all active, [h = 0.]. *)
+
+  val lanes : t -> int
+
+  val set_h : t -> float -> unit
+  (** Store the step size. A separate (one-time) store rather than a
+      per-call [float] argument: a float crossing a non-inlined call
+      boundary is boxed, and hoisting it keeps {!step} allocation-free. *)
+
+  val is_active : t -> int -> bool
+  val set_active : t -> int -> bool -> unit
+  val active_count : t -> int
+
+  val select :
+    t ->
+    mask:float array ->
+    pos:float array ->
+    neg:float array ->
+    dst:float array ->
+    unit
+  (** Per-lane select on [mask.(i) >= 0.] — the σ-switch of the paper's
+      variable-structure systems applied as its own sweep after both
+      branch sweeps. Kept as a comparison (not an arithmetic blend,
+      which would break bit-identity at [-0.0]). *)
+
+  val step_rk4 : t -> rhs -> unit
+  (** Advance every active lane one RK4 step of size [h] in place.
+      Zero minor-heap allocation. *)
+
+  val step : t -> method_ -> rhs -> unit
+  (** Method-dispatching variant of {!step_rk4} (Euler / Heun / RK4). *)
+end
+
 val rkf45_step :
   field -> float -> float array -> float -> float array * float
 (** One Fehlberg 4(5) step: returns the 5th-order solution and the

@@ -1,0 +1,34 @@
+(** Batched fixed-step integration of a {e front} of initial points.
+
+    A phase portrait integrates many independent trajectories of the same
+    system. Per-point integration pays the closure dispatch and event
+    bookkeeping per point per step; this driver instead advances all
+    points in lock-step with {!Numerics.Ode.Batch} — one
+    structure-of-arrays RHS sweep per RK stage over contiguous unboxed
+    lanes — while reproducing the per-point driver's event semantics
+    (guard sampling, bisection localization, terminal freezing) exactly.
+
+    Guarantee: lane [i] of the result is bit-for-bit equal to
+    [Trajectory.integrate ~solver:(Fixed (method_, h)) ~t_max
+    ?converge_radius ?box sys pts.(i)], for any front size, any mix of
+    terminating and running lanes, and any [jobs] — the test suite
+    asserts this. *)
+
+val integrate :
+  ?method_:Numerics.Ode.method_ ->
+  h:float ->
+  ?t_max:float ->
+  ?converge_radius:float ->
+  ?box:Numerics.Vec2.t * Numerics.Vec2.t ->
+  ?jobs:int ->
+  System.t ->
+  Numerics.Vec2.t array ->
+  Trajectory.t array
+(** [integrate ~h sys pts] — one trajectory per initial point. Defaults
+    mirror {!Trajectory.integrate}: [method_ = Rk4], [t_max = 100.], no
+    convergence ball, no box. [jobs > 1] splits the front into [jobs]
+    contiguous chunks on a {!Parallel.Pool} — chunk boundaries depend
+    only on the input length, and lanes are mutually independent, so the
+    output is byte-identical for every [jobs]. Lanes whose terminal
+    event (convergence / box exit) fires are frozen immediately and stop
+    costing RHS work while the rest of the front keeps going. *)

@@ -21,18 +21,21 @@ let line_section ?(dir = Ode.Both) ~normal () =
 
 type return_ = { s_next : float; time : float; point : Vec2.t }
 
-let solve_with_event solver event ~t_max f ~y0 =
+(* In-place solvers on both arms — bit-identical to the allocating ones,
+   without the per-step stage-array churn; the adaptive arm additionally
+   exploits that every {!System.t} is autonomous. *)
+let solve_with_event solver event ~t_max sys ~y0 =
   match solver with
   | Trajectory.Fixed (m, h) ->
-      Ode.solve_fixed ~method_:m ~events:[ event ] ~h ~t_end:t_max f ~t0:0. ~y0
+      Ode.solve_fixed_into ~method_:m ~events:[ event ] ~h ~t_end:t_max
+        (System.to_ode_into sys) ~t0:0. ~y0
   | Trajectory.Adaptive (rtol, atol) ->
-      Ode.solve_adaptive ~rtol ~atol ~events:[ event ] ~t_end:t_max f ~t0:0.
-        ~y0
+      Ode.solve_adaptive_auto_into ~rtol ~atol ~events:[ event ] ~t_end:t_max
+        (System.to_auto sys) ~t0:0. ~y0
 
 let return_map ?(solver = Trajectory.Adaptive (1e-10, 1e-13)) ?(t_max = 1000.)
     sys sec s =
   let p0 = sec.point_of s in
-  let f = System.to_ode sys in
   (* Launching exactly on the section leaves the initial guard at a
      roundoff-sized value of arbitrary sign, which can fire the section
      event spuriously at t ~ 0. Integrate a departure phase first, until
@@ -47,7 +50,7 @@ let return_map ?(solver = Trajectory.Adaptive (1e-10, 1e-13)) ?(t_max = 1000.)
       terminal = true;
     }
   in
-  let sol0 = solve_with_event solver depart ~t_max f ~y0:(Vec2.to_array p0) in
+  let sol0 = solve_with_event solver depart ~t_max sys ~y0:(Vec2.to_array p0) in
   match sol0.Ode.terminated with
   | None -> None
   | Some dep ->
@@ -60,7 +63,7 @@ let return_map ?(solver = Trajectory.Adaptive (1e-10, 1e-13)) ?(t_max = 1000.)
         }
       in
       let sol =
-        solve_with_event solver event ~t_max:(t_max -. dep.Ode.oc_t) f
+        solve_with_event solver event ~t_max:(t_max -. dep.Ode.oc_t) sys
           ~y0:dep.Ode.oc_y
       in
       (match sol.Ode.terminated with

@@ -5,9 +5,26 @@ type t = {
   initial_points : Vec2.t list;
 }
 
-let compute ?solver ?t_max ?converge_radius ?box sys inits =
-  let run p0 = Trajectory.integrate ?solver ?t_max ?converge_radius ?box sys p0 in
-  { trajectories = List.map run inits; initial_points = inits }
+let compute ?solver ?t_max ?converge_radius ?box ?(jobs = 1) sys inits =
+  let trajectories =
+    match solver with
+    | Some (Trajectory.Fixed (m, h)) ->
+        (* fixed-step portraits ride the batched front: one SoA sweep
+           per RK stage over the whole family instead of per-point
+           closure dispatch — bit-identical per lane *)
+        Array.to_list
+          (Front.integrate ~method_:m ~h ?t_max ?converge_radius ?box ~jobs
+             sys (Array.of_list inits))
+    | Some (Trajectory.Adaptive _) | None ->
+        let run p0 =
+          Trajectory.integrate ?solver ?t_max ?converge_radius ?box sys p0
+        in
+        if jobs <= 1 then List.map run inits
+        else
+          Parallel.Pool.with_pool ~size:jobs (fun pool ->
+              Parallel.Pool.map pool run inits)
+  in
+  { trajectories; initial_points = inits }
 
 let grid ~lo ~hi ~nx ~ny =
   if nx < 1 || ny < 1 then invalid_arg "Portrait.grid: need nx, ny >= 1";

@@ -14,11 +14,15 @@ val compute :
   ?t_max:float ->
   ?converge_radius:float ->
   ?box:Numerics.Vec2.t * Numerics.Vec2.t ->
+  ?jobs:int ->
   System.t ->
   Numerics.Vec2.t list ->
   t
 (** One trajectory per initial point; see {!Trajectory.integrate} for the
-    option semantics. *)
+    option semantics. Fixed-step portraits are computed by the batched
+    {!Front} driver (bit-identical per point); [jobs > 1] additionally
+    splits the work across a domain pool with byte-identical output for
+    any value. *)
 
 val grid :
   lo:Numerics.Vec2.t -> hi:Numerics.Vec2.t -> nx:int -> ny:int ->

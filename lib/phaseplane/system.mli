@@ -16,6 +16,25 @@ type t =
       pos : field;  (** dynamics where [sigma > 0] *)
       neg : field;  (** dynamics where [sigma < 0] *)
     }
+  | Switched_fast of {
+      sigma : Numerics.Vec2.t -> float;
+      pos : field;
+      neg : field;
+      rhs : Numerics.Ode.field_auto;
+          (** allocation-free form: [rhs y dst] with [y = [|x; y|]].
+              MUST be bit-for-bit identical to the closure dispatch
+              [if sigma p >= 0. then pos p else neg p] — mirror the
+              closure expressions exactly (the test suite locks this
+              for the systems built by [Fluid.Model]). *)
+      batch : Numerics.Ode.Batch.rhs;
+          (** SoA sweep over a whole front; per lane it must write the
+              same bits as [rhs]. *)
+    }
+      (** A switched system that additionally carries hand-specialized
+          allocation-free right-hand sides. The closure fields keep the
+          portrait/Poincaré machinery generic; the [rhs]/[batch] fields
+          are what the in-place and batched solvers use, so hot loops
+          over such a system allocate nothing per evaluation. *)
 
 val eval : t -> Numerics.Vec2.t -> Numerics.Vec2.t
 (** Field value at a point; on the switching line ([sigma = 0]) the
@@ -30,8 +49,23 @@ val to_ode : t -> Numerics.Ode.field
 
 val to_ode_into : t -> Numerics.Ode.field_into
 (** In-place adapter for the allocation-free solvers ({!Numerics.Ode}
-    [solve_fixed_into]); writes the field value into the destination
-    array instead of allocating it. *)
+    [solve_fixed_into] / [solve_adaptive_into]); writes the field value
+    into the destination array instead of allocating it. For
+    [Switched_fast] this is the carried [rhs] (zero allocation per
+    evaluation); otherwise it funnels through the closures (two [Vec2]
+    per evaluation) with identical results. *)
+
+val to_auto : t -> Numerics.Ode.field_auto
+(** Autonomous in-place form (the systems here are all autonomous);
+    same dispatch as {!to_ode_into}. *)
+
+val batch_rhs : t -> Numerics.Ode.Batch.rhs
+(** SoA sweep for batched front integration. [Switched_fast] systems
+    use their dedicated sweep; any other system falls back to a
+    lane-by-lane closure evaluation with bit-identical results. *)
+
+val sigma_opt : t -> (Numerics.Vec2.t -> float) option
+(** The switching function, when the system has one. *)
 
 val linear : Numerics.Mat2.t -> t
 (** The LTI system [dp/dt = A·p]. *)

@@ -52,34 +52,23 @@ let box_event (lo, hi) =
     terminal = true;
   }
 
-let integrate ?(solver = Adaptive (1e-9, 1e-12)) ?(t_max = 100.)
-    ?converge_radius ?box sys p0 =
+(* The event list in integration order; shared with the batched front
+   driver (Front) so both build byte-identical event sets. *)
+let events_for ?converge_radius ?box sys =
   let events = [ axis_event ] in
   let events =
-    match sys with
-    | System.Smooth _ -> events
-    | System.Switched { sigma; _ } -> switch_event sigma :: events
+    match System.sigma_opt sys with
+    | None -> events
+    | Some sigma -> switch_event sigma :: events
   in
   let events =
     match converge_radius with
     | Some r -> converge_event r :: events
     | None -> events
   in
-  let events =
-    match box with Some b -> box_event b :: events | None -> events
-  in
-  let y0 = Vec2.to_array p0 in
-  let sol =
-    match solver with
-    | Fixed (m, h) ->
-        (* in-place stepper: same results bit-for-bit, no stage-array
-           churn in the inner loop *)
-        Ode.solve_fixed_into ~method_:m ~events ~h ~t_end:t_max
-          (System.to_ode_into sys) ~t0:0. ~y0
-    | Adaptive (rtol, atol) ->
-        Ode.solve_adaptive ~rtol ~atol ~events ~t_end:t_max
-          (System.to_ode sys) ~t0:0. ~y0
-  in
+  match box with Some b -> box_event b :: events | None -> events
+
+let of_solution (sol : Ode.solution) =
   let pick name =
     List.filter_map
       (fun (oc : Ode.occurrence) ->
@@ -100,6 +89,24 @@ let integrate ?(solver = Adaptive (1e-9, 1e-12)) ?(t_max = 100.)
     axis_crossings = pick "axis";
     stop;
   }
+
+let integrate ?(solver = Adaptive (1e-9, 1e-12)) ?(t_max = 100.)
+    ?converge_radius ?box sys p0 =
+  let events = events_for ?converge_radius ?box sys in
+  let y0 = Vec2.to_array p0 in
+  let sol =
+    (* in-place steppers on both paths: same results bit-for-bit, no
+       stage-array churn in the inner loops (and zero allocation per
+       field evaluation for [Switched_fast] systems) *)
+    match solver with
+    | Fixed (m, h) ->
+        Ode.solve_fixed_into ~method_:m ~events ~h ~t_end:t_max
+          (System.to_ode_into sys) ~t0:0. ~y0
+    | Adaptive (rtol, atol) ->
+        Ode.solve_adaptive_auto_into ~rtol ~atol ~events ~t_end:t_max
+          (System.to_auto sys) ~t0:0. ~y0
+  in
+  of_solution sol
 
 let points tr =
   Array.init (Array.length tr.sol.Ode.ts) (fun i ->

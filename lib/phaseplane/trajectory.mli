@@ -40,6 +40,20 @@ val integrate :
 (** Defaults: adaptive solver ([rtol=1e-9], [atol=1e-12]), [t_max=100.],
     no convergence ball, no box. [box] is given as [(lo, hi)] corners. *)
 
+val events_for :
+  ?converge_radius:float ->
+  ?box:Numerics.Vec2.t * Numerics.Vec2.t ->
+  System.t ->
+  Numerics.Ode.event list
+(** The exact event list {!integrate} hands the solver, in the same
+    order. Exposed so the batched driver ({!Front}) reproduces the event
+    semantics of per-point integration bit for bit. *)
+
+val of_solution : Numerics.Ode.solution -> t
+(** Wrap a raw solver solution with the phase-plane bookkeeping
+    ({!integrate}'s post-processing: crossing extraction and stop
+    classification). *)
+
 val points : t -> (float * Numerics.Vec2.t) array
 (** Accepted integration points as [(t, p)]. *)
 

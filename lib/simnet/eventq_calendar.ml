@@ -1,0 +1,278 @@
+(* Calendar-queue priority queue (Brown 1988), structure-of-arrays.
+
+   The alternative O(1)-amortized design point to {!Eventq}'s 4-ary
+   heap: time is cut into [nb] buckets of [width] seconds that wrap
+   around like the days of a year. A push appends to its key's bucket
+   (O(1)); a pop scans the current bucket for entries inside the
+   current year and advances bucket-by-bucket otherwise. With the
+   bucket count tracking the population and the width tracking the
+   mean event spacing, both operations touch O(1) entries on average —
+   but the constant pays for bucket scans and reposition logic, so
+   whether it beats the heap depends on the pending-set size (the
+   engine's is small, tens of events). bench/main.ml races the two at
+   several queue sizes; the engine keeps whichever wins.
+
+   Layout mirrors {!Eventq}: per-bucket parallel arrays (unboxed float
+   keys / int seqs / payload pointers), FIFO tie-breaking via a global
+   insertion counter, and dead slots overwritten immediately so the
+   queue never pins popped payloads. Buckets are unsorted: the pop-side
+   scan picks the (key, seq)-minimum, which is unique, so iteration
+   order inside a bucket never affects results. *)
+
+type 'a t = {
+  mutable nb : int;  (* bucket count, power of two *)
+  mutable width : float;  (* seconds per bucket *)
+  mutable bkeys : float array array;
+  mutable bseqs : int array array;
+  mutable bvals : 'a array array;
+  mutable blen : int array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable cur : int;  (* bucket the next pop starts scanning *)
+  mutable bucket_top : float;  (* end of [cur]'s current-year window *)
+  slot : int array;  (* scratch: slot index returned by [find_min] *)
+}
+
+let no_value : unit -> 'a = fun () -> Obj.magic 0
+let initial_nb = 16
+
+let make_buckets nb =
+  ( Array.init nb (fun _ -> [||]),
+    Array.init nb (fun _ -> [||]),
+    Array.init nb (fun _ -> [||]),
+    Array.make nb 0 )
+
+let create () =
+  let bkeys, bseqs, bvals, blen = make_buckets initial_nb in
+  {
+    nb = initial_nb;
+    width = 1.;
+    bkeys;
+    bseqs;
+    bvals;
+    blen;
+    size = 0;
+    next_seq = 0;
+    cur = 0;
+    bucket_top = 1.;
+    slot = [| 0 |];
+  }
+
+let size q = q.size
+let is_empty q = q.size = 0
+
+(* Bucket of a key: floor(key / width) mod nb. [Float.rem] is exact, so
+   reducing mod nb before flooring survives virtual bucket numbers far
+   beyond [max_int]. *)
+let bucket_of q key =
+  let r = Float.rem (key /. q.width) (Float.of_int q.nb) in
+  let i = int_of_float r in
+  (* int_of_float truncates toward zero; adjust to floor for r < 0 *)
+  let i = if r < 0. && Float.of_int i <> r then i - 1 else i in
+  if i < 0 then i + q.nb else i
+
+(* Reposition the pop cursor so the scan starts at [key]'s bucket with
+   the year window that contains [key]. *)
+let reposition q key =
+  q.cur <- bucket_of q key;
+  q.bucket_top <- (Float.floor (key /. q.width) +. 1.) *. q.width
+
+let bucket_push q i key seq v =
+  let len = q.blen.(i) in
+  let ks = q.bkeys.(i) in
+  let cap = Array.length ks in
+  if len >= cap then begin
+    let ncap = Stdlib.max 4 (2 * cap) in
+    let ks' = Array.make ncap 0. in
+    let ss' = Array.make ncap 0 in
+    let vs' = Array.make ncap (no_value ()) in
+    Array.blit ks 0 ks' 0 len;
+    Array.blit q.bseqs.(i) 0 ss' 0 len;
+    Array.blit q.bvals.(i) 0 vs' 0 len;
+    q.bkeys.(i) <- ks';
+    q.bseqs.(i) <- ss';
+    q.bvals.(i) <- vs'
+  end;
+  Array.unsafe_set q.bkeys.(i) len key;
+  Array.unsafe_set q.bseqs.(i) len seq;
+  Array.unsafe_set q.bvals.(i) len v;
+  q.blen.(i) <- len + 1
+
+(* Rebuild with a new bucket count, re-estimating the width from the
+   key span of the live population (Brown's sampled-gap estimate,
+   simplified: mean spacing across the whole queue). O(n), amortized
+   against the pushes/pops that moved [size] across the threshold. *)
+let resize q nb' =
+  let old_keys = q.bkeys and old_seqs = q.bseqs and old_vals = q.bvals in
+  let old_len = q.blen and old_nb = q.nb in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for i = 0 to old_nb - 1 do
+    for j = 0 to old_len.(i) - 1 do
+      let k = old_keys.(i).(j) in
+      if k < !lo then lo := k;
+      if k > !hi then hi := k
+    done
+  done;
+  let width =
+    if q.size < 2 || !hi <= !lo then 1.
+    else
+      let w = (!hi -. !lo) /. Float.of_int q.size in
+      if Float.is_finite w && w > 0. then w else 1.
+  in
+  let bkeys, bseqs, bvals, blen = make_buckets nb' in
+  q.nb <- nb';
+  q.width <- width;
+  q.bkeys <- bkeys;
+  q.bseqs <- bseqs;
+  q.bvals <- bvals;
+  q.blen <- blen;
+  for i = 0 to old_nb - 1 do
+    for j = 0 to old_len.(i) - 1 do
+      bucket_push q
+        (bucket_of q old_keys.(i).(j))
+        old_keys.(i).(j) old_seqs.(i).(j) old_vals.(i).(j)
+    done
+  done;
+  if q.size > 0 then reposition q !lo
+
+let push q key v =
+  if key <> key then invalid_arg "Eventq_calendar.push: NaN key";
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  bucket_push q (bucket_of q key) key seq v;
+  q.size <- q.size + 1;
+  (* an event earlier than the scan cursor's window must pull the
+     cursor back, or pops would miss it until next year's wrap *)
+  if q.size = 1 || key < q.bucket_top -. q.width then reposition q key;
+  if q.size > 2 * q.nb then resize q (2 * q.nb)
+
+(* Index of the (key, seq)-minimal entry of bucket [i] whose key is
+   below [limit]; -1 if none. *)
+let scan_bucket q i limit =
+  let len = Array.unsafe_get q.blen i in
+  let ks = Array.unsafe_get q.bkeys i in
+  let ss = Array.unsafe_get q.bseqs i in
+  let best = ref (-1) in
+  for j = 0 to len - 1 do
+    let k = Array.unsafe_get ks j in
+    if k < limit then
+      if !best < 0 then best := j
+      else begin
+        let kb = Array.unsafe_get ks !best in
+        if
+          k < kb
+          || (k = kb && Array.unsafe_get ss j < Array.unsafe_get ss !best)
+        then best := j
+      end
+  done;
+  !best
+
+(* Locate the next entry to pop: scan at most one full year of buckets
+   from the cursor; if the year is empty (population far in the
+   future), fall back to a direct whole-queue minimum search and
+   reposition there. Returns the bucket index, leaves the slot index in
+   [slot]. Caller guarantees the queue is non-empty. *)
+let find_min q (slot : int array) =
+  let found = ref (-1) in
+  let steps = ref 0 in
+  while !found < 0 && !steps < q.nb do
+    let j = scan_bucket q q.cur q.bucket_top in
+    if j >= 0 then begin
+      slot.(0) <- j;
+      found := q.cur
+    end
+    else begin
+      incr steps;
+      q.cur <- (q.cur + 1) land (q.nb - 1);
+      q.bucket_top <- q.bucket_top +. q.width
+    end
+  done;
+  if !found >= 0 then !found
+  else begin
+    (* direct search: global (key, seq) minimum *)
+    let bi = ref (-1) and bj = ref (-1) in
+    for i = 0 to q.nb - 1 do
+      for j = 0 to q.blen.(i) - 1 do
+        if !bi < 0 then begin
+          bi := i;
+          bj := j
+        end
+        else begin
+          let k = q.bkeys.(i).(j) and kb = q.bkeys.(!bi).(!bj) in
+          if k < kb || (k = kb && q.bseqs.(i).(j) < q.bseqs.(!bi).(!bj)) then begin
+            bi := i;
+            bj := j
+          end
+        end
+      done
+    done;
+    reposition q q.bkeys.(!bi).(!bj);
+    slot.(0) <- !bj;
+    q.cur <- !bi;
+    !bi
+  end
+
+let min_key q =
+  if q.size = 0 then invalid_arg "Eventq_calendar.min_key: empty queue";
+  let i = find_min q q.slot in
+  q.bkeys.(i).(q.slot.(0))
+
+(* Remove bucket slot [j] by moving the bucket's tail entry into it —
+   order inside a bucket is irrelevant, the scans are order-blind. *)
+let remove q i j =
+  let len = q.blen.(i) - 1 in
+  let ks = q.bkeys.(i) and ss = q.bseqs.(i) and vs = q.bvals.(i) in
+  if j < len then begin
+    ks.(j) <- ks.(len);
+    ss.(j) <- ss.(len);
+    vs.(j) <- vs.(len)
+  end;
+  vs.(len) <- no_value ();
+  q.blen.(i) <- len;
+  q.size <- q.size - 1
+
+let pop_min q =
+  if q.size = 0 then invalid_arg "Eventq_calendar.pop_min: empty queue";
+  let i = find_min q q.slot in
+  let j = q.slot.(0) in
+  let v = q.bvals.(i).(j) in
+  remove q i j;
+  if q.nb > initial_nb && q.size < q.nb / 2 then resize q (q.nb / 2);
+  v
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let i = find_min q q.slot in
+    let j = q.slot.(0) in
+    let k = q.bkeys.(i).(j) in
+    let v = q.bvals.(i).(j) in
+    remove q i j;
+    if q.nb > initial_nb && q.size < q.nb / 2 then resize q (q.nb / 2);
+    Some (k, v)
+  end
+
+let peek q =
+  if q.size = 0 then None
+  else begin
+    let i = find_min q q.slot in
+    Some (q.bkeys.(i).(q.slot.(0)), q.bvals.(i).(q.slot.(0)))
+  end
+
+let clear q =
+  for i = 0 to q.nb - 1 do
+    let vs = q.bvals.(i) in
+    for j = 0 to q.blen.(i) - 1 do
+      vs.(j) <- no_value ()
+    done;
+    q.blen.(i) <- 0
+  done;
+  q.size <- 0;
+  q.cur <- 0;
+  q.bucket_top <- q.width
+
+let drain q =
+  let rec go acc =
+    match pop q with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []

@@ -1,0 +1,47 @@
+(** Calendar-queue priority queue (Brown 1988).
+
+    The classic alternative design point to {!Eventq}'s 4-ary heap:
+    time is cut into buckets of fixed width that wrap around like the
+    days of a year, giving O(1)-amortized push and pop when the bucket
+    count tracks the population. The constant pays for bucket scans and
+    cursor repositioning, so which structure wins depends on the
+    pending-event population — bench/main.ml races the two at several
+    queue sizes and the engine keeps the winner.
+
+    Drop-in API and semantics match {!Eventq}: FIFO tie-breaking for
+    equal keys via a global insertion counter (buckets are unsorted but
+    every scan picks the unique (key, seq) minimum, so results never
+    depend on intra-bucket order), structure-of-arrays bucket storage
+    with unboxed float keys, and immediate payload clearing on pop. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q t v] inserts [v] with key [t]. Raises [Invalid_argument] on a
+    NaN key. Allocation-free except for amortized bucket growth and
+    calendar resizes. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest entry. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the payload of the earliest entry without boxing
+    the result; read the key first with {!min_key} if it is needed.
+    Raises [Invalid_argument] on an empty queue. *)
+
+val min_key : 'a t -> float
+(** Key of the earliest entry. Raises [Invalid_argument] on an empty
+    queue. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Discard all entries, releasing every payload reference. *)
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

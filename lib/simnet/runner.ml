@@ -22,6 +22,7 @@ type config = {
   pause_resume : float;
   control_channel : control_channel option;
   on_setup : (Engine.t -> Switch.t -> unit) option;
+  stop_on_verdict : bool;
 }
 
 let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
@@ -41,6 +42,7 @@ let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
     pause_resume = 0.9;
     control_channel = None;
     on_setup = None;
+    stop_on_verdict = false;
   }
 
 let with_seed cfg seed =
@@ -184,11 +186,22 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
   in
   let rec sampler e =
     record e;
-    if Engine.now e +. cfg.sample_dt <= cfg.t_end then
+    (* overflow verdict: once the FIFO has dropped, the run's answer to
+       "does this operating point overflow the buffer?" is decided —
+       with [stop_on_verdict] the remaining horizon is skipped. The
+       check rides the sampler, so the verdict resolution is one
+       [sample_dt], and the trace up to the stop is byte-identical to
+       the same prefix of a full-horizon run. *)
+    if cfg.stop_on_verdict && Fifo.drops (Switch.fifo sw) > 0 then
+      Engine.stop e
+    else if Engine.now e +. cfg.sample_dt <= cfg.t_end then
       Engine.schedule e ~delay:cfg.sample_dt sampler
   in
   Engine.schedule e ~delay:0. sampler;
   Engine.run ~until:cfg.t_end e;
+  (* elapsed simulated time: equals [t_end] unless the verdict stop cut
+     the run short (the engine clock then rests at the stop event) *)
+  let t_run = if cfg.stop_on_verdict then Engine.now e else cfg.t_end in
   let m = !idx in
   let cut a = Array.sub a 0 m in
   let st = Switch.stats sw in
@@ -203,7 +216,7 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
     Telemetry.Metrics.set_gauge mx "runner.delivered_bits" delivered.(0);
     Telemetry.Metrics.set_gauge mx "runner.dropped_bits" (Fifo.dropped_bits q);
     Telemetry.Metrics.set_gauge mx "runner.utilization"
-      (delivered.(0) /. (p.Fluid.Params.capacity *. cfg.t_end));
+      (delivered.(0) /. (p.Fluid.Params.capacity *. t_run));
     Telemetry.Metrics.add_histogram mx "runner.latency_s" latency;
     Telemetry.Metrics.add_histogram mx "runner.queue_bits" queue_histogram
   end;
@@ -217,7 +230,7 @@ let run ?(probe = Telemetry.Probe.disabled) cfg =
     drops = Fifo.drops q;
     dropped_bits = Fifo.dropped_bits q;
     delivered_bits = delivered.(0);
-    utilization = delivered.(0) /. (p.Fluid.Params.capacity *. cfg.t_end);
+    utilization = delivered.(0) /. (p.Fluid.Params.capacity *. t_run);
     bcn_positive = st.Switch.bcn_positive;
     bcn_negative = st.Switch.bcn_negative;
     pause_on_events = st.Switch.pause_on;

@@ -44,6 +44,15 @@ type config = {
       (** called once, after the switch exists and before any event
           runs — the hook [Faultnet.Injector.install] uses to arm
           capacity flaps and blackouts. *)
+  stop_on_verdict : bool;
+      (** stop the run at the first trace sample that observes a FIFO
+          drop: once the buffer has overflowed, the overflow verdict —
+          the question Definition-1 region scans ask of a run — cannot
+          change, so the remaining horizon is skipped. The trace,
+          counters and [drops > 0] verdict match the same prefix of a
+          full-horizon run; [utilization] is normalized by the elapsed
+          (not configured) time. Default off: a full-horizon run is
+          byte-identical to one without this field. *)
 }
 
 val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config

@@ -111,6 +111,77 @@ let prop_eventq_matches_boxed_oracle =
         ops
       && Simnet.Eventq.size q = Simnet.Eventq_boxed.size oracle)
 
+(* The calendar-queue variant must be observationally identical to the
+   heap: same popped (key, payload) pairs under interleaved push/pop,
+   including FIFO tie-breaks. Tie-prone integer keys exercise the
+   FIFO path; the op count is large enough to cross the calendar's
+   grow/shrink thresholds repeatedly. *)
+let prop_calendar_matches_heap =
+  QCheck.Test.make ~name:"calendar queue matches the heap under interleaving"
+    ~count:300
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 0 300)
+        (option (int_range 0 7)))
+    (fun ops ->
+      let q = Simnet.Eventq_calendar.create () in
+      let oracle = Simnet.Eventq.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+              let key = float_of_int k in
+              Simnet.Eventq_calendar.push q key !next;
+              Simnet.Eventq.push oracle key !next;
+              incr next;
+              Simnet.Eventq_calendar.size q = Simnet.Eventq.size oracle
+          | None -> (
+              match
+                (Simnet.Eventq_calendar.pop q, Simnet.Eventq.pop oracle)
+              with
+              | None, None -> true
+              | Some (k1, v1), Some (k2, v2) -> k1 = k2 && v1 = v2
+              | _ -> false))
+        ops
+      && Simnet.Eventq_calendar.size q = Simnet.Eventq.size oracle)
+
+(* Same oracle over continuous keys (bucket spreading instead of ties)
+   plus an engine-like advancing-time pattern: keys pushed near the
+   current minimum, as packet schedulers do, which drags the calendar
+   cursor forward through year wraps. *)
+let prop_calendar_matches_heap_continuous =
+  QCheck.Test.make
+    ~name:"calendar queue matches the heap on advancing float keys"
+    ~count:200
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 0 250)
+        (option (float_range 0. 10.)))
+    (fun ops ->
+      let q = Simnet.Eventq_calendar.create () in
+      let oracle = Simnet.Eventq.create () in
+      let now = ref 0. in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some dt ->
+              let key = !now +. dt in
+              Simnet.Eventq_calendar.push q key !next;
+              Simnet.Eventq.push oracle key !next;
+              incr next;
+              true
+          | None -> (
+              match
+                (Simnet.Eventq_calendar.pop q, Simnet.Eventq.pop oracle)
+              with
+              | None, None -> true
+              | Some (k1, v1), Some (k2, v2) ->
+                  now := k1;
+                  k1 = k2 && v1 = v2
+              | _ -> false))
+        ops
+      && Simnet.Eventq_calendar.size q = Simnet.Eventq.size oracle)
+
 let test_eventq_clear () =
   let q = Simnet.Eventq.create () in
   for i = 0 to 9 do
@@ -569,6 +640,47 @@ let test_runner_pause_prevents_drops () =
   let r = Simnet.Runner.run cfg in
   Alcotest.(check int) "no drops with PAUSE" 0 r.Simnet.Runner.drops;
   Alcotest.(check bool) "pauses occurred" true (r.Simnet.Runner.pause_on_events > 0)
+
+(* Early exit on the overflow verdict: an uncontrolled overload run must
+   reach the same [drops > 0] verdict with [stop_on_verdict] as over the
+   full horizon, while actually cutting the run short; a drop-free
+   controlled run must be byte-identical with the flag on, because the
+   stop condition never fires. *)
+let test_runner_stop_on_verdict () =
+  let p = Fluid.Params.default in
+  let overload =
+    {
+      (Simnet.Runner.default_config ~t_end:0.02 p) with
+      Simnet.Runner.enable_bcn = false;
+      enable_pause = false;
+      initial_rate = 2. *. Fluid.Params.equilibrium_rate p;
+    }
+  in
+  let full = Simnet.Runner.run overload in
+  let early =
+    Simnet.Runner.run { overload with Simnet.Runner.stop_on_verdict = true }
+  in
+  Alcotest.(check bool) "full horizon overflows" true
+    (full.Simnet.Runner.drops > 0);
+  Alcotest.(check bool) "early exit agrees on the verdict" true
+    (early.Simnet.Runner.drops > 0);
+  Alcotest.(check bool) "early exit is actually early" true
+    (early.Simnet.Runner.events_processed
+    < full.Simnet.Runner.events_processed);
+  Alcotest.(check bool) "trace stops at the verdict" true
+    (Array.length early.Simnet.Runner.queue.Series.ts
+    < Array.length full.Simnet.Runner.queue.Series.ts);
+  Alcotest.(check bool) "utilization normalized by elapsed time" true
+    (early.Simnet.Runner.utilization >= 0.
+    && early.Simnet.Runner.utilization <= 1.001);
+  (* drop-free run: the flag must be a no-op, bit for bit *)
+  let calm = Simnet.Runner.default_config ~t_end:0.005 p in
+  let a = Simnet.Runner.run calm in
+  let b = Simnet.Runner.run { calm with Simnet.Runner.stop_on_verdict = true } in
+  Alcotest.(check int) "calm run drop-free" 0 a.Simnet.Runner.drops;
+  Alcotest.(check string) "flag is a no-op without drops"
+    (Marshal.to_string a [])
+    (Marshal.to_string b [])
 
 let test_runner_replicate_deterministic () =
   (* the same seeds must give byte-identical results whether the
@@ -1133,6 +1245,8 @@ let () =
           prop_eventq_conserves;
           prop_eventq_fifo_under_ties;
           prop_eventq_matches_boxed_oracle;
+          prop_calendar_matches_heap;
+          prop_calendar_matches_heap_continuous;
         ];
       qsuite "model-props"
         [
@@ -1191,6 +1305,8 @@ let () =
             test_runner_no_bcn_overflows;
           Alcotest.test_case "PAUSE prevents drops" `Quick
             test_runner_pause_prevents_drops;
+          Alcotest.test_case "stop on verdict" `Quick
+            test_runner_stop_on_verdict;
           Alcotest.test_case "replicate deterministic" `Quick
             test_runner_replicate_deterministic;
           Alcotest.test_case "run_many matches run" `Quick

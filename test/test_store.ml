@@ -31,10 +31,63 @@ let test_sha256_vectors () =
     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
   check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* the 896-bit two-block FIPS vector: its padding needs a second
+     block, the tail case the single-block vectors never reach *)
+  check
+    "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+     ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1";
   (* exercises the multi-block path: 1,000,000 'a' is the classic
      third FIPS vector *)
   check (String.make 1_000_000 'a')
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+(* The unrolled production compression function against the
+   straightforward FIPS loop kept as an oracle, across lengths that
+   cover every padding shape (empty, sub-block, one-block boundary,
+   two-block tail, many blocks). *)
+let test_sha256_differential () =
+  let state = ref 7 in
+  let byte () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    Char.chr (!state land 0xff)
+  in
+  List.iter
+    (fun len ->
+      let s = String.init len (fun _ -> byte ()) in
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" len)
+        (Key.sha256_reference s) (Key.sha256_hex s))
+    [ 0; 1; 3; 31; 55; 56; 63; 64; 65; 111; 112; 119; 127; 128; 1000; 4093 ]
+
+(* Streaming a message through [feed] in chunks — 1 MiB, irregular
+   chunk sizes — must give the oneshot digest. *)
+let test_sha256_streaming () =
+  let n = 1 lsl 20 in
+  let state = ref 99 in
+  let byte () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    Char.chr (!state land 0xff)
+  in
+  let s = String.init n (fun _ -> byte ()) in
+  let oneshot = Key.sha256_hex s in
+  let ctx = Key.init () in
+  let pos = ref 0 in
+  let chunk = ref 1 in
+  while !pos < n do
+    let len = min !chunk (n - !pos) in
+    Key.feed ctx (String.sub s !pos len);
+    pos := !pos + len;
+    (* chunk sizes sweep 1 .. ~8191, hitting sub-block, block-aligned
+       and multi-block feeds in one pass *)
+    chunk := 1 + ((!chunk * 2) mod 8191)
+  done;
+  Alcotest.(check string) "streamed = oneshot" oneshot (Key.final ctx);
+  (* split-point invariance at the block boundary *)
+  let ctx2 = Key.init () in
+  Key.feed ctx2 (String.sub s 0 64);
+  Key.feed ctx2 (String.sub s 64 (n - 64));
+  Alcotest.(check string) "block-aligned split" oneshot (Key.final ctx2)
 
 let test_key_material () =
   let k1 = Key.of_material "hello" in
@@ -490,6 +543,9 @@ let () =
     [
       ("sha256", [
         Alcotest.test_case "fips vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "differential vs reference" `Quick
+          test_sha256_differential;
+        Alcotest.test_case "streaming = oneshot" `Quick test_sha256_streaming;
         Alcotest.test_case "key material" `Quick test_key_material;
       ]);
       ("scenario-encoding", [
