@@ -274,7 +274,13 @@ let kernels () =
       Test.make ~name:"store_sha256_ref_256k" (Staged.stage sha256_ref);
     ]
 
-type estimate = { name : string; time_ns : float; minor_words : float }
+type estimate = {
+  name : string;
+  time_ns : float;
+  minor_words : float;
+  verdict_evals : float option;
+      (* adaptive-refinement rows: logical verdict evaluations spent *)
+}
 
 (* Derived throughput for the fixed-payload hash rows.
    bytes / (ns / 1e9) / 1e6 = bytes / ns * 1e3 MB/s. *)
@@ -287,6 +293,47 @@ let sha_mb_per_s e =
   if contains e.name "sha256" && e.time_ns > 0. then
     Some (float_of_int sha_bytes /. e.time_ns *. 1e3)
   else None
+
+(* Adaptive boundary refinement vs the dense raster it replaces: trace
+   the strong-stability safe region's boundary with the quadtree +
+   marching-squares engine and evaluate the full corner lattice at the
+   identical fine resolution. Single timed runs (the safe-region verdict
+   is a front integration, far above Bechamel's noise floor); the
+   headline column is verdict_evals — boundary-length versus raster-area
+   cost — which is exactly reproducible, unlike wall time. *)
+let refine_coarse = 8
+let refine_levels = 5
+
+let refine_rows () =
+  let p = default in
+  let n = refine_coarse * (1 lsl refine_levels) in
+  let t, adaptive_s =
+    timed (fun () ->
+        Refine.Safe_plane.trace
+          ~coarse:(refine_coarse, refine_coarse)
+          ~levels:refine_levels p)
+  in
+  let (_, dense_evals), dense_s =
+    timed (fun () ->
+        Refine.Engine.dense_mixed_cells
+          (Refine.Safe_plane.domain p)
+          ~nx:n ~ny:n
+          (Refine.Safe_plane.verdicts p))
+  in
+  [
+    {
+      name = "refine_safe_region_adaptive";
+      time_ns = adaptive_s *. 1e9;
+      minor_words = nan;
+      verdict_evals = Some (float_of_int t.Refine.Engine.evaluations);
+    };
+    {
+      name = "refine_safe_region_dense";
+      time_ns = dense_s *. 1e9;
+      minor_words = nan;
+      verdict_evals = Some (float_of_int dense_evals);
+    };
+  ]
 
 let estimates_of instance raw =
   let open Bechamel in
@@ -325,8 +372,9 @@ let run_perf () =
            let mw =
              match List.assoc_opt name words with Some w -> w | None -> nan
            in
-           { name; time_ns = t; minor_words = mw })
+           { name; time_ns = t; minor_words = mw; verdict_evals = None })
          times)
+    @ refine_rows ()
   in
   let fmt_time ns =
     if Float.is_nan ns then "n/a"
@@ -350,6 +398,12 @@ let run_perf () =
       | Some mb -> Printf.printf "%s throughput: %.1f MB/s\n" e.name mb
       | None -> ())
     rows;
+  List.iter
+    (fun e ->
+      match e.verdict_evals with
+      | Some v -> Printf.printf "%s: %.0f verdict evaluations\n" e.name v
+      | None -> ())
+    rows;
   rows
 
 (* JSON writer over the shared fragments in [Telemetry.Json]. *)
@@ -368,9 +422,12 @@ let write_json path rows =
               ("time_ns_per_run", J.float e.time_ns);
               ("minor_words_per_run", J.float e.minor_words);
             ]
+            @ (match sha_mb_per_s e with
+              | Some mb -> [ ("mb_per_s", J.float mb) ]
+              | None -> [])
             @
-            match sha_mb_per_s e with
-            | Some mb -> [ ("mb_per_s", J.float mb) ]
+            match e.verdict_evals with
+            | Some v -> [ ("verdict_evals", J.float v) ]
             | None -> []
           in
           Printf.fprintf oc "    %s%s\n" (J.obj cells)

@@ -402,6 +402,59 @@ let store_cold_and_warm ~points () =
       (cold_s, warm_s))
 
 (* ------------------------------------------------------------------ *)
+(* Resilience margin: bracketed bisection vs the dense severity scan   *)
+(* ------------------------------------------------------------------ *)
+
+(* One margin cell at matched resolution: bisection with [iters]
+   halvings brackets the threshold to [max_severity / 2^iters], the
+   dense scan walks [2^iters] uniform steps — same resolution, but the
+   scan pays one packet run per step up to the first violation while
+   bisection pays [2 + iters] logical runs total. Both report the run
+   counts in their [evaluations] field, so the rows are exactly
+   reproducible (wall time is carried as context). *)
+let margin_iters = 7
+
+let margin_rows () =
+  let sc = List.hd (Faultnet.Resilience.paper_cases ()) in
+  let ax = Faultnet.Resilience.Bcn_loss in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let bis, bis_s =
+    timed (fun () ->
+        Faultnet.Resilience.bisect ~iters:margin_iters ~seed:0 sc ax)
+  in
+  let scn, scan_s =
+    timed (fun () ->
+        Faultnet.Resilience.scan ~n:(1 lsl margin_iters) ~seed:0 sc ax)
+  in
+  [
+    {
+      name = "resilience_margin_bisect";
+      metrics =
+        [
+          ("margin", bis.Faultnet.Resilience.margin);
+          ("verdict_evals", float_of_int bis.Faultnet.Resilience.evaluations);
+          ("seconds", bis_s);
+        ];
+    };
+    {
+      name = "resilience_margin_dense_scan";
+      metrics =
+        [
+          ("margin", scn.Faultnet.Resilience.margin);
+          ("verdict_evals", float_of_int scn.Faultnet.Resilience.evaluations);
+          ("seconds", scan_s);
+          ( "dense_over_adaptive_evals",
+            float_of_int scn.Faultnet.Resilience.evaluations
+            /. float_of_int bis.Faultnet.Resilience.evaluations );
+        ];
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -490,6 +543,7 @@ let rows ~min_time ~t_end () =
         ];
     };
   ]
+  @ margin_rows ()
 
 let print rows =
   Printf.printf "################ packet engine throughput ################\n";

@@ -32,26 +32,38 @@ let split_commas s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
 
+let resilience_memo store_spec cache =
+  Option.map
+    (fun c ->
+      let m = Store.Sweep.resilience_memo c in
+      if store_spec.Cli_common.no_cache then
+        (* recompute every probe but still refresh the stored entries *)
+        { m with Faultnet.Resilience.lookup = (fun _ -> None) }
+      else m)
+    cache
+
 let sweep_run axes_str flap_period flap_duty t_end transient iters seed jobs
-    csv json store_spec =
+    adaptive dense scan_n csv json store_spec =
+  if adaptive && dense then
+    invalid_arg "--adaptive and --dense are mutually exclusive";
   let axes =
     List.map (axis_of_name ~flap_period ~flap_duty) (split_commas axes_str)
   in
   if axes = [] then invalid_arg "--axes must name at least one axis";
   let cache = Cli_common.open_store store_spec in
-  let memo =
-    Option.map
-      (fun c ->
-        let m = Store.Sweep.resilience_memo c in
-        if store_spec.Cli_common.no_cache then
-          (* recompute every probe but still refresh the stored entries *)
-          { m with Faultnet.Resilience.lookup = (fun _ -> None) }
-        else m)
-      cache
-  in
+  let memo = resilience_memo store_spec cache in
   let scenarios = Faultnet.Resilience.paper_cases ~t_end ?transient () in
   let margins =
-    Faultnet.Resilience.sweep ?jobs ?iters ?memo ~seed scenarios axes
+    if dense then
+      (* the baseline bisection replaces: walk every severity step *)
+      Array.of_list
+        (List.concat_map
+           (fun sc ->
+             List.map
+               (fun ax -> Faultnet.Resilience.scan ~n:scan_n ?memo ~seed sc ax)
+               axes)
+           scenarios)
+    else Faultnet.Resilience.sweep ?jobs ?iters ?memo ~seed scenarios axes
   in
   Report.Table.print
     ~headers:[ "scenario"; "axis"; "margin"; "ceiling"; "violation"; "runs" ]
@@ -80,6 +92,50 @@ let sweep_run axes_str flap_period flap_duty t_end transient iters seed jobs
   | Some path ->
       with_out path (fun oc ->
           output_string oc (Faultnet.Resilience.to_json margins));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  Cli_common.report_store store_spec cache;
+  0
+
+(* ---------- plane ---------- *)
+
+let plane_run axis_x axis_y flap_period flap_duty t_end transient seed jobs
+    coarse levels edge_iters dense csv store_spec =
+  let ax = axis_of_name ~flap_period ~flap_duty axis_x in
+  let ay = axis_of_name ~flap_period ~flap_duty axis_y in
+  let cache = Cli_common.open_store store_spec in
+  let memo = resilience_memo store_spec cache in
+  let sc = List.hd (Faultnet.Resilience.paper_cases ~t_end ?transient ()) in
+  let t =
+    Refine.Fault_plane.trace ?memo ?jobs ~coarse:(coarse, coarse) ~levels
+      ~edge_iters ~seed sc ax ay
+  in
+  print_string (Refine.Engine.render t);
+  Printf.printf
+    "%s x %s plane (%s): %d boundary cells, %d segments, %d probe runs\n"
+    (Faultnet.Resilience.axis_name ax)
+    (Faultnet.Resilience.axis_name ay)
+    sc.Faultnet.Resilience.label
+    (Array.length t.Refine.Engine.boundary_cells)
+    (Array.length t.Refine.Engine.segments)
+    t.Refine.Engine.evaluations;
+  if dense then begin
+    let n = coarse * (1 lsl levels) in
+    let s0 = Faultnet.Resilience.run_summary ?memo sc None in
+    let cells, evals =
+      Refine.Engine.dense_mixed_cells t.Refine.Engine.dom ~nx:n ~ny:n
+        (Refine.Fault_plane.verdicts ?memo ?jobs ~seed
+           ~baseline_utilization:s0.Faultnet.Resilience.utilization sc ax ay)
+    in
+    Printf.printf
+      "dense %dx%d lattice: %d mixed cells, %d probe runs (adaptive %.1fx \
+       fewer)\n"
+      n n (Array.length cells) evals
+      (float_of_int evals /. float_of_int (max 1 t.Refine.Engine.evaluations))
+  end;
+  (match csv with
+  | Some path ->
+      with_out path (fun oc -> output_string oc (Refine.Engine.segments_csv t));
       Printf.printf "wrote %s\n" path
   | None -> ());
   Cli_common.report_store store_spec cache;
@@ -405,14 +461,92 @@ let sweep_cmd =
          & info [ "json" ] ~docv:"FILE.json"
              ~doc:"Write the margin table as JSON.")
   in
+  let adaptive =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:"Bracketed bisection per cell (the default; stated \
+                   explicitly for symmetry with --dense).")
+  in
+  let dense =
+    Arg.(value & flag
+         & info [ "dense" ]
+             ~doc:"Dense severity scan per cell instead of bisection: walk \
+                   --scan-n uniform steps and stop at the first violation \
+                   (the baseline bisection replaces).")
+  in
+  let scan_n =
+    Arg.(value & opt Cli_common.pos_int 256
+         & info [ "scan-n" ] ~docv:"N"
+             ~doc:"With --dense: severity steps per axis (resolution \
+                   max_severity / N).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Bisect strong-stability margins for the paper's Case 1-3 \
              points across fault-severity axes.")
     Term.(
       const sweep_run $ axes $ flap_period $ flap_duty $ t_end $ transient
-      $ iters $ seed $ Cli_common.jobs_term $ csv $ json
-      $ Cli_common.store_term)
+      $ iters $ seed $ Cli_common.jobs_term $ adaptive $ dense $ scan_n $ csv
+      $ json $ Cli_common.store_term)
+
+let plane_cmd =
+  let axis name default doc =
+    Arg.(value & opt string default & info [ name ] ~docv:"AXIS" ~doc)
+  in
+  let axis_x = axis "axis-x" "bcn-loss" "Horizontal severity axis." in
+  let axis_y = axis "axis-y" "pause-loss" "Vertical severity axis." in
+  let flap_period =
+    Arg.(value & opt float 2e-3
+         & info [ "flap-period" ] ~docv:"S" ~doc:"Flap period, seconds.")
+  in
+  let flap_duty =
+    Arg.(value & opt float 0.5
+         & info [ "flap-duty" ] ~docv:"F"
+             ~doc:"Fraction of each period spent at dipped capacity.")
+  in
+  let t_end = Cli_common.t_end_term () in
+  let transient =
+    Arg.(value & opt (some float) None
+         & info [ "transient" ] ~docv:"S"
+             ~doc:"Head of the run excluded from the queue-bound check \
+                   (default: t-end / 2).")
+  in
+  let seed = Cli_common.seed_term ~doc:"Injector RNG seed." in
+  let coarse =
+    Arg.(value & opt Cli_common.pos_int 4
+         & info [ "coarse" ] ~docv:"N" ~doc:"Coarse seeding grid (N x N).")
+  in
+  let levels =
+    Arg.(value & opt Cli_common.pos_int 3
+         & info [ "levels" ] ~docv:"L"
+             ~doc:"Subdivision levels (fine lattice = coarse * 2^L).")
+  in
+  let edge_iters =
+    Arg.(value & opt Cli_common.pos_int 3
+         & info [ "edge-iters" ] ~docv:"K"
+             ~doc:"Bisection rounds per crossing edge (sub-cell boundary).")
+  in
+  let dense =
+    Arg.(value & flag
+         & info [ "dense" ]
+             ~doc:"Also evaluate the dense corner lattice at the matching \
+                   resolution and print the savings ratio (every lattice \
+                   point is a packet run — expensive).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE.csv"
+             ~doc:"Write the traced boundary polyline as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "plane"
+       ~doc:"Adaptively trace the survive/violate frontier in a 2-D \
+             fault-severity plane (two axes composed onto one plan, one \
+             packet run per probed cell).")
+    Term.(
+      const plane_run $ axis_x $ axis_y $ flap_period $ flap_duty $ t_end
+      $ transient $ seed $ Cli_common.jobs_term $ coarse $ levels $ edge_iters
+      $ dense $ csv $ Cli_common.store_term)
 
 let smoke_cmd =
   Cmd.v
@@ -439,6 +573,6 @@ let cmd =
     (Cmd.info "bcn_faults"
        ~doc:"Deterministic fault injection: resilience margins of BCN \
              strong stability.")
-    [ sweep_cmd; smoke_cmd; store_smoke_cmd ]
+    [ sweep_cmd; plane_cmd; smoke_cmd; store_smoke_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -42,10 +42,71 @@ let write_json ~path ~header ~rows =
         rows;
       output_string oc "]\n")
 
-let run param lo hi steps log_scale buffer csv json jobs store_spec =
+(* ---------- 2-D region mode (--param2) ---------- *)
+
+(* Two swept parameters span a plane whose interesting content is the
+   strongly-stable / unstable boundary; trace it adaptively instead of
+   filling the steps x steps grid. *)
+let region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
+    store_spec cache =
+  let apply2 ~x ~y = apply (apply base param x) param2 y in
+  let store =
+    Option.map
+      (fun c ->
+        let lookup, save = Store.Sweep.verdict_memo c in
+        if store_spec.Cli_common.no_cache then ((fun _ -> None), save)
+        else (lookup, save))
+      cache
+  in
+  let dom = { Refine.Engine.x0 = lo; x1 = hi; y0 = lo2; y1 = hi2 } in
+  let t =
+    Refine.Param_plane.trace ?jobs ?store ~coarse:(coarse, coarse) ~levels
+      apply2 dom
+  in
+  print_string (Refine.Engine.render t);
+  Printf.printf
+    "%s x %s stability plane: %d boundary cells, %d segments, %d verdict \
+     evaluations\n"
+    param param2
+    (Array.length t.Refine.Engine.boundary_cells)
+    (Array.length t.Refine.Engine.segments)
+    t.Refine.Engine.evaluations;
+  if dense then begin
+    let n = coarse * (1 lsl levels) in
+    let _, evals =
+      Refine.Engine.dense_mixed_cells dom ~nx:n ~ny:n
+        (Refine.Param_plane.verdicts ?jobs apply2)
+    in
+    Printf.printf "dense %dx%d lattice: %d evaluations (adaptive %.1fx fewer)\n"
+      n n evals
+      (float_of_int evals /. float_of_int (max 1 t.Refine.Engine.evaluations))
+  end;
+  (match csv with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Refine.Engine.segments_csv t));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  Cli_common.report_store store_spec cache;
+  0
+
+let run param lo hi steps log_scale buffer param2 range2 coarse levels dense
+    csv json jobs store_spec =
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
   let cache = Cli_common.open_store store_spec in
+  match param2 with
+  | Some param2 ->
+      let lo2, hi2 =
+        match range2 with
+        | Some r -> r
+        | None -> invalid_arg "--param2 requires --range2 LO:HI"
+      in
+      region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
+        store_spec cache
+  | None ->
   let value i =
     let f = float_of_int i /. float_of_int (steps - 1) in
     if log_scale then lo *. ((hi /. lo) ** f) else lo +. ((hi -. lo) *. f)
@@ -138,16 +199,56 @@ let cmd =
   let buffer =
     Arg.(value & opt float 15e6 & info [ "buffer" ] ~doc:"Buffer for the base config, bits.")
   in
-  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV.") in
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV (with --param2: the traced boundary polyline).") in
   let json =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~doc:"Write the table to JSON.")
   in
+  let param2 =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "param2" ] ~docv:"NAME"
+          ~doc:
+            "Second swept parameter (same vocabulary as $(b,--param)): \
+             switch to 2-D region mode and adaptively trace the \
+             strongly-stable boundary of the ($(b,--param), $(docv)) plane \
+             over [--from, --to] x --range2 instead of tabulating a grid.")
+  in
+  let range2 =
+    Arg.(
+      value
+      & opt (some (t2 ~sep:':' float float)) None
+      & info [ "range2" ] ~docv:"LO:HI"
+          ~doc:"Range of $(b,--param2) in region mode.")
+  in
+  let coarse =
+    Arg.(
+      value & opt Cli_common.pos_int 8
+      & info [ "coarse" ] ~docv:"N"
+          ~doc:"Region mode: coarse seeding grid (N x N cells).")
+  in
+  let levels =
+    Arg.(
+      value & opt Cli_common.pos_int 3
+      & info [ "levels" ] ~docv:"L"
+          ~doc:
+            "Region mode: subdivision levels (fine lattice = coarse * 2^L).")
+  in
+  let dense =
+    Arg.(
+      value & flag
+      & info [ "dense" ]
+          ~doc:
+            "Region mode: also evaluate the dense corner lattice at the \
+             matching resolution and print the savings ratio.")
+  in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
-    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ csv $ json
-   $ Cli_common.jobs_term $ Cli_common.store_term)
+    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ param2
+   $ range2 $ coarse $ levels $ dense $ csv $ json $ Cli_common.jobs_term
+   $ Cli_common.store_term)
 
 let () = exit (Cmd.eval' cmd)

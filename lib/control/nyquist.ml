@@ -2,10 +2,17 @@ open Numerics
 
 type curve = { ws : float array; res : float array; ims : float array }
 
+(* A fill loop, not [Array.init]: without flambda the init closure
+   returns each grid point boxed (two minor words per point — the bulk
+   of the old locus' allocation), while a [float array] store from a
+   local is unboxed. Same per-element expression, same bits. *)
 let log_grid w_min w_max n =
   let l0 = log w_min and l1 = log w_max in
-  Array.init n (fun i ->
-      exp (l0 +. ((l1 -. l0) *. float_of_int i /. float_of_int (n - 1))))
+  let ws = Array.make n 0. in
+  for i = 0 to n - 1 do
+    ws.(i) <- exp (l0 +. ((l1 -. l0) *. float_of_int i /. float_of_int (n - 1)))
+  done;
+  ws
 
 let locus ?(w_min = 1e-4) ?(w_max = 1e6) ?(n = 4000) h =
   if w_min <= 0. || w_max <= w_min then invalid_arg "Nyquist.locus: bad range";

@@ -51,16 +51,18 @@ let max_severity = function
   | Bcn_loss | Pause_loss -> 1.
   | Flap_depth _ -> 0.95
 
-let plan_of axis ~severity ~seed ~t_end =
-  let p = Plan.with_seed Plan.none seed in
+let plan_add plan axis ~severity ~t_end =
   match axis with
   | Bcn_loss ->
       let l = Plan.loss_of_severity severity in
-      Plan.with_bcn_loss ~pos:l ~neg:l p
-  | Pause_loss -> Plan.with_pause_loss p (Plan.loss_of_severity severity)
+      Plan.with_bcn_loss ~pos:l ~neg:l plan
+  | Pause_loss -> Plan.with_pause_loss plan (Plan.loss_of_severity severity)
   | Flap_depth { period; duty } ->
-      Plan.with_capacity p
+      Plan.with_capacity plan
         (Plan.square_flaps ~period ~duty ~depth:severity ~t_end)
+
+let plan_of axis ~severity ~seed ~t_end =
+  plan_add (Plan.with_seed Plan.none seed) axis ~severity ~t_end
 
 let baseline sc = Simnet.Runner.run sc.cfg
 
@@ -190,6 +192,45 @@ let bisect ?(iters = 8) ?memo ~seed sc ax =
                 viol := v
           done;
           cell !lo !hi (Some !viol))
+
+(* The dense 1-D baseline the bracketed bisection replaces: walk the
+   severity axis in [n] uniform steps from 0 and report the last
+   surviving / first violating pair. Same margin semantics as {!bisect}
+   at resolution [hi0 / n] (bisect reaches the same resolution with
+   [log2 n] probes), kept as the reference the adaptive paths are
+   benchmarked and cross-checked against. *)
+let scan ?(n = 256) ?memo ~seed sc ax =
+  if n < 1 then invalid_arg "Resilience.scan: n must be >= 1";
+  let evals = ref 1 in
+  let s0 = run_summary ?memo sc None in
+  let bu = s0.utilization in
+  let eval severity =
+    incr evals;
+    probe ?memo sc ax ~seed ~baseline_utilization:bu ~severity
+  in
+  let cell margin ceiling violation =
+    {
+      scenario = sc.label;
+      axis = axis_name ax;
+      margin;
+      ceiling;
+      violation;
+      evaluations = !evals;
+    }
+  in
+  match check_summary sc ~baseline_utilization:bu s0 with
+  | Some v -> cell 0. 0. (Some v)
+  | None ->
+      let hi0 = max_severity ax in
+      let step k = hi0 *. float_of_int k /. float_of_int n in
+      let rec go k =
+        if k > n then cell hi0 hi0 None
+        else
+          match eval (step k) with
+          | None -> go (k + 1)
+          | Some v -> cell (step (k - 1)) (step k) (Some v)
+      in
+      go 1
 
 let sweep ?jobs ?iters ?memo ~seed scenarios axes =
   let cells =

@@ -73,6 +73,12 @@ val max_severity : axis -> float
 val plan_of : axis -> severity:float -> seed:int -> t_end:float -> Plan.t
 (** The fault plan one probe run uses. *)
 
+val plan_add : Plan.t -> axis -> severity:float -> t_end:float -> Plan.t
+(** Apply one axis' fault at the given severity on top of an existing
+    plan (the plan's seed is kept). [plan_of] is [plan_add] over a
+    fresh seeded empty plan; composing two axes onto one plan is how
+    2-D fault planes are built. *)
+
 val baseline : scenario -> Simnet.Runner.result
 (** The scenario's fault-free run (severity 0, no injector). *)
 
@@ -116,6 +122,12 @@ val check :
 (** Apply the operational Definition 1 above to a finished run.
     [Overflow] takes precedence when both bounds fail. *)
 
+val run_summary : ?memo:memo -> scenario -> Plan.t option -> probe_summary
+(** One (possibly fault-injected) run of the scenario, summarized.
+    The memoized core of {!probe}, exposed so composed plans (e.g. the
+    2-D severity planes in [Refine.Fault_plane]) share the same probe
+    cache; [None] runs the fault-free baseline. *)
+
 val probe :
   ?memo:memo ->
   scenario ->
@@ -150,6 +162,16 @@ val bisect : ?iters:int -> ?memo:memo -> seed:int -> scenario -> axis -> margin
     [evaluations] counts {e logical} evaluations whether or not the
     memo answered them, so a warm rerun's margin table is byte-identical
     to the cold one. *)
+
+val scan : ?n:int -> ?memo:memo -> seed:int -> scenario -> axis -> margin
+(** The dense baseline {!bisect} replaces: after the fault-free
+    baseline, walk the axis in [n] (default 256) uniform severity
+    steps from [max_severity / n] upward and stop at the first
+    violation. Reports the same margin/ceiling semantics as {!bisect}
+    at resolution [max_severity / n], for [1 + k] probe runs where [k]
+    is the first violating step (all [n] when nothing violates) —
+    versus bisection's [1 + log2 n] for the same resolution.
+    [evaluations] counts logical evaluations exactly as in {!bisect}. *)
 
 val sweep :
   ?jobs:int ->

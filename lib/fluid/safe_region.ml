@@ -5,6 +5,8 @@ type verdict = Safe | Overflow | Underflow
 type raster = {
   q_grid : float array;
   r_grid : float array;
+  q_max : float;
+  r_max : float;
   cells : verdict array array;
   safe_fraction : float;
 }
@@ -161,6 +163,8 @@ let raster ?t_max ?(nq = 24) ?(nr = 24) ?r_max ?jobs p =
   {
     q_grid;
     r_grid;
+    q_max = p.Params.buffer;
+    r_max;
     cells;
     safe_fraction = float_of_int !safe /. float_of_int (nq * nr);
   }
@@ -190,7 +194,7 @@ let render ra =
   done;
   Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make nq '-'));
   Buffer.add_string buf
-    (Printf.sprintf "%8s  q: 0 .. %s (buffer)\n" "" (Report.Table.si (ra.q_grid.(nq - 1) *. float_of_int nq /. (float_of_int nq -. 0.5))));
+    (Printf.sprintf "%8s  q: 0 .. %s (buffer)\n" "" (Report.Table.si ra.q_max));
   Buffer.contents buf
 
 and to_csv ~path ra =

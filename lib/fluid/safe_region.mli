@@ -21,6 +21,8 @@ type verdict = Safe | Overflow | Underflow
 type raster = {
   q_grid : float array;  (** queue-axis cell centers, bits *)
   r_grid : float array;  (** per-source-rate cell centers, bit/s *)
+  q_max : float;  (** queue-axis extent (the buffer size), bits *)
+  r_max : float;  (** rate-axis extent, bit/s *)
   cells : verdict array array;  (** [cells.(i).(j)] at [(q i, r j)] *)
   safe_fraction : float;
 }

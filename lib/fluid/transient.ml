@@ -38,37 +38,67 @@ let measure ?horizon ?(band = 0.05) p =
     match horizon with Some v -> v | None -> 20. *. slower_period p
   in
   let sys = Model.normalized_system p in
-  let tr = Phaseplane.Trajectory.integrate ~t_max:horizon sys (Model.start_point p) in
-  let xs = Phaseplane.Trajectory.x_series tr in
-  let overshoot = Phaseplane.Trajectory.x_max tr in
-  let undershoot =
-    match tr.Phaseplane.Trajectory.switch_crossings with
-    | { Phaseplane.Trajectory.ct; _ } :: _ ->
-        let tail = Series.tail_from xs ct in
-        if Series.is_empty tail then Phaseplane.Trajectory.x_min tr
-        else snd (Series.argmin tail)
-    | [] -> Phaseplane.Trajectory.x_min tr
-  in
   let threshold = band *. p.Params.q0 in
-  (* settling: the last time |x| exceeds the band *)
+  (* Streaming fold over the trajectory: the scan solver hands every
+     sample the recording integrator would have stored (bit for bit)
+     through one reused buffer, so nothing is retained per step. The
+     guard set replicates [Trajectory.events_for] for the normalized
+     system — [switch] is sigma = -(x + k·y), [axis] is y — evaluated
+     straight off the packed buffer so no [Vec2] is built per step. *)
+  let k = Params.k p in
+  let guards =
+    {
+      Ode.gs_names = [| "switch"; "axis" |];
+      gs_dirs = [| Ode.Both; Ode.Both |];
+      gs_terminal = [| false; false |];
+      gs_eval =
+        (fun pt dst ->
+          dst.(0) <- -.(pt.(1) +. (k *. pt.(2)));
+          dst.(1) <- pt.(2));
+    }
+  in
+  (* fold state: 0 = x_max, 1 = x_min, 2 = min x over the tail from the
+     first switch, 3 = first switch time (nan = none yet), 4 = last
+     time |x| > threshold (nan = never), 5 = last sample time,
+     6 = tail-nonempty flag *)
+  let acc = [| neg_infinity; infinity; infinity; nan; nan; nan; 0. |] in
+  let on_point pt =
+    let t = pt.(0) in
+    let x = pt.(1) in
+    if x > acc.(0) then acc.(0) <- x;
+    if x < acc.(1) then acc.(1) <- x;
+    if (not (Float.is_nan acc.(3))) && t >= acc.(3) then begin
+      acc.(6) <- 1.;
+      if x < acc.(2) then acc.(2) <- x
+    end;
+    if Float.abs x > threshold then acc.(4) <- t;
+    acc.(5) <- t
+  in
+  let on_event (oc : Ode.occurrence) =
+    if String.equal oc.Ode.oc_name "switch" && Float.is_nan acc.(3) then
+      acc.(3) <- oc.Ode.oc_t
+  in
+  let sc =
+    Phaseplane.Trajectory.scan ~t_max:horizon ~guards ~on_event ~on_point sys
+      (Model.start_point p)
+  in
+  let overshoot = acc.(0) in
+  let undershoot =
+    (* x_min after the first switching — [Series.tail_from] keeps
+       samples with [t >= ct], which is exactly the tail fold above *)
+    if Float.is_nan acc.(3) || acc.(6) = 0. then acc.(1) else acc.(2)
+  in
   let settling_time =
-    let last = ref None in
-    Array.iteri
-      (fun i v -> if Float.abs v > threshold then last := Some xs.Series.ts.(i))
-      xs.Series.vs;
-    match !last with
-    | None -> Some 0.
-    | Some t when t < xs.Series.ts.(Series.length xs - 1) -. (0.01 *. horizon)
-      ->
-        Some t
-    | Some _ -> None
+    if Float.is_nan acc.(4) then Some 0.
+    else if acc.(4) < acc.(5) -. (0.01 *. horizon) then Some acc.(4)
+    else None
   in
   {
     overshoot;
     undershoot;
-    oscillations = List.length tr.Phaseplane.Trajectory.axis_crossings;
+    oscillations = List.length sc.Phaseplane.Trajectory.scan_axis;
     settling_time;
-    decay_per_cycle = decay_of_extrema tr.Phaseplane.Trajectory.axis_crossings;
+    decay_per_cycle = decay_of_extrema sc.Phaseplane.Trajectory.scan_axis;
   }
 
 let sweep ?horizon ?band ?(jobs = 1) param_of values =

@@ -1097,6 +1097,238 @@ let solve_adaptive_auto_into ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
   in
   run_driver ~single ~single_into ~next_h ~events ?monitor ~t_end ~t0 ~y0 ()
 
+(* --- streaming adaptive scan --------------------------------------------- *)
+
+type guard_spec = {
+  gs_names : string array;
+  gs_dirs : direction array;
+  gs_terminal : bool array;
+  gs_eval : float array -> float array -> unit;
+}
+
+type scan_result = {
+  sc_occs : occurrence list;
+  sc_terminated : occurrence option;
+  sc_steps : int;
+  sc_rejected : int;
+}
+
+let guards_of_events ~dim events =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  let y_view = Array.make dim 0. in
+  {
+    gs_names = Array.map (fun e -> e.ev_name) evs;
+    gs_dirs = Array.map (fun e -> e.dir) evs;
+    gs_terminal = Array.map (fun e -> e.terminal) evs;
+    gs_eval =
+      (fun pt dst ->
+        Array.blit pt 1 y_view 0 dim;
+        let t = pt.(0) in
+        for e = 0 to n - 1 do
+          dst.(e) <- evs.(e).guard t y_view
+        done);
+  }
+
+let no_guards =
+  {
+    gs_names = [||];
+    gs_dirs = [||];
+    gs_terminal = [||];
+    gs_eval = (fun _ _ -> ());
+  }
+
+(* [solve_adaptive_auto_into] without the recorded trajectory: the same
+   controller expressions and evaluation sequence (each accepted point
+   carries the same bits the recording driver would have stored), but
+   every sample is handed to [on_point] through one reused
+   [|t; y0; ...; y_{dim-1}|] buffer and then forgotten. No float
+   crosses a call boundary on the per-step path — guards read the
+   packed buffer, the bisection argument travels through a slot array,
+   and the accepted state is blitted from the trial buffer (the core
+   stepper is deterministic in (y, h), so skipping the recording
+   driver's recomputation changes no bits). *)
+let solve_adaptive_auto_scan ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
+    ?(h_min = 1e-14) ?h_max ?(max_steps = 2_000_000) ?(guards = no_guards)
+    ?monitor ?on_event ~(on_point : float array -> unit) ~t_end
+    (f : field_auto) ~t0 ~y0 =
+  let span = t_end -. t0 in
+  if span <= 0. then invalid_arg "Ode.solve_adaptive_auto_scan: t_end <= t0";
+  let h_max = match h_max with Some h -> h | None -> span in
+  let h_init = match h0 with Some h -> h | None -> span /. 100. in
+  let budget = ref max_steps in
+  let dim = Array.length y0 in
+  let ws = dopri_workspace dim in
+  let err_acc = [| 0. |] in
+  let trial = Array.make dim 0. in
+  let h_suggest = [| Float.min h_init h_max |] in
+  let scale_acc = [| 0. |] in
+  let gs = guards in
+  let n_ev = Array.length gs.gs_names in
+  let g_prev = Array.make (Stdlib.max 1 n_ev) 0. in
+  let g_next = Array.make (Stdlib.max 1 n_ev) 0. in
+  let g_loc = Array.make (Stdlib.max 1 n_ev) 0. in
+  let pt = Array.make (dim + 1) 0. in
+  let ya = ref (Array.copy y0) in
+  let yb = ref (Array.make dim 0.) in
+  let scratch = Array.make dim 0. in
+  let tcur = [| t0 |] in
+  let hcur = [| t_end -. t0 |] in
+  (* bisection mailboxes: 0=lo 1=hi 2=flo 3=s-argument 4=phi-result
+     5=h of the step under localization *)
+  let bst = Array.make 6 0. in
+  let bei = [| 0 |] in
+  (* phi(s) of [localize_into]: step to fraction s of the current step,
+     then evaluate the firing guard there. Argument and result travel
+     through [bst] so no float is boxed per bisection iteration. *)
+  let eval_phi () =
+    let s = bst.(3) in
+    let h = bst.(5) in
+    ws.dhp.(0) <- s *. h;
+    dopri5_auto_core ws f !ya scratch err_acc;
+    pt.(0) <- tcur.(0) +. (s *. h);
+    Array.blit scratch 0 pt 1 dim;
+    gs.gs_eval pt g_loc;
+    bst.(4) <- g_loc.(bei.(0))
+  in
+  let occs = ref [] in
+  let terminated = ref None in
+  let n_steps = ref 0 in
+  let n_rejected = ref 0 in
+  pt.(0) <- t0;
+  Array.blit y0 0 pt 1 dim;
+  if n_ev > 0 then gs.gs_eval pt g_prev;
+  on_point pt;
+  let continue_ = ref (t_end > t0) in
+  while !continue_ do
+    let remaining = t_end -. tcur.(0) in
+    if remaining <= 1e-15 *. (1. +. Float.abs t_end) then continue_ := false
+    else begin
+      let h_try0 = Float.min hcur.(0) remaining in
+      decr budget;
+      if !budget <= 0 then
+        failwith "Ode.solve_adaptive_auto_scan: max_steps exhausted";
+      let h_try = Float.min h_try0 h_suggest.(0) in
+      let h_try = Float.max h_try h_min in
+      ws.dhp.(0) <- h_try;
+      dopri5_auto_core ws f !ya trial err_acc;
+      let err = err_acc.(0) in
+      scale_acc.(0) <- atol;
+      for i = 0 to dim - 1 do
+        scale_acc.(0) <-
+          Float.max scale_acc.(0)
+            (rtol *. Float.max (Float.abs !ya.(i)) (Float.abs trial.(i)))
+      done;
+      let ratio = err /. scale_acc.(0) in
+      let ratio = if Float.is_finite ratio then ratio else infinity in
+      if ratio <= 1. || h_try <= h_min *. 1.0001 then begin
+        let grow =
+          if ratio <= 0. then 5. else Float.min 5. (0.9 *. (ratio ** -0.2))
+        in
+        h_suggest.(0) <- Float.min h_max (h_try *. Float.max 1. grow);
+        incr n_steps;
+        let h_acc = h_try in
+        Array.blit trial 0 !yb 0 dim;
+        let t_next = tcur.(0) +. h_acc in
+        (match monitor with Some m -> m.on_step t_next h_acc | None -> ());
+        if n_ev > 0 then begin
+          pt.(0) <- t_next;
+          Array.blit !yb 0 pt 1 dim;
+          gs.gs_eval pt g_next
+        end;
+        let stop_here = ref None in
+        for e = 0 to n_ev - 1 do
+          if fires gs.gs_dirs.(e) g_prev.(e) g_next.(e) then begin
+            (* inline [localize_into]'s
+               [Roots.bisect ~tol:1e-13 ~max_iter:100 phi 1e-15 1.]
+               (No_bracket falls back to the end of the step) *)
+            bst.(5) <- h_acc;
+            bei.(0) <- e;
+            bst.(3) <- 1e-15;
+            eval_phi ();
+            let fa = bst.(4) in
+            bst.(3) <- 1.;
+            eval_phi ();
+            let fb = bst.(4) in
+            let s_root =
+              if fa = 0. then 1e-15
+              else if fb = 0. then 1.
+              else if fa *. fb > 0. then 1.
+              else begin
+                bst.(0) <- 1e-15;
+                bst.(1) <- 1.;
+                bst.(2) <- fa;
+                let i = ref 0 in
+                while bst.(1) -. bst.(0) > 1e-13 && !i < 100 do
+                  incr i;
+                  let mid = 0.5 *. (bst.(0) +. bst.(1)) in
+                  bst.(3) <- mid;
+                  eval_phi ();
+                  let fm = bst.(4) in
+                  if fm = 0. then begin
+                    bst.(0) <- mid;
+                    bst.(1) <- mid
+                  end
+                  else if bst.(2) *. fm < 0. then bst.(1) <- mid
+                  else begin
+                    bst.(0) <- mid;
+                    bst.(2) <- fm
+                  end
+                done;
+                0.5 *. (bst.(0) +. bst.(1))
+              end
+            in
+            ws.dhp.(0) <- s_root *. h_acc;
+            dopri5_auto_core ws f !ya scratch err_acc;
+            let t_ev = tcur.(0) +. (s_root *. h_acc) in
+            let oc =
+              { oc_name = gs.gs_names.(e); oc_t = t_ev; oc_y = Array.copy scratch }
+            in
+            occs := oc :: !occs;
+            (match on_event with Some cb -> cb oc | None -> ());
+            if gs.gs_terminal.(e) then
+              match !stop_here with
+              | Some (prev_oc : occurrence) when prev_oc.oc_t <= t_ev -> ()
+              | Some _ | None -> stop_here := Some oc
+          end
+        done;
+        match !stop_here with
+        | Some oc ->
+            terminated := Some oc;
+            pt.(0) <- oc.oc_t;
+            Array.blit oc.oc_y 0 pt 1 dim;
+            on_point pt;
+            continue_ := false
+        | None ->
+            tcur.(0) <- t_next;
+            let tmp = !ya in
+            ya := !yb;
+            yb := tmp;
+            pt.(0) <- t_next;
+            Array.blit !ya 0 pt 1 dim;
+            on_point pt;
+            Array.blit g_next 0 g_prev 0 n_ev;
+            hcur.(0) <- h_suggest.(0)
+      end
+      else begin
+        let shrink = Float.max 0.1 (0.9 *. (ratio ** -0.25)) in
+        let h_new = Float.max h_min (h_try *. shrink) in
+        if h_new <= h_min && h_try <= h_min *. 1.0001 then
+          failwith "Ode.solve_adaptive_auto_scan: step size underflow";
+        h_suggest.(0) <- h_new;
+        incr n_rejected;
+        (match monitor with Some m -> m.on_reject tcur.(0) h_try0 | None -> ());
+        hcur.(0) <- h_new
+      end
+    end
+  done;
+  {
+    sc_occs = List.rev !occs;
+    sc_terminated = !terminated;
+    sc_steps = !n_steps;
+    sc_rejected = !n_rejected;
+  }
+
 let state_at sol t =
   let n = Array.length sol.ts in
   assert (n > 0);

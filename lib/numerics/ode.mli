@@ -212,6 +212,67 @@ val solve_adaptive_auto_into :
     point is allocated (plus a handful of words for guard evaluations
     when events are armed). *)
 
+(** {1 Streaming adaptive scan}
+
+    The recording driver above allocates one trajectory point per
+    accepted step. When the consumer only folds over the samples
+    (transient metrics, verdict classification), even that is waste:
+    {!solve_adaptive_auto_scan} runs the identical controller and event
+    machinery but hands each accepted sample to a callback through one
+    reused buffer and then forgets it. *)
+
+type guard_spec = {
+  gs_names : string array;
+  gs_dirs : direction array;
+  gs_terminal : bool array;
+  gs_eval : float array -> float array -> unit;
+      (** [gs_eval pt dst] evaluates every guard at the packed sample
+          [pt = [|t; y_0; ...; y_{dim-1}|]], writing guard [e]'s value
+          to [dst.(e)]. Packing keeps floats out of call boundaries so
+          hand-written guard sets stay allocation-free. *)
+}
+(** A closure-free rendering of an {!event} list: parallel arrays of
+    names/directions/terminal flags plus one bulk guard evaluator. *)
+
+type scan_result = {
+  sc_occs : occurrence list;  (** in chronological order *)
+  sc_terminated : occurrence option;
+  sc_steps : int;
+  sc_rejected : int;
+}
+
+val guards_of_events : dim:int -> event list -> guard_spec
+(** Generic adapter from an {!event} list (guards evaluate exactly as
+    the recording driver would). Costs a boxed time and a state blit
+    per bulk evaluation — hand-build a {!guard_spec} for zero-allocation
+    scans. *)
+
+val solve_adaptive_auto_scan :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  ?max_steps:int ->
+  ?guards:guard_spec ->
+  ?monitor:monitor ->
+  ?on_event:(occurrence -> unit) ->
+  on_point:(float array -> unit) ->
+  t_end:float ->
+  field_auto ->
+  t0:float ->
+  y0:float array ->
+  scan_result
+(** Streaming {!solve_adaptive_auto_into}: same controller expressions,
+    same step sequence, same event localization, so the samples handed
+    to [on_point] are bit-for-bit the points the recording driver would
+    have stored (initial state, each accepted step, and on termination
+    the event state last). [on_point] receives the one reused packed
+    buffer [[|t; y...|]] — copy it to keep it. [on_event] fires as each
+    occurrence is recorded, in the same order as {!solution}[.occs].
+    Steady-state allocation is zero for a closure-free [guards]: the
+    only per-run allocations are the occurrence records themselves. *)
+
 type dopri_workspace
 (** Preallocated stage buffers for {!dopri5_into}; create once per
     integration (not domain-safe to share). *)

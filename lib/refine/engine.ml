@@ -1,0 +1,360 @@
+type domain = { x0 : float; x1 : float; y0 : float; y1 : float }
+
+type memo = {
+  key : x:float -> y:float -> string;
+  lookup : string -> bool option;
+  save : string -> bool -> unit;
+}
+
+type leaf = { li : int; lj : int; lstride : int; lverdict : bool }
+type segment = { ax : float; ay : float; bx : float; by : float }
+
+type t = {
+  dom : domain;
+  coarse_x : int;
+  coarse_y : int;
+  levels : int;
+  nx : int;
+  ny : int;
+  corners : (int * int * bool) array;
+  leaves : leaf array;
+  boundary_cells : (int * int) array;
+  segments : segment array;
+  evaluations : int;
+}
+
+let lattice_point dom ~n ~i lo hi =
+  if i = 0 then lo
+  else if i = n then hi
+  else lo +. ((hi -. lo) *. float_of_int i /. float_of_int n)
+
+let point t i j =
+  ( lattice_point t.dom ~n:t.nx ~i t.dom.x0 t.dom.x1,
+    lattice_point t.dom ~n:t.ny ~i:j t.dom.y0 t.dom.y1 )
+
+(* Evaluate a wave of points: count every request as a logical
+   evaluation, answer what the memo already knows, and hand the misses
+   to the backend as one bulk call in wave order. The backend is never
+   called on an empty wave. *)
+let eval_wave ~memo ~evaluations f (pts : (float * float) array) =
+  let m = Array.length pts in
+  evaluations := !evaluations + m;
+  if m = 0 then [||]
+  else
+    match memo with
+    | None -> f pts
+    | Some memo ->
+        let keys = Array.map (fun (x, y) -> memo.key ~x ~y) pts in
+        let cached = Array.map memo.lookup keys in
+        let n_miss =
+          Array.fold_left
+            (fun acc c -> match c with None -> acc + 1 | Some _ -> acc)
+            0 cached
+        in
+        let out = Array.make m false in
+        if n_miss = 0 then begin
+          Array.iteri
+            (fun k c ->
+              match c with Some v -> out.(k) <- v | None -> assert false)
+            cached;
+          out
+        end
+        else begin
+          let miss = Array.make n_miss (0., 0.) in
+          let mi = ref 0 in
+          Array.iteri
+            (fun k c ->
+              match c with
+              | None ->
+                  miss.(!mi) <- pts.(k);
+                  incr mi
+              | Some _ -> ())
+            cached;
+          let vs = f miss in
+          let mi = ref 0 in
+          Array.iteri
+            (fun k c ->
+              match c with
+              | Some v -> out.(k) <- v
+              | None ->
+                  out.(k) <- vs.(!mi);
+                  incr mi;
+                  memo.save keys.(k) out.(k))
+            cached;
+          out
+        end
+
+let refine ?memo ?(coarse = (8, 8)) ?(levels = 3) ?(edge_iters = 4) dom f =
+  let cx, cy = coarse in
+  if cx < 1 || cy < 1 then invalid_arg "Refine.Engine.refine: coarse < 1";
+  if levels < 0 then invalid_arg "Refine.Engine.refine: levels < 0";
+  if edge_iters < 0 then invalid_arg "Refine.Engine.refine: edge_iters < 0";
+  if not (dom.x1 > dom.x0 && dom.y1 > dom.y0) then
+    invalid_arg "Refine.Engine.refine: empty domain";
+  let nx = cx lsl levels and ny = cy lsl levels in
+  let px i = lattice_point dom ~n:nx ~i dom.x0 dom.x1 in
+  let py j = lattice_point dom ~n:ny ~i:j dom.y0 dom.y1 in
+  let evaluations = ref 0 in
+  let known : (int, bool) Hashtbl.t = Hashtbl.create 1024 in
+  let known_ids = ref [] in
+  let corner_id i j = (i * (ny + 1)) + j in
+  let eval_corners (ids : int array) =
+    (* ids sorted, deduped, none evaluated yet *)
+    let pts =
+      Array.map (fun id -> (px (id / (ny + 1)), py (id mod (ny + 1)))) ids
+    in
+    let vs = eval_wave ~memo ~evaluations f pts in
+    Array.iteri
+      (fun k id ->
+        Hashtbl.replace known id vs.(k);
+        known_ids := id :: !known_ids)
+      ids
+  in
+  let sort_dedupe ids =
+    let ids = List.sort_uniq compare ids in
+    Array.of_list ids
+  in
+  (* seed: the coarse corner lattice *)
+  let stride0 = 1 lsl levels in
+  let seed =
+    List.concat_map
+      (fun i ->
+        List.init (cy + 1) (fun j -> corner_id (i * stride0) (j * stride0)))
+      (List.init (cx + 1) Fun.id)
+  in
+  eval_corners (sort_dedupe seed);
+  let cells =
+    ref
+      (List.concat_map
+         (fun i -> List.init cy (fun j -> (i * stride0, j * stride0)))
+         (List.init cx Fun.id))
+  in
+  let leaves_acc = ref [] in
+  let boundary_acc = ref [] in
+  let stride = ref stride0 in
+  while !stride >= 1 do
+    let s = !stride in
+    let next = ref [] in
+    let wave = ref [] in
+    List.iter
+      (fun (i0, j0) ->
+        let v00 = Hashtbl.find known (corner_id i0 j0) in
+        let v10 = Hashtbl.find known (corner_id (i0 + s) j0) in
+        let v11 = Hashtbl.find known (corner_id (i0 + s) (j0 + s)) in
+        let v01 = Hashtbl.find known (corner_id i0 (j0 + s)) in
+        if v00 = v10 && v00 = v11 && v00 = v01 then
+          leaves_acc :=
+            { li = i0; lj = j0; lstride = s; lverdict = v00 } :: !leaves_acc
+        else if s = 1 then boundary_acc := (i0, j0) :: !boundary_acc
+        else begin
+          let h = s / 2 in
+          List.iter
+            (fun (i, j) ->
+              let id = corner_id i j in
+              if not (Hashtbl.mem known id) then wave := id :: !wave)
+            [
+              (i0 + h, j0);
+              (i0, j0 + h);
+              (i0 + h, j0 + h);
+              (i0 + s, j0 + h);
+              (i0 + h, j0 + s);
+            ];
+          next :=
+            (i0 + h, j0 + h) :: (i0 + h, j0) :: (i0, j0 + h) :: (i0, j0)
+            :: !next
+        end)
+      !cells;
+    (* one bulk call per level: corner waves stay deterministic (sorted
+       lattice order) however the backend parallelizes internally *)
+    let wave = sort_dedupe !wave in
+    (* neighbors can nominate the same midpoint twice before it lands
+       in [known]; the sort_uniq above already collapsed those *)
+    eval_corners wave;
+    cells := List.sort compare !next;
+    stride := s / 2
+  done;
+  let boundary_cells = Array.of_list (List.rev !boundary_acc) in
+  (* crossing edges of the boundary cells, deduped (neighbors share
+     edges). Edge id = orient * |corners| + lower-left corner id;
+     orient 0 = horizontal (to (i+1, j)), 1 = vertical (to (i, j+1)). *)
+  let npts = (nx + 1) * (ny + 1) in
+  let verdict i j = Hashtbl.find known (corner_id i j) in
+  let edge_id orient i j = (orient * npts) + corner_id i j in
+  let crossing = ref [] in
+  Array.iter
+    (fun (i, j) ->
+      let v00 = verdict i j in
+      let v10 = verdict (i + 1) j in
+      let v11 = verdict (i + 1) (j + 1) in
+      let v01 = verdict i (j + 1) in
+      if v00 <> v10 then crossing := edge_id 0 i j :: !crossing;
+      if v01 <> v11 then crossing := edge_id 0 i (j + 1) :: !crossing;
+      if v00 <> v01 then crossing := edge_id 1 i j :: !crossing;
+      if v10 <> v11 then crossing := edge_id 1 (i + 1) j :: !crossing)
+    boundary_cells;
+  let edges = sort_dedupe !crossing in
+  let n_edges = Array.length edges in
+  (* sub-cell crossing point on every crossing edge, located by
+     bracketed bisection run in lock-step: each round evaluates the
+     midpoints of all open brackets as one wave *)
+  let eax = Array.make n_edges 0. in
+  let eay = Array.make n_edges 0. in
+  let ebx = Array.make n_edges 0. in
+  let eby = Array.make n_edges 0. in
+  let eva = Array.make n_edges false in
+  let lo = Array.make n_edges 0. in
+  let hi = Array.make n_edges 1. in
+  Array.iteri
+    (fun k id ->
+      let orient = id / npts in
+      let cid = id mod npts in
+      let i = cid / (ny + 1) and j = cid mod (ny + 1) in
+      eax.(k) <- px i;
+      eay.(k) <- py j;
+      if orient = 0 then begin
+        ebx.(k) <- px (i + 1);
+        eby.(k) <- py j
+      end
+      else begin
+        ebx.(k) <- px i;
+        eby.(k) <- py (j + 1)
+      end;
+      eva.(k) <- Hashtbl.find known cid)
+    edges;
+  for _ = 1 to if n_edges = 0 then 0 else edge_iters do
+    let pts =
+      Array.init n_edges (fun k ->
+          let tm = 0.5 *. (lo.(k) +. hi.(k)) in
+          ( eax.(k) +. (tm *. (ebx.(k) -. eax.(k))),
+            eay.(k) +. (tm *. (eby.(k) -. eay.(k))) ))
+    in
+    let vs = eval_wave ~memo ~evaluations f pts in
+    for k = 0 to n_edges - 1 do
+      let tm = 0.5 *. (lo.(k) +. hi.(k)) in
+      if vs.(k) = eva.(k) then lo.(k) <- tm else hi.(k) <- tm
+    done
+  done;
+  let edge_cross = Hashtbl.create (max 16 n_edges) in
+  Array.iteri
+    (fun k id ->
+      let tc = 0.5 *. (lo.(k) +. hi.(k)) in
+      Hashtbl.replace edge_cross id
+        ( eax.(k) +. (tc *. (ebx.(k) -. eax.(k))),
+          eay.(k) +. (tc *. (eby.(k) -. eay.(k))) ))
+    edges;
+  (* marching squares: one segment per mixed cell connecting its
+     crossing points (two for the ambiguous diagonal codes 5 and 10) *)
+  let segments_acc = ref [] in
+  Array.iter
+    (fun (i, j) ->
+      let b00 = verdict i j and b10 = verdict (i + 1) j in
+      let b11 = verdict (i + 1) (j + 1) and b01 = verdict i (j + 1) in
+      let code =
+        (if b00 then 1 else 0)
+        lor (if b10 then 2 else 0)
+        lor (if b11 then 4 else 0)
+        lor if b01 then 8 else 0
+      in
+      let w () = Hashtbl.find edge_cross (edge_id 1 i j) in
+      let e () = Hashtbl.find edge_cross (edge_id 1 (i + 1) j) in
+      let s () = Hashtbl.find edge_cross (edge_id 0 i j) in
+      let n () = Hashtbl.find edge_cross (edge_id 0 i (j + 1)) in
+      let seg (ax, ay) (bx, by) =
+        segments_acc := { ax; ay; bx; by } :: !segments_acc
+      in
+      match code with
+      | 1 | 14 -> seg (w ()) (s ())
+      | 2 | 13 -> seg (s ()) (e ())
+      | 4 | 11 -> seg (e ()) (n ())
+      | 8 | 7 -> seg (n ()) (w ())
+      | 3 | 12 -> seg (w ()) (e ())
+      | 6 | 9 -> seg (s ()) (n ())
+      | 5 ->
+          seg (w ()) (s ());
+          seg (e ()) (n ())
+      | 10 ->
+          seg (s ()) (e ());
+          seg (n ()) (w ())
+      | 0 | 15 -> assert false
+      | _ -> assert false)
+    boundary_cells;
+  let corner_list =
+    List.map
+      (fun id -> (id / (ny + 1), id mod (ny + 1), Hashtbl.find known id))
+      (List.sort_uniq compare !known_ids)
+  in
+  {
+    dom;
+    coarse_x = cx;
+    coarse_y = cy;
+    levels;
+    nx;
+    ny;
+    corners = Array.of_list corner_list;
+    leaves = Array.of_list (List.rev !leaves_acc);
+    boundary_cells;
+    segments = Array.of_list (List.rev !segments_acc);
+    evaluations = !evaluations;
+  }
+
+let dense_mixed_cells dom ~nx ~ny f =
+  if nx < 1 || ny < 1 then
+    invalid_arg "Refine.Engine.dense_mixed_cells: grid too small";
+  if not (dom.x1 > dom.x0 && dom.y1 > dom.y0) then
+    invalid_arg "Refine.Engine.dense_mixed_cells: empty domain";
+  let px i = lattice_point dom ~n:nx ~i dom.x0 dom.x1 in
+  let py j = lattice_point dom ~n:ny ~i:j dom.y0 dom.y1 in
+  let pts =
+    Array.init
+      ((nx + 1) * (ny + 1))
+      (fun id -> (px (id / (ny + 1)), py (id mod (ny + 1))))
+  in
+  let vs = f pts in
+  let v i j = vs.((i * (ny + 1)) + j) in
+  let mixed = ref [] in
+  for i = nx - 1 downto 0 do
+    for j = ny - 1 downto 0 do
+      let v00 = v i j in
+      if not (v00 = v (i + 1) j && v00 = v (i + 1) (j + 1) && v00 = v i (j + 1))
+      then mixed := (i, j) :: !mixed
+    done
+  done;
+  (Array.of_list !mixed, Array.length pts)
+
+let render t =
+  let g = Bytes.make (t.nx * t.ny) '?' in
+  Array.iter
+    (fun l ->
+      let c = if l.lverdict then '.' else '#' in
+      for i = l.li to l.li + l.lstride - 1 do
+        for j = l.lj to l.lj + l.lstride - 1 do
+          Bytes.set g ((i * t.ny) + j) c
+        done
+      done)
+    t.leaves;
+  Array.iter
+    (fun (i, j) -> Bytes.set g ((i * t.ny) + j) 'x')
+    t.boundary_cells;
+  let buf = Buffer.create ((t.nx + 2) * (t.ny + 1)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "adaptive refinement %dx%d ('.' inside, '#' outside, 'x' boundary); \
+        %d evaluations\n"
+       t.nx t.ny t.evaluations);
+  for j = t.ny - 1 downto 0 do
+    for i = 0 to t.nx - 1 do
+      Buffer.add_char buf (Bytes.get g ((i * t.ny) + j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let segments_csv t =
+  let buf = Buffer.create (64 * (1 + Array.length t.segments)) in
+  Buffer.add_string buf "ax,ay,bx,by\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.17g,%.17g,%.17g,%.17g\n" s.ax s.ay s.bx s.by))
+    t.segments;
+  Buffer.contents buf

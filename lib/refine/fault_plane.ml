@@ -1,0 +1,34 @@
+module R = Faultnet.Resilience
+
+let verdicts ?memo ?(jobs = 1) ~seed ~baseline_utilization sc ax_x ax_y pts =
+  let t_end = sc.R.cfg.Simnet.Runner.t_end in
+  let task (sx, sy) =
+    let plan = Faultnet.Plan.with_seed Faultnet.Plan.none seed in
+    let plan = R.plan_add plan ax_x ~severity:sx ~t_end in
+    let plan = R.plan_add plan ax_y ~severity:sy ~t_end in
+    match
+      R.check_summary sc ~baseline_utilization
+        (R.run_summary ?memo sc (Some plan))
+    with
+    | None -> true
+    | Some _ -> false
+  in
+  if jobs <= 1 || Array.length pts <= 1 then Array.map task pts
+  else
+    Parallel.Pool.with_pool ~size:jobs (fun pool ->
+        Parallel.Pool.map_array pool task pts)
+
+let trace ?memo ?jobs ?(coarse = (4, 4)) ?(levels = 3) ?(edge_iters = 3) ~seed
+    sc ax_x ax_y =
+  let dom =
+    {
+      Engine.x0 = 0.;
+      x1 = R.max_severity ax_x;
+      y0 = 0.;
+      y1 = R.max_severity ax_y;
+    }
+  in
+  let s0 = R.run_summary ?memo sc None in
+  Engine.refine ~coarse ~levels ~edge_iters dom
+    (verdicts ?memo ?jobs ~seed ~baseline_utilization:s0.R.utilization sc ax_x
+       ax_y)

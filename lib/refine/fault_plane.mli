@@ -1,0 +1,39 @@
+(** Adaptive tracing of the fault-tolerance region in a 2-D severity
+    plane: two {!Faultnet.Resilience.axis} severities composed onto one
+    fault plan ([Resilience.plan_add]), each probed cell a full packet
+    run checked against operational Definition 1. Where
+    [Resilience.bisect] finds the margin along one axis, this traces
+    the whole survive/violate frontier between two.
+
+    Memoization happens one level down, at the probe-summary layer
+    ([Resilience.run_summary ?memo]): with a store-backed memo a warm
+    re-trace executes zero packet simulations, and the probe cache is
+    shared with the 1-D margin sweeps. *)
+
+val verdicts :
+  ?memo:Faultnet.Resilience.memo ->
+  ?jobs:int ->
+  seed:int ->
+  baseline_utilization:float ->
+  Faultnet.Resilience.scenario ->
+  Faultnet.Resilience.axis ->
+  Faultnet.Resilience.axis ->
+  (float * float) array ->
+  bool array
+(** [true] = the run at severities [(x, y)] keeps strong stability.
+    One pool task per point; byte-identical for any [jobs]. *)
+
+val trace :
+  ?memo:Faultnet.Resilience.memo ->
+  ?jobs:int ->
+  ?coarse:int * int ->
+  ?levels:int ->
+  ?edge_iters:int ->
+  seed:int ->
+  Faultnet.Resilience.scenario ->
+  Faultnet.Resilience.axis ->
+  Faultnet.Resilience.axis ->
+  Engine.t
+(** Refine over [[0, max_severity ax_x] × [0, max_severity ax_y]].
+    The fault-free baseline runs once (memoized like every probe).
+    Defaults: [coarse = (4, 4)], [levels = 3], [edge_iters = 3]. *)

@@ -1,0 +1,32 @@
+type store = (string -> bool option) * (string -> bool -> unit)
+
+let domain ?r_max p =
+  let r_max =
+    match r_max with
+    | Some v -> v
+    | None -> 2. *. Fluid.Params.equilibrium_rate p
+  in
+  { Engine.x0 = 0.; x1 = p.Fluid.Params.buffer; y0 = 0.; y1 = r_max }
+
+let verdicts ?t_max ?(jobs = 1) p pts =
+  Array.map
+    (fun v -> v = Fluid.Safe_region.Safe)
+    (Fluid.Safe_region.classify_front ?t_max ~jobs p pts)
+
+let material ?t_max p ~x ~y =
+  Printf.sprintf "refine-safe@v1\n%s\nt_max=%s\nq=%.17g\nr=%.17g"
+    (Simnet.Scenario.encode_params p)
+    (match t_max with
+    | None -> "default"
+    | Some t -> Printf.sprintf "%.17g" t)
+    x y
+
+let trace ?t_max ?jobs ?store ?coarse ?levels ?edge_iters ?r_max p =
+  let memo =
+    Option.map
+      (fun (lookup, save) ->
+        { Engine.key = (fun ~x ~y -> material ?t_max p ~x ~y); lookup; save })
+      store
+  in
+  Engine.refine ?memo ?coarse ?levels ?edge_iters (domain ?r_max p)
+    (verdicts ?t_max ?jobs p)

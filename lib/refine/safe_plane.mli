@@ -1,0 +1,43 @@
+(** Adaptive tracing of the strong-stability safe region in the
+    [(q, r)] initial-state plane — {!Fluid.Safe_region.classify} as the
+    verdict (safe / not safe), the batched SoA front as the backend, so
+    one refinement wave is one lock-step front integration. *)
+
+type store = (string -> bool option) * (string -> bool -> unit)
+(** [(lookup, save)] verdict persistence hooks —
+    [Store.Sweep.verdict_memo] adapts the content-addressed store to
+    this shape. *)
+
+val domain : ?r_max:float -> Fluid.Params.t -> Engine.domain
+(** [q in [0, B]] × [r in [0, r_max]] (default [r_max = 2·C/N]) — the
+    same plane {!Fluid.Safe_region.raster} rasterizes. *)
+
+val verdicts :
+  ?t_max:float ->
+  ?jobs:int ->
+  Fluid.Params.t ->
+  (float * float) array ->
+  bool array
+(** Bulk verdict backend: [true] = [Safe]. One batched
+    {!Fluid.Safe_region.classify_front} call (chunked over a pool when
+    [jobs > 1]; byte-identical for any [jobs]). *)
+
+val material : ?t_max:float -> Fluid.Params.t -> x:float -> y:float -> string
+(** Store key material for one verdict: versioned tag + canonical
+    parameter encoding + horizon + full-precision coordinates. *)
+
+val trace :
+  ?t_max:float ->
+  ?jobs:int ->
+  ?store:store ->
+  ?coarse:int * int ->
+  ?levels:int ->
+  ?edge_iters:int ->
+  ?r_max:float ->
+  Fluid.Params.t ->
+  Engine.t
+(** Adaptively refine the safe-region boundary. With [?store] every
+    cell verdict lands in the content-addressed store, so a warm
+    re-trace runs zero front integrations while reporting the same
+    logical [evaluations]. Defaults: [coarse = (8, 8)], [levels = 3],
+    [edge_iters = 4]. *)

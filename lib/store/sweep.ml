@@ -96,3 +96,8 @@ let resilience_memo cache =
       (fun material summary ->
         Cache.store_value cache (Key.of_material material) summary);
   }
+
+let verdict_memo cache =
+  ( (fun material -> Cache.find_value cache (Key.of_material material)),
+    fun material (verdict : bool) ->
+      Cache.store_value cache (Key.of_material material) verdict )

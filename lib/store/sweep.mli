@@ -54,3 +54,10 @@ val resilience_memo : Cache.t -> Faultnet.Resilience.memo
 (** Adapter making {!Faultnet.Resilience.bisect}/[sweep] persist their
     probe summaries here: key material strings hash through
     {!Key.of_material}, summaries marshal like any other entry. *)
+
+val verdict_memo :
+  Cache.t -> (string -> bool option) * (string -> bool -> unit)
+(** [(lookup, save)] hooks persisting boolean verdicts keyed by
+    material strings — the shape [Refine.Engine.memo] wants (that
+    record lives above this library in the dependency order, so the
+    adapter hands back the bare pair). *)

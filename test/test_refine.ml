@@ -1,0 +1,381 @@
+(* Tests for the adaptive boundary-refinement engine and the PR's
+   satellites: quadtree-vs-dense-oracle equivalence on half-planes
+   (where corner disagreement detects the boundary exactly at every
+   stride), jobs byte-identity, warm-memo zero-backend-calls (Hashtbl
+   and content-addressed store), the streaming scan solver against the
+   recording integrator bit for bit, the streaming Transient.measure
+   against a reference copy of the recorded implementation, the
+   Safe_region.render extent-label fix, and Resilience.scan. *)
+
+module Engine = Refine.Engine
+
+let marshal_eq msg a b =
+  Alcotest.(check bool)
+    msg true
+    (String.equal (Marshal.to_string a []) (Marshal.to_string b []))
+
+(* ---------------- engine vs dense oracle ---------------- *)
+
+let halfplane a b c (pts : (float * float) array) =
+  Array.map (fun (x, y) -> (a *. x) +. (b *. y) +. c >= 0.) pts
+
+let unit_dom = { Engine.x0 = 0.; x1 = 1.; y0 = 0.; y1 = 1. }
+
+(* A straight line crossing any axis-aligned square leaves corners on
+   both sides (both half-planes are convex), so corner disagreement
+   finds every crossed cell at every stride: the adaptive boundary
+   must equal the dense-oracle mixed set exactly. *)
+let qcheck_halfplane =
+  QCheck.Test.make ~name:"adaptive boundary = dense oracle (half-planes)"
+    ~count:100
+    QCheck.(
+      triple (float_range (-1.) 1.) (float_range (-1.) 1.)
+        (float_range (-1.5) 1.5))
+    (fun (a, b, c) ->
+      let f = halfplane a b c in
+      let t = Engine.refine ~coarse:(4, 4) ~levels:2 unit_dom f in
+      let dense, _ = Engine.dense_mixed_cells unit_dom ~nx:16 ~ny:16 f in
+      if t.Engine.boundary_cells <> dense then
+        QCheck.Test.fail_reportf "boundary cells: adaptive %d, dense %d"
+          (Array.length t.Engine.boundary_cells)
+          (Array.length dense);
+      (* every evaluated corner agrees with the verdict function *)
+      Array.iter
+        (fun (i, j, v) ->
+          let pt = Engine.point t i j in
+          if v <> (f [| pt |]).(0) then
+            QCheck.Test.fail_reportf "corner (%d, %d) disagrees" i j)
+        t.Engine.corners;
+      (* every uniform leaf is genuinely uniform on the fine lattice *)
+      Array.iter
+        (fun l ->
+          for i = l.Engine.li to l.Engine.li + l.Engine.lstride do
+            for j = l.Engine.lj to l.Engine.lj + l.Engine.lstride do
+              if (f [| Engine.point t i j |]).(0) <> l.Engine.lverdict then
+                QCheck.Test.fail_reportf "leaf (%d, %d) not uniform"
+                  l.Engine.li l.Engine.lj
+            done
+          done)
+        t.Engine.leaves;
+      (* traced segments stay inside their cells' bounding boxes *)
+      Array.iter
+        (fun s ->
+          if
+            not
+              (s.Engine.ax >= 0. && s.Engine.ax <= 1. && s.Engine.ay >= 0.
+             && s.Engine.ay <= 1. && s.Engine.bx >= 0. && s.Engine.bx <= 1.
+             && s.Engine.by >= 0. && s.Engine.by <= 1.)
+          then QCheck.Test.fail_report "segment endpoint outside the domain")
+        t.Engine.segments;
+      true)
+
+let test_engine_savings () =
+  (* the headline property on a non-trivial boundary: strictly fewer
+     evaluations than the dense corner lattice at equal resolution *)
+  let f = halfplane 1. 0.7 (-0.8) in
+  let t = Engine.refine ~coarse:(4, 4) ~levels:4 unit_dom f in
+  let _, dense_evals = Engine.dense_mixed_cells unit_dom ~nx:64 ~ny:64 f in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %d < dense %d evaluations" t.Engine.evaluations
+       dense_evals)
+    true
+    (t.Engine.evaluations * 4 < dense_evals)
+
+(* ---------------- jobs byte-identity ---------------- *)
+
+let test_jobs_identity () =
+  let p = Fluid.Params.default in
+  let t1 = Refine.Safe_plane.trace ~jobs:1 ~coarse:(4, 4) ~levels:2 p in
+  let t4 = Refine.Safe_plane.trace ~jobs:4 ~coarse:(4, 4) ~levels:2 p in
+  marshal_eq "safe-plane refinement jobs 1 = jobs 4" t1 t4
+
+(* ---------------- warm refinement is free ---------------- *)
+
+let counting_backend f calls pts =
+  incr calls;
+  f pts
+
+let test_warm_zero_calls () =
+  let tbl : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let memo =
+    {
+      Engine.key = (fun ~x ~y -> Printf.sprintf "%.17g,%.17g" x y);
+      lookup = Hashtbl.find_opt tbl;
+      save = Hashtbl.replace tbl;
+    }
+  in
+  let calls = ref 0 in
+  let f = counting_backend (halfplane 0.9 1.1 (-1.)) calls in
+  let cold = Engine.refine ~memo ~coarse:(4, 4) ~levels:2 unit_dom f in
+  let cold_calls = !calls in
+  Alcotest.(check bool) "cold refinement calls the backend" true (cold_calls > 0);
+  calls := 0;
+  let warm = Engine.refine ~memo ~coarse:(4, 4) ~levels:2 unit_dom f in
+  Alcotest.(check int) "warm refinement: zero backend calls" 0 !calls;
+  marshal_eq "warm result byte-identical (same logical evaluations)" cold warm
+
+let with_store f =
+  let dir = Filename.temp_dir "dcecc-refine-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f (Store.Cache.open_ ~dir))
+
+let test_warm_store_zero_sims () =
+  with_store (fun cache ->
+      let p = Fluid.Params.default in
+      let store = Store.Sweep.verdict_memo cache in
+      let trace () =
+        Refine.Safe_plane.trace ~store ~coarse:(4, 4) ~levels:1 ~edge_iters:2 p
+      in
+      let cold = trace () in
+      let s = Store.Cache.stats cache in
+      Alcotest.(check bool)
+        "cold trace persists verdicts" true
+        (s.Store.Cache.puts > 0);
+      Store.Cache.reset_stats cache;
+      let warm = trace () in
+      let s = Store.Cache.stats cache in
+      Alcotest.(check int) "warm trace: no misses" 0 s.Store.Cache.misses;
+      Alcotest.(check int) "warm trace: no new entries" 0 s.Store.Cache.puts;
+      marshal_eq "warm trace byte-identical" cold warm)
+
+(* ---------------- streaming scan = recording integrator ----------- *)
+
+let test_scan_solver_bits () =
+  let p = Fluid.Params.default in
+  let sys = Fluid.Model.normalized_system p in
+  let p0 = Fluid.Model.start_point p in
+  let t_max = 2e-3 in
+  let tr = Phaseplane.Trajectory.integrate ~t_max sys p0 in
+  let pts = ref [] in
+  let sc =
+    Phaseplane.Trajectory.scan ~t_max
+      ~on_point:(fun pt -> pts := (pt.(0), pt.(1), pt.(2)) :: !pts)
+      sys p0
+  in
+  let streamed = Array.of_list (List.rev !pts) in
+  let recorded =
+    Array.init
+      (Array.length tr.Phaseplane.Trajectory.sol.Numerics.Ode.ts)
+      (fun i ->
+        ( tr.Phaseplane.Trajectory.sol.Numerics.Ode.ts.(i),
+          tr.Phaseplane.Trajectory.sol.Numerics.Ode.ys.(i).(0),
+          tr.Phaseplane.Trajectory.sol.Numerics.Ode.ys.(i).(1) ))
+  in
+  marshal_eq "streamed samples = recorded samples (bits)" streamed recorded;
+  marshal_eq "switch crossings" tr.Phaseplane.Trajectory.switch_crossings
+    sc.Phaseplane.Trajectory.scan_switch;
+  marshal_eq "axis crossings" tr.Phaseplane.Trajectory.axis_crossings
+    sc.Phaseplane.Trajectory.scan_axis;
+  Alcotest.(check bool)
+    "stop reason" true
+    (tr.Phaseplane.Trajectory.stop = sc.Phaseplane.Trajectory.scan_stop)
+
+let test_scan_solver_terminal () =
+  let p = Fluid.Params.default in
+  let sys = Fluid.Model.normalized_system p in
+  let p0 = Fluid.Model.start_point p in
+  let q0 = p.Fluid.Params.q0 in
+  (* a box the trajectory leaves during its first overshoot, forcing
+     the terminal-event path through both drivers *)
+  let box =
+    ( Numerics.Vec2.make (-2. *. q0) (-1e12),
+      Numerics.Vec2.make (0.1 *. q0) 1e12 )
+  in
+  let tr = Phaseplane.Trajectory.integrate ~t_max:1. ~box sys p0 in
+  let last = ref (nan, nan, nan) in
+  let sc =
+    Phaseplane.Trajectory.scan ~t_max:1. ~box
+      ~on_point:(fun pt -> last := (pt.(0), pt.(1), pt.(2)))
+      sys p0
+  in
+  Alcotest.(check bool)
+    "recorded run left the box" true
+    (tr.Phaseplane.Trajectory.stop = Phaseplane.Trajectory.Left_box);
+  Alcotest.(check bool)
+    "streamed run left the box" true
+    (sc.Phaseplane.Trajectory.scan_stop = Phaseplane.Trajectory.Left_box);
+  let tf, pf = Phaseplane.Trajectory.final tr in
+  marshal_eq "terminal point bits"
+    (tf, pf.Numerics.Vec2.x, pf.Numerics.Vec2.y)
+    !last
+
+(* ---------------- streaming Transient.measure ---------------- *)
+
+(* reference copy of the pre-streaming implementation (recorded
+   trajectory + Series post-processing) *)
+let reference_measure ~horizon ?(band = 0.05) p =
+  let sys = Fluid.Model.normalized_system p in
+  let tr =
+    Phaseplane.Trajectory.integrate ~t_max:horizon sys (Fluid.Model.start_point p)
+  in
+  let xs = Phaseplane.Trajectory.x_series tr in
+  let overshoot = Phaseplane.Trajectory.x_max tr in
+  let undershoot =
+    match tr.Phaseplane.Trajectory.switch_crossings with
+    | { Phaseplane.Trajectory.ct; _ } :: _ ->
+        let tail = Numerics.Series.tail_from xs ct in
+        if Numerics.Series.is_empty tail then Phaseplane.Trajectory.x_min tr
+        else snd (Numerics.Series.argmin tail)
+    | [] -> Phaseplane.Trajectory.x_min tr
+  in
+  let threshold = band *. p.Fluid.Params.q0 in
+  let settling_time =
+    let last = ref None in
+    Array.iteri
+      (fun i v ->
+        if Float.abs v > threshold then last := Some xs.Numerics.Series.ts.(i))
+      xs.Numerics.Series.vs;
+    match !last with
+    | None -> Some 0.
+    | Some t
+      when t
+           < xs.Numerics.Series.ts.(Numerics.Series.length xs - 1)
+             -. (0.01 *. horizon) ->
+        Some t
+    | Some _ -> None
+  in
+  let decay_of_extrema extrema =
+    let mags =
+      List.filter_map
+        (fun { Phaseplane.Trajectory.cp; _ } ->
+          let m = Float.abs cp.Numerics.Vec2.x in
+          if m > 0. then Some m else None)
+        extrema
+    in
+    match mags with
+    | _ :: (_ :: _ :: _ as tail) ->
+        let rec ratios acc = function
+          | a :: (b :: _ as rest) -> ratios (log (b /. a) :: acc) rest
+          | [ _ ] | [] -> acc
+        in
+        let rs = ratios [] tail in
+        if rs = [] then None
+        else
+          Some
+            (exp (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)))
+    | _ -> None
+  in
+  ( overshoot,
+    undershoot,
+    List.length tr.Phaseplane.Trajectory.axis_crossings,
+    settling_time,
+    decay_of_extrema tr.Phaseplane.Trajectory.axis_crossings )
+
+let test_measure_differential () =
+  List.iter
+    (fun (label, horizon, p) ->
+      let m = Fluid.Transient.measure ~horizon p in
+      let got =
+        ( m.Fluid.Transient.overshoot,
+          m.Fluid.Transient.undershoot,
+          m.Fluid.Transient.oscillations,
+          m.Fluid.Transient.settling_time,
+          m.Fluid.Transient.decay_per_cycle )
+      in
+      marshal_eq label got (reference_measure ~horizon p))
+    [
+      ("default, 5 ms", 5e-3, Fluid.Params.default);
+      ("default, 1 ms", 1e-3, Fluid.Params.default);
+      ("gd = 1", 2e-3, Fluid.Params.with_gains ~gd:1. Fluid.Params.default);
+      ( "w = 8000",
+        2e-3,
+        Fluid.Params.with_sampling ~w:8000. Fluid.Params.default );
+    ]
+
+let test_measure_allocation () =
+  let p = Fluid.Params.default in
+  ignore (Fluid.Transient.measure ~horizon:1e-3 p);
+  let w0 = Gc.minor_words () in
+  ignore (Fluid.Transient.measure ~horizon:1e-3 p);
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "measure allocates %.0f minor words (< 4000)" dw)
+    true (dw < 4000.)
+
+(* ---------------- Safe_region.render extent label ---------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_header () =
+  let p = Fluid.Params.default in
+  let ra = Fluid.Safe_region.raster ~nq:6 ~nr:4 p in
+  Alcotest.(check (float 0.))
+    "q_max is the buffer size" p.Fluid.Params.buffer
+    ra.Fluid.Safe_region.q_max;
+  Alcotest.(check (float 0.))
+    "r_max default" (2. *. Fluid.Params.equilibrium_rate p)
+    ra.Fluid.Safe_region.r_max;
+  let header =
+    Printf.sprintf "%8s  q: 0 .. %s (buffer)" ""
+      (Report.Table.si p.Fluid.Params.buffer)
+  in
+  Alcotest.(check bool)
+    "rendered header labels the true extent" true
+    (contains (Fluid.Safe_region.render ra) header)
+
+(* ---------------- Resilience.scan ---------------- *)
+
+let test_resilience_scan () =
+  let sc =
+    Faultnet.Resilience.scenario ~t_end:2e-3 ~label:"scan-test"
+      Fluid.Params.default
+  in
+  let ax = Faultnet.Resilience.Bcn_loss in
+  let s = Faultnet.Resilience.scan ~n:8 ~seed:11 sc ax in
+  Alcotest.(check bool)
+    "margin <= ceiling" true
+    (s.Faultnet.Resilience.margin <= s.Faultnet.Resilience.ceiling);
+  Alcotest.(check bool)
+    "margin in range" true
+    (s.Faultnet.Resilience.margin >= 0. && s.Faultnet.Resilience.ceiling <= 1.);
+  Alcotest.(check bool)
+    "evaluation count sane" true
+    (s.Faultnet.Resilience.evaluations >= 2
+    && s.Faultnet.Resilience.evaluations <= 9);
+  (match s.Faultnet.Resilience.violation with
+  | None ->
+      Alcotest.(check (float 0.))
+        "no violation => full margin" 1. s.Faultnet.Resilience.margin
+  | Some _ -> ());
+  let s' = Faultnet.Resilience.scan ~n:8 ~seed:11 sc ax in
+  marshal_eq "scan is deterministic" s s'
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "refine"
+    [
+      qsuite "oracle" [ qcheck_halfplane ];
+      ( "engine",
+        [
+          Alcotest.test_case "boundary-scaling savings" `Quick
+            test_engine_savings;
+          Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_identity;
+          Alcotest.test_case "warm memo: zero backend calls" `Quick
+            test_warm_zero_calls;
+          Alcotest.test_case "warm store: zero simulations" `Quick
+            test_warm_store_zero_sims;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "scan solver = recording solver (bits)" `Quick
+            test_scan_solver_bits;
+          Alcotest.test_case "scan solver terminal event" `Quick
+            test_scan_solver_terminal;
+          Alcotest.test_case "measure = reference (bits)" `Quick
+            test_measure_differential;
+          Alcotest.test_case "measure allocation bound" `Quick
+            test_measure_allocation;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "render labels true extent" `Quick
+            test_render_header;
+          Alcotest.test_case "resilience dense scan" `Quick test_resilience_scan;
+        ] );
+    ]
