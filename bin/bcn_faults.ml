@@ -17,16 +17,8 @@ let with_out path f =
 
 (* ---------- sweep ---------- *)
 
-let axis_of_name ~flap_period ~flap_duty = function
-  | "bcn-loss" | "bcn_loss" -> Faultnet.Resilience.Bcn_loss
-  | "pause-loss" | "pause_loss" -> Faultnet.Resilience.Pause_loss
-  | "flap-depth" | "flap_depth" ->
-      Faultnet.Resilience.Flap_depth { period = flap_period; duty = flap_duty }
-  | other ->
-      invalid_arg
-        (Printf.sprintf
-           "unknown axis %S (expected bcn-loss | pause-loss | flap-depth)"
-           other)
+(* axis vocabulary shared with the daemon's margin requests *)
+let axis_of_name = Serve.Tasks.axis_of_name
 
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim

@@ -18,57 +18,13 @@
 
 open Cmdliner
 
-let mean_std vs =
-  let n = float_of_int (Array.length vs) in
-  let mean = Array.fold_left ( +. ) 0. vs /. n in
-  let var =
-    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. vs /. n
-  in
-  (mean, sqrt var)
-
+(* Both reports render through Serve.Render — the same strings the
+   serve daemon returns for a Run request, so CLI stdout and daemon
+   payloads agree byte for byte. *)
 let report_replicas seeds results =
-  let open Simnet.Runner in
-  let rows =
-    Array.to_list
-      (Array.mapi
-         (fun i (r : result) ->
-           [
-             string_of_int seeds.(i);
-             string_of_int r.events_processed;
-             Printf.sprintf "%.3f" r.utilization;
-             string_of_int r.drops;
-             string_of_int r.pause_on_events;
-             Printf.sprintf "%.3f" (fairness r.final_rates);
-           ])
-         results)
-  in
-  Report.Table.print
-    ~headers:[ "seed"; "events"; "util"; "drops"; "PAUSEs"; "fairness" ]
-    ~rows;
-  let agg label f =
-    let mean, std = mean_std (Array.map f results) in
-    Format.printf "%-10s %.4f +/- %.4f@." label mean std
-  in
-  Format.printf "@.across %d replicas:@." (Array.length results);
-  agg "util" (fun r -> r.utilization);
-  agg "fairness" (fun r -> fairness r.final_rates);
-  agg "drops" (fun r -> float_of_int r.drops)
+  print_string (Serve.Render.replicas ~seeds results)
 
-let report_single (r : Simnet.Runner.result) =
-  let open Simnet.Runner in
-  Format.printf
-    "@[<v>events processed: %d@,\
-     delivered: %s bit (utilization %.3f)@,\
-     drops: %d (%s bit)@,\
-     BCN messages: %d positive, %d negative (%d frames sampled)@,\
-     PAUSE events: %d@,\
-     Jain fairness of final rates: %.4f@]@."
-    r.events_processed
-    (Report.Table.si r.delivered_bits)
-    r.utilization r.drops
-    (Report.Table.si r.dropped_bits)
-    r.bcn_positive r.bcn_negative r.sampled_frames r.pause_on_events
-    (fairness r.final_rates)
+let report_single r = print_string (Serve.Render.single r)
 
 let plot_and_csv ~plot ~csv (r : Simnet.Runner.result) =
   if plot then begin

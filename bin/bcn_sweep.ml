@@ -6,17 +6,9 @@
 
 open Cmdliner
 
-let apply base param v =
-  match param with
-  | "gi" -> Fluid.Params.with_gains ~gi:v base
-  | "gd" -> Fluid.Params.with_gains ~gd:v base
-  | "ru" -> Fluid.Params.with_gains ~ru:v base
-  | "q0" -> Fluid.Params.with_q0 base v
-  | "buffer" -> Fluid.Params.with_buffer base v
-  | "n" | "flows" -> Fluid.Params.with_flows base (int_of_float v)
-  | "w" -> Fluid.Params.with_sampling ~w:v base
-  | "pm" -> Fluid.Params.with_sampling ~pm:v base
-  | other -> invalid_arg ("unknown parameter: " ^ other)
+(* the parameter vocabulary lives in Serve.Tasks, shared with the
+   daemon's sweep/region requests *)
+let apply = Serve.Tasks.apply_param
 
 (* The sweep table as one JSON document, through the shared telemetry
    emitter: [{"<param>": v, "case": "...", ...}, ...]. Cells are emitted
@@ -92,8 +84,35 @@ let region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
   Cli_common.report_store store_spec cache;
   0
 
-let run param lo hi steps log_scale buffer param2 range2 coarse levels dense
-    csv json jobs store_spec =
+(* --preset names a curated 2-D plane; "nc" is the paper's (N, C)
+   operating plane — flow count against link capacity — traced in
+   region mode at the paper's BDP buffer (5 Mbit, where the
+   strong-stability boundary crosses the plane; at the 15 Mbit CLI
+   default the whole window is stable). Every piece is overridable by
+   the usual flags. *)
+let resolve_preset preset param lo hi buffer param2 range2 =
+  match preset with
+  | None -> (
+      match (param, lo, hi) with
+      | Some param, Some lo, Some hi ->
+          (param, lo, hi, Option.value buffer ~default:15e6, param2, range2)
+      | _ ->
+          invalid_arg
+            "--param, --from and --to are required (or use --preset nc)")
+  | Some "nc" ->
+      ( Option.value param ~default:"n",
+        Option.value lo ~default:8.,
+        Option.value hi ~default:128.,
+        Option.value buffer ~default:5e6,
+        Some (Option.value param2 ~default:"capacity"),
+        Some (Option.value range2 ~default:(1e9, 40e9)) )
+  | Some other -> invalid_arg ("unknown preset: " ^ other)
+
+let run preset param lo hi steps log_scale buffer param2 range2 coarse levels
+    dense csv json jobs store_spec =
+  let param, lo, hi, buffer, param2, range2 =
+    resolve_preset preset param lo hi buffer param2 range2
+  in
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
   let cache = Cli_common.open_store store_spec in
@@ -107,58 +126,26 @@ let run param lo hi steps log_scale buffer param2 range2 coarse levels dense
       region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
         store_spec cache
   | None ->
-  let value i =
-    let f = float_of_int i /. float_of_int (steps - 1) in
-    if log_scale then lo *. ((hi /. lo) ** f) else lo +. ((hi -. lo) *. f)
-  in
-  let header =
-    [
-      param; "case"; "required_B"; "criterion_ok"; "numeric_max_q";
-      "numeric_min_q"; "strongly_stable"; "oscillations"; "decay_per_cycle";
-    ]
-  in
-  let compute_row v p =
-    let verdict = Fluid.Stability.analyze p in
-    let t = Fluid.Transient.measure p in
-    [
-      Printf.sprintf "%g" v;
-      Format.asprintf "%a" Fluid.Cases.pp_case verdict.Fluid.Stability.case;
-      Printf.sprintf "%g" (Fluid.Criterion.required_buffer p);
-      string_of_bool (Fluid.Criterion.satisfied p);
-      Printf.sprintf "%g"
-        (verdict.Fluid.Stability.numeric_max +. p.Fluid.Params.q0);
-      Printf.sprintf "%g"
-        (verdict.Fluid.Stability.numeric_min +. p.Fluid.Params.q0);
-      string_of_bool verdict.Fluid.Stability.strongly_stable;
-      string_of_int t.Fluid.Transient.oscillations;
-      (match t.Fluid.Transient.decay_per_cycle with
-      | Some d -> Printf.sprintf "%.6f" d
-      | None -> "");
-    ]
-  in
+  let header = Serve.Tasks.sweep_header param in
   let row i =
-    let v = value i in
+    let v = Serve.Tasks.sweep_value ~lo ~hi ~steps ~log_scale i in
     let p = apply base param v in
     match cache with
-    | None -> compute_row v p
+    | None -> Serve.Tasks.sweep_row v p
     | Some c ->
         (* one cache entry per grid point, keyed by the full resolved
            parameter set (the canonical Scenario encoding) plus the raw
            sweep coordinate, so --log/--steps changes that land on the
            same point re-use its row *)
-        let material =
-          "bcn_sweep.row@v1\nparam=" ^ param ^ "\n"
-          ^ Simnet.Scenario.encode_params p
-          ^ "\n"
-          ^ Telemetry.Json.float_full v
+        let key =
+          Store.Key.of_material (Serve.Tasks.sweep_row_material ~param p v)
         in
-        let key = Store.Key.of_material material in
         if store_spec.Cli_common.no_cache then begin
-          let r = compute_row v p in
+          let r = Serve.Tasks.sweep_row v p in
           Store.Cache.store_value c key r;
           r
         end
-        else Store.Cache.memo c key (fun () -> compute_row v p)
+        else Store.Cache.memo c key (fun () -> Serve.Tasks.sweep_row v p)
   in
   (* Each grid point is an independent analyze+measure; shard the grid
      across the pool in deterministic chunks (the table is identical to a
@@ -185,19 +172,39 @@ let run param lo hi steps log_scale buffer param2 range2 coarse levels dense
 
 let cmd =
   let open Term in
+  let preset =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Curated sweep preset. $(b,nc): trace the strongly-stable \
+             boundary of the paper's (N, C) plane — flow count 8..128 \
+             against link capacity 1..40 Gbit/s — in region mode; \
+             $(b,--from)/$(b,--to)/$(b,--range2) override the default \
+             ranges.")
+  in
   let param =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "param" ] ~docv:"NAME"
-          ~doc:"Parameter to sweep: gi | gd | ru | q0 | buffer | n | w | pm.")
+          ~doc:
+            "Parameter to sweep: gi | gd | ru | q0 | buffer | n | w | pm | \
+             capacity. Required unless --preset picks one.")
   in
-  let lo = Arg.(required & opt (some float) None & info [ "from" ] ~doc:"Start value.") in
-  let hi = Arg.(required & opt (some float) None & info [ "to" ] ~doc:"End value.") in
+  let lo = Arg.(value & opt (some float) None & info [ "from" ] ~doc:"Start value.") in
+  let hi = Arg.(value & opt (some float) None & info [ "to" ] ~doc:"End value.") in
   let steps = Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep points.") in
   let log_scale = Arg.(value & flag & info [ "log" ] ~doc:"Geometric spacing.") in
   let buffer =
-    Arg.(value & opt float 15e6 & info [ "buffer" ] ~doc:"Buffer for the base config, bits.")
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "buffer" ]
+          ~doc:
+            "Buffer for the base config, bits. Default 15e6 (5e6 under \
+             --preset nc — the paper's BDP buffer).")
   in
   let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the table to CSV (with --param2: the traced boundary polyline).") in
   let json =
@@ -247,7 +254,7 @@ let cmd =
   in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
-    (const run $ param $ lo $ hi $ steps $ log_scale $ buffer $ param2
+    (const run $ preset $ param $ lo $ hi $ steps $ log_scale $ buffer $ param2
    $ range2 $ coarse $ levels $ dense $ csv $ json $ Cli_common.jobs_term
    $ Cli_common.store_term)
 

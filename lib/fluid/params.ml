@@ -49,6 +49,7 @@ let with_gains ?gi ?gd ?ru p =
 
 let with_q0 p q0 = validate { p with q0 }
 let with_flows p n_flows = validate { p with n_flows }
+let with_capacity p capacity = validate { p with capacity }
 
 let with_sampling ?w ?pm p =
   let pick o v = match o with Some x -> x | None -> v in

@@ -48,6 +48,13 @@ val with_buffer : t -> float -> t
 val with_gains : ?gi:float -> ?gd:float -> ?ru:float -> t -> t
 val with_q0 : t -> float -> t
 val with_flows : t -> int -> t
+
+val with_capacity : t -> float -> t
+(** Functional update of [capacity]. The derived coefficients [k],
+    {!a_threshold}, {!b_threshold} and {!equilibrium_rate} follow
+    automatically (they are computed, not stored) — this is the
+    capacity axis of the [(N, C)] stability plane. *)
+
 val with_sampling : ?w:float -> ?pm:float -> t -> t
 
 (** {1 Derived fluid-model coefficients (paper §IV.A)} *)

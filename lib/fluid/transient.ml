@@ -13,25 +13,20 @@ let slower_period p =
     (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Increase))
     (2. *. Float.pi /. sqrt (Linearized.stiffness p Linearized.Decrease))
 
-let decay_of_extrema extrema =
-  let mags =
-    List.filter_map
-      (fun { Phaseplane.Trajectory.cp; _ } ->
-        let m = Float.abs cp.Vec2.x in
-        if m > 0. then Some m else None)
-      extrema
-  in
-  match mags with
-  | _ :: (_ :: _ :: _ as tail) ->
-      let rec ratios acc = function
-        | a :: (b :: _ as rest) -> ratios (log (b /. a) :: acc) rest
-        | [ _ ] | [] -> acc
-      in
-      let rs = ratios [] tail in
-      if rs = [] then None
-      else
-        Some (exp (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)))
-  | _ -> None
+(* Per-cycle decay from the chronological |x| magnitudes at axis
+   crossings (zeros excluded): drop the first magnitude (start-up
+   transient), then exp(mean log-ratio) over the rest. The sum runs
+   newest pair to oldest — the accumulation order of the list-based
+   fold this replaces — so results stay bit-identical. *)
+let decay_of_mags mags n =
+  if n < 3 then None
+  else begin
+    let s = ref 0. in
+    for i = n - 1 downto 2 do
+      s := !s +. log (mags.(i) /. mags.(i - 1))
+    done;
+    Some (exp (!s /. float_of_int (n - 2)))
+  end
 
 let measure ?horizon ?(band = 0.05) p =
   let horizon =
@@ -74,13 +69,38 @@ let measure ?horizon ?(band = 0.05) p =
     if Float.abs x > threshold then acc.(4) <- t;
     acc.(5) <- t
   in
-  let on_event (oc : Ode.occurrence) =
-    if String.equal oc.Ode.oc_name "switch" && Float.is_nan acc.(3) then
-      acc.(3) <- oc.Ode.oc_t
+  (* axis-crossing magnitudes fold into a growable scratch array (the
+     run's only data-dependent allocation); guard 0 is "switch",
+     guard 1 is "axis", matching [gs_names] above *)
+  let n_axis = ref 0 in
+  let mags = ref (Array.make 32 0.) in
+  let n_mags = ref 0 in
+  let on_event_raw e pt =
+    if e = 0 then begin
+      if Float.is_nan acc.(3) then acc.(3) <- pt.(0)
+    end
+    else begin
+      incr n_axis;
+      let m = Float.abs pt.(1) in
+      if m > 0. then begin
+        if !n_mags = Array.length !mags then begin
+          let bigger = Array.make (2 * !n_mags) 0. in
+          Array.blit !mags 0 bigger 0 !n_mags;
+          mags := bigger
+        end;
+        !mags.(!n_mags) <- m;
+        incr n_mags
+      end
+    end
   in
-  let sc =
-    Phaseplane.Trajectory.scan ~t_max:horizon ~guards ~on_event ~on_point sys
-      (Model.start_point p)
+  (* drive the scan solver directly ([Trajectory.scan] would rebuild
+     its crossing lists from the occurrence records we are here to
+     avoid); same tolerances, so the samples are bit-identical *)
+  let (_ : Ode.scan_result) =
+    Ode.solve_adaptive_auto_scan ~rtol:1e-9 ~atol:1e-12 ~guards
+      ~record_occs:false ~on_event_raw ~on_point ~t_end:horizon
+      (Phaseplane.System.to_auto sys) ~t0:0.
+      ~y0:(Vec2.to_array (Model.start_point p))
   in
   let overshoot = acc.(0) in
   let undershoot =
@@ -96,9 +116,9 @@ let measure ?horizon ?(band = 0.05) p =
   {
     overshoot;
     undershoot;
-    oscillations = List.length sc.Phaseplane.Trajectory.scan_axis;
+    oscillations = !n_axis;
     settling_time;
-    decay_per_cycle = decay_of_extrema sc.Phaseplane.Trajectory.scan_axis;
+    decay_per_cycle = decay_of_mags !mags !n_mags;
   }
 
 let sweep ?horizon ?band ?(jobs = 1) param_of values =

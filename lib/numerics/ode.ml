@@ -1150,8 +1150,8 @@ let no_guards =
    driver's recomputation changes no bits). *)
 let solve_adaptive_auto_scan ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
     ?(h_min = 1e-14) ?h_max ?(max_steps = 2_000_000) ?(guards = no_guards)
-    ?monitor ?on_event ~(on_point : float array -> unit) ~t_end
-    (f : field_auto) ~t0 ~y0 =
+    ?monitor ?(record_occs = true) ?on_event ?on_event_raw
+    ~(on_point : float array -> unit) ~t_end (f : field_auto) ~t0 ~y0 =
   let span = t_end -. t0 in
   if span <= 0. then invalid_arg "Ode.solve_adaptive_auto_scan: t_end <= t0";
   let h_max = match h_max with Some h -> h | None -> span in
@@ -1195,6 +1195,19 @@ let solve_adaptive_auto_scan ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
   let terminated = ref None in
   let n_steps = ref 0 in
   let n_rejected = ref 0 in
+  (* [fires] by index: same predicate as the shared [fires], but the
+     guard values are read from the arrays here rather than passed as
+     float arguments — a non-inlined float-argument call would box
+     both floats on every step of every guard *)
+  let fires_at e =
+    let gp = g_prev.(e) and gn = g_next.(e) in
+    if gp = 0. then false
+    else
+      match gs.gs_dirs.(e) with
+      | Up -> gp < 0. && gn >= 0.
+      | Down -> gp > 0. && gn <= 0.
+      | Both -> gp *. gn <= 0. && gn <> gp
+  in
   pt.(0) <- t0;
   Array.blit y0 0 pt 1 dim;
   if n_ev > 0 then gs.gs_eval pt g_prev;
@@ -1238,7 +1251,7 @@ let solve_adaptive_auto_scan ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
         end;
         let stop_here = ref None in
         for e = 0 to n_ev - 1 do
-          if fires gs.gs_dirs.(e) g_prev.(e) g_next.(e) then begin
+          if fires_at e then begin
             (* inline [localize_into]'s
                [Roots.bisect ~tol:1e-13 ~max_iter:100 phi 1e-15 1.]
                (No_bracket falls back to the end of the step) *)
@@ -1281,15 +1294,31 @@ let solve_adaptive_auto_scan ?(rtol = 1e-8) ?(atol = 1e-10) ?h0
             ws.dhp.(0) <- s_root *. h_acc;
             dopri5_auto_core ws f !ya scratch err_acc;
             let t_ev = tcur.(0) +. (s_root *. h_acc) in
-            let oc =
-              { oc_name = gs.gs_names.(e); oc_t = t_ev; oc_y = Array.copy scratch }
-            in
-            occs := oc :: !occs;
-            (match on_event with Some cb -> cb oc | None -> ());
-            if gs.gs_terminal.(e) then
-              match !stop_here with
-              | Some (prev_oc : occurrence) when prev_oc.oc_t <= t_ev -> ()
-              | Some _ | None -> stop_here := Some oc
+            (match on_event_raw with
+            | Some cb ->
+                (* borrowed packed buffer, same protocol as [on_point];
+                   [pt] is dead here until the next localization or
+                   accepted step rewrites it *)
+                pt.(0) <- t_ev;
+                Array.blit scratch 0 pt 1 dim;
+                cb e pt
+            | None -> ());
+            if record_occs || Option.is_some on_event || gs.gs_terminal.(e)
+            then begin
+              let oc =
+                {
+                  oc_name = gs.gs_names.(e);
+                  oc_t = t_ev;
+                  oc_y = Array.copy scratch;
+                }
+              in
+              if record_occs then occs := oc :: !occs;
+              (match on_event with Some cb -> cb oc | None -> ());
+              if gs.gs_terminal.(e) then
+                match !stop_here with
+                | Some (prev_oc : occurrence) when prev_oc.oc_t <= t_ev -> ()
+                | Some _ | None -> stop_here := Some oc
+            end
           end
         done;
         match !stop_here with

@@ -235,7 +235,8 @@ type guard_spec = {
     names/directions/terminal flags plus one bulk guard evaluator. *)
 
 type scan_result = {
-  sc_occs : occurrence list;  (** in chronological order *)
+  sc_occs : occurrence list;
+      (** in chronological order; empty under [record_occs:false] *)
   sc_terminated : occurrence option;
   sc_steps : int;
   sc_rejected : int;
@@ -256,7 +257,9 @@ val solve_adaptive_auto_scan :
   ?max_steps:int ->
   ?guards:guard_spec ->
   ?monitor:monitor ->
+  ?record_occs:bool ->
   ?on_event:(occurrence -> unit) ->
+  ?on_event_raw:(int -> float array -> unit) ->
   on_point:(float array -> unit) ->
   t_end:float ->
   field_auto ->
@@ -271,7 +274,15 @@ val solve_adaptive_auto_scan :
     buffer [[|t; y...|]] — copy it to keep it. [on_event] fires as each
     occurrence is recorded, in the same order as {!solution}[.occs].
     Steady-state allocation is zero for a closure-free [guards]: the
-    only per-run allocations are the occurrence records themselves. *)
+    only per-run allocations are the occurrence records themselves —
+    and those too can be switched off. [record_occs:false] leaves
+    [sc_occs] empty; [on_event_raw] is the matching allocation-free
+    event stream: it receives the guard's {e index} into
+    [gs_names]/[gs_dirs] and the event state through the same borrowed
+    packed buffer as [on_point] (copy to keep), firing just before
+    [on_event] for each occurrence. With [record_occs:false], no
+    [on_event], and no terminal guard fired, a scan allocates no
+    occurrence records at all. *)
 
 type dopri_workspace
 (** Preallocated stage buffers for {!dopri5_into}; create once per

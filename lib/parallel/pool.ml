@@ -100,6 +100,29 @@ let with_pool ?size f =
   let pool = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* Fire-and-forget submission for long-lived pools (the serve daemon's
+   scheduler). The caller does not help drain here — completion is the
+   task's own business (it signals through whatever channel it was built
+   with) — so the pool needs at least one worker domain to make
+   progress. *)
+let submit pool job =
+  if pool.size < 2 then
+    invalid_arg "Parallel.Pool.submit: pool has no worker domains";
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Parallel.Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let pending pool =
+  Mutex.lock pool.lock;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.lock;
+  n
+
 (* Run every task to completion. The caller submits, then helps drain the
    queue, then waits on a completion latch for tasks still in flight on
    worker domains. Tasks must not raise (callers wrap them). *)

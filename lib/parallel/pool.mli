@@ -51,6 +51,20 @@ val shutdown : t -> unit
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Asynchronous fire-and-forget submission for long-lived pools: push
+    one task and return immediately; a worker domain picks it up. The
+    task must not raise (wrap it) and must arrange its own completion
+    signalling. Raises [Invalid_argument] on a pool of size 1 (no worker
+    domains — nothing would ever run the task) or after {!shutdown}.
+    Tasks still queued at {!shutdown} are drained by the exiting
+    workers before they join. *)
+
+val pending : t -> int
+(** Number of submitted-but-not-yet-started tasks in the queue — the
+    scheduler's queue-depth gauge. A mid-flight snapshot: by the time
+    the caller reads it a worker may already have popped a task. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map], order-preserving. If one or more applications
     raise, the exception of the earliest input (by position) is re-raised

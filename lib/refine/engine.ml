@@ -242,6 +242,33 @@ let refine ?memo ?(coarse = (8, 8)) ?(levels = 3) ?(edge_iters = 4) dom f =
         ( eax.(k) +. (tc *. (ebx.(k) -. eax.(k))),
           eay.(k) +. (tc *. (eby.(k) -. eay.(k))) ))
     edges;
+  (* the two diagonal codes (5 and 10) are topologically ambiguous:
+     the same corner pattern fits both a connected diagonal band and
+     two separated lobes. Probe each ambiguous cell's center as one
+     extra wave (an asymptotic decider over the verdict itself) and
+     pair the crossings to match — a fixed diagonal choice traces the
+     wrong topology on whichever shape it didn't pick. *)
+  let ambiguous =
+    Array.of_list
+      (List.filter
+         (fun (i, j) ->
+           let v00 = verdict i j and v10 = verdict (i + 1) j in
+           v00 = verdict (i + 1) (j + 1)
+           && v10 = verdict i (j + 1)
+           && v00 <> v10)
+         (Array.to_list boundary_cells))
+  in
+  let center_verdict = Hashtbl.create (max 16 (Array.length ambiguous)) in
+  let center_pts =
+    Array.map
+      (fun (i, j) ->
+        (0.5 *. (px i +. px (i + 1)), 0.5 *. (py j +. py (j + 1))))
+      ambiguous
+  in
+  let center_vs = eval_wave ~memo ~evaluations f center_pts in
+  Array.iteri
+    (fun k cell -> Hashtbl.replace center_verdict cell center_vs.(k))
+    ambiguous;
   (* marching squares: one segment per mixed cell connecting its
      crossing points (two for the ambiguous diagonal codes 5 and 10) *)
   let segments_acc = ref [] in
@@ -270,11 +297,25 @@ let refine ?memo ?(coarse = (8, 8)) ?(levels = 3) ?(edge_iters = 4) dom f =
       | 3 | 12 -> seg (w ()) (e ())
       | 6 | 9 -> seg (s ()) (n ())
       | 5 ->
-          seg (w ()) (s ());
-          seg (e ()) (n ())
+          if Hashtbl.find center_verdict (i, j) then begin
+            (* center true: b00 and b11 form one connected band; cut
+               off the two false corners instead *)
+            seg (s ()) (e ());
+            seg (w ()) (n ())
+          end
+          else begin
+            seg (w ()) (s ());
+            seg (e ()) (n ())
+          end
       | 10 ->
-          seg (s ()) (e ());
-          seg (n ()) (w ())
+          if Hashtbl.find center_verdict (i, j) then begin
+            seg (w ()) (s ());
+            seg (e ()) (n ())
+          end
+          else begin
+            seg (s ()) (e ());
+            seg (n ()) (w ())
+          end
       | 0 | 15 -> assert false
       | _ -> assert false)
     boundary_cells;

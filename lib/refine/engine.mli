@@ -68,7 +68,10 @@ type t = {
       (** finest-level cells with disagreeing corners, sorted *)
   segments : segment array;
       (** marching-squares polyline, in [boundary_cells] order (one
-          segment per cell, two for the ambiguous diagonal cases) *)
+          segment per cell, two for the diagonal cases 5/10, whose
+          topology — connected band vs separated lobes — is
+          disambiguated by probing the cell center with one extra
+          verdict wave) *)
   evaluations : int;
       (** logical verdict evaluations (memo hits included), so warm
           and cold refinements report identical counts *)

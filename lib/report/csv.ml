@@ -14,17 +14,21 @@ let escape s =
     Buffer.contents buf
   end
 
+let to_string ~header ~rows =
+  let buf = Buffer.create 256 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
 let write ~path ~header ~rows =
   let oc = open_out path in
-  let emit row =
-    output_string oc (String.concat "," (List.map escape row));
-    output_char oc '\n'
-  in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      emit header;
-      List.iter emit rows)
+    (fun () -> output_string oc (to_string ~header ~rows))
 
 let write_floats ?(fmt = Printf.sprintf "%.9g") ~path ~header rows =
   write ~path ~header ~rows:(List.map (List.map fmt) rows)

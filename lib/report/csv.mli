@@ -7,6 +7,12 @@
 val escape : string -> string
 (** RFC-4180 quoting when the cell contains a comma, quote or newline. *)
 
+val to_string : header:string list -> rows:string list list -> string
+(** The full document as one string — header line, then one line per
+    row, cells {!escape}d. [write] emits exactly these bytes, so
+    in-memory consumers (the serve daemon's sweep payloads) match CSV
+    files byte for byte. *)
+
 val write : path:string -> header:string list -> rows:string list list -> unit
 (** Raises [Sys_error] on IO failure. *)
 

@@ -1,0 +1,85 @@
+type t = { fd : Unix.file_descr; mutable pending : string }
+
+let connect ?(retries = 50) ~path () =
+  let rec go n =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> { fd; pending = "" }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when n > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.1;
+        go (n - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  go retries
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd line =
+  let b = Bytes.unsafe_of_string line in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let send t ~id command = write_all t.fd (Protocol.encode_request ~id command)
+
+let send_raw t bytes = write_all t.fd bytes
+
+let next t =
+  let scratch = Bytes.create 65536 in
+  let rec read_line () =
+    match String.index_opt t.pending '\n' with
+    | Some nl ->
+        let line = String.sub t.pending 0 nl in
+        t.pending <-
+          String.sub t.pending (nl + 1) (String.length t.pending - nl - 1);
+        line
+    | None -> (
+        match Unix.read t.fd scratch 0 (Bytes.length scratch) with
+        | 0 -> failwith "Serve.Client: connection closed by daemon"
+        | n ->
+            t.pending <- t.pending ^ Bytes.sub_string scratch 0 n;
+            read_line ()
+        | exception Unix.Unix_error (EINTR, _, _) -> read_line ())
+  in
+  let line = read_line () in
+  match Protocol.parse_response line with
+  | Ok r -> r
+  | Error msg -> failwith ("Serve.Client: bad response line: " ^ msg)
+
+let rec await t ~id =
+  match next t with
+  | Protocol.Queued _ | Protocol.Progress _ | Protocol.Telemetry _ ->
+      await t ~id
+  | ( Protocol.Result { id = rid; _ }
+    | Protocol.Error { id = rid; _ }
+    | Protocol.Cancelled { id = rid }
+    | Protocol.Stats_reply { id = rid; _ }
+    | Protocol.Subscribed { id = rid }
+    | Protocol.Bye { id = rid } ) as r ->
+      if rid = id then r else await t ~id
+
+let rpc t ~id command =
+  send t ~id command;
+  await t ~id
+
+let request t ~id req = rpc t ~id (Protocol.Compute req)
+
+let stats t ~id =
+  match rpc t ~id Protocol.Stats with
+  | Protocol.Stats_reply { metrics; _ } -> metrics
+  | Protocol.Error { message; _ } -> failwith ("stats: " ^ message)
+  | _ -> failwith "stats: unexpected response"
+
+let shutdown t ~id =
+  match rpc t ~id Protocol.Shutdown with
+  | Protocol.Bye _ -> ()
+  | Protocol.Error { message; _ } -> failwith ("shutdown: " ^ message)
+  | _ -> failwith "shutdown: unexpected response"

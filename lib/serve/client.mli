@@ -1,0 +1,46 @@
+(** Blocking client for the serve daemon.
+
+    Thin by design: {!send} and {!next} expose the raw NDJSON exchange
+    (what the concurrency tests need to interleave requests across
+    connections), {!rpc} and the helpers wrap the common
+    send-and-await-final-answer shape. One [t] per connection; not
+    thread-safe — share nothing, open one per domain. *)
+
+type t
+
+val connect : ?retries:int -> path:string -> unit -> t
+(** Connect to the daemon's socket, retrying [retries] times (default
+    50) at 100 ms intervals while the socket is absent or refusing —
+    covers the start-up race after forking a daemon. Raises
+    [Unix.Unix_error] once the retries are exhausted. *)
+
+val close : t -> unit
+
+val send : t -> id:int -> Protocol.command -> unit
+(** Write one request line. *)
+
+val send_raw : t -> string -> unit
+(** Write pre-encoded bytes as-is — e.g. two request lines in one
+    [write], which guarantees the daemon admits them back-to-back
+    (the in-flight dedup tests depend on that atomicity). *)
+
+val next : t -> Protocol.response
+(** Read the next response line (blocking). Raises [Failure] on a
+    closed connection or an unparseable line. *)
+
+val rpc : t -> id:int -> Protocol.command -> Protocol.response
+(** [send] then read until the {e final} response for [id]: skips the
+    [Queued] acknowledgement and any broadcast [Progress]/[Telemetry]
+    lines, returns on [Result]/[Error]/[Cancelled]/[Stats_reply]/
+    [Subscribed]/[Bye]. *)
+
+val request : t -> id:int -> Tasks.request -> Protocol.response
+(** [rpc] on [Compute]: [Result] or [Error]. *)
+
+val stats : t -> id:int -> (string * float) list
+(** The daemon's metrics snapshot ([store.*], [serve.*], [conn.*] for
+    this connection). Raises [Failure] on an error reply. *)
+
+val shutdown : t -> id:int -> unit
+(** Request graceful shutdown and wait for [bye] (sent only after all
+    in-flight work has drained). *)

@@ -1,0 +1,391 @@
+type config = {
+  socket_path : string;
+  store_dir : string option;
+  jobs : int;
+  max_inflight : int;
+  log : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    store_dir = None;
+    jobs = max 1 (Parallel.Pool.default_size () - 1);
+    max_inflight = 64;
+    log = false;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes of an incomplete trailing line *)
+  mutable subscribed : bool;
+  mutable warm : int;
+  mutable cold : int;
+  mutable joined : int;
+  mutable alive : bool;
+}
+
+(* One admitted cold key. [waiters] is in arrival order (the head is
+   the request that created the job); both flags cross the event-loop /
+   worker boundary, everything else is event-loop-private. *)
+type job = {
+  req : Tasks.request;
+  mutable waiters : (conn * int) list;
+  cancelled : bool Atomic.t;
+  started : bool Atomic.t;
+}
+
+(* A daemon that died without cleanup leaves its socket file behind;
+   distinguish that from a live daemon by probing with a connect. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect probe (ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        failwith (Printf.sprintf "a daemon is already serving %s" path)
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+        Unix.close probe;
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | exception e ->
+        Unix.close probe;
+        raise e
+  end
+
+let run cfg =
+  if cfg.jobs < 1 then invalid_arg "Serve.Daemon.run: jobs must be >= 1";
+  if cfg.max_inflight < 1 then
+    invalid_arg "Serve.Daemon.run: max_inflight must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  claim_socket_path cfg.socket_path;
+  let srv = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind srv (ADDR_UNIX cfg.socket_path);
+  Unix.listen srv 64;
+  let pipe_r, pipe_w = Unix.pipe () in
+  let cache = Option.map (fun dir -> Store.Cache.open_ ~dir) cfg.store_dir in
+  let inflight : (string, job) Hashtbl.t = Hashtbl.create 32 in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let completions : (string * (string, string) result) Queue.t =
+    Queue.create ()
+  in
+  let cmx = Mutex.create () in
+  let executed = Atomic.make 0 in
+  let draining = ref false in
+  let byes : (conn * int) list ref = ref [] in
+  let logf fmt =
+    (if cfg.log then Printf.printf else Printf.ifprintf stdout)
+      (fmt ^^ "\n%!")
+  in
+  let scratch = Bytes.create 65536 in
+  let send c (resp : Protocol.response) =
+    if c.alive then begin
+      let line = Protocol.encode_response resp in
+      let b = Bytes.unsafe_of_string line in
+      let n = Bytes.length b in
+      let rec go off =
+        if off < n then
+          match Unix.write c.fd b off (n - off) with
+          | w -> go (off + w)
+          | exception Unix.Unix_error (EINTR, _, _) -> go off
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+              c.alive <- false
+      in
+      go 0
+    end
+  in
+  let broadcast resp =
+    Hashtbl.iter (fun _ c -> if c.subscribed then send c resp) conns
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close srv;
+      Unix.close pipe_r;
+      Unix.close pipe_w;
+      Hashtbl.iter
+        (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+        conns;
+      try Unix.unlink cfg.socket_path
+      with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Parallel.Pool.with_pool ~size:(cfg.jobs + 1) (fun pool ->
+          let snapshot ?conn () =
+            let mx = Telemetry.Metrics.create () in
+            (match cache with
+            | Some c ->
+                Store.Cache.publish_metrics c mx;
+                Telemetry.Metrics.add mx "store.entries"
+                  (Store.Cache.entries c)
+            | None -> ());
+            Telemetry.Metrics.add mx "serve.queue_depth"
+              (Parallel.Pool.pending pool);
+            Telemetry.Metrics.add mx "serve.inflight"
+              (Hashtbl.length inflight);
+            Telemetry.Metrics.add mx "serve.executed" (Atomic.get executed);
+            (match conn with
+            | Some c ->
+                Telemetry.Metrics.add mx "conn.warm" c.warm;
+                Telemetry.Metrics.add mx "conn.cold" c.cold;
+                Telemetry.Metrics.add mx "conn.joined" c.joined
+            | None -> ());
+            List.map
+              (fun name ->
+                (name, float_of_int (Telemetry.Metrics.counter_value mx name)))
+              (Telemetry.Metrics.names mx)
+          in
+          let finish_job hex res =
+            match Hashtbl.find_opt inflight hex with
+            | None -> ()
+            | Some job ->
+                Hashtbl.remove inflight hex;
+                (match res with
+                | Ok payload ->
+                    List.iteri
+                      (fun i (c, id) ->
+                        send c
+                          (Protocol.Result
+                             { id; warm = false; dedup = i > 0; payload }))
+                      job.waiters
+                | Error message ->
+                    List.iter
+                      (fun (c, id) -> send c (Protocol.Error { id; message }))
+                      job.waiters);
+                broadcast
+                  (Protocol.Progress
+                     {
+                       key = hex;
+                       state = "done";
+                       queue_depth = Parallel.Pool.pending pool;
+                     });
+                broadcast (Protocol.Telemetry { metrics = snapshot () });
+                logf "done %s -> %d waiter(s)" (Tasks.describe job.req)
+                  (List.length job.waiters)
+          in
+          let submit_cold conn id req key hex =
+            let job =
+              {
+                req;
+                waiters = [ (conn, id) ];
+                cancelled = Atomic.make false;
+                started = Atomic.make false;
+              }
+            in
+            Hashtbl.add inflight hex job;
+            conn.cold <- conn.cold + 1;
+            send conn (Protocol.Queued { id; key = hex });
+            broadcast
+              (Protocol.Progress
+                 {
+                   key = hex;
+                   state = "start";
+                   queue_depth = Parallel.Pool.pending pool;
+                 });
+            logf "cold %s" (Tasks.describe req);
+            Parallel.Pool.submit pool (fun () ->
+                Atomic.set job.started true;
+                let res =
+                  if Atomic.get job.cancelled then Error "cancelled"
+                  else
+                    match
+                      match cache with
+                      | Some c ->
+                          Store.Cache.memo c key (fun () ->
+                              Atomic.incr executed;
+                              Tasks.execute ~cache:c job.req)
+                      | None ->
+                          Atomic.incr executed;
+                          Tasks.execute job.req
+                    with
+                    | payload -> Ok payload
+                    | exception e -> Error (Printexc.to_string e)
+                in
+                Mutex.lock cmx;
+                Queue.push (hex, res) completions;
+                Mutex.unlock cmx;
+                let b = Bytes.make 1 'c' in
+                let rec poke () =
+                  match Unix.write pipe_w b 0 1 with
+                  | _ -> ()
+                  | exception Unix.Unix_error (EINTR, _, _) -> poke ()
+                in
+                poke ())
+          in
+          let handle_compute conn id req =
+            let key = Store.Key.of_material (Tasks.material req) in
+            let hex = Store.Key.to_hex key in
+            match Hashtbl.find_opt inflight hex with
+            | Some job ->
+                (* in-flight dedup: share the running computation *)
+                job.waiters <- job.waiters @ [ (conn, id) ];
+                conn.joined <- conn.joined + 1;
+                send conn (Protocol.Queued { id; key = hex });
+                logf "join %s" (Tasks.describe req)
+            | None -> (
+                let warm =
+                  match cache with
+                  | Some c when Store.Cache.mem c key ->
+                      (Store.Cache.find_value c key : string option)
+                  | _ -> None
+                in
+                match warm with
+                | Some payload ->
+                    conn.warm <- conn.warm + 1;
+                    send conn
+                      (Protocol.Result
+                         { id; warm = true; dedup = false; payload });
+                    logf "warm %s" (Tasks.describe req)
+                | None ->
+                    if !draining then
+                      send conn
+                        (Protocol.Error
+                           { id; message = "draining: daemon is shutting down" })
+                    else if Hashtbl.length inflight >= cfg.max_inflight then
+                      send conn
+                        (Protocol.Error
+                           { id; message = "busy: in-flight limit reached" })
+                    else submit_cold conn id req key hex)
+          in
+          let handle_request conn { Protocol.id; command } =
+            match command with
+            | Protocol.Compute req -> handle_compute conn id req
+            | Protocol.Stats ->
+                send conn
+                  (Protocol.Stats_reply
+                     { id; metrics = snapshot ~conn () })
+            | Protocol.Subscribe ->
+                conn.subscribed <- true;
+                send conn (Protocol.Subscribed { id })
+            | Protocol.Cancel target ->
+                let found = ref false in
+                Hashtbl.iter
+                  (fun _ job ->
+                    if
+                      (not !found)
+                      && List.exists
+                           (fun (c, i) -> c == conn && i = target)
+                           job.waiters
+                    then begin
+                      found := true;
+                      job.waiters <-
+                        List.filter
+                          (fun (c, i) -> not (c == conn && i = target))
+                          job.waiters;
+                      if job.waiters = [] && not (Atomic.get job.started) then
+                        Atomic.set job.cancelled true
+                    end)
+                  inflight;
+                if !found then send conn (Protocol.Cancelled { id = target })
+                else
+                  send conn
+                    (Protocol.Error
+                       {
+                         id;
+                         message =
+                           Printf.sprintf
+                             "cancel: no in-flight request %d on this \
+                              connection"
+                             target;
+                       })
+            | Protocol.Shutdown ->
+                draining := true;
+                byes := (conn, id) :: !byes;
+                logf "shutdown requested (%d in flight)"
+                  (Hashtbl.length inflight)
+          in
+          let handle_line conn line =
+            match Protocol.parse_request line with
+            | Ok r -> handle_request conn r
+            | Error msg ->
+                send conn
+                  (Protocol.Error { id = 0; message = "parse error: " ^ msg })
+          in
+          let drop_conn conn =
+            conn.alive <- false;
+            Hashtbl.remove conns conn.fd;
+            (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+            (* a vanished client abandons its waits; a job left with no
+               waiters is skipped unless a worker already started it *)
+            Hashtbl.iter
+              (fun _ job ->
+                job.waiters <- List.filter (fun (c, _) -> c != conn) job.waiters;
+                if job.waiters = [] && not (Atomic.get job.started) then
+                  Atomic.set job.cancelled true)
+              inflight
+          in
+          let handle_readable conn =
+            match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+            | 0 -> drop_conn conn
+            | n ->
+                Buffer.add_subbytes conn.pending scratch 0 n;
+                let s = Buffer.contents conn.pending in
+                let rec go start =
+                  match String.index_from_opt s start '\n' with
+                  | Some nl ->
+                      let line = String.sub s start (nl - start) in
+                      if conn.alive then handle_line conn line;
+                      go (nl + 1)
+                  | None ->
+                      Buffer.clear conn.pending;
+                      Buffer.add_substring conn.pending s start
+                        (String.length s - start)
+                in
+                go 0
+            | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+                drop_conn conn
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+          in
+          logf "serving on %s (%d worker lane(s), store %s)" cfg.socket_path
+            cfg.jobs
+            (match cfg.store_dir with Some d -> d | None -> "none");
+          let rec loop () =
+            (* completions first: the pipe may have been poked while we
+               were handling sockets *)
+            let finished = ref [] in
+            Mutex.lock cmx;
+            while not (Queue.is_empty completions) do
+              finished := Queue.pop completions :: !finished
+            done;
+            Mutex.unlock cmx;
+            List.iter
+              (fun (hex, res) -> finish_job hex res)
+              (List.rev !finished);
+            if !draining && Hashtbl.length inflight = 0 then
+              (* drained: answer the shutdown requester(s) and exit *)
+              List.iter
+                (fun (c, id) -> send c (Protocol.Bye { id }))
+                (List.rev !byes)
+            else begin
+              let fds =
+                srv :: pipe_r
+                :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+              in
+              (match Unix.select fds [] [] (-1.) with
+              | exception Unix.Unix_error (EINTR, _, _) -> ()
+              | readable, _, _ ->
+                  List.iter
+                    (fun fd ->
+                      if fd = srv then begin
+                        let cfd, _ = Unix.accept srv in
+                        Hashtbl.replace conns cfd
+                          {
+                            fd = cfd;
+                            pending = Buffer.create 256;
+                            subscribed = false;
+                            warm = 0;
+                            cold = 0;
+                            joined = 0;
+                            alive = true;
+                          }
+                      end
+                      else if fd = pipe_r then
+                        ignore (Unix.read pipe_r scratch 0 256)
+                      else
+                        match Hashtbl.find_opt conns fd with
+                        | Some conn -> handle_readable conn
+                        | None -> ())
+                    readable);
+              loop ()
+            end
+          in
+          loop ();
+          logf "drained; exiting"))

@@ -1,0 +1,54 @@
+(** The simulation-as-a-service daemon.
+
+    One process listens on a Unix-domain socket and answers
+    {!Protocol} requests. The event loop runs in the calling domain
+    and owns every socket; computations run on [jobs] worker lanes of
+    a {!Parallel.Pool} via fire-and-forget submission, reporting back
+    through a completion queue and a self-pipe, so all reads, writes
+    and scheduling decisions are single-threaded — no response ever
+    interleaves.
+
+    Scheduling contract:
+    - {e warm answers}: a request whose payload key is already stored
+      is answered inline from the store — zero simulations, one
+      [store.hits] tick, no worker involved.
+    - {e in-flight dedup}: concurrent identical requests (same key)
+      share one computation; every waiter gets the same payload, later
+      joiners flagged [dedup]. The computation itself memoizes through
+      the store, so N concurrent identical cold requests cost exactly
+      one execution and one [store.misses]/[store.puts] tick on the
+      payload key.
+    - {e bounded admission}: at most [max_inflight] distinct keys may
+      be queued or running; beyond that, cold requests are refused
+      with a [busy] error (warm answers and joins are always
+      admitted).
+    - {e cancellation}: a waiter can abandon its request; a job whose
+      waiters all cancelled before a worker picked it up is skipped.
+    - {e graceful shutdown}: a [shutdown] request stops admission,
+      drains in-flight work (every completed point is already
+      persisted the moment it finishes), answers remaining waiters,
+      then replies [bye] and exits. A killed daemon therefore resumes
+      warm from its store on restart.
+
+    Determinism: payloads come from {!Tasks.execute}, which is
+    sequential and jobs-independent, and the store normalizes cold and
+    warm values — so for a fixed request set the response bytes are
+    identical regardless of arrival order, connection count or [jobs]. *)
+
+type config = {
+  socket_path : string;  (** created on start, unlinked on exit *)
+  store_dir : string option;
+      (** payload + inner-step persistence; [None] = compute-only *)
+  jobs : int;  (** worker lanes (>= 1); the event loop is not one *)
+  max_inflight : int;  (** distinct cold keys admitted at once *)
+  log : bool;  (** print one lifecycle line per event to stdout *)
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = Parallel.Pool.default_size () - 1] (at least 1),
+    [max_inflight = 64], [log = false], no store. *)
+
+val run : config -> unit
+(** Serve until a [shutdown] request completes. Raises [Unix_error]
+    if the socket cannot be bound (e.g. a live daemon already owns
+    it); a stale socket file left by a killed daemon is unlinked. *)

@@ -1,0 +1,282 @@
+open Simnet.Json_read
+module J = Telemetry.Json
+
+type command =
+  | Compute of Tasks.request
+  | Stats
+  | Subscribe
+  | Cancel of int
+  | Shutdown
+
+type request = { id : int; command : command }
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let get_float_field what o name =
+  match field o name with
+  | Some _ -> Some (get_float what o name)
+  | None -> None
+
+let get_int_field what o name =
+  match field o name with
+  | Some _ -> Some (get_int what o name)
+  | None -> None
+
+let parse_command o =
+  let what = "request" in
+  let kind = get_str what o "kind" in
+  match kind with
+  | "run" -> (
+      match field o "scenario" with
+      | None -> bad "request.scenario: missing"
+      | Some j -> (
+          check_known what [ "id"; "kind"; "scenario" ] o;
+          match Simnet.Scenario.of_json j with
+          | Ok s -> Compute (Tasks.Run s)
+          | Error msg -> bad "request.scenario: %s" msg))
+  | "sweep" ->
+      check_known what
+        [ "id"; "kind"; "param"; "from"; "to"; "steps"; "log"; "buffer" ]
+        o;
+      Compute
+        (Tasks.Sweep
+           {
+             param = get_str what o "param";
+             lo = get_float what o "from";
+             hi = get_float what o "to";
+             steps = get_int what o "steps";
+             log_scale = get_bool_opt what o "log" ~default:false;
+             buffer = get_float_opt what o "buffer" ~default:15e6;
+           })
+  | "margin" ->
+      check_known what
+        [
+          "id"; "kind"; "axes"; "flap_period"; "flap_duty"; "t_end";
+          "transient"; "iters"; "seed";
+        ]
+        o;
+      Compute
+        (Tasks.Margin
+           {
+             axes = split_commas (get_str what o "axes");
+             flap_period = get_float_opt what o "flap_period" ~default:2e-3;
+             flap_duty = get_float_opt what o "flap_duty" ~default:0.5;
+             t_end = get_float_opt what o "t_end" ~default:0.02;
+             transient = get_float_field what o "transient";
+             iters = get_int_field what o "iters";
+             seed = get_int_opt what o "seed" ~default:0;
+           })
+  | "region" ->
+      check_known what
+        [
+          "id"; "kind"; "param"; "from"; "to"; "param2"; "from2"; "to2";
+          "buffer"; "coarse"; "levels";
+        ]
+        o;
+      Compute
+        (Tasks.Region
+           {
+             param = get_str what o "param";
+             lo = get_float what o "from";
+             hi = get_float what o "to";
+             param2 = get_str what o "param2";
+             lo2 = get_float what o "from2";
+             hi2 = get_float what o "to2";
+             buffer = get_float_opt what o "buffer" ~default:15e6;
+             coarse = get_int_opt what o "coarse" ~default:8;
+             levels = get_int_opt what o "levels" ~default:3;
+           })
+  | "stats" ->
+      check_known what [ "id"; "kind" ] o;
+      Stats
+  | "subscribe" ->
+      check_known what [ "id"; "kind" ] o;
+      Subscribe
+  | "cancel" ->
+      check_known what [ "id"; "kind"; "target" ] o;
+      Cancel (get_int what o "target")
+  | "shutdown" ->
+      check_known what [ "id"; "kind" ] o;
+      Shutdown
+  | other -> bad "request.kind: unknown kind %S" other
+
+let parse_request line =
+  match parse line with
+  | j ->
+      let o = as_obj "request" j in
+      let id = get_int "request" o "id" in
+      (match parse_command o with
+      | command -> Ok { id; command }
+      | exception Bad msg -> Error msg)
+  | exception Bad msg -> Error msg
+
+(* ---------- request encoding ---------- *)
+
+let encode_request ~id command =
+  let base = [ ("id", J.int id) ] in
+  let fields =
+    match command with
+    | Compute (Tasks.Run s) ->
+        base
+        @ [ ("kind", J.str "run"); ("scenario", Simnet.Scenario.encode s) ]
+    | Compute (Tasks.Sweep { param; lo; hi; steps; log_scale; buffer }) ->
+        base
+        @ [
+            ("kind", J.str "sweep");
+            ("param", J.str param);
+            ("from", J.float_full lo);
+            ("to", J.float_full hi);
+            ("steps", J.int steps);
+            ("log", J.bool log_scale);
+            ("buffer", J.float_full buffer);
+          ]
+    | Compute
+        (Tasks.Margin
+           { axes; flap_period; flap_duty; t_end; transient; iters; seed }) ->
+        base
+        @ [
+            ("kind", J.str "margin");
+            ("axes", J.str (String.concat "," axes));
+            ("flap_period", J.float_full flap_period);
+            ("flap_duty", J.float_full flap_duty);
+            ("t_end", J.float_full t_end);
+          ]
+        @ (match transient with
+          | Some t -> [ ("transient", J.float_full t) ]
+          | None -> [])
+        @ (match iters with Some i -> [ ("iters", J.int i) ] | None -> [])
+        @ [ ("seed", J.int seed) ]
+    | Compute
+        (Tasks.Region
+           { param; lo; hi; param2; lo2; hi2; buffer; coarse; levels }) ->
+        base
+        @ [
+            ("kind", J.str "region");
+            ("param", J.str param);
+            ("from", J.float_full lo);
+            ("to", J.float_full hi);
+            ("param2", J.str param2);
+            ("from2", J.float_full lo2);
+            ("to2", J.float_full hi2);
+            ("buffer", J.float_full buffer);
+            ("coarse", J.int coarse);
+            ("levels", J.int levels);
+          ]
+    | Stats -> base @ [ ("kind", J.str "stats") ]
+    | Subscribe -> base @ [ ("kind", J.str "subscribe") ]
+    | Cancel target ->
+        base @ [ ("kind", J.str "cancel"); ("target", J.int target) ]
+    | Shutdown -> base @ [ ("kind", J.str "shutdown") ]
+  in
+  J.obj fields ^ "\n"
+
+(* ---------- responses ---------- *)
+
+type response =
+  | Queued of { id : int; key : string }
+  | Result of { id : int; warm : bool; dedup : bool; payload : string }
+  | Error of { id : int; message : string }
+  | Cancelled of { id : int }
+  | Stats_reply of { id : int; metrics : (string * float) list }
+  | Subscribed of { id : int }
+  | Bye of { id : int }
+  | Progress of { key : string; state : string; queue_depth : int }
+  | Telemetry of { metrics : (string * float) list }
+
+let metrics_obj metrics =
+  J.obj (List.map (fun (k, v) -> (k, J.float_full v)) metrics)
+
+let encode_response r =
+  (J.obj
+     (match r with
+     | Queued { id; key } ->
+         [ ("id", J.int id); ("event", J.str "queued"); ("key", J.str key) ]
+     | Result { id; warm; dedup; payload } ->
+         [
+           ("id", J.int id);
+           ("event", J.str "result");
+           ("warm", J.bool warm);
+           ("dedup", J.bool dedup);
+           ("payload", J.str payload);
+         ]
+     | Error { id; message } ->
+         [
+           ("id", J.int id);
+           ("event", J.str "error");
+           ("message", J.str message);
+         ]
+     | Cancelled { id } -> [ ("id", J.int id); ("event", J.str "cancelled") ]
+     | Stats_reply { id; metrics } ->
+         [
+           ("id", J.int id);
+           ("event", J.str "stats");
+           ("metrics", metrics_obj metrics);
+         ]
+     | Subscribed { id } -> [ ("id", J.int id); ("event", J.str "subscribed") ]
+     | Bye { id } -> [ ("id", J.int id); ("event", J.str "bye") ]
+     | Progress { key; state; queue_depth } ->
+         [
+           ("event", J.str "progress");
+           ("key", J.str key);
+           ("state", J.str state);
+           ("queue_depth", J.int queue_depth);
+         ]
+     | Telemetry { metrics } ->
+         [ ("event", J.str "telemetry"); ("metrics", metrics_obj metrics) ]))
+  ^ "\n"
+
+let parse_metrics what o name =
+  match field o name with
+  | None -> bad "%s.%s: missing" what name
+  | Some j ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Num f -> (k, f)
+          | _ -> bad "%s.%s.%s: expected a number" what name k)
+        (as_obj (what ^ "." ^ name) j)
+
+let parse_response line =
+  match parse line with
+  | j -> (
+      let what = "response" in
+      let o = as_obj what j in
+      match
+        match get_str what o "event" with
+        | "queued" ->
+            Queued { id = get_int what o "id"; key = get_str what o "key" }
+        | "result" ->
+            Result
+              {
+                id = get_int what o "id";
+                warm = get_bool_opt what o "warm" ~default:false;
+                dedup = get_bool_opt what o "dedup" ~default:false;
+                payload = get_str what o "payload";
+              }
+        | "error" ->
+            Error
+              { id = get_int what o "id"; message = get_str what o "message" }
+        | "cancelled" -> Cancelled { id = get_int what o "id" }
+        | "stats" ->
+            Stats_reply
+              {
+                id = get_int what o "id";
+                metrics = parse_metrics what o "metrics";
+              }
+        | "subscribed" -> Subscribed { id = get_int what o "id" }
+        | "bye" -> Bye { id = get_int what o "id" }
+        | "progress" ->
+            Progress
+              {
+                key = get_str what o "key";
+                state = get_str what o "state";
+                queue_depth = get_int what o "queue_depth";
+              }
+        | "telemetry" -> Telemetry { metrics = parse_metrics what o "metrics" }
+        | other -> bad "response.event: unknown event %S" other
+      with
+      | r -> Ok r
+      | exception Bad msg -> Error msg)
+  | exception Bad msg -> Error msg

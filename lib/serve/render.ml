@@ -1,0 +1,104 @@
+(* The format strings below are the canonical report shapes; bcn_sim
+   prints these strings verbatim, so the daemon's payloads and the CLI's
+   stdout agree byte for byte by construction. *)
+
+let mean_std vs =
+  let n = float_of_int (Array.length vs) in
+  let mean = Array.fold_left ( +. ) 0. vs /. n in
+  let var =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. vs /. n
+  in
+  (mean, sqrt var)
+
+let single (r : Simnet.Runner.result) =
+  let open Simnet.Runner in
+  Format.asprintf
+    "@[<v>events processed: %d@,\
+     delivered: %s bit (utilization %.3f)@,\
+     drops: %d (%s bit)@,\
+     BCN messages: %d positive, %d negative (%d frames sampled)@,\
+     PAUSE events: %d@,\
+     Jain fairness of final rates: %.4f@]@."
+    r.events_processed
+    (Report.Table.si r.delivered_bits)
+    r.utilization r.drops
+    (Report.Table.si r.dropped_bits)
+    r.bcn_positive r.bcn_negative r.sampled_frames r.pause_on_events
+    (fairness r.final_rates)
+
+let replicas ~seeds results =
+  let open Simnet.Runner in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : result) ->
+           [
+             string_of_int seeds.(i);
+             string_of_int r.events_processed;
+             Printf.sprintf "%.3f" r.utilization;
+             string_of_int r.drops;
+             string_of_int r.pause_on_events;
+             Printf.sprintf "%.3f" (fairness r.final_rates);
+           ])
+         results)
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Report.Table.render
+       ~headers:[ "seed"; "events"; "util"; "drops"; "PAUSEs"; "fairness" ]
+       ~rows);
+  Buffer.add_string b
+    (Format.asprintf "@.across %d replicas:@." (Array.length results));
+  let agg label f =
+    let mean, std = mean_std (Array.map f results) in
+    Buffer.add_string b
+      (Format.asprintf "%-10s %.4f +/- %.4f@." label mean std)
+  in
+  agg "util" (fun r -> r.utilization);
+  agg "fairness" (fun r -> fairness r.final_rates);
+  agg "drops" (fun r -> float_of_int r.drops);
+  Buffer.contents b
+
+let e2cm (r : Simnet.E2cm.result) =
+  Format.asprintf
+    "@[<v>E2CM run@,\
+     delivered: %s bit (utilization %.3f)@,\
+     drops: %d@,\
+     rate messages: %d@,\
+     Jain fairness of final rates: %.4f@]@."
+    (Report.Table.si r.Simnet.E2cm.delivered_bits)
+    r.Simnet.E2cm.utilization r.Simnet.E2cm.drops r.Simnet.E2cm.messages
+    (Simnet.Runner.fairness r.Simnet.E2cm.final_rates)
+
+let fera (r : Simnet.Fera.result) =
+  Format.asprintf
+    "@[<v>FERA run@,\
+     delivered: %s bit (utilization %.3f)@,\
+     drops: %d@,\
+     advertisements: %d@,\
+     Jain fairness of final rates: %.4f@,\
+     convergence: %s@]@."
+    (Report.Table.si r.Simnet.Fera.delivered_bits)
+    r.Simnet.Fera.utilization r.Simnet.Fera.drops
+    r.Simnet.Fera.advertisements
+    (Simnet.Runner.fairness r.Simnet.Fera.final_rates)
+    (match r.Simnet.Fera.convergence_time with
+    | Some t -> Printf.sprintf "%g s" t
+    | None -> "none within horizon")
+
+let multihop (r : Simnet.Multihop.result) =
+  Format.asprintf
+    "@[<v>multihop run@,\
+     drops: %d at A, %d at B (utilization of B %.3f)@,\
+     beat-down ratio: %.4f@,\
+     BCN messages: %d@]@."
+    r.Simnet.Multihop.drops_a r.Simnet.Multihop.drops_b
+    r.Simnet.Multihop.utilization_b r.Simnet.Multihop.beatdown
+    r.Simnet.Multihop.bcn_messages
+
+let outcome ~seeds = function
+  | Store.Sweep.Bcn_results rs ->
+      if Array.length rs > 1 then replicas ~seeds rs else single rs.(0)
+  | Store.Sweep.E2cm_result r -> e2cm r
+  | Store.Sweep.Fera_result r -> fera r
+  | Store.Sweep.Multihop_result r -> multihop r

@@ -1,0 +1,25 @@
+(** Textual reports for finished scenario runs.
+
+    These are the exact renderings the CLI tools print — [bcn_sim]'s
+    single-run report and its replica table are calls into this module —
+    factored out so the serve daemon can return byte-identical payloads
+    for the same scenario without going through a pipe. Everything here
+    is a pure function of the result values, so a warm store answer
+    renders exactly like the cold run it memoized. *)
+
+val single : Simnet.Runner.result -> string
+(** The [bcn_sim] single-run report (events, delivered bits,
+    utilization, drops, BCN/PAUSE counts, Jain fairness). *)
+
+val replicas : seeds:int array -> Simnet.Runner.result array -> string
+(** The [bcn_sim --replicas] report: per-replica table plus
+    mean +/- stddev aggregates. [seeds.(i)] labels row [i]. *)
+
+val e2cm : Simnet.E2cm.result -> string
+val fera : Simnet.Fera.result -> string
+val multihop : Simnet.Multihop.result -> string
+
+val outcome : seeds:int array -> Store.Sweep.outcome -> string
+(** Dispatch on the outcome's model: BCN results render via {!single}
+    (one replica) or {!replicas}, the other models via their own
+    summaries. *)

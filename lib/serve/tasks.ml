@@ -1,0 +1,167 @@
+type request =
+  | Run of Simnet.Scenario.t
+  | Sweep of {
+      param : string;
+      lo : float;
+      hi : float;
+      steps : int;
+      log_scale : bool;
+      buffer : float;
+    }
+  | Margin of {
+      axes : string list;
+      flap_period : float;
+      flap_duty : float;
+      t_end : float;
+      transient : float option;
+      iters : int option;
+      seed : int;
+    }
+  | Region of {
+      param : string;
+      lo : float;
+      hi : float;
+      param2 : string;
+      lo2 : float;
+      hi2 : float;
+      buffer : float;
+      coarse : int;
+      levels : int;
+    }
+
+let describe = function
+  | Run s -> "run " ^ Simnet.Scenario.describe s
+  | Sweep { param; _ } -> "sweep " ^ param
+  | Margin { axes; _ } -> "margin " ^ String.concat "," axes
+  | Region { param; param2; _ } -> Printf.sprintf "region %s x %s" param param2
+
+(* ---------- shared CLI vocabulary ---------- *)
+
+let apply_param base param v =
+  match param with
+  | "gi" -> Fluid.Params.with_gains ~gi:v base
+  | "gd" -> Fluid.Params.with_gains ~gd:v base
+  | "ru" -> Fluid.Params.with_gains ~ru:v base
+  | "q0" -> Fluid.Params.with_q0 base v
+  | "buffer" -> Fluid.Params.with_buffer base v
+  | "n" | "flows" -> Fluid.Params.with_flows base (int_of_float v)
+  | "w" -> Fluid.Params.with_sampling ~w:v base
+  | "pm" -> Fluid.Params.with_sampling ~pm:v base
+  | "capacity" | "c" -> Fluid.Params.with_capacity base v
+  | other -> invalid_arg ("unknown parameter: " ^ other)
+
+let axis_of_name ~flap_period ~flap_duty = function
+  | "bcn-loss" | "bcn_loss" -> Faultnet.Resilience.Bcn_loss
+  | "pause-loss" | "pause_loss" -> Faultnet.Resilience.Pause_loss
+  | "flap-depth" | "flap_depth" ->
+      Faultnet.Resilience.Flap_depth { period = flap_period; duty = flap_duty }
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown axis %S (expected bcn-loss | pause-loss | flap-depth)"
+           other)
+
+let sweep_header param =
+  [
+    param; "case"; "required_B"; "criterion_ok"; "numeric_max_q";
+    "numeric_min_q"; "strongly_stable"; "oscillations"; "decay_per_cycle";
+  ]
+
+let sweep_value ~lo ~hi ~steps ~log_scale i =
+  let f = float_of_int i /. float_of_int (steps - 1) in
+  if log_scale then lo *. ((hi /. lo) ** f) else lo +. ((hi -. lo) *. f)
+
+let sweep_row v p =
+  let verdict = Fluid.Stability.analyze p in
+  let t = Fluid.Transient.measure p in
+  [
+    Printf.sprintf "%g" v;
+    Format.asprintf "%a" Fluid.Cases.pp_case verdict.Fluid.Stability.case;
+    Printf.sprintf "%g" (Fluid.Criterion.required_buffer p);
+    string_of_bool (Fluid.Criterion.satisfied p);
+    Printf.sprintf "%g"
+      (verdict.Fluid.Stability.numeric_max +. p.Fluid.Params.q0);
+    Printf.sprintf "%g"
+      (verdict.Fluid.Stability.numeric_min +. p.Fluid.Params.q0);
+    string_of_bool verdict.Fluid.Stability.strongly_stable;
+    string_of_int t.Fluid.Transient.oscillations;
+    (match t.Fluid.Transient.decay_per_cycle with
+    | Some d -> Printf.sprintf "%.6f" d
+    | None -> "");
+  ]
+
+(* one cache entry per grid point, keyed by the full resolved parameter
+   set plus the raw sweep coordinate — the exact material bcn_sweep has
+   always used, so CLI-warmed rows answer daemon sweeps and back *)
+let sweep_row_material ~param p v =
+  "bcn_sweep.row@v1\nparam=" ^ param ^ "\n"
+  ^ Simnet.Scenario.encode_params p
+  ^ "\n"
+  ^ Telemetry.Json.float_full v
+
+(* ---------- canonical request material ---------- *)
+
+let ff = Telemetry.Json.float_full
+
+let material = function
+  | Run s -> "serve.run@v1\n" ^ Simnet.Scenario.encode s
+  | Sweep { param; lo; hi; steps; log_scale; buffer } ->
+      Printf.sprintf "serve.sweep@v1\nparam=%s\nlo=%s\nhi=%s\nsteps=%d\nlog=%b\nbuffer=%s"
+        param (ff lo) (ff hi) steps log_scale (ff buffer)
+  | Margin { axes; flap_period; flap_duty; t_end; transient; iters; seed } ->
+      Printf.sprintf
+        "serve.margin@v1\naxes=%s\nflap=%s:%s\nt_end=%s\ntransient=%s\niters=%s\nseed=%d"
+        (String.concat "," axes)
+        (ff flap_period) (ff flap_duty) (ff t_end)
+        (match transient with Some t -> ff t | None -> "default")
+        (match iters with Some i -> string_of_int i | None -> "default")
+        seed
+  | Region { param; lo; hi; param2; lo2; hi2; buffer; coarse; levels } ->
+      Printf.sprintf
+        "serve.region@v1\nparam=%s\nlo=%s\nhi=%s\nparam2=%s\nlo2=%s\nhi2=%s\nbuffer=%s\ncoarse=%d\nlevels=%d"
+        param (ff lo) (ff hi) param2 (ff lo2) (ff hi2) (ff buffer) coarse
+        levels
+
+(* ---------- execution ---------- *)
+
+let execute ?cache req =
+  match req with
+  | Run s ->
+      let outcome = Store.Sweep.memo_run ?cache ~jobs:1 s in
+      let seeds =
+        Array.init s.Simnet.Scenario.replicas (fun i ->
+            s.Simnet.Scenario.seed + i)
+      in
+      Render.outcome ~seeds outcome
+  | Sweep { param; lo; hi; steps; log_scale; buffer } ->
+      if steps < 2 then invalid_arg "sweep needs at least 2 steps";
+      let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
+      let rows =
+        List.init steps (fun i ->
+            let v = sweep_value ~lo ~hi ~steps ~log_scale i in
+            let p = apply_param base param v in
+            match cache with
+            | None -> sweep_row v p
+            | Some c ->
+                Store.Cache.memo c
+                  (Store.Key.of_material (sweep_row_material ~param p v))
+                  (fun () -> sweep_row v p))
+      in
+      Report.Csv.to_string ~header:(sweep_header param) ~rows
+  | Margin { axes; flap_period; flap_duty; t_end; transient; iters; seed } ->
+      let axes = List.map (axis_of_name ~flap_period ~flap_duty) axes in
+      if axes = [] then invalid_arg "margin needs at least one axis";
+      let memo = Option.map Store.Sweep.resilience_memo cache in
+      let scenarios = Faultnet.Resilience.paper_cases ~t_end ?transient () in
+      Faultnet.Resilience.to_csv
+        (Faultnet.Resilience.sweep ~jobs:1 ?iters ?memo ~seed scenarios axes)
+  | Region { param; lo; hi; param2; lo2; hi2; buffer; coarse; levels } ->
+      let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
+      let apply2 ~x ~y = apply_param (apply_param base param x) param2 y in
+      let store = Option.map Store.Sweep.verdict_memo cache in
+      let dom = { Refine.Engine.x0 = lo; x1 = hi; y0 = lo2; y1 = hi2 } in
+      let t =
+        Refine.Param_plane.trace ~jobs:1 ?store ~coarse:(coarse, coarse)
+          ~levels apply2 dom
+      in
+      Refine.Engine.segments_csv t

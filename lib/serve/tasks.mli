@@ -1,0 +1,93 @@
+(** Computable serve requests: what the daemon runs, keyed and executed.
+
+    A {!request} is pure data describing one deliverable payload — a
+    scenario run report, a 1-D sweep CSV, a resilience-margin CSV, or a
+    traced region-boundary CSV. {!material} gives each request a
+    canonical key-material string (equal material ⇔ equal request), and
+    {!execute} computes the payload {e bytes} the matching CLI tool
+    would print or write — the CLIs call the same functions, so the
+    byte-identity between daemon responses and CLI output is by
+    construction, not by convention.
+
+    [execute] runs sequentially ([jobs = 1] everywhere inside): requests
+    are the daemon's unit of parallelism, one pool lane per request, so
+    nesting pools inside would oversubscribe without changing any bytes
+    (every code path here is jobs-independent by the repo's determinism
+    convention). *)
+
+type request =
+  | Run of Simnet.Scenario.t
+      (** [bcn_sim]: the scenario's report text ({!Render.outcome}). *)
+  | Sweep of {
+      param : string;
+      lo : float;
+      hi : float;
+      steps : int;
+      log_scale : bool;
+      buffer : float;
+    }  (** [bcn_sweep --csv]: the stability/transient table as CSV. *)
+  | Margin of {
+      axes : string list;
+      flap_period : float;
+      flap_duty : float;
+      t_end : float;
+      transient : float option;
+      iters : int option;
+      seed : int;
+    }  (** [bcn_faults sweep --csv]: the margin table as CSV. *)
+  | Region of {
+      param : string;
+      lo : float;
+      hi : float;
+      param2 : string;
+      lo2 : float;
+      hi2 : float;
+      buffer : float;
+      coarse : int;
+      levels : int;
+    }  (** [bcn_sweep --param2 --csv]: the boundary polyline as CSV. *)
+
+val describe : request -> string
+(** Short human label ("run", "sweep gi", ...) for logs and progress. *)
+
+val material : request -> string
+(** Canonical, versioned key material for the {e payload} entry. Hash
+    with [Store.Key.of_material] to address the rendered bytes; inner
+    computation steps (scenario points, sweep rows, resilience probes)
+    keep their own finer-grained entries underneath. *)
+
+val execute : ?cache:Store.Cache.t -> request -> string
+(** Compute the payload bytes. With [?cache], inner steps memoize
+    through it exactly as the CLIs do with [--store] (same key
+    materials), so a payload interrupted mid-computation resumes from
+    its completed points. Raises [Invalid_argument] on malformed
+    requests (unknown parameter or axis names, bad ranges). *)
+
+(** {1 Shared CLI vocabulary}
+
+    The pieces [bcn_sweep] / [bcn_faults] and this module must agree on
+    — one definition each, so the daemon cannot drift from the tools. *)
+
+val apply_param : Fluid.Params.t -> string -> float -> Fluid.Params.t
+(** Apply one named sweep parameter: gi | gd | ru | q0 | buffer |
+    n/flows | w | pm | capacity/c. Raises [Invalid_argument] on unknown
+    names. *)
+
+val axis_of_name :
+  flap_period:float -> flap_duty:float -> string -> Faultnet.Resilience.axis
+(** bcn-loss | pause-loss | flap-depth (dash or underscore spelling). *)
+
+val sweep_header : string -> string list
+(** The 1-D sweep table header for a given parameter name. *)
+
+val sweep_value :
+  lo:float -> hi:float -> steps:int -> log_scale:bool -> int -> float
+(** Grid point [i] of the sweep (linear or geometric spacing). *)
+
+val sweep_row : float -> Fluid.Params.t -> string list
+(** One computed table row: stability verdict, criterion, numeric
+    extrema, transient metrics. *)
+
+val sweep_row_material : param:string -> Fluid.Params.t -> float -> string
+(** Per-row store key material (identical to [bcn_sweep]'s, so CLI and
+    daemon share warm rows). *)

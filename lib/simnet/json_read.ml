@@ -1,0 +1,204 @@
+type t =
+  | Null
+  | Jbool of bool
+  | Num of float
+  | Jstr of string
+  | Jarr of t list
+  | Jobj of (string * t) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse (src : string) : t =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> bad "expected %c at byte %d, found %c" c !pos c'
+    | None -> bad "expected %c at byte %d, found end of input" c !pos
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub src !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else bad "bad literal at byte %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char b '"'; loop ()
+          | Some '\\' -> advance (); Buffer.add_char b '\\'; loop ()
+          | Some '/' -> advance (); Buffer.add_char b '/'; loop ()
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; loop ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; loop ()
+          | Some 'r' -> advance (); Buffer.add_char b '\r'; loop ()
+          | Some 'b' -> advance (); Buffer.add_char b '\b'; loop ()
+          | Some 'f' -> advance (); Buffer.add_char b '\012'; loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then bad "truncated \\u escape";
+              let hex = String.sub src !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> bad "bad \\u escape %s" hex
+              in
+              if code > 0xff then bad "\\u escape beyond latin-1 unsupported";
+              Buffer.add_char b (Char.chr code);
+              loop ()
+          | _ -> bad "bad escape at byte %d" !pos)
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    let lexeme = String.sub src start (!pos - start) in
+    match float_of_string_opt lexeme with
+    | Some f -> Num f
+    | None -> bad "bad number %S at byte %d" lexeme start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            if List.mem_assoc k !fields then bad "duplicate field %S" k;
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> bad "expected , or } at byte %d" !pos
+          in
+          members ();
+          Jobj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> bad "expected , or ] at byte %d" !pos
+          in
+          elements ();
+          Jarr (List.rev !items)
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> bad "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing bytes after JSON value at byte %d" !pos;
+  v
+
+(* -- typed field access ------------------------------------------------ *)
+
+let as_obj what = function
+  | Jobj fields -> fields
+  | _ -> bad "%s: expected an object" what
+
+let check_known what allowed fields =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then bad "%s: unknown field %S" what k)
+    fields
+
+let field fields k = List.assoc_opt k fields
+
+let get_float what fields k =
+  match field fields k with
+  | Some (Num f) -> f
+  | Some _ -> bad "%s.%s: expected a number" what k
+  | None -> bad "%s: missing field %S" what k
+
+let get_float_opt what fields k ~default =
+  match field fields k with
+  | Some (Num f) -> f
+  | Some _ -> bad "%s.%s: expected a number" what k
+  | None -> default
+
+let get_int what fields k =
+  let f = get_float what fields k in
+  if Float.is_integer f && Float.abs f <= 1e15 then int_of_float f
+  else bad "%s.%s: expected an integer" what k
+
+let get_int_opt what fields k ~default =
+  match field fields k with Some _ -> get_int what fields k | None -> default
+
+let get_bool_opt what fields k ~default =
+  match field fields k with
+  | Some (Jbool b) -> b
+  | Some _ -> bad "%s.%s: expected a boolean" what k
+  | None -> default
+
+let get_str what fields k =
+  match field fields k with
+  | Some (Jstr s) -> s
+  | Some _ -> bad "%s.%s: expected a string" what k
+  | None -> bad "%s: missing field %S" what k
+
+let get_str_opt what fields k ~default =
+  match field fields k with
+  | Some (Jstr s) -> s
+  | Some _ -> bad "%s.%s: expected a string" what k
+  | None -> default

@@ -1,0 +1,59 @@
+(** A minimal JSON reader for the canonical wire subset.
+
+    This is the parsing half of the repo's hand-rolled JSON story: the
+    {!Telemetry.Json} fragment emitters write, this module reads. It
+    covers exactly the subset those emitters produce — objects, arrays,
+    strings with latin-1 [\u] escapes, doubles, booleans, null — and is
+    strict where the canonical codecs need it to be: duplicate object
+    fields and trailing bytes are errors.
+
+    Grown out of the private reader inside [Scenario]; factored out so
+    the serve-protocol codec ({!Serve.Protocol}) and the scenario codec
+    parse requests with the same machinery and the same error style. *)
+
+type t =
+  | Null
+  | Jbool of bool
+  | Num of float
+  | Jstr of string
+  | Jarr of t list
+  | Jobj of (string * t) list
+
+exception Bad of string
+(** Every parse or shape error raises [Bad msg]. The typed accessors
+    below raise it too, so one [try ... with Bad msg] wraps a whole
+    decoder. *)
+
+val bad : ('a, unit, string, 'b) format4 -> 'a
+(** [bad fmt ...] raises {!Bad} with a formatted message — for decoders
+    layered on top of this reader. *)
+
+val parse : string -> t
+(** Parse one complete JSON value; raises {!Bad} on syntax errors,
+    duplicate fields, or trailing bytes. *)
+
+(** {1 Typed field access}
+
+    All take a [what] context string used in error messages
+    (e.g. ["params"] producing ["params.gi: expected a number"]). *)
+
+val as_obj : string -> t -> (string * t) list
+val check_known : string -> string list -> (string * t) list -> unit
+(** Reject fields outside the allowed set — canonical codecs treat
+    unknown fields as errors rather than silently ignoring them. *)
+
+val field : (string * t) list -> string -> t option
+val get_float : string -> (string * t) list -> string -> float
+val get_float_opt :
+  string -> (string * t) list -> string -> default:float -> float
+
+val get_int : string -> (string * t) list -> string -> int
+(** A [Num] that is integral and within [1e15] in magnitude. *)
+
+val get_int_opt : string -> (string * t) list -> string -> default:int -> int
+val get_bool_opt :
+  string -> (string * t) list -> string -> default:bool -> bool
+
+val get_str : string -> (string * t) list -> string -> string
+val get_str_opt :
+  string -> (string * t) list -> string -> default:string -> string

@@ -172,6 +172,10 @@ val decode : string -> (t, string) result
     elided, unknown fields are an error. The result is validated.
     [decode (encode s) = Ok s]. *)
 
+val of_json : Json_read.t -> (t, string) result
+(** {!decode} from an already-parsed {!Json_read.t} — for protocols
+    that embed a scenario object inside a larger request document. *)
+
 val decode_exn : string -> t
 (** Raises [Invalid_argument] where {!decode} returns [Error]. *)
 

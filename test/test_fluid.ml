@@ -50,7 +50,15 @@ let test_params_updates () =
   let p = Fluid.Params.with_gains ~gi:2. default in
   check_rel "a halves" 8e8 (Fluid.Params.a p);
   let p = Fluid.Params.with_flows default 100 in
-  check_rel "a doubles" 3.2e9 (Fluid.Params.a p)
+  check_rel "a doubles" 3.2e9 (Fluid.Params.a p);
+  (* capacity axis of the (N, C) plane: k = w/(pm C) and everything
+     derived from it must follow the new capacity *)
+  let p = Fluid.Params.with_capacity default 20e9 in
+  check_rel "capacity" 20e9 p.Fluid.Params.capacity;
+  check_rel "k halves" 1e-8 (Fluid.Params.k p);
+  check_rel "equilibrium rate" 4e8 (Fluid.Params.equilibrium_rate p);
+  check_rel "a_threshold quadruples" 4e16 (Fluid.Params.a_threshold p);
+  check_rel "b_threshold doubles" 2e6 (Fluid.Params.b_threshold p)
 
 (* ---------------- Model ---------------- *)
 

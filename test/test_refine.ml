@@ -345,6 +345,48 @@ let test_resilience_scan () =
   let s' = Faultnet.Resilience.scan ~n:8 ~seed:11 sc ax in
   marshal_eq "scan is deterministic" s s'
 
+(* ---------------- saddle disambiguation (codes 5/10) ---------------- *)
+
+let edge_of (x, y) =
+  if y = 0. then `S
+  else if y = 1. then `N
+  else if x = 0. then `W
+  else if x = 1. then `E
+  else Alcotest.fail "crossing point not on a cell edge"
+
+let seg_edges (s : Engine.segment) =
+  (edge_of (s.Engine.ax, s.Engine.ay), edge_of (s.Engine.bx, s.Engine.by))
+
+(* |x - y| < 0.3 is a connected diagonal band through the unit cell:
+   corners SW and NE true, SE and NW false — the ambiguous marching
+   squares code 5. The center probe is true, so the trace must cut off
+   the two false corners (segments S-E and W-N). A fixed diagonal
+   choice would draw W-S and E-N here: two separated true lobes, the
+   wrong topology. *)
+let test_saddle_band () =
+  let f = Array.map (fun (x, y) -> Float.abs (x -. y) < 0.3) in
+  let t = Engine.refine ~coarse:(1, 1) ~levels:0 unit_dom f in
+  Alcotest.(check int)
+    "one boundary cell" 1
+    (Array.length t.Engine.boundary_cells);
+  Alcotest.(check int) "two segments" 2 (Array.length t.Engine.segments);
+  let edges = Array.to_list (Array.map seg_edges t.Engine.segments) in
+  Alcotest.(check bool)
+    "band topology: S-E and W-N" true
+    (List.mem (`S, `E) edges && List.mem (`W, `N) edges)
+
+(* x + y < 0.5 or x + y > 1.5: the same corner code 5, but the center
+   is false — two separated true lobes at SW and NE, which the trace
+   must keep separated (segments W-S and E-N). *)
+let test_saddle_lobes () =
+  let f = Array.map (fun (x, y) -> x +. y < 0.5 || x +. y > 1.5) in
+  let t = Engine.refine ~coarse:(1, 1) ~levels:0 unit_dom f in
+  Alcotest.(check int) "two segments" 2 (Array.length t.Engine.segments);
+  let edges = Array.to_list (Array.map seg_edges t.Engine.segments) in
+  Alcotest.(check bool)
+    "lobe topology: W-S and E-N" true
+    (List.mem (`W, `S) edges && List.mem (`E, `N) edges)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -377,5 +419,9 @@ let () =
           Alcotest.test_case "render labels true extent" `Quick
             test_render_header;
           Alcotest.test_case "resilience dense scan" `Quick test_resilience_scan;
+          Alcotest.test_case "saddle: connected band (code 5)" `Quick
+            test_saddle_band;
+          Alcotest.test_case "saddle: separated lobes (code 5)" `Quick
+            test_saddle_lobes;
         ] );
     ]
