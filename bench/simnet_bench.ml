@@ -455,10 +455,204 @@ let margin_rows () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Object index: O(1) accounting vs the directory walk                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The index's whole point is replacing per-key filesystem traffic on
+   large stores. Populate one with [index_entries] objects, then time
+   the two implementations of the same two questions: how many objects
+   (directory walk vs journal replay + O(1) read) and how far along is
+   a sweep (one stat per point vs one membership probe per point). *)
+let index_entries = 20_000
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let index_rows () =
+  let dir = Filename.temp_dir "dcecc-bench-index" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let cache = Store.Cache.open_ ~dir in
+      let points =
+        Array.init index_entries (fun i ->
+            Store.Key.of_material (Printf.sprintf "bench-index-%d" i))
+      in
+      Array.iter (fun k -> Store.Cache.put cache k "x") points;
+      let m = Store.Manifest.create ~points in
+      let walk_s = best_of 3 (fun () -> Store.Cache.entries cache) in
+      let index_s = best_of 3 (fun () -> Store.Cache.objects cache) in
+      let stat_s = best_of 3 (fun () -> Store.Manifest.progress cache m) in
+      let probe_s =
+        best_of 3 (fun () -> Store.Manifest.progress_of_index cache m)
+      in
+      if Store.Cache.objects cache <> Store.Cache.entries cache then
+        failwith "index bench: index disagrees with the directory walk";
+      if
+        Store.Manifest.progress_of_index cache m
+        <> Store.Manifest.progress cache m
+      then failwith "index bench: index progress disagrees with stat progress";
+      [
+        {
+          name = "index_count_vs_walk";
+          metrics =
+            [
+              ("objects", float_of_int index_entries);
+              ("walk_s", walk_s);
+              ("index_s", index_s);
+              ("walk_over_index", walk_s /. index_s);
+            ];
+        };
+        {
+          name = "index_progress_vs_stat";
+          metrics =
+            [
+              ("points", float_of_int index_entries);
+              ("stat_s", stat_s);
+              ("index_s", probe_s);
+              ("stat_over_index", stat_s /. probe_s);
+            ];
+        };
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Fabric: multi-process sweep with a mid-flight worker kill           *)
+(* ------------------------------------------------------------------ *)
+
+(* A 10^4-point cold sweep, run once through the plain single-process
+   Store.Sweep path and once across two forked fabric workers — one of
+   which is SIGKILLed mid-flight and replaced, so the run also pays one
+   lease-TTL stall and the stolen range's duplicated work. The merged
+   CSV and JSON must equal the single-process bytes exactly; the rows
+   record the wall-clock ratio. Scenario points are deliberately tiny
+   (~30 us of simulation each) so the bench measures fabric overhead,
+   the store and the steal path, not the integrator. *)
+let fabric_points = 10_000
+
+let fabric_ttl = 0.5
+let fabric_chunk = 64
+
+(* per-point horizon picked so simulation, not store I/O, dominates:
+   ~0.3 ms of packet work per point against ~0.15 ms of store write *)
+let fabric_spec () =
+  Fabric.Spec.Seeds
+    {
+      base =
+        Simnet.Scenario.bcn ~t_end:2e-3 ~sample_dt:1e-3
+          ~sampling:Simnet.Scenario.Bernoulli
+          (Fluid.Params.with_flows Fluid.Params.default 4);
+      first_seed = 0;
+      count = fabric_points;
+    }
+
+let with_tmp_store f =
+  let dir = Filename.temp_dir "dcecc-bench-fabric" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let spawn_fabric_worker ~dir ~worker spec =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         let c = Store.Cache.open_ ~dir in
+         ignore
+           (Fabric.Worker.run ~chunk:fabric_chunk ~ttl:fabric_ttl ~poll:0.02
+              ~worker c spec);
+         Unix._exit 0
+       with e ->
+         Printf.eprintf "fabric bench worker %s died: %s\n%!" worker
+           (Printexc.to_string e);
+         Unix._exit 1)
+  | pid -> pid
+
+let fabric_rows () =
+  let spec = fabric_spec () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* multi-process first: the workers fork while this process's heap
+     is still pristine. Forking after the single-process measurement
+     hands every child a copy-on-write image of the 10^4-outcome heap,
+     and the children's own GC work against those inherited pages was
+     measured to cost more than the sweep itself. *)
+  let (merged_csv, merged_json, stored), multi_s =
+    with_tmp_store (fun dir ->
+        let r, dt =
+          timed (fun () ->
+              let a = spawn_fabric_worker ~dir ~worker:"bench-a" spec in
+              let b = spawn_fabric_worker ~dir ~worker:"bench-b" spec in
+              (* kill one worker mid-flight (the sweep takes ~4 s);
+                 its unreleased lease must expire before a peer can
+                 steal the range *)
+              Unix.sleepf 1.0;
+              Unix.kill a Sys.sigkill;
+              ignore (Unix.waitpid [] a);
+              let c = spawn_fabric_worker ~dir ~worker:"bench-c" spec in
+              ignore (Unix.waitpid [] b);
+              ignore (Unix.waitpid [] c))
+        in
+        ignore (r : unit);
+        let cache = Store.Cache.open_ ~dir in
+        let p = Fabric.Worker.progress ~chunk:fabric_chunk cache spec in
+        ( ( Fabric.Merge.csv cache spec,
+            Fabric.Merge.json cache spec,
+            p.Fabric.Worker.stored ),
+          dt ))
+  in
+  let (single_csv, single_json), single_s =
+    with_tmp_store (fun dir ->
+        let cache = Store.Cache.open_ ~dir in
+        timed (fun () ->
+            let outs =
+              Store.Sweep.sweep ~cache ~jobs:1 (Fabric.Spec.scenarios spec)
+            in
+            (Fabric.Merge.csv_of spec outs, Fabric.Merge.json_of spec outs)))
+  in
+  if merged_csv <> single_csv || merged_json <> single_json then
+    failwith "fabric bench: merged bytes differ from the single-process sweep";
+  if stored <> fabric_points then
+    failwith "fabric bench: points lost across the worker kill";
+  [
+    {
+      name = "fabric_sweep_1proc";
+      metrics =
+        [ ("points", float_of_int fabric_points); ("seconds", single_s) ];
+    };
+    {
+      name = "fabric_sweep_2proc_kill1";
+      metrics =
+        [
+          ("seconds", multi_s);
+          (* read against [cores]: two workers on one core time-slice,
+             so the ideal there is 1.0 minus the kill's lease-TTL
+             stall and the stolen range's duplicated work; with two or
+             more cores the sweep halves *)
+          ("speedup_vs_1proc", single_s /. multi_s);
+          ("cores", float_of_int (Domain.recommended_domain_count ()));
+          ("lease_ttl_s", fabric_ttl);
+          ("byte_identical", 1.);
+        ];
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let rows ~min_time ~t_end () =
+  (* first, before anything below touches a domain pool: these fork *)
+  let fabric = fabric_rows () in
   let eng_eps, eng_words =
     measure_events ~min_time (pooled_fanin ~frames:200_000)
   in
@@ -543,7 +737,7 @@ let rows ~min_time ~t_end () =
         ];
     };
   ]
-  @ margin_rows ()
+  @ margin_rows () @ index_rows () @ fabric
 
 let print rows =
   Printf.printf "################ packet engine throughput ################\n";

@@ -84,6 +84,38 @@ let region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
   Cli_common.report_store store_spec cache;
   0
 
+(* Route region mode through a running bcn_serve daemon instead of
+   tracing locally: the payload is byte-identical (daemon and CLI call
+   the same Refine.Param_plane.trace with the same verdict-memo key
+   material), and a daemon whose store was warmed by earlier CLI traces
+   answers without evaluating a single verdict. *)
+let region_via_daemon ~socket ~param ~lo ~hi ~param2 ~lo2 ~hi2 ~buffer ~coarse
+    ~levels csv =
+  let c = Serve.Client.connect ~path:socket () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      match
+        Serve.Client.request c ~id:1
+          (Serve.Tasks.Region
+             { param; lo; hi; param2; lo2; hi2; buffer; coarse; levels })
+      with
+      | Serve.Protocol.Result { payload; warm; _ } ->
+          (match csv with
+          | Some path ->
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc payload);
+              Printf.printf "wrote %s (%s)\n" path
+                (if warm then "warm" else "cold")
+          | None -> print_string payload);
+          0
+      | Serve.Protocol.Error { message; _ } ->
+          Printf.eprintf "error: %s\n" message;
+          1
+      | _ ->
+          Printf.eprintf "error: unexpected response\n";
+          1)
+
 (* --preset names a curated 2-D plane; "nc" is the paper's (N, C)
    operating plane — flow count against link capacity — traced in
    region mode at the paper's BDP buffer (5 Mbit, where the
@@ -109,23 +141,31 @@ let resolve_preset preset param lo hi buffer param2 range2 =
   | Some other -> invalid_arg ("unknown preset: " ^ other)
 
 let run preset param lo hi steps log_scale buffer param2 range2 coarse levels
-    dense csv json jobs store_spec =
+    dense csv json jobs store_spec serve_socket =
   let param, lo, hi, buffer, param2, range2 =
     resolve_preset preset param lo hi buffer param2 range2
   in
   if steps < 2 then invalid_arg "need at least 2 steps";
   let base = Fluid.Params.with_buffer Fluid.Params.default buffer in
-  let cache = Cli_common.open_store store_spec in
   match param2 with
-  | Some param2 ->
+  | Some param2 -> (
       let lo2, hi2 =
         match range2 with
         | Some r -> r
         | None -> invalid_arg "--param2 requires --range2 LO:HI"
       in
-      region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs csv
-        store_spec cache
+      match serve_socket with
+      | Some socket ->
+          region_via_daemon ~socket ~param ~lo ~hi ~param2 ~lo2 ~hi2 ~buffer
+            ~coarse ~levels csv
+      | None ->
+          let cache = Cli_common.open_store store_spec in
+          region_run base param lo hi param2 lo2 hi2 coarse levels dense jobs
+            csv store_spec cache)
   | None ->
+  if serve_socket <> None then
+    invalid_arg "--serve applies to region mode (--param2) only";
+  let cache = Cli_common.open_store store_spec in
   let header = Serve.Tasks.sweep_header param in
   let row i =
     let v = Serve.Tasks.sweep_value ~lo ~hi ~steps ~log_scale i in
@@ -252,10 +292,22 @@ let cmd =
             "Region mode: also evaluate the dense corner lattice at the \
              matching resolution and print the savings ratio.")
   in
+  let serve =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve" ] ~docv:"SOCKET"
+          ~doc:
+            "Region mode: send the trace to the $(b,bcn_serve) daemon on \
+             $(docv) instead of computing locally. The payload is \
+             byte-identical to the local trace, and a daemon with a \
+             store warmed by earlier traces answers without evaluating \
+             a single verdict.")
+  in
   let doc = "Sweep one BCN parameter; stability and transient metrics per value." in
   Cmd.v (Cmd.info "bcn_sweep" ~doc)
     (const run $ preset $ param $ lo $ hi $ steps $ log_scale $ buffer $ param2
    $ range2 $ coarse $ levels $ dense $ csv $ json $ Cli_common.jobs_term
-   $ Cli_common.store_term)
+   $ Cli_common.store_term $ serve)
 
 let () = exit (Cmd.eval' cmd)

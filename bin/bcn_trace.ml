@@ -48,7 +48,8 @@ let queue_of (ev : Telemetry.Event.t) =
       Some ev.a
   | Bcn_positive | Bcn_negative -> Some ev.b
   | Rate_update | Ode_step | Ode_reject | Fault_drop | Fault_delay
-  | Fault_capacity | Fault_blackout ->
+  | Fault_capacity | Fault_blackout | Lease_claimed | Lease_stolen
+  | Lease_expired ->
       None
 
 (* ---------- summary ---------- *)

@@ -74,7 +74,8 @@ let report_store spec cache =
   | Some c when spec.stats ->
       let mx = Telemetry.Metrics.create () in
       Store.Cache.publish_metrics c mx;
-      Telemetry.Metrics.add mx "store.entries" (Store.Cache.entries c);
+      (* index-backed: --store-stats must stay O(1) on huge stores *)
+      Telemetry.Metrics.add mx "store.entries" (Store.Cache.objects c);
       Printf.printf "store %s: %s\n" (Store.Cache.root c)
         (Telemetry.Metrics.to_json_string mx)
   | _ -> ()

@@ -1,0 +1,156 @@
+(* Stateless merge: the sweep's output is a pure function of the store
+   contents in manifest order. No worker hands results to anyone — the
+   merge just reads the per-point entries back, so the bytes cannot
+   depend on worker count, join/leave order or steal history. Combined
+   with [Cache.memo]'s normalization (cold and warm returns are parses
+   of the same stored bytes), the merged document is byte-identical to
+   the single-process [Store.Sweep.sweep] path rendered through the
+   same functions. *)
+
+module J = Telemetry.Json
+
+type row = {
+  point : int;
+  seed : int;
+  model : string;
+  utilization : float;
+  drops : int;
+  messages : int;
+  fairness : float option;
+}
+
+let mean vs =
+  Array.fold_left ( +. ) 0. vs /. float_of_int (Array.length vs)
+
+let row_of ~point ~seed (outcome : Store.Sweep.outcome) =
+  match outcome with
+  | Store.Sweep.Bcn_results rs ->
+      let open Simnet.Runner in
+      {
+        point;
+        seed;
+        model = "bcn";
+        utilization = mean (Array.map (fun r -> r.utilization) rs);
+        drops = Array.fold_left (fun acc r -> acc + r.drops) 0 rs;
+        messages =
+          Array.fold_left
+            (fun acc r -> acc + r.bcn_positive + r.bcn_negative)
+            0 rs;
+        fairness = Some (mean (Array.map (fun r -> fairness r.final_rates) rs));
+      }
+  | Store.Sweep.E2cm_result r ->
+      {
+        point;
+        seed;
+        model = "e2cm";
+        utilization = r.Simnet.E2cm.utilization;
+        drops = r.Simnet.E2cm.drops;
+        messages = r.Simnet.E2cm.messages;
+        fairness = Some (Simnet.Runner.fairness r.Simnet.E2cm.final_rates);
+      }
+  | Store.Sweep.Fera_result r ->
+      {
+        point;
+        seed;
+        model = "fera";
+        utilization = r.Simnet.Fera.utilization;
+        drops = r.Simnet.Fera.drops;
+        messages = r.Simnet.Fera.advertisements;
+        fairness = Some (Simnet.Runner.fairness r.Simnet.Fera.final_rates);
+      }
+  | Store.Sweep.Multihop_result r ->
+      {
+        point;
+        seed;
+        model = "multihop";
+        utilization = r.Simnet.Multihop.utilization_b;
+        drops = r.Simnet.Multihop.drops_a + r.Simnet.Multihop.drops_b;
+        messages = r.Simnet.Multihop.bcn_messages;
+        fairness = None;
+      }
+
+let rows spec outcomes =
+  let scenarios = Spec.scenarios spec in
+  if Array.length outcomes <> Array.length scenarios then
+    invalid_arg "Fabric.Merge: outcome count does not match the spec";
+  Array.to_list
+    (Array.mapi
+       (fun i outcome ->
+         row_of ~point:i ~seed:scenarios.(i).Simnet.Scenario.seed outcome)
+       outcomes)
+
+let header =
+  [ "point"; "seed"; "model"; "utilization"; "drops"; "messages"; "fairness" ]
+
+(* %.17g floats: exact round-trips, and no risk that a future
+   float-printing shortcut renders two equal values differently *)
+let csv_of spec outcomes =
+  Report.Csv.to_string ~header
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.point;
+             string_of_int r.seed;
+             r.model;
+             J.float_full r.utilization;
+             string_of_int r.drops;
+             string_of_int r.messages;
+             (match r.fairness with Some f -> J.float_full f | None -> "");
+           ])
+         (rows spec outcomes))
+
+let json_of spec outcomes =
+  J.obj
+    [
+      ("fabric", J.int 1);
+      ("points", J.int (Array.length outcomes));
+      ( "rows",
+        J.arr
+          (List.map
+             (fun r ->
+               J.obj
+                 ([
+                    ("point", J.int r.point);
+                    ("seed", J.int r.seed);
+                    ("model", J.str r.model);
+                    ("utilization", J.float_full r.utilization);
+                    ("drops", J.int r.drops);
+                    ("messages", J.int r.messages);
+                  ]
+                 @
+                 match r.fairness with
+                 | Some f -> [ ("fairness", J.float_full f) ]
+                 | None -> []))
+             (rows spec outcomes)) );
+    ]
+  ^ "\n"
+
+let outcomes cache spec =
+  let keys = Spec.points spec in
+  let missing = ref 0 in
+  let out =
+    Array.map
+      (fun key ->
+        match
+          (Store.Cache.find_value cache key : Store.Sweep.outcome option)
+        with
+        | Some o -> Some o
+        | None ->
+            incr missing;
+            None)
+      keys
+  in
+  if !missing > 0 then Error !missing
+  else Ok (Array.map Option.get out)
+
+let assembled what cache spec =
+  match outcomes cache spec with
+  | Ok out -> out
+  | Error n ->
+      failwith
+        (Printf.sprintf "%s: %d of %d points missing from the store" what n
+           (Spec.size spec))
+
+let csv cache spec = csv_of spec (assembled "Fabric.Merge.csv" cache spec)
+let json cache spec = json_of spec (assembled "Fabric.Merge.json" cache spec)

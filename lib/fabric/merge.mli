@@ -1,0 +1,39 @@
+(** Stateless sweep assembly.
+
+    The merged document is a pure function of the store contents in
+    manifest order: no worker hands results to anyone, the merge reads
+    the per-point entries back. Bytes therefore cannot depend on
+    worker count, join/leave order or steal history — and because
+    {!Store.Cache.memo} normalizes returns through the stored bytes,
+    rendering a {!Store.Sweep.sweep} result array through {!csv_of}
+    equals a fabric run's {!csv} byte for byte. *)
+
+type row = {
+  point : int;  (** manifest index *)
+  seed : int;  (** scenario seed *)
+  model : string;  (** ["bcn"] / ["e2cm"] / ["fera"] / ["multihop"] *)
+  utilization : float;  (** replica mean for BCN *)
+  drops : int;  (** summed over replicas / both hops *)
+  messages : int;  (** BCN notifications / rate msgs / advertisements *)
+  fairness : float option;  (** [None] for multihop *)
+}
+
+val row_of : point:int -> seed:int -> Store.Sweep.outcome -> row
+
+val rows : Spec.t -> Store.Sweep.outcome array -> row list
+
+val csv_of : Spec.t -> Store.Sweep.outcome array -> string
+(** Render an in-memory outcome array (the single-process comparison
+    path). Floats in [%.17g]. *)
+
+val json_of : Spec.t -> Store.Sweep.outcome array -> string
+
+val outcomes :
+  Store.Cache.t -> Spec.t -> (Store.Sweep.outcome array, int) result
+(** Read every point back from the store, in manifest order;
+    [Error n] when [n] points are not stored yet. *)
+
+val csv : Store.Cache.t -> Spec.t -> string
+(** {!outcomes} rendered as CSV; raises [Failure] when incomplete. *)
+
+val json : Store.Cache.t -> Spec.t -> string

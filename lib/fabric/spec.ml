@@ -1,0 +1,120 @@
+module Scenario = Simnet.Scenario
+module J = Telemetry.Json
+
+type t =
+  | Explicit of Scenario.t array
+  | Seeds of { base : Scenario.t; first_seed : int; count : int }
+
+let validate = function
+  | Explicit scenarios ->
+      if Array.length scenarios = 0 then
+        invalid_arg "Fabric.Spec: empty scenario list";
+      Explicit (Array.map Scenario.validate scenarios)
+  | Seeds { base; first_seed; count } ->
+      if count < 1 then invalid_arg "Fabric.Spec: seed count must be >= 1";
+      Seeds { base = Scenario.validate base; first_seed; count }
+
+let scenarios = function
+  | Explicit scenarios -> Array.copy scenarios
+  | Seeds { base; first_seed; count } ->
+      Array.init count (fun i -> Scenario.with_seed base (first_seed + i))
+
+let size = function
+  | Explicit scenarios -> Array.length scenarios
+  | Seeds { count; _ } -> count
+
+let points spec = Array.map Store.Key.of_scenario (scenarios spec)
+let manifest spec = Store.Manifest.create ~points:(points spec)
+
+(* Lease ranges: contiguous [chunk]-sized slices of the manifest.
+   Purely a function of (total, chunk), so every worker — whatever its
+   own chunk default — derives the same slot table when launched with
+   the same spec and chunk. *)
+let ranges ~total ~chunk =
+  if chunk < 1 then invalid_arg "Fabric.Spec.ranges: chunk must be >= 1";
+  if total < 0 then invalid_arg "Fabric.Spec.ranges: negative total";
+  let n = (total + chunk - 1) / chunk in
+  Array.init n (fun k ->
+      let lo = k * chunk in
+      (lo, min (total - 1) (lo + chunk - 1)))
+
+(* ---------- canonical encoding ---------- *)
+
+let encode spec =
+  match validate spec with
+  | Explicit scenarios ->
+      J.obj
+        [
+          ("fabric", J.int 1);
+          ("kind", J.str "list");
+          ( "scenarios",
+            J.arr (Array.to_list (Array.map Scenario.encode scenarios)) );
+        ]
+  | Seeds { base; first_seed; count } ->
+      J.obj
+        [
+          ("fabric", J.int 1);
+          ("kind", J.str "seeds");
+          ("base", Scenario.encode base);
+          ("first_seed", J.int first_seed);
+          ("count", J.int count);
+        ]
+
+let of_json j =
+  let open Simnet.Json_read in
+  match
+    let what = "fabric spec" in
+    let o = as_obj what j in
+    (match get_int what o "fabric" with
+    | 1 -> ()
+    | v -> bad "%s.fabric: unsupported version %d" what v);
+    match get_str what o "kind" with
+    | "list" -> (
+        check_known what [ "fabric"; "kind"; "scenarios" ] o;
+        match field o "scenarios" with
+        | Some (Jarr items) ->
+            let scenarios =
+              List.map
+                (fun item ->
+                  match Scenario.of_json item with
+                  | Ok s -> s
+                  | Error msg -> bad "%s.scenarios: %s" what msg)
+                items
+            in
+            if scenarios = [] then bad "%s.scenarios: empty" what;
+            Explicit (Array.of_list scenarios)
+        | Some _ -> bad "%s.scenarios: expected an array" what
+        | None -> bad "%s.scenarios: missing" what)
+    | "seeds" -> (
+        check_known what [ "fabric"; "kind"; "base"; "first_seed"; "count" ] o;
+        match field o "base" with
+        | None -> bad "%s.base: missing" what
+        | Some b -> (
+            match Scenario.of_json b with
+            | Error msg -> bad "%s.base: %s" what msg
+            | Ok base ->
+                let count = get_int what o "count" in
+                if count < 1 then bad "%s.count: must be >= 1" what;
+                Seeds
+                  { base; first_seed = get_int what o "first_seed"; count }))
+    | other -> bad "%s.kind: unknown kind %S" what other
+  with
+  | spec -> Ok spec
+  | exception Bad msg -> Error msg
+
+let decode s =
+  let open Simnet.Json_read in
+  match parse s with
+  | j -> of_json j
+  | exception Bad msg -> Error msg
+
+let decode_exn s =
+  match decode s with Ok spec -> spec | Error msg -> invalid_arg msg
+
+let describe = function
+  | Explicit scenarios ->
+      Printf.sprintf "%d scenarios (%s, ...)" (Array.length scenarios)
+        (Scenario.describe scenarios.(0))
+  | Seeds { base; first_seed; count } ->
+      Printf.sprintf "%s, seeds %d..%d" (Scenario.describe base) first_seed
+        (first_seed + count - 1)

@@ -1,0 +1,51 @@
+(** Sweep specifications: the unit of work a fabric run distributes.
+
+    A spec is pure data with a canonical JSON encoding, so any worker
+    handed the same spec derives the same scenario array, the same
+    point keys, the same {!Store.Manifest} and the same lease range
+    table — which is the whole coordination story: workers never talk
+    to each other, they only agree on the spec. *)
+
+type t =
+  | Explicit of Simnet.Scenario.t array
+      (** the scenarios themselves, in sweep order *)
+  | Seeds of { base : Simnet.Scenario.t; first_seed : int; count : int }
+      (** [base] re-seeded with [first_seed + i] for [i < count] — the
+          compact form for replica studies, where shipping 10⁴ nearly
+          identical scenario encodings would be silly *)
+
+val validate : t -> t
+(** Returns the spec (scenarios validated) or raises
+    [Invalid_argument]: non-empty list, [count >= 1]. *)
+
+val scenarios : t -> Simnet.Scenario.t array
+(** Expand to the concrete scenario array, in sweep order. *)
+
+val size : t -> int
+(** Number of points without expanding. *)
+
+val points : t -> Store.Key.t array
+(** The per-point store keys, in sweep order. *)
+
+val manifest : t -> Store.Manifest.t
+(** The manifest every worker saves (idempotently) before working; its
+    [sweep_key] names the lease directory. *)
+
+val ranges : total:int -> chunk:int -> (int * int) array
+(** Contiguous lease ranges [(lo, hi)] (inclusive) covering
+    [0 .. total-1] in [chunk]-sized slices; slot [k] is the array
+    index. A pure function of its arguments, so all workers agree. *)
+
+(** {1 Canonical encoding} — single-line JSON,
+    [{"fabric": 1, "kind": "list" | "seeds", ...}], scenarios in their
+    own canonical encoding ({!Simnet.Scenario.encode}). *)
+
+val encode : t -> string
+(** Validates first; only valid specs have an encoding. *)
+
+val decode : string -> (t, string) result
+val decode_exn : string -> t
+val of_json : Simnet.Json_read.t -> (t, string) result
+
+val describe : t -> string
+(** One-line human label. *)

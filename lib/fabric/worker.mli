@@ -1,0 +1,52 @@
+(** The fabric worker: claim → execute → steal, until the sweep is
+    done.
+
+    A worker is any process (or in-process call) sharing the store with
+    its peers; all coordination goes through {!Store.Lease} claim files
+    and the content-addressed results themselves, so workers may join
+    or leave at any moment. [run] returns only when {e the sweep} is
+    complete — every range carries a done marker — stealing work from
+    any peer whose heartbeat expired along the way. Killing a worker
+    mid-range therefore costs at most one TTL of latency plus the
+    re-execution of the points its range had not yet stored. *)
+
+type report = {
+  worker : string;
+  ranges_claimed : int;  (** freshly claimed free ranges *)
+  ranges_stolen : int;  (** expired ranges taken over from peers *)
+  executed : int;  (** points this worker simulated *)
+  cached : int;  (** points already present when this worker got there *)
+}
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?ttl:float ->
+  ?poll:float ->
+  ?on_event:(Telemetry.Event.t -> unit) ->
+  worker:string ->
+  Store.Cache.t ->
+  Spec.t ->
+  report
+(** Work the spec to completion. [jobs] (default 1) parallelizes the
+    points of a claimed range over a {!Parallel.Pool}; [chunk]
+    (default 16) is the lease range size and must match across the
+    workers of one run (they derive the slot table from it); [ttl]
+    (default 30 s) is the heartbeat time-to-live — a lease whose beat
+    is older is stealable; [poll] (default 0.05 s) is the idle sleep
+    while waiting on peers. [on_event] receives
+    [Lease_claimed]/[Lease_stolen]/[Lease_expired] telemetry records
+    (wall-clock [t]). [worker] must be unique among live workers
+    (e.g. [host.pid]) — two live workers sharing an id would treat
+    each other's leases as their own. *)
+
+type progress = {
+  total : int;  (** manifest points *)
+  stored : int;  (** points present per the index (advisory) *)
+  ranges : int;  (** lease slots at this [chunk] *)
+  done_ranges : int;  (** slots carrying a done marker *)
+}
+
+val progress : ?chunk:int -> Store.Cache.t -> Spec.t -> progress
+(** Observer's view of a fabric run, index-backed (no per-point stat);
+    [chunk] must match the workers' for [ranges] to line up. *)

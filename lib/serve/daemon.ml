@@ -114,8 +114,10 @@ let run cfg =
             (match cache with
             | Some c ->
                 Store.Cache.publish_metrics c mx;
+                (* same metric name as ever, but index-backed now: a
+                   stats request must not walk a million-object tree *)
                 Telemetry.Metrics.add mx "store.entries"
-                  (Store.Cache.entries c)
+                  (Store.Cache.objects c)
             | None -> ());
             Telemetry.Metrics.add mx "serve.queue_depth"
               (Parallel.Pool.pending pool);

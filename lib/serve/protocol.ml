@@ -88,6 +88,21 @@ let parse_command o =
              coarse = get_int_opt what o "coarse" ~default:8;
              levels = get_int_opt what o "levels" ~default:3;
            })
+  | "batch" -> (
+      match field o "spec" with
+      | None -> bad "request.spec: missing"
+      | Some j -> (
+          check_known what [ "id"; "kind"; "spec"; "chunk"; "json" ] o;
+          match Fabric.Spec.of_json j with
+          | Ok spec ->
+              Compute
+                (Tasks.Batch
+                   {
+                     spec;
+                     chunk = get_int_opt what o "chunk" ~default:16;
+                     as_json = get_bool_opt what o "json" ~default:false;
+                   })
+          | Error msg -> bad "request.spec: %s" msg))
   | "stats" ->
       check_known what [ "id"; "kind" ] o;
       Stats
@@ -163,6 +178,14 @@ let encode_request ~id command =
             ("buffer", J.float_full buffer);
             ("coarse", J.int coarse);
             ("levels", J.int levels);
+          ]
+    | Compute (Tasks.Batch { spec; chunk; as_json }) ->
+        base
+        @ [
+            ("kind", J.str "batch");
+            ("spec", Fabric.Spec.encode spec);
+            ("chunk", J.int chunk);
+            ("json", J.bool as_json);
           ]
     | Stats -> base @ [ ("kind", J.str "stats") ]
     | Subscribe -> base @ [ ("kind", J.str "subscribe") ]

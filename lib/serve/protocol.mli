@@ -14,6 +14,8 @@
                "t_end": 0.02, "iters": 8, "seed": 0}
               {"id": 4, "kind": "region", "param": "gi", "from": ...,
                "to": ..., "param2": "gd", "from2": ..., "to2": ...}
+              {"id": 7, "kind": "batch", "spec": {"fabric": 1, ...},
+               "chunk": 16, "json": false}
               {"id": 5, "kind": "stats" | "subscribe" | "shutdown"}
               {"id": 6, "kind": "cancel", "target": 3}
     response: {"id": N, "event": "queued", "key": "<64 hex>"}

@@ -28,12 +28,14 @@ type request =
       coarse : int;
       levels : int;
     }
+  | Batch of { spec : Fabric.Spec.t; chunk : int; as_json : bool }
 
 let describe = function
   | Run s -> "run " ^ Simnet.Scenario.describe s
   | Sweep { param; _ } -> "sweep " ^ param
   | Margin { axes; _ } -> "margin " ^ String.concat "," axes
   | Region { param; param2; _ } -> Printf.sprintf "region %s x %s" param param2
+  | Batch { spec; _ } -> "batch " ^ Fabric.Spec.describe spec
 
 (* ---------- shared CLI vocabulary ---------- *)
 
@@ -121,8 +123,18 @@ let material = function
         "serve.region@v1\nparam=%s\nlo=%s\nhi=%s\nparam2=%s\nlo2=%s\nhi2=%s\nbuffer=%s\ncoarse=%d\nlevels=%d"
         param (ff lo) (ff hi) param2 (ff lo2) (ff hi2) (ff buffer) coarse
         levels
+  | Batch { spec; chunk = _; as_json } ->
+      (* chunk stays out of the material: it shapes the leases, never
+         the merged bytes, so any chunking answers any other *)
+      Printf.sprintf "serve.batch@v1\nformat=%s\n%s"
+        (if as_json then "json" else "csv")
+        (Fabric.Spec.encode spec)
 
 (* ---------- execution ---------- *)
+
+(* distinct fabric worker ids for concurrent Batch lanes in one daemon
+   process: ids must be unique among live workers *)
+let batch_seq = Atomic.make 0
 
 let execute ?cache req =
   match req with
@@ -165,3 +177,25 @@ let execute ?cache req =
           ~levels apply2 dom
       in
       Refine.Engine.segments_csv t
+  | Batch { spec; chunk; as_json } -> (
+      let render spec outcomes =
+        if as_json then Fabric.Merge.json_of spec outcomes
+        else Fabric.Merge.csv_of spec outcomes
+      in
+      match cache with
+      | None ->
+          (* no store: nothing to lease over — plain in-memory sweep,
+             same renderer, so the bytes still match a fabric run *)
+          render spec (Store.Sweep.sweep ~jobs:1 (Fabric.Spec.scenarios spec))
+      | Some c ->
+          (* the daemon is one more fabric worker: it claims leases like
+             any external process, so bcn_fabric workers launched
+             against the same store share the request mid-flight *)
+          ignore
+            (Fabric.Worker.run ~jobs:1 ~chunk
+               ~worker:
+                 (Printf.sprintf "serve.%d.%d" (Unix.getpid ())
+                    (Atomic.fetch_and_add batch_seq 1))
+               c spec);
+          if as_json then Fabric.Merge.json c spec else Fabric.Merge.csv c spec
+      )

@@ -46,6 +46,12 @@ type request =
       coarse : int;
       levels : int;
     }  (** [bcn_sweep --param2 --csv]: the boundary polyline as CSV. *)
+  | Batch of { spec : Fabric.Spec.t; chunk : int; as_json : bool }
+      (** [bcn_fabric merge]: a distributed sweep's merged table. With
+          a store the daemon works it as one more fabric worker —
+          external [bcn_fabric work] processes on the same store share
+          the leases mid-flight; [chunk] shapes those leases but never
+          the merged bytes (it stays out of {!material}). *)
 
 val describe : request -> string
 (** Short human label ("run", "sweep gi", ...) for logs and progress. *)

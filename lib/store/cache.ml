@@ -9,6 +9,8 @@ type t = {
   misses : int Atomic.t;
   put_count : int Atomic.t;
   evictions : int Atomic.t;
+  gc_collected : int Atomic.t;  (* objects collected by Gc.run via this handle *)
+  index : Index.t;
 }
 
 let rec mkdir_p dir =
@@ -62,6 +64,8 @@ let open_ ~dir =
     misses = Atomic.make 0;
     put_count = Atomic.make 0;
     evictions = Atomic.make 0;
+    gc_collected = Atomic.make 0;
+    index = Index.open_ ~root:dir;
   }
 
 let root c = c.root
@@ -89,10 +93,13 @@ let put c key payload =
   let tmp = tmp_path c key in
   write_file tmp (header ^ payload);
   Sys.rename tmp path;
+  Index.record_add c.index (Key.to_hex key)
+    (String.length header + String.length payload);
   Atomic.incr c.put_count
 
-let evict c path =
-  (try Sys.remove path with Sys_error _ -> ());
+let evict c key =
+  (try Sys.remove (entry_path c key) with Sys_error _ -> ());
+  Index.record_remove c.index (Key.to_hex key);
   Atomic.incr c.evictions
 
 (* header is "dcecc1 " (7) + 64 hex + "\n" = 72 bytes *)
@@ -112,7 +119,7 @@ let find c key =
       && raw.[header_len - 1] = '\n'
     in
     if not ok then begin
-      evict c path;
+      evict c key;
       Atomic.incr c.misses;
       None
     end
@@ -124,7 +131,7 @@ let find c key =
         Some payload
       end
       else begin
-        evict c path;
+        evict c key;
         Atomic.incr c.misses;
         None
       end
@@ -139,7 +146,7 @@ let find_value (type a) c key : a option =
       | exception _ ->
           (* hash-valid but undecodable: written by an incompatible
              runtime; treat as corruption *)
-          evict c (entry_path c key);
+          evict c key;
           (* the find above counted a hit for bytes we cannot use *)
           Atomic.decr c.hits;
           Atomic.incr c.misses;
@@ -178,12 +185,30 @@ let reset_stats c =
   Atomic.set c.put_count 0;
   Atomic.set c.evictions 0
 
+let index c = c.index
+let gc_collected c = Atomic.get c.gc_collected
+let add_gc_collected c n = ignore (Atomic.fetch_and_add c.gc_collected n)
+
+let objects c =
+  Index.refresh c.index;
+  Index.objects c.index
+
+let bytes c =
+  Index.refresh c.index;
+  Index.bytes c.index
+
 let publish_metrics c mx =
   let s = stats c in
   Telemetry.Metrics.add mx "store.hits" s.hits;
   Telemetry.Metrics.add mx "store.misses" s.misses;
   Telemetry.Metrics.add mx "store.puts" s.puts;
-  Telemetry.Metrics.add mx "store.evictions" s.evictions
+  Telemetry.Metrics.add mx "store.evictions" s.evictions;
+  Telemetry.Metrics.add mx "store.gc_collected" (gc_collected c);
+  (* size accounting through the index: O(records appended since the
+     last refresh), not a directory walk *)
+  Index.refresh c.index;
+  Telemetry.Metrics.add mx "store.objects" (Index.objects c.index);
+  Telemetry.Metrics.add mx "store.bytes" (Index.bytes c.index)
 
 let entries c =
   let objects = Filename.concat c.root "objects" in

@@ -5,6 +5,8 @@
     <root>/format              "dcecc-store v1\n" — refuses foreign dirs
     <root>/objects/ab/<key>    entry: header line + payload bytes
     <root>/manifests/<key>     sweep manifests (see {!Manifest})
+    <root>/leases/<key>/       fabric work leases (see {!Lease})
+    <root>/index.jnl           append-only object index (see {!Index})
     <root>/tmp/                in-flight writes, renamed into place
     v}
 
@@ -44,6 +46,11 @@ val put : t -> Key.t -> string -> unit
 val mem : t -> Key.t -> bool
 (** Entry file exists (no integrity check, no counter update). *)
 
+val evict : t -> Key.t -> unit
+(** Remove an entry (idempotent), keeping the index and the eviction
+    counter in lockstep. {!find} calls this on integrity failure; fsck
+    calls it on entries whose payload hash no longer matches. *)
+
 (** {1 Typed entries (Marshal)} *)
 
 val find_value : t -> Key.t -> 'a option
@@ -73,7 +80,29 @@ val reset_stats : t -> unit
 
 val publish_metrics : t -> Telemetry.Metrics.t -> unit
 (** Export the counters as [store.hits] / [store.misses] /
-    [store.puts] / [store.evictions]. *)
+    [store.puts] / [store.evictions] / [store.gc_collected], plus the
+    index-backed size accounting [store.objects] / [store.bytes]. *)
 
 val entries : t -> int
-(** Number of object entries on disk (directory walk). *)
+(** Number of object entries on disk — a directory walk, O(objects).
+    Kept as the slow oracle the index is benchmarked and fsck'd
+    against; use {!objects} on hot paths. *)
+
+(** {1 The object index} *)
+
+val index : t -> Index.t
+(** The store's on-disk index (opened with the cache; kept in lockstep
+    by [put] and evictions). Advisory — see {!Index}. *)
+
+val objects : t -> int
+(** Object count through the index: one {!Index.refresh} plus an O(1)
+    read, instead of {!entries}' directory walk. *)
+
+val bytes : t -> int
+(** Total on-disk entry bytes (headers + payloads) through the index. *)
+
+val gc_collected : t -> int
+(** Objects collected by {!Gc.run} through this handle. *)
+
+val add_gc_collected : t -> int -> unit
+(** Used by {!Gc.run} to account its sweep. *)

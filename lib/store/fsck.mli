@@ -1,0 +1,24 @@
+(** Parallel store verification.
+
+    Re-reads every object in the tree, re-hashes its payload against
+    the embedded SHA-256 header (the same check {!Cache.find} performs
+    on each read, done here for the whole store at once over a
+    {!Parallel.Pool}), evicts what fails, and reconciles the {!Index}
+    with what the walk found. *)
+
+type report = {
+  checked : int;  (** objects examined *)
+  ok : int;  (** passed the payload-hash check *)
+  corrupt : int;  (** header/hash mismatch *)
+  evicted : int;  (** corrupt entries removed (0 when [evict:false]) *)
+  missing_index : int;  (** sound objects the index did not list — added *)
+  stale_index : int;  (** index records with no object file — dropped *)
+}
+
+val run : ?jobs:int -> ?evict:bool -> Cache.t -> report
+(** Verify the whole store. [jobs] sizes the pool (default
+    {!Parallel.Pool.default_size}, i.e. [DCECC_JOBS] or the domain
+    count). [evict] (default [true]) removes corrupt entries; with
+    [evict:false] the report only counts them. Always repairs the
+    index and compacts its journal. A clean store reports
+    [corrupt = 0] and [stale_index = 0]. *)

@@ -1,0 +1,31 @@
+(** Generation-based garbage collection over the object tree.
+
+    Roots are the manifests: every point key of every well-formed
+    manifest is live, and manifests themselves are never collected.
+    Lease ranges are index intervals {e into} manifests, so the GC
+    liveness invariant — never collect an object referenced by a live
+    manifest or lease — reduces to the manifest root set alone.
+
+    Concurrent writers are protected by a {e generation guard}: any
+    object whose mtime is at or after the GC's start (widened by
+    [min_age]) is treated as live even when unrooted, covering the
+    window where a worker has stored points for a manifest the GC has
+    not seen. An object is collected only when unrooted {e and} older
+    than this generation. *)
+
+type report = {
+  scanned : int;  (** objects examined *)
+  live : int;  (** rooted, age-guarded, or unremovable *)
+  collected : int;  (** objects deleted (or would-be, under dry-run) *)
+  collected_bytes : int;  (** their on-disk size *)
+  tmp_removed : int;  (** stale in-flight temp files cleaned up *)
+}
+
+val run : ?dry_run:bool -> ?min_age:float -> Cache.t -> report
+(** Sweep unrooted objects. [dry_run] (default [false]) reports what
+    would be collected without deleting anything (and skips the tmp
+    sweep and index compaction). [min_age] (default [0.], seconds)
+    widens the generation guard — use a few seconds when other hosts
+    share the store over a network filesystem with clock skew. A real
+    run updates the index per deletion, adds to
+    {!Cache.gc_collected}, and finishes with an {!Index.compact}. *)

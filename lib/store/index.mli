@@ -1,0 +1,63 @@
+(** On-disk object index: O(1) key membership, object counts and byte
+    totals for a store with millions of entries.
+
+    The index is an append-only journal ([<root>/index.jnl]: one
+    [+ <hex> <size>] or [- <hex>] line per mutation) replayed into an
+    in-memory hash table. It is {e advisory}: reads that matter for
+    correctness ({!Cache.find}, the fabric's range-completion checks)
+    go to the object files themselves; the index only serves progress
+    reporting, size accounting, GC candidate enumeration and fsck
+    cross-checks, so it may run a {!refresh} behind writers in other
+    processes without harm.
+
+    Crash tolerance without locks: records are single short
+    [O_APPEND] writes (whole lines never interleave), a torn trailing
+    line is left unconsumed for the next {!refresh}, and a missing,
+    truncated or malformed journal is rebuilt from the object tree —
+    the one source of truth. *)
+
+type t
+
+val open_ : root:string -> t
+(** Load the journal under the store root, rebuilding it from the
+    object tree when absent or unreadable. *)
+
+val refresh : t -> unit
+(** Replay records appended (by this or any other process) since the
+    last load. O(new records); a compacted-or-shrunk journal triggers a
+    full replay, a malformed one a rebuild. *)
+
+val rebuild : t -> unit
+(** Discard the journal and re-derive it from a walk of the object
+    tree (tmp+rename atomic). The recovery path, also used by fsck
+    [--rebuild-index]. *)
+
+val compact : t -> unit
+(** Rewrite the journal as one sorted [+] record per live object,
+    dropping the add/remove churn. Atomic; concurrent appenders keep
+    appending to the new image afterwards. *)
+
+(** {1 Queries} — all O(1) against the in-memory table; call
+    {!refresh} first when cross-process freshness matters. *)
+
+val mem : t -> string -> bool
+(** Membership by key hex. *)
+
+val size_of : t -> string -> int option
+(** On-disk entry size in bytes (header + payload). *)
+
+val objects : t -> int
+val bytes : t -> int
+
+val keys : t -> string list
+(** Snapshot of all indexed key hexes, unordered. O(objects) — for
+    fsck's stale-record diff, not for hot paths. *)
+
+(** {1 Updates} — called by {!Cache.put} / eviction; journal and table
+    stay in lockstep. Thread-safe across pool domains. *)
+
+val record_add : t -> string -> int -> unit
+val record_remove : t -> string -> unit
+
+val close : t -> unit
+(** Release the append descriptor (queries remain usable). *)

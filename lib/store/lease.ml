@@ -1,0 +1,198 @@
+(* Work leases: the fabric's coordination primitive, built on nothing
+   but the store directory and POSIX file semantics.
+
+   One sweep (identified by its manifest key) owns a directory
+   [<root>/leases/<sweep-hex>/]; each contiguous point range of the
+   manifest is one lease slot [rNNNNNN.lease] plus a completion marker
+   [rNNNNNN.done]. Claims go through [O_CREAT|O_EXCL] — the one
+   filesystem operation that is atomic across processes and (over NFS3+)
+   across hosts sharing the directory — so exactly one worker wins a
+   free slot. Heartbeats rewrite the lease file (tmp+rename) with a
+   fresh wall-clock stamp; a lease whose stamp is older than the TTL is
+   presumed dead and may be stolen: unlink + re-claim, where the
+   re-claim's O_EXCL again elects exactly one winner among racing
+   stealers.
+
+   The protocol is deliberately only *mostly* exclusive: a worker that
+   stalls (not dies) past the TTL can lose its lease yet keep
+   executing, so two workers may run the same points concurrently.
+   That is safe by construction — points are content-addressed, both
+   workers write byte-identical entries, and the merge step reads the
+   store in manifest order — so the fabric trades a little duplicated
+   work for a protocol with no locks, no server and no fencing.
+   Execution is at-least-once; results are exactly-once. *)
+
+type info = { worker : string; lo : int; hi : int; beat : float }
+
+let magic = "dcecc-lease v1"
+
+let sweep_dir cache sweep =
+  Filename.concat
+    (Filename.concat (Cache.root cache) "leases")
+    (Key.to_hex sweep)
+
+let lease_path cache sweep range =
+  Filename.concat (sweep_dir cache sweep) (Printf.sprintf "r%06d.lease" range)
+
+let done_path cache sweep range =
+  Filename.concat (sweep_dir cache sweep) (Printf.sprintf "r%06d.done" range)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let body ~worker ~lo ~hi ~beat =
+  Printf.sprintf "%s\nworker %s\nrange %d %d\nbeat %.6f\n" magic worker lo hi
+    beat
+
+(* The worker id is caller-chosen; forbid the separators the file
+   format and the done markers rely on. *)
+let check_worker worker =
+  if
+    worker = ""
+    || String.exists (function '\n' | '\r' -> true | _ -> false) worker
+  then invalid_arg "Store.Lease: worker id must be non-empty, newline-free"
+
+let claim cache ~sweep ~range ~lo ~hi ~worker =
+  check_worker worker;
+  mkdir_p (sweep_dir cache sweep);
+  let path = lease_path cache sweep range in
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_EXCL ] 0o644 with
+  | fd ->
+      let s = body ~worker ~lo ~hi ~beat:(Unix.gettimeofday ()) in
+      let rec w off =
+        if off < String.length s then
+          w (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> w 0);
+      true
+  | exception Unix.Unix_error (EEXIST, _, _) -> false
+
+let read cache ~sweep ~range =
+  let path = lease_path cache sweep range in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match String.split_on_char '\n' contents with
+      | m :: worker_l :: range_l :: beat_l :: _ when m = magic -> (
+          let strip prefix l =
+            let p = prefix ^ " " in
+            if
+              String.length l > String.length p
+              && String.sub l 0 (String.length p) = p
+            then
+              Some (String.sub l (String.length p) (String.length l - String.length p))
+            else if String.length l >= String.length p && prefix = "worker"
+            then
+              (* an empty worker id never passes [claim]; be strict *)
+              None
+            else None
+          in
+          match
+            ( strip "worker" worker_l,
+              strip "range" range_l,
+              strip "beat" beat_l )
+          with
+          | Some worker, Some range_s, Some beat_s -> (
+              match
+                ( String.split_on_char ' ' range_s,
+                  float_of_string_opt beat_s )
+              with
+              | [ lo_s; hi_s ], Some beat -> (
+                  match (int_of_string_opt lo_s, int_of_string_opt hi_s) with
+                  | Some lo, Some hi -> Some { worker; lo; hi; beat }
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+(* tmp+rename so a reader never sees a torn lease; unique tmp name per
+   process/domain like every other store write *)
+let heartbeat cache ~sweep ~range ~worker ~lo ~hi =
+  check_worker worker;
+  let target = lease_path cache sweep range in
+  let tmp =
+    Printf.sprintf "%s.%d.%d" target (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (body ~worker ~lo ~hi ~beat:(Unix.gettimeofday ())));
+  Sys.rename tmp target
+
+let release cache ~sweep ~range =
+  try Sys.remove (lease_path cache sweep range) with Sys_error _ -> ()
+
+let expired ~ttl ~now info = now -. info.beat > ttl
+
+let steal cache ~sweep ~range ~lo ~hi ~worker ~ttl ~now =
+  match read cache ~sweep ~range with
+  | None ->
+      (* holder vanished between our claim failure and now *)
+      claim cache ~sweep ~range ~lo ~hi ~worker
+  | Some info ->
+      if not (expired ~ttl ~now info) then false
+      else begin
+        (* unlink the corpse, then race for the empty slot; O_EXCL
+           elects one winner among concurrent stealers *)
+        release cache ~sweep ~range;
+        claim cache ~sweep ~range ~lo ~hi ~worker
+      end
+
+let mark_done cache ~sweep ~range ~worker =
+  check_worker worker;
+  mkdir_p (sweep_dir cache sweep);
+  let path = done_path cache sweep range in
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_EXCL ] 0o644 with
+  | fd ->
+      let s = worker ^ "\n" in
+      let rec w off =
+        if off < String.length s then
+          w (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> w 0)
+  | exception Unix.Unix_error (EEXIST, _, _) -> ()
+
+let is_done cache ~sweep ~range = Sys.file_exists (done_path cache sweep range)
+
+let clear_done cache ~sweep ~range =
+  try Sys.remove (done_path cache sweep range) with Sys_error _ -> ()
+
+let dones cache ~sweep =
+  let dir = sweep_dir cache sweep in
+  if not (Sys.file_exists dir) then 0
+  else
+    Array.fold_left
+      (fun acc name ->
+        if Filename.check_suffix name ".done" then acc + 1 else acc)
+      0 (Sys.readdir dir)
+
+let list cache ~sweep =
+  let dir = sweep_dir cache sweep in
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun name ->
+           if
+             String.length name = 13
+             && name.[0] = 'r'
+             && Filename.check_suffix name ".lease"
+           then
+             match int_of_string_opt (String.sub name 1 6) with
+             | Some range -> (
+                 match read cache ~sweep ~range with
+                 | Some info -> Some (range, info)
+                 | None -> None)
+             | None -> None
+           else None)
+    |> List.sort compare

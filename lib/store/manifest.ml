@@ -67,3 +67,10 @@ let progress cache m =
   Array.fold_left
     (fun acc k -> if Cache.mem cache k then acc + 1 else acc)
     0 m.points
+
+let progress_of_index cache m =
+  let ix = Cache.index cache in
+  Index.refresh ix;
+  Array.fold_left
+    (fun acc k -> if Index.mem ix (Key.to_hex k) then acc + 1 else acc)
+    0 m.points

@@ -28,4 +28,11 @@ val list : Cache.t -> t list
 
 val progress : Cache.t -> t -> int
 (** Number of points whose cache entry is present ({!Cache.mem} — no
-    integrity pass, so a corrupt entry may count until read). *)
+    integrity pass, so a corrupt entry may count until read). One stat
+    per point; the slow oracle for {!progress_of_index}. *)
+
+val progress_of_index : Cache.t -> t -> int
+(** Same count through the {!Index}: one {!Index.refresh} then O(1)
+    membership per point, no filesystem traffic per key. Advisory like
+    the index itself — status displays and daemon stats use this;
+    completion decisions stat the files. *)

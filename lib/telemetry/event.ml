@@ -13,8 +13,11 @@ type kind =
   | Fault_delay
   | Fault_capacity
   | Fault_blackout
+  | Lease_claimed
+  | Lease_stolen
+  | Lease_expired
 
-let n_kinds = 14
+let n_kinds = 17
 
 let to_code = function
   | Enqueue -> 0
@@ -31,6 +34,9 @@ let to_code = function
   | Fault_delay -> 11
   | Fault_capacity -> 12
   | Fault_blackout -> 13
+  | Lease_claimed -> 14
+  | Lease_stolen -> 15
+  | Lease_expired -> 16
 
 let of_code = function
   | 0 -> Enqueue
@@ -47,6 +53,9 @@ let of_code = function
   | 11 -> Fault_delay
   | 12 -> Fault_capacity
   | 13 -> Fault_blackout
+  | 14 -> Lease_claimed
+  | 15 -> Lease_stolen
+  | 16 -> Lease_expired
   | c -> invalid_arg (Printf.sprintf "Telemetry.Event.of_code: %d" c)
 
 let name = function
@@ -64,6 +73,9 @@ let name = function
   | Fault_delay -> "fault_delay"
   | Fault_capacity -> "fault_capacity"
   | Fault_blackout -> "fault_blackout"
+  | Lease_claimed -> "lease_claimed"
+  | Lease_stolen -> "lease_stolen"
+  | Lease_expired -> "lease_expired"
 
 let of_name = function
   | "enqueue" -> Some Enqueue
@@ -80,6 +92,9 @@ let of_name = function
   | "fault_delay" -> Some Fault_delay
   | "fault_capacity" -> Some Fault_capacity
   | "fault_blackout" -> Some Fault_blackout
+  | "lease_claimed" -> Some Lease_claimed
+  | "lease_stolen" -> Some Lease_stolen
+  | "lease_expired" -> Some Lease_expired
   | _ -> None
 
 type t = { kind : kind; t : float; a : float; b : float; i : int; j : int }

@@ -23,11 +23,21 @@
     Fault_delay   emit time      added delay s    0                class   seq
     Fault_capacity flap time     new capacity     old capacity     cpid    0
     Fault_blackout toggle time   1 = on, 0 = off  0                cpid    0
+    Lease_claimed wall clock     range lo point   range hi point   range   worker
+    Lease_stolen  wall clock     range lo point   range hi point   range   worker
+    Lease_expired wall clock     stale beat age s 0                range   worker
     v}
 
     [class] in the fault events is the {!Faultnet.Plan.frame_class} code
     of the control frame the injector acted on (0 = positive BCN,
-    1 = negative BCN, 2 = PAUSE). *)
+    1 = negative BCN, 2 = PAUSE).
+
+    The lease events come from the distributed sweep fabric, not the
+    simulator: [t] is wall-clock Unix time (a fabric run spans
+    processes, so there is no shared simulated clock), [range] the
+    lease's range id within the sweep manifest and [worker] a stable
+    hash of the worker id string. [Lease_stolen] is always preceded by
+    the [Lease_expired] record of the lease it replaced. *)
 
 type kind =
   | Enqueue
@@ -44,6 +54,9 @@ type kind =
   | Fault_delay  (** injector added delay to a control frame *)
   | Fault_capacity  (** injector retargeted a switch egress capacity *)
   | Fault_blackout  (** congestion-point blackout toggled *)
+  | Lease_claimed  (** fabric worker claimed a free work lease *)
+  | Lease_stolen  (** fabric worker took over an expired lease *)
+  | Lease_expired  (** fabric worker observed a lease past its TTL *)
 
 val n_kinds : int
 

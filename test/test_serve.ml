@@ -220,6 +220,59 @@ let test_jobs_identity () =
       Alcotest.(check string)
         "payload = direct execution" (Serve.Tasks.execute req) p1)
 
+(* ---------------- batch: fabric-backed sweeps ---------------- *)
+
+(* A Batch request makes the daemon one more fabric worker over its
+   own store. The answer must equal the storeless single-process
+   render byte for byte, a repeat must be warm, and — because the
+   answer key deliberately excludes the lease chunking — a repeat at a
+   different chunk must be warm too. *)
+let test_batch_fabric () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "serve.sock" in
+      let store = Filename.concat dir "store" in
+      let spec =
+        Fabric.Spec.Seeds
+          {
+            base =
+              Simnet.Scenario.bcn ~t_end:2e-4 ~sample_dt:1e-4
+                ~sampling:Simnet.Scenario.Bernoulli
+                (Fluid.Params.with_flows Fluid.Params.default 4);
+            first_seed = 0;
+            count = 5;
+          }
+      in
+      let req chunk = Serve.Tasks.Batch { spec; chunk; as_json = false } in
+      with_daemon ~socket ~store ~jobs:1 (fun _pid ->
+          with_client ~socket (fun c ->
+              let w1, _, p1 =
+                result_exn (Serve.Client.request c ~id:1 (req 2))
+              in
+              Alcotest.(check bool) "first batch is cold" false w1;
+              Alcotest.(check string)
+                "batch payload = direct execution"
+                (Serve.Tasks.execute (req 2))
+                p1;
+              let w2, _, p2 =
+                result_exn (Serve.Client.request c ~id:2 (req 2))
+              in
+              Alcotest.(check bool) "repeat is warm" true w2;
+              Alcotest.(check string) "warm bytes identical" p1 p2;
+              let w3, _, p3 =
+                result_exn (Serve.Client.request c ~id:3 (req 3))
+              in
+              Alcotest.(check bool)
+                "different chunking is still warm" true w3;
+              Alcotest.(check string) "chunking never shapes bytes" p1 p3;
+              let m = Serve.Client.stats c ~id:4 in
+              Alcotest.(check int)
+                "one computation for all three" 1
+                (metric "serve.executed" m);
+              Serve.Client.shutdown c ~id:5)))
+
 let () =
   Alcotest.run "serve"
     [
@@ -233,5 +286,7 @@ let () =
             test_crash_resume;
           Alcotest.test_case "jobs 1 = jobs 4 (bytes)" `Quick
             test_jobs_identity;
+          Alcotest.test_case "batch: fabric-backed, chunk-independent" `Quick
+            test_batch_fabric;
         ] );
     ]
