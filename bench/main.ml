@@ -240,6 +240,31 @@ let kernels () =
   let nonlinear_excursion () =
     ignore (Fluid.Stability.first_excursion ~t_max:1e-3 big)
   in
+  (* RCP stepper kernels: the Smooth_fast right-hand sides of both
+     literature variants driven by the in-place RK4 step — the exact
+     allocation-free path RCP portraits and refine traces ride — plus
+     one full clamped fluid trace. *)
+  let rcp_ws = Numerics.Ode.workspace 2 in
+  let rcp_y = [| 1e5; -1e8 |] in
+  let rcp_dst = [| 0.; 0. |] in
+  let rcp_rhs_ac =
+    Phaseplane.System.to_auto (Fluid.Rcp.system (Fluid.Rcp.make default))
+  in
+  let rcp_rhs_load =
+    Phaseplane.System.to_auto
+      (Fluid.Rcp.system (Fluid.Rcp.make ~variant:Fluid.Rcp.By_load default))
+  in
+  let rcp_step_ac () =
+    Numerics.Ode.step_auto_into rcp_ws Numerics.Ode.Rk4 rcp_rhs_ac rcp_y 1e-6
+      rcp_dst
+  in
+  let rcp_step_load () =
+    Numerics.Ode.step_auto_into rcp_ws Numerics.Ode.Rk4 rcp_rhs_load rcp_y
+      1e-6 rcp_dst
+  in
+  let rcp_fluid () =
+    ignore (Fluid.Rcp.simulate ~t_end:1e-3 (Fluid.Rcp.make default))
+  in
   let sha_payload = String.init sha_bytes (fun i -> Char.chr (i land 0xff)) in
   let sha256 () = ignore (Store.Key.sha256_hex sha_payload : string) in
   let sha256_ref () =
@@ -268,6 +293,10 @@ let kernels () =
       Test.make ~name:"m1_multihop" (Staged.stage m1);
       Test.make ~name:"kernel_rk4_step" (Staged.stage ode_step);
       Test.make ~name:"kernel_rk4_step_into" (Staged.stage ode_step_into);
+      Test.make ~name:"kernel_rcp_step_into" (Staged.stage rcp_step_ac);
+      Test.make ~name:"kernel_rcp_step_into_by_load"
+        (Staged.stage rcp_step_load);
+      Test.make ~name:"r1_rcp_fluid" (Staged.stage rcp_fluid);
       Test.make ~name:"kernel_nonlinear_excursion"
         (Staged.stage nonlinear_excursion);
       Test.make ~name:"store_sha256_256k" (Staged.stage sha256);

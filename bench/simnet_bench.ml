@@ -102,6 +102,21 @@ let boxed_events ~t_end () =
      ~t_end ~sample_dt:1e-4 params)
     .Boxed_baseline.events
 
+(* The RCP loop on the same pooled engine: rate-paced sources, one
+   switch, a rate frame per flow per control interval. Started at the
+   fair share so the loop is in its steady regime, like the BCN runner
+   row above. *)
+let rcp_events ~t_end () =
+  let cfg =
+    {
+      (Simnet.Rcp.default_config ~t_end ~sample_dt:1e-4 params) with
+      Simnet.Rcp.initial_rate =
+        params.Fluid.Params.capacity
+        /. float_of_int params.Fluid.Params.n_flows;
+    }
+  in
+  (Simnet.Rcp.run cfg).Simnet.Rcp.events_processed
+
 (* Repeat [f] (which returns an event count) until [min_time] has
    elapsed; report events/sec and the Gc.minor_words delta per event. *)
 let measure_events ~min_time f =
@@ -661,6 +676,7 @@ let rows ~min_time ~t_end () =
   in
   let run_eps, run_words = measure_events ~min_time (pooled_events ~t_end) in
   let brun_eps, brun_words = measure_events ~min_time (boxed_events ~t_end) in
+  let rcp_eps, rcp_words = measure_events ~min_time (rcp_events ~t_end) in
   let soa_ns, soa_words =
     measure_queue ~min_time:(0.5 *. min_time)
       (soa_round (Simnet.Eventq.create ()))
@@ -698,6 +714,11 @@ let rows ~min_time ~t_end () =
       name = "simnet_runner_boxed";
       metrics =
         [ ("events_per_sec", brun_eps); ("minor_words_per_event", brun_words) ];
+    };
+    {
+      name = "simnet_rcp";
+      metrics =
+        [ ("events_per_sec", rcp_eps); ("minor_words_per_event", rcp_words) ];
     };
     {
       name = "eventq_push_pop";

@@ -34,28 +34,83 @@ let resilience_memo store_spec cache =
       else m)
     cache
 
+(* --set NAME=VALUE: one entry of the shared parameter-axis registry,
+   resolved eagerly so typos fail before any simulation runs *)
+let parse_override s =
+  match String.index_opt s '=' with
+  | None -> invalid_arg (Printf.sprintf "--set %s: expected NAME=VALUE" s)
+  | Some i ->
+      let name = String.trim (String.sub s 0 i) in
+      let raw = String.sub s (i + 1) (String.length s - i - 1) in
+      let v =
+        try float_of_string (String.trim raw)
+        with _ ->
+          invalid_arg (Printf.sprintf "--set %s: %s is not a number" name raw)
+      in
+      ignore (Serve.Tasks.find_param name);
+      (name, v)
+
+let apply_overrides overrides (sc : Faultnet.Resilience.scenario) =
+  let scen =
+    List.fold_left
+      (fun scen (name, v) ->
+        match (Serve.Tasks.find_param name).Serve.Tasks.target with
+        | Serve.Tasks.Fluid_param _ ->
+            Serve.Tasks.apply_scenario_param scen name v
+        | Serve.Tasks.Model_param _ -> (
+            (* a model knob lands only on the cases running that model;
+               the other rows keep their stock settings, mirroring how
+               unsupported fault axes are dropped per row *)
+            try Serve.Tasks.apply_scenario_param scen name v
+            with Invalid_argument _ -> scen))
+      sc.Faultnet.Resilience.scen overrides
+  in
+  (* re-validate through the front door rather than patching the record *)
+  Faultnet.Resilience.of_scenario
+    ~transient:sc.Faultnet.Resilience.transient
+    ~underflow_frac:sc.Faultnet.Resilience.underflow_frac
+    ~label:sc.Faultnet.Resilience.label scen
+
 let sweep_run axes_str flap_period flap_duty t_end transient iters seed jobs
-    adaptive dense scan_n csv json store_spec =
+    adaptive dense scan_n protocols set_strs csv json store_spec =
   if adaptive && dense then
     invalid_arg "--adaptive and --dense are mutually exclusive";
   let axes =
     List.map (axis_of_name ~flap_period ~flap_duty) (split_commas axes_str)
   in
   if axes = [] then invalid_arg "--axes must name at least one axis";
+  let overrides = List.map parse_override set_strs in
   let cache = Cli_common.open_store store_spec in
   let memo = resilience_memo store_spec cache in
-  let scenarios = Faultnet.Resilience.paper_cases ~t_end ?transient () in
+  let scenarios =
+    if protocols then Faultnet.Resilience.protocol_cases ~t_end ?transient ()
+    else Faultnet.Resilience.paper_cases ~t_end ?transient ()
+  in
+  let scenarios =
+    if overrides = [] then scenarios
+    else List.map (apply_overrides overrides) scenarios
+  in
+  (* With --protocols, an axis a model cannot physically express (e.g.
+     capacity flaps on switch-less E2CM/FERA) is dropped for that row —
+     the generic [supports] predicate decides, not per-protocol code. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun sc ->
+           List.map
+             (fun ax -> (sc, ax))
+             (if protocols then
+                List.filter (Faultnet.Resilience.supports sc) axes
+              else axes))
+         scenarios)
+  in
   let margins =
     if dense then
       (* the baseline bisection replaces: walk every severity step *)
-      Array.of_list
-        (List.concat_map
-           (fun sc ->
-             List.map
-               (fun ax -> Faultnet.Resilience.scan ~n:scan_n ?memo ~seed sc ax)
-               axes)
-           scenarios)
-    else Faultnet.Resilience.sweep ?jobs ?iters ?memo ~seed scenarios axes
+      Array.map
+        (fun (sc, ax) -> Faultnet.Resilience.scan ~n:scan_n ?memo ~seed sc ax)
+        cells
+    else Faultnet.Resilience.sweep_cells ?jobs ?iters ?memo ~seed cells
   in
   Report.Table.print
     ~headers:[ "scenario"; "axis"; "margin"; "ceiling"; "violation"; "runs" ]
@@ -419,8 +474,17 @@ let sweep_cmd =
   let axes =
     Arg.(value & opt string "bcn-loss,pause-loss,flap-depth"
          & info [ "axes" ] ~docv:"LIST"
-             ~doc:"Comma-separated severity axes: bcn-loss, pause-loss, \
-                   flap-depth.")
+             ~doc:("Comma-separated severity axes: " ^ Serve.Tasks.axis_names
+                 ^ "."))
+  in
+  let protocols =
+    Arg.(value & flag
+         & info [ "protocols" ]
+             ~doc:"Sweep one case per congestion-control protocol (bcn, \
+                   e2cm, fera, rcp) on the default parameter point instead \
+                   of the paper's Case 1-3, under identical fault plans; \
+                   axes a model cannot physically express are dropped for \
+                   that row.")
   in
   let flap_period =
     Arg.(value & opt float 2e-3
@@ -472,14 +536,24 @@ let sweep_cmd =
              ~doc:"With --dense: severity steps per axis (resolution \
                    max_severity / N).")
   in
+  let set_ =
+    Arg.(value & opt_all string []
+         & info [ "set" ] ~docv:"NAME=VALUE"
+             ~doc:("Override one parameter axis on every case before \
+                    probing (repeatable). NAME is any entry of the shared \
+                    registry: " ^ Serve.Tasks.param_names
+                  ^ ". Model-specific knobs (rcp-*) land only on the \
+                     cases running that model; e.g. --protocols --set \
+                     rcp-beta=0 reproduces the queue-term ablation."))
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Bisect strong-stability margins for the paper's Case 1-3 \
              points across fault-severity axes.")
     Term.(
       const sweep_run $ axes $ flap_period $ flap_duty $ t_end $ transient
-      $ iters $ seed $ Cli_common.jobs_term $ adaptive $ dense $ scan_n $ csv
-      $ json $ Cli_common.store_term)
+      $ iters $ seed $ Cli_common.jobs_term $ adaptive $ dense $ scan_n
+      $ protocols $ set_ $ csv $ json $ Cli_common.store_term)
 
 let plane_cmd =
   let axis name default doc =

@@ -125,7 +125,11 @@ let run n c q0 buffer gi gd ru w pm t_end mode broadcast timer no_pause
   | None ->
       let fault_inj = Option.map Faultnet.Injector.create fault in
       let cfg =
-        let base = Simnet.Scenario.to_runner_config scenario in
+        (* probe/injector instrumentation needs the raw runner config;
+           [runner_configs] is the probe-level escape hatch (compile
+           wires hooks itself and cannot expose the injector counters
+           printed below) *)
+        let base = (Simnet.Scenario.runner_configs scenario).(0) in
         match fault_inj with
         | None -> base
         | Some inj -> Faultnet.Injector.attach inj base

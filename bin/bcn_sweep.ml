@@ -230,8 +230,8 @@ let cmd =
       & opt (some string) None
       & info [ "param" ] ~docv:"NAME"
           ~doc:
-            "Parameter to sweep: gi | gd | ru | q0 | buffer | n | w | pm | \
-             capacity. Required unless --preset picks one.")
+            ("Parameter to sweep: " ^ Serve.Tasks.param_names
+           ^ ". Required unless --preset picks one."))
   in
   let lo = Arg.(value & opt (some float) None & info [ "from" ] ~doc:"Start value.") in
   let hi = Arg.(value & opt (some float) None & info [ "to" ] ~doc:"End value.") in

@@ -911,7 +911,7 @@ let a3_solver_ablation ?out () =
      figure driver); wall-time comparisons live in bench/. *)
   let counted sys n =
     match sys with
-    | Phaseplane.System.Smooth f ->
+    | Phaseplane.System.Smooth f | Phaseplane.System.Smooth_fast { f; _ } ->
         Phaseplane.System.Smooth
           (fun pt ->
             incr n;

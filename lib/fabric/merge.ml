@@ -22,52 +22,32 @@ type row = {
 let mean vs =
   Array.fold_left ( +. ) 0. vs /. float_of_int (Array.length vs)
 
+(* Rows come off the protocol-agnostic stats view: mean utilization and
+   summed drops/messages across replicas (a single run is a 1-replica
+   mean, bit-identical to the value itself), fairness only when every
+   run exposes per-flow final rates. Any model the scenario layer
+   learns to compile gets a row with no new arm here. *)
 let row_of ~point ~seed (outcome : Store.Sweep.outcome) =
-  match outcome with
-  | Store.Sweep.Bcn_results rs ->
-      let open Simnet.Runner in
-      {
-        point;
-        seed;
-        model = "bcn";
-        utilization = mean (Array.map (fun r -> r.utilization) rs);
-        drops = Array.fold_left (fun acc r -> acc + r.drops) 0 rs;
-        messages =
-          Array.fold_left
-            (fun acc r -> acc + r.bcn_positive + r.bcn_negative)
-            0 rs;
-        fairness = Some (mean (Array.map (fun r -> fairness r.final_rates) rs));
-      }
-  | Store.Sweep.E2cm_result r ->
-      {
-        point;
-        seed;
-        model = "e2cm";
-        utilization = r.Simnet.E2cm.utilization;
-        drops = r.Simnet.E2cm.drops;
-        messages = r.Simnet.E2cm.messages;
-        fairness = Some (Simnet.Runner.fairness r.Simnet.E2cm.final_rates);
-      }
-  | Store.Sweep.Fera_result r ->
-      {
-        point;
-        seed;
-        model = "fera";
-        utilization = r.Simnet.Fera.utilization;
-        drops = r.Simnet.Fera.drops;
-        messages = r.Simnet.Fera.advertisements;
-        fairness = Some (Simnet.Runner.fairness r.Simnet.Fera.final_rates);
-      }
-  | Store.Sweep.Multihop_result r ->
-      {
-        point;
-        seed;
-        model = "multihop";
-        utilization = r.Simnet.Multihop.utilization_b;
-        drops = r.Simnet.Multihop.drops_a + r.Simnet.Multihop.drops_b;
-        messages = r.Simnet.Multihop.bcn_messages;
-        fairness = None;
-      }
+  let stats = Simnet.Scenario.outcome_stats outcome in
+  let rates =
+    let all = Array.map (fun s -> s.Simnet.Scenario.final_rates) stats in
+    if Array.for_all Option.is_some all then Some (Array.map Option.get all)
+    else None
+  in
+  {
+    point;
+    seed;
+    model = Simnet.Scenario.outcome_model outcome;
+    utilization =
+      mean (Array.map (fun s -> s.Simnet.Scenario.utilization) stats);
+    drops = Array.fold_left (fun acc s -> acc + s.Simnet.Scenario.drops) 0 stats;
+    messages =
+      Array.fold_left (fun acc s -> acc + s.Simnet.Scenario.messages) 0 stats;
+    fairness =
+      Option.map
+        (fun rss -> mean (Array.map Simnet.Runner.fairness rss))
+        rates;
+  }
 
 let rows spec outcomes =
   let scenarios = Spec.scenarios spec in

@@ -1,0 +1,20 @@
+(** Execute any scenario with its fault plan wired.
+
+    This is the one place the fault layer meets the scenario API:
+    [Scenario.compile] produces the model's configs plus a hook-wiring
+    function, and this module supplies the hooks — a fresh {!Injector}
+    per replica (salted with the replica index, so Bernoulli fault
+    draws decorrelate across replicas exactly as sampling seeds do).
+    Every model the scenario layer learns to compile is therefore
+    fault-injectable here with zero per-protocol code. *)
+
+val hooks : Plan.t -> replica:int -> Simnet.Scenario.hooks
+(** The injector hooks for one replica: the plan's control channel
+    (loss/delay on classified feedback frames) plus a setup hook that
+    arms capacity flaps and blackout windows on the run's switch. *)
+
+val run : ?jobs:int -> Simnet.Scenario.t -> Simnet.Scenario.outcome
+(** Compile, wire the scenario's fault plan (if any) into every
+    replica, run, pack. Deterministic: byte-identical results for any
+    [jobs]. Raises [Invalid_argument] on scenarios whose model cannot
+    express their plan (see [Scenario.validate]). *)

@@ -4,23 +4,30 @@ let violation_name = function Overflow -> "overflow" | Underflow -> "underflow"
 
 type scenario = {
   label : string;
-  cfg : Simnet.Runner.config;
+  scen : Simnet.Scenario.t;
   transient : float;
   underflow_frac : float;
 }
 
-let scenario ?(t_end = 20e-3) ?transient ?(underflow_frac = 0.9) ~label params =
+let of_scenario ?transient ?(underflow_frac = 0.9) ~label scen =
+  let scen = Simnet.Scenario.validate scen in
+  let t_end = scen.Simnet.Scenario.t_end in
   let transient = match transient with Some t -> t | None -> t_end /. 2. in
   if transient < 0. || transient >= t_end then
-    invalid_arg "Resilience.scenario: transient must be in [0, t_end)";
+    invalid_arg "Resilience.of_scenario: transient must be in [0, t_end)";
   if underflow_frac <= 0. || underflow_frac > 1. then
-    invalid_arg "Resilience.scenario: underflow_frac must be in (0, 1]";
-  {
-    label;
-    cfg = Simnet.Runner.default_config ~t_end params;
-    transient;
-    underflow_frac;
-  }
+    invalid_arg "Resilience.of_scenario: underflow_frac must be in (0, 1]";
+  if scen.Simnet.Scenario.replicas <> 1 then
+    invalid_arg "Resilience.of_scenario: margins probe a single replica";
+  (match scen.Simnet.Scenario.fault with
+  | Some _ ->
+      invalid_arg "Resilience.of_scenario: the probe owns the fault plan"
+  | None -> ());
+  { label; scen; transient; underflow_frac }
+
+let scenario ?(t_end = 20e-3) ?transient ?underflow_frac ~label params =
+  of_scenario ?transient ?underflow_frac ~label
+    (Simnet.Scenario.bcn ~t_end params)
 
 let paper_cases ?t_end ?transient () =
   let base = Fluid.Params.default in
@@ -35,6 +42,15 @@ let paper_cases ?t_end ?transient () =
     scenario ?t_end ?transient ~label:"case1" case1;
     scenario ?t_end ?transient ~label:"case2" case2;
     scenario ?t_end ?transient ~label:"case3" case3;
+  ]
+
+let protocol_cases ?(t_end = 20e-3) ?transient () =
+  let p = Fluid.Params.default in
+  [
+    of_scenario ?transient ~label:"bcn" (Simnet.Scenario.bcn ~t_end p);
+    of_scenario ?transient ~label:"e2cm" (Simnet.Scenario.e2cm ~t_end p);
+    of_scenario ?transient ~label:"fera" (Simnet.Scenario.fera ~t_end p);
+    of_scenario ?transient ~label:"rcp" (Simnet.Scenario.rcp ~t_end p);
   ]
 
 type axis =
@@ -64,7 +80,14 @@ let plan_add plan axis ~severity ~t_end =
 let plan_of axis ~severity ~seed ~t_end =
   plan_add (Plan.with_seed Plan.none seed) axis ~severity ~t_end
 
-let baseline sc = Simnet.Runner.run sc.cfg
+let supports sc ax =
+  let t_end = sc.scen.Simnet.Scenario.t_end in
+  let plan = plan_of ax ~severity:(0.5 *. max_severity ax) ~seed:0 ~t_end in
+  match Simnet.Scenario.validate (Simnet.Scenario.with_fault sc.scen plan) with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+let baseline sc = Exec.run ~jobs:1 sc.scen
 
 type probe_summary = {
   utilization : float;
@@ -77,69 +100,69 @@ type memo = {
   save : string -> probe_summary -> unit;
 }
 
-let summarize sc (result : Simnet.Runner.result) =
-  let tail = Numerics.Series.tail_from result.Simnet.Runner.queue sc.transient in
+let summarize sc (r : Simnet.Scenario.run_stats) =
+  let tail = Numerics.Series.tail_from r.Simnet.Scenario.queue sc.transient in
   let q_tail_max =
     if Numerics.Series.is_empty tail then 0.
     else snd (Numerics.Series.argmax tail)
   in
   {
-    utilization = result.Simnet.Runner.utilization;
-    drops = result.Simnet.Runner.drops;
+    utilization = r.Simnet.Scenario.utilization;
+    drops = r.Simnet.Scenario.drops;
     q_tail_max;
   }
 
+let summarize_outcome sc outcome =
+  match Simnet.Scenario.outcome_stats outcome with
+  | [| r |] -> summarize sc r
+  | _ -> invalid_arg "Resilience.summarize: expected a single-replica outcome"
+
 let check_summary sc ~baseline_utilization (s : probe_summary) =
-  let buffer = sc.cfg.Simnet.Runner.params.Fluid.Params.buffer in
+  let buffer = sc.scen.Simnet.Scenario.params.Fluid.Params.buffer in
   if s.drops > 0 || s.q_tail_max >= buffer then Some Overflow
   else if s.utilization < sc.underflow_frac *. baseline_utilization then
     Some Underflow
   else None
 
-let check sc ~baseline_utilization result =
-  check_summary sc ~baseline_utilization (summarize sc result)
+let check sc ~baseline_utilization outcome =
+  check_summary sc ~baseline_utilization (summarize_outcome sc outcome)
 
-(* Key material for one probe: the probe is just a BCN scenario (the
-   cell's config plus the plan), so the canonical Scenario encoding is
-   the stable identity; [transient] shapes the summary's q_tail_max and
-   so belongs in the material too. Raises like [of_runner_config] when
-   the config carries hooks — callers fall back to an unmemoized run. *)
+(* Key material for one probe: the probe is just the cell's scenario
+   plus the plan, so the canonical Scenario encoding is the stable
+   identity (the model arm included — protocols cannot collide);
+   [transient] shapes the summary's q_tail_max and so belongs in the
+   material too. The @v1 prefix predates the scenario generalization —
+   BCN probes encode to the same bytes as before, so warm stores stay
+   warm across the change. *)
+let probed_scenario sc plan =
+  match plan with
+  | Some p -> Simnet.Scenario.with_fault sc.scen p
+  | None -> sc.scen
+
 let probe_material sc plan =
-  let scen = Simnet.Scenario.of_runner_config sc.cfg in
-  let scen =
-    match plan with
-    | Some p -> Simnet.Scenario.with_fault scen p
-    | None -> scen
-  in
   Printf.sprintf "resilience-probe@v1\ntransient=%s\n%s"
     (Telemetry.Json.float_full sc.transient)
-    (Simnet.Scenario.encode scen)
+    (Simnet.Scenario.encode (probed_scenario sc plan))
 
 let run_summary ?memo sc plan =
   let run () =
-    let result =
-      match plan with
-      | None -> Simnet.Runner.run sc.cfg
-      | Some p ->
-          Simnet.Runner.run (Injector.attach (Injector.create p) sc.cfg)
-    in
-    summarize sc result
+    summarize_outcome sc (Exec.run ~jobs:1 (probed_scenario sc plan))
   in
   match memo with
   | None -> run ()
   | Some m -> (
-      match probe_material sc plan with
-      | exception Invalid_argument _ -> run ()
-      | material -> (
-          match m.lookup material with
-          | Some s -> s
-          | None ->
-              let s = run () in
-              m.save material s;
-              s))
+      let material = probe_material sc plan in
+      match m.lookup material with
+      | Some s -> s
+      | None ->
+          let s = run () in
+          m.save material s;
+          s)
 
 let probe ?memo sc axis ~seed ~baseline_utilization ~severity =
-  let plan = plan_of axis ~severity ~seed ~t_end:sc.cfg.Simnet.Runner.t_end in
+  let plan =
+    plan_of axis ~severity ~seed ~t_end:sc.scen.Simnet.Scenario.t_end
+  in
   check_summary sc ~baseline_utilization (run_summary ?memo sc (Some plan))
 
 type margin = {
@@ -232,17 +255,18 @@ let scan ?(n = 256) ?memo ~seed sc ax =
       in
       go 1
 
-let sweep ?jobs ?iters ?memo ~seed scenarios axes =
-  let cells =
-    Array.of_list
-      (List.concat_map (fun sc -> List.map (fun ax -> (sc, ax)) axes) scenarios)
-  in
+let sweep_cells ?jobs ?iters ?memo ~seed cells =
   let task (sc, ax) = bisect ?iters ?memo ~seed sc ax in
   match jobs with
   | Some 1 -> Array.map task cells
   | _ ->
       Parallel.Pool.with_pool ?size:jobs (fun pool ->
           Parallel.Pool.map_array pool task cells)
+
+let sweep ?jobs ?iters ?memo ~seed scenarios axes =
+  sweep_cells ?jobs ?iters ?memo ~seed
+    (Array.of_list
+       (List.concat_map (fun sc -> List.map (fun ax -> (sc, ax)) axes) scenarios))
 
 let violation_cell = function Some v -> violation_name v | None -> "none"
 

@@ -29,15 +29,28 @@ type violation =
 
 val violation_name : violation -> string
 
-(** What the margins are measured on. [transient] seconds at the head
-    of the run are excluded from the queue-bound check; frame drops
-    count as overflow wherever they occur. *)
+(** What the margins are measured on — any single-replica
+    {!Simnet.Scenario.t}, so the same machinery produces margins for
+    every protocol the scenario layer can compile. [transient] seconds
+    at the head of the run are excluded from the queue-bound check;
+    frame drops count as overflow wherever they occur. *)
 type scenario = {
   label : string;
-  cfg : Simnet.Runner.config;
+  scen : Simnet.Scenario.t;
   transient : float;
   underflow_frac : float;
 }
+
+val of_scenario :
+  ?transient:float ->
+  ?underflow_frac:float ->
+  label:string ->
+  Simnet.Scenario.t ->
+  scenario
+(** Wrap a scenario for margin probing. Raises [Invalid_argument] on
+    invalid scenarios, [replicas <> 1], or a scenario that already
+    carries a fault plan (the probe owns the plan). Defaults:
+    [transient = t_end / 2], [underflow_frac = 0.9]. *)
 
 val scenario :
   ?t_end:float ->
@@ -46,13 +59,20 @@ val scenario :
   label:string ->
   Fluid.Params.t ->
   scenario
-(** [Runner.default_config] on the parameter point. Defaults:
-    [t_end = 20 ms], [transient = t_end / 2], [underflow_frac = 0.9]. *)
+(** {!of_scenario} over [Simnet.Scenario.bcn] on the parameter point
+    (the historical BCN-only constructor). [t_end] defaults to
+    [20 ms]. *)
 
 val paper_cases : ?t_end:float -> ?transient:float -> unit -> scenario list
 (** The paper's Case 1–3 parameter points (the gallery's settings):
     Case 1 = the Theorem-1 example with twice the required buffer,
     Case 2 = [w = 8000], Case 3 = [Gd = 1, w = 3000]. *)
+
+val protocol_cases : ?t_end:float -> ?transient:float -> unit -> scenario list
+(** One case per congestion-control protocol — labels ["bcn"],
+    ["e2cm"], ["fera"], ["rcp"] — all on [Fluid.Params.default], for
+    cross-protocol margin tables under identical fault plans. Use
+    {!supports} to filter axes a protocol cannot express. *)
 
 (** Severity axis being bisected. Severity is the Bernoulli loss
     probability for the loss axes, and the relative capacity dip (the
@@ -79,7 +99,12 @@ val plan_add : Plan.t -> axis -> severity:float -> t_end:float -> Plan.t
     fresh seeded empty plan; composing two axes onto one plan is how
     2-D fault planes are built. *)
 
-val baseline : scenario -> Simnet.Runner.result
+val supports : scenario -> axis -> bool
+(** Whether the scenario's model can express the axis' fault (e.g.
+    capacity flaps need a switch — E2CM/FERA cannot take them).
+    Probing an unsupported combination raises [Invalid_argument]. *)
+
+val baseline : scenario -> Simnet.Scenario.outcome
 (** The scenario's fault-free run (severity 0, no injector). *)
 
 (** {1 Memoized probes}
@@ -106,7 +131,9 @@ type memo = {
   save : string -> probe_summary -> unit;
 }
 
-val summarize : scenario -> Simnet.Runner.result -> probe_summary
+val summarize : scenario -> Simnet.Scenario.run_stats -> probe_summary
+(** Protocol-agnostic: works off the generic stats view, so any model
+    the scenario layer reports stats for can be margin-checked. *)
 
 val check_summary :
   scenario ->
@@ -117,7 +144,7 @@ val check_summary :
 val check :
   scenario ->
   baseline_utilization:float ->
-  Simnet.Runner.result ->
+  Simnet.Scenario.outcome ->
   violation option
 (** Apply the operational Definition 1 above to a finished run.
     [Overflow] takes precedence when both bounds fail. *)
@@ -138,9 +165,8 @@ val probe :
   violation option
 (** One fault-injected run at the given severity, checked. With
     [?memo], the summary is looked up before simulating and saved
-    after; configs carrying executable hooks ([control_channel] /
-    [on_setup] / live RNG sampling) cannot be keyed and silently run
-    unmemoized. *)
+    after. Raises [Invalid_argument] when the model cannot express the
+    axis (see {!supports}). *)
 
 type margin = {
   scenario : string;
@@ -173,6 +199,19 @@ val scan : ?n:int -> ?memo:memo -> seed:int -> scenario -> axis -> margin
     versus bisection's [1 + log2 n] for the same resolution.
     [evaluations] counts logical evaluations exactly as in {!bisect}. *)
 
+val sweep_cells :
+  ?jobs:int ->
+  ?iters:int ->
+  ?memo:memo ->
+  seed:int ->
+  (scenario * axis) array ->
+  margin array
+(** Bisect an explicit cell list — e.g. a cross-protocol table with
+    the combinations {!supports} rejects filtered out. One pool task
+    per cell, fanned out over [jobs] lanes (default
+    {!Parallel.Pool.default_size}); results are in input order and
+    byte-identical for any [jobs]. *)
+
 val sweep :
   ?jobs:int ->
   ?iters:int ->
@@ -181,10 +220,8 @@ val sweep :
   scenario list ->
   axis list ->
   margin array
-(** The full scenario × axis margin table (row-major: all axes of the
-    first scenario, then the next). One pool task per cell, fanned out
-    over [jobs] lanes (default {!Parallel.Pool.default_size}); results
-    are in input order and byte-identical for any [jobs]. *)
+(** {!sweep_cells} over the full scenario × axis cross product
+    (row-major: all axes of the first scenario, then the next). *)
 
 val to_csv : margin array -> string
 (** Header plus one line per cell; floats as [%.17g] so the file is an

@@ -1,0 +1,131 @@
+(** RCP (Rate Control Protocol) fluid model — the rate-based
+    counterpart of the BCN loop, after Valluri's phase-plane treatment.
+
+    The router advertises one fair rate [R] to every flow and updates it
+    once per control interval [tau] from two measurements: the aggregate
+    arrival rate [y = N·R] and the standing queue [q]. Valluri analyzes
+    two proposed update laws; both share the proportional-plus-queue
+    correction term
+
+    {v alpha·(C − y) − beta·q/tau v}
+
+    and differ only in how it is applied:
+
+    - {!By_capacity} (the RCP-AC form, Dukkipati's RCP): the correction
+      is applied {e multiplicatively}, scaled by the advertised rate
+      over capacity — [dR/dt = R·(alpha·(C−y) − beta·q/tau)/(C·tau)].
+    - {!By_load}: the correction is shared {e additively} among the [N]
+      flows — [dR/dt = (alpha·(C−y) − beta·q/tau)/(N·tau)].
+
+    Both laws have the unique equilibrium [(q, R) = (0, C/N)] and the
+    {e same} linearization there: in normalized coordinates
+    [x = q − q*], [y = N·R − C],
+
+    {v x'' + (alpha/tau)·x' + (beta/tau²)·x = 0 v}
+
+    i.e. a second-order loop with damping ratio [alpha/(2·sqrt beta)],
+    stable for every [alpha, beta > 0] — no case split, unlike BCN's
+    Theorem 1. Abuthahir, Raina & Voice's ablation asks what the queue
+    term buys: with [beta = 0] the poles degenerate to [{0, −alpha/tau}]
+    — the rate mismatch still dies out, but the queue becomes a pure
+    integrator of the transient and settles at an arbitrary offset
+    instead of draining (only marginal stability). {!simulate}
+    reproduces that numerically; {!lti} returns [None] in that regime
+    because the loop is no longer second-order stable. *)
+
+type variant =
+  | By_capacity  (** multiplicative update, scaled by [R/C] (RCP-AC) *)
+  | By_load  (** additive update, shared over the [N] flows *)
+
+type params = private {
+  base : Params.t;  (** link and population: [n_flows], [capacity], [buffer] *)
+  alpha : float;  (** rate-mismatch gain, dimensionless *)
+  beta : float;  (** queue-drain gain, dimensionless; [0] = ablation *)
+  tau : float;  (** control interval / RTT proxy, seconds *)
+  variant : variant;
+}
+
+val default_alpha : float
+(** [0.4] — the stock RCP gain (Dukkipati & McKeown). *)
+
+val default_beta : float
+(** [0.226] — the stock RCP queue gain. *)
+
+val default_tau : float
+(** [120 µs] — 100 frame times at 10 Gbit/s; matches the packet
+    model's default control interval so fluid and packet runs describe
+    the same loop. *)
+
+val make :
+  ?alpha:float ->
+  ?beta:float ->
+  ?tau:float ->
+  ?variant:variant ->
+  Params.t ->
+  params
+(** Raises [Invalid_argument] unless [alpha > 0], [beta >= 0] and
+    [tau > 0]. Defaults: the stock gains above and [By_capacity]. *)
+
+val equilibrium : params -> float * float
+(** [(0, C/N)] — empty queue, the fair share, for both variants and
+    any positive gains. *)
+
+val char_poly : params -> float * float
+(** [(m, n)] of the shared linearization [x'' + m·x' + n·x = 0]:
+    [m = alpha/tau], [n = beta/tau²]. *)
+
+val lti : params -> Control.Lti2.t option
+(** The linearized loop as a standard second-order system — [None] when
+    [beta = 0] (the ablated loop has a pole at the origin and is not
+    representable as a damped oscillator). *)
+
+val stable : params -> bool
+(** Routh test on {!char_poly}: true iff [beta > 0] (given the
+    constructor's [alpha > 0]). Valluri's headline result — RCP has no
+    unstable gain region, only the [beta = 0] marginal boundary. *)
+
+val damping_ratio : params -> float
+(** [alpha / (2·sqrt beta)]; [infinity] when [beta = 0]. Note it is
+    independent of [tau] — the interval sets the time scale, not the
+    shape, of the transient. *)
+
+val settling_time : params -> float option
+(** 2%% settling-time estimate of the linearized loop, when [beta > 0]. *)
+
+val eigenvalues : params -> Numerics.Mat2.eigenvalues
+(** Poles of the linearization; [Real_pair (−alpha/tau, 0.)] ordered as
+    [(l1, l2)] with [l1 <= l2] in the [beta = 0] ablation. *)
+
+val to_xy : params -> q:float -> r:float -> Numerics.Vec2.t
+(** Physical [(q, R)] to normalized [(x, y) = (q − q*, N·R − C)]. *)
+
+val of_xy : params -> Numerics.Vec2.t -> float * float
+(** Inverse of {!to_xy}. *)
+
+val system : params -> Phaseplane.System.t
+(** The normalized dynamics as a phase-plane system. RCP is smooth —
+    there is no switching line — so this is a
+    {!Phaseplane.System.Smooth_fast} carrying allocation-free
+    right-hand sides that mirror the closure bit for bit; portraits,
+    safe regions and refine traces work on it unchanged. *)
+
+val start_point : params -> Numerics.Vec2.t
+(** Normalized image of the cold start [(q, R) = (0, 0.3·C/N)] — the
+    same 30%%-of-fair-share start the packet model uses. *)
+
+(** {1 Clamped physical simulation} *)
+
+type phys = {
+  q : Numerics.Series.t;  (** queue, bits *)
+  r : Numerics.Series.t;  (** advertised rate, bit/s *)
+  dropped_bits : float;  (** overflow clipped at the buffer wall *)
+}
+
+val simulate :
+  ?h:float -> ?q_init:float -> ?r_init:float -> t_end:float -> params -> phys
+(** Integrate the physical model with the queue clamped to
+    [[0, buffer]] and the rate to [>= 0] (RK4, step [h], default
+    [1 µs]). Defaults: [q_init = 0], [r_init = 0.3·C/N]. This is the
+    reference trace for the packet-vs-fluid agreement test and the
+    queue-term ablation experiment. Raises [Invalid_argument] on
+    non-positive [h] or [t_end]. *)

@@ -16,20 +16,25 @@ type t =
       rhs : Ode.field_auto;
       batch : Ode.Batch.rhs;
     }
+  | Smooth_fast of {
+      f : field;
+      rhs : Ode.field_auto;
+      batch : Ode.Batch.rhs;
+    }
 
 let eval sys p =
   match sys with
-  | Smooth f -> f p
+  | Smooth f | Smooth_fast { f; _ } -> f p
   | Switched { sigma; pos; neg } | Switched_fast { sigma; pos; neg; _ } ->
       if sigma p >= 0. then pos p else neg p
 
 let sigma_opt = function
-  | Smooth _ -> None
+  | Smooth _ | Smooth_fast _ -> None
   | Switched { sigma; _ } | Switched_fast { sigma; _ } -> Some sigma
 
 let region sys p =
   match sys with
-  | Smooth _ -> `Pos
+  | Smooth _ | Smooth_fast _ -> `Pos
   | Switched { sigma; _ } | Switched_fast { sigma; _ } ->
       let s = sigma p in
       let scale = 1. +. Vec2.norm p in
@@ -48,7 +53,8 @@ let to_ode sys : Ode.field =
    so the in-place solvers evaluate it with zero allocation. *)
 let to_ode_into sys : Ode.field_into =
   match sys with
-  | Switched_fast { rhs; _ } -> fun _t y dst -> rhs y dst
+  | Switched_fast { rhs; _ } | Smooth_fast { rhs; _ } ->
+      fun _t y dst -> rhs y dst
   | Smooth _ | Switched _ ->
       fun _t y dst ->
         let v = eval sys (Vec2.make y.(0) y.(1)) in
@@ -57,7 +63,7 @@ let to_ode_into sys : Ode.field_into =
 
 let to_auto sys : Ode.field_auto =
   match sys with
-  | Switched_fast { rhs; _ } -> rhs
+  | Switched_fast { rhs; _ } | Smooth_fast { rhs; _ } -> rhs
   | Smooth _ | Switched _ ->
       fun y dst ->
         let v = eval sys (Vec2.make y.(0) y.(1)) in
@@ -70,7 +76,7 @@ let to_auto sys : Ode.field_auto =
    [Switched_fast] carries a dedicated SoA sweep. *)
 let batch_rhs sys : Ode.Batch.rhs =
   match sys with
-  | Switched_fast { batch; _ } -> batch
+  | Switched_fast { batch; _ } | Smooth_fast { batch; _ } -> batch
   | Smooth _ | Switched _ ->
       fun b xs ys dxs dys ->
         for i = 0 to b.Ode.Batch.n - 1 do

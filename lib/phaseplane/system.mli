@@ -35,6 +35,20 @@ type t =
           portrait/Poincaré machinery generic; the [rhs]/[batch] fields
           are what the in-place and batched solvers use, so hot loops
           over such a system allocate nothing per evaluation. *)
+  | Smooth_fast of {
+      f : field;
+      rhs : Numerics.Ode.field_auto;
+          (** allocation-free form; must mirror [f] bit for bit (same
+              contract as the [Switched_fast] fields). *)
+      batch : Numerics.Ode.Batch.rhs;
+          (** SoA sweep; per lane it must write the same bits as
+              [rhs]. *)
+    }
+      (** A smooth system (no switching line) with hand-specialized
+          allocation-free right-hand sides — the rate-based fluid
+          models ({!Fluid.Rcp}) have a single governing field, so the
+          switched representation would be wrong and the plain [Smooth]
+          fallback would allocate two [Vec2] per evaluation. *)
 
 val eval : t -> Numerics.Vec2.t -> Numerics.Vec2.t
 (** Field value at a point; on the switching line ([sigma = 0]) the
@@ -51,18 +65,19 @@ val to_ode_into : t -> Numerics.Ode.field_into
 (** In-place adapter for the allocation-free solvers ({!Numerics.Ode}
     [solve_fixed_into] / [solve_adaptive_into]); writes the field value
     into the destination array instead of allocating it. For
-    [Switched_fast] this is the carried [rhs] (zero allocation per
-    evaluation); otherwise it funnels through the closures (two [Vec2]
-    per evaluation) with identical results. *)
+    [Switched_fast] and [Smooth_fast] this is the carried [rhs] (zero
+    allocation per evaluation); otherwise it funnels through the
+    closures (two [Vec2] per evaluation) with identical results. *)
 
 val to_auto : t -> Numerics.Ode.field_auto
 (** Autonomous in-place form (the systems here are all autonomous);
     same dispatch as {!to_ode_into}. *)
 
 val batch_rhs : t -> Numerics.Ode.Batch.rhs
-(** SoA sweep for batched front integration. [Switched_fast] systems
-    use their dedicated sweep; any other system falls back to a
-    lane-by-lane closure evaluation with bit-identical results. *)
+(** SoA sweep for batched front integration. [Switched_fast] and
+    [Smooth_fast] systems use their dedicated sweep; any other system
+    falls back to a lane-by-lane closure evaluation with bit-identical
+    results. *)
 
 val sigma_opt : t -> (Numerics.Vec2.t -> float) option
 (** The switching function, when the system has one. *)

@@ -1,7 +1,7 @@
 module R = Faultnet.Resilience
 
 let verdicts ?memo ?(jobs = 1) ~seed ~baseline_utilization sc ax_x ax_y pts =
-  let t_end = sc.R.cfg.Simnet.Runner.t_end in
+  let t_end = sc.R.scen.Simnet.Scenario.t_end in
   let task (sx, sy) =
     let plan = Faultnet.Plan.with_seed Faultnet.Plan.none seed in
     let plan = R.plan_add plan ax_x ~severity:sx ~t_end in

@@ -96,9 +96,28 @@ let multihop (r : Simnet.Multihop.result) =
     r.Simnet.Multihop.utilization_b r.Simnet.Multihop.beatdown
     r.Simnet.Multihop.bcn_messages
 
+(* Models without a bespoke report above (RCP today, anything compiled
+   later) render through the protocol-agnostic stats view — new
+   protocols light up here with zero per-protocol code. *)
+let generic o =
+  let s = (Simnet.Scenario.outcome_stats o).(0) in
+  Format.asprintf
+    "@[<v>%s run@,\
+     utilization %.3f@,\
+     drops: %d@,\
+     feedback messages: %d@,\
+     Jain fairness of final rates: %s@]@."
+    (Simnet.Scenario.outcome_model o)
+    s.Simnet.Scenario.utilization s.Simnet.Scenario.drops
+    s.Simnet.Scenario.messages
+    (match s.Simnet.Scenario.final_rates with
+    | Some rates -> Printf.sprintf "%.4f" (Simnet.Runner.fairness rates)
+    | None -> "n/a")
+
 let outcome ~seeds = function
   | Store.Sweep.Bcn_results rs ->
       if Array.length rs > 1 then replicas ~seeds rs else single rs.(0)
   | Store.Sweep.E2cm_result r -> e2cm r
   | Store.Sweep.Fera_result r -> fera r
   | Store.Sweep.Multihop_result r -> multihop r
+  | o -> generic o

@@ -37,31 +37,151 @@ let describe = function
   | Region { param; param2; _ } -> Printf.sprintf "region %s x %s" param param2
   | Batch { spec; _ } -> "batch " ^ Fabric.Spec.describe spec
 
-(* ---------- shared CLI vocabulary ---------- *)
+(* ---------- shared CLI vocabulary: the parameter-axis registry ---------- *)
+
+(* One row per sweepable parameter, one list for every consumer
+   (bcn_sweep grids, region planes, serve requests, tests): name
+   resolution, CLI docs and the application function all read the same
+   data, so the tools cannot drift from the daemon. *)
+
+type param_target =
+  | Fluid_param of (Fluid.Params.t -> float -> Fluid.Params.t)
+      (** rewrites the fluid parameter point (every model shares it) *)
+  | Model_param of (Simnet.Scenario.t -> float -> Simnet.Scenario.t)
+      (** rewrites a model-arm knob inside a scenario *)
+
+type param_axis = {
+  axis_name : string;
+  aliases : string list;
+  axis_doc : string;
+  target : param_target;
+}
+
+let fluid_axis ?(aliases = []) axis_name axis_doc f =
+  { axis_name; aliases; axis_doc; target = Fluid_param f }
+
+(* [set] rebuilds the whole model arm: inline-record fields cannot
+   leave their constructor *)
+let rcp_axis ?(aliases = []) axis_name axis_doc set =
+  let apply s v =
+    match s.Simnet.Scenario.model with
+    | Simnet.Scenario.Rcp { alpha; beta; interval; variant } ->
+        {
+          s with
+          Simnet.Scenario.model = set ~alpha ~beta ~interval ~variant v;
+        }
+    | _ -> invalid_arg (axis_name ^ " applies to RCP scenarios only")
+  in
+  { axis_name; aliases; axis_doc; target = Model_param apply }
+
+let param_axes =
+  [
+    fluid_axis "gi" "BCN additive-increase gain" (fun p v ->
+        Fluid.Params.with_gains ~gi:v p);
+    fluid_axis "gd" "BCN multiplicative-decrease gain" (fun p v ->
+        Fluid.Params.with_gains ~gd:v p);
+    fluid_axis "ru" "BCN rate unit" (fun p v ->
+        Fluid.Params.with_gains ~ru:v p);
+    fluid_axis "q0" "queue setpoint, bits" Fluid.Params.with_q0;
+    fluid_axis "buffer" "buffer size, bits" Fluid.Params.with_buffer;
+    fluid_axis ~aliases:[ "flows" ] "n" "number of flows" (fun p v ->
+        Fluid.Params.with_flows p (int_of_float v));
+    fluid_axis "w" "sigma derivative weight" (fun p v ->
+        Fluid.Params.with_sampling ~w:v p);
+    fluid_axis "pm" "sampling probability" (fun p v ->
+        Fluid.Params.with_sampling ~pm:v p);
+    fluid_axis ~aliases:[ "c" ] "capacity" "link capacity, bit/s"
+      Fluid.Params.with_capacity;
+    rcp_axis ~aliases:[ "rcp_alpha" ] "rcp-alpha" "RCP rate-mismatch gain"
+      (fun ~alpha:_ ~beta ~interval ~variant v ->
+        Simnet.Scenario.Rcp { alpha = v; beta; interval; variant });
+    rcp_axis ~aliases:[ "rcp_beta" ] "rcp-beta"
+      "RCP queue-drain gain (0 = no-queue-term ablation)"
+      (fun ~alpha ~beta:_ ~interval ~variant v ->
+        Simnet.Scenario.Rcp { alpha; beta = v; interval; variant });
+    rcp_axis ~aliases:[ "rcp_interval" ] "rcp-interval"
+      "RCP control interval, seconds"
+      (fun ~alpha ~beta ~interval:_ ~variant v ->
+        Simnet.Scenario.Rcp { alpha; beta; interval = v; variant });
+  ]
+
+let find_axis kind axes name names =
+  match
+    List.find_opt (fun a -> a.axis_name = name || List.mem name a.aliases) axes
+  with
+  | Some a -> a
+  | None ->
+      invalid_arg (Printf.sprintf "unknown %s %S (expected %s)" kind name names)
+
+let param_names = String.concat " | " (List.map (fun a -> a.axis_name) param_axes)
+let find_param name = find_axis "parameter" param_axes name param_names
 
 let apply_param base param v =
-  match param with
-  | "gi" -> Fluid.Params.with_gains ~gi:v base
-  | "gd" -> Fluid.Params.with_gains ~gd:v base
-  | "ru" -> Fluid.Params.with_gains ~ru:v base
-  | "q0" -> Fluid.Params.with_q0 base v
-  | "buffer" -> Fluid.Params.with_buffer base v
-  | "n" | "flows" -> Fluid.Params.with_flows base (int_of_float v)
-  | "w" -> Fluid.Params.with_sampling ~w:v base
-  | "pm" -> Fluid.Params.with_sampling ~pm:v base
-  | "capacity" | "c" -> Fluid.Params.with_capacity base v
-  | other -> invalid_arg ("unknown parameter: " ^ other)
-
-let axis_of_name ~flap_period ~flap_duty = function
-  | "bcn-loss" | "bcn_loss" -> Faultnet.Resilience.Bcn_loss
-  | "pause-loss" | "pause_loss" -> Faultnet.Resilience.Pause_loss
-  | "flap-depth" | "flap_depth" ->
-      Faultnet.Resilience.Flap_depth { period = flap_period; duty = flap_duty }
-  | other ->
+  match (find_param param).target with
+  | Fluid_param f -> f base v
+  | Model_param _ ->
       invalid_arg
-        (Printf.sprintf
-           "unknown axis %S (expected bcn-loss | pause-loss | flap-depth)"
-           other)
+        (param ^ " is a model parameter: it applies to scenarios, not fluid \
+                  parameter points")
+
+let apply_scenario_param s param v =
+  match (find_param param).target with
+  | Fluid_param f ->
+      { s with Simnet.Scenario.params = f s.Simnet.Scenario.params v }
+  | Model_param f -> f s v
+
+(* ---------- the fault-axis registry ---------- *)
+
+type fault_axis = {
+  fault_name : string;
+  fault_aliases : string list;
+  fault_doc : string;
+  fault_make : flap_period:float -> flap_duty:float -> Faultnet.Resilience.axis;
+}
+
+let fault_axes =
+  [
+    {
+      fault_name = "bcn-loss";
+      fault_aliases = [ "bcn_loss" ];
+      fault_doc = "drop feedback frames (both signs) with probability = severity";
+      fault_make =
+        (fun ~flap_period:_ ~flap_duty:_ -> Faultnet.Resilience.Bcn_loss);
+    };
+    {
+      fault_name = "pause-loss";
+      fault_aliases = [ "pause_loss" ];
+      fault_doc = "drop PAUSE frames with probability = severity";
+      fault_make =
+        (fun ~flap_period:_ ~flap_duty:_ -> Faultnet.Resilience.Pause_loss);
+    };
+    {
+      fault_name = "flap-depth";
+      fault_aliases = [ "flap_depth" ];
+      fault_doc = "square capacity flaps dipping to (1 - severity) * C";
+      fault_make =
+        (fun ~flap_period ~flap_duty ->
+          Faultnet.Resilience.Flap_depth
+            { period = flap_period; duty = flap_duty });
+    };
+  ]
+
+let axis_names =
+  String.concat " | " (List.map (fun a -> a.fault_name) fault_axes)
+
+let axis_of_name ~flap_period ~flap_duty name =
+  let a =
+    match
+      List.find_opt
+        (fun a -> a.fault_name = name || List.mem name a.fault_aliases)
+        fault_axes
+    with
+    | Some a -> a
+    | None ->
+        invalid_arg
+          (Printf.sprintf "unknown axis %S (expected %s)" name axis_names)
+  in
+  a.fault_make ~flap_period ~flap_duty
 
 let sweep_header param =
   [

@@ -69,19 +69,70 @@ val execute : ?cache:Store.Cache.t -> request -> string
     its completed points. Raises [Invalid_argument] on malformed
     requests (unknown parameter or axis names, bad ranges). *)
 
-(** {1 Shared CLI vocabulary}
+(** {1 Shared CLI vocabulary: the axis registries}
 
     The pieces [bcn_sweep] / [bcn_faults] and this module must agree on
-    — one definition each, so the daemon cannot drift from the tools. *)
+    — one data-driven table each for sweepable parameters and fault
+    axes. Name resolution, CLI doc strings and the application
+    functions all read the same rows, so the daemon cannot drift from
+    the tools, and a new parameter (e.g. the RCP gains) becomes
+    sweepable everywhere by adding one row here. *)
+
+(** Where a parameter axis applies. *)
+type param_target =
+  | Fluid_param of (Fluid.Params.t -> float -> Fluid.Params.t)
+      (** rewrites the fluid parameter point (shared by every model) *)
+  | Model_param of (Simnet.Scenario.t -> float -> Simnet.Scenario.t)
+      (** rewrites a model-arm knob inside a scenario (e.g.
+          [rcp-alpha]) *)
+
+type param_axis = {
+  axis_name : string;  (** canonical spelling *)
+  aliases : string list;
+  axis_doc : string;
+  target : param_target;
+}
+
+val param_axes : param_axis list
+(** The registry: gi, gd, ru, q0, buffer, n (flows), w, pm, capacity
+    (c), rcp-alpha, rcp-beta, rcp-interval. *)
+
+val param_names : string
+(** The canonical names, ["|"]-separated — for CLI doc strings. *)
+
+val find_param : string -> param_axis
+(** Resolve a name or alias. Raises [Invalid_argument] listing the
+    vocabulary on unknown names. *)
 
 val apply_param : Fluid.Params.t -> string -> float -> Fluid.Params.t
-(** Apply one named sweep parameter: gi | gd | ru | q0 | buffer |
-    n/flows | w | pm | capacity/c. Raises [Invalid_argument] on unknown
-    names. *)
+(** Apply one named {!Fluid_param} axis. Raises [Invalid_argument] on
+    unknown names and on {!Model_param} axes (they need a scenario —
+    use {!apply_scenario_param}). *)
+
+val apply_scenario_param :
+  Simnet.Scenario.t -> string -> float -> Simnet.Scenario.t
+(** Apply any axis at the scenario level: fluid axes rewrite
+    [scenario.params], model axes rewrite their model arm (raising
+    [Invalid_argument] when the scenario runs a different model). *)
+
+(** One row per fault-severity axis the margin machinery can bisect. *)
+type fault_axis = {
+  fault_name : string;
+  fault_aliases : string list;
+  fault_doc : string;
+  fault_make : flap_period:float -> flap_duty:float -> Faultnet.Resilience.axis;
+}
+
+val fault_axes : fault_axis list
+(** bcn-loss, pause-loss, flap-depth. *)
+
+val axis_names : string
+(** The canonical fault-axis names, ["|"]-separated — for CLI docs. *)
 
 val axis_of_name :
   flap_period:float -> flap_duty:float -> string -> Faultnet.Resilience.axis
-(** bcn-loss | pause-loss | flap-depth (dash or underscore spelling). *)
+(** Resolve a fault-axis name or alias ([_]-spellings accepted) through
+    {!fault_axes}. Raises [Invalid_argument] listing the vocabulary. *)
 
 val sweep_header : string -> string list
 (** The 1-D sweep table header for a given parameter name. *)

@@ -7,6 +7,7 @@ type config = {
   initial_rate : float;
   control_delay : float;
   interval : float;
+  control_channel : Runner.control_channel option;
 }
 
 let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
@@ -18,6 +19,7 @@ let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
     control_delay = 1e-6;
     interval =
       200. *. float_of_int Packet.data_frame_bits /. p.Fluid.Params.capacity;
+    control_channel = None;
   }
 
 type result = {
@@ -85,6 +87,30 @@ let run cfg =
              (rates.(flow) *. (1. +. (p.Fluid.Params.gd *. sigma)))
              er)
   in
+  (* Feedback leaves the switch either as a direct scheduled reaction
+     (the historical, allocation-free path) or — when a fault channel is
+     interposed — as a synthesized BCN frame carrying [fb = sigma], so
+     loss/delay plans classify and perturb E2CM feedback exactly like
+     BCN feedback. [None] and a pass-through channel are event-for-event
+     identical. *)
+  let fb_seq = ref 0 in
+  let feedback e flow sigma er =
+    match cfg.control_channel with
+    | None ->
+        Engine.schedule e ~delay:cfg.control_delay (fun _e ->
+            react flow sigma er)
+    | Some chan ->
+        let pkt =
+          Packet.make_bcn ~seq:!fb_seq ~now:(Engine.now e) ~flow ~fb:sigma
+            ~cpid:1
+        in
+        incr fb_seq;
+        chan e pkt
+          ~deliver:(fun e _pkt ->
+            Engine.schedule e ~delay:cfg.control_delay (fun _e ->
+                react flow sigma er))
+          ~drop:(fun _e _pkt -> ())
+  in
   let receive e (pkt : Packet.t) =
     (match pkt.Packet.kind with
     | Packet.Data { flow; _ } ->
@@ -100,9 +126,7 @@ let run cfg =
             in
             if sigma <> 0. then begin
               incr messages;
-              let er = !fair_share in
-              Engine.schedule e ~delay:cfg.control_delay (fun _e ->
-                  react flow sigma er)
+              feedback e flow sigma !fair_share
             end
           end
         end

@@ -15,6 +15,11 @@ type config = {
   initial_rate : float;
   control_delay : float;
   interval : float;  (** fair-share measurement window *)
+  control_channel : Runner.control_channel option;
+      (** interposed on the feedback path; each sigma message is
+          synthesized as a BCN frame carrying [fb = sigma] so
+          loss/delay fault plans act on it. [None] (the default) is
+          event-for-event identical to a pass-through channel. *)
 }
 
 val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config

@@ -8,6 +8,7 @@ type config = {
   control_delay : float;
   interval : float;
   target_util : float;
+  control_channel : Runner.control_channel option;
 }
 
 let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
@@ -20,6 +21,7 @@ let default_config ?(t_end = 0.02) ?(sample_dt = 1e-5) (p : Fluid.Params.t) =
     interval =
       100. *. float_of_int Packet.data_frame_bits /. p.Fluid.Params.capacity;
     target_util = 0.95;
+    control_channel = None;
   }
 
 type result = {
@@ -69,6 +71,28 @@ let run cfg =
     | Packet.Bcn _ | Packet.Pause _ -> ());
     serve e
   in
+  (* An advertisement reaches its source directly (historical path) or,
+     when a fault channel is interposed, as a synthesized BCN frame
+     carrying [fb = er] — so loss/delay plans act on ERICA feedback the
+     same way they act on BCN feedback. [None] and a pass-through
+     channel are event-for-event identical. *)
+  let fb_seq = ref 0 in
+  let feedback e i er =
+    match cfg.control_channel with
+    | None ->
+        Engine.schedule e ~delay:cfg.control_delay (fun _e -> rates.(i) <- er)
+    | Some chan ->
+        let pkt =
+          Packet.make_bcn ~seq:!fb_seq ~now:(Engine.now e) ~flow:i ~fb:er
+            ~cpid:1
+        in
+        incr fb_seq;
+        chan e pkt
+          ~deliver:(fun e _pkt ->
+            Engine.schedule e ~delay:cfg.control_delay (fun _e ->
+                rates.(i) <- er))
+          ~drop:(fun _e _pkt -> ())
+  in
   (* the ERICA measurement/advertisement cycle *)
   let rec advertise e =
     let measured = Array.fold_left ( +. ) 0. flow_bits /. cfg.interval in
@@ -86,8 +110,7 @@ let run cfg =
             let er = Float.max fair_share (flow_rate /. z) in
             let er = Float.min er c in
             incr advertisements;
-            Engine.schedule e ~delay:cfg.control_delay (fun _e ->
-                rates.(i) <- er)
+            feedback e i er
           end)
         flow_bits
     end;

@@ -21,6 +21,11 @@ type config = {
   control_delay : float;
   interval : float;  (** measurement/advertisement interval, seconds *)
   target_util : float;  (** ERICA's target utilization, e.g. 0.95 *)
+  control_channel : Runner.control_channel option;
+      (** interposed on the advertisement path; each advertisement is
+          synthesized as a BCN frame carrying [fb = er] so loss/delay
+          fault plans act on it. [None] (the default) is event-for-event
+          identical to a pass-through channel. *)
 }
 
 val default_config : ?t_end:float -> ?sample_dt:float -> Fluid.Params.t -> config

@@ -21,6 +21,12 @@ type model =
       n_short : int;
       strict_tagging : bool;
     }
+  | Rcp of {
+      alpha : float;
+      beta : float;
+      interval : float;
+      variant : Fluid.Rcp.variant;
+    }
 
 type workload =
   | Cbr of { rate : float }
@@ -52,7 +58,13 @@ type t = {
   replicas : int;
 }
 
-let version = 1
+let version = 2
+
+(* Canonical documents carry the smallest version able to express their
+   content: pre-RCP scenarios keep emitting (and re-encoding) their v1
+   bytes unchanged — content addresses in existing stores survive the
+   codec extension — and only the [Rcp] arm needs v2. *)
+let doc_version s = match s.model with Rcp _ -> 2 | _ -> 1
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)
@@ -157,6 +169,23 @@ let multihop ?(t_end = 0.02) ?(sample_dt = 1e-5) ?initial_rate
     replicas = 1;
   }
 
+let rcp ?(t_end = 0.02) ?(sample_dt = 1e-5) ?initial_rate
+    ?(control_delay = 1e-6) ?(alpha = Fluid.Rcp.default_alpha)
+    ?(beta = Fluid.Rcp.default_beta) ?(interval = Fluid.Rcp.default_tau)
+    ?(variant = Fluid.Rcp.By_capacity) (params : Fluid.Params.t) =
+  {
+    params;
+    t_end;
+    sample_dt;
+    initial_rate;
+    control_delay;
+    model = Rcp { alpha; beta; interval; variant };
+    workload = [];
+    fault = None;
+    seed = 0;
+    replicas = 1;
+  }
+
 let with_fault s plan =
   { s with fault = (if Fault_plan.is_none plan then None else Some plan) }
 
@@ -220,12 +249,29 @@ let validate s =
       check_pos "multihop c_a" c_a;
       check_pos "multihop c_b" c_b;
       if n_long < 1 || n_short < 0 then
-        fail "Scenario: multihop needs n_long >= 1 and n_short >= 0");
+        fail "Scenario: multihop needs n_long >= 1 and n_short >= 0"
+  | Rcp { alpha; beta; interval; _ } ->
+      check_pos "rcp alpha" alpha;
+      check_nonneg "rcp beta" beta;
+      check_pos "rcp interval" interval);
+  (* Fault support follows what a model physically exposes: loss/delay
+     need only a control channel; capacity flaps need a live switch;
+     blackouts toggle a BCN congestion point. *)
+  (match (s.model, s.fault) with
+  | _, None | Bcn _, Some _ -> ()
+  | Rcp _, Some p ->
+      if p.Fault_plan.blackout <> None then
+        fail "Scenario: blackout faults need a BCN congestion point"
+  | (E2cm _ | Fera _), Some p ->
+      if p.Fault_plan.capacity <> None then
+        fail "Scenario: capacity-flap faults need a switch-based model";
+      if p.Fault_plan.blackout <> None then
+        fail "Scenario: blackout faults need a BCN congestion point"
+  | Multihop _, Some _ ->
+      fail "Scenario: fault plans do not apply to the multihop model");
   (match s.model with
   | Bcn _ -> ()
   | _ ->
-      if s.fault <> None then
-        fail "Scenario: fault plans only apply to the BCN model";
       if s.workload <> [] then
         fail "Scenario: cross-traffic workloads only apply to the BCN model";
       if s.replicas > 1 then
@@ -246,6 +292,7 @@ let describe s =
     | E2cm _ -> "e2cm"
     | Fera _ -> "fera"
     | Multihop _ -> "multihop"
+    | Rcp _ -> "rcp"
   in
   Printf.sprintf "%s n=%d C=%g t_end=%g%s%s%s" model p.Fluid.Params.n_flows
     p.Fluid.Params.capacity s.t_end
@@ -321,6 +368,19 @@ let enc_model = function
           ("n_long", enc_int n_long);
           ("n_short", enc_int n_short);
           ("strict_tagging", enc_bool strict_tagging);
+        ]
+  | Rcp { alpha; beta; interval; variant } ->
+      J.obj
+        [
+          ("kind", J.str "rcp");
+          ("alpha", enc_float alpha);
+          ("beta", enc_float beta);
+          ("interval", enc_float interval);
+          ( "variant",
+            J.str
+              (match variant with
+              | Fluid.Rcp.By_capacity -> "by_capacity"
+              | Fluid.Rcp.By_load -> "by_load") );
         ]
 
 let enc_workload = function
@@ -420,7 +480,7 @@ let encode s =
   let s = validate s in
   J.obj
     [
-      ("v", enc_int version);
+      ("v", enc_int (doc_version s));
       ("model", enc_model s.model);
       ("params", encode_params s.params);
       ("t_end", enc_float s.t_end);
@@ -536,6 +596,26 @@ let dec_model params j =
           n_short = get_int_opt what fields "n_short" ~default:10;
           strict_tagging =
             get_bool_opt what fields "strict_tagging" ~default:true;
+        }
+  | "rcp" ->
+      check_known what [ "kind"; "alpha"; "beta"; "interval"; "variant" ]
+        fields;
+      Rcp
+        {
+          alpha =
+            get_float_opt what fields "alpha"
+              ~default:Fluid.Rcp.default_alpha;
+          beta =
+            get_float_opt what fields "beta" ~default:Fluid.Rcp.default_beta;
+          interval =
+            get_float_opt what fields "interval"
+              ~default:Fluid.Rcp.default_tau;
+          variant =
+            (match field fields "variant" with
+            | None | Some (Jstr "by_capacity") -> Fluid.Rcp.By_capacity
+            | Some (Jstr "by_load") -> Fluid.Rcp.By_load
+            | Some (Jstr other) -> bad "model.variant: unknown variant %S" other
+            | Some _ -> bad "model.variant: expected a string");
         }
   | other -> bad "model: unknown kind %S" other
 
@@ -665,7 +745,8 @@ let dec_scenario j =
       "control_delay"; "seed"; "replicas"; "workload"; "fault" ]
     fields;
   let v = get_int what fields "v" in
-  if v <> version then bad "scenario: unsupported encoding version %d" v;
+  if v < 1 || v > version then
+    bad "scenario: unsupported encoding version %d" v;
   let params =
     match field fields "params" with
     | Some j -> dec_params j
@@ -676,6 +757,14 @@ let dec_scenario j =
     | Some j -> dec_model params j
     | None -> bad "scenario: missing field \"model\""
   in
+  (* The version is a pure function of the content ([doc_version]), so
+     canonical bytes stay 1:1 with scenarios: a v1 document can never
+     smuggle in an RCP arm, and an inflated-version copy of a v1
+     document is rejected rather than silently re-keyed. *)
+  let required = match model with Rcp _ -> 2 | _ -> 1 in
+  if v <> required then
+    bad "scenario: version %d does not match the model (canonical is %d)" v
+      required;
   {
     params;
     model;
@@ -871,3 +960,236 @@ let start_workloads s e sw =
       in
       Workload.start w e ~sink)
     s.workload
+
+(* ------------------------------------------------------------------ *)
+(* The single compile dispatch                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_rcp_config s =
+  match s.model with
+  | Rcp { alpha; beta; interval; variant } ->
+      let base =
+        Rcp.default_config ~t_end:s.t_end ~sample_dt:s.sample_dt s.params
+      in
+      {
+        base with
+        Rcp.initial_rate =
+          Option.value s.initial_rate ~default:base.Rcp.initial_rate;
+        control_delay = s.control_delay;
+        alpha;
+        beta;
+        interval;
+        variant;
+      }
+  | _ -> invalid_arg "Scenario.to_rcp_config: not an RCP scenario"
+
+type hooks = {
+  channel : Runner.control_channel option;
+  setup : (Engine.t -> Switch.t -> unit) option;
+}
+
+type outcome =
+  | Bcn_results of Runner.result array
+  | E2cm_result of E2cm.result
+  | Fera_result of Fera.result
+  | Multihop_result of Multihop.result
+  | Rcp_result of Rcp.result
+
+type ('c, 'r) compiled = {
+  configs : 'c array;
+  run_many : ?jobs:int -> 'c array -> 'r array;
+  wire : ('c -> hooks -> 'c) option;
+  pack : 'r array -> outcome;
+}
+
+type runnable = Runnable : ('c, 'r) compiled -> runnable
+
+(* Prepend [setup] before whatever the config already runs at setup
+   time: fault installation must precede workload start (the order
+   [Store.Sweep] always used), and both must see the live switch. *)
+let compose_setup extra prev =
+  match (extra, prev) with
+  | None, p -> p
+  | Some _, None -> extra
+  | Some f, Some p ->
+      Some
+        (fun e sw ->
+          f e sw;
+          p e sw)
+
+let single pack = function
+  | [| r |] -> pack r
+  | rs ->
+      invalid_arg
+        (Printf.sprintf "Scenario.compile: expected 1 result, got %d"
+           (Array.length rs))
+
+let compile s =
+  let s = validate s in
+  match s.model with
+  | Bcn _ ->
+      let cfgs = runner_configs s in
+      let cfgs =
+        if s.workload = [] then cfgs
+        else
+          Array.map
+            (fun cfg ->
+              {
+                cfg with
+                Runner.on_setup =
+                  compose_setup cfg.Runner.on_setup
+                    (Some (fun e sw -> start_workloads s e sw));
+              })
+            cfgs
+      in
+      Runnable
+        {
+          configs = cfgs;
+          run_many = Runner.run_many;
+          wire =
+            Some
+              (fun cfg h ->
+                {
+                  cfg with
+                  Runner.control_channel =
+                    (match h.channel with
+                    | None -> cfg.Runner.control_channel
+                    | some -> some);
+                  on_setup = compose_setup h.setup cfg.Runner.on_setup;
+                });
+          pack = (fun rs -> Bcn_results rs);
+        }
+  | E2cm _ ->
+      Runnable
+        {
+          configs = [| to_e2cm_config s |];
+          run_many = E2cm.run_many;
+          wire =
+            (* no switch: only channel faults exist for this model
+               (validate enforces it), so [setup] has nothing to arm *)
+            Some
+              (fun cfg h ->
+                {
+                  cfg with
+                  E2cm.control_channel =
+                    (match h.channel with
+                    | None -> cfg.E2cm.control_channel
+                    | some -> some);
+                });
+          pack = single (fun r -> E2cm_result r);
+        }
+  | Fera _ ->
+      Runnable
+        {
+          configs = [| to_fera_config s |];
+          run_many = Fera.run_many;
+          wire =
+            Some
+              (fun cfg h ->
+                {
+                  cfg with
+                  Fera.control_channel =
+                    (match h.channel with
+                    | None -> cfg.Fera.control_channel
+                    | some -> some);
+                });
+          pack = single (fun r -> Fera_result r);
+        }
+  | Multihop _ ->
+      Runnable
+        {
+          configs = [| to_multihop_config s |];
+          run_many = Multihop.run_many;
+          wire = None;
+          pack = single (fun r -> Multihop_result r);
+        }
+  | Rcp _ ->
+      Runnable
+        {
+          configs = [| to_rcp_config s |];
+          run_many = Rcp.run_many;
+          wire =
+            Some
+              (fun cfg h ->
+                {
+                  cfg with
+                  Rcp.control_channel =
+                    (match h.channel with
+                    | None -> cfg.Rcp.control_channel
+                    | some -> some);
+                  on_setup = compose_setup h.setup cfg.Rcp.on_setup;
+                });
+          pack = single (fun r -> Rcp_result r);
+        }
+
+(* ------------------------------------------------------------------ *)
+(* The protocol-agnostic view of an outcome                            *)
+(* ------------------------------------------------------------------ *)
+
+type run_stats = {
+  queue : Numerics.Series.t;
+  utilization : float;
+  drops : int;
+  messages : int;
+  final_rates : float array option;
+}
+
+let outcome_model = function
+  | Bcn_results _ -> "bcn"
+  | E2cm_result _ -> "e2cm"
+  | Fera_result _ -> "fera"
+  | Multihop_result _ -> "multihop"
+  | Rcp_result _ -> "rcp"
+
+let outcome_stats = function
+  | Bcn_results rs ->
+      Array.map
+        (fun (r : Runner.result) ->
+          {
+            queue = r.Runner.queue;
+            utilization = r.Runner.utilization;
+            drops = r.Runner.drops;
+            messages = r.Runner.bcn_positive + r.Runner.bcn_negative;
+            final_rates = Some r.Runner.final_rates;
+          })
+        rs
+  | E2cm_result r ->
+      [|
+        {
+          queue = r.E2cm.queue;
+          utilization = r.E2cm.utilization;
+          drops = r.E2cm.drops;
+          messages = r.E2cm.messages;
+          final_rates = Some r.E2cm.final_rates;
+        };
+      |]
+  | Fera_result r ->
+      [|
+        {
+          queue = r.Fera.queue;
+          utilization = r.Fera.utilization;
+          drops = r.Fera.drops;
+          messages = r.Fera.advertisements;
+          final_rates = Some r.Fera.final_rates;
+        };
+      |]
+  | Multihop_result r ->
+      [|
+        {
+          queue = r.Multihop.queue_b;
+          utilization = r.Multihop.utilization_b;
+          drops = r.Multihop.drops_a + r.Multihop.drops_b;
+          messages = r.Multihop.bcn_messages;
+          final_rates = None;
+        };
+      |]
+  | Rcp_result r ->
+      [|
+        {
+          queue = r.Rcp.queue;
+          utilization = r.Rcp.utilization;
+          drops = r.Rcp.drops;
+          messages = r.Rcp.feedbacks;
+          final_rates = Some r.Rcp.final_rates;
+        };
+      |]

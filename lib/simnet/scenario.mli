@@ -2,13 +2,15 @@
     encoding.
 
     A {!t} is a {e pure description} of one packet-level experiment:
-    which model runs (BCN dumbbell, E2CM, FERA, two-hop multihop), with
-    which {!Fluid.Params.t}, over which horizon, under which cross
+    which model runs (BCN dumbbell, E2CM, FERA, two-hop multihop, RCP),
+    with which {!Fluid.Params.t}, over which horizon, under which cross
     traffic and fault plan, and with which seed/replica structure. It
     subsumes the per-model config records ([Runner.config],
     [E2cm.config], ...) that previously had to be assembled by hand at
-    every call site — those remain the execution-layer types; a scenario
-    compiles down to them via {!to_runner_config} and friends.
+    every call site — those remain the execution-layer types; {!compile}
+    packages a scenario into a first-class {!runnable} so callers can
+    execute any model, wire fault hooks, and consume the {!outcome}
+    without a per-model match.
 
     Because a scenario is pure data, it has a {b canonical encoding}
     ({!encode}): a single-line JSON document with a leading version
@@ -48,6 +50,12 @@ type model =
       n_short : int;
       strict_tagging : bool;
     }
+  | Rcp of {
+      alpha : float;  (** rate-mismatch gain *)
+      beta : float;  (** queue-drain gain; [0] = the ablation *)
+      interval : float;  (** control interval, seconds *)
+      variant : Fluid.Rcp.variant;
+    }  (** explicit-rate feedback ({!Rcp}, {!Fluid.Rcp}) *)
 
 (** Uncontrolled cross traffic injected at the congestion point
     (BCN scenarios only). Flow ids are assigned deterministically from
@@ -83,8 +91,13 @@ type t = {
 }
 
 val version : int
-(** Encoding version written as the leading ["v"] field (currently 1).
-    Bump whenever the canonical encoding changes meaning. *)
+(** Newest encoding version this codec reads (currently 2). A document
+    carries the {e smallest} version able to express its content in the
+    leading ["v"] field: pre-RCP scenarios still encode — byte for byte
+    — as the v1 documents they always were (existing content addresses
+    survive), and only [Rcp] scenarios emit v2. {!decode} accepts
+    versions 1..{!version} and rejects a ["v"] that disagrees with the
+    content, keeping canonical bytes 1:1 with scenarios. *)
 
 (** {1 Constructors} — defaults match the corresponding
     [default_config]. *)
@@ -136,6 +149,21 @@ val multihop :
   Fluid.Params.t ->
   t
 
+val rcp :
+  ?t_end:float ->
+  ?sample_dt:float ->
+  ?initial_rate:float ->
+  ?control_delay:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?interval:float ->
+  ?variant:Fluid.Rcp.variant ->
+  Fluid.Params.t ->
+  t
+(** Defaults: the stock RCP gains ({!Fluid.Rcp.default_alpha} /
+    {!Fluid.Rcp.default_beta}), [interval = ]{!Fluid.Rcp.default_tau},
+    [By_capacity]. *)
+
 val with_fault : t -> Fault_plan.t -> t
 (** [Fault_plan.is_none] plans normalise to no fault, so attaching an
     empty plan does not perturb the key. *)
@@ -147,9 +175,12 @@ val with_replicas : t -> int -> t
 val validate : t -> t
 (** Returns the scenario unchanged or raises [Invalid_argument]:
     positive horizon/sampling period, [replicas >= 1] (and Bernoulli
-    sampling when > 1), fault/workload/replicas restricted to the BCN
-    model, positive workload rates, valid fault plan
-    ({!Fault_plan.validate}). *)
+    sampling when > 1), workloads/replicas restricted to the BCN model,
+    positive workload rates, valid fault plan ({!Fault_plan.validate}).
+    Fault support follows what a model physically exposes: BCN takes
+    any plan; RCP takes loss/delay/capacity (no blackout — there is no
+    congestion point to black out); E2CM/FERA take channel faults only
+    (loss/delay); multihop takes none. *)
 
 val equal : t -> t -> bool
 val describe : t -> string
@@ -179,24 +210,119 @@ val of_json : Json_read.t -> (t, string) result
 val decode_exn : string -> t
 (** Raises [Invalid_argument] where {!decode} returns [Error]. *)
 
-(** {1 Compilation to execution-layer configs}
+(** {1 Compilation}
 
-    These build the per-model config records. They do {e not} wire the
-    fault plan (an injector is executable state owned by one run —
-    [Faultnet.Injector] / [Store.Sweep] do that) nor the workloads (use
-    {!start_workloads} from an [on_setup] hook). *)
+    {!compile} is the single dispatch from scenario to execution: it
+    validates, builds the per-model configs (workloads already wired for
+    BCN), and packages the model's [run_many] together with a fault-hook
+    wiring function and a result packer. Callers that used to match on
+    {!model} and call [to_*_config] by hand now write one
+    model-independent loop:
+
+    {[
+      match Scenario.compile s with
+      | Scenario.Runnable c ->
+          let cfgs =
+            match c.wire with
+            | None -> c.configs
+            | Some wire -> Array.map (fun cfg -> wire cfg hooks) c.configs
+          in
+          c.pack (c.run_many ~jobs cfgs)
+    ]}
+
+    Note the existential: all uses of the compiled record must live
+    inside the [match] arm. *)
+
+type hooks = {
+  channel : Runner.control_channel option;
+      (** interposed on the model's feedback path ([None] = leave the
+          config's own channel in place) *)
+  setup : (Engine.t -> Switch.t -> unit) option;
+      (** runs {e before} the config's existing [on_setup] — fault
+          installation precedes workload start. Ignored by models
+          without a switch (E2CM/FERA — {!validate} restricts their
+          fault plans to channel faults — and multihop). *)
+}
+(** What a fault injector (or any instrument) needs to attach to a
+    run. *)
+
+(** The model-tagged results of executing a compiled scenario. *)
+type outcome =
+  | Bcn_results of Runner.result array  (** one per replica *)
+  | E2cm_result of E2cm.result
+  | Fera_result of Fera.result
+  | Multihop_result of Multihop.result
+  | Rcp_result of Rcp.result
+
+type ('c, 'r) compiled = {
+  configs : 'c array;
+      (** ready to run: one per replica (BCN), else length 1 *)
+  run_many : ?jobs:int -> 'c array -> 'r array;
+  wire : ('c -> hooks -> 'c) option;
+      (** attach hooks to one config; [None] = the model takes no hooks
+          (multihop) *)
+  pack : 'r array -> outcome;
+      (** raises [Invalid_argument] if the array length does not match
+          [configs] (1 for single-run models) *)
+}
+
+type runnable = Runnable : ('c, 'r) compiled -> runnable
+
+val compile : t -> runnable
+(** Validates (so invalid scenarios fail here, not mid-run), then
+    dispatches on {!model}. *)
+
+(** {2 Protocol-agnostic outcome view} *)
+
+(** The stats every model can report, letting downstream consumers
+    (rendering, merging, margin evaluation) handle all protocols —
+    including ones added later — with zero per-protocol code.
+    [messages] counts the model's feedback events (BCN frames, E2CM
+    messages, FERA advertisements, RCP rate feedbacks); [final_rates]
+    is [None] when per-flow rates are not meaningful (multihop). *)
+type run_stats = {
+  queue : Numerics.Series.t;
+  utilization : float;
+  drops : int;
+  messages : int;
+  final_rates : float array option;
+}
+
+val outcome_stats : outcome -> run_stats array
+(** One entry per replica for [Bcn_results], length 1 otherwise.
+    Multihop reports its bottleneck (hop B) queue/utilization and the
+    drop total across both hops. *)
+
+val outcome_model : outcome -> string
+(** ["bcn"] / ["e2cm"] / ["fera"] / ["multihop"] / ["rcp"] — matches
+    {!describe}'s leading token. *)
+
+(** {2 Per-model configs (execution layer)}
+
+    These build the raw config records. They do {e not} wire the fault
+    plan (an injector is executable state owned by one run —
+    [Faultnet.Exec] does that through {!compile}) nor, except through
+    {!compile}, the workloads. *)
 
 val to_runner_config : t -> Runner.config
 (** BCN scenarios only; raises [Invalid_argument] otherwise. Bernoulli
-    sampling is seeded from [seed]. *)
+    sampling is seeded from [seed].
+    @deprecated Use {!compile}; this remains for probe-level access to
+    the raw BCN config. *)
 
 val runner_configs : t -> Runner.config array
 (** One config per replica ([Runner.with_seed] at [seed + i]). Length
-    [replicas]. *)
+    [replicas]. Unlike {!compile}'s [configs], workloads are not
+    wired. *)
 
 val to_e2cm_config : t -> E2cm.config
+(** @deprecated Use {!compile}. *)
+
 val to_fera_config : t -> Fera.config
+(** @deprecated Use {!compile}. *)
+
 val to_multihop_config : t -> Multihop.config
+(** @deprecated Use {!compile}. *)
 
 val of_runner_config : ?seed:int -> ?replicas:int -> Runner.config -> t
 (** Lift an execution config back to a scenario. Raises

@@ -1,47 +1,17 @@
 module Scenario = Simnet.Scenario
 
-type outcome =
+type outcome = Simnet.Scenario.outcome =
   | Bcn_results of Simnet.Runner.result array
   | E2cm_result of Simnet.E2cm.result
   | Fera_result of Simnet.Fera.result
   | Multihop_result of Simnet.Multihop.result
+  | Rcp_result of Simnet.Rcp.result
 
-(* Turn the scenario's pure fault/workload data into per-run hooks.
-   Injectors are single-run mutable state, so each replica gets its own,
-   salted by replica index (matching bcn_faults' replicate convention).
-   When the scenario has neither fault nor workload the config is left
-   untouched — hook-free configs are the byte-identity baseline. *)
-let bcn_configs (s : Scenario.t) =
-  let cfgs = Scenario.runner_configs s in
-  Array.mapi
-    (fun i cfg ->
-      let cfg =
-        match s.Scenario.fault with
-        | Some plan ->
-            Faultnet.Injector.attach (Faultnet.Injector.create ~salt:i plan) cfg
-        | None -> cfg
-      in
-      if s.Scenario.workload = [] then cfg
-      else
-        let prev = cfg.Simnet.Runner.on_setup in
-        {
-          cfg with
-          Simnet.Runner.on_setup =
-            Some
-              (fun e sw ->
-                (match prev with Some f -> f e sw | None -> ());
-                Scenario.start_workloads s e sw);
-        })
-    cfgs
-
-let exec ?jobs s =
-  let s = Scenario.validate s in
-  match s.Scenario.model with
-  | Scenario.Bcn _ -> Bcn_results (Simnet.Runner.run_many ?jobs (bcn_configs s))
-  | Scenario.E2cm _ -> E2cm_result (Simnet.E2cm.run (Scenario.to_e2cm_config s))
-  | Scenario.Fera _ -> Fera_result (Simnet.Fera.run (Scenario.to_fera_config s))
-  | Scenario.Multihop _ ->
-      Multihop_result (Simnet.Multihop.run (Scenario.to_multihop_config s))
+(* Scenario -> hooks -> results is entirely [Faultnet.Exec]'s job now
+   (compile + per-replica salted injectors); the store layer only owns
+   memoization. The Marshal layout of the first four constructors is
+   unchanged, so pre-RCP cache entries stay readable. *)
+let exec ?jobs s = Faultnet.Exec.run ?jobs s
 
 let memo_run ?cache ?(refresh = false) ?jobs s =
   match cache with

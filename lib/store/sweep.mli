@@ -1,15 +1,14 @@
 (** Scenario execution through the store: memoized single runs and
     resumable fan-out sweeps.
 
-    [exec] is the one place a {!Simnet.Scenario.t} becomes executable
-    state: per-replica runner configs, a fresh {!Faultnet.Injector} per
-    replica (salted by replica index, exactly as the fault CLIs do) and
-    the scenario's cross-traffic workloads wired through [on_setup].
-    Because scenarios are pure data with a canonical encoding, the
-    outcome of [exec] is a deterministic function of the scenario —
-    which is what makes {!memo_run} sound: identical scenarios under an
-    identical {!Key.code_version} return the stored outcome without
-    simulating.
+    [exec] is {!Faultnet.Exec.run}: [Scenario.compile] plus a fresh
+    {!Faultnet.Injector} per replica (salted by replica index, exactly
+    as the fault CLIs do), for every protocol the scenario layer
+    compiles. Because scenarios are pure data with a canonical
+    encoding, the outcome of [exec] is a deterministic function of the
+    scenario — which is what makes {!memo_run} sound: identical
+    scenarios under an identical {!Key.code_version} return the stored
+    outcome without simulating.
 
     {!sweep} fans scenarios over {!Parallel.Pool} with {e per-point}
     persistence: each point is stored the moment it finishes, so a
@@ -18,17 +17,20 @@
     byte-identical for any [jobs] value (pool order preservation +
     per-scenario determinism). *)
 
-(** One scenario's results, tagged by model. *)
-type outcome =
+(** One scenario's results, tagged by model — re-exported from
+    {!Simnet.Scenario.outcome} so store users and compile users share
+    one type. *)
+type outcome = Simnet.Scenario.outcome =
   | Bcn_results of Simnet.Runner.result array
       (** one per replica, in replica order *)
   | E2cm_result of Simnet.E2cm.result
   | Fera_result of Simnet.Fera.result
   | Multihop_result of Simnet.Multihop.result
+  | Rcp_result of Simnet.Rcp.result
 
 val exec : ?jobs:int -> Simnet.Scenario.t -> outcome
-(** Run the scenario, uncached. [jobs] parallelizes BCN replicas;
-    single-run scenarios ignore it. *)
+(** Run the scenario, uncached ({!Faultnet.Exec.run}). [jobs]
+    parallelizes BCN replicas; single-run scenarios ignore it. *)
 
 val memo_run :
   ?cache:Cache.t -> ?refresh:bool -> ?jobs:int -> Simnet.Scenario.t -> outcome

@@ -278,7 +278,8 @@ let test_paper_cases_shape () =
         (Faultnet.Resilience.check sc ~baseline_utilization:1.
            (Faultnet.Resilience.baseline sc)
         = None
-        || (Faultnet.Resilience.baseline sc).Simnet.Runner.drops = 0))
+        || (Simnet.Scenario.outcome_stats (Faultnet.Resilience.baseline sc)).(0)
+             .Simnet.Scenario.drops = 0))
     cases
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)

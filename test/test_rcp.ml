@@ -1,0 +1,431 @@
+(* RCP as a first-class protocol, across every layer it touches:
+   fluid-model stability and the queue-term ablation, the normalized
+   phase-plane view, packet-vs-fluid equilibrium agreement, the
+   Scenario codec's version handling (v1 bytes preserved, checked
+   against a committed fixture), jobs-independence of the packet
+   engine, warm-store resilience margins with zero simulations, and a
+   warm serve round trip — the last three exercising exactly the
+   generic paths (compile / outcome_stats / Cache), never an
+   RCP-specific branch. *)
+
+module Scenario = Simnet.Scenario
+module Cache = Store.Cache
+module Sweep = Store.Sweep
+module R = Faultnet.Resilience
+
+let params = Fluid.Params.default
+let fair_share = 10e9 /. 50.
+
+let with_store f =
+  let dir = Filename.temp_dir "dcecc-rcp-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f (Cache.open_ ~dir))
+
+(* ---------------- fluid model ---------------- *)
+
+let test_equilibrium_and_linearization () =
+  List.iter
+    (fun variant ->
+      let p = Fluid.Rcp.make ~variant params in
+      let q_star, r_star = Fluid.Rcp.equilibrium p in
+      Alcotest.(check (float 0.)) "empty queue at equilibrium" 0. q_star;
+      Alcotest.(check (float 1e-9)) "fair share at equilibrium" fair_share
+        r_star;
+      (* both variants share one linearization *)
+      let m, n = Fluid.Rcp.char_poly p in
+      Alcotest.(check (float 1e-9)) "m = alpha/tau"
+        (Fluid.Rcp.default_alpha /. Fluid.Rcp.default_tau)
+        m;
+      Alcotest.(check (float 1e-3)) "n = beta/tau^2"
+        (Fluid.Rcp.default_beta /. (Fluid.Rcp.default_tau *. Fluid.Rcp.default_tau))
+        n;
+      Alcotest.(check bool) "stable for positive gains" true
+        (Fluid.Rcp.stable p);
+      Alcotest.(check (float 1e-12)) "damping ratio alpha/(2 sqrt beta)"
+        (Fluid.Rcp.default_alpha /. (2. *. sqrt Fluid.Rcp.default_beta))
+        (Fluid.Rcp.damping_ratio p);
+      match Fluid.Rcp.lti p with
+      | None -> Alcotest.fail "stock gains must linearize to an Lti2"
+      | Some l ->
+          Alcotest.(check (float 1e-12)) "Lti2 agrees on the damping ratio"
+            (Fluid.Rcp.damping_ratio p)
+            (Control.Lti2.damping_ratio l))
+    [ Fluid.Rcp.By_capacity; Fluid.Rcp.By_load ]
+
+let test_queue_term_ablation () =
+  let p = Fluid.Rcp.make ~beta:0. params in
+  Alcotest.(check bool) "beta = 0 is only marginally stable" false
+    (Fluid.Rcp.stable p);
+  Alcotest.(check bool) "no second-order loop at beta = 0" true
+    (Fluid.Rcp.lti p = None);
+  Alcotest.(check bool) "damping ratio degenerates" true
+    (Fluid.Rcp.damping_ratio p = infinity);
+  (match Fluid.Rcp.eigenvalues p with
+  | Numerics.Mat2.Real_pair (l1, l2) ->
+      Alcotest.(check (float 1e-6)) "fast pole at -alpha/tau"
+        (-.Fluid.Rcp.default_alpha /. Fluid.Rcp.default_tau)
+        l1;
+      Alcotest.(check (float 0.)) "pole at the origin" 0. l2
+  | Numerics.Mat2.Complex_pair _ ->
+      Alcotest.fail "ablated poles must be real");
+  (* the numerical content: start the sources above the fair share so
+     the overshoot builds a standing queue. With the queue term that
+     queue drains; without it the rate mismatch still dies out but the
+     queue is a pure integrator of the transient and parks at whatever
+     the overshoot deposited. *)
+  let r_init = 1.5 *. fair_share in
+  let final (ph : Fluid.Rcp.phys) =
+    let s = ph.Fluid.Rcp.q in
+    s.Numerics.Series.vs.(Numerics.Series.length s - 1)
+  in
+  let stock =
+    Fluid.Rcp.simulate ~r_init ~t_end:10e-3 (Fluid.Rcp.make params)
+  in
+  let ablated = Fluid.Rcp.simulate ~r_init ~t_end:10e-3 p in
+  Alcotest.(check bool) "stock gains drain the queue" true
+    (final stock < 1e4);
+  Alcotest.(check bool) "beta = 0 parks the transient's queue" true
+    (final ablated > 1e5)
+
+let test_phase_plane_view () =
+  let p = Fluid.Rcp.make params in
+  let sys = Fluid.Rcp.system p in
+  (match sys with
+  | Phaseplane.System.Smooth_fast _ -> ()
+  | _ -> Alcotest.fail "RCP must expose the allocation-free smooth view");
+  let eq = Fluid.Rcp.to_xy p ~q:0. ~r:fair_share in
+  let v = Phaseplane.System.eval sys eq in
+  Alcotest.(check (float 0.)) "equilibrium is a fixed point (x)" 0.
+    v.Numerics.Vec2.x;
+  Alcotest.(check (float 0.)) "equilibrium is a fixed point (y)" 0.
+    v.Numerics.Vec2.y;
+  (* the carried rhs must mirror the closure bit for bit *)
+  let rhs = Phaseplane.System.to_auto sys in
+  List.iter
+    (fun (x, y) ->
+      let c = Phaseplane.System.eval sys { Numerics.Vec2.x; y } in
+      let dst = [| nan; nan |] in
+      rhs [| x; y |] dst;
+      Alcotest.(check bool) "rhs mirrors the closure (x)" true
+        (Int64.bits_of_float c.Numerics.Vec2.x = Int64.bits_of_float dst.(0));
+      Alcotest.(check bool) "rhs mirrors the closure (y)" true
+        (Int64.bits_of_float c.Numerics.Vec2.y = Int64.bits_of_float dst.(1)))
+    [ (0., 0.); (1e6, -5e8); (-2e5, 3e8); (2.5e6, 1e9) ]
+
+(* ---------------- packet vs fluid ---------------- *)
+
+let rcp_result s =
+  match Scenario.compile s with
+  | Scenario.Runnable c -> (
+      match c.Scenario.pack (c.Scenario.run_many ~jobs:1 c.Scenario.configs) with
+      | Scenario.Rcp_result r -> r
+      | _ -> Alcotest.fail "expected an Rcp_result")
+
+let test_packet_fluid_equilibrium () =
+  let t_end = 10e-3 in
+  let pr = rcp_result (Scenario.rcp ~t_end params) in
+  let adv = pr.Simnet.Rcp.advertised in
+  let final_adv =
+    adv.Numerics.Series.vs.(Numerics.Series.length adv - 1)
+  in
+  Alcotest.(check bool) "packet advertised rate settles at the fair share"
+    true
+    (abs_float (final_adv -. fair_share) < 0.05 *. fair_share);
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "every source paces at the advertised rate" true
+        (abs_float (r -. final_adv) < 1e-6))
+    pr.Simnet.Rcp.final_rates;
+  Alcotest.(check bool) "link well utilized" true
+    (pr.Simnet.Rcp.utilization > 0.85);
+  let fq = pr.Simnet.Rcp.queue in
+  let final_q = fq.Numerics.Series.vs.(Numerics.Series.length fq - 1) in
+  Alcotest.(check bool) "packet queue settles low" true
+    (final_q < 0.1 *. params.Fluid.Params.buffer);
+  (* the fluid trace lands on the same equilibrium *)
+  let ph = Fluid.Rcp.simulate ~t_end (Fluid.Rcp.make params) in
+  let fr = ph.Fluid.Rcp.r in
+  let fluid_r = fr.Numerics.Series.vs.(Numerics.Series.length fr - 1) in
+  Alcotest.(check bool) "fluid and packet agree on the equilibrium rate" true
+    (abs_float (final_adv -. fluid_r) < 0.05 *. fair_share)
+
+let test_run_many_jobs_identity () =
+  let cfgs =
+    Array.map
+      (fun alpha ->
+        { (Simnet.Rcp.default_config ~t_end:2e-3 params) with
+          Simnet.Rcp.alpha })
+      [| 0.2; 0.4; 0.6; 0.8 |]
+  in
+  let r1 = Simnet.Rcp.run_many ~jobs:1 cfgs in
+  let r4 = Simnet.Rcp.run_many ~jobs:4 cfgs in
+  Alcotest.(check string) "jobs 1 = jobs 4 (bytes)"
+    (Marshal.to_string r1 [])
+    (Marshal.to_string r4 [])
+
+(* ---------------- codec: versioning ---------------- *)
+
+let rcp_scenario_gen =
+  QCheck.Gen.(
+    let* t_end = float_range 1e-3 1e-2 in
+    let* alpha = float_range 0.1 1.0 in
+    let* beta = oneof [ return 0.; float_range 0.05 0.5 ] in
+    let* interval = float_range 5e-5 5e-4 in
+    let* variant = oneofl [ Fluid.Rcp.By_capacity; Fluid.Rcp.By_load ] in
+    let* seed = int_range 0 1000 in
+    let* fault =
+      oneof
+        [
+          return None;
+          (let* p = float_range 0.01 0.5 in
+           return
+             (Some Simnet.Fault_plan.(with_bcn_loss ~pos:(Bernoulli p) none)));
+        ]
+    in
+    let s = Scenario.rcp ~t_end ~alpha ~beta ~interval ~variant params in
+    let s = Scenario.with_seed s seed in
+    let s = match fault with Some p -> Scenario.with_fault s p | None -> s in
+    return s)
+
+let qcheck_rcp_roundtrip =
+  QCheck.Test.make ~name:"rcp: decode (encode s) = Ok s" ~count:200
+    (QCheck.make rcp_scenario_gen ~print:Scenario.encode)
+    (fun s ->
+      match Scenario.decode (Scenario.encode s) with
+      | Ok s' -> Scenario.equal s s' && Scenario.encode s' = Scenario.encode s
+      | Error _ -> false)
+
+let swap_version line ~from_v ~to_v =
+  let pre = Printf.sprintf "{\"v\": %d," from_v in
+  let n = String.length pre in
+  if String.length line < n || String.sub line 0 n <> pre then
+    Alcotest.failf "document does not open with %s: %s" pre line;
+  Printf.sprintf "{\"v\": %d,%s" to_v
+    (String.sub line n (String.length line - n))
+
+let test_version_tags () =
+  let bcn = Scenario.encode (Scenario.bcn ~t_end:2e-3 params) in
+  let rcp = Scenario.encode (Scenario.rcp ~t_end:2e-3 params) in
+  (* a document carries the smallest version able to express it: the
+     pre-RCP arms keep their v1 bytes (and so their store keys) *)
+  Alcotest.(check string) "pre-RCP scenarios stay v1" "{\"v\": 1,"
+    (String.sub bcn 0 8);
+  Alcotest.(check string) "RCP scenarios are v2" "{\"v\": 2,"
+    (String.sub rcp 0 8);
+  let rejects name doc =
+    match Scenario.decode doc with
+    | Ok _ -> Alcotest.failf "%s unexpectedly decoded" name
+    | Error _ -> ()
+  in
+  rejects "inflated version on a v1 document"
+    (swap_version bcn ~from_v:1 ~to_v:2);
+  rejects "understated version on an RCP document"
+    (swap_version rcp ~from_v:2 ~to_v:1)
+
+(* The committed fixture holds pre-RCP (v1) documents written before
+   the RCP arm existed; they must decode and re-encode byte for byte,
+   forever. *)
+let test_v1_fixture () =
+  let path =
+    (* cwd is test/ under dune runtest, the workspace root under exec *)
+    if Sys.file_exists "scenario_v1.jsonl" then "scenario_v1.jsonl"
+    else Filename.concat "test" "scenario_v1.jsonl"
+  in
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  Alcotest.(check bool) "fixture is non-empty" true (List.length lines > 0);
+  List.iteri
+    (fun i line ->
+      match Scenario.decode line with
+      | Error e -> Alcotest.failf "fixture line %d no longer decodes: %s" (i + 1) e
+      | Ok s -> (
+          Alcotest.(check string)
+            (Printf.sprintf "fixture line %d re-encodes byte for byte" (i + 1))
+            line (Scenario.encode s);
+          match s.Scenario.model with
+          | Scenario.Rcp _ ->
+              Alcotest.failf "fixture line %d is not pre-RCP" (i + 1)
+          | _ -> ()))
+    lines
+
+(* ---------------- resilience margins, warm store ---------------- *)
+
+let test_supports_matrix () =
+  let cases = R.protocol_cases ~t_end:2e-3 () in
+  Alcotest.(check (list string))
+    "one case per protocol"
+    [ "bcn"; "e2cm"; "fera"; "rcp" ]
+    (List.map (fun sc -> sc.R.label) cases);
+  let find l = List.find (fun sc -> sc.R.label = l) cases in
+  let flap = R.Flap_depth { period = 5e-4; duty = 0.5 } in
+  List.iter
+    (fun sc ->
+      Alcotest.(check bool)
+        (sc.R.label ^ " takes feedback loss")
+        true (R.supports sc R.Bcn_loss))
+    cases;
+  Alcotest.(check bool) "rcp takes capacity flaps" true
+    (R.supports (find "rcp") flap);
+  Alcotest.(check bool) "e2cm cannot take capacity flaps" false
+    (R.supports (find "e2cm") flap);
+  Alcotest.(check bool) "fera cannot take capacity flaps" false
+    (R.supports (find "fera") flap)
+
+let test_warm_rcp_margin () =
+  with_store (fun c ->
+      let sc = R.of_scenario ~label:"rcp" (Scenario.rcp ~t_end:2e-3 params) in
+      let memo = Sweep.resilience_memo c in
+      let cold = R.bisect ~iters:2 ~memo ~seed:5 sc R.Bcn_loss in
+      Cache.reset_stats c;
+      let warm = R.bisect ~iters:2 ~memo ~seed:5 sc R.Bcn_loss in
+      Alcotest.(check int) "warm RCP bisect: zero simulations" 0
+        (Cache.stats c).Cache.misses;
+      Alcotest.(check bool) "warm RCP bisect: probes served from store" true
+        ((Cache.stats c).Cache.hits > 0);
+      Alcotest.(check string) "warm margin byte-identical"
+        (Marshal.to_string cold [])
+        (Marshal.to_string warm []))
+
+(* ---------------- fabric merge row ---------------- *)
+
+let test_fabric_row () =
+  let s = Scenario.rcp ~t_end:2e-3 params in
+  let row =
+    Fabric.Merge.row_of ~point:0 ~seed:s.Scenario.seed (Sweep.exec s)
+  in
+  Alcotest.(check string) "model column" "rcp" row.Fabric.Merge.model;
+  Alcotest.(check bool) "utilization populated" true
+    (row.Fabric.Merge.utilization > 0.);
+  Alcotest.(check bool) "rate feedbacks counted" true
+    (row.Fabric.Merge.messages > 0);
+  match row.Fabric.Merge.fairness with
+  | None -> Alcotest.fail "RCP exposes final rates, so fairness must render"
+  | Some j ->
+      Alcotest.(check bool) "single advertised rate is perfectly fair" true
+        (j > 0.999)
+
+(* ---------------- serve: warm RCP requests ---------------- *)
+
+let temp_dir () = Filename.temp_dir "dcecc-rcp-serve" ""
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let fork_daemon ~socket ~store ~jobs =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Serve.Daemon.run
+           {
+             Serve.Daemon.socket_path = socket;
+             store_dir = Some store;
+             jobs;
+             max_inflight = 16;
+             log = false;
+           }
+       with e ->
+         Printf.eprintf "daemon died: %s\n%!" (Printexc.to_string e);
+         Unix._exit 1);
+      Unix._exit 0
+  | pid -> pid
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let result_exn = function
+  | Serve.Protocol.Result { warm; payload; _ } -> (warm, payload)
+  | Serve.Protocol.Error { message; _ } ->
+      Alcotest.failf "request failed: %s" message
+  | _ -> Alcotest.fail "unexpected response"
+
+let test_serve_rcp_warm () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "serve.sock" in
+      let store = Filename.concat dir "store" in
+      let req =
+        Serve.Tasks.Run
+          (Scenario.rcp ~t_end:2e-3 (Fluid.Params.with_flows params 8))
+      in
+      let pid = fork_daemon ~socket ~store ~jobs:1 in
+      Fun.protect
+        ~finally:(fun () -> stop_daemon pid)
+        (fun () ->
+          let c = Serve.Client.connect ~path:socket () in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              let w1, p1 = result_exn (Serve.Client.request c ~id:1 req) in
+              Alcotest.(check bool) "first RCP answer is cold" false w1;
+              Alcotest.(check string)
+                "daemon payload = direct execution (no RCP branch in the \
+                 daemon)"
+                (Serve.Tasks.execute req) p1;
+              let w2, p2 = result_exn (Serve.Client.request c ~id:2 req) in
+              Alcotest.(check bool) "repeat is warm" true w2;
+              Alcotest.(check string) "warm payload byte-identical" p1 p2;
+              let m = Serve.Client.stats c ~id:3 in
+              (match List.assoc_opt "serve.executed" m with
+              | Some v ->
+                  Alcotest.(check int) "exactly one simulation" 1
+                    (int_of_float v)
+              | None -> Alcotest.fail "stats missing serve.executed");
+              Serve.Client.shutdown c ~id:4)))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "rcp"
+    [
+      (* the serve daemon forks; every fork must happen before any test
+         touches a pool and spawns domains, so this suite runs first *)
+      ( "serve",
+        [
+          Alcotest.test_case "RCP run: cold then warm (bytes)" `Quick
+            test_serve_rcp_warm;
+        ] );
+      ( "fluid",
+        [
+          Alcotest.test_case "equilibrium and linearization" `Quick
+            test_equilibrium_and_linearization;
+          Alcotest.test_case "queue-term ablation (beta = 0)" `Quick
+            test_queue_term_ablation;
+          Alcotest.test_case "phase-plane view" `Quick test_phase_plane_view;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "packet equilibrium = fluid equilibrium" `Quick
+            test_packet_fluid_equilibrium;
+          Alcotest.test_case "run_many jobs 1 = jobs 4" `Quick
+            test_run_many_jobs_identity;
+        ] );
+      qsuite "codec-props" [ qcheck_rcp_roundtrip ];
+      ( "codec",
+        [
+          Alcotest.test_case "version tags" `Quick test_version_tags;
+          Alcotest.test_case "v1 fixture stays byte-stable" `Quick
+            test_v1_fixture;
+        ] );
+      ( "margins",
+        [
+          Alcotest.test_case "supports matrix" `Quick test_supports_matrix;
+          Alcotest.test_case "warm RCP margin: zero simulations" `Quick
+            test_warm_rcp_margin;
+          Alcotest.test_case "fabric merge row" `Quick test_fabric_row;
+        ] );
+    ]

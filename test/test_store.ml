@@ -471,6 +471,7 @@ let test_memo_run_models () =
           Scenario.e2cm ~t_end:2e-3 params;
           Scenario.fera ~t_end:2e-3 params;
           Scenario.multihop ~t_end:2e-3 ~n_long:2 ~n_short:2 params;
+          Scenario.rcp ~t_end:2e-3 params;
         ])
 
 (* faulted, multi-replica scenario: exec wires injectors per replica.
